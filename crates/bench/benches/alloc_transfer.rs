@@ -1,0 +1,61 @@
+//! §7.6 micro-benchmark (criterion): Guardian's allocator vs the driver
+//! allocator, and the per-transfer bounds-check cost.
+use criterion::{criterion_group, criterion_main, Criterion};
+use guardian::alloc::{Partition, PartitionAllocator, RegionAllocator, MIN_PARTITION};
+use ptx_patcher::{apply_fence, fence_mask};
+
+fn bench_allocators(c: &mut Criterion) {
+    c.bench_function("partition_buddy_alloc_free", |b| {
+        b.iter(|| {
+            let mut pa = PartitionAllocator::new(1 << 40, 256 * MIN_PARTITION);
+            let mut live = Vec::new();
+            for i in 0..32u64 {
+                live.push(pa.alloc((i % 4 + 1) * MIN_PARTITION).unwrap());
+            }
+            for p in live {
+                pa.free(p.base).unwrap();
+            }
+        })
+    });
+    c.bench_function("region_first_fit_alloc_free", |b| {
+        let part = Partition { base: 1 << 40, size: 64 * MIN_PARTITION };
+        b.iter(|| {
+            let mut ra = RegionAllocator::new(part);
+            let mut live = Vec::new();
+            for i in 0..128u64 {
+                live.push(ra.alloc(1024 * (i % 7 + 1)).unwrap());
+            }
+            for a in live {
+                ra.free(a).unwrap();
+            }
+        })
+    });
+}
+
+fn bench_bounds_checks(c: &mut Criterion) {
+    let part = Partition { base: 0x7000_0000_0000, size: 1 << 26 };
+    c.bench_function("transfer_range_check", |b| {
+        b.iter(|| {
+            let mut ok = 0u64;
+            for i in 0..1000u64 {
+                if part.contains_range(part.base + i * 64, 4096) {
+                    ok += 1;
+                }
+            }
+            ok
+        })
+    });
+    c.bench_function("fence_arithmetic", |b| {
+        let mask = fence_mask(part.size);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc ^= apply_fence(0xDEAD_0000_0000u64.wrapping_add(i * 131), part.base, mask);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_allocators, bench_bounds_checks);
+criterion_main!(benches);

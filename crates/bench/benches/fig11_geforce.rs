@@ -1,0 +1,37 @@
+//! Figure 11: cv / rnn / lenet on the GeForce RTX 3080 Ti under four
+//! deployments (same overhead shape as the Quadro, paper §7.5).
+use bench::{overhead_pct, run_standalone, Job};
+use frameworks::{Network, TrainConfig};
+use gpu_sim::spec::rtx_3080ti;
+use guardian::backends::Deployment;
+
+fn main() {
+    let spec = rtx_3080ti();
+    let cfg = TrainConfig { epochs: 2, batch_size: 4, batches_per_epoch: 2, lr: 0.1, seed: 42 };
+    let deployments = [
+        Deployment::Native,
+        Deployment::GuardianNoProtection,
+        Deployment::GuardianFencing,
+        Deployment::GuardianChecking,
+    ];
+    let mut rows = Vec::new();
+    for net in [Network::Cv, Network::Rnn, Network::Lenet] {
+        let job = Job::Net(net, cfg.clone());
+        let mut row = vec![format!("{net:?}")];
+        let mut times = Vec::new();
+        for d in deployments {
+            let t = run_standalone(&spec, d, &job);
+            times.push(t);
+            row.push(format!("{t:.4}"));
+        }
+        row.push(format!("{:+.1}%", overhead_pct(times[2], times[0])));
+        row.push(format!("{:.2}x", times[3] / times[0]));
+        rows.push(row);
+    }
+    bench::print_table(
+        "Figure 11: GeForce RTX 3080 Ti standalone (simulated seconds)",
+        &["App", "Native", "Grd w/o prot", "Fencing", "Checking", "fence%", "check x"],
+        &rows,
+    );
+    println!("Paper shapes: cv 12%, rnn 10%, lenet 13% fencing overhead; checking ~1.8x.");
+}

@@ -1,0 +1,39 @@
+//! Figure 7: Caffe standalone training + inference (lenet, siamese,
+//! cifar10) under the five deployments.
+use bench::{overhead_pct, run_standalone, Job};
+use frameworks::{Network, TrainConfig};
+use gpu_sim::spec::rtx_a4000;
+use guardian::backends::Deployment;
+
+fn main() {
+    let spec = rtx_a4000();
+    let cfg = TrainConfig { epochs: 2, batch_size: 4, batches_per_epoch: 2, lr: 0.1, seed: 42 };
+    let deployments = [
+        Deployment::Native,
+        Deployment::GuardianNoProtection,
+        Deployment::GuardianFencing,
+        Deployment::GuardianModulo,
+        Deployment::GuardianChecking,
+    ];
+    let mut rows = Vec::new();
+    for net in [Network::Lenet, Network::Siamese, Network::Cifar10] {
+        let job = Job::Net(net, cfg.clone());
+        let mut row = vec![format!("{net:?} (train)")];
+        let mut times = Vec::new();
+        for d in deployments {
+            let t = run_standalone(&spec, d, &job);
+            times.push(t);
+            row.push(format!("{t:.4}"));
+        }
+        row.push(format!("{:+.1}%", overhead_pct(times[2], times[0])));
+        row.push(format!("{:+.1}%", overhead_pct(times[3], times[0])));
+        row.push(format!("{:+.1}%", overhead_pct(times[4], times[0])));
+        rows.push(row);
+    }
+    bench::print_table(
+        "Figure 7: Caffe mnist/cifar standalone (simulated seconds)",
+        &["App", "Native", "Grd w/o prot", "Fencing", "Modulo", "Checking", "fence%", "mod%", "check%"],
+        &rows,
+    );
+    println!("Paper shapes: fencing 5.9-12% over native; modulo ~+29%; checking ~1.7x.");
+}

@@ -1,0 +1,39 @@
+//! Table 1: qualitative comparison of GPU sharing approaches.
+use guardian::backends::{mig_capabilities, Deployment};
+
+fn main() {
+    let tick = |b: bool| if b { "yes" } else { "-" }.to_string();
+    let mut rows = Vec::new();
+    for d in [Deployment::Native, Deployment::GuardianNoProtection, Deployment::Mps] {
+        let c = d.capabilities();
+        rows.push(vec![
+            c.name.to_string(),
+            tick(c.oob_fault_isolation),
+            tick(c.dynamic_resource_allocation),
+            tick(c.no_hw_support),
+            tick(c.spatial_sharing),
+        ]);
+    }
+    let mig = mig_capabilities();
+    rows.push(vec![
+        mig.name.to_string(),
+        tick(mig.oob_fault_isolation),
+        "static*".into(),
+        tick(mig.no_hw_support),
+        tick(mig.spatial_sharing),
+    ]);
+    let g = Deployment::GuardianFencing.capabilities();
+    rows.push(vec![
+        g.name.to_string(),
+        tick(g.oob_fault_isolation),
+        tick(g.dynamic_resource_allocation),
+        tick(g.no_hw_support),
+        tick(g.spatial_sharing),
+    ]);
+    bench::print_table(
+        "Table 1: GPU sharing approaches",
+        &["Approach", "OOB Fault Isolation", "Dynamic Res. Alloc.", "No HW support", "Spatial sharing"],
+        &rows,
+    );
+    println!("*MIG requires static GPU resource allocation (paper Table 1).");
+}

@@ -1,0 +1,192 @@
+//! # bench — harness utilities for regenerating the paper's evaluation
+//!
+//! Every table and figure of the paper has a bench target (see
+//! `benches/`); this crate holds the shared machinery: the Table 4
+//! workload mixes, deployment runners that measure *simulated device
+//! time*, and table printing.
+
+#![warn(missing_docs)]
+
+use cuda_rt::{share_device, CudaApi, SharedDevice};
+use frameworks::{train, Network, TrainConfig};
+use gpu_sim::spec::GpuSpec;
+use gpu_sim::Device;
+use guardian::backends::{deploy, Deployment};
+use rodinia::App;
+
+/// One tenant's job in a workload mix.
+#[derive(Debug, Clone)]
+pub enum Job {
+    /// Train a network with the given config.
+    Net(Network, TrainConfig),
+    /// Run a Rodinia application at a scale.
+    Rodinia(App, u32),
+}
+
+impl Job {
+    fn run(&self, api: &mut dyn CudaApi) {
+        // Tenant failures (e.g. MPS shared-fate kills) must not panic the
+        // harness; the makespan still reflects the time spent.
+        let r = match self {
+            Job::Net(net, cfg) => train(api, *net, cfg).map(|_| ()),
+            Job::Rodinia(app, scale) => rodinia::run(api, *app, *scale),
+        };
+        let _ = r;
+    }
+}
+
+fn net(n: Network, epochs: u32) -> Job {
+    Job::Net(
+        n,
+        TrainConfig {
+            epochs,
+            batch_size: 4,
+            batches_per_epoch: 2,
+            lr: 0.1,
+            seed: 42,
+        },
+    )
+}
+
+/// The Table 4 workload mixes (epoch counts scaled to simulator budgets
+/// while keeping the paper's ratios: lenet 500 / siamese 30–50 /
+/// cifar10 100 → 5 / 1 / 2 here).
+pub fn workload(id: char) -> Vec<Job> {
+    use Network::*;
+    match id {
+        'A' => vec![net(Lenet, 5), net(Lenet, 5)],
+        'B' => vec![net(Lenet, 5); 4],
+        'C' => vec![net(Cifar10, 2), net(Cifar10, 2)],
+        'D' => vec![net(Cifar10, 2); 4],
+        'E' => vec![Job::Rodinia(App::Gaussian, 2); 2],
+        'F' => vec![Job::Rodinia(App::Gaussian, 2); 4],
+        'G' => vec![Job::Rodinia(App::LavaMd, 2); 2],
+        'H' => vec![Job::Rodinia(App::LavaMd, 2); 4],
+        'I' => vec![net(Lenet, 5), net(Siamese, 1)],
+        'J' => vec![net(Siamese, 1), net(Cifar10, 2)],
+        'K' => vec![
+            net(Lenet, 5),
+            net(Lenet, 5),
+            net(Siamese, 1),
+            net(Cifar10, 2),
+            net(Cifar10, 2),
+        ],
+        'L' => vec![
+            net(Lenet, 5),
+            net(Lenet, 5),
+            net(Lenet, 5),
+            net(Siamese, 1),
+            net(Cifar10, 2),
+            net(Cifar10, 2),
+        ],
+        'M' => vec![Job::Rodinia(App::Hotspot, 2), Job::Rodinia(App::Gaussian, 2)],
+        'N' => vec![Job::Rodinia(App::Gaussian, 2), Job::Rodinia(App::LavaMd, 2)],
+        'O' => vec![
+            Job::Rodinia(App::ParticleFilter, 2),
+            Job::Rodinia(App::Hotspot, 2),
+        ],
+        'P' => vec![
+            Job::Rodinia(App::Gaussian, 2),
+            Job::Rodinia(App::Hotspot, 2),
+            Job::Rodinia(App::LavaMd, 2),
+            Job::Rodinia(App::ParticleFilter, 2),
+        ],
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// All Table 4 workload ids.
+pub const WORKLOAD_IDS: [char; 16] = [
+    'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P',
+];
+
+/// Run a workload mix under a deployment; returns the makespan in
+/// simulated seconds (the Figure 6 metric).
+pub fn run_workload(spec: &GpuSpec, deployment: Deployment, jobs: &[Job]) -> f64 {
+    let device: SharedDevice = share_device(Device::new(spec.clone()));
+    // Partition size adapts to the device: an eighth of DRAM per tenant on
+    // big GPUs, bounded below so small test GPUs still fit all tenants.
+    let mem_per_tenant = (spec.global_mem_bytes / (8 * jobs.len().max(1) as u64))
+        .clamp(2 << 20, 64 << 20);
+    let tenancy = deploy(&device, deployment, jobs.len(), mem_per_tenant, &[])
+        .expect("deployment setup");
+    let mut handles = Vec::new();
+    for (mut rt, job) in tenancy.runtimes.into_iter().zip(jobs.iter().cloned()) {
+        handles.push(std::thread::spawn(move || job.run(rt.as_mut())));
+    }
+    for h in handles {
+        h.join().expect("tenant thread");
+    }
+    let secs = {
+        let mut dev = device.lock();
+        dev.synchronize();
+        dev.elapsed_secs()
+    };
+    if let Some(m) = tenancy.manager {
+        m.shutdown();
+    }
+    secs
+}
+
+/// Run a single job standalone under a deployment; returns simulated
+/// seconds (the Figures 7/8/11 metric).
+pub fn run_standalone(spec: &GpuSpec, deployment: Deployment, job: &Job) -> f64 {
+    run_workload(spec, deployment, std::slice::from_ref(job))
+}
+
+/// Print a row-major table with a header.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        s
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Percentage overhead of `x` relative to `base`.
+pub fn overhead_pct(x: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (x / base - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_are_defined() {
+        for id in WORKLOAD_IDS {
+            let jobs = workload(id);
+            assert!(!jobs.is_empty(), "{id}");
+            assert!(jobs.len() <= 6, "{id}: paper uses 2-6 clients");
+        }
+    }
+
+    #[test]
+    fn overhead_math() {
+        assert!((overhead_pct(1.09, 1.0) - 9.0).abs() < 1e-9);
+        assert_eq!(overhead_pct(1.0, 0.0), 0.0);
+    }
+}

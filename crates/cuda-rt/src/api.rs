@@ -1,0 +1,345 @@
+//! The [`CudaApi`] trait: the CUDA runtime + driver interface applications
+//! and accelerated libraries program against.
+//!
+//! This trait is the reproduction's equivalent of the dynamic-linking seam
+//! the paper exploits (§4.1): in the paper, `grdLib` is LD_PRELOADed so
+//! every CUDA runtime/driver symbol resolves to Guardian's interposer; here
+//! every application takes a `&mut dyn CudaApi`, and swapping the native
+//! runtime for Guardian's `GrdLib` client is exactly that substitution —
+//! transparent to the application and to the (mini) accelerated libraries.
+
+use crate::error::CudaResult;
+use gpu_sim::LaunchConfig;
+
+/// An opaque device pointer (`CUdeviceptr`).
+pub type DevicePtr = u64;
+
+/// A stream handle (`cudaStream_t`); 0 is the default stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Stream(pub u32);
+
+impl Stream {
+    /// The default (NULL) stream.
+    pub const DEFAULT: Stream = Stream(0);
+}
+
+/// An event handle (`cudaEvent_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(pub u32);
+
+/// A loaded-module handle (`CUmodule`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModuleHandle(pub u32);
+
+/// Memory-copy direction (`cudaMemcpyKind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemcpyKind {
+    /// Host → device.
+    HostToDevice,
+    /// Device → host.
+    DeviceToHost,
+    /// Device → device.
+    DeviceToDevice,
+}
+
+/// The CUDA runtime + driver API surface (the subset exercised by the
+/// paper's evaluation: memory management, transfers, kernel launches,
+/// streams, events, module loading, and the undocumented export tables).
+///
+/// Methods prefixed `cuda_` model the *runtime* API; methods prefixed
+/// `cu_` model the *driver* API. Guardian intercepts **both** (Figure 2),
+/// which is what lets it catch the implicit calls accelerated libraries
+/// make (Table 6).
+pub trait CudaApi: Send {
+    // ----- memory management (runtime) -----
+
+    /// `cudaMalloc`.
+    ///
+    /// # Errors
+    /// [`crate::CudaError::OutOfMemory`] when the device heap (or the
+    /// caller's Guardian partition) is exhausted.
+    fn cuda_malloc(&mut self, bytes: u64) -> CudaResult<DevicePtr>;
+
+    /// `cudaFree`.
+    ///
+    /// # Errors
+    /// [`crate::CudaError::InvalidValue`] for unknown pointers.
+    fn cuda_free(&mut self, ptr: DevicePtr) -> CudaResult<()>;
+
+    /// `cudaMemset` (synchronous).
+    ///
+    /// # Errors
+    /// Propagates device/bounds failures.
+    fn cuda_memset(&mut self, dst: DevicePtr, byte: u8, len: u64) -> CudaResult<()>;
+
+    // ----- transfers (runtime) -----
+
+    /// `cudaMemcpy(HostToDevice)` — synchronous.
+    ///
+    /// # Errors
+    /// Propagates device/bounds failures (Guardian checks the destination
+    /// range against the caller's partition, §4.2.2).
+    fn cuda_memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) -> CudaResult<()>;
+
+    /// `cudaMemcpy(DeviceToHost)` — synchronous; returns the bytes.
+    ///
+    /// # Errors
+    /// Propagates device/bounds failures.
+    fn cuda_memcpy_d2h(&mut self, src: DevicePtr, len: u64) -> CudaResult<Vec<u8>>;
+
+    /// `cudaMemcpy(DeviceToDevice)`.
+    ///
+    /// # Errors
+    /// Propagates device/bounds failures; Guardian checks both ranges.
+    fn cuda_memcpy_d2d(&mut self, dst: DevicePtr, src: DevicePtr, len: u64) -> CudaResult<()>;
+
+    // ----- kernel launch (runtime) -----
+
+    /// `cudaLaunchKernel`: launch the named kernel with a packed argument
+    /// buffer (see [`ArgPack`]) on a stream.
+    ///
+    /// # Errors
+    /// [`crate::CudaError::InvalidDeviceFunction`] for unknown kernels.
+    fn cuda_launch_kernel(
+        &mut self,
+        kernel: &str,
+        cfg: LaunchConfig,
+        args: &[u8],
+        stream: Stream,
+    ) -> CudaResult<()>;
+
+    // ----- streams & events (runtime) -----
+
+    /// `cudaStreamCreate`.
+    ///
+    /// # Errors
+    /// Propagates device failures.
+    fn cuda_stream_create(&mut self) -> CudaResult<Stream>;
+
+    /// `cudaStreamSynchronize`.
+    ///
+    /// # Errors
+    /// Surfaces faults recorded on this context.
+    fn cuda_stream_synchronize(&mut self, stream: Stream) -> CudaResult<()>;
+
+    /// `cudaDeviceSynchronize`.
+    ///
+    /// # Errors
+    /// Surfaces faults recorded on this context.
+    fn cuda_device_synchronize(&mut self) -> CudaResult<()>;
+
+    /// `cudaEventCreateWithFlags`.
+    ///
+    /// # Errors
+    /// Propagates device failures.
+    fn cuda_event_create_with_flags(&mut self, flags: u32) -> CudaResult<EventHandle>;
+
+    /// `cudaEventRecord`.
+    ///
+    /// # Errors
+    /// [`crate::CudaError::InvalidValue`] for unknown events.
+    fn cuda_event_record(&mut self, event: EventHandle, stream: Stream) -> CudaResult<()>;
+
+    /// `cudaEventElapsedTime` — milliseconds between two recorded events.
+    ///
+    /// # Errors
+    /// [`crate::CudaError::InvalidValue`] when either event is unrecorded.
+    fn cuda_event_elapsed_ms(&mut self, start: EventHandle, end: EventHandle) -> CudaResult<f32>;
+
+    /// `cudaStreamGetCaptureInfo` — graph-capture probe; the mini
+    /// libraries call it like cuBLAS does (Table 6). Always "not
+    /// capturing" here.
+    ///
+    /// # Errors
+    /// None in practice; fallible for API fidelity.
+    fn cuda_stream_get_capture_info(&mut self, stream: Stream) -> CudaResult<bool>;
+
+    /// `cudaStreamIsCapturing`.
+    ///
+    /// # Errors
+    /// None in practice; fallible for API fidelity.
+    fn cuda_stream_is_capturing(&mut self, stream: Stream) -> CudaResult<bool>;
+
+    /// `cudaGetExportTable` — the undocumented entry point returning
+    /// hidden function-pointer tables (§4.1). Returns the names of the
+    /// functions in the requested table; frameworks call through
+    /// [`CudaApi::export_table_call`].
+    ///
+    /// # Errors
+    /// [`crate::CudaError::MissingExportTable`] for unknown table ids.
+    fn cuda_get_export_table(&mut self, table_id: u32) -> CudaResult<Vec<String>>;
+
+    /// Invoke a hidden export-table function by name (a no-op with
+    /// call-accounting semantics; enough to run the mini frameworks, as
+    /// the paper's "minimal implementation ... adequate to run PyTorch
+    /// and Caffe").
+    ///
+    /// # Errors
+    /// [`crate::CudaError::InvalidValue`] for names not in any table.
+    fn export_table_call(&mut self, table_id: u32, func: &str) -> CudaResult<()>;
+
+    // ----- driver API -----
+
+    /// `cuModuleLoadData`: JIT a PTX image and make its kernels
+    /// launchable.
+    ///
+    /// # Errors
+    /// [`crate::CudaError::ModuleLoad`] on parse/JIT failure.
+    fn cu_module_load_data(&mut self, name: &str, ptx_text: &str) -> CudaResult<ModuleHandle>;
+
+    /// `cuMemAlloc` (driver-level allocation; cuFFT-style libraries use
+    /// this path, Table 6).
+    ///
+    /// # Errors
+    /// As [`CudaApi::cuda_malloc`].
+    fn cu_mem_alloc(&mut self, bytes: u64) -> CudaResult<DevicePtr>;
+
+    /// `cuMemFree`.
+    ///
+    /// # Errors
+    /// As [`CudaApi::cuda_free`].
+    fn cu_mem_free(&mut self, ptr: DevicePtr) -> CudaResult<()>;
+
+    /// `cuMemcpyHtoD`.
+    ///
+    /// # Errors
+    /// As [`CudaApi::cuda_memcpy_h2d`].
+    fn cu_memcpy_htod(&mut self, dst: DevicePtr, data: &[u8]) -> CudaResult<()>;
+
+    /// `cuLaunchKernel` (driver-level launch).
+    ///
+    /// # Errors
+    /// As [`CudaApi::cuda_launch_kernel`].
+    fn cu_launch_kernel(
+        &mut self,
+        kernel: &str,
+        cfg: LaunchConfig,
+        args: &[u8],
+        stream: Stream,
+    ) -> CudaResult<()>;
+
+    // ----- application device-code registration -----
+
+    /// Register a fat binary (the `__cudaRegisterFatBinary` analogue the
+    /// compiler emits into every CUDA executable/library). All embedded
+    /// PTX modules are loaded and their kernels become launchable by name.
+    ///
+    /// # Errors
+    /// [`crate::CudaError::ModuleLoad`] on container/parse failure.
+    fn register_fatbin(&mut self, fatbin: &[u8]) -> CudaResult<()>;
+
+    // ----- introspection (profiler affordances, not part of CUDA) -----
+
+    /// Current device time in cycles (Nsight-style profiling hook).
+    fn device_now_cycles(&mut self) -> u64;
+
+    /// Device clock in GHz, for cycle↔second conversion in reports.
+    fn device_clock_ghz(&self) -> f64;
+}
+
+/// Packs kernel arguments into the flat parameter-buffer layout the
+/// simulated driver uses (natural alignment per element, matching
+/// `ptx::ast::Function::param_offsets`).
+///
+/// # Examples
+///
+/// ```
+/// use cuda_rt::api::ArgPack;
+/// let args = ArgPack::new()
+///     .ptr(0x7000_0000_0000)
+///     .u32(1024)
+///     .f32(0.5)
+///     .finish();
+/// assert_eq!(args.len(), 16); // u64 @0, u32 @8, f32 @12
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ArgPack {
+    buf: Vec<u8>,
+}
+
+impl ArgPack {
+    /// Start an empty argument pack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn align_to(&mut self, align: usize) {
+        let pad = (align - self.buf.len() % align) % align;
+        self.buf.extend(std::iter::repeat_n(0u8, pad));
+    }
+
+    /// Append a device pointer (u64).
+    #[must_use]
+    pub fn ptr(self, v: DevicePtr) -> Self {
+        self.u64(v)
+    }
+
+    /// Append a `u64`.
+    #[must_use]
+    pub fn u64(mut self, v: u64) -> Self {
+        self.align_to(8);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u32`.
+    #[must_use]
+    pub fn u32(mut self, v: u32) -> Self {
+        self.align_to(4);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an `i32`.
+    #[must_use]
+    pub fn i32(self, v: i32) -> Self {
+        self.u32(v as u32)
+    }
+
+    /// Append an `f32`.
+    #[must_use]
+    pub fn f32(self, v: f32) -> Self {
+        self.u32(v.to_bits())
+    }
+
+    /// Append an `f64`.
+    #[must_use]
+    pub fn f64(self, v: f64) -> Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Finish and return the packed buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argpack_layout_matches_param_offsets() {
+        // Mirror of the layout test in ptx::ast: u64@0, u32@8, u64@16.
+        let args = ArgPack::new().u64(1).u32(2).u64(3).finish();
+        assert_eq!(args.len(), 24);
+        assert_eq!(u64::from_le_bytes(args[0..8].try_into().unwrap()), 1);
+        assert_eq!(u32::from_le_bytes(args[8..12].try_into().unwrap()), 2);
+        assert_eq!(u64::from_le_bytes(args[16..24].try_into().unwrap()), 3);
+    }
+
+    #[test]
+    fn argpack_f32_packs_tight() {
+        let args = ArgPack::new().f32(1.0).f32(2.0).finish();
+        assert_eq!(args.len(), 8);
+        assert_eq!(
+            f32::from_le_bytes(args[4..8].try_into().unwrap()),
+            2.0
+        );
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn(_api: &mut dyn CudaApi) {}
+    }
+}

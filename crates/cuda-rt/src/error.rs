@@ -1,0 +1,79 @@
+//! The `cudaError_t` analogue.
+
+use gpu_sim::DeviceError;
+use std::fmt;
+
+/// Result alias for CUDA-style calls.
+pub type CudaResult<T> = Result<T, CudaError>;
+
+/// Errors returned by the simulated CUDA runtime and driver APIs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CudaError {
+    /// `cudaErrorMemoryAllocation`.
+    OutOfMemory,
+    /// `cudaErrorInvalidValue` — bad pointer, stream, or event handle.
+    InvalidValue,
+    /// `cudaErrorInvalidDeviceFunction` — unknown kernel symbol.
+    InvalidDeviceFunction(String),
+    /// A fault poisoned the context (sticky, like real CUDA errors).
+    ContextPoisoned,
+    /// Module load / JIT failure.
+    ModuleLoad(String),
+    /// The requested symbol is missing from `cudaGetExportTable`.
+    MissingExportTable(u32),
+    /// The call was rejected by a policy layer (e.g. Guardian's transfer
+    /// bounds check).
+    Rejected(String),
+    /// The backing transport to the GPU manager disconnected.
+    Disconnected,
+}
+
+impl fmt::Display for CudaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CudaError::OutOfMemory => f.write_str("out of memory"),
+            CudaError::InvalidValue => f.write_str("invalid value"),
+            CudaError::InvalidDeviceFunction(s) => {
+                write!(f, "invalid device function `{s}`")
+            }
+            CudaError::ContextPoisoned => f.write_str("context poisoned by device fault"),
+            CudaError::ModuleLoad(m) => write!(f, "module load failed: {m}"),
+            CudaError::MissingExportTable(id) => write!(f, "no export table {id}"),
+            CudaError::Rejected(why) => write!(f, "rejected: {why}"),
+            CudaError::Disconnected => f.write_str("GPU manager disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for CudaError {}
+
+impl From<DeviceError> for CudaError {
+    fn from(e: DeviceError) -> Self {
+        match e {
+            DeviceError::OutOfMemory => CudaError::OutOfMemory,
+            DeviceError::ContextPoisoned => CudaError::ContextPoisoned,
+            DeviceError::Compile(m) => CudaError::ModuleLoad(m),
+            DeviceError::UnknownKernel(k) => CudaError::InvalidDeviceFunction(k),
+            _ => CudaError::InvalidValue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_errors_map() {
+        assert_eq!(CudaError::from(DeviceError::OutOfMemory), CudaError::OutOfMemory);
+        assert_eq!(
+            CudaError::from(DeviceError::InvalidFree),
+            CudaError::InvalidValue
+        );
+    }
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        assert_eq!(CudaError::OutOfMemory.to_string(), "out of memory");
+    }
+}

@@ -1,0 +1,190 @@
+//! The undocumented `cudaGetExportTable` surface (§4.1 of the paper).
+//!
+//! CUDA libraries obtain hidden function-pointer tables through
+//! `cudaGetExportTable`. The paper found that PyTorch and Caffe exercise
+//! about seven tables containing more than 90 functions, and that Guardian
+//! only needs a *minimal* implementation of them to run both frameworks.
+//! This module is that minimal implementation: seven named tables whose
+//! entries are callable no-ops (with call accounting), which the mini
+//! frameworks invoke the way the real ones do.
+
+/// The hidden export tables: (table id, function names).
+pub const EXPORT_TABLES: &[(u32, &[&str])] = &[
+    (
+        0x01,
+        &[
+            "etbl_context_query",
+            "etbl_context_retain",
+            "etbl_context_release",
+            "etbl_primary_ctx_state",
+            "etbl_device_get_attributes",
+            "etbl_runtime_version",
+            "etbl_driver_version",
+            "etbl_fatbin_handle",
+            "etbl_fatbin_unload",
+            "etbl_module_cache_query",
+            "etbl_module_cache_insert",
+            "etbl_tls_get",
+            "etbl_tls_set",
+        ],
+    ),
+    (
+        0x02,
+        &[
+            "etbl_mem_pool_create",
+            "etbl_mem_pool_destroy",
+            "etbl_mem_pool_trim",
+            "etbl_mem_get_info_internal",
+            "etbl_mem_advise_internal",
+            "etbl_mem_range_attrs",
+            "etbl_mem_host_register",
+            "etbl_mem_host_unregister",
+            "etbl_mem_flush_writes",
+            "etbl_mem_prefetch_internal",
+            "etbl_mem_batch_ops",
+            "etbl_mem_vmm_reserve",
+            "etbl_mem_vmm_map",
+        ],
+    ),
+    (
+        0x03,
+        &[
+            "etbl_stream_priority_range",
+            "etbl_stream_get_ctx",
+            "etbl_stream_batch_memop",
+            "etbl_stream_write_value",
+            "etbl_stream_wait_value",
+            "etbl_stream_copy_attrs",
+            "etbl_stream_label",
+            "etbl_stream_get_flags_internal",
+            "etbl_stream_default_query",
+            "etbl_stream_legacy_handle",
+            "etbl_stream_per_thread_handle",
+            "etbl_stream_capture_internal",
+            "etbl_stream_update_capture_deps",
+        ],
+    ),
+    (
+        0x04,
+        &[
+            "etbl_kernel_occupancy",
+            "etbl_kernel_set_cache_config",
+            "etbl_kernel_get_attributes",
+            "etbl_kernel_set_attribute",
+            "etbl_kernel_max_active_blocks",
+            "etbl_kernel_preferred_smem_carveout",
+            "etbl_kernel_cluster_dims",
+            "etbl_launch_cooperative_internal",
+            "etbl_launch_host_func_internal",
+            "etbl_launch_config_query",
+            "etbl_launch_attribute_set",
+            "etbl_launch_bounds_query",
+            "etbl_launch_priority",
+        ],
+    ),
+    (
+        0x05,
+        &[
+            "etbl_graph_create_internal",
+            "etbl_graph_add_kernel_node",
+            "etbl_graph_instantiate_internal",
+            "etbl_graph_exec_update",
+            "etbl_graph_debug_dot",
+            "etbl_graph_node_attrs",
+            "etbl_graph_upload",
+            "etbl_graph_clone_internal",
+            "etbl_graph_kernel_params",
+            "etbl_graph_mem_nodes",
+            "etbl_graph_destroy_internal",
+            "etbl_graph_topo_query",
+            "etbl_graph_capture_merge",
+        ],
+    ),
+    (
+        0x06,
+        &[
+            "etbl_profiler_start_internal",
+            "etbl_profiler_stop_internal",
+            "etbl_profiler_marker",
+            "etbl_profiler_range_push",
+            "etbl_profiler_range_pop",
+            "etbl_profiler_counters",
+            "etbl_profiler_metadata",
+            "etbl_profiler_clock_query",
+            "etbl_profiler_sm_activity",
+            "etbl_profiler_mem_activity",
+            "etbl_profiler_warp_sampling",
+            "etbl_profiler_export",
+            "etbl_profiler_identify",
+        ],
+    ),
+    (
+        0x07,
+        &[
+            "etbl_ipc_get_handle",
+            "etbl_ipc_open_handle",
+            "etbl_ipc_close_handle",
+            "etbl_ipc_event_handle",
+            "etbl_peer_access_query",
+            "etbl_peer_enable_internal",
+            "etbl_peer_disable_internal",
+            "etbl_unified_addr_query",
+            "etbl_ctx_sharing_flags",
+            "etbl_ctx_green_create",
+            "etbl_ctx_green_destroy",
+            "etbl_ctx_resource_split",
+            "etbl_ctx_exec_affinity",
+        ],
+    ),
+];
+
+/// Look up a table's function names by id.
+pub fn table(table_id: u32) -> Option<&'static [&'static str]> {
+    EXPORT_TABLES
+        .iter()
+        .find(|(id, _)| *id == table_id)
+        .map(|(_, fns)| *fns)
+}
+
+/// Whether `func` is an entry of table `table_id`.
+pub fn table_has(table_id: u32, func: &str) -> bool {
+    table(table_id).is_some_and(|fns| fns.contains(&func))
+}
+
+/// Total number of hidden functions across all tables.
+pub fn total_functions() -> usize {
+    EXPORT_TABLES.iter().map(|(_, fns)| fns.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_tables_with_over_ninety_functions() {
+        // Matches the paper's measurement: "about seven export tables
+        // containing more than 90 functions".
+        assert_eq!(EXPORT_TABLES.len(), 7);
+        assert!(total_functions() > 90);
+    }
+
+    #[test]
+    fn lookup_works() {
+        assert!(table(0x01).is_some());
+        assert!(table(0x42).is_none());
+        assert!(table_has(0x03, "etbl_stream_get_ctx"));
+        assert!(!table_has(0x03, "etbl_kernel_occupancy"));
+    }
+
+    #[test]
+    fn function_names_are_unique() {
+        let mut all: Vec<&str> = EXPORT_TABLES
+            .iter()
+            .flat_map(|(_, fns)| fns.iter().copied())
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+}

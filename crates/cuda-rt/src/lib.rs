@@ -1,0 +1,32 @@
+//! # cuda-rt — the CUDA runtime & driver API surface
+//!
+//! The layer between applications/accelerated libraries and the simulated
+//! GPU. Everything programs against the [`CudaApi`] trait, which mirrors
+//! the CUDA runtime (`cuda*`) and driver (`cu*`) entry points the paper's
+//! Guardian intercepts (Figure 2).
+//!
+//! * [`NativeRuntime`] — the un-intercepted stack: calls go straight to
+//!   the device (baseline deployments).
+//! * [`CallRecorder`] — transparent per-entry-point call counting, the
+//!   instrument behind the paper's Table 6.
+//! * [`api::ArgPack`] — kernel-argument packing in driver layout.
+//! * [`export`] — the undocumented `cudaGetExportTable` tables (§4.1).
+//!
+//! Guardian's interposer (`guardian::GrdLib`) implements this same trait,
+//! which is the Rust equivalent of the paper's LD_PRELOAD substitution:
+//! the application cannot tell the difference, and *every* GPU-bound call
+//! — including the implicit ones made inside accelerated libraries —
+//! flows through whichever implementation is installed.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod error;
+pub mod export;
+pub mod native;
+pub mod trace;
+
+pub use api::{ArgPack, CudaApi, DevicePtr, EventHandle, MemcpyKind, ModuleHandle, Stream};
+pub use error::{CudaError, CudaResult};
+pub use native::{share_device, NativeRuntime, SharedDevice};
+pub use trace::CallRecorder;

@@ -1,0 +1,263 @@
+//! [`CallRecorder`]: a transparent [`CudaApi`] wrapper that counts every
+//! runtime and driver call passing through it.
+//!
+//! This is the measurement instrument behind the paper's Table 6 (implicit
+//! CUDA calls performed by high-level accelerated-library functions) and
+//! the argument for runtime+driver-level interception (§4.1): wrap any
+//! runtime, call one `cublasIsamax`-style function, and read off exactly
+//! which implicit `cudaMalloc`/`cudaMemcpy`/`cudaLaunchKernel` calls it
+//! made under the hood.
+
+use crate::api::{CudaApi, DevicePtr, EventHandle, ModuleHandle, Stream};
+use crate::error::CudaResult;
+use gpu_sim::LaunchConfig;
+use std::collections::BTreeMap;
+
+/// A counting wrapper around any [`CudaApi`].
+pub struct CallRecorder<A> {
+    inner: A,
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl<A: CudaApi> CallRecorder<A> {
+    /// Wrap a runtime.
+    pub fn new(inner: A) -> Self {
+        CallRecorder {
+            inner,
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Per-API-name call counts accumulated so far.
+    pub fn counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counts
+    }
+
+    /// Clear the counters.
+    pub fn reset(&mut self) {
+        self.counts.clear();
+    }
+
+    /// Total calls to CUDA *runtime* (`cuda*`) entry points.
+    pub fn runtime_calls(&self) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(k, _)| k.starts_with("cuda"))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Total calls to CUDA *driver* (`cu*`, non-`cuda*`) entry points.
+    pub fn driver_calls(&self) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(k, _)| k.starts_with("cu") && !k.starts_with("cuda"))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Count of one specific entry point.
+    pub fn count(&self, api: &str) -> u64 {
+        self.counts.get(api).copied().unwrap_or(0)
+    }
+
+    /// Unwrap the inner runtime.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+
+    /// Access the inner runtime.
+    pub fn inner_mut(&mut self) -> &mut A {
+        &mut self.inner
+    }
+
+    fn hit(&mut self, name: &'static str) {
+        *self.counts.entry(name).or_insert(0) += 1;
+    }
+}
+
+impl<A: CudaApi> CudaApi for CallRecorder<A> {
+    fn cuda_malloc(&mut self, bytes: u64) -> CudaResult<DevicePtr> {
+        self.hit("cudaMalloc");
+        self.inner.cuda_malloc(bytes)
+    }
+
+    fn cuda_free(&mut self, ptr: DevicePtr) -> CudaResult<()> {
+        self.hit("cudaFree");
+        self.inner.cuda_free(ptr)
+    }
+
+    fn cuda_memset(&mut self, dst: DevicePtr, byte: u8, len: u64) -> CudaResult<()> {
+        self.hit("cudaMemset");
+        self.inner.cuda_memset(dst, byte, len)
+    }
+
+    fn cuda_memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) -> CudaResult<()> {
+        self.hit("cudaMemcpy");
+        self.inner.cuda_memcpy_h2d(dst, data)
+    }
+
+    fn cuda_memcpy_d2h(&mut self, src: DevicePtr, len: u64) -> CudaResult<Vec<u8>> {
+        self.hit("cudaMemcpy");
+        self.inner.cuda_memcpy_d2h(src, len)
+    }
+
+    fn cuda_memcpy_d2d(&mut self, dst: DevicePtr, src: DevicePtr, len: u64) -> CudaResult<()> {
+        self.hit("cudaMemcpy");
+        self.inner.cuda_memcpy_d2d(dst, src, len)
+    }
+
+    fn cuda_launch_kernel(
+        &mut self,
+        kernel: &str,
+        cfg: LaunchConfig,
+        args: &[u8],
+        stream: Stream,
+    ) -> CudaResult<()> {
+        self.hit("cudaLaunchKernel");
+        self.inner.cuda_launch_kernel(kernel, cfg, args, stream)
+    }
+
+    fn cuda_stream_create(&mut self) -> CudaResult<Stream> {
+        self.hit("cudaStreamCreate");
+        self.inner.cuda_stream_create()
+    }
+
+    fn cuda_stream_synchronize(&mut self, stream: Stream) -> CudaResult<()> {
+        self.hit("cudaStreamSynchronize");
+        self.inner.cuda_stream_synchronize(stream)
+    }
+
+    fn cuda_device_synchronize(&mut self) -> CudaResult<()> {
+        self.hit("cudaDeviceSynchronize");
+        self.inner.cuda_device_synchronize()
+    }
+
+    fn cuda_event_create_with_flags(&mut self, flags: u32) -> CudaResult<EventHandle> {
+        self.hit("cudaEventCreateWithFlags");
+        self.inner.cuda_event_create_with_flags(flags)
+    }
+
+    fn cuda_event_record(&mut self, event: EventHandle, stream: Stream) -> CudaResult<()> {
+        self.hit("cudaEventRecord");
+        self.inner.cuda_event_record(event, stream)
+    }
+
+    fn cuda_event_elapsed_ms(&mut self, start: EventHandle, end: EventHandle) -> CudaResult<f32> {
+        self.hit("cudaEventElapsedTime");
+        self.inner.cuda_event_elapsed_ms(start, end)
+    }
+
+    fn cuda_stream_get_capture_info(&mut self, stream: Stream) -> CudaResult<bool> {
+        self.hit("cudaStreamGetCaptureInfo");
+        self.inner.cuda_stream_get_capture_info(stream)
+    }
+
+    fn cuda_stream_is_capturing(&mut self, stream: Stream) -> CudaResult<bool> {
+        self.hit("cudaStreamIsCapturing");
+        self.inner.cuda_stream_is_capturing(stream)
+    }
+
+    fn cuda_get_export_table(&mut self, table_id: u32) -> CudaResult<Vec<String>> {
+        self.hit("cudaGetExportTable");
+        self.inner.cuda_get_export_table(table_id)
+    }
+
+    fn export_table_call(&mut self, table_id: u32, func: &str) -> CudaResult<()> {
+        self.hit("exportTableCall");
+        self.inner.export_table_call(table_id, func)
+    }
+
+    fn cu_module_load_data(&mut self, name: &str, ptx_text: &str) -> CudaResult<ModuleHandle> {
+        self.hit("cuModuleLoadData");
+        self.inner.cu_module_load_data(name, ptx_text)
+    }
+
+    fn cu_mem_alloc(&mut self, bytes: u64) -> CudaResult<DevicePtr> {
+        self.hit("cuMemAlloc");
+        self.inner.cu_mem_alloc(bytes)
+    }
+
+    fn cu_mem_free(&mut self, ptr: DevicePtr) -> CudaResult<()> {
+        self.hit("cuMemFree");
+        self.inner.cu_mem_free(ptr)
+    }
+
+    fn cu_memcpy_htod(&mut self, dst: DevicePtr, data: &[u8]) -> CudaResult<()> {
+        self.hit("cuMemcpyHtoD");
+        self.inner.cu_memcpy_htod(dst, data)
+    }
+
+    fn cu_launch_kernel(
+        &mut self,
+        kernel: &str,
+        cfg: LaunchConfig,
+        args: &[u8],
+        stream: Stream,
+    ) -> CudaResult<()> {
+        self.hit("cuLaunchKernel");
+        self.inner.cu_launch_kernel(kernel, cfg, args, stream)
+    }
+
+    fn register_fatbin(&mut self, fatbin: &[u8]) -> CudaResult<()> {
+        self.hit("__cudaRegisterFatBinary");
+        self.inner.register_fatbin(fatbin)
+    }
+
+    fn device_now_cycles(&mut self) -> u64 {
+        self.inner.device_now_cycles()
+    }
+
+    fn device_clock_ghz(&self) -> f64 {
+        self.inner.device_clock_ghz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::{share_device, NativeRuntime};
+    use gpu_sim::spec::test_gpu;
+    use gpu_sim::Device;
+
+    fn recorded() -> CallRecorder<NativeRuntime> {
+        let dev = share_device(Device::new(test_gpu()));
+        CallRecorder::new(NativeRuntime::new(dev).unwrap())
+    }
+
+    #[test]
+    fn counts_runtime_and_driver_separately() {
+        let mut rt = recorded();
+        let p = rt.cuda_malloc(1024).unwrap();
+        rt.cuda_memcpy_h2d(p, &[0u8; 64]).unwrap();
+        rt.cuda_memcpy_h2d(p, &[1u8; 64]).unwrap();
+        let q = rt.cu_mem_alloc(1024).unwrap();
+        rt.cu_mem_free(q).unwrap();
+        rt.cuda_free(p).unwrap();
+
+        assert_eq!(rt.count("cudaMalloc"), 1);
+        assert_eq!(rt.count("cudaMemcpy"), 2);
+        assert_eq!(rt.count("cudaFree"), 1);
+        assert_eq!(rt.count("cuMemAlloc"), 1);
+        assert_eq!(rt.count("cuMemFree"), 1);
+        assert_eq!(rt.runtime_calls(), 4);
+        assert_eq!(rt.driver_calls(), 2);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut rt = recorded();
+        let _ = rt.cuda_malloc(64).unwrap();
+        assert_eq!(rt.count("cudaMalloc"), 1);
+        rt.reset();
+        assert_eq!(rt.count("cudaMalloc"), 0);
+    }
+
+    #[test]
+    fn recorder_is_transparent() {
+        let mut rt = recorded();
+        let p = rt.cuda_malloc(64).unwrap();
+        rt.cuda_memcpy_h2d(p, b"abcd").unwrap();
+        assert_eq!(rt.cuda_memcpy_d2h(p, 4).unwrap(), b"abcd");
+    }
+}

@@ -1,0 +1,479 @@
+//! Mini-cuBLAS host API.
+//!
+//! Each public function issues the same *implicit* CUDA runtime/driver
+//! calls the paper measured for the real library (Table 6):
+//! `cublasCreate` performs 3 `cudaMalloc` + 18 `cudaEventCreateWithFlags` +
+//! 2 `cudaFree`; `cublasIsamax` performs 1 launch, 1 memcpy, 1 event
+//! record, and 2 stream-capture probes; and so on. Wrap the runtime in
+//! `cuda_rt::CallRecorder` to observe them.
+
+use crate::fatbins;
+use cuda_rt::{ArgPack, CudaApi, CudaResult, DevicePtr, EventHandle, Stream};
+use gpu_sim::LaunchConfig;
+
+/// Grid geometry for 1-D elementwise kernels.
+fn linear_cfg(n: u32) -> LaunchConfig {
+    let threads = 128;
+    let blocks = n.div_ceil(threads).clamp(1, 64);
+    LaunchConfig::linear(blocks, threads)
+}
+
+/// Grid geometry for the tiled GEMM kernels (16×16 tiles).
+pub fn gemm_cfg(m: u32, n: u32) -> LaunchConfig {
+    LaunchConfig {
+        grid: (n.div_ceil(16).max(1), m.div_ceil(16).max(1), 1),
+        block: (16, 16, 1),
+    }
+}
+
+/// A cuBLAS handle: owns the library workspace on the device.
+#[derive(Debug)]
+pub struct CublasHandle {
+    workspace: DevicePtr,
+    events: Vec<EventHandle>,
+    stream: Stream,
+}
+
+impl CublasHandle {
+    /// `cublasCreate`: registers the library fatbin and allocates the
+    /// workspace, issuing the implicit-call pattern of Table 6
+    /// (3×`cudaMalloc`, 18×`cudaEventCreateWithFlags`, 2×`cudaFree`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation / module-load failures.
+    pub fn create(api: &mut dyn CudaApi) -> CudaResult<Self> {
+        api.register_fatbin(fatbins::cublas_fatbin())?;
+        // 3 allocations: workspace + two staging buffers...
+        let workspace = api.cuda_malloc(64 * 1024)?;
+        let staging_a = api.cuda_malloc(16 * 1024)?;
+        let staging_b = api.cuda_malloc(16 * 1024)?;
+        // 18 internal timing/synchronization events...
+        let mut events = Vec::with_capacity(18);
+        for _ in 0..18 {
+            events.push(api.cuda_event_create_with_flags(0x2)?);
+        }
+        // ...and the two staging buffers are released again at init end.
+        api.cuda_free(staging_a)?;
+        api.cuda_free(staging_b)?;
+        Ok(CublasHandle {
+            workspace,
+            events,
+            stream: Stream::DEFAULT,
+        })
+    }
+
+    /// Destroy the handle, releasing the workspace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `cudaFree` failures.
+    pub fn destroy(self, api: &mut dyn CudaApi) -> CudaResult<()> {
+        api.cuda_free(self.workspace)
+    }
+
+    /// The device workspace pointer (the reduction kernels' scratch).
+    pub fn workspace(&self) -> DevicePtr {
+        self.workspace
+    }
+
+    fn record_internal_event(&self, api: &mut dyn CudaApi) -> CudaResult<()> {
+        if let Some(e) = self.events.first() {
+            api.cuda_event_record(*e, self.stream)?;
+        }
+        Ok(())
+    }
+}
+
+/// `cublasSscal`: `x *= alpha`.
+///
+/// # Errors
+/// Propagates launch failures.
+pub fn cublas_sscal(
+    api: &mut dyn CudaApi,
+    _h: &CublasHandle,
+    n: u32,
+    alpha: f32,
+    x: DevicePtr,
+) -> CudaResult<()> {
+    let args = ArgPack::new().ptr(x).ptr(x).u32(n).f32(alpha).finish();
+    api.cuda_launch_kernel("scal", linear_cfg(n), &args, Stream::DEFAULT)
+}
+
+/// `cublasSaxpy`: `y += alpha * x`.
+///
+/// # Errors
+/// Propagates launch failures.
+pub fn cublas_saxpy(
+    api: &mut dyn CudaApi,
+    _h: &CublasHandle,
+    n: u32,
+    alpha: f32,
+    x: DevicePtr,
+    y: DevicePtr,
+) -> CudaResult<()> {
+    let args = ArgPack::new().ptr(x).ptr(y).ptr(y).u32(n).f32(alpha).finish();
+    api.cuda_launch_kernel("axpy", linear_cfg(n), &args, Stream::DEFAULT)
+}
+
+/// `cublasIsamax`: index-of-max-magnitude. Reproduces Table 6's implicit
+/// pattern: 1 `cudaLaunchKernel`, 1 `cudaMemcpy`, 1 `cudaEventRecord`,
+/// 2 `cudaStreamGetCaptureInfo`.
+///
+/// # Errors
+/// Propagates launch/copy failures.
+pub fn cublas_isamax(
+    api: &mut dyn CudaApi,
+    h: &CublasHandle,
+    n: u32,
+    x: DevicePtr,
+) -> CudaResult<f32> {
+    api.cuda_stream_get_capture_info(Stream::DEFAULT)?;
+    api.cuda_memset(h.workspace, 0, 4)?; // zero the reduction cell
+    let args = ArgPack::new().ptr(x).ptr(h.workspace).u32(n).finish();
+    api.cuda_launch_kernel("isamax", linear_cfg(n), &args, Stream::DEFAULT)?;
+    h.record_internal_event(api)?;
+    api.cuda_stream_get_capture_info(Stream::DEFAULT)?;
+    let bytes = api.cuda_memcpy_d2h(h.workspace, 4)?;
+    Ok(f32::from_bits(u32::from_le_bytes(
+        bytes[..4].try_into().expect("4-byte result"),
+    )))
+}
+
+/// `cublasIdamax` — double-precision sibling of [`cublas_isamax`] (operates
+/// on f32 data in this mini library, matching the kernel set).
+///
+/// # Errors
+/// Propagates launch/copy failures.
+pub fn cublas_idamax(
+    api: &mut dyn CudaApi,
+    h: &CublasHandle,
+    n: u32,
+    x: DevicePtr,
+) -> CudaResult<f32> {
+    api.cuda_stream_get_capture_info(Stream::DEFAULT)?;
+    api.cuda_memset(h.workspace, 0, 4)?;
+    let args = ArgPack::new().ptr(x).ptr(h.workspace).u32(n).finish();
+    api.cuda_launch_kernel("idamax", linear_cfg(n), &args, Stream::DEFAULT)?;
+    h.record_internal_event(api)?;
+    api.cuda_stream_get_capture_info(Stream::DEFAULT)?;
+    let bytes = api.cuda_memcpy_d2h(h.workspace, 4)?;
+    Ok(f32::from_bits(u32::from_le_bytes(
+        bytes[..4].try_into().expect("4-byte result"),
+    )))
+}
+
+/// `cublasSdot` / `cublasDdot`: dot product. Table 6's `cublasDdot`
+/// pattern: 2 `cudaLaunchKernel` (zero-fill + reduction), 1 `cudaMemcpy`,
+/// 1 `cudaEventRecord`, 2 `cudaStreamGetCaptureInfo`.
+///
+/// # Errors
+/// Propagates launch/copy failures.
+pub fn cublas_ddot(
+    api: &mut dyn CudaApi,
+    h: &CublasHandle,
+    n: u32,
+    x: DevicePtr,
+    y: DevicePtr,
+) -> CudaResult<f32> {
+    api.cuda_stream_get_capture_info(Stream::DEFAULT)?;
+    // Zero the accumulator with a scale-by-zero pass (launch #1).
+    let zero_args = ArgPack::new()
+        .ptr(h.workspace)
+        .ptr(h.workspace)
+        .u32(1)
+        .f32(0.0)
+        .finish();
+    api.cuda_launch_kernel("scal", LaunchConfig::linear(1, 32), &zero_args, Stream::DEFAULT)?;
+    // Reduction (launch #2).
+    let args = ArgPack::new()
+        .ptr(x)
+        .ptr(y)
+        .ptr(h.workspace)
+        .u32(n)
+        .finish();
+    api.cuda_launch_kernel("dot", linear_cfg(n), &args, Stream::DEFAULT)?;
+    h.record_internal_event(api)?;
+    api.cuda_stream_get_capture_info(Stream::DEFAULT)?;
+    let bytes = api.cuda_memcpy_d2h(h.workspace, 4)?;
+    Ok(f32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")))
+}
+
+/// `cublasSasum`: sum of absolute values (reduction into the workspace).
+///
+/// # Errors
+/// Propagates launch/copy failures.
+pub fn cublas_sasum(
+    api: &mut dyn CudaApi,
+    h: &CublasHandle,
+    n: u32,
+    x: DevicePtr,
+) -> CudaResult<f32> {
+    api.cuda_memset(h.workspace, 0, 4)?;
+    let args = ArgPack::new().ptr(x).ptr(h.workspace).u32(n).finish();
+    api.cuda_launch_kernel("asum", linear_cfg(n), &args, Stream::DEFAULT)?;
+    let bytes = api.cuda_memcpy_d2h(h.workspace, 4)?;
+    Ok(f32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")))
+}
+
+/// `cublasSgemm` (row-major): `C = alpha*A·B + beta*C`.
+/// `variant` selects among the library's gemm kernels (`sgemm_1`..`_3`),
+/// like cuBLAS's shape-based kernel choice.
+///
+/// # Errors
+/// Propagates launch failures.
+#[allow(clippy::too_many_arguments)]
+pub fn cublas_sgemm(
+    api: &mut dyn CudaApi,
+    _h: &CublasHandle,
+    variant: u8,
+    m: u32,
+    n: u32,
+    kk: u32,
+    alpha: f32,
+    a: DevicePtr,
+    b: DevicePtr,
+    beta: f32,
+    c: DevicePtr,
+) -> CudaResult<()> {
+    let kernel = match variant {
+        0 => "sgemm_1",
+        1 => "sgemm_2",
+        2 => "sgemm_3",
+        _ => "gemmk1",
+    };
+    let args = ArgPack::new()
+        .ptr(a)
+        .ptr(b)
+        .ptr(c)
+        .u32(m)
+        .u32(n)
+        .u32(kk)
+        .f32(alpha)
+        .f32(beta)
+        .finish();
+    api.cuda_launch_kernel(kernel, gemm_cfg(m, n), &args, Stream::DEFAULT)
+}
+
+/// `cublasSgemv`: `y = alpha*op(A)x + beta*y`.
+///
+/// # Errors
+/// Propagates launch failures.
+#[allow(clippy::too_many_arguments)]
+pub fn cublas_sgemv(
+    api: &mut dyn CudaApi,
+    _h: &CublasHandle,
+    trans: bool,
+    rows: u32,
+    cols: u32,
+    alpha: f32,
+    a: DevicePtr,
+    x: DevicePtr,
+    beta: f32,
+    y: DevicePtr,
+) -> CudaResult<()> {
+    let kernel = if trans { "gemv2T" } else { "gemvnsp_1" };
+    let args = ArgPack::new()
+        .ptr(a)
+        .ptr(x)
+        .ptr(y)
+        .u32(rows)
+        .u32(cols)
+        .f32(alpha)
+        .f32(beta)
+        .finish();
+    api.cuda_launch_kernel(kernel, linear_cfg(rows), &args, Stream::DEFAULT)
+}
+
+/// Launch one of the level-2/level-3 sample kernels by its Figure 12 name,
+/// with a standard small workload. Used by the library-coverage benchmark.
+///
+/// # Errors
+/// Propagates launch failures; unknown names yield
+/// `CudaError::InvalidDeviceFunction`.
+pub fn launch_sample_kernel(
+    api: &mut dyn CudaApi,
+    name: &str,
+    bufs: &[DevicePtr; 4],
+    n: u32,
+) -> CudaResult<()> {
+    let [a, b, c, d] = *bufs;
+    let args = match name {
+        // triangular solves: (a, b, n) single worker
+        "trsv" | "tbsv" | "tpsv" | "trsm" | "trsmB" => {
+            let args = ArgPack::new().ptr(a).ptr(b).u32(n).finish();
+            return api.cuda_launch_kernel(name, LaunchConfig::linear(1, 32), &args, Stream::DEFAULT);
+        }
+        // packed walks: (ap, x, y, n, alpha)
+        "spmv" | "tpmv" | "trmv" | "spr" | "hpr" | "hpr2" => ArgPack::new()
+            .ptr(a)
+            .ptr(b)
+            .ptr(c)
+            .u32(n)
+            .f32(1.0)
+            .finish(),
+        // banded: (ab, x, y, n, band, alpha)
+        "sbmv" | "tbmv" => ArgPack::new()
+            .ptr(a)
+            .ptr(b)
+            .ptr(c)
+            .u32(n)
+            .u32(2)
+            .f32(1.0)
+            .finish(),
+        // rank updates: (a, x, y, n, alpha)
+        "syr" | "syr2" => ArgPack::new()
+            .ptr(a)
+            .ptr(b)
+            .ptr(c)
+            .u32(n.min(64))
+            .f32(0.5)
+            .finish(),
+        // dense mv: (a, x, y, rows, cols, alpha, beta)
+        "symv" => ArgPack::new()
+            .ptr(a)
+            .ptr(b)
+            .ptr(c)
+            .u32(n.min(128))
+            .u32(n.min(128))
+            .f32(1.0)
+            .f32(0.0)
+            .finish(),
+        // gemm family: (a, b, c, m, n, k, alpha, beta)
+        "symm" | "syrk" | "syr2k" | "syrkx" | "trmm" => {
+            let d_ = n.min(64);
+            let args = ArgPack::new()
+                .ptr(a)
+                .ptr(b)
+                .ptr(c)
+                .u32(d_)
+                .u32(d_)
+                .u32(d_)
+                .f32(1.0)
+                .f32(0.0)
+                .finish();
+            return api.cuda_launch_kernel(name, gemm_cfg(d_, d_), &args, Stream::DEFAULT);
+        }
+        // rotations
+        "rot" | "rotm" => ArgPack::new().ptr(a).ptr(b).u32(n).f32(0.8).f32(0.6).finish(),
+        "rotg" | "rotmg" => {
+            let args = ArgPack::new().ptr(a).ptr(b).ptr(c).finish();
+            return api.cuda_launch_kernel(name, LaunchConfig::linear(1, 32), &args, Stream::DEFAULT);
+        }
+        // reductions: (x, out, n) / (x, y, out, n)
+        "nrm2" => ArgPack::new().ptr(a).ptr(d).u32(n).finish(),
+        _ => return Err(cuda_rt::CudaError::InvalidDeviceFunction(name.into())),
+    };
+    api.cuda_launch_kernel(name, linear_cfg(n), &args, Stream::DEFAULT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda_rt::{share_device, CallRecorder, NativeRuntime};
+    use gpu_sim::spec::test_gpu;
+    use gpu_sim::Device;
+
+    fn recorded() -> CallRecorder<NativeRuntime> {
+        let dev = share_device(Device::new(test_gpu()));
+        CallRecorder::new(NativeRuntime::new(dev).unwrap())
+    }
+
+    #[test]
+    fn cublas_create_matches_table6_pattern() {
+        let mut api = recorded();
+        api.reset();
+        let _h = CublasHandle::create(&mut api).unwrap();
+        // Table 6: cudaMalloc: 3, cudaEventCreateWithFlags: 18, cudaFree: 2.
+        assert_eq!(api.count("cudaMalloc"), 3);
+        assert_eq!(api.count("cudaEventCreateWithFlags"), 18);
+        assert_eq!(api.count("cudaFree"), 2);
+    }
+
+    #[test]
+    fn isamax_matches_table6_pattern() {
+        let mut api = recorded();
+        let h = CublasHandle::create(&mut api).unwrap();
+        let x = api.cuda_malloc(1024).unwrap();
+        let data: Vec<u8> = (0..256).flat_map(|i| ((i as f32) - 100.0).to_le_bytes()).collect();
+        api.cuda_memcpy_h2d(x, &data).unwrap();
+        api.reset();
+        let max = cublas_isamax(&mut api, &h, 256, x).unwrap();
+        // Table 6: cudaLaunchKernel 1, cudaMemcpy 1, cudaEventRecord 1,
+        // cudaStreamGetCaptureInfo 2.
+        assert_eq!(api.count("cudaLaunchKernel"), 1);
+        assert_eq!(api.count("cudaMemcpy"), 1);
+        assert_eq!(api.count("cudaEventRecord"), 1);
+        assert_eq!(api.count("cudaStreamGetCaptureInfo"), 2);
+        // |max| over -100..155 is 155.
+        assert_eq!(max, 155.0);
+    }
+
+    #[test]
+    fn ddot_matches_table6_pattern_and_value() {
+        let mut api = recorded();
+        let h = CublasHandle::create(&mut api).unwrap();
+        let n = 128u32;
+        let x = api.cuda_malloc(4 * n as u64).unwrap();
+        let y = api.cuda_malloc(4 * n as u64).unwrap();
+        let ones: Vec<u8> = (0..n).flat_map(|_| 1.0f32.to_le_bytes()).collect();
+        let twos: Vec<u8> = (0..n).flat_map(|_| 2.0f32.to_le_bytes()).collect();
+        api.cuda_memcpy_h2d(x, &ones).unwrap();
+        api.cuda_memcpy_h2d(y, &twos).unwrap();
+        api.reset();
+        let d = cublas_ddot(&mut api, &h, n, x, y).unwrap();
+        assert_eq!(api.count("cudaLaunchKernel"), 2);
+        assert_eq!(api.count("cudaMemcpy"), 1);
+        assert_eq!(api.count("cudaEventRecord"), 1);
+        assert_eq!(api.count("cudaStreamGetCaptureInfo"), 2);
+        assert_eq!(d, 256.0);
+    }
+
+    #[test]
+    fn sgemm_computes_correct_product() {
+        let mut api = recorded();
+        let h = CublasHandle::create(&mut api).unwrap();
+        // 3x2 * 2x4 = 3x4 identity-ish check with small values.
+        let (m, n, kk) = (3u32, 4u32, 2u32);
+        let a_host: Vec<f32> = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 3x2
+        let b_host: Vec<f32> = (0..8).map(|i| i as f32).collect(); // 2x4
+        let a = api.cuda_malloc(4 * 6).unwrap();
+        let b = api.cuda_malloc(4 * 8).unwrap();
+        let c = api.cuda_malloc(4 * 12).unwrap();
+        api.cuda_memcpy_h2d(a, &a_host.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<_>>())
+            .unwrap();
+        api.cuda_memcpy_h2d(b, &b_host.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<_>>())
+            .unwrap();
+        api.cuda_memset(c, 0, 4 * 12).unwrap();
+        cublas_sgemm(&mut api, &h, 0, m, n, kk, 1.0, a, b, 0.0, c).unwrap();
+        api.cuda_device_synchronize().unwrap();
+        let out = api.cuda_memcpy_d2h(c, 4 * 12).unwrap();
+        let c_host: Vec<f32> = out
+            .chunks(4)
+            .map(|ch| f32::from_le_bytes(ch.try_into().unwrap()))
+            .collect();
+        // Row 0: [1,2] * B = [1*0+2*4, 1*1+2*5, 1*2+2*6, 1*3+2*7]
+        assert_eq!(&c_host[0..4], &[8.0, 11.0, 14.0, 17.0]);
+        // Row 2: [5,6]
+        assert_eq!(&c_host[8..12], &[24.0, 35.0, 46.0, 57.0]);
+    }
+
+    #[test]
+    fn saxpy_and_scal_work() {
+        let mut api = recorded();
+        let h = CublasHandle::create(&mut api).unwrap();
+        let n = 64u32;
+        let x = api.cuda_malloc(4 * n as u64).unwrap();
+        let y = api.cuda_malloc(4 * n as u64).unwrap();
+        let ones: Vec<u8> = (0..n).flat_map(|_| 1.0f32.to_le_bytes()).collect();
+        api.cuda_memcpy_h2d(x, &ones).unwrap();
+        api.cuda_memcpy_h2d(y, &ones).unwrap();
+        cublas_sscal(&mut api, &h, n, 3.0, x).unwrap(); // x = 3
+        cublas_saxpy(&mut api, &h, n, 2.0, x, y).unwrap(); // y = 1 + 2*3 = 7
+        api.cuda_device_synchronize().unwrap();
+        let out = api.cuda_memcpy_d2h(y, 4).unwrap();
+        assert_eq!(f32::from_le_bytes(out[..4].try_into().unwrap()), 7.0);
+        let s = cublas_sasum(&mut api, &h, n, y).unwrap();
+        assert_eq!(s, 7.0 * n as f32);
+    }
+}

@@ -1,0 +1,458 @@
+//! Mini-cuDNN host API: convolution (im2col + GEMM), pooling, activations,
+//! softmax, and the loss/accuracy kernels the mini frameworks use.
+
+use crate::fatbins;
+use cuda_rt::{ArgPack, CudaApi, CudaResult, DevicePtr, Stream};
+use gpu_sim::LaunchConfig;
+
+fn linear_cfg(n: u32) -> LaunchConfig {
+    let threads = 128;
+    LaunchConfig::linear(n.div_ceil(threads).clamp(1, 64), threads)
+}
+
+/// A cuDNN handle (registers the kernel fatbin).
+#[derive(Debug)]
+pub struct CudnnHandle {
+    _priv: (),
+}
+
+impl CudnnHandle {
+    /// `cudnnCreate`.
+    ///
+    /// # Errors
+    /// Propagates module-load failures.
+    pub fn create(api: &mut dyn CudaApi) -> CudaResult<Self> {
+        api.register_fatbin(fatbins::cudnn_fatbin())?;
+        Ok(CudnnHandle { _priv: () })
+    }
+}
+
+/// Square-geometry convolution descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvDesc {
+    /// Input channels.
+    pub channels: u32,
+    /// Input spatial edge.
+    pub width: u32,
+    /// Kernel edge.
+    pub ksize: u32,
+    /// Stride.
+    pub stride: u32,
+}
+
+impl ConvDesc {
+    /// Output spatial edge.
+    pub fn wout(&self) -> u32 {
+        (self.width - self.ksize) / self.stride + 1
+    }
+
+    /// Rows of the unfolded column matrix (`channels * ksize^2`).
+    pub fn col_rows(&self) -> u32 {
+        self.channels * self.ksize * self.ksize
+    }
+
+    /// Columns of the unfolded column matrix (`wout^2`).
+    pub fn col_cols(&self) -> u32 {
+        self.wout() * self.wout()
+    }
+}
+
+/// `im2col`: unfold one image into the column buffer.
+///
+/// # Errors
+/// Propagates launch failures.
+pub fn im2col(
+    api: &mut dyn CudaApi,
+    d: ConvDesc,
+    im: DevicePtr,
+    col: DevicePtr,
+) -> CudaResult<()> {
+    let n = d.col_rows() * d.col_cols();
+    let args = ArgPack::new()
+        .ptr(im)
+        .ptr(col)
+        .u32(n)
+        .u32(d.width)
+        .u32(d.ksize)
+        .u32(d.stride)
+        .u32(d.wout())
+        .finish();
+    api.cuda_launch_kernel("im2col", linear_cfg(n), &args, Stream::DEFAULT)
+}
+
+/// `col2im`: fold gradients back into image space (accumulating).
+///
+/// # Errors
+/// Propagates launch failures.
+pub fn col2im(
+    api: &mut dyn CudaApi,
+    d: ConvDesc,
+    col: DevicePtr,
+    im: DevicePtr,
+) -> CudaResult<()> {
+    let n = d.col_rows() * d.col_cols();
+    let args = ArgPack::new()
+        .ptr(col)
+        .ptr(im)
+        .u32(n)
+        .u32(d.width)
+        .u32(d.ksize)
+        .u32(d.stride)
+        .u32(d.wout())
+        .finish();
+    api.cuda_launch_kernel("col2im", linear_cfg(n), &args, Stream::DEFAULT)
+}
+
+/// Max-pooling forward over square windows.
+///
+/// # Errors
+/// Propagates launch failures.
+#[allow(clippy::too_many_arguments)]
+pub fn maxpool_forward(
+    api: &mut dyn CudaApi,
+    bottom: DevicePtr,
+    top: DevicePtr,
+    channels: u32,
+    width: u32,
+    psize: u32,
+    stride: u32,
+) -> CudaResult<u32> {
+    let wout = (width - psize) / stride + 1;
+    let n = channels * wout * wout;
+    let args = ArgPack::new()
+        .ptr(bottom)
+        .ptr(top)
+        .u32(n)
+        .u32(width)
+        .u32(psize)
+        .u32(stride)
+        .u32(wout)
+        .finish();
+    api.cuda_launch_kernel("maxpoolfw", linear_cfg(n), &args, Stream::DEFAULT)?;
+    Ok(wout)
+}
+
+/// Max-pooling backward (routes gradients to window argmax).
+///
+/// # Errors
+/// Propagates launch failures.
+#[allow(clippy::too_many_arguments)]
+pub fn maxpool_backward(
+    api: &mut dyn CudaApi,
+    top_diff: DevicePtr,
+    bottom: DevicePtr,
+    top: DevicePtr,
+    bottom_diff: DevicePtr,
+    channels: u32,
+    width: u32,
+    psize: u32,
+    stride: u32,
+) -> CudaResult<()> {
+    let wout = (width - psize) / stride + 1;
+    let n = channels * wout * wout;
+    let args = ArgPack::new()
+        .ptr(top_diff)
+        .ptr(bottom)
+        .ptr(top)
+        .ptr(bottom_diff)
+        .u32(n)
+        .u32(width)
+        .u32(psize)
+        .u32(stride)
+        .u32(wout)
+        .finish();
+    api.cuda_launch_kernel("maxpoolbw_1", linear_cfg(n), &args, Stream::DEFAULT)
+}
+
+/// An element-wise activation / update kernel by name (`relufw`,
+/// `tanhfw`, `sigmoidfw`, `exp`, ...). One input, one output.
+///
+/// # Errors
+/// Propagates launch failures.
+pub fn activation(
+    api: &mut dyn CudaApi,
+    kernel: &str,
+    input: DevicePtr,
+    output: DevicePtr,
+    n: u32,
+) -> CudaResult<()> {
+    let args = ArgPack::new().ptr(input).ptr(output).u32(n).finish();
+    api.cuda_launch_kernel(kernel, linear_cfg(n), &args, Stream::DEFAULT)
+}
+
+/// A two-input element-wise kernel (`relubw`, `tanhbw`, `addbias`,
+/// `eltwise_add`, `eltwise_mul`).
+///
+/// # Errors
+/// Propagates launch failures.
+pub fn elementwise2(
+    api: &mut dyn CudaApi,
+    kernel: &str,
+    in0: DevicePtr,
+    in1: DevicePtr,
+    out: DevicePtr,
+    n: u32,
+) -> CudaResult<()> {
+    let args = ArgPack::new().ptr(in0).ptr(in1).ptr(out).u32(n).finish();
+    api.cuda_launch_kernel(kernel, linear_cfg(n), &args, Stream::DEFAULT)
+}
+
+/// SGD update: `w -= lr * grad`.
+///
+/// # Errors
+/// Propagates launch failures.
+pub fn sgd_update(
+    api: &mut dyn CudaApi,
+    w: DevicePtr,
+    grad: DevicePtr,
+    n: u32,
+    lr: f32,
+) -> CudaResult<()> {
+    let args = ArgPack::new().ptr(w).ptr(grad).ptr(w).u32(n).f32(lr).finish();
+    api.cuda_launch_kernel("sgdupdate", linear_cfg(n), &args, Stream::DEFAULT)
+}
+
+/// Softmax over `(num, classes)` logits in place: the four channel kernels
+/// plus `exp`, exactly the Figure 10 kernel sequence
+/// (`channel_max` → `channel_subtract` → `exp` → `channel_sum` →
+/// `channel_div`).
+///
+/// `scratch` must hold `num` f32 values.
+///
+/// # Errors
+/// Propagates launch failures.
+pub fn softmax_forward(
+    api: &mut dyn CudaApi,
+    data: DevicePtr,
+    scratch: DevicePtr,
+    num: u32,
+    classes: u32,
+) -> CudaResult<()> {
+    let ch = |api: &mut dyn CudaApi, kernel: &str| -> CudaResult<()> {
+        let args = ArgPack::new()
+            .ptr(data)
+            .ptr(scratch)
+            .u32(num)
+            .u32(classes)
+            .finish();
+        api.cuda_launch_kernel(kernel, linear_cfg(num), &args, Stream::DEFAULT)
+    };
+    ch(api, "channel_max")?;
+    ch(api, "channel_subtract")?;
+    let n = num * classes;
+    activation(api, "exp", data, data, n)?;
+    ch(api, "channel_sum")?;
+    ch(api, "channel_div")
+}
+
+/// Softmax-loss forward: mean negative log-likelihood into `loss` (one
+/// f32, pre-zeroed).
+///
+/// # Errors
+/// Propagates launch failures.
+pub fn softmaxloss_forward(
+    api: &mut dyn CudaApi,
+    prob: DevicePtr,
+    label: DevicePtr,
+    loss: DevicePtr,
+    num: u32,
+    classes: u32,
+) -> CudaResult<()> {
+    let args = ArgPack::new()
+        .ptr(prob)
+        .ptr(label)
+        .ptr(loss)
+        .u32(num)
+        .u32(classes)
+        .finish();
+    api.cuda_launch_kernel("softmaxlossfw", linear_cfg(num), &args, Stream::DEFAULT)
+}
+
+/// Softmax-loss backward: `diff = (prob - onehot(label)) / num`.
+///
+/// # Errors
+/// Propagates launch failures.
+pub fn softmaxloss_backward(
+    api: &mut dyn CudaApi,
+    prob: DevicePtr,
+    label: DevicePtr,
+    diff: DevicePtr,
+    num: u32,
+    classes: u32,
+) -> CudaResult<()> {
+    let args = ArgPack::new()
+        .ptr(prob)
+        .ptr(label)
+        .ptr(diff)
+        .u32(num)
+        .u32(classes)
+        .finish();
+    api.cuda_launch_kernel(
+        "softmaxlossbw",
+        linear_cfg(num * classes),
+        &args,
+        Stream::DEFAULT,
+    )
+}
+
+/// Accuracy: count correct argmax predictions into `correct` (one u32,
+/// pre-zeroed).
+///
+/// # Errors
+/// Propagates launch failures.
+pub fn accuracy_forward(
+    api: &mut dyn CudaApi,
+    prob: DevicePtr,
+    label: DevicePtr,
+    correct: DevicePtr,
+    num: u32,
+    classes: u32,
+) -> CudaResult<()> {
+    let args = ArgPack::new()
+        .ptr(prob)
+        .ptr(label)
+        .ptr(correct)
+        .u32(num)
+        .u32(classes)
+        .finish();
+    api.cuda_launch_kernel("accuracyfw", linear_cfg(num), &args, Stream::DEFAULT)
+}
+
+/// Fill a buffer with a constant (`kernel_val` in Figure 10).
+///
+/// # Errors
+/// Propagates launch failures.
+pub fn fill(api: &mut dyn CudaApi, out: DevicePtr, n: u32, value: f32) -> CudaResult<()> {
+    let args = ArgPack::new().ptr(out).u32(n).f32(value).finish();
+    api.cuda_launch_kernel("kernel_val", linear_cfg(n), &args, Stream::DEFAULT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda_rt::{share_device, NativeRuntime};
+    use gpu_sim::spec::test_gpu;
+    use gpu_sim::Device;
+
+    fn api() -> NativeRuntime {
+        let dev = share_device(Device::new(test_gpu()));
+        NativeRuntime::new(dev).unwrap()
+    }
+
+    fn upload_f32(api: &mut dyn CudaApi, data: &[f32]) -> DevicePtr {
+        let p = api.cuda_malloc(4 * data.len() as u64).unwrap();
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        api.cuda_memcpy_h2d(p, &bytes).unwrap();
+        p
+    }
+
+    fn download_f32(api: &mut dyn CudaApi, p: DevicePtr, n: usize) -> Vec<f32> {
+        api.cuda_device_synchronize().unwrap();
+        api.cuda_memcpy_d2h(p, 4 * n as u64)
+            .unwrap()
+            .chunks(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut api = api();
+        let _h = CudnnHandle::create(&mut api).unwrap();
+        let x = upload_f32(&mut api, &[-1.0, 2.0, -3.0, 4.0]);
+        let y = api.cuda_malloc(16).unwrap();
+        activation(&mut api, "relufw", x, y, 4).unwrap();
+        assert_eq!(download_f32(&mut api, y, 4), vec![0.0, 2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn im2col_unfolds_3x3_with_2x2_kernel() {
+        let mut api = api();
+        let _h = CudnnHandle::create(&mut api).unwrap();
+        // 1 channel, 3x3 image, 2x2 kernel, stride 1 -> wout=2, col 4x4.
+        let d = ConvDesc {
+            channels: 1,
+            width: 3,
+            ksize: 2,
+            stride: 1,
+        };
+        let im = upload_f32(&mut api, &(1..=9).map(|v| v as f32).collect::<Vec<_>>());
+        let col = api.cuda_malloc(4 * 16).unwrap();
+        im2col(&mut api, d, im, col).unwrap();
+        let out = download_f32(&mut api, col, 16);
+        // Patch rows: (ky,kx)=(0,0): [1,2,4,5]; (0,1): [2,3,5,6];
+        // (1,0): [4,5,7,8]; (1,1): [5,6,8,9].
+        assert_eq!(&out[0..4], &[1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(&out[4..8], &[2.0, 3.0, 5.0, 6.0]);
+        assert_eq!(&out[8..12], &[4.0, 5.0, 7.0, 8.0]);
+        assert_eq!(&out[12..16], &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn maxpool_2x2_picks_maxima() {
+        let mut api = api();
+        let _h = CudnnHandle::create(&mut api).unwrap();
+        // 4x4 single channel, 2x2 pool stride 2.
+        #[rustfmt::skip]
+        let img = [
+            1.0, 2.0,   3.0, 4.0,
+            5.0, 6.0,   7.0, 8.0,
+
+            9.0, 10.0,  11.0, 12.0,
+            13.0, 14.0, 15.0, 16.0,
+        ];
+        let bottom = upload_f32(&mut api, &img);
+        let top = api.cuda_malloc(16).unwrap();
+        let wout = maxpool_forward(&mut api, bottom, top, 1, 4, 2, 2).unwrap();
+        assert_eq!(wout, 2);
+        assert_eq!(download_f32(&mut api, top, 4), vec![6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn softmax_produces_distribution() {
+        let mut api = api();
+        let _h = CudnnHandle::create(&mut api).unwrap();
+        let logits = upload_f32(&mut api, &[1.0, 2.0, 3.0, 1.0, 1.0, 1.0]);
+        let scratch = api.cuda_malloc(8).unwrap();
+        softmax_forward(&mut api, logits, scratch, 2, 3).unwrap();
+        let out = download_f32(&mut api, logits, 6);
+        // Rows sum to 1.
+        let s0: f32 = out[0..3].iter().sum();
+        let s1: f32 = out[3..6].iter().sum();
+        assert!((s0 - 1.0).abs() < 1e-4, "{out:?}");
+        assert!((s1 - 1.0).abs() < 1e-4);
+        // Uniform logits -> uniform probs.
+        assert!((out[3] - 1.0 / 3.0).abs() < 1e-4);
+        // Monotone in logits.
+        assert!(out[2] > out[1] && out[1] > out[0]);
+    }
+
+    #[test]
+    fn accuracy_counts_correct_predictions() {
+        let mut api = api();
+        let _h = CudnnHandle::create(&mut api).unwrap();
+        // Two samples, 3 classes: argmax = [2, 0]; labels = [2, 1].
+        let prob = upload_f32(&mut api, &[0.1, 0.2, 0.7, 0.8, 0.1, 0.1]);
+        let labels = api.cuda_malloc(8).unwrap();
+        api.cuda_memcpy_h2d(labels, &[2u32.to_le_bytes(), 1u32.to_le_bytes()].concat())
+            .unwrap();
+        let correct = api.cuda_malloc(4).unwrap();
+        api.cuda_memset(correct, 0, 4).unwrap();
+        accuracy_forward(&mut api, prob, labels, correct, 2, 3).unwrap();
+        api.cuda_device_synchronize().unwrap();
+        let c = api.cuda_memcpy_d2h(correct, 4).unwrap();
+        assert_eq!(u32::from_le_bytes(c.try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn sgd_update_moves_weights() {
+        let mut api = api();
+        let _h = CudnnHandle::create(&mut api).unwrap();
+        let w = upload_f32(&mut api, &[1.0, 1.0]);
+        let g = upload_f32(&mut api, &[0.5, -0.5]);
+        sgd_update(&mut api, w, g, 2, 0.1).unwrap();
+        let out = download_f32(&mut api, w, 2);
+        assert!((out[0] - 0.95).abs() < 1e-6);
+        assert!((out[1] - 1.05).abs() < 1e-6);
+    }
+}

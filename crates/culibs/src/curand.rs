@@ -1,0 +1,122 @@
+//! Mini-cuRAND host API.
+
+use crate::fatbins;
+use cuda_rt::{ArgPack, CudaApi, CudaResult, DevicePtr, Stream};
+use gpu_sim::LaunchConfig;
+
+/// A cuRAND generator.
+#[derive(Debug)]
+pub struct CurandGenerator {
+    seed: u32,
+    calls: u32,
+}
+
+impl CurandGenerator {
+    /// `curandCreateGenerator`.
+    ///
+    /// # Errors
+    /// Propagates module-load failures.
+    pub fn create(api: &mut dyn CudaApi, seed: u32) -> CudaResult<Self> {
+        api.register_fatbin(fatbins::curand_fatbin())?;
+        Ok(CurandGenerator { seed, calls: 0 })
+    }
+
+    fn next_seed(&mut self) -> u32 {
+        self.calls = self.calls.wrapping_add(1);
+        self.seed
+            .wrapping_mul(747_796_405)
+            .wrapping_add(self.calls.wrapping_mul(2_891_336_453))
+    }
+
+    /// `curandGenerateUniform`: fill `out` with `n` values in `[0, 1)`.
+    ///
+    /// # Errors
+    /// Propagates launch failures.
+    pub fn generate_uniform(
+        &mut self,
+        api: &mut dyn CudaApi,
+        out: DevicePtr,
+        n: u32,
+    ) -> CudaResult<()> {
+        let seed = self.next_seed();
+        let args = ArgPack::new().ptr(out).u32(n).u32(seed).finish();
+        let cfg = LaunchConfig::linear(n.div_ceil(128).clamp(1, 64), 128);
+        api.cuda_launch_kernel("curand_uniform", cfg, &args, Stream::DEFAULT)
+    }
+
+    /// `curandGenerateNormal`: fill `out` with `n` ~N(0,1) values.
+    ///
+    /// # Errors
+    /// Propagates launch failures.
+    pub fn generate_normal(
+        &mut self,
+        api: &mut dyn CudaApi,
+        out: DevicePtr,
+        n: u32,
+    ) -> CudaResult<()> {
+        let seed = self.next_seed();
+        let args = ArgPack::new().ptr(out).u32(n).u32(seed).finish();
+        let cfg = LaunchConfig::linear(n.div_ceil(128).clamp(1, 64), 128);
+        api.cuda_launch_kernel("curand_normal", cfg, &args, Stream::DEFAULT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda_rt::{share_device, NativeRuntime};
+    use gpu_sim::spec::test_gpu;
+    use gpu_sim::Device;
+
+    #[test]
+    fn uniform_values_are_in_range_and_varied() {
+        let dev = share_device(Device::new(test_gpu()));
+        let mut api = NativeRuntime::new(dev).unwrap();
+        let mut gen = CurandGenerator::create(&mut api, 42).unwrap();
+        let n = 1024u32;
+        let out = api.cuda_malloc(4 * n as u64).unwrap();
+        gen.generate_uniform(&mut api, out, n).unwrap();
+        api.cuda_device_synchronize().unwrap();
+        let vals: Vec<f32> = api
+            .cuda_memcpy_d2h(out, 4 * n as u64)
+            .unwrap()
+            .chunks(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert!(vals.iter().all(|v| (0.0..1.0).contains(v)));
+        let mean: f32 = vals.iter().sum::<f32>() / n as f32;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+        // Successive generations differ.
+        gen.generate_uniform(&mut api, out, n).unwrap();
+        api.cuda_device_synchronize().unwrap();
+        let vals2: Vec<f32> = api
+            .cuda_memcpy_d2h(out, 4 * n as u64)
+            .unwrap()
+            .chunks(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_ne!(vals, vals2);
+    }
+
+    #[test]
+    fn normal_values_have_roughly_unit_variance() {
+        let dev = share_device(Device::new(test_gpu()));
+        let mut api = NativeRuntime::new(dev).unwrap();
+        let mut gen = CurandGenerator::create(&mut api, 7).unwrap();
+        let n = 2048u32;
+        let out = api.cuda_malloc(4 * n as u64).unwrap();
+        gen.generate_normal(&mut api, out, n).unwrap();
+        api.cuda_device_synchronize().unwrap();
+        let vals: Vec<f32> = api
+            .cuda_memcpy_d2h(out, 4 * n as u64)
+            .unwrap()
+            .chunks(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let mean: f64 = vals.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+        let var: f64 =
+            vals.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.25, "var {var}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Mini-cuSPARSE host API. `cusparseAxpby` reproduces Table 6's implicit
+//! pattern (2 `cudaLaunchKernel`).
+
+use crate::fatbins;
+use cuda_rt::{ArgPack, CudaApi, CudaResult, DevicePtr, Stream};
+use gpu_sim::LaunchConfig;
+
+fn linear_cfg(n: u32) -> LaunchConfig {
+    let threads = 128;
+    LaunchConfig::linear(n.div_ceil(threads).clamp(1, 64), threads)
+}
+
+/// A cuSPARSE handle.
+#[derive(Debug)]
+pub struct CusparseHandle {
+    _priv: (),
+}
+
+impl CusparseHandle {
+    /// `cusparseCreate`.
+    ///
+    /// # Errors
+    /// Propagates module-load failures.
+    pub fn create(api: &mut dyn CudaApi) -> CudaResult<Self> {
+        api.register_fatbin(fatbins::cusparse_fatbin())?;
+        Ok(CusparseHandle { _priv: () })
+    }
+}
+
+/// A sparse vector in (values, indices) form on the device.
+#[derive(Debug, Clone, Copy)]
+pub struct SpVec {
+    /// Nonzero values (f32).
+    pub vals: DevicePtr,
+    /// Column indices (u32).
+    pub idx: DevicePtr,
+    /// Number of nonzeros.
+    pub nnz: u32,
+}
+
+/// A CSR matrix on the device.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrMat {
+    /// Row pointers (u32, rows+1 entries).
+    pub row_ptr: DevicePtr,
+    /// Column indices (u32).
+    pub col_idx: DevicePtr,
+    /// Nonzero values (f32).
+    pub vals: DevicePtr,
+    /// Number of rows.
+    pub rows: u32,
+}
+
+/// `cusparseAxpby`: `y = alpha*expand(x) + beta*y`. Table 6 pattern:
+/// exactly 2 `cudaLaunchKernel` (scatter the sparse values, then the
+/// dense axpby).
+///
+/// # Errors
+/// Propagates launch failures.
+pub fn cusparse_axpby(
+    api: &mut dyn CudaApi,
+    _h: &CusparseHandle,
+    alpha: f32,
+    x: SpVec,
+    beta: f32,
+    y: DevicePtr,
+    scratch_dense: DevicePtr,
+    n: u32,
+) -> CudaResult<()> {
+    // Launch 1: scatter x into the dense scratch.
+    let args = ArgPack::new()
+        .ptr(x.vals)
+        .ptr(x.idx)
+        .ptr(scratch_dense)
+        .u32(x.nnz)
+        .finish();
+    api.cuda_launch_kernel("scatter", linear_cfg(x.nnz), &args, Stream::DEFAULT)?;
+    // Launch 2: dense axpby.
+    let args = ArgPack::new()
+        .ptr(scratch_dense)
+        .ptr(y)
+        .ptr(y)
+        .u32(n)
+        .f32(alpha)
+        .f32(beta)
+        .finish();
+    api.cuda_launch_kernel("axpby", linear_cfg(n), &args, Stream::DEFAULT)
+}
+
+/// `cusparseSpMM` (CSR × dense): `C = A · B`.
+///
+/// # Errors
+/// Propagates launch failures.
+pub fn cusparse_spmm_csr(
+    api: &mut dyn CudaApi,
+    _h: &CusparseHandle,
+    a: CsrMat,
+    b: DevicePtr,
+    c: DevicePtr,
+    bcols: u32,
+) -> CudaResult<()> {
+    let total = a.rows * bcols;
+    let args = ArgPack::new()
+        .ptr(a.row_ptr)
+        .ptr(a.col_idx)
+        .ptr(a.vals)
+        .ptr(b)
+        .ptr(c)
+        .u32(a.rows)
+        .u32(bcols)
+        .finish();
+    api.cuda_launch_kernel("spmmcsr", linear_cfg(total), &args, Stream::DEFAULT)
+}
+
+/// `cusparseGather`: `out[i] = y[x.idx[i]]`.
+///
+/// # Errors
+/// Propagates launch failures.
+pub fn cusparse_gather(
+    api: &mut dyn CudaApi,
+    _h: &CusparseHandle,
+    y: DevicePtr,
+    x: SpVec,
+) -> CudaResult<()> {
+    let args = ArgPack::new().ptr(y).ptr(x.idx).ptr(x.vals).u32(x.nnz).finish();
+    api.cuda_launch_kernel("gather", linear_cfg(x.nnz), &args, Stream::DEFAULT)
+}
+
+/// `cusparseSpVV`: sparse-dense dot into `result` (one f32, pre-zeroed).
+///
+/// # Errors
+/// Propagates launch failures.
+pub fn cusparse_spvv(
+    api: &mut dyn CudaApi,
+    _h: &CusparseHandle,
+    x: SpVec,
+    y: DevicePtr,
+    result: DevicePtr,
+) -> CudaResult<()> {
+    let args = ArgPack::new()
+        .ptr(x.vals)
+        .ptr(x.idx)
+        .ptr(y)
+        .ptr(result)
+        .u32(x.nnz)
+        .finish();
+    api.cuda_launch_kernel("spvv", linear_cfg(x.nnz), &args, Stream::DEFAULT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda_rt::{share_device, CallRecorder, NativeRuntime};
+    use gpu_sim::spec::test_gpu;
+    use gpu_sim::Device;
+
+    fn api() -> CallRecorder<NativeRuntime> {
+        let dev = share_device(Device::new(test_gpu()));
+        CallRecorder::new(NativeRuntime::new(dev).unwrap())
+    }
+
+    fn upload_f32(api: &mut dyn CudaApi, data: &[f32]) -> DevicePtr {
+        let p = api.cuda_malloc(4 * data.len() as u64).unwrap();
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        api.cuda_memcpy_h2d(p, &bytes).unwrap();
+        p
+    }
+
+    fn upload_u32(api: &mut dyn CudaApi, data: &[u32]) -> DevicePtr {
+        let p = api.cuda_malloc(4 * data.len() as u64).unwrap();
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        api.cuda_memcpy_h2d(p, &bytes).unwrap();
+        p
+    }
+
+    fn download_f32(api: &mut dyn CudaApi, p: DevicePtr, n: usize) -> Vec<f32> {
+        api.cuda_device_synchronize().unwrap();
+        api.cuda_memcpy_d2h(p, 4 * n as u64)
+            .unwrap()
+            .chunks(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn axpby_matches_table6_two_launches() {
+        let mut api = api();
+        let h = CusparseHandle::create(&mut api).unwrap();
+        let n = 8u32;
+        let vals = upload_f32(&mut api, &[10.0, 20.0]);
+        let idx = upload_u32(&mut api, &[1, 5]);
+        let y = upload_f32(&mut api, &[1.0; 8]);
+        let scratch = api.cuda_malloc(4 * 8).unwrap();
+        api.cuda_memset(scratch, 0, 32).unwrap();
+        api.reset();
+        cusparse_axpby(
+            &mut api,
+            &h,
+            2.0,
+            SpVec { vals, idx, nnz: 2 },
+            1.0,
+            y,
+            scratch,
+            n,
+        )
+        .unwrap();
+        assert_eq!(api.count("cudaLaunchKernel"), 2);
+        let out = download_f32(&mut api, y, 8);
+        assert_eq!(out[1], 21.0); // 2*10 + 1
+        assert_eq!(out[5], 41.0); // 2*20 + 1
+        assert_eq!(out[0], 1.0);
+    }
+
+    #[test]
+    fn spmm_csr_multiplies() {
+        let mut api = api();
+        let h = CusparseHandle::create(&mut api).unwrap();
+        // A = [[1, 0], [0, 2]] in CSR; B = [[1, 2], [3, 4]].
+        let row_ptr = upload_u32(&mut api, &[0, 1, 2]);
+        let col_idx = upload_u32(&mut api, &[0, 1]);
+        let vals = upload_f32(&mut api, &[1.0, 2.0]);
+        let b = upload_f32(&mut api, &[1.0, 2.0, 3.0, 4.0]);
+        let c = api.cuda_malloc(16).unwrap();
+        cusparse_spmm_csr(
+            &mut api,
+            &h,
+            CsrMat {
+                row_ptr,
+                col_idx,
+                vals,
+                rows: 2,
+            },
+            b,
+            c,
+            2,
+        )
+        .unwrap();
+        let out = download_f32(&mut api, c, 4);
+        assert_eq!(out, vec![1.0, 2.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn spvv_dots_sparse_with_dense() {
+        let mut api = api();
+        let h = CusparseHandle::create(&mut api).unwrap();
+        let vals = upload_f32(&mut api, &[2.0, 3.0]);
+        let idx = upload_u32(&mut api, &[0, 3]);
+        let y = upload_f32(&mut api, &[5.0, 0.0, 0.0, 7.0]);
+        let result = api.cuda_malloc(4).unwrap();
+        api.cuda_memset(result, 0, 4).unwrap();
+        cusparse_spvv(&mut api, &h, SpVec { vals, idx, nnz: 2 }, y, result).unwrap();
+        let out = download_f32(&mut api, result, 1);
+        assert_eq!(out[0], 2.0 * 5.0 + 3.0 * 7.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Library fat binaries: every mini library ships its kernels as PTX in a
+//! fatbin, exactly as the closed-source originals do (paper §2.3). The
+//! offline PTX patcher extracts and sandboxes these images; the runtimes
+//! register them via `__cudaRegisterFatBinary`.
+
+use crate::kernels;
+use ptx::builder::ModuleBuilder;
+use ptx::fatbin::FatBin;
+use ptx::{Function, Module};
+use std::sync::OnceLock;
+
+fn module_of(functions: Vec<Function>) -> Module {
+    let mut mb = ModuleBuilder::new();
+    for f in functions {
+        mb = mb.push_function(f);
+    }
+    let m = mb.build();
+    debug_assert!(ptx::validate(&m).is_ok());
+    m
+}
+
+fn fatbin_of(name: &str, m: &Module) -> Vec<u8> {
+    let mut fb = FatBin::new();
+    fb.push_ptx(name, m.to_string());
+    // A cubin stand-in, as real fatbins carry both (opaque to the patcher).
+    fb.push_cubin(name, 86, vec![0u8; 64]);
+    fb.to_bytes().to_vec()
+}
+
+macro_rules! cached {
+    ($fn_name:ident, $mod_name:ident, $label:expr, $kernels:expr) => {
+        /// The parsed PTX module of this library.
+        pub fn $mod_name() -> &'static Module {
+            static M: OnceLock<Module> = OnceLock::new();
+            M.get_or_init(|| module_of($kernels))
+        }
+
+        /// The serialized fatbin of this library.
+        pub fn $fn_name() -> &'static [u8] {
+            static B: OnceLock<Vec<u8>> = OnceLock::new();
+            B.get_or_init(|| fatbin_of($label, $mod_name()))
+        }
+    };
+}
+
+cached!(
+    cublas_fatbin,
+    cublas_module,
+    "cublas",
+    kernels::blas::all_kernels()
+);
+cached!(
+    cudnn_fatbin,
+    cudnn_module,
+    "cudnn",
+    kernels::dnn::all_kernels()
+);
+cached!(cufft_fatbin, cufft_module, "cufft", kernels::fft::all_kernels());
+cached!(
+    cusparse_fatbin,
+    cusparse_module,
+    "cusparse",
+    kernels::sparse::all_kernels()
+);
+cached!(
+    curand_fatbin,
+    curand_module,
+    "curand",
+    kernels::rand::all_kernels()
+);
+
+/// All library fatbins as `(library name, bytes)` — the inputs to the
+/// offline sandboxing phase and to Table 3's census.
+pub fn all_fatbins() -> Vec<(&'static str, &'static [u8])> {
+    vec![
+        ("cuBLAS", cublas_fatbin()),
+        ("cuDNN", cudnn_fatbin()),
+        ("cuFFT", cufft_fatbin()),
+        ("cuSPARSE", cusparse_fatbin()),
+        ("cuRAND", curand_fatbin()),
+    ]
+}
+
+/// All library modules as `(library name, module)`.
+pub fn all_modules() -> Vec<(&'static str, &'static Module)> {
+    vec![
+        ("cuBLAS", cublas_module()),
+        ("cuDNN", cudnn_module()),
+        ("cuFFT", cufft_module()),
+        ("cuSPARSE", cusparse_module()),
+        ("cuRAND", curand_module()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fatbins_extract_and_parse() {
+        for (name, bytes) in all_fatbins() {
+            let images = ptx::fatbin::extract_ptx(bytes).unwrap();
+            assert_eq!(images.len(), 1, "{name}");
+            let m = ptx::parse(&images[0].1).unwrap();
+            ptx::validate(&m).unwrap();
+            assert!(!m.kernel_names().is_empty());
+        }
+    }
+
+    #[test]
+    fn fatbin_ptx_round_trips() {
+        for (_, bytes) in all_fatbins() {
+            let images = ptx::fatbin::extract_ptx(bytes).unwrap();
+            for (_, text) in images {
+                ptx::validate(&ptx::parse(&text).unwrap()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn library_kernel_counts() {
+        let census: usize = all_modules()
+            .iter()
+            .map(|(_, m)| m.kernel_names().len())
+            .sum();
+        assert!(census >= 60, "expected >= 60 kernels, got {census}");
+    }
+}

@@ -1,0 +1,845 @@
+//! The mini-cuDNN / framework kernel catalog: the Caffe-style layer
+//! kernels of the paper's Figure 10 (`im2col`, `maxpoolfw`,
+//! `softmaxlossfw`, `channel_sum`, `sgdupdate`, `accuracyfw`, ...).
+
+use super::helpers::{elementwise, reduction};
+use ptx::builder::KernelBuilder;
+use ptx::types::{AtomKind, BinKind, CmpOp, Type, UnaryKind};
+use ptx::{Address, Function, Op, Operand};
+
+const LOG2E: f32 = std::f32::consts::LOG2_E;
+
+/// `im2col`: unfold convolution windows into columns.
+///
+/// Square geometry: input is `channels x width x width`; kernel `ksize`,
+/// stride `stride`, output spatial edge `wout`. One thread per column
+/// element; `n = channels*ksize*ksize*wout*wout`.
+/// Params: `im, col: u64, n, width, ksize, stride, wout: u32`.
+fn im2col_kernel() -> Function {
+    let mut k = KernelBuilder::entry("im2col");
+    let im_p = k.param(Type::U64, "im");
+    let col_p = k.param(Type::U64, "col");
+    let n_p = k.param(Type::U32, "n");
+    let w_p = k.param(Type::U32, "width");
+    let ks_p = k.param(Type::U32, "ksize");
+    let st_p = k.param(Type::U32, "stride");
+    let wo_p = k.param(Type::U32, "wout");
+    let im0 = k.ld_param(Type::U64, &im_p);
+    let img = k.cvta_global(&im0);
+    let col0 = k.ld_param(Type::U64, &col_p);
+    let colg = k.cvta_global(&col0);
+    let n = k.ld_param(Type::U32, &n_p);
+    let w = k.ld_param(Type::U32, &w_p);
+    let ks = k.ld_param(Type::U32, &ks_p);
+    let st = k.ld_param(Type::U32, &st_p);
+    let wo = k.ld_param(Type::U32, &wo_p);
+    k.grid_stride_loop(&n, |k, idx| {
+        // Decompose idx = ((c*ks + ky)*ks + kx)*wout*wout + oy*wout + ox
+        let wo2 = k.binary(BinKind::MulLo, Type::U32, &wo, &wo);
+        let spatial = k.binary(BinKind::Rem, Type::U32, idx, &wo2);
+        let patch = k.binary(BinKind::Div, Type::U32, idx, &wo2);
+        let ox = k.binary(BinKind::Rem, Type::U32, &spatial, &wo);
+        let oy = k.binary(BinKind::Div, Type::U32, &spatial, &wo);
+        let kx = k.binary(BinKind::Rem, Type::U32, &patch, &ks);
+        let rest = k.binary(BinKind::Div, Type::U32, &patch, &ks);
+        let ky = k.binary(BinKind::Rem, Type::U32, &rest, &ks);
+        let c = k.binary(BinKind::Div, Type::U32, &rest, &ks);
+        // iy = oy*stride + ky ; ix = ox*stride + kx
+        let iy = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: iy.clone(),
+            a: Operand::reg(&oy),
+            b: Operand::reg(&st),
+            c: Operand::reg(&ky),
+        });
+        let ix = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: ix.clone(),
+            a: Operand::reg(&ox),
+            b: Operand::reg(&st),
+            c: Operand::reg(&kx),
+        });
+        // im index = (c*width + iy)*width + ix
+        let t1 = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: t1.clone(),
+            a: Operand::reg(&c),
+            b: Operand::reg(&w),
+            c: Operand::reg(&iy),
+        });
+        let im_idx = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: im_idx.clone(),
+            a: Operand::reg(&t1),
+            b: Operand::reg(&w),
+            c: Operand::reg(&ix),
+        });
+        let v = k.load_elem(&img, &im_idx, Type::F32);
+        k.store_elem(&colg, idx, Type::F32, &v);
+    });
+    k.ret();
+    k.build()
+}
+
+/// `col2im`: fold columns back, accumulating overlaps atomically.
+/// Same parameters as [`im2col_kernel`]; `im` must be pre-zeroed.
+fn col2im_kernel() -> Function {
+    let mut k = KernelBuilder::entry("col2im");
+    let col_p = k.param(Type::U64, "col");
+    let im_p = k.param(Type::U64, "im");
+    let n_p = k.param(Type::U32, "n");
+    let w_p = k.param(Type::U32, "width");
+    let ks_p = k.param(Type::U32, "ksize");
+    let st_p = k.param(Type::U32, "stride");
+    let wo_p = k.param(Type::U32, "wout");
+    let col0 = k.ld_param(Type::U64, &col_p);
+    let colg = k.cvta_global(&col0);
+    let im0 = k.ld_param(Type::U64, &im_p);
+    let img = k.cvta_global(&im0);
+    let n = k.ld_param(Type::U32, &n_p);
+    let w = k.ld_param(Type::U32, &w_p);
+    let ks = k.ld_param(Type::U32, &ks_p);
+    let st = k.ld_param(Type::U32, &st_p);
+    let wo = k.ld_param(Type::U32, &wo_p);
+    k.grid_stride_loop(&n, |k, idx| {
+        let wo2 = k.binary(BinKind::MulLo, Type::U32, &wo, &wo);
+        let spatial = k.binary(BinKind::Rem, Type::U32, idx, &wo2);
+        let patch = k.binary(BinKind::Div, Type::U32, idx, &wo2);
+        let ox = k.binary(BinKind::Rem, Type::U32, &spatial, &wo);
+        let oy = k.binary(BinKind::Div, Type::U32, &spatial, &wo);
+        let kx = k.binary(BinKind::Rem, Type::U32, &patch, &ks);
+        let rest = k.binary(BinKind::Div, Type::U32, &patch, &ks);
+        let ky = k.binary(BinKind::Rem, Type::U32, &rest, &ks);
+        let c = k.binary(BinKind::Div, Type::U32, &rest, &ks);
+        let iy = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: iy.clone(),
+            a: Operand::reg(&oy),
+            b: Operand::reg(&st),
+            c: Operand::reg(&ky),
+        });
+        let ix = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: ix.clone(),
+            a: Operand::reg(&ox),
+            b: Operand::reg(&st),
+            c: Operand::reg(&kx),
+        });
+        let t1 = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: t1.clone(),
+            a: Operand::reg(&c),
+            b: Operand::reg(&w),
+            c: Operand::reg(&iy),
+        });
+        let im_idx = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: im_idx.clone(),
+            a: Operand::reg(&t1),
+            b: Operand::reg(&w),
+            c: Operand::reg(&ix),
+        });
+        let v = k.load_elem(&colg, idx, Type::F32);
+        let addr = k.elem_addr(&img, &im_idx, Type::F32);
+        let old = k.reg(Type::F32);
+        k.emit(Op::Atom {
+            op: AtomKind::Add,
+            space: ptx::types::Space::Global,
+            ty: Type::F32,
+            dst: old,
+            addr: Address::reg(addr),
+            src: Operand::reg(&v),
+            cmp: None,
+        });
+    });
+    k.ret();
+    k.build()
+}
+
+/// `maxpoolfw`: square max pooling. One thread per output element.
+/// Params: `bottom, top: u64, n, width, psize, stride, wout: u32`
+/// (`n = channels*wout*wout`).
+fn maxpoolfw_kernel() -> Function {
+    let mut k = KernelBuilder::entry("maxpoolfw");
+    let b_p = k.param(Type::U64, "bottom");
+    let t_p = k.param(Type::U64, "top");
+    let n_p = k.param(Type::U32, "n");
+    let w_p = k.param(Type::U32, "width");
+    let ps_p = k.param(Type::U32, "psize");
+    let st_p = k.param(Type::U32, "stride");
+    let wo_p = k.param(Type::U32, "wout");
+    let b0 = k.ld_param(Type::U64, &b_p);
+    let bg = k.cvta_global(&b0);
+    let t0 = k.ld_param(Type::U64, &t_p);
+    let tg = k.cvta_global(&t0);
+    let n = k.ld_param(Type::U32, &n_p);
+    let w = k.ld_param(Type::U32, &w_p);
+    let ps = k.ld_param(Type::U32, &ps_p);
+    let st = k.ld_param(Type::U32, &st_p);
+    let wo = k.ld_param(Type::U32, &wo_p);
+    k.grid_stride_loop(&n, |k, idx| {
+        let wo2 = k.binary(BinKind::MulLo, Type::U32, &wo, &wo);
+        let c = k.binary(BinKind::Div, Type::U32, idx, &wo2);
+        let sp = k.binary(BinKind::Rem, Type::U32, idx, &wo2);
+        let oy = k.binary(BinKind::Div, Type::U32, &sp, &wo);
+        let ox = k.binary(BinKind::Rem, Type::U32, &sp, &wo);
+        let best = k.imm_f32(-1e30);
+        let dy = k.imm_u32(0);
+        let ytop = k.fresh_label("py");
+        let ydone = k.fresh_label("py_done");
+        k.label(ytop.clone());
+        let py = k.setp(CmpOp::Ge, Type::U32, &dy, Operand::reg(&ps));
+        k.emit_pred(&py, false, Op::Bra { uni: false, target: ydone.clone() });
+        {
+            let dx = k.imm_u32(0);
+            let xtop = k.fresh_label("px");
+            let xdone = k.fresh_label("px_done");
+            k.label(xtop.clone());
+            let px = k.setp(CmpOp::Ge, Type::U32, &dx, Operand::reg(&ps));
+            k.emit_pred(&px, false, Op::Bra { uni: false, target: xdone.clone() });
+            {
+                let iy = k.reg(Type::U32);
+                k.emit(Op::Mad {
+                    ty: Type::U32,
+                    dst: iy.clone(),
+                    a: Operand::reg(&oy),
+                    b: Operand::reg(&st),
+                    c: Operand::reg(&dy),
+                });
+                let ix = k.reg(Type::U32);
+                k.emit(Op::Mad {
+                    ty: Type::U32,
+                    dst: ix.clone(),
+                    a: Operand::reg(&ox),
+                    b: Operand::reg(&st),
+                    c: Operand::reg(&dx),
+                });
+                let t1 = k.reg(Type::U32);
+                k.emit(Op::Mad {
+                    ty: Type::U32,
+                    dst: t1.clone(),
+                    a: Operand::reg(&c),
+                    b: Operand::reg(&w),
+                    c: Operand::reg(&iy),
+                });
+                let bi = k.reg(Type::U32);
+                k.emit(Op::Mad {
+                    ty: Type::U32,
+                    dst: bi.clone(),
+                    a: Operand::reg(&t1),
+                    b: Operand::reg(&w),
+                    c: Operand::reg(&ix),
+                });
+                let v = k.load_elem(&bg, &bi, Type::F32);
+                k.emit(Op::Binary {
+                    kind: BinKind::Max,
+                    ty: Type::F32,
+                    dst: best.clone(),
+                    a: Operand::reg(&best),
+                    b: Operand::reg(&v),
+                });
+            }
+            k.emit(Op::Binary {
+                kind: BinKind::Add,
+                ty: Type::U32,
+                dst: dx.clone(),
+                a: Operand::reg(&dx),
+                b: Operand::ImmInt(1),
+            });
+            k.emit(Op::Bra { uni: true, target: xtop });
+            k.label(xdone);
+        }
+        k.emit(Op::Binary {
+            kind: BinKind::Add,
+            ty: Type::U32,
+            dst: dy.clone(),
+            a: Operand::reg(&dy),
+            b: Operand::ImmInt(1),
+        });
+        k.emit(Op::Bra { uni: true, target: ytop });
+        k.label(ydone);
+        k.store_elem(&tg, idx, Type::F32, &best);
+    });
+    k.ret();
+    k.build()
+}
+
+/// `maxpoolbw_1`: route each top gradient to the window's argmax.
+/// Params: `top_diff, bottom, top, bottom_diff: u64, n, width, psize,
+/// stride, wout: u32` — `bottom_diff` pre-zeroed.
+fn maxpoolbw_kernel() -> Function {
+    let mut k = KernelBuilder::entry("maxpoolbw_1");
+    let td_p = k.param(Type::U64, "top_diff");
+    let b_p = k.param(Type::U64, "bottom");
+    let t_p = k.param(Type::U64, "top");
+    let bd_p = k.param(Type::U64, "bottom_diff");
+    let n_p = k.param(Type::U32, "n");
+    let w_p = k.param(Type::U32, "width");
+    let ps_p = k.param(Type::U32, "psize");
+    let st_p = k.param(Type::U32, "stride");
+    let wo_p = k.param(Type::U32, "wout");
+    let td0 = k.ld_param(Type::U64, &td_p);
+    let tdg = k.cvta_global(&td0);
+    let b0 = k.ld_param(Type::U64, &b_p);
+    let bg = k.cvta_global(&b0);
+    let t0 = k.ld_param(Type::U64, &t_p);
+    let tg = k.cvta_global(&t0);
+    let bd0 = k.ld_param(Type::U64, &bd_p);
+    let bdg = k.cvta_global(&bd0);
+    let n = k.ld_param(Type::U32, &n_p);
+    let w = k.ld_param(Type::U32, &w_p);
+    let ps = k.ld_param(Type::U32, &ps_p);
+    let st = k.ld_param(Type::U32, &st_p);
+    let wo = k.ld_param(Type::U32, &wo_p);
+    k.grid_stride_loop(&n, |k, idx| {
+        let wo2 = k.binary(BinKind::MulLo, Type::U32, &wo, &wo);
+        let c = k.binary(BinKind::Div, Type::U32, idx, &wo2);
+        let sp = k.binary(BinKind::Rem, Type::U32, idx, &wo2);
+        let oy = k.binary(BinKind::Div, Type::U32, &sp, &wo);
+        let ox = k.binary(BinKind::Rem, Type::U32, &sp, &wo);
+        let grad = k.load_elem(&tdg, idx, Type::F32);
+        let maxv = k.load_elem(&tg, idx, Type::F32);
+        let dy = k.imm_u32(0);
+        let ytop = k.fresh_label("by");
+        let ydone = k.fresh_label("by_done");
+        k.label(ytop.clone());
+        let py = k.setp(CmpOp::Ge, Type::U32, &dy, Operand::reg(&ps));
+        k.emit_pred(&py, false, Op::Bra { uni: false, target: ydone.clone() });
+        {
+            let dx = k.imm_u32(0);
+            let xtop = k.fresh_label("bx");
+            let xdone = k.fresh_label("bx_done");
+            k.label(xtop.clone());
+            let px = k.setp(CmpOp::Ge, Type::U32, &dx, Operand::reg(&ps));
+            k.emit_pred(&px, false, Op::Bra { uni: false, target: xdone.clone() });
+            {
+                let iy = k.reg(Type::U32);
+                k.emit(Op::Mad {
+                    ty: Type::U32,
+                    dst: iy.clone(),
+                    a: Operand::reg(&oy),
+                    b: Operand::reg(&st),
+                    c: Operand::reg(&dy),
+                });
+                let ix = k.reg(Type::U32);
+                k.emit(Op::Mad {
+                    ty: Type::U32,
+                    dst: ix.clone(),
+                    a: Operand::reg(&ox),
+                    b: Operand::reg(&st),
+                    c: Operand::reg(&dx),
+                });
+                let t1 = k.reg(Type::U32);
+                k.emit(Op::Mad {
+                    ty: Type::U32,
+                    dst: t1.clone(),
+                    a: Operand::reg(&c),
+                    b: Operand::reg(&w),
+                    c: Operand::reg(&iy),
+                });
+                let bi = k.reg(Type::U32);
+                k.emit(Op::Mad {
+                    ty: Type::U32,
+                    dst: bi.clone(),
+                    a: Operand::reg(&t1),
+                    b: Operand::reg(&w),
+                    c: Operand::reg(&ix),
+                });
+                let v = k.load_elem(&bg, &bi, Type::F32);
+                let is_max = k.setp(CmpOp::Ge, Type::F32, &v, Operand::reg(&maxv));
+                k.if_then(&is_max, |k| {
+                    let addr = k.elem_addr(&bdg, &bi, Type::F32);
+                    let old = k.reg(Type::F32);
+                    k.emit(Op::Atom {
+                        op: AtomKind::Add,
+                        space: ptx::types::Space::Global,
+                        ty: Type::F32,
+                        dst: old,
+                        addr: Address::reg(addr),
+                        src: Operand::reg(&grad),
+                        cmp: None,
+                    });
+                });
+            }
+            k.emit(Op::Binary {
+                kind: BinKind::Add,
+                ty: Type::U32,
+                dst: dx.clone(),
+                a: Operand::reg(&dx),
+                b: Operand::ImmInt(1),
+            });
+            k.emit(Op::Bra { uni: true, target: xtop });
+            k.label(xdone);
+        }
+        k.emit(Op::Binary {
+            kind: BinKind::Add,
+            ty: Type::U32,
+            dst: dy.clone(),
+            a: Operand::reg(&dy),
+            b: Operand::ImmInt(1),
+        });
+        k.emit(Op::Bra { uni: true, target: ytop });
+        k.label(ydone);
+    });
+    k.ret();
+    k.build()
+}
+
+/// Generate a per-sample channel walk: one thread per sample, looping over
+/// `classes` contiguous values.
+///
+/// `op` selects the body:
+/// * `"max"` — `out[s] = max_c data[s*classes+c]`
+/// * `"sum"` — `out[s] = sum_c data[s*classes+c]`
+/// * `"sub"` — `data[s,c] -= out[s]` (out is the per-sample scalar input)
+/// * `"div"` — `data[s,c] /= out[s]`
+fn channel_kernel(name: &str, op: &'static str) -> Function {
+    let mut k = KernelBuilder::entry(name);
+    let d_p = k.param(Type::U64, "data");
+    let o_p = k.param(Type::U64, "out");
+    let num_p = k.param(Type::U32, "num");
+    let cls_p = k.param(Type::U32, "classes");
+    let d0 = k.ld_param(Type::U64, &d_p);
+    let dg = k.cvta_global(&d0);
+    let o0 = k.ld_param(Type::U64, &o_p);
+    let og = k.cvta_global(&o0);
+    let num = k.ld_param(Type::U32, &num_p);
+    let cls = k.ld_param(Type::U32, &cls_p);
+    k.grid_stride_loop(&num, |k, s| {
+        let base = k.binary(BinKind::MulLo, Type::U32, s, &cls);
+        let acc = if op == "max" {
+            k.imm_f32(-1e30)
+        } else {
+            k.imm_f32(0.0)
+        };
+        let scalar = if op == "sub" || op == "div" {
+            Some(k.load_elem(&og, s, Type::F32))
+        } else {
+            None
+        };
+        let c = k.imm_u32(0);
+        let top = k.fresh_label("ch");
+        let done = k.fresh_label("ch_done");
+        k.label(top.clone());
+        let p = k.setp(CmpOp::Ge, Type::U32, &c, Operand::reg(&cls));
+        k.emit_pred(&p, false, Op::Bra { uni: false, target: done.clone() });
+        let idx = k.binary(BinKind::Add, Type::U32, &base, &c);
+        let v = k.load_elem(&dg, &idx, Type::F32);
+        match op {
+            "max" => k.emit(Op::Binary {
+                kind: BinKind::Max,
+                ty: Type::F32,
+                dst: acc.clone(),
+                a: Operand::reg(&acc),
+                b: Operand::reg(&v),
+            }),
+            "sum" => k.emit(Op::Binary {
+                kind: BinKind::Add,
+                ty: Type::F32,
+                dst: acc.clone(),
+                a: Operand::reg(&acc),
+                b: Operand::reg(&v),
+            }),
+            "sub" => {
+                let r = k.binary(BinKind::Sub, Type::F32, &v, scalar.as_ref().unwrap());
+                k.store_elem(&dg, &idx, Type::F32, &r);
+            }
+            "div" => {
+                let r = k.binary(BinKind::Div, Type::F32, &v, scalar.as_ref().unwrap());
+                k.store_elem(&dg, &idx, Type::F32, &r);
+            }
+            _ => unreachable!("channel op"),
+        }
+        k.emit(Op::Binary {
+            kind: BinKind::Add,
+            ty: Type::U32,
+            dst: c.clone(),
+            a: Operand::reg(&c),
+            b: Operand::ImmInt(1),
+        });
+        k.emit(Op::Bra { uni: true, target: top });
+        k.label(done);
+        if op == "max" || op == "sum" {
+            k.store_elem(&og, s, Type::F32, &acc);
+        }
+    });
+    k.ret();
+    k.build()
+}
+
+/// `softmaxlossfw`: `loss += -ln(max(prob[s, label[s]], eps)) / num`.
+/// Params: `prob, label, loss: u64, num, classes: u32`.
+fn softmaxloss_fw_kernel() -> Function {
+    let mut k = KernelBuilder::entry("softmaxlossfw");
+    let p_p = k.param(Type::U64, "prob");
+    let l_p = k.param(Type::U64, "label");
+    let loss_p = k.param(Type::U64, "loss");
+    let num_p = k.param(Type::U32, "num");
+    let cls_p = k.param(Type::U32, "classes");
+    let p0 = k.ld_param(Type::U64, &p_p);
+    let pg = k.cvta_global(&p0);
+    let l0 = k.ld_param(Type::U64, &l_p);
+    let lg = k.cvta_global(&l0);
+    let loss0 = k.ld_param(Type::U64, &loss_p);
+    let lossg = k.cvta_global(&loss0);
+    let num = k.ld_param(Type::U32, &num_p);
+    let cls = k.ld_param(Type::U32, &cls_p);
+    k.grid_stride_loop(&num, |k, s| {
+        let label = k.load_elem(&lg, s, Type::U32);
+        let idx = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: idx.clone(),
+            a: Operand::reg(s),
+            b: Operand::reg(&cls),
+            c: Operand::reg(&label),
+        });
+        let p = k.load_elem(&pg, &idx, Type::F32);
+        let eps = k.imm_f32(1e-12);
+        let clamped = k.binary(BinKind::Max, Type::F32, &p, &eps);
+        // -ln(p) = -lg2(p)/lg2(e)
+        let l2 = k.unary(UnaryKind::Lg2, Type::F32, &clamped);
+        let inv_log2e = k.imm_f32(1.0 / LOG2E);
+        let ln = k.binary(BinKind::MulLo, Type::F32, &l2, &inv_log2e);
+        let neg = k.unary(UnaryKind::Neg, Type::F32, &ln);
+        // normalize by num
+        let numf = k.reg(Type::F32);
+        k.emit(Op::Cvt {
+            dty: Type::F32,
+            sty: Type::U32,
+            dst: numf.clone(),
+            src: Operand::reg(&num),
+        });
+        let contrib = k.binary(BinKind::Div, Type::F32, &neg, &numf);
+        let old = k.reg(Type::F32);
+        k.emit(Op::Atom {
+            op: AtomKind::Add,
+            space: ptx::types::Space::Global,
+            ty: Type::F32,
+            dst: old,
+            addr: Address::reg(&lossg),
+            src: Operand::reg(&contrib),
+            cmp: None,
+        });
+    });
+    k.ret();
+    k.build()
+}
+
+/// `softmaxlossbw`: `diff[s,c] = (prob[s,c] - (c==label[s])) / num`.
+/// Params: `prob, label, diff: u64, num, classes: u32`; one thread per
+/// element, `n = num*classes` derived inside.
+fn softmaxloss_bw_kernel() -> Function {
+    let mut k = KernelBuilder::entry("softmaxlossbw");
+    let p_p = k.param(Type::U64, "prob");
+    let l_p = k.param(Type::U64, "label");
+    let d_p = k.param(Type::U64, "diff");
+    let num_p = k.param(Type::U32, "num");
+    let cls_p = k.param(Type::U32, "classes");
+    let p0 = k.ld_param(Type::U64, &p_p);
+    let pg = k.cvta_global(&p0);
+    let l0 = k.ld_param(Type::U64, &l_p);
+    let lg = k.cvta_global(&l0);
+    let d0 = k.ld_param(Type::U64, &d_p);
+    let dg = k.cvta_global(&d0);
+    let num = k.ld_param(Type::U32, &num_p);
+    let cls = k.ld_param(Type::U32, &cls_p);
+    let total = k.binary(BinKind::MulLo, Type::U32, &num, &cls);
+    k.grid_stride_loop(&total, |k, e| {
+        let s = k.binary(BinKind::Div, Type::U32, e, &cls);
+        let c = k.binary(BinKind::Rem, Type::U32, e, &cls);
+        let label = k.load_elem(&lg, &s, Type::U32);
+        let p = k.load_elem(&pg, e, Type::F32);
+        let is_label = k.setp(CmpOp::Eq, Type::U32, &c, Operand::reg(&label));
+        let one = k.imm_f32(1.0);
+        let zero = k.imm_f32(0.0);
+        let sub = k.reg(Type::F32);
+        k.emit(Op::Selp {
+            ty: Type::F32,
+            dst: sub.clone(),
+            a: Operand::reg(&one),
+            b: Operand::reg(&zero),
+            p: is_label,
+        });
+        let d = k.binary(BinKind::Sub, Type::F32, &p, &sub);
+        let numf = k.reg(Type::F32);
+        k.emit(Op::Cvt {
+            dty: Type::F32,
+            sty: Type::U32,
+            dst: numf.clone(),
+            src: Operand::reg(&num),
+        });
+        let scaled = k.binary(BinKind::Div, Type::F32, &d, &numf);
+        k.store_elem(&dg, e, Type::F32, &scaled);
+    });
+    k.ret();
+    k.build()
+}
+
+/// `accuracyfw`: `correct += (argmax_c prob[s,c] == label[s])`.
+/// Params: `prob, label, correct: u64, num, classes: u32`.
+fn accuracy_kernel() -> Function {
+    let mut k = KernelBuilder::entry("accuracyfw");
+    let p_p = k.param(Type::U64, "prob");
+    let l_p = k.param(Type::U64, "label");
+    let c_p = k.param(Type::U64, "correct");
+    let num_p = k.param(Type::U32, "num");
+    let cls_p = k.param(Type::U32, "classes");
+    let p0 = k.ld_param(Type::U64, &p_p);
+    let pg = k.cvta_global(&p0);
+    let l0 = k.ld_param(Type::U64, &l_p);
+    let lg = k.cvta_global(&l0);
+    let c0 = k.ld_param(Type::U64, &c_p);
+    let cg = k.cvta_global(&c0);
+    let num = k.ld_param(Type::U32, &num_p);
+    let cls = k.ld_param(Type::U32, &cls_p);
+    k.grid_stride_loop(&num, |k, s| {
+        let base = k.binary(BinKind::MulLo, Type::U32, s, &cls);
+        let best = k.imm_f32(-1e30);
+        let best_idx = k.imm_u32(0);
+        let c = k.imm_u32(0);
+        let top = k.fresh_label("am");
+        let done = k.fresh_label("am_done");
+        k.label(top.clone());
+        let p = k.setp(CmpOp::Ge, Type::U32, &c, Operand::reg(&cls));
+        k.emit_pred(&p, false, Op::Bra { uni: false, target: done.clone() });
+        let idx = k.binary(BinKind::Add, Type::U32, &base, &c);
+        let v = k.load_elem(&pg, &idx, Type::F32);
+        let better = k.setp(CmpOp::Gt, Type::F32, &v, Operand::reg(&best));
+        k.emit_pred(&better, false, Op::Mov {
+            ty: Type::F32,
+            dst: best.clone(),
+            src: Operand::reg(&v),
+        });
+        k.emit_pred(&better, false, Op::Mov {
+            ty: Type::U32,
+            dst: best_idx.clone(),
+            src: Operand::reg(&c),
+        });
+        k.emit(Op::Binary {
+            kind: BinKind::Add,
+            ty: Type::U32,
+            dst: c.clone(),
+            a: Operand::reg(&c),
+            b: Operand::ImmInt(1),
+        });
+        k.emit(Op::Bra { uni: true, target: top });
+        k.label(done);
+        let label = k.load_elem(&lg, s, Type::U32);
+        let hit = k.setp(CmpOp::Eq, Type::U32, &best_idx, Operand::reg(&label));
+        k.if_then(&hit, |k| {
+            let one = k.imm_u32(1);
+            let old = k.reg(Type::U32);
+            k.emit(Op::Atom {
+                op: AtomKind::Add,
+                space: ptx::types::Space::Global,
+                ty: Type::U32,
+                dst: old,
+                addr: Address::reg(&cg),
+                src: Operand::reg(&one),
+                cmp: None,
+            });
+        });
+    });
+    k.ret();
+    k.build()
+}
+
+/// The full framework/cuDNN kernel set (Figure 10 names).
+pub fn all_kernels() -> Vec<Function> {
+    let mut out = vec![
+        im2col_kernel(),
+        col2im_kernel(),
+        maxpoolfw_kernel(),
+        maxpoolbw_kernel(),
+        channel_kernel("channel_max", "max"),
+        channel_kernel("channel_sum", "sum"),
+        channel_kernel("channel_subtract", "sub"),
+        channel_kernel("channel_div", "div"),
+        softmaxloss_fw_kernel(),
+        softmaxloss_bw_kernel(),
+        accuracy_kernel(),
+    ];
+    // Element-wise layer kernels.
+    out.push(elementwise("relufw", 1, 0, |k, ins, _| {
+        let z = k.imm_f32(0.0);
+        k.binary(BinKind::Max, Type::F32, &ins[0], &z)
+    }));
+    out.push(elementwise("relubw", 2, 0, |k, ins, _| {
+        // diff * (x > 0)
+        let z = k.imm_f32(0.0);
+        let p = k.setp(CmpOp::Gt, Type::F32, &ins[1], Operand::reg(&z));
+        let r = k.reg(Type::F32);
+        k.emit(Op::Selp {
+            ty: Type::F32,
+            dst: r.clone(),
+            a: Operand::reg(&ins[0]),
+            b: Operand::reg(&z),
+            p,
+        });
+        r
+    }));
+    out.push(elementwise("exp", 1, 0, |k, ins, _| {
+        let l2e = k.imm_f32(LOG2E);
+        let scaled = k.binary(BinKind::MulLo, Type::F32, &ins[0], &l2e);
+        k.unary(UnaryKind::Ex2, Type::F32, &scaled)
+    }));
+    out.push(elementwise("tanhfw", 1, 0, |k, ins, _| {
+        k.unary(UnaryKind::Tanh, Type::F32, &ins[0])
+    }));
+    out.push(elementwise("tanhbw", 2, 0, |k, ins, _| {
+        // diff * (1 - y^2)
+        let y2 = k.binary(BinKind::MulLo, Type::F32, &ins[1], &ins[1]);
+        let one = k.imm_f32(1.0);
+        let g = k.binary(BinKind::Sub, Type::F32, &one, &y2);
+        k.binary(BinKind::MulLo, Type::F32, &ins[0], &g)
+    }));
+    out.push(elementwise("sigmoidfw", 1, 0, |k, ins, _| {
+        // 1 / (1 + exp(-x))
+        let l2e = k.imm_f32(-LOG2E);
+        let scaled = k.binary(BinKind::MulLo, Type::F32, &ins[0], &l2e);
+        let e = k.unary(UnaryKind::Ex2, Type::F32, &scaled);
+        let one = k.imm_f32(1.0);
+        let denom = k.binary(BinKind::Add, Type::F32, &one, &e);
+        k.unary(UnaryKind::Rcp, Type::F32, &denom)
+    }));
+    out.push(elementwise("sgdupdate", 2, 1, |k, ins, ss| {
+        // w = w - lr * grad
+        let step = k.binary(BinKind::MulLo, Type::F32, &ss[0], &ins[1]);
+        k.binary(BinKind::Sub, Type::F32, &ins[0], &step)
+    }));
+    out.push(elementwise("kernel_val", 0, 1, |_, _, ss| ss[0].clone()));
+    out.push(elementwise("addbias", 2, 0, |k, ins, _| {
+        k.binary(BinKind::Add, Type::F32, &ins[0], &ins[1])
+    }));
+    out.push(elementwise("eltwise_add", 2, 0, |k, ins, _| {
+        k.binary(BinKind::Add, Type::F32, &ins[0], &ins[1])
+    }));
+    out.push(elementwise("eltwise_mul", 2, 0, |k, ins, _| {
+        k.binary(BinKind::MulLo, Type::F32, &ins[0], &ins[1])
+    }));
+    out.push(elementwise("dropoutfw", 2, 1, |k, ins, ss| {
+        // in * mask * (1/keep)
+        let m = k.binary(BinKind::MulLo, Type::F32, &ins[0], &ins[1]);
+        k.binary(BinKind::MulLo, Type::F32, &m, &ss[0])
+    }));
+    out.push(reduction("reduce_1Block", 1, |_, ins, _| ins[0].clone()));
+    out.push(transpose_kernel());
+    out.push(ger_kernel());
+    out
+}
+
+/// `transpose`: `out[c*rows + r] = in[r*cols + c]` (row-major).
+/// Params: `in, out: u64, rows, cols: u32`; one thread per element.
+fn transpose_kernel() -> Function {
+    let mut k = KernelBuilder::entry("transpose");
+    let i_p = k.param(Type::U64, "input");
+    let o_p = k.param(Type::U64, "output");
+    let r_p = k.param(Type::U32, "rows");
+    let c_p = k.param(Type::U32, "cols");
+    let i0 = k.ld_param(Type::U64, &i_p);
+    let ig = k.cvta_global(&i0);
+    let o0 = k.ld_param(Type::U64, &o_p);
+    let og = k.cvta_global(&o0);
+    let rows = k.ld_param(Type::U32, &r_p);
+    let cols = k.ld_param(Type::U32, &c_p);
+    let total = k.binary(BinKind::MulLo, Type::U32, &rows, &cols);
+    k.grid_stride_loop(&total, |k, e| {
+        let r = k.binary(BinKind::Div, Type::U32, e, &cols);
+        let c = k.binary(BinKind::Rem, Type::U32, e, &cols);
+        let v = k.load_elem(&ig, e, Type::F32);
+        let oidx = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: oidx.clone(),
+            a: Operand::reg(&c),
+            b: Operand::reg(&rows),
+            c: Operand::reg(&r),
+        });
+        k.store_elem(&og, &oidx, Type::F32, &v);
+    });
+    k.ret();
+    k.build()
+}
+
+/// `ger`: rank-1 update `A[r,c] += alpha * x[r] * y[c]` on a rectangular
+/// row-major matrix. Params: `a, x, y: u64, rows, cols: u32, alpha: f32`.
+fn ger_kernel() -> Function {
+    let mut k = KernelBuilder::entry("ger");
+    let a_p = k.param(Type::U64, "a");
+    let x_p = k.param(Type::U64, "x");
+    let y_p = k.param(Type::U64, "y");
+    let r_p = k.param(Type::U32, "rows");
+    let c_p = k.param(Type::U32, "cols");
+    let al_p = k.param(Type::F32, "alpha");
+    let a0 = k.ld_param(Type::U64, &a_p);
+    let ag = k.cvta_global(&a0);
+    let x0 = k.ld_param(Type::U64, &x_p);
+    let xg = k.cvta_global(&x0);
+    let y0 = k.ld_param(Type::U64, &y_p);
+    let yg = k.cvta_global(&y0);
+    let rows = k.ld_param(Type::U32, &r_p);
+    let cols = k.ld_param(Type::U32, &c_p);
+    let alpha = k.ld_param(Type::F32, &al_p);
+    let total = k.binary(BinKind::MulLo, Type::U32, &rows, &cols);
+    k.grid_stride_loop(&total, |k, e| {
+        let r = k.binary(BinKind::Div, Type::U32, e, &cols);
+        let c = k.binary(BinKind::Rem, Type::U32, e, &cols);
+        let xv = k.load_elem(&xg, &r, Type::F32);
+        let yv = k.load_elem(&yg, &c, Type::F32);
+        let prod = k.binary(BinKind::MulLo, Type::F32, &xv, &yv);
+        let scaled = k.binary(BinKind::MulLo, Type::F32, &alpha, &prod);
+        let av = k.load_elem(&ag, e, Type::F32);
+        let sum = k.binary(BinKind::Add, Type::F32, &av, &scaled);
+        k.store_elem(&ag, e, Type::F32, &sum);
+    });
+    k.ret();
+    k.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptx::builder::ModuleBuilder;
+
+    #[test]
+    fn all_dnn_kernels_validate_and_round_trip() {
+        let mut mb = ModuleBuilder::new();
+        for f in all_kernels() {
+            mb = mb.push_function(f);
+        }
+        let m = mb.build();
+        ptx::validate(&m).unwrap_or_else(|e| panic!("{e}"));
+        let re = ptx::parse(&m.to_string()).unwrap();
+        ptx::validate(&re).unwrap();
+        for name in [
+            "im2col",
+            "col2im",
+            "maxpoolfw",
+            "maxpoolbw_1",
+            "channel_max",
+            "channel_sum",
+            "channel_subtract",
+            "channel_div",
+            "softmaxlossfw",
+            "softmaxlossbw",
+            "accuracyfw",
+            "relufw",
+            "relubw",
+            "exp",
+            "sgdupdate",
+            "kernel_val",
+            "reduce_1Block",
+        ] {
+            assert!(m.function(name).is_some(), "missing {name}");
+        }
+    }
+}

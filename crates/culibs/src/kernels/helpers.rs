@@ -1,0 +1,852 @@
+//! Parameterized PTX kernel generators.
+//!
+//! The mini accelerated libraries ship dozens of kernels; most fall into a
+//! handful of structural families (element-wise maps, reductions,
+//! matrix-vector loops, tiled matrix-matrix products, packed/banded
+//! triangular walks). These generators produce each family from a small
+//! specification, exactly as a library vendor's kernel templates would.
+
+use ptx::builder::KernelBuilder;
+use ptx::types::{AtomKind, BinKind, CmpOp, Dim, SpecialReg, Type};
+use ptx::{Address, Function, Op, Operand};
+
+/// A value-building closure: given the builder and the loaded input-element
+/// registers, produce the output register.
+pub type Expr = fn(&mut KernelBuilder, &[String], &[String]) -> String;
+
+/// Generate an element-wise kernel:
+/// `out[i] = f(in0[i], .., scalars..)` over a grid-stride loop.
+///
+/// Parameters: `n_in` input pointers, one output pointer, `n: u32`, then
+/// `n_scalars` f32 scalars.
+pub fn elementwise(name: &str, n_in: usize, n_scalars: usize, f: Expr) -> Function {
+    let mut k = KernelBuilder::entry(name);
+    let in_params: Vec<String> = (0..n_in)
+        .map(|i| k.param(Type::U64, format!("in{i}")))
+        .collect();
+    let out_param = k.param(Type::U64, "out");
+    let n_param = k.param(Type::U32, "n");
+    let scalar_params: Vec<String> = (0..n_scalars)
+        .map(|i| k.param(Type::F32, format!("s{i}")))
+        .collect();
+
+    let in_ptrs: Vec<String> = in_params
+        .iter()
+        .map(|p| {
+            let v = k.ld_param(Type::U64, p);
+            k.cvta_global(&v)
+        })
+        .collect();
+    let outp = k.ld_param(Type::U64, &out_param);
+    let outg = k.cvta_global(&outp);
+    let n = k.ld_param(Type::U32, &n_param);
+    let scalars: Vec<String> = scalar_params
+        .iter()
+        .map(|p| k.ld_param(Type::F32, p))
+        .collect();
+
+    k.grid_stride_loop(&n, |k, i| {
+        let vals: Vec<String> = in_ptrs
+            .iter()
+            .map(|p| k.load_elem(p, i, Type::F32))
+            .collect();
+        let r = f(k, &vals, &scalars);
+        k.store_elem(&outg, i, Type::F32, &r);
+    });
+    k.ret();
+    k.build()
+}
+
+/// Generate a block-reduction kernel:
+/// `atomicAdd(out, reduce(map(in[i])))` with a shared-memory tree stage.
+///
+/// Parameters: `in: u64, out: u64, n: u32`. `map` turns the loaded element
+/// into the reduced quantity (identity for `sum`, `|x|` for `asum`, `x*x`
+/// for `nrm2`, ...). Pass `n_in = 2` for dot-product-style kernels.
+pub fn reduction(name: &str, n_in: usize, map: Expr) -> Function {
+    let mut k = KernelBuilder::entry(name);
+    let in_params: Vec<String> = (0..n_in)
+        .map(|i| k.param(Type::U64, format!("in{i}")))
+        .collect();
+    let out_param = k.param(Type::U64, "out");
+    let n_param = k.param(Type::U32, "n");
+    let tile = k.shared_array("tile", Type::F32, 256);
+
+    let in_ptrs: Vec<String> = in_params
+        .iter()
+        .map(|p| {
+            let v = k.ld_param(Type::U64, p);
+            k.cvta_global(&v)
+        })
+        .collect();
+    let outp = k.ld_param(Type::U64, &out_param);
+    let outg = k.cvta_global(&outp);
+    let n = k.ld_param(Type::U32, &n_param);
+
+    // Per-thread partial over the grid-stride loop.
+    let acc = k.imm_f32(0.0);
+    k.grid_stride_loop(&n, |k, i| {
+        let vals: Vec<String> = in_ptrs
+            .iter()
+            .map(|p| k.load_elem(p, i, Type::F32))
+            .collect();
+        let v = map(k, &vals, &[]);
+        k.emit(Op::Binary {
+            kind: BinKind::Add,
+            ty: Type::F32,
+            dst: acc.clone(),
+            a: Operand::reg(&acc),
+            b: Operand::reg(&v),
+        });
+    });
+
+    // tile[tid] = acc; barrier; tree-reduce in shared memory.
+    let tile_base = k.reg(Type::U64);
+    k.emit(Op::MovAddr {
+        ty: Type::U64,
+        dst: tile_base.clone(),
+        var: tile,
+    });
+    let tid = k.mov(Type::U32, Operand::Special(SpecialReg::Tid(Dim::X)));
+    let slot = k.elem_addr(&tile_base, &tid, Type::F32);
+    k.emit(Op::St {
+        space: ptx::types::Space::Shared,
+        ty: Type::F32,
+        addr: Address::reg(slot),
+        src: Operand::reg(&acc),
+    });
+    k.barrier();
+
+    // for (s = ntid/2; s > 0; s >>= 1) { if tid < s: tile[tid]+=tile[tid+s]; barrier }
+    let ntid = k.mov(Type::U32, Operand::Special(SpecialReg::Ntid(Dim::X)));
+    let stride = k.binary_imm(BinKind::Shr, Type::U32, &ntid, 1);
+    let top = k.fresh_label("red");
+    let done = k.fresh_label("red_done");
+    k.label(top.clone());
+    let p_done = k.setp(CmpOp::Eq, Type::U32, &stride, Operand::ImmInt(0));
+    k.emit_pred(&p_done, false, Op::Bra {
+        uni: false,
+        target: done.clone(),
+    });
+    let p_active = k.setp(CmpOp::Lt, Type::U32, &tid, Operand::reg(&stride));
+    k.if_then(&p_active, |k| {
+        let other_idx = k.binary(BinKind::Add, Type::U32, &tid, &stride);
+        let mine_addr = k.elem_addr(&tile_base, &tid, Type::F32);
+        let other_addr = k.elem_addr(&tile_base, &other_idx, Type::F32);
+        let mine = k.reg(Type::F32);
+        k.emit(Op::Ld {
+            space: ptx::types::Space::Shared,
+            ty: Type::F32,
+            dst: mine.clone(),
+            addr: Address::reg(&mine_addr),
+        });
+        let other = k.reg(Type::F32);
+        k.emit(Op::Ld {
+            space: ptx::types::Space::Shared,
+            ty: Type::F32,
+            dst: other.clone(),
+            addr: Address::reg(&other_addr),
+        });
+        let sum = k.binary(BinKind::Add, Type::F32, &mine, &other);
+        k.emit(Op::St {
+            space: ptx::types::Space::Shared,
+            ty: Type::F32,
+            addr: Address::reg(&mine_addr),
+            src: Operand::reg(&sum),
+        });
+    });
+    k.barrier();
+    k.emit(Op::Binary {
+        kind: BinKind::Shr,
+        ty: Type::U32,
+        dst: stride.clone(),
+        a: Operand::reg(&stride),
+        b: Operand::ImmInt(1),
+    });
+    k.emit(Op::Bra {
+        uni: true,
+        target: top,
+    });
+    k.label(done);
+
+    // Thread 0 publishes the block partial atomically.
+    let p_zero = k.setp(CmpOp::Eq, Type::U32, &tid, Operand::ImmInt(0));
+    k.if_then(&p_zero, |k| {
+        let total = k.reg(Type::F32);
+        k.emit(Op::Ld {
+            space: ptx::types::Space::Shared,
+            ty: Type::F32,
+            dst: total.clone(),
+            addr: Address::reg(&tile_base),
+        });
+        let old = k.reg(Type::F32);
+        k.emit(Op::Atom {
+            op: AtomKind::Add,
+            space: ptx::types::Space::Global,
+            ty: Type::F32,
+            dst: old,
+            addr: Address::reg(&outg),
+            src: Operand::reg(&total),
+            cmp: None,
+        });
+    });
+    k.ret();
+    k.build()
+}
+
+/// Generate a row-per-thread matrix-vector kernel:
+/// `y[row] = alpha * dot(A[row, :], x) + beta * y[row]` with row-major or
+/// column-major (transposed) access.
+///
+/// Parameters: `a: u64, x: u64, y: u64, rows: u32, cols: u32, alpha: f32,
+/// beta: f32`.
+pub fn gemv(name: &str, transposed: bool) -> Function {
+    let mut k = KernelBuilder::entry(name);
+    let a_p = k.param(Type::U64, "a");
+    let x_p = k.param(Type::U64, "x");
+    let y_p = k.param(Type::U64, "y");
+    let rows_p = k.param(Type::U32, "rows");
+    let cols_p = k.param(Type::U32, "cols");
+    let alpha_p = k.param(Type::F32, "alpha");
+    let beta_p = k.param(Type::F32, "beta");
+
+    let a0 = k.ld_param(Type::U64, &a_p);
+    let ag = k.cvta_global(&a0);
+    let x0 = k.ld_param(Type::U64, &x_p);
+    let xg = k.cvta_global(&x0);
+    let y0 = k.ld_param(Type::U64, &y_p);
+    let yg = k.cvta_global(&y0);
+    let rows = k.ld_param(Type::U32, &rows_p);
+    let cols = k.ld_param(Type::U32, &cols_p);
+    let alpha = k.ld_param(Type::F32, &alpha_p);
+    let beta = k.ld_param(Type::F32, &beta_p);
+
+    k.grid_stride_loop(&rows, |k, row| {
+        let acc = k.imm_f32(0.0);
+        let j = k.imm_u32(0);
+        let top = k.fresh_label("col");
+        let done = k.fresh_label("col_done");
+        k.label(top.clone());
+        let p = k.setp(CmpOp::Ge, Type::U32, &j, Operand::reg(&cols));
+        k.emit_pred(&p, false, Op::Bra {
+            uni: false,
+            target: done.clone(),
+        });
+        // element index: row-major A[row*cols + j]; transposed A[j*rows + row]
+        let idx = if transposed {
+            let t = k.reg(Type::U32);
+            k.emit(Op::Mad {
+                ty: Type::U32,
+                dst: t.clone(),
+                a: Operand::reg(&j),
+                b: Operand::reg(&rows),
+                c: Operand::reg(row),
+            });
+            t
+        } else {
+            let t = k.reg(Type::U32);
+            k.emit(Op::Mad {
+                ty: Type::U32,
+                dst: t.clone(),
+                a: Operand::reg(row),
+                b: Operand::reg(&cols),
+                c: Operand::reg(&j),
+            });
+            t
+        };
+        let aval = k.load_elem(&ag, &idx, Type::F32);
+        let xval = k.load_elem(&xg, &j, Type::F32);
+        k.emit(Op::Fma {
+            ty: Type::F32,
+            dst: acc.clone(),
+            a: Operand::reg(&aval),
+            b: Operand::reg(&xval),
+            c: Operand::reg(&acc),
+        });
+        k.emit(Op::Binary {
+            kind: BinKind::Add,
+            ty: Type::U32,
+            dst: j.clone(),
+            a: Operand::reg(&j),
+            b: Operand::ImmInt(1),
+        });
+        k.emit(Op::Bra {
+            uni: true,
+            target: top,
+        });
+        k.label(done);
+        // y[row] = alpha*acc + beta*y[row]
+        let yv = k.load_elem(&yg, row, Type::F32);
+        let by = k.binary(BinKind::MulLo, Type::F32, &beta, &yv);
+        let r = k.reg(Type::F32);
+        k.emit(Op::Fma {
+            ty: Type::F32,
+            dst: r.clone(),
+            a: Operand::reg(&alpha),
+            b: Operand::reg(&acc),
+            c: Operand::reg(&by),
+        });
+        k.store_elem(&yg, row, Type::F32, &r);
+    });
+    k.ret();
+    k.build()
+}
+
+/// Tile edge for the shared-memory GEMM kernels.
+pub const GEMM_TILE: u64 = 16;
+
+/// Generate a shared-memory tiled GEMM:
+/// `C[m,n] = alpha * A[m,k] * B[k,n] + beta * C[m,n]` (row-major).
+///
+/// Launch with `grid = (ceil(n/16), ceil(m/16))`, `block = (16, 16)`.
+/// Parameters: `a, b, c: u64, m, n, kk: u32, alpha, beta: f32`.
+pub fn gemm(name: &str, ty: Type) -> Function {
+    let t = GEMM_TILE as i64;
+    let mut k = KernelBuilder::entry(name);
+    let a_p = k.param(Type::U64, "a");
+    let b_p = k.param(Type::U64, "b");
+    let c_p = k.param(Type::U64, "c");
+    let m_p = k.param(Type::U32, "m");
+    let n_p = k.param(Type::U32, "n");
+    let k_p = k.param(Type::U32, "kk");
+    let alpha_p = k.param(ty, "alpha");
+    let beta_p = k.param(ty, "beta");
+    let tile_a = k.shared_array("tile_a", ty, (t * t) as u64);
+    let tile_b = k.shared_array("tile_b", ty, (t * t) as u64);
+
+    let a0 = k.ld_param(Type::U64, &a_p);
+    let ag = k.cvta_global(&a0);
+    let b0 = k.ld_param(Type::U64, &b_p);
+    let bg = k.cvta_global(&b0);
+    let c0 = k.ld_param(Type::U64, &c_p);
+    let cg = k.cvta_global(&c0);
+    let m = k.ld_param(Type::U32, &m_p);
+    let n = k.ld_param(Type::U32, &n_p);
+    let kk = k.ld_param(Type::U32, &k_p);
+    let alpha = k.ld_param(ty, &alpha_p);
+    let beta = k.ld_param(ty, &beta_p);
+
+    let ta = k.reg(Type::U64);
+    k.emit(Op::MovAddr {
+        ty: Type::U64,
+        dst: ta.clone(),
+        var: tile_a,
+    });
+    let tb = k.reg(Type::U64);
+    k.emit(Op::MovAddr {
+        ty: Type::U64,
+        dst: tb.clone(),
+        var: tile_b,
+    });
+
+    let tx = k.mov(Type::U32, Operand::Special(SpecialReg::Tid(Dim::X)));
+    let ty_ = k.mov(Type::U32, Operand::Special(SpecialReg::Tid(Dim::Y)));
+    let bx = k.mov(Type::U32, Operand::Special(SpecialReg::Ctaid(Dim::X)));
+    let by = k.mov(Type::U32, Operand::Special(SpecialReg::Ctaid(Dim::Y)));
+    // global row = by*T + ty ; global col = bx*T + tx
+    let row = k.reg(Type::U32);
+    k.emit(Op::Mad {
+        ty: Type::U32,
+        dst: row.clone(),
+        a: Operand::reg(&by),
+        b: Operand::ImmInt(t),
+        c: Operand::reg(&ty_),
+    });
+    let col = k.reg(Type::U32);
+    k.emit(Op::Mad {
+        ty: Type::U32,
+        dst: col.clone(),
+        a: Operand::reg(&bx),
+        b: Operand::ImmInt(t),
+        c: Operand::reg(&tx),
+    });
+    // shared slot indices: sy = ty*T+tx (row-major within tile)
+    let s_idx = k.reg(Type::U32);
+    k.emit(Op::Mad {
+        ty: Type::U32,
+        dst: s_idx.clone(),
+        a: Operand::reg(&ty_),
+        b: Operand::ImmInt(t),
+        c: Operand::reg(&tx),
+    });
+
+    let acc = match ty {
+        Type::F64 => {
+            let r = k.reg(Type::F64);
+            k.emit(Op::Mov {
+                ty: Type::F64,
+                dst: r.clone(),
+                src: Operand::ImmFloat(0.0),
+            });
+            r
+        }
+        _ => k.imm_f32(0.0),
+    };
+    let zero = match ty {
+        Type::F64 => {
+            let r = k.reg(Type::F64);
+            k.emit(Op::Mov {
+                ty: Type::F64,
+                dst: r.clone(),
+                src: Operand::ImmFloat(0.0),
+            });
+            r
+        }
+        _ => k.imm_f32(0.0),
+    };
+
+    // for (kt = 0; kt < kk; kt += T)
+    let kt = k.imm_u32(0);
+    let top = k.fresh_label("ktile");
+    let done = k.fresh_label("ktile_done");
+    k.label(top.clone());
+    let p_done = k.setp(CmpOp::Ge, Type::U32, &kt, Operand::reg(&kk));
+    k.emit_pred(&p_done, false, Op::Bra {
+        uni: false,
+        target: done.clone(),
+    });
+    {
+        // load A[row, kt+tx] into tile_a[ty][tx] (0 when out of range)
+        let acol = k.binary(BinKind::Add, Type::U32, &kt, &tx);
+        let a_in = {
+            let p1 = k.setp(CmpOp::Lt, Type::U32, &row, Operand::reg(&m));
+            let p2 = k.setp(CmpOp::Lt, Type::U32, &acol, Operand::reg(&kk));
+            (p1, p2)
+        };
+        let a_idx = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: a_idx.clone(),
+            a: Operand::reg(&row),
+            b: Operand::reg(&kk),
+            c: Operand::reg(&acol),
+        });
+        let a_val = k.reg(ty);
+        k.emit(Op::Mov {
+            ty,
+            dst: a_val.clone(),
+            src: Operand::reg(&zero),
+        });
+        k.if_then(&a_in.0, |k| {
+            k.if_then(&a_in.1, |k| {
+                let addr = k.elem_addr(&ag, &a_idx, ty);
+                k.emit(Op::Ld {
+                    space: ptx::types::Space::Global,
+                    ty,
+                    dst: a_val.clone(),
+                    addr: Address::reg(addr),
+                });
+            });
+        });
+        let sa = k.elem_addr(&ta, &s_idx, ty);
+        k.emit(Op::St {
+            space: ptx::types::Space::Shared,
+            ty,
+            addr: Address::reg(sa),
+            src: Operand::reg(&a_val),
+        });
+
+        // load B[kt+ty, col] into tile_b[ty][tx]
+        let brow = k.binary(BinKind::Add, Type::U32, &kt, &ty_);
+        let p3 = k.setp(CmpOp::Lt, Type::U32, &brow, Operand::reg(&kk));
+        let p4 = k.setp(CmpOp::Lt, Type::U32, &col, Operand::reg(&n));
+        let b_idx = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: b_idx.clone(),
+            a: Operand::reg(&brow),
+            b: Operand::reg(&n),
+            c: Operand::reg(&col),
+        });
+        let b_val = k.reg(ty);
+        k.emit(Op::Mov {
+            ty,
+            dst: b_val.clone(),
+            src: Operand::reg(&zero),
+        });
+        k.if_then(&p3, |k| {
+            k.if_then(&p4, |k| {
+                let addr = k.elem_addr(&bg, &b_idx, ty);
+                k.emit(Op::Ld {
+                    space: ptx::types::Space::Global,
+                    ty,
+                    dst: b_val.clone(),
+                    addr: Address::reg(addr),
+                });
+            });
+        });
+        let sb = k.elem_addr(&tb, &s_idx, ty);
+        k.emit(Op::St {
+            space: ptx::types::Space::Shared,
+            ty,
+            addr: Address::reg(sb),
+            src: Operand::reg(&b_val),
+        });
+
+        k.barrier();
+
+        // inner product over the tile
+        let j = k.imm_u32(0);
+        let jtop = k.fresh_label("jt");
+        let jdone = k.fresh_label("jt_done");
+        k.label(jtop.clone());
+        let pj = k.setp(CmpOp::Ge, Type::U32, &j, Operand::ImmInt(t));
+        k.emit_pred(&pj, false, Op::Bra {
+            uni: false,
+            target: jdone.clone(),
+        });
+        {
+            // tile_a[ty][j] * tile_b[j][tx]
+            let ai = k.reg(Type::U32);
+            k.emit(Op::Mad {
+                ty: Type::U32,
+                dst: ai.clone(),
+                a: Operand::reg(&ty_),
+                b: Operand::ImmInt(t),
+                c: Operand::reg(&j),
+            });
+            let bi = k.reg(Type::U32);
+            k.emit(Op::Mad {
+                ty: Type::U32,
+                dst: bi.clone(),
+                a: Operand::reg(&j),
+                b: Operand::ImmInt(t),
+                c: Operand::reg(&tx),
+            });
+            let aaddr = k.elem_addr(&ta, &ai, ty);
+            let av = k.reg(ty);
+            k.emit(Op::Ld {
+                space: ptx::types::Space::Shared,
+                ty,
+                dst: av.clone(),
+                addr: Address::reg(aaddr),
+            });
+            let baddr = k.elem_addr(&tb, &bi, ty);
+            let bv = k.reg(ty);
+            k.emit(Op::Ld {
+                space: ptx::types::Space::Shared,
+                ty,
+                dst: bv.clone(),
+                addr: Address::reg(baddr),
+            });
+            k.emit(Op::Fma {
+                ty,
+                dst: acc.clone(),
+                a: Operand::reg(&av),
+                b: Operand::reg(&bv),
+                c: Operand::reg(&acc),
+            });
+        }
+        k.emit(Op::Binary {
+            kind: BinKind::Add,
+            ty: Type::U32,
+            dst: j.clone(),
+            a: Operand::reg(&j),
+            b: Operand::ImmInt(1),
+        });
+        k.emit(Op::Bra {
+            uni: true,
+            target: jtop,
+        });
+        k.label(jdone);
+
+        k.barrier();
+    }
+    k.emit(Op::Binary {
+        kind: BinKind::Add,
+        ty: Type::U32,
+        dst: kt.clone(),
+        a: Operand::reg(&kt),
+        b: Operand::ImmInt(t),
+    });
+    k.emit(Op::Bra {
+        uni: true,
+        target: top,
+    });
+    k.label(done);
+
+    // C[row, col] = alpha*acc + beta*C[row, col] when in range.
+    let pr = k.setp(CmpOp::Lt, Type::U32, &row, Operand::reg(&m));
+    let pc = k.setp(CmpOp::Lt, Type::U32, &col, Operand::reg(&n));
+    k.if_then(&pr, |k| {
+        k.if_then(&pc, |k| {
+            let c_idx = k.reg(Type::U32);
+            k.emit(Op::Mad {
+                ty: Type::U32,
+                dst: c_idx.clone(),
+                a: Operand::reg(&row),
+                b: Operand::reg(&n),
+                c: Operand::reg(&col),
+            });
+            let caddr = k.elem_addr(&cg, &c_idx, ty);
+            let cv = k.reg(ty);
+            k.emit(Op::Ld {
+                space: ptx::types::Space::Global,
+                ty,
+                dst: cv.clone(),
+                addr: Address::reg(&caddr),
+            });
+            let bc = k.binary(BinKind::MulLo, ty, &beta, &cv);
+            let out = k.reg(ty);
+            k.emit(Op::Fma {
+                ty,
+                dst: out.clone(),
+                a: Operand::reg(&alpha),
+                b: Operand::reg(&acc),
+                c: Operand::reg(&bc),
+            });
+            k.emit(Op::St {
+                space: ptx::types::Space::Global,
+                ty,
+                addr: Address::reg(&caddr),
+                src: Operand::reg(&out),
+            });
+        });
+    });
+    k.ret();
+    k.build()
+}
+
+/// Generate a packed/banded triangular walk kernel: one thread per row,
+/// walking the packed lower-triangular representation
+/// (`idx = row*(row+1)/2 + j`). Covers the access shape of `tpmv`, `spr`,
+/// `hpr`, and friends.
+///
+/// Parameters: `ap: u64, x: u64, y: u64, n: u32, alpha: f32`.
+/// `accumulate_into_ap` selects update kernels (`spr`-like: write back into
+/// the packed matrix) versus product kernels (`tpmv`-like: write into `y`).
+pub fn packed_triangular(name: &str, accumulate_into_ap: bool) -> Function {
+    let mut k = KernelBuilder::entry(name);
+    let ap_p = k.param(Type::U64, "ap");
+    let x_p = k.param(Type::U64, "x");
+    let y_p = k.param(Type::U64, "y");
+    let n_p = k.param(Type::U32, "n");
+    let alpha_p = k.param(Type::F32, "alpha");
+
+    let ap0 = k.ld_param(Type::U64, &ap_p);
+    let apg = k.cvta_global(&ap0);
+    let x0 = k.ld_param(Type::U64, &x_p);
+    let xg = k.cvta_global(&x0);
+    let y0 = k.ld_param(Type::U64, &y_p);
+    let yg = k.cvta_global(&y0);
+    let n = k.ld_param(Type::U32, &n_p);
+    let alpha = k.ld_param(Type::F32, &alpha_p);
+
+    k.grid_stride_loop(&n, |k, row| {
+        // base = row*(row+1)/2
+        let rp1 = k.binary_imm(BinKind::Add, Type::U32, row, 1);
+        let prod = k.binary(BinKind::MulLo, Type::U32, row, &rp1);
+        let base = k.binary_imm(BinKind::Shr, Type::U32, &prod, 1);
+        let acc = k.imm_f32(0.0);
+        let xr = k.load_elem(&xg, row, Type::F32);
+        let j = k.imm_u32(0);
+        let top = k.fresh_label("tri");
+        let done = k.fresh_label("tri_done");
+        k.label(top.clone());
+        let p = k.setp(CmpOp::Gt, Type::U32, &j, Operand::reg(row));
+        k.emit_pred(&p, false, Op::Bra {
+            uni: false,
+            target: done.clone(),
+        });
+        let idx = k.binary(BinKind::Add, Type::U32, &base, &j);
+        if accumulate_into_ap {
+            // ap[idx] += alpha * x[row] * x[j]
+            let xj = k.load_elem(&xg, &j, Type::F32);
+            let prod = k.binary(BinKind::MulLo, Type::F32, &xr, &xj);
+            let scaled = k.binary(BinKind::MulLo, Type::F32, &alpha, &prod);
+            let av = k.load_elem(&apg, &idx, Type::F32);
+            let sum = k.binary(BinKind::Add, Type::F32, &av, &scaled);
+            k.store_elem(&apg, &idx, Type::F32, &sum);
+        } else {
+            // acc += ap[idx] * x[j]
+            let av = k.load_elem(&apg, &idx, Type::F32);
+            let xj = k.load_elem(&xg, &j, Type::F32);
+            k.emit(Op::Fma {
+                ty: Type::F32,
+                dst: acc.clone(),
+                a: Operand::reg(&av),
+                b: Operand::reg(&xj),
+                c: Operand::reg(&acc),
+            });
+        }
+        k.emit(Op::Binary {
+            kind: BinKind::Add,
+            ty: Type::U32,
+            dst: j.clone(),
+            a: Operand::reg(&j),
+            b: Operand::ImmInt(1),
+        });
+        k.emit(Op::Bra {
+            uni: true,
+            target: top,
+        });
+        k.label(done);
+        if !accumulate_into_ap {
+            let scaled = k.binary(BinKind::MulLo, Type::F32, &alpha, &acc);
+            k.store_elem(&yg, row, Type::F32, &scaled);
+        }
+    });
+    k.ret();
+    k.build()
+}
+
+/// Generate a sequential triangular solve (`trsv`-shape): a single thread
+/// performs forward substitution on a dense row-major lower-triangular
+/// system. Launch with one thread.
+///
+/// Parameters: `a: u64, b: u64 (rhs, overwritten with x), n: u32`.
+pub fn triangular_solve(name: &str) -> Function {
+    let mut k = KernelBuilder::entry(name);
+    let a_p = k.param(Type::U64, "a");
+    let b_p = k.param(Type::U64, "b");
+    let n_p = k.param(Type::U32, "n");
+
+    let a0 = k.ld_param(Type::U64, &a_p);
+    let ag = k.cvta_global(&a0);
+    let b0 = k.ld_param(Type::U64, &b_p);
+    let bg = k.cvta_global(&b0);
+    let n = k.ld_param(Type::U32, &n_p);
+
+    // Only thread 0 of block 0 works.
+    let gtid = k.global_tid_x();
+    let p_not0 = k.setp(CmpOp::Ne, Type::U32, &gtid, Operand::ImmInt(0));
+    let end = k.fresh_label("end");
+    k.emit_pred(&p_not0, false, Op::Bra {
+        uni: false,
+        target: end.clone(),
+    });
+
+    let i = k.imm_u32(0);
+    let itop = k.fresh_label("row");
+    let idone = k.fresh_label("row_done");
+    k.label(itop.clone());
+    let pi = k.setp(CmpOp::Ge, Type::U32, &i, Operand::reg(&n));
+    k.emit_pred(&pi, false, Op::Bra {
+        uni: false,
+        target: idone.clone(),
+    });
+    {
+        let acc = k.load_elem(&bg, &i, Type::F32);
+        let j = k.imm_u32(0);
+        let jtop = k.fresh_label("colj");
+        let jdone = k.fresh_label("colj_done");
+        k.label(jtop.clone());
+        let pj = k.setp(CmpOp::Ge, Type::U32, &j, Operand::reg(&i));
+        k.emit_pred(&pj, false, Op::Bra {
+            uni: false,
+            target: jdone.clone(),
+        });
+        let idx = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: idx.clone(),
+            a: Operand::reg(&i),
+            b: Operand::reg(&n),
+            c: Operand::reg(&j),
+        });
+        let aij = k.load_elem(&ag, &idx, Type::F32);
+        let xj = k.load_elem(&bg, &j, Type::F32);
+        let prod = k.binary(BinKind::MulLo, Type::F32, &aij, &xj);
+        k.emit(Op::Binary {
+            kind: BinKind::Sub,
+            ty: Type::F32,
+            dst: acc.clone(),
+            a: Operand::reg(&acc),
+            b: Operand::reg(&prod),
+        });
+        k.emit(Op::Binary {
+            kind: BinKind::Add,
+            ty: Type::U32,
+            dst: j.clone(),
+            a: Operand::reg(&j),
+            b: Operand::ImmInt(1),
+        });
+        k.emit(Op::Bra {
+            uni: true,
+            target: jtop,
+        });
+        k.label(jdone);
+        // x[i] = acc / A[i,i]
+        let dii_idx = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: dii_idx.clone(),
+            a: Operand::reg(&i),
+            b: Operand::reg(&n),
+            c: Operand::reg(&i),
+        });
+        let dii = k.load_elem(&ag, &dii_idx, Type::F32);
+        let xi = k.binary(BinKind::Div, Type::F32, &acc, &dii);
+        k.store_elem(&bg, &i, Type::F32, &xi);
+    }
+    k.emit(Op::Binary {
+        kind: BinKind::Add,
+        ty: Type::U32,
+        dst: i.clone(),
+        a: Operand::reg(&i),
+        b: Operand::ImmInt(1),
+    });
+    k.emit(Op::Bra {
+        uni: true,
+        target: itop,
+    });
+    k.label(idone);
+    k.label(end);
+    k.ret();
+    k.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptx::builder::ModuleBuilder;
+
+    fn build_and_validate(f: Function) {
+        let m = ModuleBuilder::new().push_function(f).build();
+        ptx::validate(&m).unwrap_or_else(|e| panic!("{e}\n{m}"));
+        // Round-trip through text like a fatbin would.
+        let text = m.to_string();
+        let re = ptx::parse(&text).unwrap();
+        ptx::validate(&re).unwrap();
+    }
+
+    #[test]
+    fn elementwise_kernels_validate() {
+        build_and_validate(elementwise("scal", 1, 1, |k, ins, ss| {
+            k.binary(BinKind::MulLo, Type::F32, &ins[0], &ss[0])
+        }));
+        build_and_validate(elementwise("axpy2", 2, 1, |k, ins, ss| {
+            let p = k.binary(BinKind::MulLo, Type::F32, &ins[0], &ss[0]);
+            k.binary(BinKind::Add, Type::F32, &p, &ins[1])
+        }));
+    }
+
+    #[test]
+    fn reduction_kernel_validates() {
+        build_and_validate(reduction("asum_t", 1, |k, ins, _| {
+            k.unary(ptx::types::UnaryKind::Abs, Type::F32, &ins[0])
+        }));
+        build_and_validate(reduction("dot_t", 2, |k, ins, _| {
+            k.binary(BinKind::MulLo, Type::F32, &ins[0], &ins[1])
+        }));
+    }
+
+    #[test]
+    fn gemv_kernels_validate() {
+        build_and_validate(gemv("gemvn_t", false));
+        build_and_validate(gemv("gemvt_t", true));
+    }
+
+    #[test]
+    fn gemm_kernels_validate() {
+        build_and_validate(gemm("sgemm_t", Type::F32));
+        build_and_validate(gemm("dgemm_t", Type::F64));
+    }
+
+    #[test]
+    fn triangular_kernels_validate() {
+        build_and_validate(packed_triangular("tpmv_t", false));
+        build_and_validate(packed_triangular("spr_t", true));
+        build_and_validate(triangular_solve("trsv_t"));
+    }
+}

@@ -1,0 +1,8 @@
+//! The PTX kernel catalogs of every mini accelerated library.
+
+pub mod blas;
+pub mod dnn;
+pub mod fft;
+pub mod helpers;
+pub mod rand;
+pub mod sparse;

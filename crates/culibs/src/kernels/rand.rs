@@ -1,0 +1,127 @@
+//! Mini-cuRAND kernel: a counter-based uniform generator (LCG-squared,
+//! Philox-flavoured) producing `f32` in `[0, 1)`.
+
+use ptx::builder::KernelBuilder;
+use ptx::types::{BinKind, Type};
+use ptx::{Function, Op, Operand};
+
+/// `curand_uniform`: `out[i] = uniform(seed, i)`.
+/// Params: `out: u64, n: u32, seed: u32`.
+pub fn uniform_kernel() -> Function {
+    let mut k = KernelBuilder::entry("curand_uniform");
+    let o_p = k.param(Type::U64, "out");
+    let n_p = k.param(Type::U32, "n");
+    let seed_p = k.param(Type::U32, "seed");
+    let o0 = k.ld_param(Type::U64, &o_p);
+    let og = k.cvta_global(&o0);
+    let n = k.ld_param(Type::U32, &n_p);
+    let seed = k.ld_param(Type::U32, &seed_p);
+    k.grid_stride_loop(&n, |k, i| {
+        // state = (seed ^ (i * 0x9E3779B9)) then two LCG rounds
+        let h = k.binary_imm(BinKind::MulLo, Type::U32, i, 0x9E37_79B9u32 as i64);
+        let state = k.binary(BinKind::Xor, Type::B32, &seed, &h);
+        for _ in 0..2 {
+            let m = k.binary_imm(BinKind::MulLo, Type::U32, &state, 1_664_525);
+            let s2 = k.binary_imm(BinKind::Add, Type::U32, &m, 1_013_904_223);
+            k.emit(Op::Mov {
+                ty: Type::B32,
+                dst: state.clone(),
+                src: Operand::reg(&s2),
+            });
+        }
+        // top 24 bits -> [0,1): u >> 8 then * 2^-24
+        let top = k.binary_imm(BinKind::Shr, Type::U32, &state, 8);
+        let f = k.reg(Type::F32);
+        k.emit(Op::Cvt {
+            dty: Type::F32,
+            sty: Type::U32,
+            dst: f.clone(),
+            src: Operand::reg(&top),
+        });
+        let scale = k.imm_f32(1.0 / 16_777_216.0);
+        let r = k.binary(BinKind::MulLo, Type::F32, &f, &scale);
+        k.store_elem(&og, i, Type::F32, &r);
+    });
+    k.ret();
+    k.build()
+}
+
+/// `curand_normal`: Box-Muller on pairs of uniforms (approximate, single
+/// value per thread using sin path).
+/// Params: `out: u64, n: u32, seed: u32`.
+pub fn normal_kernel() -> Function {
+    let mut k = KernelBuilder::entry("curand_normal");
+    let o_p = k.param(Type::U64, "out");
+    let n_p = k.param(Type::U32, "n");
+    let seed_p = k.param(Type::U32, "seed");
+    let o0 = k.ld_param(Type::U64, &o_p);
+    let og = k.cvta_global(&o0);
+    let n = k.ld_param(Type::U32, &n_p);
+    let seed = k.ld_param(Type::U32, &seed_p);
+    k.grid_stride_loop(&n, |k, i| {
+        let h1 = k.binary_imm(BinKind::MulLo, Type::U32, i, 0x9E37_79B9u32 as i64);
+        let s1 = k.binary(BinKind::Xor, Type::B32, &seed, &h1);
+        let m1 = k.binary_imm(BinKind::MulLo, Type::U32, &s1, 1_664_525);
+        let a1 = k.binary_imm(BinKind::Add, Type::U32, &m1, 1_013_904_223);
+        let t1 = k.binary_imm(BinKind::Shr, Type::U32, &a1, 8);
+        let u1 = k.reg(Type::F32);
+        k.emit(Op::Cvt {
+            dty: Type::F32,
+            sty: Type::U32,
+            dst: u1.clone(),
+            src: Operand::reg(&t1),
+        });
+        let scale = k.imm_f32(1.0 / 16_777_216.0);
+        let f1 = k.binary(BinKind::MulLo, Type::F32, &u1, &scale);
+        // avoid log(0)
+        let eps = k.imm_f32(1e-7);
+        let f1c = k.binary(BinKind::Max, Type::F32, &f1, &eps);
+        let m2 = k.binary_imm(BinKind::MulLo, Type::U32, &a1, 22_695_477);
+        let a2 = k.binary_imm(BinKind::Add, Type::U32, &m2, 1);
+        let t2 = k.binary_imm(BinKind::Shr, Type::U32, &a2, 8);
+        let u2 = k.reg(Type::F32);
+        k.emit(Op::Cvt {
+            dty: Type::F32,
+            sty: Type::U32,
+            dst: u2.clone(),
+            src: Operand::reg(&t2),
+        });
+        let f2 = k.binary(BinKind::MulLo, Type::F32, &u2, &scale);
+        // r = sqrt(-2 ln u1) * sin(2 pi u2); ln via lg2.
+        let l2 = k.unary(ptx::types::UnaryKind::Lg2, Type::F32, &f1c);
+        let ln2 = k.imm_f32(std::f32::consts::LN_2);
+        let ln = k.binary(BinKind::MulLo, Type::F32, &l2, &ln2);
+        let m2f = k.imm_f32(-2.0);
+        let mag2 = k.binary(BinKind::MulLo, Type::F32, &m2f, &ln);
+        let mag = k.unary(ptx::types::UnaryKind::Sqrt, Type::F32, &mag2);
+        let twopi = k.imm_f32(std::f32::consts::TAU);
+        let ang = k.binary(BinKind::MulLo, Type::F32, &twopi, &f2);
+        let s = k.unary(ptx::types::UnaryKind::Sin, Type::F32, &ang);
+        let r = k.binary(BinKind::MulLo, Type::F32, &mag, &s);
+        k.store_elem(&og, i, Type::F32, &r);
+    });
+    k.ret();
+    k.build()
+}
+
+/// The cuRAND kernel set.
+pub fn all_kernels() -> Vec<Function> {
+    vec![uniform_kernel(), normal_kernel()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptx::builder::ModuleBuilder;
+
+    #[test]
+    fn rand_kernels_validate() {
+        let mut mb = ModuleBuilder::new();
+        for f in all_kernels() {
+            mb = mb.push_function(f);
+        }
+        let m = mb.build();
+        ptx::validate(&m).unwrap();
+        ptx::validate(&ptx::parse(&m.to_string()).unwrap()).unwrap();
+    }
+}

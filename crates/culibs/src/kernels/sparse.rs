@@ -1,0 +1,534 @@
+//! Mini-cuSPARSE kernels (the sparse half of the paper's Figure 12:
+//! `coosort`, `dense2sparse`, `gather`, `gpsvInter`, `rotsp`, `scatter`,
+//! `spmmcooB`, `spmmcsr`, `spmmcsrB`, `spvv`) plus `axpby` (Table 6).
+
+use ptx::builder::KernelBuilder;
+use ptx::types::{AtomKind, BinKind, CmpOp, Type};
+use ptx::{Address, Function, Op, Operand};
+
+/// `axpby`: `y = alpha*x + beta*y` (dense vectors; cusparseAxpby operates
+/// on the sparse vector's expanded values here).
+fn axpby_kernel() -> Function {
+    super::helpers::elementwise("axpby", 2, 2, |k, ins, ss| {
+        let by = k.binary(BinKind::MulLo, Type::F32, &ss[1], &ins[1]);
+        k.fma(Type::F32, &ss[0], &ins[0], &by)
+    })
+}
+
+/// `gather`: `out[i] = x[idx[i]]`.
+/// Params: `x, idx, out: u64, n: u32`.
+fn gather_kernel() -> Function {
+    let mut k = KernelBuilder::entry("gather");
+    let x_p = k.param(Type::U64, "x");
+    let i_p = k.param(Type::U64, "idx");
+    let o_p = k.param(Type::U64, "out");
+    let n_p = k.param(Type::U32, "n");
+    let x0 = k.ld_param(Type::U64, &x_p);
+    let xg = k.cvta_global(&x0);
+    let i0 = k.ld_param(Type::U64, &i_p);
+    let ig = k.cvta_global(&i0);
+    let o0 = k.ld_param(Type::U64, &o_p);
+    let og = k.cvta_global(&o0);
+    let n = k.ld_param(Type::U32, &n_p);
+    k.grid_stride_loop(&n, |k, i| {
+        let target = k.load_elem(&ig, i, Type::U32);
+        let v = k.load_elem(&xg, &target, Type::F32);
+        k.store_elem(&og, i, Type::F32, &v);
+    });
+    k.ret();
+    k.build()
+}
+
+/// `scatter`: `out[idx[i]] = x[i]`.
+fn scatter_kernel() -> Function {
+    let mut k = KernelBuilder::entry("scatter");
+    let x_p = k.param(Type::U64, "x");
+    let i_p = k.param(Type::U64, "idx");
+    let o_p = k.param(Type::U64, "out");
+    let n_p = k.param(Type::U32, "n");
+    let x0 = k.ld_param(Type::U64, &x_p);
+    let xg = k.cvta_global(&x0);
+    let i0 = k.ld_param(Type::U64, &i_p);
+    let ig = k.cvta_global(&i0);
+    let o0 = k.ld_param(Type::U64, &o_p);
+    let og = k.cvta_global(&o0);
+    let n = k.ld_param(Type::U32, &n_p);
+    k.grid_stride_loop(&n, |k, i| {
+        let target = k.load_elem(&ig, i, Type::U32);
+        let v = k.load_elem(&xg, i, Type::F32);
+        k.store_elem(&og, &target, Type::F32, &v);
+    });
+    k.ret();
+    k.build()
+}
+
+/// `spvv`: sparse-dense dot product: `atomicAdd(out, vals[i] * y[idx[i]])`.
+fn spvv_kernel() -> Function {
+    let mut k = KernelBuilder::entry("spvv");
+    let v_p = k.param(Type::U64, "vals");
+    let i_p = k.param(Type::U64, "idx");
+    let y_p = k.param(Type::U64, "y");
+    let o_p = k.param(Type::U64, "out");
+    let n_p = k.param(Type::U32, "nnz");
+    let v0 = k.ld_param(Type::U64, &v_p);
+    let vg = k.cvta_global(&v0);
+    let i0 = k.ld_param(Type::U64, &i_p);
+    let ig = k.cvta_global(&i0);
+    let y0 = k.ld_param(Type::U64, &y_p);
+    let yg = k.cvta_global(&y0);
+    let o0 = k.ld_param(Type::U64, &o_p);
+    let og = k.cvta_global(&o0);
+    let n = k.ld_param(Type::U32, &n_p);
+    k.grid_stride_loop(&n, |k, i| {
+        let col = k.load_elem(&ig, i, Type::U32);
+        let a = k.load_elem(&vg, i, Type::F32);
+        let b = k.load_elem(&yg, &col, Type::F32);
+        let prod = k.binary(BinKind::MulLo, Type::F32, &a, &b);
+        let old = k.reg(Type::F32);
+        k.emit(Op::Atom {
+            op: AtomKind::Add,
+            space: ptx::types::Space::Global,
+            ty: Type::F32,
+            dst: old,
+            addr: Address::reg(&og),
+            src: Operand::reg(&prod),
+            cmp: None,
+        });
+    });
+    k.ret();
+    k.build()
+}
+
+/// `rotsp`: apply a Givens rotation to a sparse vector against a dense one:
+/// `x.vals[i], y[x.idx[i]] = c*xv + s*yv, c*yv - s*xv`.
+fn rotsp_kernel() -> Function {
+    let mut k = KernelBuilder::entry("rotsp");
+    let v_p = k.param(Type::U64, "vals");
+    let i_p = k.param(Type::U64, "idx");
+    let y_p = k.param(Type::U64, "y");
+    let n_p = k.param(Type::U32, "nnz");
+    let c_p = k.param(Type::F32, "c");
+    let s_p = k.param(Type::F32, "s");
+    let v0 = k.ld_param(Type::U64, &v_p);
+    let vg = k.cvta_global(&v0);
+    let i0 = k.ld_param(Type::U64, &i_p);
+    let ig = k.cvta_global(&i0);
+    let y0 = k.ld_param(Type::U64, &y_p);
+    let yg = k.cvta_global(&y0);
+    let n = k.ld_param(Type::U32, &n_p);
+    let c = k.ld_param(Type::F32, &c_p);
+    let s = k.ld_param(Type::F32, &s_p);
+    k.grid_stride_loop(&n, |k, i| {
+        let col = k.load_elem(&ig, i, Type::U32);
+        let xv = k.load_elem(&vg, i, Type::F32);
+        let yv = k.load_elem(&yg, &col, Type::F32);
+        let cx = k.binary(BinKind::MulLo, Type::F32, &c, &xv);
+        let nx = k.fma(Type::F32, &s, &yv, &cx);
+        let sx = k.binary(BinKind::MulLo, Type::F32, &s, &xv);
+        let cy = k.binary(BinKind::MulLo, Type::F32, &c, &yv);
+        let ny = k.binary(BinKind::Sub, Type::F32, &cy, &sx);
+        k.store_elem(&vg, i, Type::F32, &nx);
+        k.store_elem(&yg, &col, Type::F32, &ny);
+    });
+    k.ret();
+    k.build()
+}
+
+/// `dense2sparse`: compact the nonzeros of a dense vector into
+/// `(vals, idx)` using an atomic cursor.
+/// Params: `x, vals, idx, counter: u64, n: u32`.
+fn dense2sparse_kernel() -> Function {
+    let mut k = KernelBuilder::entry("dense2sparse");
+    let x_p = k.param(Type::U64, "x");
+    let v_p = k.param(Type::U64, "vals");
+    let i_p = k.param(Type::U64, "idx");
+    let c_p = k.param(Type::U64, "counter");
+    let n_p = k.param(Type::U32, "n");
+    let x0 = k.ld_param(Type::U64, &x_p);
+    let xg = k.cvta_global(&x0);
+    let v0 = k.ld_param(Type::U64, &v_p);
+    let vg = k.cvta_global(&v0);
+    let i0 = k.ld_param(Type::U64, &i_p);
+    let ig = k.cvta_global(&i0);
+    let c0 = k.ld_param(Type::U64, &c_p);
+    let cg = k.cvta_global(&c0);
+    let n = k.ld_param(Type::U32, &n_p);
+    k.grid_stride_loop(&n, |k, i| {
+        let v = k.load_elem(&xg, i, Type::F32);
+        let zero = k.imm_f32(0.0);
+        let nz = k.setp(CmpOp::Ne, Type::F32, &v, Operand::reg(&zero));
+        k.if_then(&nz, |k| {
+            let one = k.imm_u32(1);
+            let pos = k.reg(Type::U32);
+            k.emit(Op::Atom {
+                op: AtomKind::Add,
+                space: ptx::types::Space::Global,
+                ty: Type::U32,
+                dst: pos.clone(),
+                addr: Address::reg(&cg),
+                src: Operand::reg(&one),
+                cmp: None,
+            });
+            k.store_elem(&vg, &pos, Type::F32, &v);
+            k.store_elem(&ig, &pos, Type::U32, i);
+        });
+    });
+    k.ret();
+    k.build()
+}
+
+/// `coosort`: one even/odd transposition pass over COO (key, val) pairs;
+/// the host launches `n` passes alternating parity.
+/// Params: `keys, vals: u64, n: u32, parity: u32`.
+fn coosort_kernel() -> Function {
+    let mut k = KernelBuilder::entry("coosort");
+    let k_p = k.param(Type::U64, "keys");
+    let v_p = k.param(Type::U64, "vals");
+    let n_p = k.param(Type::U32, "n");
+    let par_p = k.param(Type::U32, "parity");
+    let k0 = k.ld_param(Type::U64, &k_p);
+    let kg = k.cvta_global(&k0);
+    let v0 = k.ld_param(Type::U64, &v_p);
+    let vg = k.cvta_global(&v0);
+    let n = k.ld_param(Type::U32, &n_p);
+    let parity = k.ld_param(Type::U32, &par_p);
+    let pairs = k.binary_imm(BinKind::Shr, Type::U32, &n, 1);
+    k.grid_stride_loop(&pairs, |k, t| {
+        // i = 2*t + parity ; j = i+1 ; guard j < n
+        let i = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: i.clone(),
+            a: Operand::reg(t),
+            b: Operand::ImmInt(2),
+            c: Operand::reg(&parity),
+        });
+        let j = k.binary_imm(BinKind::Add, Type::U32, &i, 1);
+        let in_range = k.setp(CmpOp::Lt, Type::U32, &j, Operand::reg(&n));
+        k.if_then(&in_range, |k| {
+            let ki = k.load_elem(&kg, &i, Type::U32);
+            let kj = k.load_elem(&kg, &j, Type::U32);
+            let swap = k.setp(CmpOp::Gt, Type::U32, &ki, Operand::reg(&kj));
+            k.if_then(&swap, |k| {
+                k.store_elem(&kg, &i, Type::U32, &kj);
+                k.store_elem(&kg, &j, Type::U32, &ki);
+                let vi = k.load_elem(&vg, &i, Type::F32);
+                let vj = k.load_elem(&vg, &j, Type::F32);
+                k.store_elem(&vg, &i, Type::F32, &vj);
+                k.store_elem(&vg, &j, Type::F32, &vi);
+            });
+        });
+    });
+    k.ret();
+    k.build()
+}
+
+/// CSR sparse-matrix × dense-matrix product (`spmmcsr` / `spmmcsrB`):
+/// one thread per output row × dense-column pair.
+/// Params: `row_ptr, col_idx, vals, b, c: u64, rows, bcols: u32`.
+fn spmm_csr_kernel(name: &str) -> Function {
+    let mut k = KernelBuilder::entry(name);
+    let rp_p = k.param(Type::U64, "row_ptr");
+    let ci_p = k.param(Type::U64, "col_idx");
+    let v_p = k.param(Type::U64, "vals");
+    let b_p = k.param(Type::U64, "b");
+    let c_p = k.param(Type::U64, "c");
+    let rows_p = k.param(Type::U32, "rows");
+    let bcols_p = k.param(Type::U32, "bcols");
+    let rp0 = k.ld_param(Type::U64, &rp_p);
+    let rpg = k.cvta_global(&rp0);
+    let ci0 = k.ld_param(Type::U64, &ci_p);
+    let cig = k.cvta_global(&ci0);
+    let v0 = k.ld_param(Type::U64, &v_p);
+    let vg = k.cvta_global(&v0);
+    let b0 = k.ld_param(Type::U64, &b_p);
+    let bg = k.cvta_global(&b0);
+    let c0 = k.ld_param(Type::U64, &c_p);
+    let cg = k.cvta_global(&c0);
+    let rows = k.ld_param(Type::U32, &rows_p);
+    let bcols = k.ld_param(Type::U32, &bcols_p);
+    let total = k.binary(BinKind::MulLo, Type::U32, &rows, &bcols);
+    k.grid_stride_loop(&total, |k, e| {
+        let row = k.binary(BinKind::Div, Type::U32, e, &bcols);
+        let bc = k.binary(BinKind::Rem, Type::U32, e, &bcols);
+        let start = k.load_elem(&rpg, &row, Type::U32);
+        let rp1 = k.binary_imm(BinKind::Add, Type::U32, &row, 1);
+        let end = k.load_elem(&rpg, &rp1, Type::U32);
+        let acc = k.imm_f32(0.0);
+        let p = k.mov(Type::U32, Operand::reg(&start));
+        let top = k.fresh_label("nz");
+        let done = k.fresh_label("nz_done");
+        k.label(top.clone());
+        let pd = k.setp(CmpOp::Ge, Type::U32, &p, Operand::reg(&end));
+        k.emit_pred(&pd, false, Op::Bra { uni: false, target: done.clone() });
+        let col = k.load_elem(&cig, &p, Type::U32);
+        let av = k.load_elem(&vg, &p, Type::F32);
+        let b_idx = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: b_idx.clone(),
+            a: Operand::reg(&col),
+            b: Operand::reg(&bcols),
+            c: Operand::reg(&bc),
+        });
+        let bv = k.load_elem(&bg, &b_idx, Type::F32);
+        k.emit(Op::Fma {
+            ty: Type::F32,
+            dst: acc.clone(),
+            a: Operand::reg(&av),
+            b: Operand::reg(&bv),
+            c: Operand::reg(&acc),
+        });
+        k.emit(Op::Binary {
+            kind: BinKind::Add,
+            ty: Type::U32,
+            dst: p.clone(),
+            a: Operand::reg(&p),
+            b: Operand::ImmInt(1),
+        });
+        k.emit(Op::Bra { uni: true, target: top });
+        k.label(done);
+        k.store_elem(&cg, e, Type::F32, &acc);
+    });
+    k.ret();
+    k.build()
+}
+
+/// COO sparse-matrix × dense-matrix product (`spmmcooB`): one thread per
+/// nonzero × dense-column, accumulating atomically.
+/// Params: `rows_idx, cols_idx, vals, b, c: u64, nnz, bcols: u32`.
+fn spmm_coo_kernel() -> Function {
+    let mut k = KernelBuilder::entry("spmmcooB");
+    let r_p = k.param(Type::U64, "rows_idx");
+    let cidx_p = k.param(Type::U64, "cols_idx");
+    let v_p = k.param(Type::U64, "vals");
+    let b_p = k.param(Type::U64, "b");
+    let c_p = k.param(Type::U64, "c");
+    let nnz_p = k.param(Type::U32, "nnz");
+    let bcols_p = k.param(Type::U32, "bcols");
+    let r0 = k.ld_param(Type::U64, &r_p);
+    let rg = k.cvta_global(&r0);
+    let ci0 = k.ld_param(Type::U64, &cidx_p);
+    let cig = k.cvta_global(&ci0);
+    let v0 = k.ld_param(Type::U64, &v_p);
+    let vg = k.cvta_global(&v0);
+    let b0 = k.ld_param(Type::U64, &b_p);
+    let bg = k.cvta_global(&b0);
+    let c0 = k.ld_param(Type::U64, &c_p);
+    let cg = k.cvta_global(&c0);
+    let nnz = k.ld_param(Type::U32, &nnz_p);
+    let bcols = k.ld_param(Type::U32, &bcols_p);
+    let total = k.binary(BinKind::MulLo, Type::U32, &nnz, &bcols);
+    k.grid_stride_loop(&total, |k, e| {
+        let t = k.binary(BinKind::Div, Type::U32, e, &bcols);
+        let bc = k.binary(BinKind::Rem, Type::U32, e, &bcols);
+        let row = k.load_elem(&rg, &t, Type::U32);
+        let col = k.load_elem(&cig, &t, Type::U32);
+        let av = k.load_elem(&vg, &t, Type::F32);
+        let b_idx = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: b_idx.clone(),
+            a: Operand::reg(&col),
+            b: Operand::reg(&bcols),
+            c: Operand::reg(&bc),
+        });
+        let bv = k.load_elem(&bg, &b_idx, Type::F32);
+        let prod = k.binary(BinKind::MulLo, Type::F32, &av, &bv);
+        let c_idx = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: c_idx.clone(),
+            a: Operand::reg(&row),
+            b: Operand::reg(&bcols),
+            c: Operand::reg(&bc),
+        });
+        let addr = k.elem_addr(&cg, &c_idx, Type::F32);
+        let old = k.reg(Type::F32);
+        k.emit(Op::Atom {
+            op: AtomKind::Add,
+            space: ptx::types::Space::Global,
+            ty: Type::F32,
+            dst: old,
+            addr: Address::reg(addr),
+            src: Operand::reg(&prod),
+            cmp: None,
+        });
+    });
+    k.ret();
+    k.build()
+}
+
+/// `gpsvInter`: interleaved tridiagonal (Thomas) solve, one system per
+/// thread over strided storage.
+/// Params: `dl, d, du, b: u64, n: u32 (unknowns per system),
+/// systems: u32` — arrays interleaved `a[i*systems + sys]`.
+fn gpsv_kernel() -> Function {
+    let mut k = KernelBuilder::entry("gpsvInter");
+    let dl_p = k.param(Type::U64, "dl");
+    let d_p = k.param(Type::U64, "d");
+    let du_p = k.param(Type::U64, "du");
+    let b_p = k.param(Type::U64, "b");
+    let n_p = k.param(Type::U32, "n");
+    let sys_p = k.param(Type::U32, "systems");
+    let dl0 = k.ld_param(Type::U64, &dl_p);
+    let dlg = k.cvta_global(&dl0);
+    let d0 = k.ld_param(Type::U64, &d_p);
+    let dg = k.cvta_global(&d0);
+    let du0 = k.ld_param(Type::U64, &du_p);
+    let dug = k.cvta_global(&du0);
+    let b0 = k.ld_param(Type::U64, &b_p);
+    let bg = k.cvta_global(&b0);
+    let n = k.ld_param(Type::U32, &n_p);
+    let systems = k.ld_param(Type::U32, &sys_p);
+    k.grid_stride_loop(&systems, |k, sys| {
+        // Forward sweep: for i in 1..n
+        let i = k.imm_u32(1);
+        let ftop = k.fresh_label("fw");
+        let fdone = k.fresh_label("fw_done");
+        k.label(ftop.clone());
+        let pf = k.setp(CmpOp::Ge, Type::U32, &i, Operand::reg(&n));
+        k.emit_pred(&pf, false, Op::Bra { uni: false, target: fdone.clone() });
+        {
+            // idx = i*systems + sys ; prev = (i-1)*systems + sys
+            let idx = k.reg(Type::U32);
+            k.emit(Op::Mad {
+                ty: Type::U32,
+                dst: idx.clone(),
+                a: Operand::reg(&i),
+                b: Operand::reg(&systems),
+                c: Operand::reg(sys),
+            });
+            let im1 = k.binary_imm(BinKind::Sub, Type::U32, &i, 1);
+            let prev = k.reg(Type::U32);
+            k.emit(Op::Mad {
+                ty: Type::U32,
+                dst: prev.clone(),
+                a: Operand::reg(&im1),
+                b: Operand::reg(&systems),
+                c: Operand::reg(sys),
+            });
+            let w_num = k.load_elem(&dlg, &idx, Type::F32);
+            let d_prev = k.load_elem(&dg, &prev, Type::F32);
+            let w = k.binary(BinKind::Div, Type::F32, &w_num, &d_prev);
+            let du_prev = k.load_elem(&dug, &prev, Type::F32);
+            let dv = k.load_elem(&dg, &idx, Type::F32);
+            let wdu = k.binary(BinKind::MulLo, Type::F32, &w, &du_prev);
+            let nd = k.binary(BinKind::Sub, Type::F32, &dv, &wdu);
+            k.store_elem(&dg, &idx, Type::F32, &nd);
+            let b_prev = k.load_elem(&bg, &prev, Type::F32);
+            let bv = k.load_elem(&bg, &idx, Type::F32);
+            let wb = k.binary(BinKind::MulLo, Type::F32, &w, &b_prev);
+            let nb = k.binary(BinKind::Sub, Type::F32, &bv, &wb);
+            k.store_elem(&bg, &idx, Type::F32, &nb);
+        }
+        k.emit(Op::Binary {
+            kind: BinKind::Add,
+            ty: Type::U32,
+            dst: i.clone(),
+            a: Operand::reg(&i),
+            b: Operand::ImmInt(1),
+        });
+        k.emit(Op::Bra { uni: true, target: ftop });
+        k.label(fdone);
+        // Back substitution: x[n-1] then up.
+        let last = k.binary_imm(BinKind::Sub, Type::U32, &n, 1);
+        let lidx = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: lidx.clone(),
+            a: Operand::reg(&last),
+            b: Operand::reg(&systems),
+            c: Operand::reg(sys),
+        });
+        let bl = k.load_elem(&bg, &lidx, Type::F32);
+        let dl_ = k.load_elem(&dg, &lidx, Type::F32);
+        let xl = k.binary(BinKind::Div, Type::F32, &bl, &dl_);
+        k.store_elem(&bg, &lidx, Type::F32, &xl);
+        let j = k.mov(Type::U32, Operand::reg(&last));
+        let btop = k.fresh_label("bk");
+        let bdone = k.fresh_label("bk_done");
+        k.label(btop.clone());
+        let pb = k.setp(CmpOp::Eq, Type::U32, &j, Operand::ImmInt(0));
+        k.emit_pred(&pb, false, Op::Bra { uni: false, target: bdone.clone() });
+        {
+            let jm1 = k.binary_imm(BinKind::Sub, Type::U32, &j, 1);
+            let idx = k.reg(Type::U32);
+            k.emit(Op::Mad {
+                ty: Type::U32,
+                dst: idx.clone(),
+                a: Operand::reg(&jm1),
+                b: Operand::reg(&systems),
+                c: Operand::reg(sys),
+            });
+            let nxt = k.reg(Type::U32);
+            k.emit(Op::Mad {
+                ty: Type::U32,
+                dst: nxt.clone(),
+                a: Operand::reg(&j),
+                b: Operand::reg(&systems),
+                c: Operand::reg(sys),
+            });
+            let bv = k.load_elem(&bg, &idx, Type::F32);
+            let duv = k.load_elem(&dug, &idx, Type::F32);
+            let xn = k.load_elem(&bg, &nxt, Type::F32);
+            let dux = k.binary(BinKind::MulLo, Type::F32, &duv, &xn);
+            let num = k.binary(BinKind::Sub, Type::F32, &bv, &dux);
+            let dv = k.load_elem(&dg, &idx, Type::F32);
+            let x = k.binary(BinKind::Div, Type::F32, &num, &dv);
+            k.store_elem(&bg, &idx, Type::F32, &x);
+        }
+        k.emit(Op::Binary {
+            kind: BinKind::Sub,
+            ty: Type::U32,
+            dst: j.clone(),
+            a: Operand::reg(&j),
+            b: Operand::ImmInt(1),
+        });
+        k.emit(Op::Bra { uni: true, target: btop });
+        k.label(bdone);
+    });
+    k.ret();
+    k.build()
+}
+
+/// The full cuSPARSE kernel set.
+pub fn all_kernels() -> Vec<Function> {
+    vec![
+        axpby_kernel(),
+        gather_kernel(),
+        scatter_kernel(),
+        spvv_kernel(),
+        rotsp_kernel(),
+        dense2sparse_kernel(),
+        coosort_kernel(),
+        spmm_csr_kernel("spmmcsr"),
+        spmm_csr_kernel("spmmcsrB"),
+        spmm_coo_kernel(),
+        gpsv_kernel(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptx::builder::ModuleBuilder;
+
+    #[test]
+    fn all_sparse_kernels_validate() {
+        let mut mb = ModuleBuilder::new();
+        for f in all_kernels() {
+            mb = mb.push_function(f);
+        }
+        let m = mb.build();
+        ptx::validate(&m).unwrap_or_else(|e| panic!("{e}"));
+        let re = ptx::parse(&m.to_string()).unwrap();
+        ptx::validate(&re).unwrap();
+        for name in [
+            "axpby", "gather", "scatter", "spvv", "rotsp", "dense2sparse", "coosort",
+            "spmmcsr", "spmmcsrB", "spmmcooB", "gpsvInter",
+        ] {
+            assert!(m.function(name).is_some(), "missing {name}");
+        }
+    }
+}

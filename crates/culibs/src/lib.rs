@@ -1,0 +1,28 @@
+//! # culibs — mini CUDA-accelerated libraries
+//!
+//! Stand-ins for the closed-source accelerated libraries the paper's
+//! evaluation drives through Guardian: cuBLAS, cuDNN, cuFFT, cuSPARSE,
+//! cuRAND, and cuSOLVER. Two properties of the originals matter for the
+//! reproduction, and both are preserved:
+//!
+//! 1. **Kernels ship as PTX in fatbins** ([`fatbins`]) — the offline
+//!    patcher extracts and sandboxes them without source access (§2.3/§4.3
+//!    of the paper). Kernel names follow the paper's Figure 10 and
+//!    Figure 12 labels.
+//! 2. **Host entry points make implicit runtime/driver calls**
+//!    (`cublasCreate` → 3 `cudaMalloc` + 18 `cudaEventCreateWithFlags` +
+//!    2 `cudaFree`, `cufftExecC2C` → driver-level `cuMemAlloc`/
+//!    `cuMemcpyHtoD`/`cuLaunchKernel`, ... — Table 6), which is why
+//!    Guardian must intercept at the runtime+driver level rather than the
+//!    library level (§4.1).
+
+#![warn(missing_docs)]
+
+pub mod cublas;
+pub mod cudnn;
+pub mod cufft;
+pub mod curand;
+pub mod cusolver;
+pub mod cusparse;
+pub mod fatbins;
+pub mod kernels;

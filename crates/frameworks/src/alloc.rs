@@ -1,0 +1,113 @@
+//! Framework-side tensor allocators.
+//!
+//! Caffe allocates directly through `cudaMalloc`; PyTorch uses a caching
+//! allocator that rounds sizes to powers of two and recycles freed blocks
+//! (the paper leans on this in §4.4: "PyTorch and TensorFlow use this type
+//! of allocator as default", which is why Guardian's power-of-two
+//! partitions match framework behaviour).
+
+use cuda_rt::{CudaApi, CudaResult, DevicePtr};
+use std::collections::HashMap;
+
+/// Abstract tensor allocation, so models can run over either strategy.
+pub trait TensorAlloc: Send {
+    /// Allocate `bytes` of device memory.
+    ///
+    /// # Errors
+    /// Propagates `cudaMalloc` failures.
+    fn alloc(&mut self, api: &mut dyn CudaApi, bytes: u64) -> CudaResult<DevicePtr>;
+
+    /// Release a pointer previously returned by [`TensorAlloc::alloc`].
+    ///
+    /// # Errors
+    /// Propagates `cudaFree` failures.
+    fn free(&mut self, api: &mut dyn CudaApi, ptr: DevicePtr) -> CudaResult<()>;
+}
+
+/// Caffe-style pass-through allocator.
+#[derive(Debug, Default)]
+pub struct DirectAlloc;
+
+impl TensorAlloc for DirectAlloc {
+    fn alloc(&mut self, api: &mut dyn CudaApi, bytes: u64) -> CudaResult<DevicePtr> {
+        api.cuda_malloc(bytes)
+    }
+
+    fn free(&mut self, api: &mut dyn CudaApi, ptr: DevicePtr) -> CudaResult<()> {
+        api.cuda_free(ptr)
+    }
+}
+
+/// PyTorch-style caching allocator: sizes round up to powers of two,
+/// freed blocks go to per-size free lists and are reused without touching
+/// the driver.
+#[derive(Debug, Default)]
+pub struct CachingAlloc {
+    free_lists: HashMap<u64, Vec<DevicePtr>>,
+    sizes: HashMap<DevicePtr, u64>,
+    /// Driver allocations performed (for tests/stats).
+    pub driver_allocs: u64,
+    /// Cache hits (allocations served without the driver).
+    pub cache_hits: u64,
+}
+
+impl CachingAlloc {
+    /// New empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket(bytes: u64) -> u64 {
+        bytes.max(256).next_power_of_two()
+    }
+}
+
+impl TensorAlloc for CachingAlloc {
+    fn alloc(&mut self, api: &mut dyn CudaApi, bytes: u64) -> CudaResult<DevicePtr> {
+        let bucket = Self::bucket(bytes);
+        if let Some(ptr) = self.free_lists.get_mut(&bucket).and_then(|v| v.pop()) {
+            self.cache_hits += 1;
+            self.sizes.insert(ptr, bucket);
+            return Ok(ptr);
+        }
+        let ptr = api.cuda_malloc(bucket)?;
+        self.driver_allocs += 1;
+        self.sizes.insert(ptr, bucket);
+        Ok(ptr)
+    }
+
+    fn free(&mut self, _api: &mut dyn CudaApi, ptr: DevicePtr) -> CudaResult<()> {
+        if let Some(bucket) = self.sizes.remove(&ptr) {
+            self.free_lists.entry(bucket).or_default().push(ptr);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda_rt::{share_device, NativeRuntime};
+    use gpu_sim::spec::test_gpu;
+    use gpu_sim::Device;
+
+    #[test]
+    fn caching_alloc_reuses_blocks() {
+        let dev = share_device(Device::new(test_gpu()));
+        let mut api = NativeRuntime::new(dev).unwrap();
+        let mut ca = CachingAlloc::new();
+        let a = ca.alloc(&mut api, 1000).unwrap();
+        ca.free(&mut api, a).unwrap();
+        let b = ca.alloc(&mut api, 900).unwrap(); // same 1024 bucket
+        assert_eq!(a, b);
+        assert_eq!(ca.driver_allocs, 1);
+        assert_eq!(ca.cache_hits, 1);
+    }
+
+    #[test]
+    fn buckets_are_power_of_two() {
+        assert_eq!(CachingAlloc::bucket(1), 256);
+        assert_eq!(CachingAlloc::bucket(257), 512);
+        assert_eq!(CachingAlloc::bucket(4096), 4096);
+    }
+}

@@ -1,0 +1,128 @@
+//! Synthetic datasets standing in for mnist / cifar / imagenet.
+//!
+//! The paper's datasets gate on nothing Guardian-specific — they set the
+//! tensor shapes and the number of kernel launches. These generators
+//! produce linearly-separable-ish Gaussian class clusters with the same
+//! shapes (scaled down), so training loss measurably decreases and the
+//! launch mix matches the real pipelines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled dataset of flattened images.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Flattened images, `num * dim` f32 values.
+    pub images: Vec<f32>,
+    /// Labels in `[0, classes)`.
+    pub labels: Vec<u32>,
+    /// Per-image feature count (channels × width × width).
+    pub dim: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Channels.
+    pub channels: usize,
+    /// Spatial edge.
+    pub width: usize,
+}
+
+/// The dataset family (shapes follow the paper's datasets, scaled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corpus {
+    /// mnist-like: 1×12×12, 10 classes.
+    Mnist,
+    /// cifar-like: 3×16×16, 10 classes.
+    Cifar,
+    /// imagenet-like: 3×16×16, 20 classes (shape stand-in).
+    Imagenet,
+}
+
+impl Corpus {
+    /// (channels, width, classes) of this corpus.
+    pub fn shape(self) -> (usize, usize, usize) {
+        match self {
+            Corpus::Mnist => (1, 12, 10),
+            Corpus::Cifar => (3, 16, 10),
+            Corpus::Imagenet => (3, 16, 20),
+        }
+    }
+}
+
+/// Generate `num` samples of a corpus with a fixed seed.
+///
+/// Each class `c` gets a distinct mean pattern; samples are the pattern
+/// plus Gaussian noise, so a small conv/fc net can separate them.
+pub fn generate(corpus: Corpus, num: usize, seed: u64) -> Dataset {
+    let (channels, width, classes) = corpus.shape();
+    let dim = channels * width * width;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Class prototypes.
+    let protos: Vec<Vec<f32>> = (0..classes)
+        .map(|c| {
+            let mut p = vec![0.0f32; dim];
+            let mut prng = StdRng::seed_from_u64(seed ^ (0x9E37 + c as u64 * 0x79B9));
+            for v in p.iter_mut() {
+                *v = if prng.gen::<f32>() < 0.25 {
+                    prng.gen_range(0.5..1.0)
+                } else {
+                    0.0
+                };
+            }
+            p
+        })
+        .collect();
+    let mut images = Vec::with_capacity(num * dim);
+    let mut labels = Vec::with_capacity(num);
+    for i in 0..num {
+        let c = i % classes;
+        labels.push(c as u32);
+        for d in 0..dim {
+            let noise: f32 = rng.gen_range(-0.1..0.1);
+            images.push((protos[c][d] + noise).clamp(0.0, 1.0));
+        }
+    }
+    Dataset {
+        images,
+        labels,
+        dim,
+        classes,
+        channels,
+        width,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_consistent() {
+        let d = generate(Corpus::Mnist, 20, 1);
+        assert_eq!(d.dim, 144);
+        assert_eq!(d.images.len(), 20 * 144);
+        assert_eq!(d.labels.len(), 20);
+        assert!(d.labels.iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(Corpus::Cifar, 8, 42);
+        let b = generate(Corpus::Cifar, 8, 42);
+        assert_eq!(a.images, b.images);
+        let c = generate(Corpus::Cifar, 8, 43);
+        assert_ne!(a.images, c.images);
+    }
+
+    #[test]
+    fn classes_have_distinct_prototypes() {
+        let d = generate(Corpus::Mnist, 10, 7);
+        // Different-class images differ substantially more than same-class.
+        let img = |i: usize| &d.images[i * d.dim..(i + 1) * d.dim];
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+        };
+        let same = dist(img(0), img(0));
+        let diff = dist(img(0), img(1));
+        assert!(diff > same + 0.5);
+    }
+}

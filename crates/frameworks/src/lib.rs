@@ -1,0 +1,26 @@
+//! # frameworks — mini-Caffe and mini-PyTorch
+//!
+//! Scaled-down counterparts of the ML frameworks the paper evaluates with
+//! (§6): layer-graph networks (lenet, siamese, cifar10, alexnet, caffenet,
+//! googlenet, vgg11, mobilenetv2, resnet50, rnn, cv) that train with
+//! softmax cross-entropy + SGD on synthetic datasets shaped like
+//! mnist/cifar/imagenet.
+//!
+//! Everything reaches the GPU through the `cuda_rt::CudaApi` trait and the
+//! mini accelerated libraries, so the same training loop runs unmodified
+//! over the native runtime, an MPS client, or Guardian's `grdLib` — the
+//! paper's transparency property. The kernel mix matches Figure 10
+//! (`im2col`, `sgemm_*`, `maxpoolfw/bw`, `relufw/bw`, `channel_*`,
+//! `softmaxloss*`, `sgdupdate`, `accuracyfw`, ...).
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod data;
+pub mod net;
+pub mod train;
+
+pub use alloc::{CachingAlloc, DirectAlloc, TensorAlloc};
+pub use data::{generate, Corpus, Dataset};
+pub use net::{Model, Network};
+pub use train::{infer, train, TrainConfig, TrainReport};

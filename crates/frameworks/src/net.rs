@@ -1,0 +1,728 @@
+//! Layers and network definitions.
+//!
+//! Networks are stacks of conv / pool / fully-connected / activation
+//! layers, trained with softmax cross-entropy and SGD — the Caffe
+//! pipeline. Forward and backward passes issue the exact kernel families
+//! of the paper's Figure 10 (`im2col`, `sgemm_*`, `maxpoolfw`, `relufw`,
+//! `channel_*`, `softmaxloss*`, `sgdupdate`, ...), through whatever
+//! `CudaApi` implementation is installed (native or Guardian).
+
+use crate::alloc::TensorAlloc;
+use culibs::cublas::{cublas_sgemm, CublasHandle};
+use culibs::cudnn::{self, ConvDesc, CudnnHandle};
+use cuda_rt::{ArgPack, CudaApi, CudaResult, DevicePtr, Stream};
+use gpu_sim::LaunchConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn linear_cfg(n: u32) -> LaunchConfig {
+    LaunchConfig::linear(n.div_ceil(128).clamp(1, 64), 128)
+}
+
+/// The networks of the paper's evaluation (scaled shapes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Network {
+    /// Caffe lenet (mnist).
+    Lenet,
+    /// Caffe siamese (mnist).
+    Siamese,
+    /// Caffe cifar10.
+    Cifar10,
+    /// Caffe googlenet (imagenet).
+    Googlenet,
+    /// Caffe alexnet (imagenet).
+    Alexnet,
+    /// Caffe caffenet (imagenet).
+    Caffenet,
+    /// PyTorch vgg11 (imagenet).
+    Vgg11,
+    /// PyTorch mobilenetv2 (imagenet).
+    Mobilenet,
+    /// PyTorch resnet50 (imagenet).
+    Resnet50,
+    /// PyTorch rnn (mnist rows as sequence).
+    Rnn,
+    /// PyTorch computer-vision net (mnist).
+    Cv,
+}
+
+impl Network {
+    /// The corpus each network trains on (paper §6).
+    pub fn corpus(self) -> crate::data::Corpus {
+        use crate::data::Corpus::*;
+        match self {
+            Network::Lenet | Network::Siamese | Network::Rnn | Network::Cv => Mnist,
+            Network::Cifar10 => Cifar,
+            _ => Imagenet,
+        }
+    }
+
+    /// Whether the paper runs this network under Caffe (vs PyTorch).
+    pub fn is_caffe(self) -> bool {
+        matches!(
+            self,
+            Network::Lenet
+                | Network::Siamese
+                | Network::Cifar10
+                | Network::Googlenet
+                | Network::Alexnet
+                | Network::Caffenet
+        )
+    }
+
+    /// Conv stack: (filters, ksize, stride, pool_after).
+    fn conv_stack(self) -> Vec<(u32, u32, u32, bool)> {
+        match self {
+            Network::Lenet => vec![(4, 5, 1, true)],
+            Network::Siamese => vec![(4, 5, 1, true)],
+            Network::Cifar10 => vec![(6, 5, 1, true)],
+            Network::Cv => vec![(4, 3, 1, true), (8, 3, 1, false)],
+            Network::Alexnet | Network::Caffenet => {
+                vec![(8, 5, 1, true), (12, 3, 1, false)]
+            }
+            Network::Googlenet => vec![(8, 3, 1, true), (8, 3, 1, false), (12, 3, 1, false)],
+            Network::Vgg11 => vec![(8, 3, 1, true), (16, 3, 1, false), (16, 3, 1, false)],
+            Network::Mobilenet => vec![(8, 3, 1, true), (8, 3, 1, false)],
+            Network::Resnet50 => {
+                vec![(8, 3, 1, true), (16, 3, 1, false), (16, 3, 1, false), (16, 3, 1, false)]
+            }
+            Network::Rnn => vec![],
+        }
+    }
+
+    /// Hidden fully-connected width.
+    fn fc_hidden(self) -> u32 {
+        match self {
+            Network::Lenet | Network::Siamese => 32,
+            Network::Cifar10 | Network::Cv => 48,
+            Network::Rnn => 40,
+            Network::Mobilenet => 48,
+            _ => 64,
+        }
+    }
+}
+
+/// A device tensor (flat f32 buffer).
+#[derive(Debug, Clone, Copy)]
+pub struct Tensor {
+    /// Device pointer.
+    pub ptr: DevicePtr,
+    /// Element count.
+    pub len: u32,
+}
+
+impl Tensor {
+    fn bytes(len: u32) -> u64 {
+        4 * len as u64
+    }
+}
+
+/// One conv "block" with its parameters and activations (per-sample).
+struct ConvBlock {
+    desc: ConvDesc,
+    filters: u32,
+    w: Tensor,     // [filters, c*k*k]
+    dw: Tensor,
+    col: Tensor,   // [c*k*k, wout*wout]
+    colt: Tensor,  // transposed col
+    out: Tensor,   // [filters, wout*wout] pre-activation
+    act: Tensor,   // post-relu
+    pooled: Option<(Tensor, u32)>, // pooled activation + pooled width
+    dact: Tensor,
+    dout: Tensor,
+    dcol: Tensor,
+    wt: Tensor, // transposed weights scratch
+}
+
+/// A fully-connected layer (per-sample gemv would be slow; we batch via
+/// GEMM over the whole minibatch).
+struct FcLayer {
+    in_dim: u32,
+    out_dim: u32,
+    w: Tensor,  // [out, in]
+    dw: Tensor,
+    wt: Tensor, // [in, out] scratch
+    out: Tensor, // [batch, out] (row-major, batch rows)
+    act: Tensor,
+    dact: Tensor,
+    #[allow(dead_code)] // reserved for deeper backprop
+    din: Tensor, // [batch, in]
+    relu: bool,
+}
+
+/// A trainable model instance with all device state.
+pub struct Model {
+    #[allow(dead_code)]
+    net: Network,
+    channels: u32,
+    width: u32,
+    classes: u32,
+    batch: u32,
+    conv: Vec<ConvBlock>,
+    conv_out_dim: u32, // flattened feature dim after conv stack
+    features: Tensor,  // [batch, conv_out_dim]
+    dfeatures: Tensor,
+    fcs: Vec<FcLayer>,
+    logits: Tensor, // alias of last fc act
+    scratch: Tensor, // [batch] channel scratch
+    loss: Tensor,    // 1 f32
+    correct: Tensor, // 1 u32
+    labels: Tensor,  // [batch] u32
+    input: Tensor,   // [batch, dim]
+    // RNN state
+    rnn: Option<RnnState>,
+}
+
+struct RnnState {
+    hidden: u32,
+    steps: u32,
+    wx: Tensor,
+    wh: Tensor,
+    dwx: Tensor,
+    dwh: Tensor,
+    h: Vec<Tensor>,   // per-step hidden [batch, hidden]
+    dh: Tensor,
+    wxt: Tensor,
+    wht: Tensor,
+    x_steps: Tensor, // input reshaped per step [batch, cols]
+}
+
+impl Model {
+    /// Build a model on the device: allocate parameters and activations,
+    /// initialize weights (Xavier-ish) via H2D uploads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/copy failures from the runtime.
+    pub fn build(
+        api: &mut dyn CudaApi,
+        alloc: &mut dyn TensorAlloc,
+        net: Network,
+        batch: u32,
+        seed: u64,
+    ) -> CudaResult<Model> {
+        let (channels, width, classes) = net.corpus().shape();
+        let (channels, width, classes) = (channels as u32, width as u32, classes as u32);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = |api: &mut dyn CudaApi, alloc: &mut dyn TensorAlloc, len: u32| -> CudaResult<Tensor> {
+            let ptr = alloc.alloc(api, Tensor::bytes(len))?;
+            Ok(Tensor { ptr, len })
+        };
+        let init = |api: &mut dyn CudaApi, tt: Tensor, fan_in: u32, rng: &mut StdRng| -> CudaResult<()> {
+            let scale = (2.0 / fan_in.max(1) as f32).sqrt() * 0.7;
+            let host: Vec<u8> = (0..tt.len)
+                .flat_map(|_| (rng.gen_range(-scale..scale)).to_le_bytes())
+                .collect();
+            api.cuda_memcpy_h2d(tt.ptr, &host)
+        };
+
+        let mut conv = Vec::new();
+        let mut cur_c = channels;
+        let mut cur_w = width;
+        for (filters, ksize, stride, pool) in net.conv_stack() {
+            let desc = ConvDesc {
+                channels: cur_c,
+                width: cur_w,
+                ksize,
+                stride,
+            };
+            let wout = desc.wout();
+            let ckk = desc.col_rows();
+            let ohw = desc.col_cols();
+            let w = t(api, alloc, filters * ckk)?;
+            init(api, w, ckk, &mut rng)?;
+            let pooled = if pool {
+                let pw = (wout - 2) / 2 + 1;
+                Some((t(api, alloc, filters * pw * pw)?, pw))
+            } else {
+                None
+            };
+            let block = ConvBlock {
+                desc,
+                filters,
+                w,
+                dw: t(api, alloc, filters * ckk)?,
+                col: t(api, alloc, ckk * ohw)?,
+                colt: t(api, alloc, ckk * ohw)?,
+                out: t(api, alloc, filters * ohw)?,
+                act: t(api, alloc, filters * ohw)?,
+                pooled,
+                dact: t(api, alloc, filters * ohw)?,
+                dout: t(api, alloc, filters * ohw)?,
+                dcol: t(api, alloc, ckk * ohw)?,
+                wt: t(api, alloc, filters * ckk)?,
+            };
+            cur_w = match block.pooled {
+                Some((_, pw)) => pw,
+                None => wout,
+            };
+            cur_c = filters;
+            conv.push(block);
+        }
+        let conv_out_dim = cur_c * cur_w * cur_w;
+
+        // RNN path replaces the conv stack.
+        let rnn = if net == Network::Rnn {
+            let hidden = net.fc_hidden();
+            let steps = 6u32.min(width);
+            let cols = channels * width * width / steps;
+            let wx = t(api, alloc, hidden * cols)?;
+            let wh = t(api, alloc, hidden * hidden)?;
+            init(api, wx, cols, &mut rng)?;
+            init(api, wh, hidden, &mut rng)?;
+            let mut h = Vec::new();
+            for _ in 0..=steps {
+                h.push(t(api, alloc, batch * hidden)?);
+            }
+            Some(RnnState {
+                hidden,
+                steps,
+                wx,
+                wh,
+                dwx: t(api, alloc, hidden * cols)?,
+                dwh: t(api, alloc, hidden * hidden)?,
+                h,
+                dh: t(api, alloc, batch * hidden)?,
+                wxt: t(api, alloc, hidden * cols)?,
+                wht: t(api, alloc, hidden * hidden)?,
+                x_steps: t(api, alloc, batch * cols)?,
+            })
+        } else {
+            None
+        };
+        let feat_dim = if let Some(r) = &rnn { r.hidden } else { conv_out_dim };
+
+        let hidden = net.fc_hidden();
+        let mut fcs = Vec::new();
+        let dims = [(feat_dim, hidden, true), (hidden, classes, false)];
+        for (in_dim, out_dim, relu) in dims {
+            let w = t(api, alloc, out_dim * in_dim)?;
+            init(api, w, in_dim, &mut rng)?;
+            fcs.push(FcLayer {
+                in_dim,
+                out_dim,
+                w,
+                dw: t(api, alloc, out_dim * in_dim)?,
+                // Doubles as the [out, batch] scratch in backward.
+                wt: t(api, alloc, out_dim * in_dim.max(batch))?,
+                out: t(api, alloc, batch * out_dim)?,
+                act: t(api, alloc, batch * out_dim)?,
+                dact: t(api, alloc, batch * out_dim)?,
+                din: t(api, alloc, batch * in_dim)?,
+                relu,
+            });
+        }
+        let logits = fcs.last().expect("two fc layers").act;
+
+        let dim = channels * width * width;
+        Ok(Model {
+            net,
+            channels,
+            width,
+            classes,
+            batch,
+            conv,
+            conv_out_dim,
+            features: t(api, alloc, batch * feat_dim)?,
+            dfeatures: t(api, alloc, batch * feat_dim)?,
+            fcs,
+            logits,
+            scratch: t(api, alloc, batch)?,
+            loss: t(api, alloc, 1)?,
+            correct: t(api, alloc, 1)?,
+            labels: t(api, alloc, batch)?,
+            input: t(api, alloc, batch * dim)?,
+            rnn,
+        })
+    }
+
+    /// Upload one minibatch (images + labels).
+    ///
+    /// # Errors
+    ///
+    /// Propagates copy failures.
+    pub fn load_batch(
+        &mut self,
+        api: &mut dyn CudaApi,
+        images: &[f32],
+        labels: &[u32],
+    ) -> CudaResult<()> {
+        debug_assert_eq!(labels.len(), self.batch as usize);
+        let img_bytes: Vec<u8> = images.iter().flat_map(|v| v.to_le_bytes()).collect();
+        api.cuda_memcpy_h2d(self.input.ptr, &img_bytes)?;
+        let lab_bytes: Vec<u8> = labels.iter().flat_map(|v| v.to_le_bytes()).collect();
+        api.cuda_memcpy_h2d(self.labels.ptr, &lab_bytes)
+    }
+
+    /// Forward pass over the loaded batch; returns nothing (logits are on
+    /// device, converted to probabilities in place).
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch failures.
+    pub fn forward(
+        &mut self,
+        api: &mut dyn CudaApi,
+        blas: &CublasHandle,
+        _dnn: &CudnnHandle,
+    ) -> CudaResult<()> {
+        let dim = self.channels * self.width * self.width;
+        if let Some(rnn) = &self.rnn {
+            // Unrolled tanh RNN over row-groups of the image.
+            let cols = dim / rnn.steps;
+            cudnn::fill(api, rnn.h[0].ptr, self.batch * rnn.hidden, 0.0)?;
+            for s in 0..rnn.steps {
+                // x_s = input[:, s*cols .. (s+1)*cols] — strided copy per row.
+                for b in 0..self.batch {
+                    let src = self.input.ptr + Tensor::bytes(b * dim + s * cols);
+                    let dst = rnn.x_steps.ptr + Tensor::bytes(b * cols);
+                    api.cuda_memcpy_d2d(dst, src, Tensor::bytes(cols))?;
+                }
+                // h_{s+1} = tanh(x_s·Wx^T + h_s·Wh^T)
+                // x·Wx^T: [batch, cols]·[cols, hidden] via transpose(Wx).
+                transpose(api, rnn.wx.ptr, rnn.wxt.ptr, rnn.hidden, cols)?;
+                cublas_sgemm(
+                    api, blas, 0, self.batch, rnn.hidden, cols, 1.0, rnn.x_steps.ptr,
+                    rnn.wxt.ptr, 0.0, rnn.h[s as usize + 1].ptr,
+                )?;
+                transpose(api, rnn.wh.ptr, rnn.wht.ptr, rnn.hidden, rnn.hidden)?;
+                cublas_sgemm(
+                    api, blas, 1, self.batch, rnn.hidden, rnn.hidden, 1.0,
+                    rnn.h[s as usize].ptr, rnn.wht.ptr, 1.0, rnn.h[s as usize + 1].ptr,
+                )?;
+                cudnn::activation(
+                    api,
+                    "tanhfw",
+                    rnn.h[s as usize + 1].ptr,
+                    rnn.h[s as usize + 1].ptr,
+                    self.batch * rnn.hidden,
+                )?;
+            }
+            api.cuda_memcpy_d2d(
+                self.features.ptr,
+                rnn.h[rnn.steps as usize].ptr,
+                Tensor::bytes(self.batch * rnn.hidden),
+            )?;
+        } else if self.conv.is_empty() {
+            api.cuda_memcpy_d2d(self.features.ptr, self.input.ptr, Tensor::bytes(self.batch * dim))?;
+        } else {
+            // Conv stack, per sample (Caffe's per-image im2col pipeline).
+            for b in 0..self.batch {
+                let mut cur = self.input.ptr + Tensor::bytes(b * dim);
+                for (ci, blk) in self.conv.iter().enumerate() {
+                    cudnn::im2col(api, blk.desc, cur, blk.col.ptr)?;
+                    // out = W · col  [filters x ckk]·[ckk x ohw]
+                    cublas_sgemm(
+                        api,
+                        blas,
+                        (ci % 3) as u8,
+                        blk.filters,
+                        blk.desc.col_cols(),
+                        blk.desc.col_rows(),
+                        1.0,
+                        blk.w.ptr,
+                        blk.col.ptr,
+                        0.0,
+                        blk.out.ptr,
+                    )?;
+                    cudnn::activation(api, "relufw", blk.out.ptr, blk.act.ptr, blk.out.len)?;
+                    cur = match &blk.pooled {
+                        Some((pooled, _)) => {
+                            cudnn::maxpool_forward(
+                                api,
+                                blk.act.ptr,
+                                pooled.ptr,
+                                blk.filters,
+                                blk.desc.wout(),
+                                2,
+                                2,
+                            )?;
+                            pooled.ptr
+                        }
+                        None => blk.act.ptr,
+                    };
+                }
+                // Copy flattened features into the batch matrix.
+                let feat = self.conv_out_dim;
+                api.cuda_memcpy_d2d(
+                    self.features.ptr + Tensor::bytes(b * feat),
+                    cur,
+                    Tensor::bytes(feat),
+                )?;
+            }
+        }
+
+        // FC stack over the batch: act = relu(X · W^T).
+        let mut x = self.features;
+        for fc in &self.fcs {
+            transpose(api, fc.w.ptr, fc.wt.ptr, fc.out_dim, fc.in_dim)?;
+            cublas_sgemm(
+                api, blas, 2, self.batch, fc.out_dim, fc.in_dim, 1.0, x.ptr, fc.wt.ptr, 0.0,
+                fc.out.ptr,
+            )?;
+            if fc.relu {
+                cudnn::activation(api, "relufw", fc.out.ptr, fc.act.ptr, fc.out.len)?;
+            } else {
+                api.cuda_memcpy_d2d(fc.act.ptr, fc.out.ptr, Tensor::bytes(fc.out.len))?;
+            }
+            x = fc.act;
+        }
+
+        // Softmax in place on the logits.
+        cudnn::softmax_forward(api, self.logits.ptr, self.scratch.ptr, self.batch, self.classes)
+    }
+
+    /// Compute loss and accuracy of the current (softmaxed) logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch/copy failures.
+    pub fn loss_and_accuracy(&mut self, api: &mut dyn CudaApi) -> CudaResult<(f32, f32)> {
+        api.cuda_memset(self.loss.ptr, 0, 4)?;
+        api.cuda_memset(self.correct.ptr, 0, 4)?;
+        cudnn::softmaxloss_forward(
+            api,
+            self.logits.ptr,
+            self.labels.ptr,
+            self.loss.ptr,
+            self.batch,
+            self.classes,
+        )?;
+        cudnn::accuracy_forward(
+            api,
+            self.logits.ptr,
+            self.labels.ptr,
+            self.correct.ptr,
+            self.batch,
+            self.classes,
+        )?;
+        api.cuda_device_synchronize()?;
+        let lb = api.cuda_memcpy_d2h(self.loss.ptr, 4)?;
+        let loss = f32::from_le_bytes(lb[..4].try_into().expect("4 bytes"));
+        let cb = api.cuda_memcpy_d2h(self.correct.ptr, 4)?;
+        let correct = u32::from_le_bytes(cb[..4].try_into().expect("4 bytes"));
+        Ok((loss, correct as f32 / self.batch as f32))
+    }
+
+    /// Backward pass + SGD update.
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch failures.
+    pub fn backward_and_step(
+        &mut self,
+        api: &mut dyn CudaApi,
+        blas: &CublasHandle,
+        lr: f32,
+    ) -> CudaResult<()> {
+        // dlogits = (prob - onehot) / batch, into last fc's dact.
+        let last = self.fcs.len() - 1;
+        cudnn::softmaxloss_backward(
+            api,
+            self.logits.ptr,
+            self.labels.ptr,
+            self.fcs[last].dact.ptr,
+            self.batch,
+            self.classes,
+        )?;
+
+        // FC backward, last to first.
+        for i in (0..self.fcs.len()).rev() {
+            let (x, dx_ptr): (Tensor, Option<DevicePtr>) = if i == 0 {
+                (self.features, Some(self.dfeatures.ptr))
+            } else {
+                let prev = &self.fcs[i - 1];
+                (prev.act, Some(prev.dact.ptr))
+            };
+            let fc = &self.fcs[i];
+            // If this layer had relu, gate the incoming gradient.
+            if fc.relu {
+                culibs::cudnn::elementwise2(
+                    api, "relubw", fc.dact.ptr, fc.out.ptr, fc.dact.ptr, fc.dact.len,
+                )?;
+            }
+            // dW = dact^T · x  -> [out, in]; dact [batch, out].
+            transpose(api, fc.dact.ptr, fc.wt.ptr, self.batch, fc.out_dim)?; // wt misused as scratch [out, batch]
+            cublas_sgemm(
+                api, blas, 1, fc.out_dim, fc.in_dim, self.batch, 1.0, fc.wt.ptr, x.ptr, 0.0,
+                fc.dw.ptr,
+            )?;
+            // dx = dact · W  [batch, out]·[out, in].
+            if let Some(dx) = dx_ptr {
+                cublas_sgemm(
+                    api, blas, 2, self.batch, fc.in_dim, fc.out_dim, 1.0, fc.dact.ptr, fc.w.ptr,
+                    0.0, dx,
+                )?;
+            }
+            cudnn::sgd_update(api, fc.w.ptr, fc.dw.ptr, fc.w.len, lr)?;
+        }
+
+        if let Some(rnn) = &self.rnn {
+            // Truncated BPTT (one step): dWh += dh^T·h_{T-1}; dWx += dh^T·x_T.
+            let dim = self.channels * self.width * self.width;
+            let cols = dim / rnn.steps;
+            // tanh gate on the last hidden state.
+            culibs::cudnn::elementwise2(
+                api,
+                "tanhbw",
+                self.dfeatures.ptr,
+                rnn.h[rnn.steps as usize].ptr,
+                rnn.dh.ptr,
+                self.batch * rnn.hidden,
+            )?;
+            transpose(api, rnn.dh.ptr, rnn.wht.ptr, self.batch, rnn.hidden)?;
+            cublas_sgemm(
+                api, blas, 0, rnn.hidden, rnn.hidden, self.batch, 1.0, rnn.wht.ptr,
+                rnn.h[(rnn.steps - 1) as usize].ptr, 0.0, rnn.dwh.ptr,
+            )?;
+            cublas_sgemm(
+                api, blas, 1, rnn.hidden, cols, self.batch, 1.0, rnn.wht.ptr, rnn.x_steps.ptr,
+                0.0, rnn.dwx.ptr,
+            )?;
+            cudnn::sgd_update(api, rnn.wh.ptr, rnn.dwh.ptr, rnn.wh.len, lr)?;
+            cudnn::sgd_update(api, rnn.wx.ptr, rnn.dwx.ptr, rnn.wx.len, lr)?;
+            return Ok(());
+        }
+
+        // Conv backward, per sample. The per-sample activation buffers are
+        // shared across the batch, so the forward conv stack is recomputed
+        // for each sample before its backward step (gradient
+        // checkpointing) — issuing exactly the Figure 10 kernel mix:
+        // im2col, sgemm, relufw/relubw, maxpoolfw/maxpoolbw, sgdupdate.
+        // Gradients are truncated at the last conv block's weights, which
+        // keeps the dominant launch pattern without full col2im chains.
+        if let Some(blk_idx) = self.conv.len().checked_sub(1) {
+            let dim = self.channels * self.width * self.width;
+            for b in 0..self.batch {
+                // Recompute the forward stack for this sample.
+                let mut cur = self.input.ptr + Tensor::bytes(b * dim);
+                for (ci, blk) in self.conv.iter().enumerate() {
+                    cudnn::im2col(api, blk.desc, cur, blk.col.ptr)?;
+                    cublas_sgemm(
+                        api,
+                        blas,
+                        (ci % 3) as u8,
+                        blk.filters,
+                        blk.desc.col_cols(),
+                        blk.desc.col_rows(),
+                        1.0,
+                        blk.w.ptr,
+                        blk.col.ptr,
+                        0.0,
+                        blk.out.ptr,
+                    )?;
+                    cudnn::activation(api, "relufw", blk.out.ptr, blk.act.ptr, blk.out.len)?;
+                    cur = match &blk.pooled {
+                        Some((pooled, _)) => {
+                            cudnn::maxpool_forward(
+                                api,
+                                blk.act.ptr,
+                                pooled.ptr,
+                                blk.filters,
+                                blk.desc.wout(),
+                                2,
+                                2,
+                            )?;
+                            pooled.ptr
+                        }
+                        None => blk.act.ptr,
+                    };
+                }
+                let blk = &self.conv[blk_idx];
+                let feat = self.conv_out_dim;
+                let dfeat = self.dfeatures.ptr + Tensor::bytes(b * feat);
+                // Route the feature gradient back through pooling if any.
+                let dact_src = match &blk.pooled {
+                    Some((pooled, _)) => {
+                        cudnn::fill(api, blk.dact.ptr, blk.dact.len, 0.0)?;
+                        cudnn::maxpool_backward(
+                            api,
+                            dfeat,
+                            blk.act.ptr,
+                            pooled.ptr,
+                            blk.dact.ptr,
+                            blk.filters,
+                            blk.desc.wout(),
+                            2,
+                            2,
+                        )?;
+                        blk.dact.ptr
+                    }
+                    None => {
+                        api.cuda_memcpy_d2d(blk.dact.ptr, dfeat, Tensor::bytes(blk.dact.len))?;
+                        blk.dact.ptr
+                    }
+                };
+                // relu gate.
+                culibs::cudnn::elementwise2(
+                    api, "relubw", dact_src, blk.out.ptr, blk.dout.ptr, blk.dout.len,
+                )?;
+                // dW += dout · col^T (col already holds this sample's
+                // unfolding from the recompute above).
+                transpose(
+                    api,
+                    blk.col.ptr,
+                    blk.colt.ptr,
+                    blk.desc.col_rows(),
+                    blk.desc.col_cols(),
+                )?;
+                let beta = if b == 0 { 0.0 } else { 1.0 };
+                cublas_sgemm(
+                    api,
+                    blas,
+                    0,
+                    blk.filters,
+                    blk.desc.col_rows(),
+                    blk.desc.col_cols(),
+                    1.0,
+                    blk.dout.ptr,
+                    blk.colt.ptr,
+                    beta,
+                    blk.dw.ptr,
+                )?;
+                // dcol = W^T · dout, folded back with col2im (data
+                // gradient through the block, exercising the col2im path).
+                transpose(api, blk.w.ptr, blk.wt.ptr, blk.filters, blk.desc.col_rows())?;
+                cublas_sgemm(
+                    api,
+                    blas,
+                    1,
+                    blk.desc.col_rows(),
+                    blk.desc.col_cols(),
+                    blk.filters,
+                    1.0,
+                    blk.wt.ptr,
+                    blk.dout.ptr,
+                    0.0,
+                    blk.dcol.ptr,
+                )?;
+                cudnn::col2im(api, blk.desc, blk.dcol.ptr, blk.colt.ptr)?;
+            }
+            let blk = &self.conv[blk_idx];
+            cudnn::sgd_update(api, blk.w.ptr, blk.dw.ptr, blk.w.len, lr)?;
+        }
+        Ok(())
+    }
+}
+
+/// Launch the `transpose` kernel: `out = in^T` for a row-major
+/// `rows x cols` matrix.
+///
+/// # Errors
+///
+/// Propagates launch failures.
+pub fn transpose(
+    api: &mut dyn CudaApi,
+    input: DevicePtr,
+    output: DevicePtr,
+    rows: u32,
+    cols: u32,
+) -> CudaResult<()> {
+    let args = ArgPack::new()
+        .ptr(input)
+        .ptr(output)
+        .u32(rows)
+        .u32(cols)
+        .finish();
+    api.cuda_launch_kernel("transpose", linear_cfg(rows * cols), &args, Stream::DEFAULT)
+}

@@ -1,0 +1,244 @@
+//! Training and inference drivers: the mini-Caffe / mini-PyTorch
+//! counterparts of the paper's evaluation workloads (§6).
+
+use crate::alloc::{CachingAlloc, DirectAlloc, TensorAlloc};
+use crate::data::{generate, Dataset};
+use crate::net::{Model, Network};
+use culibs::cublas::CublasHandle;
+use culibs::cudnn::CudnnHandle;
+use cuda_rt::{CudaApi, CudaResult};
+
+/// Training configuration (epoch counts scale the paper's workloads down
+/// to simulator budgets).
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the batches.
+    pub epochs: u32,
+    /// Samples per minibatch.
+    pub batch_size: u32,
+    /// Minibatches per epoch.
+    pub batches_per_epoch: u32,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Data/init seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            batches_per_epoch: 4,
+            lr: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+/// The outcome of a training run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainReport {
+    /// Mean loss over the first epoch.
+    pub first_epoch_loss: f32,
+    /// Mean loss over the last epoch.
+    pub last_epoch_loss: f32,
+    /// Training accuracy of the final batch.
+    pub final_accuracy: f32,
+}
+
+/// Train a network through any [`CudaApi`] (native runtime, MPS client,
+/// or Guardian's grdLib — the training loop is identical, which is the
+/// paper's transparency claim).
+///
+/// Registers the cuBLAS and cuDNN fatbins, builds the model, and runs
+/// `epochs × batches_per_epoch` minibatches of forward / loss / backward /
+/// SGD.
+///
+/// # Errors
+///
+/// Propagates runtime failures (including Guardian rejections).
+pub fn train(api: &mut dyn CudaApi, net: Network, cfg: &TrainConfig) -> CudaResult<TrainReport> {
+    // PyTorch nets use the caching allocator, Caffe nets allocate direct.
+    let mut direct = DirectAlloc;
+    let mut caching = CachingAlloc::new();
+    let alloc: &mut dyn TensorAlloc = if net.is_caffe() {
+        &mut direct
+    } else {
+        &mut caching
+    };
+    let blas = CublasHandle::create(api)?;
+    let dnn = CudnnHandle::create(api)?;
+
+    let data = generate(
+        net.corpus(),
+        (cfg.batch_size * cfg.batches_per_epoch) as usize,
+        cfg.seed,
+    );
+    let mut model = Model::build(api, alloc, net, cfg.batch_size, cfg.seed)?;
+
+    let mut first_epoch_loss = 0.0f32;
+    let mut last_epoch_loss = 0.0f32;
+    let mut final_accuracy = 0.0f32;
+    for epoch in 0..cfg.epochs {
+        let mut epoch_loss = 0.0f32;
+        for b in 0..cfg.batches_per_epoch {
+            let (imgs, labels) = batch_of(&data, b, cfg.batch_size);
+            model.load_batch(api, imgs, labels)?;
+            model.forward(api, &blas, &dnn)?;
+            let (loss, acc) = model.loss_and_accuracy(api)?;
+            model.backward_and_step(api, &blas, cfg.lr)?;
+            epoch_loss += loss;
+            final_accuracy = acc;
+        }
+        epoch_loss /= cfg.batches_per_epoch as f32;
+        if epoch == 0 {
+            first_epoch_loss = epoch_loss;
+        }
+        last_epoch_loss = epoch_loss;
+    }
+    api.cuda_device_synchronize()?;
+    blas.destroy(api)?;
+    Ok(TrainReport {
+        first_epoch_loss,
+        last_epoch_loss,
+        final_accuracy,
+    })
+}
+
+/// Inference-only pass: forward + accuracy over the batches (the paper's
+/// inference workloads, Figure 7b).
+///
+/// # Errors
+///
+/// Propagates runtime failures.
+pub fn infer(api: &mut dyn CudaApi, net: Network, cfg: &TrainConfig) -> CudaResult<f32> {
+    let mut direct = DirectAlloc;
+    let mut caching = CachingAlloc::new();
+    let alloc: &mut dyn TensorAlloc = if net.is_caffe() {
+        &mut direct
+    } else {
+        &mut caching
+    };
+    let blas = CublasHandle::create(api)?;
+    let dnn = CudnnHandle::create(api)?;
+    let data = generate(
+        net.corpus(),
+        (cfg.batch_size * cfg.batches_per_epoch) as usize,
+        cfg.seed,
+    );
+    let mut model = Model::build(api, alloc, net, cfg.batch_size, cfg.seed)?;
+    let mut acc_sum = 0.0;
+    for b in 0..cfg.batches_per_epoch {
+        let (imgs, labels) = batch_of(&data, b, cfg.batch_size);
+        model.load_batch(api, imgs, labels)?;
+        model.forward(api, &blas, &dnn)?;
+        let (_, acc) = model.loss_and_accuracy(api)?;
+        acc_sum += acc;
+    }
+    api.cuda_device_synchronize()?;
+    blas.destroy(api)?;
+    Ok(acc_sum / cfg.batches_per_epoch as f32)
+}
+
+fn batch_of(data: &Dataset, b: u32, batch_size: u32) -> (&[f32], &[u32]) {
+    let start = (b * batch_size) as usize;
+    let end = start + batch_size as usize;
+    (
+        &data.images[start * data.dim..end * data.dim],
+        &data.labels[start..end],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda_rt::{share_device, NativeRuntime};
+    use gpu_sim::spec::test_gpu;
+    use gpu_sim::Device;
+
+    fn api() -> NativeRuntime {
+        let dev = share_device(Device::new(test_gpu()));
+        NativeRuntime::new(dev).unwrap()
+    }
+
+    #[test]
+    fn lenet_training_reduces_loss() {
+        let mut rt = api();
+        let cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            batches_per_epoch: 3,
+            lr: 0.3,
+            seed: 7,
+        };
+        let report = train(&mut rt, Network::Lenet, &cfg).unwrap();
+        assert!(report.first_epoch_loss.is_finite());
+        assert!(
+            report.last_epoch_loss < report.first_epoch_loss,
+            "loss should fall: {} -> {}",
+            report.first_epoch_loss,
+            report.last_epoch_loss
+        );
+    }
+
+    #[test]
+    fn rnn_training_runs_and_is_finite() {
+        let mut rt = api();
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            batches_per_epoch: 2,
+            lr: 0.05,
+            seed: 3,
+        };
+        let report = train(&mut rt, Network::Rnn, &cfg).unwrap();
+        assert!(report.last_epoch_loss.is_finite());
+    }
+
+    #[test]
+    fn every_network_trains_one_step() {
+        use Network::*;
+        for net in [
+            Lenet, Siamese, Cifar10, Googlenet, Alexnet, Caffenet, Vgg11, Mobilenet, Resnet50,
+            Rnn, Cv,
+        ] {
+            let mut rt = api();
+            let cfg = TrainConfig {
+                epochs: 1,
+                batch_size: 4,
+                batches_per_epoch: 1,
+                lr: 0.1,
+                seed: 11,
+            };
+            let report = train(&mut rt, net, &cfg)
+                .unwrap_or_else(|e| panic!("{net:?} failed: {e}"));
+            assert!(report.last_epoch_loss.is_finite(), "{net:?} loss NaN");
+            assert!(report.last_epoch_loss > 0.0, "{net:?} loss nonpositive");
+        }
+    }
+
+    #[test]
+    fn inference_runs_after_shapes_check() {
+        let mut rt = api();
+        let cfg = TrainConfig::default();
+        let acc = infer(&mut rt, Network::Cifar10, &cfg).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            batches_per_epoch: 2,
+            lr: 0.1,
+            seed: 99,
+        };
+        let mut rt1 = api();
+        let r1 = train(&mut rt1, Network::Lenet, &cfg).unwrap();
+        let mut rt2 = api();
+        let r2 = train(&mut rt2, Network::Lenet, &cfg).unwrap();
+        assert_eq!(r1.last_epoch_loss, r2.last_epoch_loss);
+    }
+}

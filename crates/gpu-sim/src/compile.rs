@@ -1,0 +1,807 @@
+//! "JIT" compilation of parsed PTX into a dense executable form.
+//!
+//! Mirrors what the CUDA driver does with PTX at `cuModuleLoadData` time
+//! (paper §2.3): resolve virtual registers to slots, labels to instruction
+//! indices, parameter names to buffer offsets, and module-scope globals to
+//! device addresses. The result is what the interpreter executes.
+
+use crate::fault::window::{LOCAL_BASE, SHARED_BASE};
+use ptx::ast::{AddrBase, Function, FunctionKind, Module, Op, Operand, Statement};
+use ptx::types::{AtomKind, BinKind, CmpOp, RegClass, Space, SpecialReg, Type, UnaryKind};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An error produced while lowering PTX to executable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError(pub String);
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PTX compile error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A compiled source operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CSrc {
+    /// General register slot.
+    Reg(u16),
+    /// Immediate bit image (already converted for the consuming op's type).
+    Imm(u64),
+    /// Special register, resolved from thread geometry at run time.
+    Special(SpecialReg),
+}
+
+/// A compiled memory address.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CAddr {
+    /// `[reg + offset]`.
+    Reg {
+        /// Register slot holding the base address.
+        slot: u16,
+        /// Constant byte offset.
+        offset: i64,
+    },
+    /// Absolute virtual address known at compile time (module globals,
+    /// shared/local symbols + offset).
+    Abs(u64),
+    /// Offset into the kernel parameter buffer.
+    Param(u32),
+}
+
+/// One compiled instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CInstr {
+    /// Optional guard: (predicate slot, negated).
+    pub pred: Option<(u16, bool)>,
+    /// The operation.
+    pub op: COp,
+}
+
+/// Compiled operations. Register names have become slots, labels have
+/// become instruction indices, and types are concrete widths.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field meanings mirror `ptx::ast::Op`
+pub enum COp {
+    LdParam { ty: Type, dst: u16, offset: u32 },
+    Ld { space: Space, ty: Type, dst: u16, addr: CAddr },
+    St { space: Space, ty: Type, addr: CAddr, src: CSrc },
+    Mov { ty: Type, dst: u16, src: CSrc },
+    Cvt { dty: Type, sty: Type, dst: u16, a: CSrc },
+    SetPred { dst: u16, src: CSrc },
+    Binary { kind: BinKind, ty: Type, dst: u16, a: CSrc, b: CSrc },
+    Unary { kind: UnaryKind, ty: Type, dst: u16, a: CSrc },
+    MulWide { sty: Type, dst: u16, a: CSrc, b: CSrc },
+    Mad { ty: Type, dst: u16, a: CSrc, b: CSrc, c: CSrc },
+    MadWide { sty: Type, dst: u16, a: CSrc, b: CSrc, c: CSrc },
+    Fma { ty: Type, dst: u16, a: CSrc, b: CSrc, c: CSrc },
+    Setp { cmp: CmpOp, ty: Type, dst: u16, a: CSrc, b: CSrc },
+    Selp { ty: Type, dst: u16, a: CSrc, b: CSrc, p: u16 },
+    Bra { target: u32 },
+    BrxIdx { index: u16, targets: Vec<u32> },
+    Call { func: String, args: Vec<(Type, CSrc)> },
+    Ret,
+    Exit,
+    Trap,
+    BarSync,
+    Membar,
+    Atom { op: AtomKind, space: Space, ty: Type, dst: u16, addr: CAddr, src: CSrc, cmp: Option<CSrc> },
+}
+
+/// A compiled kernel or device function.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// Kernel name.
+    pub name: String,
+    /// `.entry` or `.func`.
+    pub kind: FunctionKind,
+    /// Parameter metadata: (name, type, buffer offset).
+    pub params: Vec<(String, Type, u32)>,
+    /// Total parameter-buffer size in bytes.
+    pub param_size: usize,
+    /// Flattened instruction stream.
+    pub code: Vec<CInstr>,
+    /// Number of general (non-predicate) register slots.
+    pub num_regs: u16,
+    /// Number of predicate slots.
+    pub num_preds: u16,
+    /// Bytes of `.shared` storage per block.
+    pub shared_size: u64,
+    /// Bytes of `.local` storage per thread.
+    pub local_size: u64,
+    /// Static count of global/generic loads+stores+atomics in the code
+    /// (used by the Table 3 census cross-check).
+    pub protected_access_count: u32,
+}
+
+/// A module after driver "JIT": all kernels compiled, globals placed.
+#[derive(Debug, Clone)]
+pub struct CompiledModule {
+    /// Kernels and device functions by name.
+    pub functions: HashMap<String, Arc<CompiledKernel>>,
+    /// Total bytes of module-scope `.global` variables.
+    pub globals_size: u64,
+    /// Initial bytes to copy into the module-global block at load.
+    pub global_image: Vec<u8>,
+    /// Symbol → offset within the module-global block.
+    pub global_offsets: HashMap<String, u64>,
+}
+
+impl CompiledModule {
+    /// Look up an `.entry` kernel.
+    pub fn kernel(&self, name: &str) -> Option<Arc<CompiledKernel>> {
+        self.functions
+            .get(name)
+            .filter(|k| k.kind == FunctionKind::Entry)
+            .cloned()
+    }
+}
+
+/// Compile a parsed module. `globals_base` is the device address where the
+/// loader will place the module-scope `.global` block (pass the address
+/// returned by the driver allocation; 0 if the module has no globals).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on constructs outside the supported subset
+/// (e.g. `call` with a return value) or inconsistent register usage.
+pub fn compile_module(m: &Module, globals_base: u64) -> Result<CompiledModule, CompileError> {
+    // Lay out module globals.
+    let mut global_offsets = HashMap::new();
+    let mut off = 0u64;
+    for g in &m.globals {
+        let align = g.align.unwrap_or(g.ty.size() as u32) as u64;
+        off = off.next_multiple_of(align.max(1));
+        global_offsets.insert(g.name.clone(), off);
+        off += g.size_bytes();
+    }
+    let globals_size = off;
+    let mut global_image = vec![0u8; globals_size as usize];
+    for g in &m.globals {
+        let base = global_offsets[&g.name] as usize;
+        for (i, bits) in g.init.iter().enumerate() {
+            let sz = g.ty.size();
+            let bytes = bits.to_le_bytes();
+            global_image[base + i * sz..base + (i + 1) * sz].copy_from_slice(&bytes[..sz]);
+        }
+    }
+
+    let mut functions = HashMap::new();
+    for f in &m.functions {
+        let ck = compile_function(f, globals_base, &global_offsets)?;
+        functions.insert(f.name.clone(), Arc::new(ck));
+    }
+    Ok(CompiledModule {
+        functions,
+        globals_size,
+        global_image,
+        global_offsets,
+    })
+}
+
+struct FnCtx {
+    reg_slots: HashMap<String, u16>,
+    pred_slots: HashMap<String, u16>,
+    param_offsets: HashMap<String, u32>,
+    #[allow(dead_code)] // retained for diagnostics
+    param_types: HashMap<String, Type>,
+    shared_offsets: HashMap<String, u64>,
+    local_offsets: HashMap<String, u64>,
+    globals_base: u64,
+    global_offsets: HashMap<String, u64>,
+}
+
+impl FnCtx {
+    fn reg(&self, name: &str) -> Result<u16, CompileError> {
+        self.reg_slots
+            .get(name)
+            .copied()
+            .ok_or_else(|| CompileError(format!("unknown register `{name}`")))
+    }
+
+    fn pred(&self, name: &str) -> Result<u16, CompileError> {
+        self.pred_slots
+            .get(name)
+            .copied()
+            .ok_or_else(|| CompileError(format!("unknown predicate `{name}`")))
+    }
+
+    /// Convert an AST operand to a compiled source for an op of type `ty`.
+    fn src(&self, o: &Operand, ty: Type) -> Result<CSrc, CompileError> {
+        Ok(match o {
+            Operand::Reg(r) => {
+                if ty == Type::Pred {
+                    CSrc::Reg(self.pred(r)?)
+                } else {
+                    CSrc::Reg(self.reg(r)?)
+                }
+            }
+            Operand::ImmInt(v) => CSrc::Imm(imm_bits_int(*v, ty)),
+            Operand::ImmFloat(v) => CSrc::Imm(imm_bits_float(*v, ty)),
+            Operand::Special(s) => CSrc::Special(*s),
+        })
+    }
+
+    /// Resolve a symbol (shared / local / module global) to an absolute
+    /// virtual address.
+    fn symbol_addr(&self, name: &str) -> Result<u64, CompileError> {
+        if let Some(&o) = self.shared_offsets.get(name) {
+            return Ok(SHARED_BASE + o);
+        }
+        if let Some(&o) = self.local_offsets.get(name) {
+            return Ok(LOCAL_BASE + o);
+        }
+        if let Some(&o) = self.global_offsets.get(name) {
+            return Ok(self.globals_base + o);
+        }
+        Err(CompileError(format!("unknown symbol `{name}`")))
+    }
+
+    fn addr(&self, a: &ptx::ast::Address, space: Space) -> Result<CAddr, CompileError> {
+        match (&a.base, space) {
+            (AddrBase::Reg(r), _) => Ok(CAddr::Reg {
+                slot: self.reg(r)?,
+                offset: a.offset,
+            }),
+            (AddrBase::Var(v), Space::Param) => {
+                let off = self
+                    .param_offsets
+                    .get(v)
+                    .ok_or_else(|| CompileError(format!("unknown parameter `{v}`")))?;
+                Ok(CAddr::Param(*off + a.offset as u32))
+            }
+            (AddrBase::Var(v), _) => {
+                let base = self.symbol_addr(v)?;
+                Ok(CAddr::Abs(base.wrapping_add_signed(a.offset)))
+            }
+        }
+    }
+}
+
+fn imm_bits_int(v: i64, ty: Type) -> u64 {
+    match ty {
+        Type::F32 => (v as f32).to_bits() as u64,
+        Type::F64 => (v as f64).to_bits(),
+        _ => truncate_to(ty, v as u64),
+    }
+}
+
+fn imm_bits_float(v: f64, ty: Type) -> u64 {
+    match ty {
+        Type::F32 => (v as f32).to_bits() as u64,
+        Type::F64 => v.to_bits(),
+        _ => truncate_to(ty, v as i64 as u64),
+    }
+}
+
+/// Truncate a bit image to the width of `ty` (no sign extension; the
+/// interpreter re-interprets per op).
+pub fn truncate_to(ty: Type, bits: u64) -> u64 {
+    match ty.size() {
+        1 => bits & 0xFF,
+        2 => bits & 0xFFFF,
+        4 => bits & 0xFFFF_FFFF,
+        _ => bits,
+    }
+}
+
+fn compile_function(
+    f: &Function,
+    globals_base: u64,
+    global_offsets: &HashMap<String, u64>,
+) -> Result<CompiledKernel, CompileError> {
+    // Slot assignment for declared registers.
+    let mut reg_slots = HashMap::new();
+    let mut pred_slots = HashMap::new();
+    let mut shared_offsets = HashMap::new();
+    let mut local_offsets = HashMap::new();
+    let mut shared_size = 0u64;
+    let mut local_size = 0u64;
+    for s in &f.body {
+        match s {
+            Statement::RegDecl {
+                class,
+                prefix,
+                count,
+            } => {
+                for i in 0..*count {
+                    let name = format!("{prefix}{i}");
+                    if *class == RegClass::Pred {
+                        let slot = pred_slots.len() as u16;
+                        pred_slots.entry(name).or_insert(slot);
+                    } else {
+                        let slot = reg_slots.len() as u16;
+                        reg_slots.entry(name).or_insert(slot);
+                    }
+                }
+            }
+            Statement::VarDecl(v) => {
+                let align = v.align.unwrap_or(v.ty.size() as u32) as u64;
+                match v.space {
+                    Space::Shared => {
+                        shared_size = shared_size.next_multiple_of(align.max(1));
+                        shared_offsets.insert(v.name.clone(), shared_size);
+                        shared_size += v.size_bytes();
+                    }
+                    Space::Local => {
+                        local_size = local_size.next_multiple_of(align.max(1));
+                        local_offsets.insert(v.name.clone(), local_size);
+                        local_size += v.size_bytes();
+                    }
+                    _ => {
+                        return Err(CompileError(format!(
+                            "function-scope variable `{}` must be .shared or .local",
+                            v.name
+                        )));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Parameter layout.
+    let offsets = f.param_offsets();
+    let mut params = Vec::new();
+    let mut param_offsets = HashMap::new();
+    let mut param_types = HashMap::new();
+    for (p, off) in f.params.iter().zip(offsets) {
+        params.push((p.name.clone(), p.ty, off as u32));
+        param_offsets.insert(p.name.clone(), off as u32);
+        param_types.insert(p.name.clone(), p.ty);
+    }
+
+    let ctx = FnCtx {
+        reg_slots,
+        pred_slots,
+        param_offsets,
+        param_types,
+        shared_offsets,
+        local_offsets,
+        globals_base,
+        global_offsets: global_offsets.clone(),
+    };
+
+    // First pass: map statement index -> pc; record label pcs.
+    let mut label_pc: HashMap<&str, u32> = HashMap::new();
+    let mut pc = 0u32;
+    for s in &f.body {
+        match s {
+            Statement::Label(l) => {
+                label_pc.insert(l.as_str(), pc);
+            }
+            Statement::Instr(_) => pc += 1,
+            _ => {}
+        }
+    }
+    let resolve_label = |l: &str| -> Result<u32, CompileError> {
+        label_pc
+            .get(l)
+            .copied()
+            .ok_or_else(|| CompileError(format!("unknown label `{l}`")))
+    };
+
+    // Second pass: lower instructions.
+    let mut code = Vec::with_capacity(pc as usize);
+    let mut protected = 0u32;
+    for s in &f.body {
+        let Statement::Instr(ins) = s else { continue };
+        let pred = match &ins.pred {
+            Some(p) => Some((ctx.pred(&p.reg)?, p.negated)),
+            None => None,
+        };
+        if ins.op.is_protected_access() {
+            protected += 1;
+        }
+        let op = match &ins.op {
+            Op::Ld {
+                space: Space::Param,
+                ty,
+                dst,
+                addr,
+            } => {
+                let CAddr::Param(offset) = ctx.addr(addr, Space::Param)? else {
+                    return Err(CompileError("ld.param requires a parameter symbol".into()));
+                };
+                COp::LdParam {
+                    ty: *ty,
+                    dst: ctx.reg(dst)?,
+                    offset,
+                }
+            }
+            Op::Ld {
+                space,
+                ty,
+                dst,
+                addr,
+            } => COp::Ld {
+                space: *space,
+                ty: *ty,
+                dst: ctx.reg(dst)?,
+                addr: ctx.addr(addr, *space)?,
+            },
+            Op::St {
+                space,
+                ty,
+                addr,
+                src,
+            } => COp::St {
+                space: *space,
+                ty: *ty,
+                addr: ctx.addr(addr, *space)?,
+                src: ctx.src(src, *ty)?,
+            },
+            Op::Mov { ty, dst, src } => {
+                if *ty == Type::Pred {
+                    COp::SetPred {
+                        dst: ctx.pred(dst)?,
+                        src: ctx.src(src, Type::Pred)?,
+                    }
+                } else {
+                    COp::Mov {
+                        ty: *ty,
+                        dst: ctx.reg(dst)?,
+                        src: ctx.src(src, *ty)?,
+                    }
+                }
+            }
+            Op::MovAddr { ty, dst, var } => COp::Mov {
+                ty: *ty,
+                dst: ctx.reg(dst)?,
+                src: CSrc::Imm(ctx.symbol_addr(var)?),
+            },
+            Op::Cvta { dst, src, .. } => {
+                // Address-space conversion is a no-op in our flat VA model
+                // (windows are disjoint); it still costs one ALU cycle, so
+                // keep it as a 64-bit move.
+                COp::Mov {
+                    ty: Type::U64,
+                    dst: ctx.reg(dst)?,
+                    src: ctx.src(src, Type::U64)?,
+                }
+            }
+            Op::Cvt { dty, sty, dst, src } => COp::Cvt {
+                dty: *dty,
+                sty: *sty,
+                dst: ctx.reg(dst)?,
+                a: ctx.src(src, *sty)?,
+            },
+            Op::Binary { kind, ty, dst, a, b } => COp::Binary {
+                kind: *kind,
+                ty: *ty,
+                dst: ctx.reg(dst)?,
+                a: ctx.src(a, *ty)?,
+                b: ctx.src(b, *ty)?,
+            },
+            Op::Unary { kind, ty, dst, a } => {
+                if *ty == Type::Pred {
+                    return Err(CompileError("predicate `not` is unsupported".into()));
+                }
+                COp::Unary {
+                    kind: *kind,
+                    ty: *ty,
+                    dst: ctx.reg(dst)?,
+                    a: ctx.src(a, *ty)?,
+                }
+            }
+            Op::MulWide { sty, dst, a, b } => COp::MulWide {
+                sty: *sty,
+                dst: ctx.reg(dst)?,
+                a: ctx.src(a, *sty)?,
+                b: ctx.src(b, *sty)?,
+            },
+            Op::Mad { ty, dst, a, b, c } => COp::Mad {
+                ty: *ty,
+                dst: ctx.reg(dst)?,
+                a: ctx.src(a, *ty)?,
+                b: ctx.src(b, *ty)?,
+                c: ctx.src(c, *ty)?,
+            },
+            Op::MadWide { sty, dst, a, b, c } => COp::MadWide {
+                sty: *sty,
+                dst: ctx.reg(dst)?,
+                a: ctx.src(a, *sty)?,
+                b: ctx.src(b, *sty)?,
+                c: ctx.src(c, *sty)?,
+            },
+            Op::Fma { ty, dst, a, b, c } => COp::Fma {
+                ty: *ty,
+                dst: ctx.reg(dst)?,
+                a: ctx.src(a, *ty)?,
+                b: ctx.src(b, *ty)?,
+                c: ctx.src(c, *ty)?,
+            },
+            Op::Setp { cmp, ty, dst, a, b } => COp::Setp {
+                cmp: *cmp,
+                ty: *ty,
+                dst: ctx.pred(dst)?,
+                a: ctx.src(a, *ty)?,
+                b: ctx.src(b, *ty)?,
+            },
+            Op::Selp { ty, dst, a, b, p } => COp::Selp {
+                ty: *ty,
+                dst: ctx.reg(dst)?,
+                a: ctx.src(a, *ty)?,
+                b: ctx.src(b, *ty)?,
+                p: ctx.pred(p)?,
+            },
+            Op::Bra { target, .. } => COp::Bra {
+                target: resolve_label(target)?,
+            },
+            Op::BrxIdx { index, targets } => COp::BrxIdx {
+                index: ctx.reg(index)?,
+                targets: targets
+                    .iter()
+                    .map(|t| resolve_label(t))
+                    .collect::<Result<_, _>>()?,
+            },
+            Op::Call { ret, func, args } => {
+                if ret.is_some() {
+                    return Err(CompileError(
+                        "call with return value is outside the supported subset".into(),
+                    ));
+                }
+                // Arg types are resolved against the callee at execution
+                // time; pass 64-bit bit images.
+                COp::Call {
+                    func: func.clone(),
+                    args: args
+                        .iter()
+                        .map(|a| Ok((Type::B64, ctx.src(a, Type::B64)?)))
+                        .collect::<Result<Vec<_>, CompileError>>()?,
+                }
+            }
+            Op::Ret => COp::Ret,
+            Op::Exit => COp::Exit,
+            Op::Trap => COp::Trap,
+            Op::BarSync { .. } => COp::BarSync,
+            Op::Membar => COp::Membar,
+            Op::Atom {
+                op,
+                space,
+                ty,
+                dst,
+                addr,
+                src,
+                cmp,
+            } => COp::Atom {
+                op: *op,
+                space: *space,
+                ty: *ty,
+                dst: ctx.reg(dst)?,
+                addr: ctx.addr(addr, *space)?,
+                src: ctx.src(src, *ty)?,
+                cmp: match cmp {
+                    Some(c) => Some(ctx.src(c, *ty)?),
+                    None => None,
+                },
+            },
+        };
+        code.push(CInstr { pred, op });
+    }
+
+    Ok(CompiledKernel {
+        name: f.name.clone(),
+        kind: f.kind,
+        params,
+        param_size: f.param_buffer_size(),
+        code,
+        num_regs: ctx.reg_slots.len() as u16,
+        num_preds: ctx.pred_slots.len() as u16,
+        shared_size,
+        local_size,
+        protected_access_count: protected,
+    })
+}
+
+impl COp {
+    /// Static cost class used by the timing model.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            COp::Ld { .. } | COp::St { .. } | COp::Atom { .. } | COp::LdParam { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile_src(src: &str) -> CompiledModule {
+        let m = ptx::parse(src).unwrap();
+        ptx::validate(&m).unwrap();
+        compile_module(&m, 0x7100_0000_0000).unwrap()
+    }
+
+    #[test]
+    fn compiles_listing1_kernel() {
+        let cm = compile_src(
+            r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry kernel(
+    .param .u64 p0, .param .u32 p1, .param .u64 base, .param .u64 mask)
+{
+    .reg .b32 %r<3>;
+    .reg .b64 %rd<5>;
+    .reg .b64 %grdreg<3>;
+    ld.param.u64 %rd1, [p0];
+    ld.param.u32 %r1, [p1];
+    ld.param.u64 %grdreg1, [base];
+    ld.param.u64 %grdreg2, [mask];
+    cvta.to.global.u64 %rd2, %rd1;
+    mov.u32 %r2, %tid.x;
+    mul.wide.s32 %rd3, %r1, 4;
+    add.s64 %rd4, %rd2, %rd3;
+    and.b64 %rd4, %rd4, %grdreg2;
+    or.b64 %rd4, %rd4, %grdreg1;
+    st.global.u32 [%rd4], %r2;
+    ret;
+}
+"#,
+        );
+        let k = cm.kernel("kernel").unwrap();
+        assert_eq!(k.param_size, 8 + 4 + 4 /*pad*/ + 8 + 8);
+        assert_eq!(k.code.len(), 12);
+        assert_eq!(k.protected_access_count, 1);
+        // Param offsets: u64@0, u32@8, u64@16, u64@24.
+        assert_eq!(k.params[2].2, 16);
+        assert_eq!(k.params[3].2, 24);
+    }
+
+    #[test]
+    fn labels_resolve_to_pcs() {
+        let cm = compile_src(
+            r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry l(.param .u32 n)
+{
+    .reg .pred %p<2>;
+    .reg .b32 %r<4>;
+    ld.param.u32 %r1, [n];
+    mov.u32 %r2, 0;
+$L_top:
+    setp.ge.u32 %p1, %r2, %r1;
+    @%p1 bra $L_done;
+    add.u32 %r2, %r2, 1;
+    bra.uni $L_top;
+$L_done:
+    ret;
+}
+"#,
+        );
+        let k = cm.kernel("l").unwrap();
+        // pc2 = setp; pc3 = predicated bra -> 6 (ret); pc5 = bra -> 2.
+        match &k.code[3].op {
+            COp::Bra { target } => assert_eq!(*target, 6),
+            other => panic!("expected bra, got {other:?}"),
+        }
+        match &k.code[5].op {
+            COp::Bra { target } => assert_eq!(*target, 2),
+            other => panic!("expected bra, got {other:?}"),
+        }
+        assert_eq!(k.num_preds, 2);
+    }
+
+    #[test]
+    fn module_globals_are_laid_out_and_initialized() {
+        let cm = compile_src(
+            r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.global .align 4 .f32 lut[2] = { 0f3F800000, 0f40000000 };
+.global .align 8 .u64 counter;
+.visible .entry g() { ret; }
+"#,
+        );
+        assert_eq!(cm.global_offsets["lut"], 0);
+        assert_eq!(cm.global_offsets["counter"], 8);
+        assert_eq!(cm.globals_size, 16);
+        assert_eq!(
+            f32::from_le_bytes(cm.global_image[0..4].try_into().unwrap()),
+            1.0
+        );
+        assert_eq!(
+            f32::from_le_bytes(cm.global_image[4..8].try_into().unwrap()),
+            2.0
+        );
+    }
+
+    #[test]
+    fn shared_and_local_layout() {
+        let cm = compile_src(
+            r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry s()
+{
+    .shared .align 4 .f32 tile[64];
+    .shared .align 8 .f64 acc[8];
+    .local .align 4 .b8 scratch[32];
+    .reg .b64 %rd<3>;
+    mov.u64 %rd1, tile;
+    mov.u64 %rd2, acc;
+    ret;
+}
+"#,
+        );
+        let k = cm.kernel("s").unwrap();
+        assert_eq!(k.shared_size, 64 * 4 + 8 * 8);
+        assert_eq!(k.local_size, 32);
+        // mov of symbol addresses became immediates in the right windows.
+        match &k.code[0].op {
+            COp::Mov {
+                src: CSrc::Imm(a), ..
+            } => assert_eq!(*a, SHARED_BASE),
+            o => panic!("{o:?}"),
+        }
+        match &k.code[1].op {
+            COp::Mov {
+                src: CSrc::Imm(a), ..
+            } => assert_eq!(*a, SHARED_BASE + 256),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn call_with_return_value_is_rejected() {
+        let m = ptx::parse(
+            r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.func h() { ret; }
+.visible .entry c()
+{
+    .reg .b32 %r<2>;
+    call (%r1), h;
+    ret;
+}
+"#,
+        )
+        .unwrap();
+        assert!(compile_module(&m, 0).is_err());
+    }
+
+    #[test]
+    fn f32_immediate_for_f32_op_is_32bit_image() {
+        let cm = compile_src(
+            r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry f()
+{
+    .reg .f32 %f<2>;
+    mov.f32 %f1, 0f3F800000;
+    ret;
+}
+"#,
+        );
+        let k = cm.kernel("f").unwrap();
+        match &k.code[0].op {
+            COp::Mov {
+                src: CSrc::Imm(bits),
+                ..
+            } => assert_eq!(*bits, 0x3F80_0000),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn truncate_widths() {
+        assert_eq!(truncate_to(Type::U8, 0x1FF), 0xFF);
+        assert_eq!(truncate_to(Type::U16, 0x1_FFFF), 0xFFFF);
+        assert_eq!(truncate_to(Type::U32, u64::MAX), 0xFFFF_FFFF);
+        assert_eq!(truncate_to(Type::U64, u64::MAX), u64::MAX);
+    }
+}

@@ -1,0 +1,230 @@
+//! GPU model specifications (the paper's Table 2) and the timing constants
+//! of the simulator (the paper's Figure 5 and §7.4).
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a simulated GPU model.
+///
+/// The two presets, [`rtx_a4000`] and [`rtx_3080ti`], carry the exact
+/// numbers of the paper's Table 2; the per-instruction latencies come from
+/// the microbenchmark literature the paper cites (4 cycles per ALU/bitwise
+/// op, 28-cycle L1 hits, 193-cycle L2 hits, 220–350-cycle global loads).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"Quadro RTX A4000"`.
+    pub name: String,
+    /// Compute capability, e.g. `(8, 6)`.
+    pub compute_capability: (u32, u32),
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// CUDA cores per SM (lanes available for thread throughput).
+    pub cores_per_sm: u32,
+    /// L1 data cache per SM, bytes.
+    pub l1_bytes: u64,
+    /// L2 cache (device-wide), bytes.
+    pub l2_bytes: u64,
+    /// Global memory (DRAM), bytes.
+    pub global_mem_bytes: u64,
+    /// Architectural limit on registers per thread.
+    pub max_registers_per_thread: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Core clock in GHz (used to convert cycles to seconds).
+    pub clock_ghz: f64,
+    /// L1 hit latency, cycles.
+    pub l1_hit_cycles: u64,
+    /// L2 hit latency, cycles.
+    pub l2_hit_cycles: u64,
+    /// Global-memory load latency, cycles.
+    pub global_load_cycles: u64,
+    /// Global-memory store cost charged to the issuing thread, cycles.
+    pub global_store_cycles: u64,
+    /// Plain ALU / bitwise instruction latency, cycles (the "4 cycles per
+    /// bitwise operation" of §4.4).
+    pub alu_cycles: u64,
+    /// Special-function unit latency (sqrt, sin, ex2, ...), cycles.
+    pub sfu_cycles: u64,
+    /// Cost of a *predicated* (potentially divergent) branch. Calibrated so
+    /// that one Guardian address check — two `setp` + two predicated
+    /// branches — costs the 80 cycles the paper attributes to the Address
+    /// Divergence Unit (§4.4): 2·4 + 2·36 = 80.
+    pub branch_cycles: u64,
+    /// Shared-memory access latency, cycles.
+    pub shared_cycles: u64,
+    /// Atomic operation latency, cycles.
+    pub atomic_cycles: u64,
+    /// PCIe bandwidth, bytes per second (v4 x16 ≈ 24 GB/s effective).
+    pub pcie_bytes_per_sec: f64,
+    /// Device-memory bandwidth, bytes per second (Table 2: 448 / 912 GB/s).
+    pub dram_bytes_per_sec: f64,
+    /// Cost of a GPU context switch (time-sharing), cycles. The paper cites
+    /// 100s-of-microseconds-scale costs for swapping context state
+    /// (§2.2 / MIG reconfiguration discussion); at 1.56 GHz, 200 µs ≈ 312k
+    /// cycles.
+    pub context_switch_cycles: u64,
+    /// Device memory consumed by driver state per created context, bytes
+    /// (§2.2: 176 MB measured per context; 4 MPS clients → ~734 MB).
+    pub context_overhead_bytes: u64,
+    /// Whether the DRAM has ECC (Table 2; informational).
+    pub ecc: bool,
+}
+
+impl GpuSpec {
+    /// Convert a cycle count to seconds at this GPU's clock.
+    pub fn cycles_to_secs(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// Convert seconds to cycles at this GPU's clock.
+    pub fn secs_to_cycles(&self, secs: f64) -> u64 {
+        (secs * self.clock_ghz * 1e9) as u64
+    }
+
+    /// Total CUDA cores on the device.
+    pub fn total_cores(&self) -> u64 {
+        self.num_sms as u64 * self.cores_per_sm as u64
+    }
+}
+
+/// The paper's primary evaluation GPU: Quadro RTX A4000 (Table 2).
+pub fn rtx_a4000() -> GpuSpec {
+    GpuSpec {
+        name: "Quadro RTX A4000".into(),
+        compute_capability: (8, 6),
+        num_sms: 48,
+        cores_per_sm: 128, // 6144 CUDA cores total
+        l1_bytes: 128 * 1024,
+        l2_bytes: 4096 * 1024,
+        global_mem_bytes: 16 * 1024 * 1024 * 1024,
+        max_registers_per_thread: 255,
+        max_threads_per_block: 1024,
+        clock_ghz: 1.56,
+        l1_hit_cycles: 28,
+        l2_hit_cycles: 193,
+        global_load_cycles: 285,
+        global_store_cycles: 250,
+        alu_cycles: 4,
+        sfu_cycles: 16,
+        branch_cycles: 36,
+        shared_cycles: 24,
+        atomic_cycles: 40,
+        pcie_bytes_per_sec: 24e9,
+        dram_bytes_per_sec: 448e9,
+        context_switch_cycles: 312_000,
+        context_overhead_bytes: 176 * 1024 * 1024,
+        ecc: true,
+    }
+}
+
+/// The paper's second GPU: GeForce RTX 3080 Ti (Table 2).
+pub fn rtx_3080ti() -> GpuSpec {
+    GpuSpec {
+        name: "GeForce RTX 3080 Ti".into(),
+        compute_capability: (8, 6),
+        num_sms: 80,
+        cores_per_sm: 128, // 10240 CUDA cores total
+        l1_bytes: 128 * 1024,
+        l2_bytes: 6144 * 1024,
+        global_mem_bytes: 12 * 1024 * 1024 * 1024,
+        max_registers_per_thread: 255,
+        max_threads_per_block: 1024,
+        clock_ghz: 1.67,
+        l1_hit_cycles: 28,
+        l2_hit_cycles: 193,
+        global_load_cycles: 285,
+        global_store_cycles: 250,
+        alu_cycles: 4,
+        sfu_cycles: 16,
+        branch_cycles: 36,
+        shared_cycles: 24,
+        atomic_cycles: 40,
+        pcie_bytes_per_sec: 24e9,
+        dram_bytes_per_sec: 912e9,
+        context_switch_cycles: 334_000,
+        context_overhead_bytes: 176 * 1024 * 1024,
+        ecc: false,
+    }
+}
+
+/// A deliberately tiny GPU for fast unit tests (64 MiB DRAM, 4 SMs).
+pub fn test_gpu() -> GpuSpec {
+    GpuSpec {
+        name: "TestGPU".into(),
+        compute_capability: (8, 6),
+        num_sms: 4,
+        cores_per_sm: 32,
+        l1_bytes: 16 * 1024,
+        l2_bytes: 128 * 1024,
+        global_mem_bytes: 64 * 1024 * 1024,
+        max_registers_per_thread: 255,
+        max_threads_per_block: 1024,
+        clock_ghz: 1.0,
+        l1_hit_cycles: 28,
+        l2_hit_cycles: 193,
+        global_load_cycles: 285,
+        global_store_cycles: 250,
+        alu_cycles: 4,
+        sfu_cycles: 16,
+        branch_cycles: 36,
+        shared_cycles: 24,
+        atomic_cycles: 40,
+        pcie_bytes_per_sec: 24e9,
+        dram_bytes_per_sec: 448e9,
+        context_switch_cycles: 10_000,
+        context_overhead_bytes: 1024 * 1024,
+        ecc: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_numbers_match_paper() {
+        let a = rtx_a4000();
+        assert_eq!(a.num_sms, 48);
+        assert_eq!(a.total_cores(), 6144);
+        assert_eq!(a.l1_bytes, 128 * 1024);
+        assert_eq!(a.l2_bytes, 4096 * 1024);
+        assert_eq!(a.global_mem_bytes, 16 << 30);
+        assert!(a.ecc);
+
+        let g = rtx_3080ti();
+        assert_eq!(g.num_sms, 80);
+        assert_eq!(g.total_cores(), 10240);
+        assert_eq!(g.l2_bytes, 6144 * 1024);
+        assert_eq!(g.global_mem_bytes, 12 << 30);
+        assert!(!g.ecc);
+    }
+
+    #[test]
+    fn latency_constants_match_paper() {
+        let a = rtx_a4000();
+        // §4.4: bitwise op = 4 cycles, so AND+OR fencing = 8 cycles.
+        assert_eq!(a.alu_cycles * 2, 8);
+        // Figure 5 / §7.4 latencies.
+        assert_eq!(a.l1_hit_cycles, 28);
+        assert_eq!(a.l2_hit_cycles, 193);
+        assert!(a.global_load_cycles >= 220 && a.global_load_cycles <= 350);
+    }
+
+    #[test]
+    fn cycle_second_conversion_round_trips() {
+        let a = rtx_a4000();
+        let s = a.cycles_to_secs(1_560_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+        assert_eq!(a.secs_to_cycles(1.0), 1_560_000_000);
+    }
+
+    #[test]
+    fn context_overhead_reproduces_section_2_2() {
+        let a = rtx_a4000();
+        let mps_4_clients = 4 * a.context_overhead_bytes;
+        let guardian = a.context_overhead_bytes;
+        // MPS with 4 clients is ~4x Guardian's single context.
+        assert_eq!(mps_4_clients / guardian, 4);
+        let mps_16 = 16 * a.context_overhead_bytes;
+        assert!(mps_16 as f64 / (1 << 30) as f64 > 2.5); // ~2.8 GB
+    }
+}

@@ -1,0 +1,198 @@
+//! Streams, commands, and events.
+//!
+//! A stream is an in-order queue of device commands; commands in different
+//! streams may execute concurrently (§2.1 of the paper). These types are
+//! consumed by the device's discrete-event engine in [`crate::device`].
+
+use crate::compile::{CompiledKernel, CompiledModule};
+use crate::interp::{LaunchConfig, MemGuard};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Identifies a context on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CtxId(pub u32);
+
+/// Identifies a stream on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u32);
+
+/// A handle to a kernel within its loaded module (the `CUfunction`
+/// analogue; keeps the sibling `.func`s reachable for `call`).
+#[derive(Debug, Clone)]
+pub struct CudaFunction {
+    /// The kernel to execute.
+    pub kernel: Arc<CompiledKernel>,
+    /// The module it was loaded from.
+    pub module: Arc<CompiledModule>,
+}
+
+/// A recordable timestamp (the `cudaEvent_t` analogue). The device stores
+/// the cycle count at which the `EventRecord` command executed.
+#[derive(Debug, Clone, Default)]
+pub struct Event {
+    cycles: Arc<Mutex<Option<u64>>>,
+}
+
+impl Event {
+    /// Create an unrecorded event.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded device timestamp in cycles, if recorded.
+    pub fn cycles(&self) -> Option<u64> {
+        *self.cycles.lock()
+    }
+
+    pub(crate) fn record(&self, cycles: u64) {
+        *self.cycles.lock() = Some(cycles);
+    }
+}
+
+/// A host-visible buffer a device-to-host copy writes into at execution
+/// time.
+#[derive(Debug, Clone, Default)]
+pub struct HostSink {
+    data: Arc<Mutex<Vec<u8>>>,
+}
+
+impl HostSink {
+    /// Create an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take the received bytes (empty until the copy has executed).
+    pub fn take(&self) -> Vec<u8> {
+        std::mem::take(&mut self.data.lock())
+    }
+
+    pub(crate) fn put(&self, data: Vec<u8>) {
+        *self.data.lock() = data;
+    }
+}
+
+/// One device command.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Execute a kernel grid.
+    Launch {
+        /// Function handle.
+        func: CudaFunction,
+        /// Grid/block geometry.
+        cfg: LaunchConfig,
+        /// Flat parameter buffer.
+        params: Vec<u8>,
+        /// Memory-protection mode for this launch.
+        guard: MemGuard,
+    },
+    /// Host-to-device copy (data captured at enqueue).
+    MemcpyH2D {
+        /// Destination device address.
+        dst: u64,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Device-to-host copy into a [`HostSink`].
+    MemcpyD2H {
+        /// Source device address.
+        src: u64,
+        /// Length in bytes.
+        len: u64,
+        /// Where the bytes land.
+        sink: HostSink,
+    },
+    /// Device-to-device copy.
+    MemcpyD2D {
+        /// Destination device address.
+        dst: u64,
+        /// Source device address.
+        src: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Fill a device range with a byte.
+    Memset {
+        /// Destination device address.
+        dst: u64,
+        /// Fill byte.
+        byte: u8,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Record a timestamp into an [`Event`].
+    EventRecord {
+        /// The event to record into.
+        event: Event,
+    },
+}
+
+impl Command {
+    /// Short human-readable tag for logs and fault records.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Command::Launch { .. } => "launch",
+            Command::MemcpyH2D { .. } => "memcpyH2D",
+            Command::MemcpyD2H { .. } => "memcpyD2H",
+            Command::MemcpyD2D { .. } => "memcpyD2D",
+            Command::Memset { .. } => "memset",
+            Command::EventRecord { .. } => "eventRecord",
+        }
+    }
+}
+
+/// A stream's mutable state inside the device.
+#[derive(Debug)]
+pub(crate) struct StreamState {
+    pub ctx: CtxId,
+    pub queue: VecDeque<Command>,
+    /// Whether the head command is currently executing.
+    pub busy: bool,
+    /// Completion time of the most recently finished command.
+    pub last_done: u64,
+}
+
+impl StreamState {
+    pub fn new(ctx: CtxId) -> Self {
+        StreamState {
+            ctx,
+            queue: VecDeque::new(),
+            busy: false,
+            last_done: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_records_once() {
+        let e = Event::new();
+        assert_eq!(e.cycles(), None);
+        e.record(42);
+        assert_eq!(e.cycles(), Some(42));
+    }
+
+    #[test]
+    fn host_sink_takes_data() {
+        let s = HostSink::new();
+        assert!(s.take().is_empty());
+        s.put(vec![1, 2, 3]);
+        assert_eq!(s.take(), vec![1, 2, 3]);
+        assert!(s.take().is_empty());
+    }
+
+    #[test]
+    fn command_kinds() {
+        let c = Command::Memset {
+            dst: 0,
+            byte: 0,
+            len: 1,
+        };
+        assert_eq!(c.kind(), "memset");
+    }
+}

@@ -1,0 +1,413 @@
+//! Guardian's GPU memory partitioning (§4.2.1, §4.4).
+//!
+//! The grdManager reserves (nearly) all GPU memory once, then carves it
+//! into **contiguous, power-of-two sized, power-of-two aligned** partitions
+//! — one per tenant. The power-of-two discipline is what makes bitwise
+//! address fencing possible (`mask = size - 1`), and contiguity is what
+//! lets the bounds live in two registers instead of per-allocation
+//! metadata (the paper's "lightweight bounds checking" design point).
+//!
+//! A buddy allocator manages partitions; a first-fit region allocator
+//! serves `cudaMalloc`/`cudaFree` *inside* each partition (PyTorch and
+//! TensorFlow use power-of-two caching allocators by default, §4.4, so
+//! power-of-two partition sizing matches framework behaviour).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Minimum partition size (1 MiB).
+pub const MIN_PARTITION: u64 = 1 << 20;
+
+/// Allocation granularity inside a partition (256 B, CUDA's `cudaMalloc`
+/// alignment).
+pub const SUBALLOC_ALIGN: u64 = 256;
+
+/// A tenant's memory partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Absolute device base address (aligned to `size`).
+    pub base: u64,
+    /// Power-of-two size in bytes.
+    pub size: u64,
+}
+
+impl Partition {
+    /// The bitwise-fencing mask (`size - 1`, §4.3).
+    pub fn mask(&self) -> u64 {
+        self.size - 1
+    }
+
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.base + self.size
+    }
+
+    /// Whether `[addr, addr+len)` lies entirely inside the partition
+    /// (overflow-safe).
+    pub fn contains_range(&self, addr: u64, len: u64) -> bool {
+        if addr < self.base {
+            return false;
+        }
+        let off = addr - self.base;
+        off <= self.size && self.size - off >= len
+    }
+}
+
+/// Errors from the partition allocator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// No free partition of the requested size.
+    OutOfPartitions,
+    /// The partition's internal heap is exhausted.
+    PartitionFull,
+    /// Free of an unknown pointer.
+    InvalidFree,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfPartitions => f.write_str("no free partition of requested size"),
+            AllocError::PartitionFull => f.write_str("partition heap exhausted"),
+            AllocError::InvalidFree => f.write_str("invalid free"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Buddy allocator over the reserved pool.
+#[derive(Debug)]
+pub struct PartitionAllocator {
+    pool_base: u64,
+    pool_size: u64,
+    min_order: u32,
+    /// `free[o]` holds free block offsets of size `MIN_PARTITION << o`.
+    free: Vec<Vec<u64>>,
+    allocated: HashMap<u64, u32>, // offset -> order
+}
+
+impl PartitionAllocator {
+    /// Manage a pool at `pool_base` of `pool_size` bytes. Both must be
+    /// powers of two and `pool_base` must be aligned to `pool_size` so
+    /// every buddy block is aligned to its own size (the fencing
+    /// precondition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alignment preconditions are violated.
+    pub fn new(pool_base: u64, pool_size: u64) -> Self {
+        assert!(pool_size.is_power_of_two(), "pool size must be 2^k");
+        assert!(pool_size >= MIN_PARTITION, "pool smaller than a partition");
+        assert_eq!(
+            pool_base % pool_size,
+            0,
+            "pool base must be aligned to pool size"
+        );
+        let max_order = (pool_size / MIN_PARTITION).ilog2();
+        let mut free = vec![Vec::new(); (max_order + 1) as usize];
+        free[max_order as usize].push(0);
+        PartitionAllocator {
+            pool_base,
+            pool_size,
+            min_order: 0,
+            free,
+            allocated: HashMap::new(),
+        }
+    }
+
+    fn order_of(&self, bytes: u64) -> u32 {
+        let size = bytes.max(MIN_PARTITION).next_power_of_two();
+        (size / MIN_PARTITION).ilog2()
+    }
+
+    /// Allocate a partition of at least `bytes` (rounded up to a power of
+    /// two).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfPartitions`] when the pool cannot satisfy it.
+    pub fn alloc(&mut self, bytes: u64) -> Result<Partition, AllocError> {
+        let want = self.order_of(bytes);
+        if want as usize >= self.free.len() {
+            return Err(AllocError::OutOfPartitions);
+        }
+        // Find the smallest order >= want with a free block.
+        let mut have = None;
+        for o in want..self.free.len() as u32 {
+            if !self.free[o as usize].is_empty() {
+                have = Some(o);
+                break;
+            }
+        }
+        let mut o = have.ok_or(AllocError::OutOfPartitions)?;
+        let off = self.free[o as usize].pop().expect("non-empty");
+        // Split down to the wanted order.
+        while o > want {
+            o -= 1;
+            let half = MIN_PARTITION << o;
+            self.free[o as usize].push(off + half);
+        }
+        self.allocated.insert(off, want);
+        Ok(Partition {
+            base: self.pool_base + off,
+            size: MIN_PARTITION << want,
+        })
+    }
+
+    /// Release a partition by its base address, coalescing buddies.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidFree`] for unknown bases.
+    pub fn free(&mut self, base: u64) -> Result<(), AllocError> {
+        let off = base
+            .checked_sub(self.pool_base)
+            .ok_or(AllocError::InvalidFree)?;
+        let mut order = self
+            .allocated
+            .remove(&off)
+            .ok_or(AllocError::InvalidFree)?;
+        let mut off = off;
+        // Coalesce with the buddy while it is free.
+        loop {
+            if (order as usize) + 1 >= self.free.len() {
+                break;
+            }
+            let size = MIN_PARTITION << order;
+            let buddy = off ^ size;
+            if let Some(pos) = self.free[order as usize].iter().position(|&b| b == buddy) {
+                self.free[order as usize].swap_remove(pos);
+                off = off.min(buddy);
+                order += 1;
+            } else {
+                break;
+            }
+        }
+        self.free[order as usize].push(off);
+        let _ = self.min_order;
+        Ok(())
+    }
+
+    /// Number of live partitions.
+    pub fn live_partitions(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Bytes currently held by partitions.
+    pub fn used_bytes(&self) -> u64 {
+        self.allocated
+            .values()
+            .map(|&o| MIN_PARTITION << o)
+            .sum()
+    }
+
+    /// Pool capacity.
+    pub fn capacity(&self) -> u64 {
+        self.pool_size
+    }
+}
+
+/// First-fit heap inside one partition: serves the tenant's
+/// `cudaMalloc`/`cudaFree` calls from its contiguous block (§4.2.1).
+#[derive(Debug)]
+pub struct RegionAllocator {
+    partition: Partition,
+    free: Vec<(u64, u64)>, // (addr, len), sorted, coalesced
+    live: HashMap<u64, u64>,
+}
+
+impl RegionAllocator {
+    /// Manage a partition's interior.
+    pub fn new(partition: Partition) -> Self {
+        RegionAllocator {
+            partition,
+            free: vec![(partition.base, partition.size)],
+            live: HashMap::new(),
+        }
+    }
+
+    /// The partition being managed.
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// Allocate `bytes` (256-byte aligned) inside the partition.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::PartitionFull`].
+    pub fn alloc(&mut self, bytes: u64) -> Result<u64, AllocError> {
+        let len = bytes.max(1).next_multiple_of(SUBALLOC_ALIGN);
+        let pos = self
+            .free
+            .iter()
+            .position(|&(_, flen)| flen >= len)
+            .ok_or(AllocError::PartitionFull)?;
+        let (addr, flen) = self.free[pos];
+        if flen == len {
+            self.free.remove(pos);
+        } else {
+            self.free[pos] = (addr + len, flen - len);
+        }
+        self.live.insert(addr, len);
+        Ok(addr)
+    }
+
+    /// Release an allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidFree`].
+    pub fn free(&mut self, addr: u64) -> Result<(), AllocError> {
+        let len = self.live.remove(&addr).ok_or(AllocError::InvalidFree)?;
+        let pos = self
+            .free
+            .iter()
+            .position(|&(a, _)| a > addr)
+            .unwrap_or(self.free.len());
+        self.free.insert(pos, (addr, len));
+        // Coalesce right then left.
+        if pos + 1 < self.free.len() {
+            let (a, l) = self.free[pos];
+            let (na, nl) = self.free[pos + 1];
+            if a + l == na {
+                self.free[pos] = (a, l + nl);
+                self.free.remove(pos + 1);
+            }
+        }
+        if pos > 0 {
+            let (pa, pl) = self.free[pos - 1];
+            let (a, l) = self.free[pos];
+            if pa + pl == a {
+                self.free[pos - 1] = (pa, pl + l);
+                self.free.remove(pos);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether an address belongs to a live allocation of this heap.
+    pub fn owns(&self, addr: u64) -> bool {
+        self.live
+            .iter()
+            .any(|(&a, &l)| addr >= a && addr < a + l)
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.live.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POOL_BASE: u64 = 1 << 40; // aligned to any pool size we use
+
+    #[test]
+    fn partitions_are_power_of_two_and_aligned() {
+        let mut pa = PartitionAllocator::new(POOL_BASE, 64 * MIN_PARTITION);
+        for req in [1u64, MIN_PARTITION, MIN_PARTITION + 1, 3 * MIN_PARTITION] {
+            let p = pa.alloc(req).unwrap();
+            assert!(p.size.is_power_of_two());
+            assert!(p.size >= req);
+            assert_eq!(p.base % p.size, 0, "partition must be self-aligned");
+        }
+    }
+
+    #[test]
+    fn mask_matches_paper_arithmetic() {
+        let mut pa = PartitionAllocator::new(POOL_BASE, 64 * MIN_PARTITION);
+        let p = pa.alloc(16 * MIN_PARTITION).unwrap();
+        assert_eq!(p.mask(), p.size - 1);
+        // (addr & mask) | base is identity inside the partition.
+        let addr = p.base + 12345;
+        assert_eq!((addr & p.mask()) | p.base, addr);
+    }
+
+    #[test]
+    fn buddy_coalescing_restores_full_pool() {
+        let mut pa = PartitionAllocator::new(POOL_BASE, 16 * MIN_PARTITION);
+        let a = pa.alloc(MIN_PARTITION).unwrap();
+        let b = pa.alloc(2 * MIN_PARTITION).unwrap();
+        let c = pa.alloc(4 * MIN_PARTITION).unwrap();
+        pa.free(b.base).unwrap();
+        pa.free(a.base).unwrap();
+        pa.free(c.base).unwrap();
+        assert_eq!(pa.live_partitions(), 0);
+        // Full-pool allocation succeeds again after coalescing.
+        let full = pa.alloc(16 * MIN_PARTITION).unwrap();
+        assert_eq!(full.base, POOL_BASE);
+    }
+
+    #[test]
+    fn exhaustion_and_double_free() {
+        let mut pa = PartitionAllocator::new(POOL_BASE, 4 * MIN_PARTITION);
+        let a = pa.alloc(2 * MIN_PARTITION).unwrap();
+        let _b = pa.alloc(2 * MIN_PARTITION).unwrap();
+        assert_eq!(pa.alloc(MIN_PARTITION), Err(AllocError::OutOfPartitions));
+        pa.free(a.base).unwrap();
+        assert_eq!(pa.free(a.base), Err(AllocError::InvalidFree));
+    }
+
+    #[test]
+    fn distinct_partitions_never_overlap() {
+        let mut pa = PartitionAllocator::new(POOL_BASE, 64 * MIN_PARTITION);
+        let mut parts = Vec::new();
+        for req in [1, 2, 4, 1, 8, 2, 1].map(|m| m * MIN_PARTITION) {
+            parts.push(pa.alloc(req).unwrap());
+        }
+        for (i, p) in parts.iter().enumerate() {
+            for q in &parts[i + 1..] {
+                assert!(
+                    p.end() <= q.base || q.end() <= p.base,
+                    "{p:?} overlaps {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_allocator_serves_and_checks_ownership() {
+        let p = Partition {
+            base: POOL_BASE,
+            size: MIN_PARTITION,
+        };
+        let mut ra = RegionAllocator::new(p);
+        let a = ra.alloc(1000).unwrap();
+        let b = ra.alloc(50_000).unwrap();
+        assert!(p.contains_range(a, 1000));
+        assert!(p.contains_range(b, 50_000));
+        assert!(ra.owns(a));
+        assert!(ra.owns(b + 100));
+        assert!(!ra.owns(p.base + p.size - 1));
+        ra.free(a).unwrap();
+        assert!(!ra.owns(a));
+        assert_eq!(ra.free(a), Err(AllocError::InvalidFree));
+    }
+
+    #[test]
+    fn region_allocator_exhausts_and_recovers() {
+        let p = Partition {
+            base: POOL_BASE,
+            size: MIN_PARTITION,
+        };
+        let mut ra = RegionAllocator::new(p);
+        let a = ra.alloc(MIN_PARTITION / 2).unwrap();
+        let _b = ra.alloc(MIN_PARTITION / 2).unwrap();
+        assert_eq!(ra.alloc(256), Err(AllocError::PartitionFull));
+        ra.free(a).unwrap();
+        assert!(ra.alloc(MIN_PARTITION / 4).is_ok());
+    }
+
+    #[test]
+    fn contains_range_rejects_overflow() {
+        let p = Partition {
+            base: u64::MAX - MIN_PARTITION + 1,
+            size: MIN_PARTITION,
+        };
+        assert!(!p.contains_range(u64::MAX - 10, 100));
+    }
+}

@@ -1,0 +1,404 @@
+//! Deployment backends: the four GPU-sharing configurations compared in
+//! the paper's evaluation (§6, "Baseline and Guardian Deployments"), plus
+//! the Table 1 capability matrix.
+
+use crate::grdlib::GrdLib;
+use crate::manager::{spawn_manager, ManagerConfig, ManagerHandle};
+use cuda_rt::{CudaApi, CudaError, CudaResult, NativeRuntime, SharedDevice};
+use ptx_patcher::Protection;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Per-command dispatch cost charged for the plain CUDA driver issue path
+/// (every deployment pays it; Table 5's ~9000-host-cycle launch maps to
+/// device-visible serialization only in part).
+pub const DRIVER_DISPATCH_CYCLES: u64 = 900;
+/// Extra serialization through the MPS server (it owns one copy of the
+/// scheduling resources shared by all clients, §2.2, and becomes the
+/// bottleneck under thousands of pending kernels, §7.1).
+pub const MPS_DISPATCH_CYCLES: u64 = 1_600;
+/// Serialization through the grdManager: interception + forwarding +
+/// lookup + argument augmentation (~957 host cycles per launch, Table 5),
+/// slightly cheaper than the MPS server's dispatch path.
+pub const GUARDIAN_DISPATCH_CYCLES: u64 = 1_400;
+
+/// A GPU-sharing deployment (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Deployment {
+    /// Native CUDA: time-sharing, one context per app (baseline).
+    Native,
+    /// NVIDIA MPS-style spatial sharing: memory protection per client,
+    /// no fault isolation.
+    Mps,
+    /// Guardian with interception but no checks (the Arax-style sharing
+    /// substrate).
+    GuardianNoProtection,
+    /// Guardian with address fencing (bitwise) — the paper's main mode.
+    GuardianFencing,
+    /// Guardian with address fencing (modulo).
+    GuardianModulo,
+    /// Guardian with address checking (detection / debugging mode).
+    GuardianChecking,
+}
+
+impl Deployment {
+    /// All deployments, in the order the paper's figures list them.
+    pub const ALL: [Deployment; 6] = [
+        Deployment::Native,
+        Deployment::Mps,
+        Deployment::GuardianNoProtection,
+        Deployment::GuardianFencing,
+        Deployment::GuardianModulo,
+        Deployment::GuardianChecking,
+    ];
+
+    /// The Guardian protection mode, if this is a Guardian deployment.
+    pub fn protection(&self) -> Option<Protection> {
+        match self {
+            Deployment::GuardianNoProtection => Some(Protection::None),
+            Deployment::GuardianFencing => Some(Protection::FenceBitwise),
+            Deployment::GuardianModulo => Some(Protection::FenceModulo),
+            Deployment::GuardianChecking => Some(Protection::Check),
+            _ => None,
+        }
+    }
+
+    /// The Table 1 capability row for this deployment.
+    pub fn capabilities(&self) -> Capabilities {
+        match self {
+            Deployment::Native => Capabilities {
+                name: "Time-sharing",
+                oob_fault_isolation: true,
+                dynamic_resource_allocation: true,
+                no_hw_support: true,
+                spatial_sharing: false,
+            },
+            Deployment::Mps => Capabilities {
+                name: "MPS",
+                oob_fault_isolation: false,
+                dynamic_resource_allocation: true,
+                no_hw_support: true,
+                spatial_sharing: true,
+            },
+            Deployment::GuardianNoProtection => Capabilities {
+                name: "GPU Streams",
+                oob_fault_isolation: false,
+                dynamic_resource_allocation: true,
+                no_hw_support: true,
+                spatial_sharing: true,
+            },
+            _ => Capabilities {
+                name: "Guardian",
+                oob_fault_isolation: true,
+                dynamic_resource_allocation: true,
+                no_hw_support: true,
+                spatial_sharing: true,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Deployment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Deployment::Native => "Native",
+            Deployment::Mps => "MPS",
+            Deployment::GuardianNoProtection => "Guardian w/o protection",
+            Deployment::GuardianFencing => "Guardian address fencing (bitwise op.)",
+            Deployment::GuardianModulo => "Guardian address fencing (modulo op.)",
+            Deployment::GuardianChecking => "Guardian address checking",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Approach name as printed in Table 1.
+    pub name: &'static str,
+    /// Out-of-bounds fault isolation.
+    pub oob_fault_isolation: bool,
+    /// Dynamic resource allocation (no static partitioning).
+    pub dynamic_resource_allocation: bool,
+    /// Works without special hardware.
+    pub no_hw_support: bool,
+    /// Spatial sharing (concurrent kernels from different tenants).
+    pub spatial_sharing: bool,
+}
+
+/// MIG's Table 1 row (not a runnable deployment here: static partitioning
+/// with hardware support; included for the Table 1 harness).
+pub fn mig_capabilities() -> Capabilities {
+    Capabilities {
+        name: "MIG",
+        oob_fault_isolation: true,
+        dynamic_resource_allocation: false,
+        no_hw_support: false,
+        spatial_sharing: true,
+    }
+}
+
+/// An MPS client: a native runtime plus the shared-fate failure semantics
+/// of the MPS server (§2.2: one client's fault terminates the server and
+/// every co-running client).
+pub struct MpsClient {
+    inner: NativeRuntime,
+    server_failed: Arc<AtomicBool>,
+}
+
+impl MpsClient {
+    fn check(&mut self) -> CudaResult<()> {
+        // The shared server dies with the first faulting client.
+        if self.server_failed.load(Ordering::SeqCst) {
+            return Err(CudaError::ContextPoisoned);
+        }
+        if !self.inner.device().lock().fault_log().is_empty() {
+            self.server_failed.store(true, Ordering::SeqCst);
+            return Err(CudaError::ContextPoisoned);
+        }
+        Ok(())
+    }
+}
+
+impl CudaApi for MpsClient {
+    fn cuda_malloc(&mut self, bytes: u64) -> CudaResult<cuda_rt::DevicePtr> {
+        self.check()?;
+        self.inner.cuda_malloc(bytes)
+    }
+    fn cuda_free(&mut self, ptr: cuda_rt::DevicePtr) -> CudaResult<()> {
+        self.check()?;
+        self.inner.cuda_free(ptr)
+    }
+    fn cuda_memset(&mut self, dst: cuda_rt::DevicePtr, byte: u8, len: u64) -> CudaResult<()> {
+        self.check()?;
+        let r = self.inner.cuda_memset(dst, byte, len);
+        self.check()?;
+        r
+    }
+    fn cuda_memcpy_h2d(&mut self, dst: cuda_rt::DevicePtr, data: &[u8]) -> CudaResult<()> {
+        self.check()?;
+        let r = self.inner.cuda_memcpy_h2d(dst, data);
+        self.check()?;
+        r
+    }
+    fn cuda_memcpy_d2h(&mut self, src: cuda_rt::DevicePtr, len: u64) -> CudaResult<Vec<u8>> {
+        self.check()?;
+        let r = self.inner.cuda_memcpy_d2h(src, len);
+        self.check()?;
+        r
+    }
+    fn cuda_memcpy_d2d(
+        &mut self,
+        dst: cuda_rt::DevicePtr,
+        src: cuda_rt::DevicePtr,
+        len: u64,
+    ) -> CudaResult<()> {
+        self.check()?;
+        let r = self.inner.cuda_memcpy_d2d(dst, src, len);
+        self.check()?;
+        r
+    }
+    fn cuda_launch_kernel(
+        &mut self,
+        kernel: &str,
+        cfg: gpu_sim::LaunchConfig,
+        args: &[u8],
+        stream: cuda_rt::Stream,
+    ) -> CudaResult<()> {
+        self.check()?;
+        self.inner.cuda_launch_kernel(kernel, cfg, args, stream)
+    }
+    fn cuda_stream_create(&mut self) -> CudaResult<cuda_rt::Stream> {
+        self.inner.cuda_stream_create()
+    }
+    fn cuda_stream_synchronize(&mut self, stream: cuda_rt::Stream) -> CudaResult<()> {
+        let r = self.inner.cuda_stream_synchronize(stream);
+        self.check()?;
+        r
+    }
+    fn cuda_device_synchronize(&mut self) -> CudaResult<()> {
+        let r = self.inner.cuda_device_synchronize();
+        self.check()?;
+        r
+    }
+    fn cuda_event_create_with_flags(&mut self, flags: u32) -> CudaResult<cuda_rt::EventHandle> {
+        self.inner.cuda_event_create_with_flags(flags)
+    }
+    fn cuda_event_record(
+        &mut self,
+        event: cuda_rt::EventHandle,
+        stream: cuda_rt::Stream,
+    ) -> CudaResult<()> {
+        self.inner.cuda_event_record(event, stream)
+    }
+    fn cuda_event_elapsed_ms(
+        &mut self,
+        start: cuda_rt::EventHandle,
+        end: cuda_rt::EventHandle,
+    ) -> CudaResult<f32> {
+        self.inner.cuda_event_elapsed_ms(start, end)
+    }
+    fn cuda_stream_get_capture_info(&mut self, stream: cuda_rt::Stream) -> CudaResult<bool> {
+        self.inner.cuda_stream_get_capture_info(stream)
+    }
+    fn cuda_stream_is_capturing(&mut self, stream: cuda_rt::Stream) -> CudaResult<bool> {
+        self.inner.cuda_stream_is_capturing(stream)
+    }
+    fn cuda_get_export_table(&mut self, table_id: u32) -> CudaResult<Vec<String>> {
+        self.inner.cuda_get_export_table(table_id)
+    }
+    fn export_table_call(&mut self, table_id: u32, func: &str) -> CudaResult<()> {
+        self.inner.export_table_call(table_id, func)
+    }
+    fn cu_module_load_data(
+        &mut self,
+        name: &str,
+        ptx_text: &str,
+    ) -> CudaResult<cuda_rt::ModuleHandle> {
+        self.inner.cu_module_load_data(name, ptx_text)
+    }
+    fn cu_mem_alloc(&mut self, bytes: u64) -> CudaResult<cuda_rt::DevicePtr> {
+        self.check()?;
+        self.inner.cu_mem_alloc(bytes)
+    }
+    fn cu_mem_free(&mut self, ptr: cuda_rt::DevicePtr) -> CudaResult<()> {
+        self.check()?;
+        self.inner.cu_mem_free(ptr)
+    }
+    fn cu_memcpy_htod(&mut self, dst: cuda_rt::DevicePtr, data: &[u8]) -> CudaResult<()> {
+        self.check()?;
+        self.inner.cu_memcpy_htod(dst, data)
+    }
+    fn cu_launch_kernel(
+        &mut self,
+        kernel: &str,
+        cfg: gpu_sim::LaunchConfig,
+        args: &[u8],
+        stream: cuda_rt::Stream,
+    ) -> CudaResult<()> {
+        self.check()?;
+        self.inner.cu_launch_kernel(kernel, cfg, args, stream)
+    }
+    fn register_fatbin(&mut self, fatbin: &[u8]) -> CudaResult<()> {
+        self.inner.register_fatbin(fatbin)
+    }
+    fn device_now_cycles(&mut self) -> u64 {
+        self.inner.device_now_cycles()
+    }
+    fn device_clock_ghz(&self) -> f64 {
+        self.inner.device_clock_ghz()
+    }
+}
+
+/// A configured deployment: per-tenant runtimes plus whatever shared state
+/// keeps the deployment alive (the grdManager handle for Guardian modes).
+pub struct Tenancy {
+    /// One runtime per tenant, in tenant order.
+    pub runtimes: Vec<Box<dyn CudaApi>>,
+    /// Keep-alive for the Guardian manager (None for baselines).
+    pub manager: Option<ManagerHandle>,
+    /// The deployment that was set up.
+    pub deployment: Deployment,
+}
+
+impl Tenancy {
+    /// Shut the deployment down, joining the manager thread if any.
+    pub fn shutdown(self) {
+        let Tenancy {
+            runtimes, manager, ..
+        } = self;
+        drop(runtimes);
+        if let Some(m) = manager {
+            m.shutdown();
+        }
+    }
+}
+
+/// Set up a deployment on a shared device: `n_tenants` runtimes, each with
+/// `mem_per_tenant` bytes of GPU memory available, with `fatbins`
+/// pre-registered (and pre-sandboxed, for Guardian modes).
+///
+/// # Errors
+///
+/// Propagates context/partition allocation and module-load failures.
+pub fn deploy(
+    device: &SharedDevice,
+    deployment: Deployment,
+    n_tenants: usize,
+    mem_per_tenant: u64,
+    fatbins: &[&[u8]],
+) -> CudaResult<Tenancy> {
+    match deployment {
+        Deployment::Native => {
+            let mut dev = device.lock();
+            dev.exclusive_contexts(true);
+            dev.set_dispatch_overhead(DRIVER_DISPATCH_CYCLES);
+            drop(dev);
+            let mut runtimes: Vec<Box<dyn CudaApi>> = Vec::new();
+            for _ in 0..n_tenants {
+                // Time-sharing retains per-context protection: ASID guard.
+                let mut rt = NativeRuntime::new_mps_client(device.clone())?;
+                for fb in fatbins {
+                    rt.register_fatbin(fb)?;
+                }
+                runtimes.push(Box::new(rt));
+            }
+            Ok(Tenancy {
+                runtimes,
+                manager: None,
+                deployment,
+            })
+        }
+        Deployment::Mps => {
+            let mut dev = device.lock();
+            dev.exclusive_contexts(false);
+            dev.set_dispatch_overhead(MPS_DISPATCH_CYCLES);
+            drop(dev);
+            let server_failed = Arc::new(AtomicBool::new(false));
+            let mut runtimes: Vec<Box<dyn CudaApi>> = Vec::new();
+            for _ in 0..n_tenants {
+                let mut rt = NativeRuntime::new_mps_client(device.clone())?;
+                for fb in fatbins {
+                    rt.register_fatbin(fb)?;
+                }
+                runtimes.push(Box::new(MpsClient {
+                    inner: rt,
+                    server_failed: server_failed.clone(),
+                }));
+            }
+            Ok(Tenancy {
+                runtimes,
+                manager: None,
+                deployment,
+            })
+        }
+        _ => {
+            let protection = deployment.protection().expect("guardian deployment");
+            let mut dev = device.lock();
+            dev.exclusive_contexts(false);
+            dev.set_dispatch_overhead(GUARDIAN_DISPATCH_CYCLES);
+            drop(dev);
+            let manager = spawn_manager(
+                device.clone(),
+                ManagerConfig {
+                    protection,
+                    pool_bytes: None,
+                    native_when_standalone: false,
+                },
+                fatbins,
+            )?;
+            let mut runtimes: Vec<Box<dyn CudaApi>> = Vec::new();
+            for _ in 0..n_tenants {
+                let lib = GrdLib::connect(&manager, mem_per_tenant)?;
+                runtimes.push(Box::new(lib));
+            }
+            Ok(Tenancy {
+                runtimes,
+                manager: Some(manager),
+                deployment,
+            })
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! `grdLib`: Guardian's client-side interposer (§4.1).
+//!
+//! Implements the full [`CudaApi`] surface by forwarding every call over
+//! the IPC channel to the grdManager. Installing a [`GrdLib`] where a
+//! `NativeRuntime` would go is this reproduction's equivalent of the
+//! paper's `LD_PRELOAD` substitution: the application (and the accelerated
+//! libraries it links) observe an identical API, but no call can reach the
+//! GPU without passing Guardian's checks — including the *implicit* calls
+//! libraries make internally, because those flow through the same trait
+//! object.
+
+use crate::manager::{ClientId, ManagerHandle, Request};
+use crossbeam::channel::bounded;
+use cuda_rt::{CudaApi, CudaError, CudaResult, DevicePtr, EventHandle, ModuleHandle, Stream};
+use gpu_sim::LaunchConfig;
+
+/// The client-side stub. One per tenant application.
+pub struct GrdLib {
+    handle: ManagerHandle,
+    id: ClientId,
+    clock_ghz: f64,
+    partition_base: u64,
+    partition_size: u64,
+    next_module: u32,
+    next_stream: u32,
+}
+
+impl GrdLib {
+    /// Connect to a grdManager, declaring the tenant's memory requirement
+    /// (Guardian applications specify memory up front, §4.2.1 — "normal in
+    /// cloud environments, where users buy instances with specific
+    /// resources").
+    ///
+    /// # Errors
+    ///
+    /// [`CudaError::OutOfMemory`] when no partition of the requested size
+    /// is available; [`CudaError::Disconnected`] if the manager is gone.
+    pub fn connect(handle: &ManagerHandle, mem_requirement: u64) -> CudaResult<Self> {
+        let (tx, rx) = bounded(1);
+        handle
+            .tx
+            .send(Request::Connect {
+                mem_requirement,
+                reply: tx,
+            })
+            .map_err(|_| CudaError::Disconnected)?;
+        let info = rx.recv().map_err(|_| CudaError::Disconnected)??;
+        Ok(GrdLib {
+            handle: handle.clone(),
+            id: info.id,
+            clock_ghz: info.clock_ghz,
+            partition_base: info.partition_base,
+            partition_size: info.partition_size,
+            next_module: 1,
+            next_stream: 1,
+        })
+    }
+
+    /// The tenant's partition, as (base, size). Exposed for tests and
+    /// examples; applications do not need it.
+    pub fn partition(&self) -> (u64, u64) {
+        (self.partition_base, self.partition_size)
+    }
+
+    fn rpc<T>(
+        &self,
+        build: impl FnOnce(crossbeam::channel::Sender<CudaResult<T>>) -> Request,
+    ) -> CudaResult<T> {
+        let (tx, rx) = bounded(1);
+        self.handle
+            .tx
+            .send(build(tx))
+            .map_err(|_| CudaError::Disconnected)?;
+        rx.recv().map_err(|_| CudaError::Disconnected)?
+    }
+}
+
+impl CudaApi for GrdLib {
+    fn cuda_malloc(&mut self, bytes: u64) -> CudaResult<DevicePtr> {
+        self.rpc(|reply| Request::Malloc {
+            client: self.id,
+            bytes,
+            reply,
+        })
+    }
+
+    fn cuda_free(&mut self, ptr: DevicePtr) -> CudaResult<()> {
+        self.rpc(|reply| Request::Free {
+            client: self.id,
+            ptr,
+            reply,
+        })
+    }
+
+    fn cuda_memset(&mut self, dst: DevicePtr, byte: u8, len: u64) -> CudaResult<()> {
+        self.rpc(|reply| Request::Memset {
+            client: self.id,
+            dst,
+            byte,
+            len,
+            reply,
+        })
+    }
+
+    fn cuda_memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) -> CudaResult<()> {
+        self.rpc(|reply| Request::MemcpyH2D {
+            client: self.id,
+            dst,
+            data: data.to_vec(),
+            reply,
+        })
+    }
+
+    fn cuda_memcpy_d2h(&mut self, src: DevicePtr, len: u64) -> CudaResult<Vec<u8>> {
+        self.rpc(|reply| Request::MemcpyD2H {
+            client: self.id,
+            src,
+            len,
+            reply,
+        })
+    }
+
+    fn cuda_memcpy_d2d(&mut self, dst: DevicePtr, src: DevicePtr, len: u64) -> CudaResult<()> {
+        self.rpc(|reply| Request::MemcpyD2D {
+            client: self.id,
+            dst,
+            src,
+            len,
+            reply,
+        })
+    }
+
+    fn cuda_launch_kernel(
+        &mut self,
+        kernel: &str,
+        cfg: LaunchConfig,
+        args: &[u8],
+        _stream: Stream,
+    ) -> CudaResult<()> {
+        // All of one application's work is executed in order by the
+        // grdManager (§4.2.4), so per-app stream handles collapse onto the
+        // tenant's single manager-side stream.
+        self.rpc(|reply| Request::Launch {
+            client: self.id,
+            kernel: kernel.to_string(),
+            cfg,
+            args: args.to_vec(),
+            driver_level: false,
+            reply,
+        })
+    }
+
+    fn cuda_stream_create(&mut self) -> CudaResult<Stream> {
+        let s = self.next_stream;
+        self.next_stream += 1;
+        Ok(Stream(s))
+    }
+
+    fn cuda_stream_synchronize(&mut self, _stream: Stream) -> CudaResult<()> {
+        self.cuda_device_synchronize()
+    }
+
+    fn cuda_device_synchronize(&mut self) -> CudaResult<()> {
+        self.rpc(|reply| Request::Sync {
+            client: self.id,
+            reply,
+        })
+    }
+
+    fn cuda_event_create_with_flags(&mut self, _flags: u32) -> CudaResult<EventHandle> {
+        self.rpc(|reply| Request::EventCreate {
+            client: self.id,
+            reply,
+        })
+        .map(EventHandle)
+    }
+
+    fn cuda_event_record(&mut self, event: EventHandle, _stream: Stream) -> CudaResult<()> {
+        self.rpc(|reply| Request::EventRecord {
+            client: self.id,
+            event: event.0,
+            reply,
+        })
+    }
+
+    fn cuda_event_elapsed_ms(&mut self, start: EventHandle, end: EventHandle) -> CudaResult<f32> {
+        self.rpc(|reply| Request::EventElapsed {
+            client: self.id,
+            start: start.0,
+            end: end.0,
+            reply,
+        })
+    }
+
+    fn cuda_stream_get_capture_info(&mut self, _stream: Stream) -> CudaResult<bool> {
+        Ok(false)
+    }
+
+    fn cuda_stream_is_capturing(&mut self, _stream: Stream) -> CudaResult<bool> {
+        Ok(false)
+    }
+
+    fn cuda_get_export_table(&mut self, table_id: u32) -> CudaResult<Vec<String>> {
+        // Guardian provides a minimal implementation of the hidden tables
+        // (§4.1); they are static, so the stub answers locally.
+        cuda_rt::export::table(table_id)
+            .map(|fns| fns.iter().map(|s| s.to_string()).collect())
+            .ok_or(CudaError::MissingExportTable(table_id))
+    }
+
+    fn export_table_call(&mut self, table_id: u32, func: &str) -> CudaResult<()> {
+        if cuda_rt::export::table_has(table_id, func) {
+            Ok(())
+        } else {
+            Err(CudaError::InvalidValue)
+        }
+    }
+
+    fn cu_module_load_data(&mut self, name: &str, ptx_text: &str) -> CudaResult<ModuleHandle> {
+        self.rpc(|reply| Request::RegisterPtx {
+            client: self.id,
+            name: name.to_string(),
+            text: ptx_text.to_string(),
+            reply,
+        })?;
+        let id = self.next_module;
+        self.next_module += 1;
+        Ok(ModuleHandle(id))
+    }
+
+    fn cu_mem_alloc(&mut self, bytes: u64) -> CudaResult<DevicePtr> {
+        self.cuda_malloc(bytes)
+    }
+
+    fn cu_mem_free(&mut self, ptr: DevicePtr) -> CudaResult<()> {
+        self.cuda_free(ptr)
+    }
+
+    fn cu_memcpy_htod(&mut self, dst: DevicePtr, data: &[u8]) -> CudaResult<()> {
+        self.cuda_memcpy_h2d(dst, data)
+    }
+
+    fn cu_launch_kernel(
+        &mut self,
+        kernel: &str,
+        cfg: LaunchConfig,
+        args: &[u8],
+        _stream: Stream,
+    ) -> CudaResult<()> {
+        self.rpc(|reply| Request::Launch {
+            client: self.id,
+            kernel: kernel.to_string(),
+            cfg,
+            args: args.to_vec(),
+            driver_level: true,
+            reply,
+        })
+    }
+
+    fn register_fatbin(&mut self, fatbin: &[u8]) -> CudaResult<()> {
+        self.rpc(|reply| Request::RegisterFatbin {
+            client: self.id,
+            bytes: fatbin.to_vec(),
+            reply,
+        })
+    }
+
+    fn device_now_cycles(&mut self) -> u64 {
+        self.handle.device_now()
+    }
+
+    fn device_clock_ghz(&self) -> f64 {
+        self.clock_ghz
+    }
+}
+
+impl Drop for GrdLib {
+    fn drop(&mut self) {
+        // Best-effort disconnect; the manager frees the partition.
+        let _ = self.handle.tx.send(Request::Disconnect { client: self.id });
+    }
+}

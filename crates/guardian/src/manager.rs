@@ -1,0 +1,747 @@
+//! The GPU manager (`grdManager`, §4.2): the only entity with GPU access.
+//!
+//! Applications never touch the device; their `grdLib` forwards every CUDA
+//! runtime/driver call over an IPC channel to this manager, which:
+//!
+//! * assigns each tenant a contiguous power-of-two **partition** and serves
+//!   its allocations from it (§4.2.1);
+//! * checks every host-initiated transfer against the partition bounds
+//!   table (§4.2.2);
+//! * swaps every kernel launch for its **sandboxed** twin (the
+//!   `pointerToSymbol` lookup), appends the partition bounds to the kernel
+//!   arguments, and issues it on the tenant's stream (§4.2.3);
+//! * runs tenants' streams concurrently on the single shared context
+//!   (§4.2.4), terminating — only — the offending tenant when address
+//!   checking detects an out-of-bounds access.
+
+use crate::alloc::{PartitionAllocator, RegionAllocator};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use cuda_rt::{CudaError, CudaResult, DevicePtr, SharedDevice};
+use gpu_sim::stream::CudaFunction;
+use gpu_sim::{Command, CtxId, Event, HostSink, LaunchConfig, MemGuard, StreamId};
+use parking_lot::Mutex;
+use ptx_patcher::{fence, Protection};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Identifies a connected tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClientId(pub u32);
+
+/// Nominal host clock used to convert measured nanoseconds into the
+/// "CPU cycles" unit of the paper's Table 5.
+pub const HOST_GHZ: f64 = 3.0;
+
+/// Host-side interception cost statistics (Table 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct InterceptionStats {
+    /// Launches measured.
+    pub launches: u64,
+    /// Total nanoseconds spent looking up the sandboxed kernel in the
+    /// `pointerToSymbol` map.
+    pub lookup_ns: u64,
+    /// Total nanoseconds spent building the augmented parameter array.
+    pub augment_ns: u64,
+    /// Total nanoseconds spent enqueueing to the device.
+    pub enqueue_ns: u64,
+}
+
+impl InterceptionStats {
+    /// Average lookup cost in nominal CPU cycles.
+    pub fn lookup_cycles(&self) -> f64 {
+        cycles(self.lookup_ns, self.launches)
+    }
+
+    /// Average parameter-augmentation cost in nominal CPU cycles.
+    pub fn augment_cycles(&self) -> f64 {
+        cycles(self.augment_ns, self.launches)
+    }
+
+    /// Average enqueue cost in nominal CPU cycles.
+    pub fn enqueue_cycles(&self) -> f64 {
+        cycles(self.enqueue_ns, self.launches)
+    }
+}
+
+fn cycles(ns: u64, n: u64) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        ns as f64 / n as f64 * HOST_GHZ
+    }
+}
+
+/// Manager configuration.
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// Bounds-enforcement mode applied to kernels.
+    pub protection: Protection,
+    /// Pool reserved for partitions (power of two). `None` = largest
+    /// power of two ≤ half of device memory.
+    pub pool_bytes: Option<u64>,
+    /// Issue native (unpatched) kernels when only one client is connected
+    /// (§4.2.3: standalone applications incur no overhead). Off by default
+    /// so overhead experiments measure protection costs.
+    pub native_when_standalone: bool,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            protection: Protection::FenceBitwise,
+            pool_bytes: None,
+            native_when_standalone: false,
+        }
+    }
+}
+
+pub(crate) enum Request {
+    Connect {
+        mem_requirement: u64,
+        reply: Sender<CudaResult<ClientInfo>>,
+    },
+    Disconnect {
+        client: ClientId,
+    },
+    RegisterFatbin {
+        client: ClientId,
+        bytes: Vec<u8>,
+        reply: Sender<CudaResult<()>>,
+    },
+    RegisterPtx {
+        client: ClientId,
+        name: String,
+        text: String,
+        reply: Sender<CudaResult<()>>,
+    },
+    Malloc {
+        client: ClientId,
+        bytes: u64,
+        reply: Sender<CudaResult<DevicePtr>>,
+    },
+    Free {
+        client: ClientId,
+        ptr: DevicePtr,
+        reply: Sender<CudaResult<()>>,
+    },
+    Memset {
+        client: ClientId,
+        dst: DevicePtr,
+        byte: u8,
+        len: u64,
+        reply: Sender<CudaResult<()>>,
+    },
+    MemcpyH2D {
+        client: ClientId,
+        dst: DevicePtr,
+        data: Vec<u8>,
+        reply: Sender<CudaResult<()>>,
+    },
+    MemcpyD2H {
+        client: ClientId,
+        src: DevicePtr,
+        len: u64,
+        reply: Sender<CudaResult<Vec<u8>>>,
+    },
+    MemcpyD2D {
+        client: ClientId,
+        dst: DevicePtr,
+        src: DevicePtr,
+        len: u64,
+        reply: Sender<CudaResult<()>>,
+    },
+    Launch {
+        client: ClientId,
+        kernel: String,
+        cfg: LaunchConfig,
+        args: Vec<u8>,
+        #[allow(dead_code)] // kept for API fidelity (cu vs cuda launch)
+        driver_level: bool,
+        reply: Sender<CudaResult<()>>,
+    },
+    Sync {
+        client: ClientId,
+        reply: Sender<CudaResult<()>>,
+    },
+    EventCreate {
+        client: ClientId,
+        reply: Sender<CudaResult<u32>>,
+    },
+    EventRecord {
+        client: ClientId,
+        event: u32,
+        reply: Sender<CudaResult<()>>,
+    },
+    EventElapsed {
+        client: ClientId,
+        start: u32,
+        end: u32,
+        reply: Sender<CudaResult<f32>>,
+    },
+    DeviceNow {
+        reply: Sender<u64>,
+    },
+    Stats {
+        reply: Sender<InterceptionStats>,
+    },
+}
+
+/// Connection info returned to a new client.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ClientInfo {
+    pub id: ClientId,
+    pub clock_ghz: f64,
+    pub partition_base: u64,
+    pub partition_size: u64,
+}
+
+struct ClientState {
+    heap: RegionAllocator,
+    stream: StreamId,
+    events: HashMap<u32, Event>,
+    next_event: u32,
+    dead: bool,
+}
+
+struct Manager {
+    device: SharedDevice,
+    ctx: CtxId,
+    protection: Protection,
+    native_when_standalone: bool,
+    partitions: PartitionAllocator,
+    clients: HashMap<ClientId, ClientState>,
+    next_client: u32,
+    /// `pointerToSymbol`: kernel name → sandboxed CUfunction (§4.2.3).
+    pointer_to_symbol: HashMap<String, CudaFunction>,
+    /// Native (unpatched) kernels for the no-protection / standalone path.
+    native_kernels: HashMap<String, CudaFunction>,
+    registered_fatbins: Vec<u64>, // hashes, to dedupe repeat registrations
+    stats: InterceptionStats,
+    fault_cursor: usize,
+}
+
+/// A handle to a running grdManager thread. Cloning is cheap; the manager
+/// thread exits when every handle and client has been dropped.
+#[derive(Clone)]
+pub struct ManagerHandle {
+    pub(crate) tx: Sender<Request>,
+    /// Kept for lifetime management of the shared device.
+    pub(crate) device: SharedDevice,
+    join: Arc<Mutex<Option<std::thread::JoinHandle<()>>>>,
+}
+
+impl ManagerHandle {
+    /// Interception statistics accumulated so far (Table 5).
+    pub fn interception_stats(&self) -> InterceptionStats {
+        let (tx, rx) = bounded(1);
+        if self.tx.send(Request::Stats { reply: tx }).is_err() {
+            return InterceptionStats::default();
+        }
+        rx.recv().unwrap_or_default()
+    }
+
+    /// Current device time (cycles), for benchmarking.
+    pub fn device_now(&self) -> u64 {
+        let (tx, rx) = bounded(1);
+        if self.tx.send(Request::DeviceNow { reply: tx }).is_err() {
+            return 0;
+        }
+        rx.recv().unwrap_or(0)
+    }
+
+    /// The shared device (for out-of-band inspection in tests/benches).
+    pub fn device(&self) -> &SharedDevice {
+        &self.device
+    }
+
+    /// Drop the handle's sender and join the manager thread once all
+    /// clients have disconnected.
+    pub fn shutdown(self) {
+        let ManagerHandle { tx, join, .. } = self;
+        drop(tx);
+        let handle = join.lock().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawn a grdManager on a device.
+///
+/// `fatbins` are sandboxed and pre-compiled at initialization (the offline
+/// phase + "compile at init to avoid JIT overhead", §4.4). Clients may
+/// register more fatbins later.
+///
+/// # Errors
+///
+/// Fails when the partition pool cannot be reserved or any initial fatbin
+/// fails to sandbox/load.
+pub fn spawn_manager(
+    device: SharedDevice,
+    config: ManagerConfig,
+    fatbins: &[&[u8]],
+) -> CudaResult<ManagerHandle> {
+    let ctx = device.lock().create_context()?;
+    // Reserve the partition pool: all of free memory rounded down to a
+    // power of two (or the configured size), self-aligned for fencing.
+    let pool_bytes = match config.pool_bytes {
+        Some(b) => b,
+        None => {
+            let spec_mem = device.lock().spec().global_mem_bytes;
+            let free = spec_mem - device.lock().used_bytes();
+            let half = free / 2;
+            1u64 << (63 - half.leading_zeros())
+        }
+    };
+    let pool_base = device.lock().malloc_aligned(ctx, pool_bytes, pool_bytes)?;
+    let mut mgr = Manager {
+        device,
+        ctx,
+        protection: config.protection,
+        native_when_standalone: config.native_when_standalone,
+        partitions: PartitionAllocator::new(pool_base, pool_bytes),
+        clients: HashMap::new(),
+        next_client: 1,
+        pointer_to_symbol: HashMap::new(),
+        native_kernels: HashMap::new(),
+        registered_fatbins: Vec::new(),
+        stats: InterceptionStats::default(),
+        fault_cursor: 0,
+    };
+    for fb in fatbins {
+        mgr.register_fatbin(fb)?;
+    }
+    let (tx, rx) = unbounded();
+    let device = mgr.device.clone();
+    let join = std::thread::Builder::new()
+        .name("grdManager".into())
+        .spawn(move || mgr.run(rx))
+        .expect("spawn grdManager thread");
+    Ok(ManagerHandle {
+        tx,
+        device,
+        join: Arc::new(Mutex::new(Some(join))),
+    })
+}
+
+impl Manager {
+    fn run(mut self, rx: Receiver<Request>) {
+        while let Ok(req) = rx.recv() {
+            self.handle(req);
+        }
+        // All handles and clients dropped: release the context.
+        let _ = self.device.lock().destroy_context(self.ctx);
+    }
+
+    fn handle(&mut self, req: Request) {
+        match req {
+            Request::Connect {
+                mem_requirement,
+                reply,
+            } => {
+                let _ = reply.send(self.connect(mem_requirement));
+            }
+            Request::Disconnect { client } => {
+                if let Some(state) = self.clients.remove(&client) {
+                    let _ = self.partitions.free(state.heap.partition().base);
+                }
+            }
+            Request::RegisterFatbin {
+                client,
+                bytes,
+                reply,
+            } => {
+                let r = self
+                    .check_alive(client)
+                    .and_then(|_| self.register_fatbin(&bytes));
+                let _ = reply.send(r);
+            }
+            Request::RegisterPtx {
+                client,
+                name,
+                text,
+                reply,
+            } => {
+                let r = self
+                    .check_alive(client)
+                    .and_then(|_| self.register_ptx(&name, &text));
+                let _ = reply.send(r);
+            }
+            Request::Malloc {
+                client,
+                bytes,
+                reply,
+            } => {
+                let r = self.check_alive(client).and_then(|_| {
+                    self.clients
+                        .get_mut(&client)
+                        .ok_or(CudaError::InvalidValue)?
+                        .heap
+                        .alloc(bytes)
+                        .map_err(|_| CudaError::OutOfMemory)
+                });
+                let _ = reply.send(r);
+            }
+            Request::Free { client, ptr, reply } => {
+                let r = self.check_alive(client).and_then(|_| {
+                    self.clients
+                        .get_mut(&client)
+                        .ok_or(CudaError::InvalidValue)?
+                        .heap
+                        .free(ptr)
+                        .map_err(|_| CudaError::InvalidValue)
+                });
+                let _ = reply.send(r);
+            }
+            Request::Memset {
+                client,
+                dst,
+                byte,
+                len,
+                reply,
+            } => {
+                let r = self.transfer_checked(client, &[(dst, len)], |mgr, stream| {
+                    mgr.enqueue_and_sync(stream, Command::Memset { dst, byte, len })
+                });
+                let _ = reply.send(r);
+            }
+            Request::MemcpyH2D {
+                client,
+                dst,
+                data,
+                reply,
+            } => {
+                let len = data.len() as u64;
+                let r = self.transfer_checked(client, &[(dst, len)], |mgr, stream| {
+                    mgr.enqueue_and_sync(stream, Command::MemcpyH2D { dst, data })
+                });
+                let _ = reply.send(r);
+            }
+            Request::MemcpyD2H {
+                client,
+                src,
+                len,
+                reply,
+            } => {
+                let sink = HostSink::new();
+                let s2 = sink.clone();
+                let r = self
+                    .transfer_checked(client, &[(src, len)], move |mgr, stream| {
+                        mgr.enqueue_and_sync(stream, Command::MemcpyD2H { src, len, sink: s2 })
+                    })
+                    .map(|()| sink.take());
+                let _ = reply.send(r);
+            }
+            Request::MemcpyD2D {
+                client,
+                dst,
+                src,
+                len,
+                reply,
+            } => {
+                let r = self.transfer_checked(client, &[(dst, len), (src, len)], |mgr, stream| {
+                    mgr.enqueue_and_sync(stream, Command::MemcpyD2D { dst, src, len })
+                });
+                let _ = reply.send(r);
+            }
+            Request::Launch {
+                client,
+                kernel,
+                cfg,
+                args,
+                driver_level: _,
+                reply,
+            } => {
+                let _ = reply.send(self.launch(client, &kernel, cfg, &args));
+            }
+            Request::Sync { client, reply } => {
+                let r = self.check_alive(client).and_then(|_| {
+                    self.device.lock().synchronize();
+                    self.reap_faults();
+                    self.check_alive(client)
+                });
+                let _ = reply.send(r);
+            }
+            Request::EventCreate { client, reply } => {
+                let r = self.check_alive(client).and_then(|_| {
+                    let state = self
+                        .clients
+                        .get_mut(&client)
+                        .ok_or(CudaError::InvalidValue)?;
+                    let id = state.next_event;
+                    state.next_event += 1;
+                    state.events.insert(id, Event::new());
+                    Ok(id)
+                });
+                let _ = reply.send(r);
+            }
+            Request::EventRecord {
+                client,
+                event,
+                reply,
+            } => {
+                let r = self.check_alive(client).and_then(|_| {
+                    let state = self.clients.get(&client).ok_or(CudaError::InvalidValue)?;
+                    let ev = state
+                        .events
+                        .get(&event)
+                        .cloned()
+                        .ok_or(CudaError::InvalidValue)?;
+                    self.device
+                        .lock()
+                        .enqueue(state.stream, Command::EventRecord { event: ev })
+                        .map_err(CudaError::from)
+                });
+                let _ = reply.send(r);
+            }
+            Request::EventElapsed {
+                client,
+                start,
+                end,
+                reply,
+            } => {
+                let r = self.check_alive(client).and_then(|_| {
+                    let state = self.clients.get(&client).ok_or(CudaError::InvalidValue)?;
+                    let a = state
+                        .events
+                        .get(&start)
+                        .and_then(|e| e.cycles())
+                        .ok_or(CudaError::InvalidValue)?;
+                    let b = state
+                        .events
+                        .get(&end)
+                        .and_then(|e| e.cycles())
+                        .ok_or(CudaError::InvalidValue)?;
+                    let ghz = self.device.lock().spec().clock_ghz;
+                    Ok(((b.saturating_sub(a)) as f64 / (ghz * 1e6)) as f32)
+                });
+                let _ = reply.send(r);
+            }
+            Request::DeviceNow { reply } => {
+                let _ = reply.send(self.device.lock().now());
+            }
+            Request::Stats { reply } => {
+                let _ = reply.send(self.stats);
+            }
+        }
+    }
+
+    fn connect(&mut self, mem_requirement: u64) -> CudaResult<ClientInfo> {
+        let partition = self
+            .partitions
+            .alloc(mem_requirement)
+            .map_err(|_| CudaError::OutOfMemory)?;
+        let stream = self.device.lock().create_stream(self.ctx)?;
+        let id = ClientId(self.next_client);
+        self.next_client += 1;
+        self.clients.insert(
+            id,
+            ClientState {
+                heap: RegionAllocator::new(partition),
+                stream,
+                events: HashMap::new(),
+                next_event: 1,
+                dead: false,
+            },
+        );
+        let clock_ghz = self.device.lock().spec().clock_ghz;
+        Ok(ClientInfo {
+            id,
+            clock_ghz,
+            partition_base: partition.base,
+            partition_size: partition.size,
+        })
+    }
+
+    fn check_alive(&self, client: ClientId) -> CudaResult<()> {
+        match self.clients.get(&client) {
+            None => Err(CudaError::InvalidValue),
+            Some(s) if s.dead => Err(CudaError::Rejected(
+                "client terminated by Guardian after out-of-bounds detection".into(),
+            )),
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// Run a transfer after verifying every `(addr, len)` range lies in
+    /// the caller's partition (§4.2.2).
+    fn transfer_checked(
+        &mut self,
+        client: ClientId,
+        ranges: &[(u64, u64)],
+        go: impl FnOnce(&mut Self, StreamId) -> CudaResult<()>,
+    ) -> CudaResult<()> {
+        self.check_alive(client)?;
+        let state = self.clients.get(&client).ok_or(CudaError::InvalidValue)?;
+        let part = state.heap.partition();
+        for &(addr, len) in ranges {
+            if !part.contains_range(addr, len) {
+                return Err(CudaError::Rejected(format!(
+                    "transfer [{addr:#x}, +{len}) outside partition [{:#x}, +{})",
+                    part.base, part.size
+                )));
+            }
+        }
+        let stream = state.stream;
+        go(self, stream)
+    }
+
+    fn enqueue_and_sync(&mut self, stream: StreamId, cmd: Command) -> CudaResult<()> {
+        {
+            let mut dev = self.device.lock();
+            dev.enqueue(stream, cmd)?;
+            dev.synchronize();
+        }
+        self.reap_faults();
+        Ok(())
+    }
+
+    fn register_fatbin(&mut self, bytes: &[u8]) -> CudaResult<()> {
+        let hash = fxhash(bytes);
+        if self.registered_fatbins.contains(&hash) {
+            return Ok(());
+        }
+        let images = ptx::fatbin::extract_ptx(bytes)
+            .map_err(|e| CudaError::ModuleLoad(e.to_string()))?;
+        for (name, text) in images {
+            self.register_ptx(&name, &text)?;
+        }
+        self.registered_fatbins.push(hash);
+        Ok(())
+    }
+
+    /// Sandbox + load one PTX translation unit; register both the patched
+    /// and the native kernels.
+    fn register_ptx(&mut self, _name: &str, text: &str) -> CudaResult<()> {
+        let module = ptx::parse(text).map_err(|e| CudaError::ModuleLoad(e.to_string()))?;
+        let patched = fence::patch_module(&module, self.protection)
+            .map_err(|e| CudaError::ModuleLoad(e.to_string()))?;
+        let mut dev = self.device.lock();
+        let native = dev.load_module(self.ctx, &module)?;
+        let sandboxed = dev.load_module(self.ctx, &patched.module)?;
+        drop(dev);
+        for (kname, k) in &native.functions {
+            if k.kind == ptx::FunctionKind::Entry {
+                self.native_kernels.insert(
+                    kname.clone(),
+                    CudaFunction {
+                        kernel: k.clone(),
+                        module: native.clone(),
+                    },
+                );
+            }
+        }
+        for (kname, k) in &sandboxed.functions {
+            if k.kind == ptx::FunctionKind::Entry {
+                self.pointer_to_symbol.insert(
+                    kname.clone(),
+                    CudaFunction {
+                        kernel: k.clone(),
+                        module: sandboxed.clone(),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn launch(
+        &mut self,
+        client: ClientId,
+        kernel: &str,
+        cfg: LaunchConfig,
+        args: &[u8],
+    ) -> CudaResult<()> {
+        self.check_alive(client)?;
+        let use_native = self.protection == Protection::None
+            || (self.native_when_standalone && self.clients.len() == 1);
+
+        // (1) pointerToSymbol lookup (timed; Table 5 "Lookup GPU kernel").
+        let t0 = Instant::now();
+        let func = if use_native {
+            self.native_kernels.get(kernel).cloned()
+        } else {
+            self.pointer_to_symbol.get(kernel).cloned()
+        }
+        .ok_or_else(|| CudaError::InvalidDeviceFunction(kernel.to_string()))?;
+        let lookup_ns = t0.elapsed().as_nanos() as u64;
+
+        // (2) Augment the parameter array with the partition bounds
+        // (timed; Table 5 "Augment kernel params").
+        let t1 = Instant::now();
+        let state = self.clients.get(&client).ok_or(CudaError::InvalidValue)?;
+        let part = state.heap.partition();
+        let params = if use_native {
+            args.to_vec()
+        } else {
+            let mut buf = vec![0u8; func.kernel.param_size];
+            let n = args.len().min(buf.len());
+            buf[..n].copy_from_slice(&args[..n]);
+            let nparams = func.kernel.params.len();
+            debug_assert!(nparams >= 2, "patched kernels carry 2 extra params");
+            let (_, _, base_off) = func.kernel.params[nparams - 2];
+            let (_, _, bound_off) = func.kernel.params[nparams - 1];
+            let bound = match self.protection {
+                Protection::FenceBitwise => part.mask(),
+                Protection::FenceModulo => part.size,
+                Protection::Check => part.end(),
+                Protection::None => 0,
+            };
+            buf[base_off as usize..base_off as usize + 8]
+                .copy_from_slice(&part.base.to_le_bytes());
+            buf[bound_off as usize..bound_off as usize + 8]
+                .copy_from_slice(&bound.to_le_bytes());
+            buf
+        };
+        let augment_ns = t1.elapsed().as_nanos() as u64;
+
+        // (3) Issue on the tenant's stream (Table 5 "Launch kernel").
+        let t2 = Instant::now();
+        let stream = state.stream;
+        let r = self.device.lock().enqueue(
+            stream,
+            Command::Launch {
+                func,
+                cfg,
+                params,
+                guard: MemGuard::None,
+            },
+        );
+        let enqueue_ns = t2.elapsed().as_nanos() as u64;
+
+        self.stats.launches += 1;
+        self.stats.lookup_ns += lookup_ns;
+        self.stats.augment_ns += augment_ns;
+        self.stats.enqueue_ns += enqueue_ns;
+        r.map_err(CudaError::from)
+    }
+
+    /// Scan new device faults; a contained trap kills only the offending
+    /// client (§4.2.4 / §5 — OOB fault isolation).
+    fn reap_faults(&mut self) {
+        let dev = self.device.lock();
+        let log = dev.fault_log();
+        let new = &log[self.fault_cursor.min(log.len())..];
+        let hits: Vec<StreamId> = new.iter().map(|f| f.stream).collect();
+        self.fault_cursor = log.len();
+        drop(dev);
+        for stream in hits {
+            for state in self.clients.values_mut() {
+                if state.stream == stream {
+                    state.dead = true;
+                }
+            }
+        }
+    }
+}
+
+fn fxhash(bytes: &[u8]) -> u64 {
+    // FNV-1a; used only to dedupe repeat fatbin registrations.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}

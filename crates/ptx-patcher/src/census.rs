@@ -1,0 +1,142 @@
+//! Static instruction census over PTX module collections.
+//!
+//! Reproduces the paper's Table 3: for every library/framework, the number
+//! of kernels, `.func`s, and the load/store instructions Guardian
+//! identifies and safeguards.
+
+use ptx::ast::{FunctionKind, Module, Op};
+use serde::{Deserialize, Serialize};
+
+/// Census counters for one library or framework.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Census {
+    /// Collection name (e.g. `cuBLAS`).
+    pub name: String,
+    /// Number of `.entry` kernels.
+    pub kernels: u64,
+    /// Number of `.func` device functions.
+    pub funcs: u64,
+    /// Static protected load instructions.
+    pub loads: u64,
+    /// Static protected store instructions.
+    pub stores: u64,
+    /// Static protected atomic instructions (counted with stores in the
+    /// paper's table; reported separately here).
+    pub atomics: u64,
+    /// Static indirect branches.
+    pub indirect_branches: u64,
+}
+
+impl Census {
+    /// Count one module into this census.
+    pub fn add_module(&mut self, m: &Module) {
+        for f in &m.functions {
+            match f.kind {
+                FunctionKind::Entry => self.kernels += 1,
+                FunctionKind::Func => self.funcs += 1,
+            }
+            for (_, ins) in f.instructions() {
+                match &ins.op {
+                    Op::Ld { space, .. } if space.is_protected() => self.loads += 1,
+                    Op::St { space, .. } if space.is_protected() => self.stores += 1,
+                    Op::Atom { space, .. } if space.is_protected() => self.atomics += 1,
+                    Op::BrxIdx { .. } => self.indirect_branches += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Census a named collection of modules.
+    pub fn of_modules<'a>(name: &str, modules: impl IntoIterator<Item = &'a Module>) -> Census {
+        let mut c = Census {
+            name: name.to_string(),
+            ..Census::default()
+        };
+        for m in modules {
+            c.add_module(m);
+        }
+        c
+    }
+
+    /// Loads + stores (the quantity Table 3 reports per column pair).
+    pub fn total_accesses(&self) -> u64 {
+        self.loads + self.stores + self.atomics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Module {
+        ptx::parse(
+            r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.func helper(.param .u64 p)
+{
+    .reg .b64 %rd<2>;
+    .reg .f32 %f<2>;
+    ld.param.u64 %rd1, [p];
+    ld.global.f32 %f1, [%rd1];
+    ret;
+}
+.visible .entry k(.param .u64 p)
+{
+    .shared .align 4 .f32 t[8];
+    .reg .b64 %rd<3>;
+    .reg .f32 %f<3>;
+    ld.param.u64 %rd1, [p];
+    ld.global.f32 %f1, [%rd1];
+    ld.global.f32 %f2, [%rd1+4];
+    mov.u64 %rd2, t;
+    ld.shared.f32 %f1, [%rd2];
+    st.global.f32 [%rd1+8], %f1;
+    atom.global.add.f32 %f2, [%rd1], %f1;
+    call helper, (%rd1);
+    ret;
+}
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_only_protected_accesses() {
+        let m = sample();
+        let c = Census::of_modules("test", [&m]);
+        assert_eq!(c.kernels, 1);
+        assert_eq!(c.funcs, 1);
+        // loads: 2 global in kernel + 1 in helper (shared + params not counted)
+        assert_eq!(c.loads, 3);
+        assert_eq!(c.stores, 1);
+        assert_eq!(c.atomics, 1);
+        assert_eq!(c.total_accesses(), 5);
+    }
+
+    #[test]
+    fn census_accumulates_over_modules() {
+        let m = sample();
+        let c = Census::of_modules("two", [&m, &m]);
+        assert_eq!(c.kernels, 2);
+        assert_eq!(c.loads, 6);
+    }
+
+    #[test]
+    fn census_matches_patcher_instrumentation() {
+        // Every access the census counts must be instrumented by the
+        // patcher, and vice versa (the "100% coverage" claim, §3).
+        let m = sample();
+        let c = Census::of_modules("x", [&m]);
+        let patched =
+            crate::fence::patch_module(&m, crate::fence::Protection::FenceBitwise).unwrap();
+        let patched_accesses: u64 = patched
+            .info
+            .iter()
+            .map(|i| (i.loads + i.stores + i.atomics) as u64)
+            .sum();
+        assert_eq!(patched_accesses, c.total_accesses());
+    }
+}

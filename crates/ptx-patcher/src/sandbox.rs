@@ -1,0 +1,142 @@
+//! The offline sandboxing pipeline (§4.3, the dashed path in Figure 3):
+//! extract PTX from fatbins (`cuobjdump` analogue), instrument every
+//! kernel, and emit the sandboxed PTX the grdManager loads at startup.
+
+use crate::fence::{patch_module, PatchError, PatchInfo, Protection};
+use ptx::fatbin::extract_ptx;
+use ptx::PtxError;
+use std::fmt;
+
+/// A sandboxed PTX image ready for the grdManager.
+#[derive(Debug, Clone)]
+pub struct SandboxedImage {
+    /// Module name (from the fatbin entry).
+    pub name: String,
+    /// Instrumented PTX text.
+    pub ptx: String,
+    /// Per-function instrumentation statistics.
+    pub info: Vec<PatchInfo>,
+}
+
+/// Errors from the offline pipeline.
+#[derive(Debug)]
+pub enum SandboxError {
+    /// The fatbin container or embedded PTX was malformed.
+    Ptx(PtxError),
+    /// Instrumentation failed.
+    Patch(PatchError),
+}
+
+impl fmt::Display for SandboxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SandboxError::Ptx(e) => write!(f, "sandbox: {e}"),
+            SandboxError::Patch(e) => write!(f, "sandbox: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SandboxError {}
+
+impl From<PtxError> for SandboxError {
+    fn from(e: PtxError) -> Self {
+        SandboxError::Ptx(e)
+    }
+}
+
+impl From<PatchError> for SandboxError {
+    fn from(e: PatchError) -> Self {
+        SandboxError::Patch(e)
+    }
+}
+
+/// Extract every PTX image from a fatbin and sandbox it.
+///
+/// This is the full offline phase: `cuobjdump`-style extraction, parse,
+/// instrument, re-emit. The grdManager compiles the returned PTX at its
+/// initialization, avoiding JIT overhead at run time (§4.4).
+///
+/// # Errors
+///
+/// Any container, parse, validation, or instrumentation failure.
+pub fn sandbox_fatbin(
+    fatbin: &[u8],
+    mode: Protection,
+) -> Result<Vec<SandboxedImage>, SandboxError> {
+    let mut out = Vec::new();
+    for (name, text) in extract_ptx(fatbin)? {
+        out.push(sandbox_ptx(&name, &text, mode)?);
+    }
+    Ok(out)
+}
+
+/// Sandbox a single PTX translation unit.
+///
+/// # Errors
+///
+/// Parse, validation, or instrumentation failures.
+pub fn sandbox_ptx(
+    name: &str,
+    ptx_text: &str,
+    mode: Protection,
+) -> Result<SandboxedImage, SandboxError> {
+    let module = ptx::parse(ptx_text)?;
+    ptx::validate(&module)?;
+    let patched = patch_module(&module, mode)?;
+    Ok(SandboxedImage {
+        name: name.to_string(),
+        ptx: patched.module.to_string(),
+        info: patched.info,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptx::fatbin::FatBin;
+
+    const PTX: &str = r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry w(.param .u64 p)
+{
+    .reg .b32 %r<2>;
+    .reg .b64 %rd<2>;
+    ld.param.u64 %rd1, [p];
+    mov.u32 %r1, 1;
+    st.global.u32 [%rd1], %r1;
+    ret;
+}
+"#;
+
+    #[test]
+    fn pipeline_extracts_and_sandboxes() {
+        let mut fb = FatBin::new();
+        fb.push_ptx("mod_a", PTX);
+        fb.push_cubin("mod_a", 86, vec![0u8; 16]);
+        fb.push_ptx("mod_b", PTX);
+        let images = sandbox_fatbin(&fb.to_bytes(), Protection::FenceBitwise).unwrap();
+        assert_eq!(images.len(), 2);
+        for img in &images {
+            assert!(img.ptx.contains("and.b64"));
+            assert!(img.ptx.contains("or.b64"));
+            // Sandboxed output re-parses and re-validates.
+            let m = ptx::parse(&img.ptx).unwrap();
+            ptx::validate(&m).unwrap();
+            assert_eq!(img.info[0].stores, 1);
+        }
+    }
+
+    #[test]
+    fn malformed_ptx_is_reported() {
+        let mut fb = FatBin::new();
+        fb.push_ptx("bad", "this is not ptx");
+        assert!(sandbox_fatbin(&fb.to_bytes(), Protection::FenceBitwise).is_err());
+    }
+
+    #[test]
+    fn corrupt_container_is_reported() {
+        assert!(sandbox_fatbin(b"junk", Protection::FenceBitwise).is_err());
+    }
+}

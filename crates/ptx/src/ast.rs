@@ -1,0 +1,750 @@
+//! Abstract syntax tree for the supported PTX subset.
+//!
+//! A [`Module`] corresponds to one `.ptx` translation unit: a header
+//! (`.version` / `.target` / `.address_size`), module-scoped variables, and a
+//! list of kernels (`.entry`) and device functions (`.func`).
+
+use crate::types::{AtomKind, BinKind, CmpOp, RegClass, Space, SpecialReg, Type, UnaryKind};
+use serde::{Deserialize, Serialize};
+
+/// A full PTX module (translation unit).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// PTX ISA version, e.g. `(7, 7)` for CUDA 11.7.
+    pub version: (u32, u32),
+    /// Target architecture string, e.g. `sm_86`.
+    pub target: String,
+    /// Address size in bits; always 64 in this repository.
+    pub address_size: u32,
+    /// Module-scoped variable declarations (`.global` arrays etc.).
+    pub globals: Vec<GlobalVar>,
+    /// Kernels and device functions, in declaration order.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// Create an empty module with the conventional header used throughout
+    /// this repository (ISA 7.7 / sm_86 / 64-bit, matching the paper's
+    /// CUDA 11.7 on compute capability 8.6).
+    pub fn new() -> Self {
+        Module {
+            version: (7, 7),
+            target: "sm_86".to_string(),
+            address_size: 64,
+            globals: Vec::new(),
+            functions: Vec::new(),
+        }
+    }
+
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Find a function by name, mutably.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Names of all `.entry` kernels in the module.
+    pub fn kernel_names(&self) -> Vec<&str> {
+        self.functions
+            .iter()
+            .filter(|f| f.kind == FunctionKind::Entry)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+}
+
+impl Default for Module {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A module-scoped variable declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalVar {
+    /// State space the variable lives in (`.global` or `.shared`).
+    pub space: Space,
+    /// Alignment in bytes, if explicitly specified.
+    pub align: Option<u32>,
+    /// Element type.
+    pub ty: Type,
+    /// Variable name.
+    pub name: String,
+    /// Array element count; `None` for scalars.
+    pub len: Option<u64>,
+    /// Optional initializer values (little-endian bit images per element).
+    pub init: Vec<u64>,
+}
+
+impl GlobalVar {
+    /// Total size of the variable in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.ty.size() as u64 * self.len.unwrap_or(1)
+    }
+}
+
+/// Whether a function is a kernel entry point or a callable device function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FunctionKind {
+    /// `.entry` — launchable from the host.
+    Entry,
+    /// `.func` — callable from device code (and instrumented identically,
+    /// per §4.3 of the paper).
+    Func,
+}
+
+/// A kernel (`.entry`) or device function (`.func`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Entry point or device function.
+    pub kind: FunctionKind,
+    /// Whether the function carries the `.visible` linker directive.
+    pub visible: bool,
+    /// Function name.
+    pub name: String,
+    /// Formal parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Body statements: declarations, labels, and instructions.
+    pub body: Vec<Statement>,
+}
+
+impl Function {
+    /// Iterate over the instructions of the body (skipping declarations and
+    /// labels), together with their statement indices.
+    pub fn instructions(&self) -> impl Iterator<Item = (usize, &Instruction)> {
+        self.body.iter().enumerate().filter_map(|(i, s)| match s {
+            Statement::Instr(ins) => Some((i, ins)),
+            _ => None,
+        })
+    }
+
+    /// Total number of virtual registers declared, per register class.
+    pub fn declared_regs(&self) -> Vec<(RegClass, u32)> {
+        let mut out: Vec<(RegClass, u32)> = Vec::new();
+        for s in &self.body {
+            if let Statement::RegDecl { class, count, .. } = s {
+                match out.iter_mut().find(|(c, _)| c == class) {
+                    Some((_, n)) => *n += count,
+                    None => out.push((*class, *count)),
+                }
+            }
+        }
+        out
+    }
+
+    /// Byte offset of each parameter within the flat parameter buffer, using
+    /// natural alignment (the layout the simulated driver uses).
+    pub fn param_offsets(&self) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(self.params.len());
+        let mut off = 0usize;
+        for p in &self.params {
+            let sz = p.ty.size();
+            let align = sz;
+            off = (off + align - 1) / align * align;
+            offsets.push(off);
+            off += sz;
+        }
+        offsets
+    }
+
+    /// Total size in bytes of the flat parameter buffer.
+    pub fn param_buffer_size(&self) -> usize {
+        match (self.params.last(), self.param_offsets().last()) {
+            (Some(p), Some(off)) => off + p.ty.size(),
+            _ => 0,
+        }
+    }
+}
+
+/// A formal kernel parameter (`.param .u64 name`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: Type,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// One statement in a function body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    /// Virtual register declaration: `.reg .b64 %rd<5>;`.
+    RegDecl {
+        /// Register width class.
+        class: RegClass,
+        /// Name prefix, including the leading `%` (e.g. `%rd`).
+        prefix: String,
+        /// Number of registers declared (`<count>`).
+        count: u32,
+    },
+    /// Function-scoped variable (`.shared` / `.local` array).
+    VarDecl(GlobalVar),
+    /// A branch target label.
+    Label(String),
+    /// An executable instruction.
+    Instr(Instruction),
+}
+
+/// A guarded PTX instruction: optional predicate plus operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Optional guard predicate (`@%p` or `@!%p`).
+    pub pred: Option<Predicate>,
+    /// The operation itself.
+    pub op: Op,
+}
+
+impl Instruction {
+    /// An unpredicated instruction.
+    pub fn new(op: Op) -> Self {
+        Instruction { pred: None, op }
+    }
+
+    /// A predicated instruction, executed only when `reg` is `value`.
+    pub fn predicated(reg: impl Into<String>, negated: bool, op: Op) -> Self {
+        Instruction {
+            pred: Some(Predicate {
+                reg: reg.into(),
+                negated,
+            }),
+            op,
+        }
+    }
+}
+
+/// A guard predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Predicate register name (with `%`).
+    pub reg: String,
+    /// `true` for `@!%p` (execute when the predicate is false).
+    pub negated: bool,
+}
+
+/// An operand: register, immediate, or special register.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// A virtual register reference, e.g. `%rd4`.
+    Reg(String),
+    /// An integer immediate (sign-extended bit image).
+    ImmInt(i64),
+    /// A floating-point immediate.
+    ImmFloat(f64),
+    /// A special hardware register (only valid as a `mov` source).
+    Special(SpecialReg),
+}
+
+impl Operand {
+    /// Convenience constructor for a register operand.
+    pub fn reg(name: impl Into<String>) -> Self {
+        Operand::Reg(name.into())
+    }
+
+    /// The register name if this operand is a register.
+    pub fn as_reg(&self) -> Option<&str> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// The base of a memory address expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AddrBase {
+    /// Address held in a register: `[%rd4]`.
+    Reg(String),
+    /// Address of a named variable or parameter: `[kernel_param_0]`.
+    Var(String),
+}
+
+/// A memory address expression `[base]` or `[base+offset]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Address {
+    /// The base register or symbol.
+    pub base: AddrBase,
+    /// Constant byte offset added to the base.
+    pub offset: i64,
+}
+
+impl Address {
+    /// `[%reg]` with no offset.
+    pub fn reg(name: impl Into<String>) -> Self {
+        Address {
+            base: AddrBase::Reg(name.into()),
+            offset: 0,
+        }
+    }
+
+    /// `[%reg+offset]`.
+    pub fn reg_off(name: impl Into<String>, offset: i64) -> Self {
+        Address {
+            base: AddrBase::Reg(name.into()),
+            offset,
+        }
+    }
+
+    /// `[var]` with no offset.
+    pub fn var(name: impl Into<String>) -> Self {
+        Address {
+            base: AddrBase::Var(name.into()),
+            offset: 0,
+        }
+    }
+
+    /// `[var+offset]`.
+    pub fn var_off(name: impl Into<String>, offset: i64) -> Self {
+        Address {
+            base: AddrBase::Var(name.into()),
+            offset,
+        }
+    }
+}
+
+/// A PTX operation. Each variant prints to, and parses from, the canonical
+/// PTX syntax (see [`crate::printer`] and [`crate::parser`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// `ld.<space>.<ty> dst, [addr];`
+    Ld {
+        /// State space of the access.
+        space: Space,
+        /// Value type loaded.
+        ty: Type,
+        /// Destination register.
+        dst: String,
+        /// Source address.
+        addr: Address,
+    },
+    /// `st.<space>.<ty> [addr], src;`
+    St {
+        /// State space of the access.
+        space: Space,
+        /// Value type stored.
+        ty: Type,
+        /// Destination address.
+        addr: Address,
+        /// Value stored.
+        src: Operand,
+    },
+    /// `mov.<ty> dst, src;`
+    Mov {
+        /// Value type.
+        ty: Type,
+        /// Destination register.
+        dst: String,
+        /// Source operand (register, immediate, or special register).
+        src: Operand,
+    },
+    /// `mov.<ty> dst, var;` — take the address of a `.shared`/`.global`
+    /// variable (used before `cvta` or direct shared access).
+    MovAddr {
+        /// Value type (always a 32/64-bit integer class).
+        ty: Type,
+        /// Destination register.
+        dst: String,
+        /// Variable whose address is taken.
+        var: String,
+    },
+    /// `cvta.to.global.u64 dst, src;` or `cvta.global.u64 dst, src;`
+    Cvta {
+        /// Direction: `true` for `cvta.to.<space>` (generic → space).
+        to: bool,
+        /// The named space.
+        space: Space,
+        /// Destination register.
+        dst: String,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `cvt.<dty>.<sty> dst, src;` (with rounding modifier for float paths).
+    Cvt {
+        /// Destination type.
+        dty: Type,
+        /// Source type.
+        sty: Type,
+        /// Destination register.
+        dst: String,
+        /// Source operand.
+        src: Operand,
+    },
+    /// Two-operand arithmetic/logic: `add.s64 dst, a, b;` etc.
+    Binary {
+        /// Operation kind.
+        kind: BinKind,
+        /// Operand/result type.
+        ty: Type,
+        /// Destination register.
+        dst: String,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// One-operand arithmetic: `neg.f32`, `sqrt.approx.f32`, ...
+    Unary {
+        /// Operation kind.
+        kind: UnaryKind,
+        /// Operand/result type.
+        ty: Type,
+        /// Destination register.
+        dst: String,
+        /// Operand.
+        a: Operand,
+    },
+    /// `mul.wide.<sty> dst, a, b;` — result register is twice as wide.
+    MulWide {
+        /// Source operand type (`.s32`/`.u32`/`.s16`/`.u16`).
+        sty: Type,
+        /// Destination register (holds the double-width product).
+        dst: String,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `mad.lo.<ty> dst, a, b, c;` — `dst = a*b + c` (low half).
+    Mad {
+        /// Operand/result type.
+        ty: Type,
+        /// Destination register.
+        dst: String,
+        /// Multiplicand.
+        a: Operand,
+        /// Multiplier.
+        b: Operand,
+        /// Addend.
+        c: Operand,
+    },
+    /// `mad.wide.<sty> dst, a, b, c;` — `dst = a*b + c` with double-width
+    /// product (commonly used for array indexing).
+    MadWide {
+        /// Source operand type.
+        sty: Type,
+        /// Destination register (double-width).
+        dst: String,
+        /// Multiplicand.
+        a: Operand,
+        /// Multiplier.
+        b: Operand,
+        /// Addend (double-width).
+        c: Operand,
+    },
+    /// `fma.rn.<ty> dst, a, b, c;` — fused multiply-add (float).
+    Fma {
+        /// Float type.
+        ty: Type,
+        /// Destination register.
+        dst: String,
+        /// Multiplicand.
+        a: Operand,
+        /// Multiplier.
+        b: Operand,
+        /// Addend.
+        c: Operand,
+    },
+    /// `setp.<cmp>.<ty> p, a, b;`
+    Setp {
+        /// Comparison operator.
+        cmp: CmpOp,
+        /// Operand type.
+        ty: Type,
+        /// Destination predicate register.
+        dst: String,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `selp.<ty> dst, a, b, p;` — select `a` if `p` else `b`.
+    Selp {
+        /// Value type.
+        ty: Type,
+        /// Destination register.
+        dst: String,
+        /// Value when the predicate is true.
+        a: Operand,
+        /// Value when the predicate is false.
+        b: Operand,
+        /// Predicate register.
+        p: String,
+    },
+    /// `bra <label>;` (optionally `bra.uni`).
+    Bra {
+        /// Uniform-branch hint.
+        uni: bool,
+        /// Target label.
+        target: String,
+    },
+    /// `brx.idx index, { L0, L1, ... };` — indirect branch into a label
+    /// table. Unsafe per the threat model; the patcher clamps the index.
+    BrxIdx {
+        /// Index register.
+        index: String,
+        /// Branch target table.
+        targets: Vec<String>,
+    },
+    /// `call (retval), fname, (args...);` — call a `.func`.
+    Call {
+        /// Destination register for the return value, if any.
+        ret: Option<String>,
+        /// Callee name.
+        func: String,
+        /// Argument operands.
+        args: Vec<Operand>,
+    },
+    /// `ret;`
+    Ret,
+    /// `exit;` — terminate the thread.
+    Exit,
+    /// `bar.sync <id>;` — block-wide barrier.
+    BarSync {
+        /// Barrier resource id (always 0 in shipped kernels).
+        id: u32,
+    },
+    /// `membar.gl;` — memory fence (timing-only effect in the simulator).
+    Membar,
+    /// `atom.<space>.<op>.<ty> dst, [addr], src (, cmp);`
+    Atom {
+        /// Atomic operation kind.
+        op: AtomKind,
+        /// State space (global or shared).
+        space: Space,
+        /// Value type.
+        ty: Type,
+        /// Destination register receiving the old value.
+        dst: String,
+        /// Memory location.
+        addr: Address,
+        /// Operand value.
+        src: Operand,
+        /// Comparand for `cas`.
+        cmp: Option<Operand>,
+    },
+    /// `trap;` — raise a device-side fault (used by address checking to
+    /// report a contained out-of-bounds access).
+    Trap,
+}
+
+impl Op {
+    /// The destination register written by this operation, if any.
+    pub fn def(&self) -> Option<&str> {
+        match self {
+            Op::Ld { dst, .. }
+            | Op::Mov { dst, .. }
+            | Op::MovAddr { dst, .. }
+            | Op::Cvta { dst, .. }
+            | Op::Cvt { dst, .. }
+            | Op::Binary { dst, .. }
+            | Op::Unary { dst, .. }
+            | Op::MulWide { dst, .. }
+            | Op::Mad { dst, .. }
+            | Op::MadWide { dst, .. }
+            | Op::Fma { dst, .. }
+            | Op::Setp { dst, .. }
+            | Op::Selp { dst, .. }
+            | Op::Atom { dst, .. } => Some(dst),
+            Op::Call { ret, .. } => ret.as_deref(),
+            _ => None,
+        }
+    }
+
+    /// All register names read by this operation (including address bases
+    /// and predicate selects, excluding the guard predicate).
+    pub fn uses(&self) -> Vec<&str> {
+        fn op_use<'a>(o: &'a Operand, out: &mut Vec<&'a str>) {
+            if let Operand::Reg(r) = o {
+                out.push(r.as_str());
+            }
+        }
+        fn addr_use<'a>(a: &'a Address, out: &mut Vec<&'a str>) {
+            if let AddrBase::Reg(r) = &a.base {
+                out.push(r.as_str());
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            Op::Ld { addr, .. } => addr_use(addr, &mut out),
+            Op::St { addr, src, .. } => {
+                addr_use(addr, &mut out);
+                op_use(src, &mut out);
+            }
+            Op::Mov { src, .. } | Op::Cvta { src, .. } | Op::Cvt { src, .. } => {
+                op_use(src, &mut out)
+            }
+            Op::MovAddr { .. } => {}
+            Op::Binary { a, b, .. } | Op::MulWide { a, b, .. } | Op::Setp { a, b, .. } => {
+                op_use(a, &mut out);
+                op_use(b, &mut out);
+            }
+            Op::Unary { a, .. } => op_use(a, &mut out),
+            Op::Mad { a, b, c, .. } | Op::MadWide { a, b, c, .. } | Op::Fma { a, b, c, .. } => {
+                op_use(a, &mut out);
+                op_use(b, &mut out);
+                op_use(c, &mut out);
+            }
+            Op::Selp { a, b, p, .. } => {
+                op_use(a, &mut out);
+                op_use(b, &mut out);
+                out.push(p.as_str());
+            }
+            Op::BrxIdx { index, .. } => out.push(index.as_str()),
+            Op::Call { args, .. } => {
+                for a in args {
+                    op_use(a, &mut out);
+                }
+            }
+            Op::Atom { addr, src, cmp, .. } => {
+                addr_use(addr, &mut out);
+                op_use(src, &mut out);
+                if let Some(c) = cmp {
+                    op_use(c, &mut out);
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// Whether this is a load or store to a Guardian-protected space
+    /// (global, local, or generic; see [`Space::is_protected`]).
+    pub fn is_protected_access(&self) -> bool {
+        match self {
+            Op::Ld { space, .. } | Op::St { space, .. } | Op::Atom { space, .. } => {
+                space.is_protected()
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the operation ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Op::Bra { .. } | Op::BrxIdx { .. } | Op::Ret | Op::Exit | Op::Trap
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_function() -> Function {
+        Function {
+            kind: FunctionKind::Entry,
+            visible: true,
+            name: "k".into(),
+            params: vec![
+                Param {
+                    ty: Type::U64,
+                    name: "p0".into(),
+                },
+                Param {
+                    ty: Type::U32,
+                    name: "p1".into(),
+                },
+                Param {
+                    ty: Type::U64,
+                    name: "p2".into(),
+                },
+            ],
+            body: vec![
+                Statement::RegDecl {
+                    class: RegClass::B32,
+                    prefix: "%r".into(),
+                    count: 3,
+                },
+                Statement::RegDecl {
+                    class: RegClass::B64,
+                    prefix: "%rd".into(),
+                    count: 5,
+                },
+                Statement::Instr(Instruction::new(Op::Ld {
+                    space: Space::Param,
+                    ty: Type::U64,
+                    dst: "%rd1".into(),
+                    addr: Address::var("p0"),
+                })),
+                Statement::Instr(Instruction::new(Op::Ret)),
+            ],
+        }
+    }
+
+    #[test]
+    fn param_layout_uses_natural_alignment() {
+        let f = sample_function();
+        // u64 at 0, u32 at 8, u64 aligned up to 16.
+        assert_eq!(f.param_offsets(), vec![0, 8, 16]);
+        assert_eq!(f.param_buffer_size(), 24);
+    }
+
+    #[test]
+    fn declared_register_counts() {
+        let f = sample_function();
+        let regs = f.declared_regs();
+        assert!(regs.contains(&(RegClass::B32, 3)));
+        assert!(regs.contains(&(RegClass::B64, 5)));
+    }
+
+    #[test]
+    fn def_use_extraction() {
+        let op = Op::Mad {
+            ty: Type::S32,
+            dst: "%r3".into(),
+            a: Operand::reg("%r1"),
+            b: Operand::ImmInt(4),
+            c: Operand::reg("%r2"),
+        };
+        assert_eq!(op.def(), Some("%r3"));
+        assert_eq!(op.uses(), vec!["%r1", "%r2"]);
+    }
+
+    #[test]
+    fn store_uses_address_and_value() {
+        let op = Op::St {
+            space: Space::Global,
+            ty: Type::F32,
+            addr: Address::reg_off("%rd4", 16),
+            src: Operand::reg("%f1"),
+        };
+        assert_eq!(op.def(), None);
+        assert_eq!(op.uses(), vec!["%rd4", "%f1"]);
+        assert!(op.is_protected_access());
+    }
+
+    #[test]
+    fn shared_access_is_not_protected() {
+        let op = Op::Ld {
+            space: Space::Shared,
+            ty: Type::F32,
+            dst: "%f1".into(),
+            addr: Address::reg("%rd1"),
+        };
+        assert!(!op.is_protected_access());
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Op::Ret.is_terminator());
+        assert!(Op::Exit.is_terminator());
+        assert!(Op::Bra {
+            uni: false,
+            target: "L".into()
+        }
+        .is_terminator());
+        assert!(!Op::Membar.is_terminator());
+    }
+
+    #[test]
+    fn module_kernel_lookup() {
+        let mut m = Module::new();
+        m.functions.push(sample_function());
+        assert!(m.function("k").is_some());
+        assert!(m.function("missing").is_none());
+        assert_eq!(m.kernel_names(), vec!["k"]);
+    }
+}

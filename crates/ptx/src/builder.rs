@@ -1,0 +1,611 @@
+//! Programmatic PTX construction.
+//!
+//! The accelerated libraries in this repository (mini-cuBLAS and friends)
+//! ship their kernels as PTX inside fatbins, exactly like the closed-source
+//! libraries the paper instruments. [`KernelBuilder`] is the code generator
+//! those libraries use: it manages virtual-register numbering, emits
+//! canonical instruction sequences for common idioms (global thread index,
+//! grid-stride loops, strided element access), and produces a validated
+//! [`Function`].
+
+use crate::ast::*;
+use crate::types::*;
+
+/// Builder for a single kernel or device function.
+///
+/// # Examples
+///
+/// ```
+/// use ptx::builder::{KernelBuilder, ModuleBuilder};
+/// use ptx::types::Type;
+///
+/// let mut k = KernelBuilder::entry("scale");
+/// let x = k.param(Type::U64, "x");
+/// let n = k.param(Type::U32, "n");
+/// let alpha = k.param(Type::F32, "alpha");
+///
+/// let xp = k.ld_param(Type::U64, &x);
+/// let xg = k.cvta_global(&xp);
+/// let nv = k.ld_param(Type::U32, &n);
+/// let av = k.ld_param(Type::F32, &alpha);
+/// k.grid_stride_loop(&nv, |k, i| {
+///     let v = k.load_elem(&xg, i, Type::F32);
+///     let scaled = k.binary(ptx::types::BinKind::MulLo, Type::F32, &v, &av);
+///     k.store_elem(&xg, i, Type::F32, &scaled);
+/// });
+/// k.ret();
+///
+/// let module = ModuleBuilder::new().push(k).build();
+/// ptx::validate(&module)?;
+/// # Ok::<(), ptx::PtxError>(())
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    kind: FunctionKind,
+    name: String,
+    params: Vec<Param>,
+    vars: Vec<GlobalVar>,
+    stmts: Vec<Statement>,
+    counts: RegCounters,
+    label_counter: u32,
+}
+
+#[derive(Debug, Default)]
+struct RegCounters {
+    b16: u32,
+    b32: u32,
+    b64: u32,
+    f32: u32,
+    f64: u32,
+    pred: u32,
+}
+
+impl KernelBuilder {
+    /// Start building a `.visible .entry` kernel.
+    pub fn entry(name: impl Into<String>) -> Self {
+        Self::with_kind(FunctionKind::Entry, name)
+    }
+
+    /// Start building a `.func` device function.
+    pub fn func(name: impl Into<String>) -> Self {
+        Self::with_kind(FunctionKind::Func, name)
+    }
+
+    fn with_kind(kind: FunctionKind, name: impl Into<String>) -> Self {
+        KernelBuilder {
+            kind,
+            name: name.into(),
+            params: Vec::new(),
+            vars: Vec::new(),
+            stmts: Vec::new(),
+            counts: RegCounters::default(),
+            label_counter: 0,
+        }
+    }
+
+    /// The kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declare a parameter; returns its name for later `ld.param`.
+    pub fn param(&mut self, ty: Type, name: impl Into<String>) -> String {
+        let name = name.into();
+        self.params.push(Param {
+            ty,
+            name: name.clone(),
+        });
+        name
+    }
+
+    /// Declare a `.shared` array and return its symbol name.
+    pub fn shared_array(&mut self, name: impl Into<String>, ty: Type, len: u64) -> String {
+        let name = name.into();
+        self.vars.push(GlobalVar {
+            space: Space::Shared,
+            align: Some(ty.size() as u32),
+            ty,
+            name: name.clone(),
+            len: Some(len),
+            init: Vec::new(),
+        });
+        name
+    }
+
+    /// Declare a `.local` scratch array and return its symbol name.
+    pub fn local_array(&mut self, name: impl Into<String>, ty: Type, len: u64) -> String {
+        let name = name.into();
+        self.vars.push(GlobalVar {
+            space: Space::Local,
+            align: Some(ty.size() as u32),
+            ty,
+            name: name.clone(),
+            len: Some(len),
+            init: Vec::new(),
+        });
+        name
+    }
+
+    /// Allocate a fresh virtual register of the class that stores `ty`.
+    ///
+    /// Uses nvcc's conventional prefixes: `%r` (32-bit int), `%rd` (64-bit
+    /// int), `%f` (f32), `%fd` (f64), `%rs` (16-bit), `%p` (predicate).
+    pub fn reg(&mut self, ty: Type) -> String {
+        match ty {
+            Type::F32 => {
+                self.counts.f32 += 1;
+                format!("%f{}", self.counts.f32)
+            }
+            Type::F64 => {
+                self.counts.f64 += 1;
+                format!("%fd{}", self.counts.f64)
+            }
+            Type::Pred => {
+                self.counts.pred += 1;
+                format!("%p{}", self.counts.pred)
+            }
+            t if t.size() <= 2 => {
+                self.counts.b16 += 1;
+                format!("%rs{}", self.counts.b16)
+            }
+            t if t.size() == 4 => {
+                self.counts.b32 += 1;
+                format!("%r{}", self.counts.b32)
+            }
+            _ => {
+                self.counts.b64 += 1;
+                format!("%rd{}", self.counts.b64)
+            }
+        }
+    }
+
+    /// A fresh branch label with the given hint in the name.
+    pub fn fresh_label(&mut self, hint: &str) -> String {
+        self.label_counter += 1;
+        format!("$L_{}_{}", hint, self.label_counter)
+    }
+
+    /// Place a label here.
+    pub fn label(&mut self, name: impl Into<String>) {
+        self.stmts.push(Statement::Label(name.into()));
+    }
+
+    /// Emit a raw operation.
+    pub fn emit(&mut self, op: Op) {
+        self.stmts.push(Statement::Instr(Instruction::new(op)));
+    }
+
+    /// Emit an operation guarded by `@pred` (or `@!pred` when `negated`).
+    pub fn emit_pred(&mut self, pred: &str, negated: bool, op: Op) {
+        self.stmts
+            .push(Statement::Instr(Instruction::predicated(pred, negated, op)));
+    }
+
+    // ----- common idioms ---------------------------------------------------
+
+    /// `ld.param.<ty> r, [pname];` → fresh register.
+    pub fn ld_param(&mut self, ty: Type, pname: &str) -> String {
+        let r = self.reg(ty);
+        self.emit(Op::Ld {
+            space: Space::Param,
+            ty,
+            dst: r.clone(),
+            addr: Address::var(pname),
+        });
+        r
+    }
+
+    /// `cvta.to.global.u64 g, r;` → fresh register holding a global pointer.
+    pub fn cvta_global(&mut self, generic_ptr: &str) -> String {
+        let g = self.reg(Type::U64);
+        self.emit(Op::Cvta {
+            to: true,
+            space: Space::Global,
+            dst: g.clone(),
+            src: Operand::reg(generic_ptr),
+        });
+        g
+    }
+
+    /// `mov.<ty> r, src;` → fresh register.
+    pub fn mov(&mut self, ty: Type, src: Operand) -> String {
+        let r = self.reg(ty);
+        self.emit(Op::Mov {
+            ty,
+            dst: r.clone(),
+            src,
+        });
+        r
+    }
+
+    /// Load an immediate integer into a fresh register.
+    pub fn imm_u32(&mut self, v: u32) -> String {
+        self.mov(Type::U32, Operand::ImmInt(v as i64))
+    }
+
+    /// Load an immediate f32 into a fresh register.
+    pub fn imm_f32(&mut self, v: f32) -> String {
+        self.mov(Type::F32, Operand::ImmFloat(v as f64))
+    }
+
+    /// Compute the linear global thread index:
+    /// `%ctaid.x * %ntid.x + %tid.x` → fresh `.u32` register.
+    pub fn global_tid_x(&mut self) -> String {
+        let ctaid = self.mov(Type::U32, Operand::Special(SpecialReg::Ctaid(Dim::X)));
+        let ntid = self.mov(Type::U32, Operand::Special(SpecialReg::Ntid(Dim::X)));
+        let tid = self.mov(Type::U32, Operand::Special(SpecialReg::Tid(Dim::X)));
+        let out = self.reg(Type::U32);
+        self.emit(Op::Mad {
+            ty: Type::U32,
+            dst: out.clone(),
+            a: Operand::reg(ctaid),
+            b: Operand::reg(ntid),
+            c: Operand::reg(tid),
+        });
+        out
+    }
+
+    /// Total threads in the grid: `%nctaid.x * %ntid.x` → fresh register.
+    pub fn grid_size_x(&mut self) -> String {
+        let nctaid = self.mov(Type::U32, Operand::Special(SpecialReg::Nctaid(Dim::X)));
+        let ntid = self.mov(Type::U32, Operand::Special(SpecialReg::Ntid(Dim::X)));
+        let out = self.reg(Type::U32);
+        self.emit(Op::Binary {
+            kind: BinKind::MulLo,
+            ty: Type::U32,
+            dst: out.clone(),
+            a: Operand::reg(nctaid),
+            b: Operand::reg(ntid),
+        });
+        out
+    }
+
+    /// Emit a binary operation into a fresh register.
+    pub fn binary(&mut self, kind: BinKind, ty: Type, a: &str, b: &str) -> String {
+        let dst = self.reg(ty);
+        self.emit(Op::Binary {
+            kind,
+            ty,
+            dst: dst.clone(),
+            a: Operand::reg(a),
+            b: Operand::reg(b),
+        });
+        dst
+    }
+
+    /// Binary op with an immediate right operand.
+    pub fn binary_imm(&mut self, kind: BinKind, ty: Type, a: &str, b: i64) -> String {
+        let dst = self.reg(ty);
+        self.emit(Op::Binary {
+            kind,
+            ty,
+            dst: dst.clone(),
+            a: Operand::reg(a),
+            b: Operand::ImmInt(b),
+        });
+        dst
+    }
+
+    /// Emit a unary operation into a fresh register.
+    pub fn unary(&mut self, kind: UnaryKind, ty: Type, a: &str) -> String {
+        let dst = self.reg(ty);
+        self.emit(Op::Unary {
+            kind,
+            ty,
+            dst: dst.clone(),
+            a: Operand::reg(a),
+        });
+        dst
+    }
+
+    /// `fma.rn.<ty> d, a, b, c` into a fresh register.
+    pub fn fma(&mut self, ty: Type, a: &str, b: &str, c: &str) -> String {
+        let dst = self.reg(ty);
+        self.emit(Op::Fma {
+            ty,
+            dst: dst.clone(),
+            a: Operand::reg(a),
+            b: Operand::reg(b),
+            c: Operand::reg(c),
+        });
+        dst
+    }
+
+    /// `setp.<cmp>.<ty> p, a, b` into a fresh predicate register.
+    pub fn setp(&mut self, cmp: CmpOp, ty: Type, a: &str, b: Operand) -> String {
+        let p = self.reg(Type::Pred);
+        self.emit(Op::Setp {
+            cmp,
+            ty,
+            dst: p.clone(),
+            a: Operand::reg(a),
+            b,
+        });
+        p
+    }
+
+    /// Compute the byte address of element `idx` (u32 register) of the
+    /// array at `base_ptr` (u64 register): `base + idx * sizeof(ty)`.
+    pub fn elem_addr(&mut self, base_ptr: &str, idx: &str, ty: Type) -> String {
+        let off = self.reg(Type::S64);
+        self.emit(Op::MulWide {
+            sty: Type::U32,
+            dst: off.clone(),
+            a: Operand::reg(idx),
+            b: Operand::ImmInt(ty.size() as i64),
+        });
+        let addr = self.reg(Type::U64);
+        self.emit(Op::Binary {
+            kind: BinKind::Add,
+            ty: Type::S64,
+            dst: addr.clone(),
+            a: Operand::reg(base_ptr),
+            b: Operand::reg(off),
+        });
+        addr
+    }
+
+    /// Load element `idx` of a `.global` array into a fresh register.
+    pub fn load_elem(&mut self, base_ptr: &str, idx: &str, ty: Type) -> String {
+        let addr = self.elem_addr(base_ptr, idx, ty);
+        let v = self.reg(ty);
+        self.emit(Op::Ld {
+            space: Space::Global,
+            ty,
+            dst: v.clone(),
+            addr: Address::reg(addr),
+        });
+        v
+    }
+
+    /// Store a register to element `idx` of a `.global` array.
+    pub fn store_elem(&mut self, base_ptr: &str, idx: &str, ty: Type, val: &str) {
+        let addr = self.elem_addr(base_ptr, idx, ty);
+        self.emit(Op::St {
+            space: Space::Global,
+            ty,
+            addr: Address::reg(addr),
+            src: Operand::reg(val),
+        });
+    }
+
+    /// Emit a grid-stride loop over `[0, n)`. The closure receives the
+    /// builder and the loop-index register (`.u32`). The canonical CUDA
+    /// pattern:
+    ///
+    /// ```text
+    /// for (i = blockIdx.x*blockDim.x + threadIdx.x; i < n; i += gridDim.x*blockDim.x)
+    /// ```
+    pub fn grid_stride_loop(&mut self, n: &str, body: impl FnOnce(&mut Self, &str)) {
+        let i = self.global_tid_x();
+        let stride = self.grid_size_x();
+        let top = self.fresh_label("loop");
+        let done = self.fresh_label("done");
+        self.label(top.clone());
+        let p = self.setp(CmpOp::Ge, Type::U32, &i, Operand::reg(n));
+        self.emit_pred(&p, false, Op::Bra {
+            uni: false,
+            target: done.clone(),
+        });
+        body(self, &i);
+        self.emit(Op::Binary {
+            kind: BinKind::Add,
+            ty: Type::U32,
+            dst: i.clone(),
+            a: Operand::reg(&i),
+            b: Operand::reg(&stride),
+        });
+        self.emit(Op::Bra {
+            uni: true,
+            target: top,
+        });
+        self.label(done);
+    }
+
+    /// Emit an if-guard: when `cond_reg` (predicate) is **false**, skip the
+    /// body.
+    pub fn if_then(&mut self, pred: &str, body: impl FnOnce(&mut Self)) {
+        let skip = self.fresh_label("skip");
+        self.emit_pred(pred, true, Op::Bra {
+            uni: false,
+            target: skip.clone(),
+        });
+        body(self);
+        self.label(skip);
+    }
+
+    /// `bar.sync 0;`
+    pub fn barrier(&mut self) {
+        self.emit(Op::BarSync { id: 0 });
+    }
+
+    /// `ret;`
+    pub fn ret(&mut self) {
+        self.emit(Op::Ret);
+    }
+
+    /// Finish: prepend register declarations and return the function.
+    pub fn build(self) -> Function {
+        let mut body = Vec::with_capacity(self.stmts.len() + 8);
+        let mut decl = |class: RegClass, prefix: &str, count: u32| {
+            if count > 0 {
+                body.push(Statement::RegDecl {
+                    class,
+                    prefix: prefix.to_string(),
+                    count: count + 1,
+                });
+            }
+        };
+        decl(RegClass::Pred, "%p", self.counts.pred);
+        decl(RegClass::B16, "%rs", self.counts.b16);
+        decl(RegClass::B32, "%r", self.counts.b32);
+        decl(RegClass::B32, "%f", self.counts.f32);
+        decl(RegClass::B64, "%rd", self.counts.b64);
+        decl(RegClass::B64, "%fd", self.counts.f64);
+        for v in self.vars {
+            body.push(Statement::VarDecl(v));
+        }
+        body.extend(self.stmts);
+        Function {
+            kind: self.kind,
+            visible: self.kind == FunctionKind::Entry,
+            name: self.name,
+            params: self.params,
+            body,
+        }
+    }
+}
+
+/// Builder for a whole [`Module`].
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Start an empty module with the standard header.
+    pub fn new() -> Self {
+        ModuleBuilder {
+            module: Module::new(),
+        }
+    }
+
+    /// Add a finished kernel builder.
+    pub fn push(mut self, kb: KernelBuilder) -> Self {
+        self.module.functions.push(kb.build());
+        self
+    }
+
+    /// Add an already-built function.
+    pub fn push_function(mut self, f: Function) -> Self {
+        self.module.functions.push(f);
+        self
+    }
+
+    /// Add a module-scoped global variable.
+    pub fn push_global(mut self, g: GlobalVar) -> Self {
+        self.module.globals.push(g);
+        self
+    }
+
+    /// Finish the module.
+    pub fn build(self) -> Module {
+        self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, validate};
+
+    #[test]
+    fn built_kernel_validates_and_round_trips() {
+        let mut k = KernelBuilder::entry("vec_add");
+        let a = k.param(Type::U64, "a");
+        let b = k.param(Type::U64, "b");
+        let c = k.param(Type::U64, "c");
+        let n = k.param(Type::U32, "n");
+        let ap = k.ld_param(Type::U64, &a);
+        let bp = k.ld_param(Type::U64, &b);
+        let cp = k.ld_param(Type::U64, &c);
+        let nv = k.ld_param(Type::U32, &n);
+        let ag = k.cvta_global(&ap);
+        let bg = k.cvta_global(&bp);
+        let cg = k.cvta_global(&cp);
+        k.grid_stride_loop(&nv, |k, i| {
+            let x = k.load_elem(&ag, i, Type::F32);
+            let y = k.load_elem(&bg, i, Type::F32);
+            let s = k.binary(BinKind::Add, Type::F32, &x, &y);
+            k.store_elem(&cg, i, Type::F32, &s);
+        });
+        k.ret();
+
+        let m = ModuleBuilder::new().push(k).build();
+        validate(&m).unwrap();
+        let text = m.to_string();
+        let re = parse(&text).unwrap();
+        assert_eq!(m, re);
+    }
+
+    #[test]
+    fn shared_memory_reduction_kernel_builds() {
+        let mut k = KernelBuilder::entry("partial_sum");
+        let x = k.param(Type::U64, "x");
+        let out = k.param(Type::U64, "out");
+        let n = k.param(Type::U32, "n");
+        let tile = k.shared_array("tile", Type::F32, 128);
+        let xp = k.ld_param(Type::U64, &x);
+        let op_ = k.ld_param(Type::U64, &out);
+        let nv = k.ld_param(Type::U32, &n);
+        let xg = k.cvta_global(&xp);
+        let og = k.cvta_global(&op_);
+        // acc = 0; grid-stride accumulate
+        let acc = k.imm_f32(0.0);
+        k.grid_stride_loop(&nv, |k, i| {
+            let v = k.load_elem(&xg, i, Type::F32);
+            k.emit(Op::Binary {
+                kind: BinKind::Add,
+                ty: Type::F32,
+                dst: acc.clone(),
+                a: Operand::reg(&acc),
+                b: Operand::reg(&v),
+            });
+        });
+        // store partial into shared tile then reduce lane 0 atomically
+        let tile_addr = k.reg(Type::U64);
+        k.emit(Op::MovAddr {
+            ty: Type::U64,
+            dst: tile_addr.clone(),
+            var: tile.clone(),
+        });
+        let tid = k.mov(Type::U32, Operand::Special(SpecialReg::Tid(Dim::X)));
+        let slot = k.elem_addr(&tile_addr, &tid, Type::F32);
+        k.emit(Op::St {
+            space: Space::Shared,
+            ty: Type::F32,
+            addr: Address::reg(slot),
+            src: Operand::reg(&acc),
+        });
+        k.barrier();
+        let zero_p = k.setp(CmpOp::Eq, Type::U32, &tid, Operand::ImmInt(0));
+        k.if_then(&zero_p, |k| {
+            let old = k.reg(Type::F32);
+            k.emit(Op::Atom {
+                op: AtomKind::Add,
+                space: Space::Global,
+                ty: Type::F32,
+                dst: old,
+                addr: Address::reg(og.clone()),
+                src: Operand::reg(&acc),
+                cmp: None,
+            });
+        });
+        k.ret();
+
+        let m = ModuleBuilder::new().push(k).build();
+        validate(&m).unwrap();
+        let text = m.to_string();
+        parse(&text).unwrap();
+    }
+
+    #[test]
+    fn register_prefixes_follow_nvcc_convention() {
+        let mut k = KernelBuilder::entry("t");
+        assert_eq!(k.reg(Type::U32), "%r1");
+        assert_eq!(k.reg(Type::F32), "%f1");
+        assert_eq!(k.reg(Type::U64), "%rd1");
+        assert_eq!(k.reg(Type::F64), "%fd1");
+        assert_eq!(k.reg(Type::Pred), "%p1");
+        assert_eq!(k.reg(Type::U16), "%rs1");
+        assert_eq!(k.reg(Type::U32), "%r2");
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut k = KernelBuilder::entry("t");
+        let a = k.fresh_label("x");
+        let b = k.fresh_label("x");
+        assert_ne!(a, b);
+    }
+}

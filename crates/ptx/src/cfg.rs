@@ -1,0 +1,289 @@
+//! Control-flow graph construction over a [`Function`] body.
+//!
+//! Used by the liveness analysis (register-pressure accounting for the
+//! paper's §7.3 experiment) and by the validator's reachability checks.
+
+use crate::ast::{Function, Instruction, Op, Statement};
+use std::collections::HashMap;
+
+/// A basic block: a maximal straight-line run of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Indices into `Function::body` of the instructions in this block
+    /// (declaration statements are skipped; labels delimit blocks).
+    pub stmts: Vec<usize>,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+/// A function's control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Map from label name to the block it starts.
+    pub label_block: HashMap<String, usize>,
+}
+
+impl Cfg {
+    /// Build the CFG of a function.
+    ///
+    /// Leaders are: the first instruction, every label, and every
+    /// instruction following a terminator. A *predicated* branch falls
+    /// through as well as jumping; an unpredicated `bra` only jumps.
+    pub fn build(func: &Function) -> Cfg {
+        // Pass 1: find leaders.
+        let body = &func.body;
+        let mut is_leader = vec![false; body.len() + 1];
+        let mut label_at: HashMap<&str, usize> = HashMap::new();
+        let mut first_instr = None;
+        for (i, s) in body.iter().enumerate() {
+            match s {
+                Statement::Label(l) => {
+                    is_leader[i] = true;
+                    label_at.insert(l.as_str(), i);
+                }
+                Statement::Instr(ins) => {
+                    if first_instr.is_none() {
+                        first_instr = Some(i);
+                        is_leader[i] = true;
+                    }
+                    if ins.op.is_terminator() {
+                        is_leader[i + 1] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Pass 2: carve blocks.
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut stmt_block: HashMap<usize, usize> = HashMap::new();
+        let mut label_block: HashMap<String, usize> = HashMap::new();
+        let mut cur: Option<usize> = None;
+        for (i, s) in body.iter().enumerate() {
+            if is_leader[i] {
+                cur = None;
+            }
+            match s {
+                Statement::Label(l) => {
+                    let id = blocks.len();
+                    blocks.push(BasicBlock {
+                        stmts: Vec::new(),
+                        succs: Vec::new(),
+                        preds: Vec::new(),
+                    });
+                    label_block.insert(l.clone(), id);
+                    cur = Some(id);
+                }
+                Statement::Instr(_) => {
+                    let id = match cur {
+                        Some(id) => id,
+                        None => {
+                            let id = blocks.len();
+                            blocks.push(BasicBlock {
+                                stmts: Vec::new(),
+                                succs: Vec::new(),
+                                preds: Vec::new(),
+                            });
+                            cur = Some(id);
+                            id
+                        }
+                    };
+                    blocks[id].stmts.push(i);
+                    stmt_block.insert(i, id);
+                }
+                _ => {}
+            }
+        }
+        if blocks.is_empty() {
+            blocks.push(BasicBlock {
+                stmts: Vec::new(),
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
+        }
+
+        // Pass 3: edges.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (b, block) in blocks.iter().enumerate() {
+            let Some(&last) = block.stmts.last() else {
+                // Empty block (label with nothing before the next label):
+                // falls through to the next block.
+                if b + 1 < blocks.len() {
+                    edges.push((b, b + 1));
+                }
+                continue;
+            };
+            let Statement::Instr(ins) = &body[last] else {
+                unreachable!("block stmts are instruction indices")
+            };
+            let falls_through = block_falls_through(ins);
+            match &ins.op {
+                Op::Bra { target, .. } => {
+                    if let Some(&t) = label_block.get(target) {
+                        edges.push((b, t));
+                    }
+                    if falls_through && b + 1 < blocks.len() {
+                        edges.push((b, b + 1));
+                    }
+                }
+                Op::BrxIdx { targets, .. } => {
+                    for t in targets {
+                        if let Some(&tb) = label_block.get(t) {
+                            edges.push((b, tb));
+                        }
+                    }
+                    if falls_through && b + 1 < blocks.len() {
+                        edges.push((b, b + 1));
+                    }
+                }
+                Op::Ret | Op::Exit | Op::Trap => {
+                    if falls_through && b + 1 < blocks.len() {
+                        edges.push((b, b + 1));
+                    }
+                }
+                _ => {
+                    if b + 1 < blocks.len() {
+                        edges.push((b, b + 1));
+                    }
+                }
+            }
+        }
+        for (from, to) in edges {
+            if !blocks[from].succs.contains(&to) {
+                blocks[from].succs.push(to);
+            }
+            if !blocks[to].preds.contains(&from) {
+                blocks[to].preds.push(from);
+            }
+        }
+        Cfg {
+            blocks,
+            label_block,
+        }
+    }
+
+    /// Blocks reachable from the entry, in preorder.
+    pub fn reachable(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![0usize];
+        let mut out = Vec::new();
+        while let Some(b) = stack.pop() {
+            if seen[b] {
+                continue;
+            }
+            seen[b] = true;
+            out.push(b);
+            for &s in &self.blocks[b].succs {
+                stack.push(s);
+            }
+        }
+        out
+    }
+}
+
+/// A terminator guarded by a predicate may not fire, so control can continue
+/// to the next block.
+fn block_falls_through(ins: &Instruction) -> bool {
+    ins.pred.is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn cfg_of(body: &str) -> (Function, Cfg) {
+        let src = format!(
+            ".version 7.7\n.target sm_86\n.address_size 64\n.visible .entry k(.param .u32 n)\n{{\n{body}\n}}"
+        );
+        let m = parse(&src).unwrap();
+        let f = m.function("k").unwrap().clone();
+        let cfg = Cfg::build(&f);
+        (f, cfg)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (_, cfg) = cfg_of(
+            ".reg .b32 %r<3>;\nld.param.u32 %r1, [n];\nadd.u32 %r2, %r1, 1;\nret;",
+        );
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn loop_has_back_edge() {
+        let (_, cfg) = cfg_of(
+            r#".reg .pred %p<2>;
+.reg .b32 %r<4>;
+ld.param.u32 %r1, [n];
+mov.u32 %r2, 0;
+$L_top:
+setp.ge.u32 %p1, %r2, %r1;
+@%p1 bra $L_done;
+add.u32 %r2, %r2, 1;
+bra.uni $L_top;
+$L_done:
+ret;"#,
+        );
+        let top = cfg.label_block["$L_top"];
+        let done = cfg.label_block["$L_done"];
+        // The block containing `bra.uni $L_top` must point back to top.
+        let has_back_edge = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(b, blk)| b > top && blk.succs.contains(&top));
+        assert!(has_back_edge);
+        // The header block branches to done (predicated) and falls through.
+        assert!(cfg.blocks[top].succs.contains(&done));
+        assert_eq!(cfg.blocks[top].succs.len(), 2);
+    }
+
+    #[test]
+    fn brx_idx_fans_out() {
+        let (_, cfg) = cfg_of(
+            r#".reg .b32 %r<2>;
+ld.param.u32 %r1, [n];
+brx.idx %r1, { $L0, $L1 };
+$L0:
+ret;
+$L1:
+ret;"#,
+        );
+        assert_eq!(cfg.blocks[0].succs.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        let (_, cfg) = cfg_of(
+            r#".reg .b32 %r<2>;
+ret;
+$L_dead:
+mov.u32 %r1, 1;
+ret;"#,
+        );
+        let reach = cfg.reachable();
+        assert_eq!(reach.len(), 1);
+        assert_eq!(cfg.blocks.len(), 2);
+    }
+
+    #[test]
+    fn predicated_ret_falls_through() {
+        let (_, cfg) = cfg_of(
+            r#".reg .pred %p<2>;
+.reg .b32 %r<3>;
+ld.param.u32 %r1, [n];
+setp.eq.u32 %p1, %r1, 0;
+@%p1 ret;
+mov.u32 %r2, 5;
+ret;"#,
+        );
+        // Block 0 ends with predicated ret -> falls through to block 1.
+        assert_eq!(cfg.blocks[0].succs, vec![1]);
+    }
+}

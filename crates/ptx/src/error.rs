@@ -1,0 +1,103 @@
+//! Error type shared by the lexer, parser, and validator.
+
+use std::fmt;
+
+/// Result alias for PTX operations.
+pub type Result<T> = std::result::Result<T, PtxError>;
+
+/// Errors produced while lexing, parsing, or validating PTX.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PtxError {
+    /// Lexical error at a source line.
+    Lex {
+        /// 1-based source line.
+        line: u32,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Syntax error at a source line.
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Semantic validation error (undeclared register, missing label, ...).
+    Validate {
+        /// Function the problem was found in, if known.
+        function: Option<String>,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Malformed fatbin container.
+    Fatbin(String),
+}
+
+impl PtxError {
+    /// Construct a lexical error.
+    pub fn lex(line: u32, msg: impl Into<String>) -> Self {
+        PtxError::Lex {
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    /// Construct a parse error.
+    pub fn parse(line: u32, msg: impl Into<String>) -> Self {
+        PtxError::Parse {
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    /// Construct a validation error.
+    pub fn validate(function: Option<&str>, msg: impl Into<String>) -> Self {
+        PtxError::Validate {
+            function: function.map(|s| s.to_string()),
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for PtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtxError::Lex { line, msg } => write!(f, "lex error at line {line}: {msg}"),
+            PtxError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            PtxError::Validate {
+                function: Some(func),
+                msg,
+            } => write!(f, "validation error in `{func}`: {msg}"),
+            PtxError::Validate {
+                function: None,
+                msg,
+            } => write!(f, "validation error: {msg}"),
+            PtxError::Fatbin(msg) => write!(f, "malformed fatbin: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PtxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = PtxError::lex(3, "bad char");
+        assert_eq!(e.to_string(), "lex error at line 3: bad char");
+        let e = PtxError::parse(7, "expected `;`");
+        assert_eq!(e.to_string(), "parse error at line 7: expected `;`");
+        let e = PtxError::validate(Some("k"), "label `L` missing");
+        assert_eq!(e.to_string(), "validation error in `k`: label `L` missing");
+        let e = PtxError::Fatbin("truncated".into());
+        assert_eq!(e.to_string(), "malformed fatbin: truncated");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PtxError>();
+    }
+}

@@ -1,0 +1,247 @@
+//! Fat binary container and `cuobjdump`-style extraction.
+//!
+//! Real CUDA toolchains merge PTX text and per-architecture cuBIN machine
+//! code into a *fatBIN* section embedded in the application or library
+//! (§2.3 of the paper). Guardian's PTX patcher uses `cuobjdump` to extract
+//! the PTX images offline. This module provides the equivalent: a compact,
+//! self-describing binary container for PTX (and opaque "cubin" stand-ins),
+//! plus [`extract_ptx`], the `cuobjdump --dump-ptx` analogue.
+//!
+//! The format is deliberately simple and versioned:
+//!
+//! ```text
+//! magic  "GFATBIN\0"          8 bytes
+//! version u32 le              4 bytes
+//! count   u32 le              4 bytes
+//! entries:
+//!   kind    u8   (0 = PTX text, 1 = cubin blob)
+//!   arch    u32 le  (e.g. 86 for sm_86)
+//!   name    u32-le length + utf8 bytes
+//!   payload u32-le length + bytes
+//! ```
+
+use crate::error::{PtxError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 8] = b"GFATBIN\0";
+const VERSION: u32 = 1;
+
+/// The kind of one fatbin image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageKind {
+    /// PTX virtual assembly text (always present; guarantees forward
+    /// compatibility, which is why Guardian achieves 100 % coverage, §3).
+    Ptx,
+    /// Architecture-specific machine code. Opaque to the patcher; the
+    /// simulator never executes these (it JIT-compiles the PTX), matching
+    /// the grdManager behaviour of loading patched PTX as new CUmodules.
+    Cubin,
+}
+
+/// One image inside a fatbin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// PTX text or machine-code blob.
+    pub kind: ImageKind,
+    /// Target compute capability ×10 (86 = sm_86).
+    pub arch: u32,
+    /// Module name (e.g. `cublas_gemm`).
+    pub name: String,
+    /// Raw payload: UTF-8 PTX text for [`ImageKind::Ptx`].
+    pub payload: Bytes,
+}
+
+/// A fat binary: a named collection of images.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FatBin {
+    /// Contained images in insertion order.
+    pub images: Vec<Image>,
+}
+
+impl FatBin {
+    /// Create an empty fatbin.
+    pub fn new() -> Self {
+        FatBin { images: Vec::new() }
+    }
+
+    /// Append a PTX image.
+    pub fn push_ptx(&mut self, name: impl Into<String>, ptx_text: impl Into<String>) {
+        self.images.push(Image {
+            kind: ImageKind::Ptx,
+            arch: 86,
+            name: name.into(),
+            payload: Bytes::from(ptx_text.into().into_bytes()),
+        });
+    }
+
+    /// Append an opaque cubin image.
+    pub fn push_cubin(&mut self, name: impl Into<String>, arch: u32, blob: impl Into<Bytes>) {
+        self.images.push(Image {
+            kind: ImageKind::Cubin,
+            arch,
+            name: name.into(),
+            payload: blob.into(),
+        });
+    }
+
+    /// Serialize to the container format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(
+            16 + self
+                .images
+                .iter()
+                .map(|i| 13 + i.name.len() + i.payload.len())
+                .sum::<usize>(),
+        );
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.images.len() as u32);
+        for img in &self.images {
+            buf.put_u8(match img.kind {
+                ImageKind::Ptx => 0,
+                ImageKind::Cubin => 1,
+            });
+            buf.put_u32_le(img.arch);
+            buf.put_u32_le(img.name.len() as u32);
+            buf.put_slice(img.name.as_bytes());
+            buf.put_u32_le(img.payload.len() as u32);
+            buf.put_slice(&img.payload);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize from the container format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PtxError::Fatbin`] on bad magic, truncation, or version
+    /// mismatch.
+    pub fn from_bytes(data: &[u8]) -> Result<FatBin> {
+        let mut buf = data;
+        if buf.len() < 16 {
+            return Err(PtxError::Fatbin("truncated header".into()));
+        }
+        let mut magic = [0u8; 8];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(PtxError::Fatbin("bad magic".into()));
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(PtxError::Fatbin(format!("unsupported version {version}")));
+        }
+        let count = buf.get_u32_le() as usize;
+        let mut images = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            if buf.remaining() < 13 {
+                return Err(PtxError::Fatbin("truncated image header".into()));
+            }
+            let kind = match buf.get_u8() {
+                0 => ImageKind::Ptx,
+                1 => ImageKind::Cubin,
+                k => return Err(PtxError::Fatbin(format!("unknown image kind {k}"))),
+            };
+            let arch = buf.get_u32_le();
+            let name_len = buf.get_u32_le() as usize;
+            if buf.remaining() < name_len {
+                return Err(PtxError::Fatbin("truncated image name".into()));
+            }
+            let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+                .map_err(|_| PtxError::Fatbin("image name not utf8".into()))?;
+            if buf.remaining() < 4 {
+                return Err(PtxError::Fatbin("truncated payload length".into()));
+            }
+            let payload_len = buf.get_u32_le() as usize;
+            if buf.remaining() < payload_len {
+                return Err(PtxError::Fatbin("truncated payload".into()));
+            }
+            let payload = buf.copy_to_bytes(payload_len);
+            images.push(Image {
+                kind,
+                arch,
+                name,
+                payload,
+            });
+        }
+        Ok(FatBin { images })
+    }
+}
+
+/// Extract all PTX text images from a fatbin: the `cuobjdump --dump-ptx`
+/// analogue used by Guardian's offline phase.
+///
+/// Returns `(module name, PTX source)` pairs.
+///
+/// # Errors
+///
+/// Returns [`PtxError::Fatbin`] on container corruption or non-UTF-8 PTX.
+pub fn extract_ptx(data: &[u8]) -> Result<Vec<(String, String)>> {
+    let fat = FatBin::from_bytes(data)?;
+    let mut out = Vec::new();
+    for img in fat.images {
+        if img.kind == ImageKind::Ptx {
+            let text = String::from_utf8(img.payload.to_vec())
+                .map_err(|_| PtxError::Fatbin(format!("PTX image `{}` not utf8", img.name)))?;
+            out.push((img.name, text));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PTX: &str = ".version 7.7\n.target sm_86\n.address_size 64\n.visible .entry e() { ret; }\n";
+
+    #[test]
+    fn round_trip_container() {
+        let mut fb = FatBin::new();
+        fb.push_ptx("mod_a", PTX);
+        fb.push_cubin("mod_a", 86, vec![1u8, 2, 3, 4]);
+        fb.push_ptx("mod_b", PTX);
+        let bytes = fb.to_bytes();
+        let back = FatBin::from_bytes(&bytes).unwrap();
+        assert_eq!(fb, back);
+    }
+
+    #[test]
+    fn extract_only_ptx_images() {
+        let mut fb = FatBin::new();
+        fb.push_cubin("bin_only", 80, vec![0u8; 32]);
+        fb.push_ptx("k1", PTX);
+        fb.push_ptx("k2", PTX);
+        let images = extract_ptx(&fb.to_bytes()).unwrap();
+        assert_eq!(images.len(), 2);
+        assert_eq!(images[0].0, "k1");
+        assert_eq!(images[1].0, "k2");
+        // The extracted text parses.
+        crate::parse(&images[0].1).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let e = FatBin::from_bytes(b"NOTFATB\0aaaaaaaaaaaa").unwrap_err();
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let mut fb = FatBin::new();
+        fb.push_ptx("m", PTX);
+        let bytes = fb.to_bytes();
+        for cut in [4usize, 12, 17, bytes.len() - 1] {
+            assert!(
+                FatBin::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_fatbin_round_trips() {
+        let fb = FatBin::new();
+        let back = FatBin::from_bytes(&fb.to_bytes()).unwrap();
+        assert!(back.images.is_empty());
+    }
+}

@@ -1,0 +1,445 @@
+//! Tokenizer for PTX source text.
+//!
+//! PTX is line-oriented assembly with C-style comments. The lexer produces a
+//! flat token stream consumed by [`crate::parser`]. Dotted directive/type
+//! suffixes (`.global`, `.u64`, `ld.param.u64`) are tokenized as separate
+//! `Dot`+`Ident` pairs so the parser can treat mnemonic modifiers uniformly.
+
+use crate::error::{PtxError, Result};
+use std::fmt;
+
+/// A lexical token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// The kinds of tokens PTX source decomposes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (also mnemonics), e.g. `ld`, `kernel_param_0`.
+    Ident(String),
+    /// Register token, with the leading `%`, e.g. `%rd4`, `%tid`.
+    Reg(String),
+    /// Integer literal (decimal or `0x` hex), stored sign-extended.
+    Int(i64),
+    /// Floating-point literal, including `0f`/`0d` hex-float forms.
+    Float(f64),
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `@`
+    At,
+    /// `!`
+    Bang,
+    /// `=`
+    Eq,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Reg(s) => write!(f, "register `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Semi => f.write_str("`;`"),
+            TokenKind::Colon => f.write_str("`:`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::LBrace => f.write_str("`{`"),
+            TokenKind::RBrace => f.write_str("`}`"),
+            TokenKind::Lt => f.write_str("`<`"),
+            TokenKind::Gt => f.write_str("`>`"),
+            TokenKind::Plus => f.write_str("`+`"),
+            TokenKind::Minus => f.write_str("`-`"),
+            TokenKind::At => f.write_str("`@`"),
+            TokenKind::Bang => f.write_str("`!`"),
+            TokenKind::Eq => f.write_str("`=`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// Tokenize PTX source text.
+///
+/// # Errors
+///
+/// Returns [`PtxError::Lex`] on characters outside the PTX grammar or
+/// malformed numeric literals.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::with_capacity(src.len() / 4);
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    macro_rules! push {
+        ($kind:expr) => {
+            toks.push(Token { kind: $kind, line })
+        };
+    }
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(PtxError::lex(line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            b'%' => {
+                let start = i;
+                i += 1;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if i == start + 1 {
+                    return Err(PtxError::lex(line, "bare `%` without register name"));
+                }
+                push!(TokenKind::Reg(src[start..i].to_string()));
+            }
+            b'$' | b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                let start = i;
+                i += 1;
+                while i < n
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                push!(TokenKind::Ident(src[start..i].to_string()));
+            }
+            b'0'..=b'9' => {
+                let (tok, len) = lex_number(&src[i..], line)?;
+                push!(tok);
+                i += len;
+            }
+            b'.' => {
+                push!(TokenKind::Dot);
+                i += 1;
+            }
+            b',' => {
+                push!(TokenKind::Comma);
+                i += 1;
+            }
+            b';' => {
+                push!(TokenKind::Semi);
+                i += 1;
+            }
+            b':' => {
+                push!(TokenKind::Colon);
+                i += 1;
+            }
+            b'(' => {
+                push!(TokenKind::LParen);
+                i += 1;
+            }
+            b')' => {
+                push!(TokenKind::RParen);
+                i += 1;
+            }
+            b'[' => {
+                push!(TokenKind::LBracket);
+                i += 1;
+            }
+            b']' => {
+                push!(TokenKind::RBracket);
+                i += 1;
+            }
+            b'{' => {
+                push!(TokenKind::LBrace);
+                i += 1;
+            }
+            b'}' => {
+                push!(TokenKind::RBrace);
+                i += 1;
+            }
+            b'<' => {
+                push!(TokenKind::Lt);
+                i += 1;
+            }
+            b'>' => {
+                push!(TokenKind::Gt);
+                i += 1;
+            }
+            b'+' => {
+                push!(TokenKind::Plus);
+                i += 1;
+            }
+            b'-' => {
+                push!(TokenKind::Minus);
+                i += 1;
+            }
+            b'@' => {
+                push!(TokenKind::At);
+                i += 1;
+            }
+            b'!' => {
+                push!(TokenKind::Bang);
+                i += 1;
+            }
+            b'=' => {
+                push!(TokenKind::Eq);
+                i += 1;
+            }
+            other => {
+                return Err(PtxError::lex(
+                    line,
+                    format!("unexpected character `{}`", other as char),
+                ));
+            }
+        }
+    }
+    toks.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(toks)
+}
+
+/// Lex one numeric literal at the start of `s`. Returns the token and the
+/// number of bytes consumed.
+///
+/// Supports decimal and `0x` hex integers, decimal floats (`1.5`, `2e-3`),
+/// and PTX hex-float literals: `0f3F800000` (f32 bits) and
+/// `0d3FF0000000000000` (f64 bits).
+fn lex_number(s: &str, line: u32) -> Result<(TokenKind, usize)> {
+    let b = s.as_bytes();
+    // PTX hex-float forms.
+    if b.len() > 2 && b[0] == b'0' && (b[1] == b'f' || b[1] == b'F') {
+        let hex: String = s[2..]
+            .chars()
+            .take_while(|c| c.is_ascii_hexdigit())
+            .collect();
+        if hex.len() == 8 {
+            let bits = u32::from_str_radix(&hex, 16)
+                .map_err(|_| PtxError::lex(line, "bad 0f hex-float literal"))?;
+            return Ok((TokenKind::Float(f32::from_bits(bits) as f64), 2 + 8));
+        }
+    }
+    if b.len() > 2 && b[0] == b'0' && (b[1] == b'd' || b[1] == b'D') {
+        let hex: String = s[2..]
+            .chars()
+            .take_while(|c| c.is_ascii_hexdigit())
+            .collect();
+        if hex.len() == 16 {
+            let bits = u64::from_str_radix(&hex, 16)
+                .map_err(|_| PtxError::lex(line, "bad 0d hex-float literal"))?;
+            return Ok((TokenKind::Float(f64::from_bits(bits)), 2 + 16));
+        }
+    }
+    // Hex integer.
+    if b.len() > 2 && b[0] == b'0' && (b[1] == b'x' || b[1] == b'X') {
+        let hex: String = s[2..]
+            .chars()
+            .take_while(|c| c.is_ascii_hexdigit())
+            .collect();
+        if hex.is_empty() {
+            return Err(PtxError::lex(line, "empty hex literal"));
+        }
+        let v = u64::from_str_radix(&hex, 16)
+            .map_err(|_| PtxError::lex(line, "hex literal out of range"))?;
+        return Ok((TokenKind::Int(v as i64), 2 + hex.len()));
+    }
+    // Decimal integer or float.
+    let mut len = 0usize;
+    let mut is_float = false;
+    while len < b.len() && b[len].is_ascii_digit() {
+        len += 1;
+    }
+    if len < b.len() && b[len] == b'.' && len + 1 < b.len() && b[len + 1].is_ascii_digit() {
+        is_float = true;
+        len += 1;
+        while len < b.len() && b[len].is_ascii_digit() {
+            len += 1;
+        }
+    }
+    if len < b.len() && (b[len] == b'e' || b[len] == b'E') {
+        let mut j = len + 1;
+        if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+            j += 1;
+        }
+        if j < b.len() && b[j].is_ascii_digit() {
+            is_float = true;
+            len = j;
+            while len < b.len() && b[len].is_ascii_digit() {
+                len += 1;
+            }
+        }
+    }
+    let text = &s[..len];
+    if is_float {
+        let v: f64 = text
+            .parse()
+            .map_err(|_| PtxError::lex(line, format!("bad float literal `{text}`")))?;
+        Ok((TokenKind::Float(v), len))
+    } else {
+        let v: i64 = text
+            .parse::<u64>()
+            .map(|u| u as i64)
+            .map_err(|_| PtxError::lex(line, format!("bad integer literal `{text}`")))?;
+        Ok((TokenKind::Int(v), len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_instruction() {
+        let k = kinds("ld.param.u64 %rd1, [kernel_param_0];");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("ld".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("param".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("u64".into()),
+                TokenKind::Reg("%rd1".into()),
+                TokenKind::Comma,
+                TokenKind::LBracket,
+                TokenKind::Ident("kernel_param_0".into()),
+                TokenKind::RBracket,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("// line comment\nret; /* block\ncomment */ exit;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("ret".into()),
+                TokenKind::Semi,
+                TokenKind::Ident("exit".into()),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = tokenize("ret;\nexit;").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[2].line, 2);
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("0x10")[0], TokenKind::Int(16));
+        assert_eq!(kinds("1.5")[0], TokenKind::Float(1.5));
+        assert_eq!(kinds("2e3")[0], TokenKind::Float(2000.0));
+        // 0f3F800000 is 1.0f32.
+        assert_eq!(kinds("0f3F800000")[0], TokenKind::Float(1.0));
+        // 0d4000000000000000 is 2.0f64.
+        assert_eq!(kinds("0d4000000000000000")[0], TokenKind::Float(2.0));
+    }
+
+    #[test]
+    fn negative_numbers_are_minus_then_int() {
+        let k = kinds("-4");
+        assert_eq!(k[0], TokenKind::Minus);
+        assert_eq!(k[1], TokenKind::Int(4));
+    }
+
+    #[test]
+    fn registers_and_predicates() {
+        let k = kinds("@!%p1 bra $L__BB0_2;");
+        assert_eq!(k[0], TokenKind::At);
+        assert_eq!(k[1], TokenKind::Bang);
+        assert_eq!(k[2], TokenKind::Reg("%p1".into()));
+        assert_eq!(k[3], TokenKind::Ident("bra".into()));
+        assert_eq!(k[4], TokenKind::Ident("$L__BB0_2".into()));
+    }
+
+    #[test]
+    fn reg_ranges() {
+        let k = kinds(".reg .b64 %rd<5>;");
+        assert!(k.contains(&TokenKind::Reg("%rd".into())));
+        assert!(k.contains(&TokenKind::Lt));
+        assert!(k.contains(&TokenKind::Int(5)));
+        assert!(k.contains(&TokenKind::Gt));
+    }
+
+    #[test]
+    fn bad_character_is_an_error() {
+        assert!(tokenize("ld ? st").is_err());
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_an_error() {
+        assert!(tokenize("/* never closed").is_err());
+    }
+
+    #[test]
+    fn max_u64_hex_round_trips_through_i64() {
+        let k = kinds("0xFFFFFFFFFFFFFFFF");
+        assert_eq!(k[0], TokenKind::Int(-1i64));
+    }
+}

@@ -1,0 +1,1211 @@
+//! Recursive-descent parser producing a [`Module`] from PTX source text.
+//!
+//! The accepted grammar is the subset emitted by [`crate::printer`] plus the
+//! common modifier spellings found in nvcc output (rounding modes, `.ftz`,
+//! `.uni`, `.approx`), which are accepted and normalized away.
+
+use crate::ast::*;
+use crate::error::{PtxError, Result};
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::types::*;
+
+/// Parse a PTX module from source text.
+///
+/// # Errors
+///
+/// Returns [`PtxError::Lex`] or [`PtxError::Parse`] with the offending line
+/// on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+/// .version 7.7
+/// .target sm_86
+/// .address_size 64
+/// .visible .entry noop() { ret; }
+/// "#;
+/// let module = ptx::parse(src)?;
+/// assert_eq!(module.kernel_names(), vec!["noop"]);
+/// # Ok::<(), ptx::PtxError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Module> {
+    let tokens = tokenize(src)?;
+    Parser::new(tokens).module()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(toks: Vec<Token>) -> Self {
+        Parser { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.toks.len() - 1);
+        &self.toks[i].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<()> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(PtxError::parse(
+                self.line(),
+                format!("expected {kind}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(PtxError::parse(
+                self.line(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn expect_reg(&mut self) -> Result<String> {
+        match self.bump() {
+            TokenKind::Reg(s) => Ok(s),
+            other => Err(PtxError::parse(
+                self.line(),
+                format!("expected register, found {other}"),
+            )),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64> {
+        match self.bump() {
+            TokenKind::Int(v) => Ok(v),
+            other => Err(PtxError::parse(
+                self.line(),
+                format!("expected integer, found {other}"),
+            )),
+        }
+    }
+
+    /// Consume `.ident` and return the ident, if present.
+    fn dotted(&mut self) -> Option<String> {
+        if self.peek() == &TokenKind::Dot {
+            if let TokenKind::Ident(s) = self.peek2() {
+                let s = s.clone();
+                self.bump();
+                self.bump();
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    fn expect_dotted(&mut self) -> Result<String> {
+        self.dotted().ok_or_else(|| {
+            PtxError::parse(
+                self.line(),
+                format!("expected `.directive`, found {}", self.peek()),
+            )
+        })
+    }
+
+    // ----- module level ---------------------------------------------------
+
+    fn module(&mut self) -> Result<Module> {
+        let mut m = Module::new();
+        let mut saw_version = false;
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Dot => {
+                    let line = self.line();
+                    let dir = self.expect_dotted()?;
+                    match dir.as_str() {
+                        "version" => {
+                            // `.version 7.7` lexes as the float literal 7.7.
+                            match self.bump() {
+                                TokenKind::Float(v) => {
+                                    let major = v.trunc() as u32;
+                                    let minor = ((v - v.trunc()) * 10.0).round() as u32;
+                                    m.version = (major, minor);
+                                }
+                                TokenKind::Int(major) => {
+                                    // `.version 8` or `8 . 0` spelled apart.
+                                    let mut minor = 0;
+                                    if self.eat(&TokenKind::Dot) {
+                                        minor = self.expect_int()? as u32;
+                                    }
+                                    m.version = (major as u32, minor);
+                                }
+                                other => {
+                                    return Err(PtxError::parse(
+                                        line,
+                                        format!("expected version number, found {other}"),
+                                    ));
+                                }
+                            }
+                            saw_version = true;
+                        }
+                        "target" => {
+                            m.target = self.expect_ident()?;
+                        }
+                        "address_size" => {
+                            m.address_size = self.expect_int()? as u32;
+                        }
+                        "visible" | "entry" | "func" => {
+                            // rewind the directive and parse a function
+                            self.pos -= 2;
+                            let f = self.function()?;
+                            m.functions.push(f);
+                        }
+                        "global" | "shared" | "const" => {
+                            self.pos -= 2;
+                            let g = self.global_var()?;
+                            m.globals.push(g);
+                        }
+                        other => {
+                            return Err(PtxError::parse(
+                                line,
+                                format!("unsupported module directive `.{other}`"),
+                            ));
+                        }
+                    }
+                }
+                other => {
+                    return Err(PtxError::parse(
+                        self.line(),
+                        format!("expected directive at module scope, found {other}"),
+                    ));
+                }
+            }
+        }
+        if !saw_version {
+            return Err(PtxError::parse(1, "missing `.version` directive"));
+        }
+        Ok(m)
+    }
+
+    fn parse_type(&mut self, name: &str, line: u32) -> Result<Type> {
+        type_from_str(name)
+            .ok_or_else(|| PtxError::parse(line, format!("unknown type `.{name}`")))
+    }
+
+    /// Parse a variable declaration at module or function scope:
+    /// `.global .align 4 .f32 name[256] = { ... };`
+    fn global_var(&mut self) -> Result<GlobalVar> {
+        let line = self.line();
+        let space_name = self.expect_dotted()?;
+        let space = match space_name.as_str() {
+            "global" | "const" => Space::Global,
+            "shared" => Space::Shared,
+            "local" => Space::Local,
+            other => {
+                return Err(PtxError::parse(line, format!("unknown space `.{other}`")));
+            }
+        };
+        let mut align = None;
+        let mut ty_name = self.expect_dotted()?;
+        if ty_name == "align" {
+            align = Some(self.expect_int()? as u32);
+            ty_name = self.expect_dotted()?;
+        }
+        let ty = self.parse_type(&ty_name, line)?;
+        let name = self.expect_ident()?;
+        let mut len = None;
+        if self.eat(&TokenKind::LBracket) {
+            len = Some(self.expect_int()? as u64);
+            self.expect(TokenKind::RBracket)?;
+        }
+        let mut init = Vec::new();
+        if self.eat(&TokenKind::Eq) {
+            self.expect(TokenKind::LBrace)?;
+            loop {
+                let v = self.immediate(ty)?;
+                init.push(v);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RBrace)?;
+        }
+        self.expect(TokenKind::Semi)?;
+        Ok(GlobalVar {
+            space,
+            align,
+            ty,
+            name,
+            len,
+            init,
+        })
+    }
+
+    /// Parse an immediate of the given type to its little-endian bit image.
+    fn immediate(&mut self, ty: Type) -> Result<u64> {
+        let neg = self.eat(&TokenKind::Minus);
+        match self.bump() {
+            TokenKind::Int(v) => {
+                let v = if neg { -v } else { v };
+                Ok(v as u64)
+            }
+            TokenKind::Float(v) => {
+                let v = if neg { -v } else { v };
+                Ok(match ty {
+                    Type::F32 => (v as f32).to_bits() as u64,
+                    _ => v.to_bits(),
+                })
+            }
+            other => Err(PtxError::parse(
+                self.line(),
+                format!("expected immediate, found {other}"),
+            )),
+        }
+    }
+
+    // ----- function level --------------------------------------------------
+
+    fn function(&mut self) -> Result<Function> {
+        let line = self.line();
+        let mut visible = false;
+        let kind;
+        loop {
+            let dir = self.expect_dotted()?;
+            match dir.as_str() {
+                "visible" => visible = true,
+                "entry" => {
+                    kind = FunctionKind::Entry;
+                    break;
+                }
+                "func" => {
+                    kind = FunctionKind::Func;
+                    break;
+                }
+                other => {
+                    return Err(PtxError::parse(
+                        line,
+                        format!("unexpected directive `.{other}` in function header"),
+                    ));
+                }
+            }
+        }
+        let name = self.expect_ident()?;
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            while self.peek() != &TokenKind::RParen {
+                let dir = self.expect_dotted()?;
+                if dir != "param" {
+                    return Err(PtxError::parse(
+                        self.line(),
+                        format!("expected `.param`, found `.{dir}`"),
+                    ));
+                }
+                let ty_name = self.expect_dotted()?;
+                let ty = self.parse_type(&ty_name, self.line())?;
+                let pname = self.expect_ident()?;
+                params.push(Param { ty, name: pname });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        self.expect(TokenKind::LBrace)?;
+        let mut body = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            body.push(self.statement()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(Function {
+            kind,
+            visible,
+            name,
+            params,
+            body,
+        })
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            TokenKind::Dot => {
+                let dir = self.expect_dotted()?;
+                match dir.as_str() {
+                    "reg" => self.reg_decl(),
+                    "shared" | "local" | "global" => {
+                        self.pos -= 2;
+                        Ok(Statement::VarDecl(self.global_var()?))
+                    }
+                    other => Err(PtxError::parse(
+                        self.line(),
+                        format!("unsupported statement directive `.{other}`"),
+                    )),
+                }
+            }
+            TokenKind::Ident(_) if self.peek2() == &TokenKind::Colon => {
+                let label = self.expect_ident()?;
+                self.expect(TokenKind::Colon)?;
+                Ok(Statement::Label(label))
+            }
+            _ => Ok(Statement::Instr(self.instruction()?)),
+        }
+    }
+
+    fn reg_decl(&mut self) -> Result<Statement> {
+        let line = self.line();
+        let class_name = self.expect_dotted()?;
+        let class = match class_name.as_str() {
+            "b16" | "u16" | "s16" => RegClass::B16,
+            "b32" | "u32" | "s32" | "f32" => RegClass::B32,
+            "b64" | "u64" | "s64" | "f64" => RegClass::B64,
+            "pred" => RegClass::Pred,
+            other => {
+                return Err(PtxError::parse(
+                    line,
+                    format!("unknown register class `.{other}`"),
+                ));
+            }
+        };
+        let prefix = self.expect_reg()?;
+        self.expect(TokenKind::Lt)?;
+        let count = self.expect_int()? as u32;
+        self.expect(TokenKind::Gt)?;
+        self.expect(TokenKind::Semi)?;
+        Ok(Statement::RegDecl {
+            class,
+            prefix,
+            count,
+        })
+    }
+
+    // ----- instructions ----------------------------------------------------
+
+    fn instruction(&mut self) -> Result<Instruction> {
+        let pred = if self.eat(&TokenKind::At) {
+            let negated = self.eat(&TokenKind::Bang);
+            let reg = self.expect_reg()?;
+            Some(Predicate { reg, negated })
+        } else {
+            None
+        };
+        let op = self.operation()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(Instruction { pred, op })
+    }
+
+    /// Collect the dotted modifier chain after a mnemonic.
+    fn modifiers(&mut self) -> Vec<String> {
+        let mut mods = Vec::new();
+        while let Some(m) = self.dotted() {
+            mods.push(m);
+        }
+        mods
+    }
+
+    fn operation(&mut self) -> Result<Op> {
+        let line = self.line();
+        let mnemonic = self.expect_ident()?;
+        let mods = self.modifiers();
+        let err = |msg: String| -> Result<Op> { Err(PtxError::parse(line, msg)) };
+
+        // Strip rounding/precision modifiers that we accept but normalize.
+        let is_noise =
+            |m: &str| matches!(m, "rn" | "rz" | "rm" | "rp" | "rni" | "rzi" | "rmi" | "rpi"
+                | "ftz" | "sat" | "approx" | "full" | "uni" | "volatile" | "relaxed" | "gpu"
+                | "aligned" | "sync_aligned");
+        let meat: Vec<&str> = mods.iter().map(|s| s.as_str()).filter(|m| !is_noise(m)).collect();
+
+        match mnemonic.as_str() {
+            "ld" | "st" => {
+                let (space, ty) = match meat.as_slice() {
+                    [sp, ty] => (space_from_str(sp, line)?, self.ty(ty, line)?),
+                    [ty] => (Space::Generic, self.ty(ty, line)?),
+                    _ => return err(format!("bad `{mnemonic}` modifiers {mods:?}")),
+                };
+                if mnemonic == "ld" {
+                    let dst = self.expect_reg()?;
+                    self.expect(TokenKind::Comma)?;
+                    let addr = self.address()?;
+                    Ok(Op::Ld {
+                        space,
+                        ty,
+                        dst,
+                        addr,
+                    })
+                } else {
+                    let addr = self.address()?;
+                    self.expect(TokenKind::Comma)?;
+                    let src = self.operand()?;
+                    Ok(Op::St {
+                        space,
+                        ty,
+                        addr,
+                        src,
+                    })
+                }
+            }
+            "mov" => {
+                let ty = match meat.as_slice() {
+                    [ty] => self.ty(ty, line)?,
+                    _ => return err(format!("bad `mov` modifiers {mods:?}")),
+                };
+                let dst = self.expect_reg()?;
+                self.expect(TokenKind::Comma)?;
+                // A bare identifier source means "address of variable".
+                if let TokenKind::Ident(_) = self.peek() {
+                    let var = self.expect_ident()?;
+                    return Ok(Op::MovAddr { ty, dst, var });
+                }
+                let src = self.operand()?;
+                Ok(Op::Mov { ty, dst, src })
+            }
+            "cvta" => {
+                // cvta.to.global.u64 | cvta.global.u64
+                let (to, space) = match meat.as_slice() {
+                    ["to", sp, _ty] => (true, space_from_str(sp, line)?),
+                    [sp, _ty] => (false, space_from_str(sp, line)?),
+                    _ => return err(format!("bad `cvta` modifiers {mods:?}")),
+                };
+                let dst = self.expect_reg()?;
+                self.expect(TokenKind::Comma)?;
+                let src = self.operand()?;
+                Ok(Op::Cvta {
+                    to,
+                    space,
+                    dst,
+                    src,
+                })
+            }
+            "cvt" => {
+                let (dty, sty) = match meat.as_slice() {
+                    [d, s] => (self.ty(d, line)?, self.ty(s, line)?),
+                    _ => return err(format!("bad `cvt` modifiers {mods:?}")),
+                };
+                let dst = self.expect_reg()?;
+                self.expect(TokenKind::Comma)?;
+                let src = self.operand()?;
+                Ok(Op::Cvt { dty, sty, dst, src })
+            }
+            "add" | "sub" | "div" | "rem" | "and" | "or" | "xor" | "shl" | "shr" | "min"
+            | "max" => {
+                let kind = match mnemonic.as_str() {
+                    "add" => BinKind::Add,
+                    "sub" => BinKind::Sub,
+                    "div" => BinKind::Div,
+                    "rem" => BinKind::Rem,
+                    "and" => BinKind::And,
+                    "or" => BinKind::Or,
+                    "xor" => BinKind::Xor,
+                    "shl" => BinKind::Shl,
+                    "shr" => BinKind::Shr,
+                    "min" => BinKind::Min,
+                    "max" => BinKind::Max,
+                    _ => unreachable!(),
+                };
+                let ty = match meat.as_slice() {
+                    [ty] => self.ty(ty, line)?,
+                    _ => return err(format!("bad `{mnemonic}` modifiers {mods:?}")),
+                };
+                let (dst, a, b) = self.dst_a_b()?;
+                Ok(Op::Binary { kind, ty, dst, a, b })
+            }
+            "mul" => match meat.as_slice() {
+                ["lo", ty] => {
+                    let ty = self.ty(ty, line)?;
+                    let (dst, a, b) = self.dst_a_b()?;
+                    Ok(Op::Binary {
+                        kind: BinKind::MulLo,
+                        ty,
+                        dst,
+                        a,
+                        b,
+                    })
+                }
+                ["hi", ty] => {
+                    let ty = self.ty(ty, line)?;
+                    let (dst, a, b) = self.dst_a_b()?;
+                    Ok(Op::Binary {
+                        kind: BinKind::MulHi,
+                        ty,
+                        dst,
+                        a,
+                        b,
+                    })
+                }
+                ["wide", sty] => {
+                    let sty = self.ty(sty, line)?;
+                    let (dst, a, b) = self.dst_a_b()?;
+                    Ok(Op::MulWide { sty, dst, a, b })
+                }
+                [ty] => {
+                    let ty = self.ty(ty, line)?;
+                    if !ty.is_float() {
+                        return err("integer `mul` requires .lo/.hi/.wide".into());
+                    }
+                    let (dst, a, b) = self.dst_a_b()?;
+                    Ok(Op::Binary {
+                        kind: BinKind::MulLo,
+                        ty,
+                        dst,
+                        a,
+                        b,
+                    })
+                }
+                _ => err(format!("bad `mul` modifiers {mods:?}")),
+            },
+            "mad" => match meat.as_slice() {
+                ["lo", ty] => {
+                    let ty = self.ty(ty, line)?;
+                    let (dst, a, b, c) = self.dst_a_b_c()?;
+                    Ok(Op::Mad { ty, dst, a, b, c })
+                }
+                ["wide", sty] => {
+                    let sty = self.ty(sty, line)?;
+                    let (dst, a, b, c) = self.dst_a_b_c()?;
+                    Ok(Op::MadWide { sty, dst, a, b, c })
+                }
+                _ => err(format!("bad `mad` modifiers {mods:?}")),
+            },
+            "fma" => {
+                let ty = match meat.as_slice() {
+                    [ty] => self.ty(ty, line)?,
+                    _ => return err(format!("bad `fma` modifiers {mods:?}")),
+                };
+                let (dst, a, b, c) = self.dst_a_b_c()?;
+                Ok(Op::Fma { ty, dst, a, b, c })
+            }
+            "neg" | "abs" | "not" | "sqrt" | "rsqrt" | "rcp" | "ex2" | "lg2" | "sin" | "cos"
+            | "tanh" => {
+                let kind = match mnemonic.as_str() {
+                    "neg" => UnaryKind::Neg,
+                    "abs" => UnaryKind::Abs,
+                    "not" => UnaryKind::Not,
+                    "sqrt" => UnaryKind::Sqrt,
+                    "rsqrt" => UnaryKind::Rsqrt,
+                    "rcp" => UnaryKind::Rcp,
+                    "ex2" => UnaryKind::Ex2,
+                    "lg2" => UnaryKind::Lg2,
+                    "sin" => UnaryKind::Sin,
+                    "cos" => UnaryKind::Cos,
+                    "tanh" => UnaryKind::Tanh,
+                    _ => unreachable!(),
+                };
+                let ty = match meat.as_slice() {
+                    [ty] => self.ty(ty, line)?,
+                    _ => return err(format!("bad `{mnemonic}` modifiers {mods:?}")),
+                };
+                let dst = self.expect_reg()?;
+                self.expect(TokenKind::Comma)?;
+                let a = self.operand()?;
+                Ok(Op::Unary { kind, ty, dst, a })
+            }
+            "setp" => {
+                let (cmp, ty) = match meat.as_slice() {
+                    [cmp, ty] => (cmp_from_str(cmp, line)?, self.ty(ty, line)?),
+                    _ => return err(format!("bad `setp` modifiers {mods:?}")),
+                };
+                let dst = self.expect_reg()?;
+                self.expect(TokenKind::Comma)?;
+                let a = self.operand()?;
+                self.expect(TokenKind::Comma)?;
+                let b = self.operand()?;
+                Ok(Op::Setp { cmp, ty, dst, a, b })
+            }
+            "selp" => {
+                let ty = match meat.as_slice() {
+                    [ty] => self.ty(ty, line)?,
+                    _ => return err(format!("bad `selp` modifiers {mods:?}")),
+                };
+                let dst = self.expect_reg()?;
+                self.expect(TokenKind::Comma)?;
+                let a = self.operand()?;
+                self.expect(TokenKind::Comma)?;
+                let b = self.operand()?;
+                self.expect(TokenKind::Comma)?;
+                let p = self.expect_reg()?;
+                Ok(Op::Selp { ty, dst, a, b, p })
+            }
+            "bra" => {
+                let uni = mods.iter().any(|m| m == "uni");
+                let target = self.expect_ident()?;
+                Ok(Op::Bra { uni, target })
+            }
+            "brx" => {
+                // brx.idx %r, { L0, L1, ... };
+                if meat.as_slice() != ["idx"] {
+                    return err(format!("bad `brx` modifiers {mods:?}"));
+                }
+                let index = self.expect_reg()?;
+                self.expect(TokenKind::Comma)?;
+                self.expect(TokenKind::LBrace)?;
+                let mut targets = Vec::new();
+                loop {
+                    targets.push(self.expect_ident()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RBrace)?;
+                Ok(Op::BrxIdx { index, targets })
+            }
+            "call" => {
+                // call (ret), fname, (args); | call fname, (args); | call fname;
+                let mut ret = None;
+                if self.eat(&TokenKind::LParen) {
+                    ret = Some(self.expect_reg()?);
+                    self.expect(TokenKind::RParen)?;
+                    self.expect(TokenKind::Comma)?;
+                }
+                let func = self.expect_ident()?;
+                let mut args = Vec::new();
+                if self.eat(&TokenKind::Comma) {
+                    self.expect(TokenKind::LParen)?;
+                    if self.peek() != &TokenKind::RParen {
+                        loop {
+                            args.push(self.operand()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                }
+                Ok(Op::Call { ret, func, args })
+            }
+            "ret" => Ok(Op::Ret),
+            "exit" => Ok(Op::Exit),
+            "trap" => Ok(Op::Trap),
+            "bar" | "barrier" => {
+                // bar.sync 0;
+                if !mods.iter().any(|m| m == "sync") {
+                    return err(format!("bad `bar` modifiers {mods:?}"));
+                }
+                let id = self.expect_int()? as u32;
+                Ok(Op::BarSync { id })
+            }
+            "membar" | "fence" => {
+                // modifiers already consumed
+                Ok(Op::Membar)
+            }
+            "atom" => {
+                // atom.global.add.f32 dst, [addr], src;
+                let (space, op, ty) = match meat.as_slice() {
+                    [sp, op, ty] => (space_from_str(sp, line)?, *op, self.ty(ty, line)?),
+                    [op, ty] => (Space::Generic, *op, self.ty(ty, line)?),
+                    _ => return err(format!("bad `atom` modifiers {mods:?}")),
+                };
+                let op = match op {
+                    "add" => AtomKind::Add,
+                    "min" => AtomKind::Min,
+                    "max" => AtomKind::Max,
+                    "exch" => AtomKind::Exch,
+                    "cas" => AtomKind::Cas,
+                    other => return err(format!("unknown atomic op `{other}`")),
+                };
+                let dst = self.expect_reg()?;
+                self.expect(TokenKind::Comma)?;
+                let addr = self.address()?;
+                self.expect(TokenKind::Comma)?;
+                let src = self.operand()?;
+                let cmp = if op == AtomKind::Cas {
+                    self.expect(TokenKind::Comma)?;
+                    Some(self.operand()?)
+                } else {
+                    None
+                };
+                Ok(Op::Atom {
+                    op,
+                    space,
+                    ty,
+                    dst,
+                    addr,
+                    src,
+                    cmp,
+                })
+            }
+            other => err(format!("unknown mnemonic `{other}`")),
+        }
+    }
+
+    fn ty(&self, name: &str, line: u32) -> Result<Type> {
+        type_from_str(name).ok_or_else(|| PtxError::parse(line, format!("unknown type `.{name}`")))
+    }
+
+    fn dst_a_b(&mut self) -> Result<(String, Operand, Operand)> {
+        let dst = self.expect_reg()?;
+        self.expect(TokenKind::Comma)?;
+        let a = self.operand()?;
+        self.expect(TokenKind::Comma)?;
+        let b = self.operand()?;
+        Ok((dst, a, b))
+    }
+
+    fn dst_a_b_c(&mut self) -> Result<(String, Operand, Operand, Operand)> {
+        let (dst, a, b) = self.dst_a_b()?;
+        self.expect(TokenKind::Comma)?;
+        let c = self.operand()?;
+        Ok((dst, a, b, c))
+    }
+
+    fn operand(&mut self) -> Result<Operand> {
+        let neg = self.eat(&TokenKind::Minus);
+        match self.bump() {
+            TokenKind::Reg(r) => {
+                if neg {
+                    return Err(PtxError::parse(self.line(), "cannot negate a register"));
+                }
+                // Special registers lex as %tid followed by .x etc.
+                if let Some(special) = self.special_reg(&r)? {
+                    return Ok(Operand::Special(special));
+                }
+                Ok(Operand::Reg(r))
+            }
+            TokenKind::Int(v) => Ok(Operand::ImmInt(if neg { -v } else { v })),
+            TokenKind::Float(v) => Ok(Operand::ImmFloat(if neg { -v } else { v })),
+            other => Err(PtxError::parse(
+                self.line(),
+                format!("expected operand, found {other}"),
+            )),
+        }
+    }
+
+    /// Recognize special registers (consuming the `.x` suffix when present).
+    fn special_reg(&mut self, name: &str) -> Result<Option<SpecialReg>> {
+        let dim_of = |d: &str, line: u32| -> Result<Dim> {
+            match d {
+                "x" => Ok(Dim::X),
+                "y" => Ok(Dim::Y),
+                "z" => Ok(Dim::Z),
+                other => Err(PtxError::parse(
+                    line,
+                    format!("bad special register dimension `.{other}`"),
+                )),
+            }
+        };
+        let out = match name {
+            "%tid" | "%ntid" | "%ctaid" | "%nctaid" => {
+                let line = self.line();
+                let d = self.expect_dotted()?;
+                let dim = dim_of(&d, line)?;
+                Some(match name {
+                    "%tid" => SpecialReg::Tid(dim),
+                    "%ntid" => SpecialReg::Ntid(dim),
+                    "%ctaid" => SpecialReg::Ctaid(dim),
+                    _ => SpecialReg::Nctaid(dim),
+                })
+            }
+            "%laneid" => Some(SpecialReg::LaneId),
+            "%warpid" => Some(SpecialReg::WarpId),
+            _ => None,
+        };
+        Ok(out)
+    }
+
+    fn address(&mut self) -> Result<Address> {
+        self.expect(TokenKind::LBracket)?;
+        let base = match self.bump() {
+            TokenKind::Reg(r) => AddrBase::Reg(r),
+            TokenKind::Ident(v) => AddrBase::Var(v),
+            other => {
+                return Err(PtxError::parse(
+                    self.line(),
+                    format!("expected address base, found {other}"),
+                ));
+            }
+        };
+        let mut offset = 0i64;
+        if self.eat(&TokenKind::Plus) {
+            // nvcc prints negative offsets as `+-8`.
+            let neg = self.eat(&TokenKind::Minus);
+            offset = self.expect_int()?;
+            if neg {
+                offset = -offset;
+            }
+        } else if self.eat(&TokenKind::Minus) {
+            offset = -self.expect_int()?;
+        }
+        self.expect(TokenKind::RBracket)?;
+        Ok(Address { base, offset })
+    }
+}
+
+fn type_from_str(s: &str) -> Option<Type> {
+    Some(match s {
+        "b8" => Type::B8,
+        "b16" => Type::B16,
+        "b32" => Type::B32,
+        "b64" => Type::B64,
+        "u8" => Type::U8,
+        "u16" => Type::U16,
+        "u32" => Type::U32,
+        "u64" => Type::U64,
+        "s8" => Type::S8,
+        "s16" => Type::S16,
+        "s32" => Type::S32,
+        "s64" => Type::S64,
+        "f32" => Type::F32,
+        "f64" => Type::F64,
+        "pred" => Type::Pred,
+        _ => return None,
+    })
+}
+
+fn space_from_str(s: &str, line: u32) -> Result<Space> {
+    match s {
+        "global" => Ok(Space::Global),
+        "shared" => Ok(Space::Shared),
+        "local" => Ok(Space::Local),
+        "param" => Ok(Space::Param),
+        other => Err(PtxError::parse(line, format!("unknown space `.{other}`"))),
+    }
+}
+
+fn cmp_from_str(s: &str, line: u32) -> Result<CmpOp> {
+    match s {
+        "eq" => Ok(CmpOp::Eq),
+        "ne" => Ok(CmpOp::Ne),
+        "lt" => Ok(CmpOp::Lt),
+        "le" => Ok(CmpOp::Le),
+        "gt" => Ok(CmpOp::Gt),
+        "ge" => Ok(CmpOp::Ge),
+        // unsigned / unordered comparison aliases used by nvcc
+        "ltu" | "lo" => Ok(CmpOp::Lt),
+        "leu" | "ls" => Ok(CmpOp::Le),
+        "gtu" | "hi" => Ok(CmpOp::Gt),
+        "geu" | "hs" => Ok(CmpOp::Ge),
+        other => Err(PtxError::parse(
+            line,
+            format!("unknown comparison `{other}`"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Listing 1 (sandboxed sample kernel), verbatim modulo
+    /// whitespace. Parsing it exercises params, registers, cvta, special
+    /// registers, mul.wide, bitwise fencing and global stores.
+    const LISTING1: &str = r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry kernel(
+    .param .u64 kernel_param_0,
+    .param .u32 kernel_param_1,
+    .param .u64 kernel_base,
+    .param .u64 kernel_mask)
+{
+    .reg .b32 %r<3>;
+    .reg .b64 %rd<5>;
+    ld.param.u64 %rd1, [kernel_param_0];
+    ld.param.u32 %r1, [kernel_param_1];
+    .reg .b64 %grdreg<3>;
+    ld.param.u64 %grdreg1, [kernel_base];
+    ld.param.u64 %grdreg2, [kernel_mask];
+    cvta.to.global.u64 %rd2, %rd1;
+    mov.u32 %r2, %tid.x;
+    mul.wide.s32 %rd3, %r1, 4;
+    add.s64 %rd4, %rd2, %rd3;
+    and.b64 %rd4, %rd4, %grdreg2;
+    or.b64 %rd4, %rd4, %grdreg1;
+    st.global.u32 [%rd4], %r2;
+    ret;
+}
+"#;
+
+    #[test]
+    fn parses_paper_listing1() {
+        let m = parse(LISTING1).unwrap();
+        assert_eq!(m.version, (7, 7));
+        assert_eq!(m.target, "sm_86");
+        assert_eq!(m.address_size, 64);
+        let k = m.function("kernel").unwrap();
+        assert_eq!(k.kind, FunctionKind::Entry);
+        assert!(k.visible);
+        assert_eq!(k.params.len(), 4);
+        assert_eq!(k.params[2].name, "kernel_base");
+        let n_instr = k.instructions().count();
+        assert_eq!(n_instr, 12);
+    }
+
+    #[test]
+    fn parses_predicated_branch_loop() {
+        let src = r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry loopk(.param .u32 n)
+{
+    .reg .pred %p<2>;
+    .reg .b32 %r<4>;
+    ld.param.u32 %r1, [n];
+    mov.u32 %r2, 0;
+$L_top:
+    setp.ge.u32 %p1, %r2, %r1;
+    @%p1 bra $L_done;
+    add.u32 %r2, %r2, 1;
+    bra.uni $L_top;
+$L_done:
+    ret;
+}
+"#;
+        let m = parse(src).unwrap();
+        let k = m.function("loopk").unwrap();
+        let labels: Vec<_> = k
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Statement::Label(l) => Some(l.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(labels, vec!["$L_top", "$L_done"]);
+        // Check the predicated instruction came through.
+        let pred_instr = k
+            .instructions()
+            .find(|(_, i)| i.pred.is_some())
+            .expect("predicated bra");
+        assert_eq!(pred_instr.1.pred.as_ref().unwrap().reg, "%p1");
+    }
+
+    #[test]
+    fn parses_shared_memory_and_barrier() {
+        let src = r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry red(.param .u64 out)
+{
+    .shared .align 4 .f32 tile[256];
+    .reg .b32 %r<2>;
+    .reg .b64 %rd<4>;
+    .reg .f32 %f<3>;
+    mov.u64 %rd1, tile;
+    ld.shared.f32 %f1, [%rd1+4];
+    bar.sync 0;
+    st.shared.f32 [%rd1], %f1;
+    ret;
+}
+"#;
+        let m = parse(src).unwrap();
+        let k = m.function("red").unwrap();
+        let has_shared_decl = k
+            .body
+            .iter()
+            .any(|s| matches!(s, Statement::VarDecl(v) if v.name == "tile" && v.len == Some(256)));
+        assert!(has_shared_decl);
+        let has_barrier = k
+            .instructions()
+            .any(|(_, i)| matches!(i.op, Op::BarSync { id: 0 }));
+        assert!(has_barrier);
+    }
+
+    #[test]
+    fn parses_atom_and_cas() {
+        let src = r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry a(.param .u64 p)
+{
+    .reg .b32 %r<4>;
+    .reg .b64 %rd<2>;
+    .reg .f32 %f<2>;
+    ld.param.u64 %rd1, [p];
+    atom.global.add.f32 %f1, [%rd1], 0f3F800000;
+    atom.global.cas.b32 %r1, [%rd1+8], %r2, %r3;
+    ret;
+}
+"#;
+        let m = parse(src).unwrap();
+        let k = m.function("a").unwrap();
+        let cas = k
+            .instructions()
+            .find_map(|(_, i)| match &i.op {
+                Op::Atom {
+                    op: AtomKind::Cas,
+                    cmp,
+                    ..
+                } => Some(cmp.clone()),
+                _ => None,
+            })
+            .expect("cas present");
+        assert!(cas.is_some());
+    }
+
+    #[test]
+    fn parses_brx_idx_table() {
+        let src = r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry b(.param .u32 sel)
+{
+    .reg .b32 %r<2>;
+    ld.param.u32 %r1, [sel];
+    brx.idx %r1, { $L0, $L1 };
+$L0:
+    ret;
+$L1:
+    ret;
+}
+"#;
+        let m = parse(src).unwrap();
+        let k = m.function("b").unwrap();
+        let targets = k
+            .instructions()
+            .find_map(|(_, i)| match &i.op {
+                Op::BrxIdx { targets, .. } => Some(targets.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(targets, vec!["$L0", "$L1"]);
+    }
+
+    #[test]
+    fn parses_func_and_call() {
+        let src = r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.func helper(.param .f32 x)
+{
+    ret;
+}
+.visible .entry main_k()
+{
+    .reg .f32 %f<2>;
+    call helper, (%f1);
+    ret;
+}
+"#;
+        let m = parse(src).unwrap();
+        assert_eq!(m.functions.len(), 2);
+        assert_eq!(m.functions[0].kind, FunctionKind::Func);
+        let k = m.function("main_k").unwrap();
+        let call = k
+            .instructions()
+            .find_map(|(_, i)| match &i.op {
+                Op::Call { func, args, .. } => Some((func.clone(), args.len())),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(call, ("helper".to_string(), 1));
+    }
+
+    #[test]
+    fn parses_global_with_initializer() {
+        let src = r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.global .align 4 .f32 lut[2] = { 0f3F800000, 0f40000000 };
+.visible .entry g() { ret; }
+"#;
+        let m = parse(src).unwrap();
+        assert_eq!(m.globals.len(), 1);
+        let g = &m.globals[0];
+        assert_eq!(g.init.len(), 2);
+        assert_eq!(f32::from_bits(g.init[0] as u32), 1.0);
+        assert_eq!(f32::from_bits(g.init[1] as u32), 2.0);
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic() {
+        let src = ".version 7.7\n.target sm_86\n.address_size 64\n.visible .entry x() { frobnicate.u32 %r1, %r2; }";
+        let e = parse(src).unwrap_err();
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_missing_version() {
+        let src = ".target sm_86\n.address_size 64";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_integer_mul_without_width() {
+        let src = ".version 7.7\n.target sm_86\n.address_size 64\n.visible .entry x() { .reg .b32 %r<4>; mul.s32 %r1, %r2, %r3; ret; }";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn accepts_rounding_noise_modifiers() {
+        let src = r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry x()
+{
+    .reg .f32 %f<4>;
+    .reg .b32 %r<2>;
+    add.rn.ftz.f32 %f1, %f2, %f3;
+    cvt.rzi.s32.f32 %r1, %f1;
+    div.approx.f32 %f1, %f2, %f3;
+    ret;
+}
+"#;
+        let m = parse(src).unwrap();
+        let k = m.function("x").unwrap();
+        assert_eq!(k.instructions().count(), 4);
+    }
+
+    #[test]
+    fn negative_offset_addresses() {
+        let src = r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry x(.param .u64 p)
+{
+    .reg .b64 %rd<2>;
+    .reg .f32 %f<2>;
+    ld.param.u64 %rd1, [p];
+    ld.global.f32 %f1, [%rd1+-8];
+    ret;
+}
+"#;
+        let m = parse(src).unwrap();
+        let k = m.function("x").unwrap();
+        let off = k
+            .instructions()
+            .find_map(|(_, i)| match &i.op {
+                Op::Ld {
+                    space: Space::Global,
+                    addr,
+                    ..
+                } => Some(addr.offset),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(off, -8);
+    }
+}

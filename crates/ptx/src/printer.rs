@@ -1,0 +1,481 @@
+//! Canonical PTX text emission.
+//!
+//! [`Module`] implements [`std::fmt::Display`], producing text that
+//! [`crate::parse`] accepts, so `parse(print(m)) == m` (checked by property
+//! tests). This mirrors the real toolchain where the PTX patcher re-emits
+//! text that `ptxas`/the driver JIT consume.
+
+use crate::ast::*;
+use crate::types::*;
+use std::fmt::{self, Write};
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, ".version {}.{}", self.version.0, self.version.1)?;
+        writeln!(f, ".target {}", self.target)?;
+        writeln!(f, ".address_size {}", self.address_size)?;
+        writeln!(f)?;
+        for g in &self.globals {
+            write_var(f, g)?;
+            writeln!(f)?;
+        }
+        for func in &self.functions {
+            write!(f, "{func}")?;
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn write_var(f: &mut impl Write, v: &GlobalVar) -> fmt::Result {
+    write!(f, "{}", v.space)?;
+    if let Some(a) = v.align {
+        write!(f, " .align {a}")?;
+    }
+    write!(f, " {} {}", v.ty, v.name)?;
+    if let Some(n) = v.len {
+        write!(f, "[{n}]")?;
+    }
+    if !v.init.is_empty() {
+        write!(f, " = {{ ")?;
+        for (i, bits) in v.init.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match v.ty {
+                Type::F32 => write!(f, "0f{:08X}", *bits as u32)?,
+                Type::F64 => write!(f, "0d{bits:016X}")?,
+                _ => write!(f, "{bits}")?,
+            }
+        }
+        write!(f, " }}")?;
+    }
+    write!(f, ";")
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.visible {
+            write!(f, ".visible ")?;
+        }
+        match self.kind {
+            FunctionKind::Entry => write!(f, ".entry ")?,
+            FunctionKind::Func => write!(f, ".func ")?,
+        }
+        write!(f, "{}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "\n    .param {} {}", p.ty, p.name)?;
+        }
+        writeln!(f, ")")?;
+        writeln!(f, "{{")?;
+        for s in &self.body {
+            match s {
+                Statement::RegDecl {
+                    class,
+                    prefix,
+                    count,
+                } => {
+                    let cls = match class {
+                        RegClass::B16 => ".b16",
+                        RegClass::B32 => ".b32",
+                        RegClass::B64 => ".b64",
+                        RegClass::Pred => ".pred",
+                    };
+                    writeln!(f, "    .reg {cls} {prefix}<{count}>;")?;
+                }
+                Statement::VarDecl(v) => {
+                    write!(f, "    ")?;
+                    write_var(f, v)?;
+                    writeln!(f)?;
+                }
+                Statement::Label(l) => writeln!(f, "{l}:")?,
+                Statement::Instr(i) => writeln!(f, "    {i}")?,
+            }
+        }
+        writeln!(f, "}}")
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = &self.pred {
+            if p.negated {
+                write!(f, "@!{} ", p.reg)?;
+            } else {
+                write!(f, "@{} ", p.reg)?;
+            }
+        }
+        write!(f, "{};", self.op)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => f.write_str(r),
+            Operand::ImmInt(v) => write!(f, "{v}"),
+            Operand::ImmFloat(v) => {
+                // Emit exact bit images so values round-trip losslessly.
+                write!(f, "0d{:016X}", v.to_bits())
+            }
+            Operand::Special(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Format a float operand for a specific instruction type: `.f32` operands
+/// use the 32-bit `0f` form so the bit image matches what the interpreter
+/// loads.
+fn fmt_operand(f: &mut fmt::Formatter<'_>, o: &Operand, ty: Type) -> fmt::Result {
+    match (o, ty) {
+        (Operand::ImmFloat(v), Type::F32) => write!(f, "0f{:08X}", (*v as f32).to_bits()),
+        _ => write!(f, "{o}"),
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let base: &str = match &self.base {
+            AddrBase::Reg(r) => r,
+            AddrBase::Var(v) => v,
+        };
+        if self.offset != 0 {
+            write!(f, "[{}+{}]", base, self.offset)
+        } else {
+            write!(f, "[{base}]")
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Ld {
+                space,
+                ty,
+                dst,
+                addr,
+            } => write!(f, "ld{space}{ty} {dst}, {addr}"),
+            Op::St {
+                space,
+                ty,
+                addr,
+                src,
+            } => {
+                write!(f, "st{space}{ty} {addr}, ")?;
+                fmt_operand(f, src, *ty)
+            }
+            Op::Mov { ty, dst, src } => {
+                write!(f, "mov{ty} {dst}, ")?;
+                fmt_operand(f, src, *ty)
+            }
+            Op::MovAddr { ty, dst, var } => write!(f, "mov{ty} {dst}, {var}"),
+            Op::Cvta { to, space, dst, src } => {
+                if *to {
+                    write!(f, "cvta.to{space}.u64 {dst}, {src}")
+                } else {
+                    write!(f, "cvta{space}.u64 {dst}, {src}")
+                }
+            }
+            Op::Cvt { dty, sty, dst, src } => {
+                // Canonical rounding modifiers for re-parse compatibility.
+                let rmod = if dty.is_integer() && sty.is_float() {
+                    ".rzi"
+                } else if dty.is_float() && sty.is_integer() {
+                    ".rn"
+                } else if *dty == Type::F32 && *sty == Type::F64 {
+                    ".rn"
+                } else {
+                    ""
+                };
+                write!(f, "cvt{rmod}{dty}{sty} {dst}, {src}")
+            }
+            Op::Binary { kind, ty, dst, a, b } => {
+                write!(f, "{}{ty} {dst}, ", kind.mnemonic(*ty))?;
+                fmt_operand(f, a, *ty)?;
+                write!(f, ", ")?;
+                fmt_operand(f, b, *ty)
+            }
+            Op::Unary { kind, ty, dst, a } => {
+                write!(f, "{}{ty} {dst}, ", kind.mnemonic(*ty))?;
+                fmt_operand(f, a, *ty)
+            }
+            Op::MulWide { sty, dst, a, b } => {
+                write!(f, "mul.wide{sty} {dst}, {a}, {b}")
+            }
+            Op::Mad { ty, dst, a, b, c } => {
+                write!(f, "mad.lo{ty} {dst}, ")?;
+                fmt_operand(f, a, *ty)?;
+                write!(f, ", ")?;
+                fmt_operand(f, b, *ty)?;
+                write!(f, ", ")?;
+                fmt_operand(f, c, *ty)
+            }
+            Op::MadWide { sty, dst, a, b, c } => {
+                write!(f, "mad.wide{sty} {dst}, {a}, {b}, {c}")
+            }
+            Op::Fma { ty, dst, a, b, c } => {
+                write!(f, "fma.rn{ty} {dst}, ")?;
+                fmt_operand(f, a, *ty)?;
+                write!(f, ", ")?;
+                fmt_operand(f, b, *ty)?;
+                write!(f, ", ")?;
+                fmt_operand(f, c, *ty)
+            }
+            Op::Setp { cmp, ty, dst, a, b } => {
+                write!(f, "setp.{cmp}{ty} {dst}, ")?;
+                fmt_operand(f, a, *ty)?;
+                write!(f, ", ")?;
+                fmt_operand(f, b, *ty)
+            }
+            Op::Selp { ty, dst, a, b, p } => {
+                write!(f, "selp{ty} {dst}, ")?;
+                fmt_operand(f, a, *ty)?;
+                write!(f, ", ")?;
+                fmt_operand(f, b, *ty)?;
+                write!(f, ", {p}")
+            }
+            Op::Bra { uni, target } => {
+                if *uni {
+                    write!(f, "bra.uni {target}")
+                } else {
+                    write!(f, "bra {target}")
+                }
+            }
+            Op::BrxIdx { index, targets } => {
+                write!(f, "brx.idx {index}, {{ ")?;
+                for (i, t) in targets.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    f.write_str(t)?;
+                }
+                write!(f, " }}")
+            }
+            Op::Call { ret, func, args } => {
+                write!(f, "call ")?;
+                if let Some(r) = ret {
+                    write!(f, "({r}), ")?;
+                }
+                f.write_str(func)?;
+                if !args.is_empty() {
+                    write!(f, ", (")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Op::Ret => f.write_str("ret"),
+            Op::Exit => f.write_str("exit"),
+            Op::Trap => f.write_str("trap"),
+            Op::BarSync { id } => write!(f, "bar.sync {id}"),
+            Op::Membar => f.write_str("membar.gl"),
+            Op::Atom {
+                op,
+                space,
+                ty,
+                dst,
+                addr,
+                src,
+                cmp,
+            } => {
+                write!(f, "atom{space}.{op}{ty} {dst}, {addr}, ")?;
+                fmt_operand(f, src, *ty)?;
+                if let Some(c) = cmp {
+                    write!(f, ", ")?;
+                    fmt_operand(f, c, *ty)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn round_trip(src: &str) -> Module {
+        let m1 = parse(src).unwrap();
+        let printed = m1.to_string();
+        let m2 = parse(&printed).unwrap_or_else(|e| {
+            panic!("reparse failed: {e}\n--- printed ---\n{printed}");
+        });
+        assert_eq!(m1, m2, "print->parse not idempotent\n{printed}");
+        m1
+    }
+
+    #[test]
+    fn round_trip_listing1_style_kernel() {
+        round_trip(
+            r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry kernel(
+    .param .u64 p0,
+    .param .u32 p1)
+{
+    .reg .b32 %r<3>;
+    .reg .b64 %rd<5>;
+    ld.param.u64 %rd1, [p0];
+    ld.param.u32 %r1, [p1];
+    cvta.to.global.u64 %rd2, %rd1;
+    mov.u32 %r2, %tid.x;
+    mul.wide.s32 %rd3, %r1, 4;
+    add.s64 %rd4, %rd2, %rd3;
+    and.b64 %rd4, %rd4, 16777215;
+    or.b64 %rd4, %rd4, %rd2;
+    st.global.u32 [%rd4], %r2;
+    ret;
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn round_trip_float_immediates() {
+        let m = round_trip(
+            r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry fk()
+{
+    .reg .f32 %f<3>;
+    .reg .f64 %fd<2>;
+    mov.f32 %f1, 0f3F800000;
+    add.f32 %f2, %f1, 0f40490FDB;
+    mov.f64 %fd1, 0d400921FB54442D18;
+    fma.rn.f32 %f2, %f1, %f2, 0fBF000000;
+    ret;
+}
+"#,
+        );
+        let k = m.function("fk").unwrap();
+        // pi as f32 came through bit-exactly
+        let has_pi = k.instructions().any(|(_, i)| match &i.op {
+            Op::Binary { b: Operand::ImmFloat(v), .. } => (*v as f32) == std::f32::consts::PI,
+            _ => false,
+        });
+        assert!(has_pi);
+    }
+
+    #[test]
+    fn round_trip_control_flow() {
+        round_trip(
+            r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry cf(.param .u32 sel)
+{
+    .reg .pred %p<2>;
+    .reg .b32 %r<4>;
+    ld.param.u32 %r1, [sel];
+    setp.eq.u32 %p1, %r1, 0;
+    @%p1 bra $L_zero;
+    brx.idx %r1, { $L_zero, $L_one };
+$L_one:
+    mov.u32 %r2, 1;
+    bra.uni $L_end;
+$L_zero:
+    mov.u32 %r2, 0;
+$L_end:
+    ret;
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn round_trip_negative_offsets_and_globals() {
+        round_trip(
+            r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.global .align 4 .f32 lut[2] = { 0f3F800000, 0f40000000 };
+.visible .entry g(.param .u64 p)
+{
+    .reg .b64 %rd<3>;
+    .reg .f32 %f<2>;
+    ld.param.u64 %rd1, [p];
+    ld.global.f32 %f1, [%rd1+-4];
+    st.global.f32 [%rd1+8], %f1;
+    ret;
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn round_trip_shared_local_atom_call() {
+        round_trip(
+            r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.func helper(.param .f32 x)
+{
+    ret;
+}
+.visible .entry k(.param .u64 p)
+{
+    .shared .align 4 .f32 tile[128];
+    .local .align 4 .b8 scratch[64];
+    .reg .b32 %r<4>;
+    .reg .b64 %rd<4>;
+    .reg .f32 %f<3>;
+    ld.param.u64 %rd1, [p];
+    mov.u64 %rd2, tile;
+    ld.shared.f32 %f1, [%rd2];
+    atom.global.add.f32 %f2, [%rd1], %f1;
+    atom.global.cas.b32 %r1, [%rd1+16], %r2, %r3;
+    call helper, (%f1);
+    bar.sync 0;
+    membar.gl;
+    selp.f32 %f1, %f2, %f1, %p1;
+    ret;
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn cvt_prints_canonical_rounding() {
+        let op = Op::Cvt {
+            dty: Type::S32,
+            sty: Type::F32,
+            dst: "%r1".into(),
+            src: Operand::reg("%f1"),
+        };
+        assert_eq!(op.to_string(), "cvt.rzi.s32.f32 %r1, %f1");
+        let op = Op::Cvt {
+            dty: Type::F32,
+            sty: Type::S32,
+            dst: "%f1".into(),
+            src: Operand::reg("%r1"),
+        };
+        assert_eq!(op.to_string(), "cvt.rn.f32.s32 %f1, %r1");
+    }
+
+    #[test]
+    fn f32_immediates_print_as_0f_form() {
+        let op = Op::Mov {
+            ty: Type::F32,
+            dst: "%f1".into(),
+            src: Operand::ImmFloat(1.0),
+        };
+        assert_eq!(op.to_string(), "mov.f32 %f1, 0f3F800000");
+    }
+}

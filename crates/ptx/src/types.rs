@@ -1,0 +1,498 @@
+//! Scalar types, state spaces, and comparison/arithmetic operator kinds of
+//! the PTX virtual ISA subset supported by this crate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A PTX fundamental (scalar) type, e.g. `.u32`, `.f64`, `.pred`.
+///
+/// Vector types (`.v2`/`.v4`) and sub-byte types are not part of the
+/// supported subset; the kernels shipped by this repository never emit them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// Untyped bits, 8 wide (`.b8`).
+    B8,
+    /// Untyped bits, 16 wide (`.b16`).
+    B16,
+    /// Untyped bits, 32 wide (`.b32`).
+    B32,
+    /// Untyped bits, 64 wide (`.b64`).
+    B64,
+    /// Unsigned integer, 8 bits (`.u8`).
+    U8,
+    /// Unsigned integer, 16 bits (`.u16`).
+    U16,
+    /// Unsigned integer, 32 bits (`.u32`).
+    U32,
+    /// Unsigned integer, 64 bits (`.u64`).
+    U64,
+    /// Signed integer, 8 bits (`.s8`).
+    S8,
+    /// Signed integer, 16 bits (`.s16`).
+    S16,
+    /// Signed integer, 32 bits (`.s32`).
+    S32,
+    /// Signed integer, 64 bits (`.s64`).
+    S64,
+    /// IEEE-754 single precision (`.f32`).
+    F32,
+    /// IEEE-754 double precision (`.f64`).
+    F64,
+    /// Predicate register type (`.pred`).
+    Pred,
+}
+
+impl Type {
+    /// Size of a value of this type in bytes.
+    ///
+    /// Predicates occupy one byte for the purpose of parameter-buffer layout
+    /// (they never actually appear in parameter lists in valid modules).
+    pub fn size(self) -> usize {
+        match self {
+            Type::B8 | Type::U8 | Type::S8 | Type::Pred => 1,
+            Type::B16 | Type::U16 | Type::S16 => 2,
+            Type::B32 | Type::U32 | Type::S32 | Type::F32 => 4,
+            Type::B64 | Type::U64 | Type::S64 | Type::F64 => 8,
+        }
+    }
+
+    /// Whether this is one of the signed-integer types.
+    pub fn is_signed(self) -> bool {
+        matches!(self, Type::S8 | Type::S16 | Type::S32 | Type::S64)
+    }
+
+    /// Whether this is one of the floating-point types.
+    pub fn is_float(self) -> bool {
+        matches!(self, Type::F32 | Type::F64)
+    }
+
+    /// Whether this is an integer (signed, unsigned, or untyped-bits) type.
+    pub fn is_integer(self) -> bool {
+        !self.is_float() && self != Type::Pred
+    }
+
+    /// The PTX register-class width used to store values of this type.
+    ///
+    /// PTX virtual registers are declared per width class; `.u32` and `.s32`
+    /// values both live in `.b32` registers.
+    pub fn reg_class(self) -> RegClass {
+        match self {
+            Type::Pred => RegClass::Pred,
+            t if t.size() <= 2 => RegClass::B16,
+            t if t.size() == 4 => RegClass::B32,
+            _ => RegClass::B64,
+        }
+    }
+
+    /// All supported types, useful for exhaustive property tests.
+    pub const ALL: [Type; 15] = [
+        Type::B8,
+        Type::B16,
+        Type::B32,
+        Type::B64,
+        Type::U8,
+        Type::U16,
+        Type::U32,
+        Type::U64,
+        Type::S8,
+        Type::S16,
+        Type::S32,
+        Type::S64,
+        Type::F32,
+        Type::F64,
+        Type::Pred,
+    ];
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::B8 => ".b8",
+            Type::B16 => ".b16",
+            Type::B32 => ".b32",
+            Type::B64 => ".b64",
+            Type::U8 => ".u8",
+            Type::U16 => ".u16",
+            Type::U32 => ".u32",
+            Type::U64 => ".u64",
+            Type::S8 => ".s8",
+            Type::S16 => ".s16",
+            Type::S32 => ".s32",
+            Type::S64 => ".s64",
+            Type::F32 => ".f32",
+            Type::F64 => ".f64",
+            Type::Pred => ".pred",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Register width classes used by `.reg` declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegClass {
+    /// 16-bit registers (also used for 8-bit values).
+    B16,
+    /// 32-bit registers.
+    B32,
+    /// 64-bit registers.
+    B64,
+    /// Predicate registers.
+    Pred,
+}
+
+/// A PTX state space: where a memory access or variable lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Space {
+    /// Device global memory (`.global`) — shared across the whole context.
+    Global,
+    /// Per-block shared memory (`.shared`).
+    Shared,
+    /// Per-thread local memory (`.local`), backed by global memory.
+    Local,
+    /// Kernel parameter space (`.param`).
+    Param,
+    /// Generic address space (no qualifier) — resolved at run time.
+    Generic,
+}
+
+impl Space {
+    /// Whether accesses in this space require Guardian bounds enforcement.
+    ///
+    /// Follows the paper's threat model (§3): global memory is protected;
+    /// registers and shared memory cannot be reached by co-running kernels
+    /// and are safe; `.param` is read-only per launch. The paper also
+    /// protects `.local` because real GPUs carve local memory out of global
+    /// DRAM; in this reproduction's simulator `.local` is thread-private
+    /// scratch that no co-running kernel can address, so it is outside the
+    /// protection boundary (see DESIGN.md, substitutions).
+    pub fn is_protected(self) -> bool {
+        matches!(self, Space::Global | Space::Generic)
+    }
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Space::Global => ".global",
+            Space::Shared => ".shared",
+            Space::Local => ".local",
+            Space::Param => ".param",
+            Space::Generic => "",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison operators accepted by `setp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal (`eq`).
+    Eq,
+    /// Not equal (`ne`).
+    Ne,
+    /// Less than (`lt`).
+    Lt,
+    /// Less or equal (`le`).
+    Le,
+    /// Greater than (`gt`).
+    Gt,
+    /// Greater or equal (`ge`).
+    Ge,
+}
+
+impl CmpOp {
+    /// All comparison operators.
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Two-operand arithmetic / logic operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinKind {
+    /// `add`.
+    Add,
+    /// `sub`.
+    Sub,
+    /// `mul.lo` for integers, `mul` for floats.
+    MulLo,
+    /// `mul.hi` (integer only).
+    MulHi,
+    /// `div` (also `div.rn` / `div.approx` for floats).
+    Div,
+    /// `rem` (integer remainder).
+    Rem,
+    /// `and` (bitwise).
+    And,
+    /// `or` (bitwise).
+    Or,
+    /// `xor` (bitwise).
+    Xor,
+    /// `shl` (shift left).
+    Shl,
+    /// `shr` (shift right; arithmetic for signed types).
+    Shr,
+    /// `min`.
+    Min,
+    /// `max`.
+    Max,
+}
+
+impl BinKind {
+    /// The PTX mnemonic root for this operation (without the type suffix).
+    pub fn mnemonic(self, ty: Type) -> &'static str {
+        match self {
+            BinKind::Add => "add",
+            BinKind::Sub => "sub",
+            BinKind::MulLo => {
+                if ty.is_float() {
+                    "mul"
+                } else {
+                    "mul.lo"
+                }
+            }
+            BinKind::MulHi => "mul.hi",
+            BinKind::Div => {
+                if ty == Type::F32 {
+                    "div.rn"
+                } else {
+                    "div"
+                }
+            }
+            BinKind::Rem => "rem",
+            BinKind::And => "and",
+            BinKind::Or => "or",
+            BinKind::Xor => "xor",
+            BinKind::Shl => "shl",
+            BinKind::Shr => "shr",
+            BinKind::Min => "min",
+            BinKind::Max => "max",
+        }
+    }
+}
+
+/// Single-operand operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnaryKind {
+    /// `neg`.
+    Neg,
+    /// `abs`.
+    Abs,
+    /// `not` (bitwise complement; also predicate negation).
+    Not,
+    /// `sqrt.rn` / `sqrt.approx`.
+    Sqrt,
+    /// `rsqrt.approx` (reciprocal square root).
+    Rsqrt,
+    /// `rcp.rn` / `rcp.approx` (reciprocal).
+    Rcp,
+    /// `ex2.approx` (2^x).
+    Ex2,
+    /// `lg2.approx` (log2 x).
+    Lg2,
+    /// `sin.approx`.
+    Sin,
+    /// `cos.approx`.
+    Cos,
+    /// `tanh.approx`.
+    Tanh,
+}
+
+impl UnaryKind {
+    /// The PTX mnemonic for this operation as printed by this crate.
+    pub fn mnemonic(self, ty: Type) -> &'static str {
+        match self {
+            UnaryKind::Neg => "neg",
+            UnaryKind::Abs => "abs",
+            UnaryKind::Not => "not",
+            UnaryKind::Sqrt => {
+                if ty == Type::F64 {
+                    "sqrt.rn"
+                } else {
+                    "sqrt.approx"
+                }
+            }
+            UnaryKind::Rsqrt => "rsqrt.approx",
+            UnaryKind::Rcp => {
+                if ty == Type::F64 {
+                    "rcp.rn"
+                } else {
+                    "rcp.approx"
+                }
+            }
+            UnaryKind::Ex2 => "ex2.approx",
+            UnaryKind::Lg2 => "lg2.approx",
+            UnaryKind::Sin => "sin.approx",
+            UnaryKind::Cos => "cos.approx",
+            UnaryKind::Tanh => "tanh.approx",
+        }
+    }
+
+    /// Whether this operation belongs to the GPU's special-function unit
+    /// (higher latency than plain ALU operations).
+    pub fn is_special_function(self) -> bool {
+        !matches!(self, UnaryKind::Neg | UnaryKind::Abs | UnaryKind::Not)
+    }
+}
+
+/// Atomic read-modify-write operation kinds for `atom`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AtomKind {
+    /// `atom.add`.
+    Add,
+    /// `atom.min`.
+    Min,
+    /// `atom.max`.
+    Max,
+    /// `atom.exch` (exchange).
+    Exch,
+    /// `atom.cas` (compare-and-swap); carries an extra operand.
+    Cas,
+}
+
+impl fmt::Display for AtomKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AtomKind::Add => "add",
+            AtomKind::Min => "min",
+            AtomKind::Max => "max",
+            AtomKind::Exch => "exch",
+            AtomKind::Cas => "cas",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Special (read-only) hardware registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpecialReg {
+    /// `%tid.x|y|z` — thread index within the block.
+    Tid(Dim),
+    /// `%ntid.x|y|z` — block dimensions.
+    Ntid(Dim),
+    /// `%ctaid.x|y|z` — block index within the grid.
+    Ctaid(Dim),
+    /// `%nctaid.x|y|z` — grid dimensions.
+    Nctaid(Dim),
+    /// `%laneid` — lane within the warp.
+    LaneId,
+    /// `%warpid` — warp index within the SM.
+    WarpId,
+}
+
+/// One of the three thread-geometry dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dim {
+    /// x dimension.
+    X,
+    /// y dimension.
+    Y,
+    /// z dimension.
+    Z,
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Dim::X => "x",
+            Dim::Y => "y",
+            Dim::Z => "z",
+        })
+    }
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecialReg::Tid(d) => write!(f, "%tid.{d}"),
+            SpecialReg::Ntid(d) => write!(f, "%ntid.{d}"),
+            SpecialReg::Ctaid(d) => write!(f, "%ctaid.{d}"),
+            SpecialReg::Nctaid(d) => write!(f, "%nctaid.{d}"),
+            SpecialReg::LaneId => f.write_str("%laneid"),
+            SpecialReg::WarpId => f.write_str("%warpid"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes_are_correct() {
+        assert_eq!(Type::B8.size(), 1);
+        assert_eq!(Type::U16.size(), 2);
+        assert_eq!(Type::S32.size(), 4);
+        assert_eq!(Type::F32.size(), 4);
+        assert_eq!(Type::U64.size(), 8);
+        assert_eq!(Type::F64.size(), 8);
+    }
+
+    #[test]
+    fn type_classification() {
+        assert!(Type::S64.is_signed());
+        assert!(!Type::U64.is_signed());
+        assert!(Type::F32.is_float());
+        assert!(Type::B32.is_integer());
+        assert!(!Type::Pred.is_integer());
+    }
+
+    #[test]
+    fn reg_classes() {
+        assert_eq!(Type::U8.reg_class(), RegClass::B16);
+        assert_eq!(Type::F32.reg_class(), RegClass::B32);
+        assert_eq!(Type::S64.reg_class(), RegClass::B64);
+        assert_eq!(Type::Pred.reg_class(), RegClass::Pred);
+    }
+
+    #[test]
+    fn display_round_trips_via_str() {
+        assert_eq!(Type::F32.to_string(), ".f32");
+        assert_eq!(Space::Global.to_string(), ".global");
+        assert_eq!(CmpOp::Ge.to_string(), "ge");
+        assert_eq!(SpecialReg::Tid(Dim::X).to_string(), "%tid.x");
+        assert_eq!(SpecialReg::Nctaid(Dim::Z).to_string(), "%nctaid.z");
+    }
+
+    #[test]
+    fn protected_spaces_match_threat_model() {
+        assert!(Space::Global.is_protected());
+        assert!(Space::Generic.is_protected());
+        assert!(!Space::Local.is_protected()); // thread-private in this simulator
+        assert!(!Space::Shared.is_protected());
+        assert!(!Space::Param.is_protected());
+    }
+
+    #[test]
+    fn mul_mnemonic_depends_on_type() {
+        assert_eq!(BinKind::MulLo.mnemonic(Type::F32), "mul");
+        assert_eq!(BinKind::MulLo.mnemonic(Type::S32), "mul.lo");
+    }
+
+    #[test]
+    fn special_function_classification() {
+        assert!(UnaryKind::Sqrt.is_special_function());
+        assert!(UnaryKind::Sin.is_special_function());
+        assert!(!UnaryKind::Neg.is_special_function());
+        assert!(!UnaryKind::Not.is_special_function());
+    }
+}

@@ -1,0 +1,261 @@
+//! Semantic validation of parsed modules.
+//!
+//! Mirrors the checks `ptxas` performs that matter for the Guardian threat
+//! model (§3 of the paper): *direct* branch targets must be labels defined
+//! in the same function (the assembler rejects missing labels, which is why
+//! direct branches are safe), registers must be declared, called `.func`s
+//! must exist, and parameter references must name declared parameters.
+
+use crate::ast::{AddrBase, Function, Module, Op, Statement};
+use crate::cfg::Cfg;
+use crate::error::{PtxError, Result};
+use crate::types::Space;
+use std::collections::HashSet;
+
+/// Validate a whole module.
+///
+/// # Errors
+///
+/// Returns the first [`PtxError::Validate`] found. Checks per function:
+///
+/// * every branch target label exists (direct branches are safe, §3);
+/// * every used register was declared by a `.reg` statement;
+/// * every `ld.param` / `st.param` names a declared parameter;
+/// * every `call` names a `.func` defined in the module;
+/// * `.entry` kernels do not fall off the end (last reachable block ends
+///   in `ret`/`exit`/`trap` or an unconditional branch).
+pub fn validate(module: &Module) -> Result<()> {
+    let func_names: HashSet<&str> = module.functions.iter().map(|f| f.name.as_str()).collect();
+    let global_names: HashSet<&str> = module.globals.iter().map(|g| g.name.as_str()).collect();
+    for f in &module.functions {
+        validate_function(f, &func_names, &global_names)?;
+    }
+    Ok(())
+}
+
+fn validate_function(
+    f: &Function,
+    func_names: &HashSet<&str>,
+    global_names: &HashSet<&str>,
+) -> Result<()> {
+    let fname = Some(f.name.as_str());
+
+    // Collect declarations.
+    let mut labels: HashSet<&str> = HashSet::new();
+    let mut regs: HashSet<String> = HashSet::new();
+    let mut local_vars: HashSet<&str> = HashSet::new();
+    for s in &f.body {
+        match s {
+            Statement::Label(l) => {
+                if !labels.insert(l.as_str()) {
+                    return Err(PtxError::validate(
+                        fname,
+                        format!("duplicate label `{l}`"),
+                    ));
+                }
+            }
+            Statement::RegDecl {
+                prefix, count, ..
+            } => {
+                for i in 0..*count {
+                    regs.insert(format!("{prefix}{i}"));
+                }
+            }
+            Statement::VarDecl(v) => {
+                local_vars.insert(v.name.as_str());
+            }
+            _ => {}
+        }
+    }
+    let params: HashSet<&str> = f.params.iter().map(|p| p.name.as_str()).collect();
+
+    let check_reg = |r: &str| -> Result<()> {
+        if regs.contains(r) {
+            Ok(())
+        } else {
+            Err(PtxError::validate(
+                fname,
+                format!("register `{r}` used but not declared"),
+            ))
+        }
+    };
+    let check_label = |l: &str| -> Result<()> {
+        if labels.contains(l) {
+            Ok(())
+        } else {
+            Err(PtxError::validate(
+                fname,
+                format!("branch target `{l}` is not a label in this function"),
+            ))
+        }
+    };
+
+    for (_, ins) in f.instructions() {
+        if let Some(p) = &ins.pred {
+            check_reg(&p.reg)?;
+        }
+        if let Some(d) = ins.op.def() {
+            check_reg(d)?;
+        }
+        for u in ins.op.uses() {
+            check_reg(u)?;
+        }
+        match &ins.op {
+            Op::Bra { target, .. } => check_label(target)?,
+            Op::BrxIdx { targets, .. } => {
+                for t in targets {
+                    check_label(t)?;
+                }
+            }
+            Op::Call { func, .. } => {
+                if !func_names.contains(func.as_str()) {
+                    return Err(PtxError::validate(
+                        fname,
+                        format!("call to undefined function `{func}`"),
+                    ));
+                }
+            }
+            Op::Ld { space, addr, .. } | Op::St { space, addr, .. } => {
+                if let AddrBase::Var(v) = &addr.base {
+                    let known = match space {
+                        Space::Param => params.contains(v.as_str()),
+                        _ => {
+                            local_vars.contains(v.as_str())
+                                || global_names.contains(v.as_str())
+                                || params.contains(v.as_str())
+                        }
+                    };
+                    if !known {
+                        return Err(PtxError::validate(
+                            fname,
+                            format!("address references unknown symbol `{v}`"),
+                        ));
+                    }
+                }
+            }
+            Op::MovAddr { var, .. } => {
+                if !local_vars.contains(var.as_str()) && !global_names.contains(var.as_str()) {
+                    return Err(PtxError::validate(
+                        fname,
+                        format!("mov takes address of unknown variable `{var}`"),
+                    ));
+                }
+            }
+            Op::Mov { src, .. } => {
+                // Special registers are always fine; checked regs above.
+                let _ = src;
+            }
+            _ => {}
+        }
+    }
+
+    // Falling off the end: the last reachable statement must terminate.
+    let cfg = Cfg::build(f);
+    let reachable = cfg.reachable();
+    if let Some(last_block) = reachable.iter().max_by_key(|&&b| {
+        cfg.blocks[b]
+            .stmts
+            .last()
+            .copied()
+            .unwrap_or(0)
+    }) {
+        let block = &cfg.blocks[*last_block];
+        // Only check the block that contains the lexically last statement.
+        let is_lexically_last = block.stmts.last().copied()
+            == f.instructions().map(|(i, _)| i).last();
+        if is_lexically_last {
+            if let Some(&last) = block.stmts.last() {
+                if let Statement::Instr(ins) = &f.body[last] {
+                    let terminates = ins.op.is_terminator() && ins.pred.is_none();
+                    if !terminates {
+                        return Err(PtxError::validate(
+                            fname,
+                            "control can fall off the end of the function",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn module(body: &str) -> Module {
+        parse(&format!(
+            ".version 7.7\n.target sm_86\n.address_size 64\n.visible .entry k(.param .u64 p)\n{{\n{body}\n}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_kernel_passes() {
+        let m = module(
+            ".reg .b64 %rd<3>;\n.reg .b32 %r<2>;\nld.param.u64 %rd1, [p];\nmov.u32 %r1, %tid.x;\nst.global.u32 [%rd1], %r1;\nret;",
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn missing_label_is_rejected() {
+        let m = module(".reg .b32 %r<2>;\nbra $L_nowhere;\nret;");
+        let e = validate(&m).unwrap_err();
+        assert!(e.to_string().contains("$L_nowhere"));
+    }
+
+    #[test]
+    fn undeclared_register_is_rejected() {
+        let m = module("mov.u32 %r1, 0;\nret;");
+        let e = validate(&m).unwrap_err();
+        assert!(e.to_string().contains("%r1"));
+    }
+
+    #[test]
+    fn unknown_param_is_rejected() {
+        let m = module(".reg .b64 %rd<2>;\nld.param.u64 %rd1, [nope];\nret;");
+        let e = validate(&m).unwrap_err();
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn call_to_missing_func_is_rejected() {
+        let m = module(".reg .f32 %f<2>;\ncall ghost, (%f1);\nret;");
+        let e = validate(&m).unwrap_err();
+        assert!(e.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn duplicate_label_is_rejected() {
+        let m = module("$L: \nret;\n$L: \nret;");
+        let e = validate(&m).unwrap_err();
+        assert!(e.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn falling_off_the_end_is_rejected() {
+        let m = module(".reg .b32 %r<2>;\nmov.u32 %r1, 0;");
+        let e = validate(&m).unwrap_err();
+        assert!(e.to_string().contains("fall off"));
+    }
+
+    #[test]
+    fn shared_var_reference_is_accepted() {
+        let m = module(
+            ".shared .align 4 .f32 tile[64];\n.reg .b64 %rd<2>;\n.reg .f32 %f<2>;\nmov.u64 %rd1, tile;\nld.shared.f32 %f1, [%rd1];\nret;",
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn brx_targets_are_checked() {
+        let m = module(
+            ".reg .b32 %r<2>;\nmov.u32 %r1, 0;\nbrx.idx %r1, { $L0, $L_missing };\n$L0:\nret;",
+        );
+        assert!(validate(&m).is_err());
+    }
+}

@@ -1,0 +1,502 @@
+//! # rodinia — the benchmark applications of the paper's mixed workloads
+//!
+//! Gaussian elimination, hotspot, lavaMD, and particlefilter: the four
+//! Rodinia applications the paper combines with the ML frameworks in its
+//! sharing workloads E–H and M–P (Table 4). Each ships its kernels as PTX
+//! (sandboxable by the patcher) and exposes a host driver that runs a
+//! scaled instance through any `cuda_rt::CudaApi`.
+
+#![warn(missing_docs)]
+
+use cuda_rt::{ArgPack, CudaApi, CudaResult, Stream};
+use gpu_sim::LaunchConfig;
+use ptx::builder::{KernelBuilder, ModuleBuilder};
+use ptx::fatbin::FatBin;
+use ptx::types::{BinKind, CmpOp, Type, UnaryKind};
+use ptx::{Function, Op, Operand};
+use std::sync::OnceLock;
+
+fn linear_cfg(n: u32) -> LaunchConfig {
+    LaunchConfig::linear(n.div_ceil(128).clamp(1, 32), 128)
+}
+
+/// `gaussian` Fan1: multipliers for column `kcol`.
+/// Params: `a, m: u64, n, kcol: u32` — one thread per row below `kcol`.
+fn fan1_kernel() -> Function {
+    let mut k = KernelBuilder::entry("gaussian_fan1");
+    let a_p = k.param(Type::U64, "a");
+    let m_p = k.param(Type::U64, "m");
+    let n_p = k.param(Type::U32, "n");
+    let kc_p = k.param(Type::U32, "kcol");
+    let a0 = k.ld_param(Type::U64, &a_p);
+    let ag = k.cvta_global(&a0);
+    let m0 = k.ld_param(Type::U64, &m_p);
+    let mg = k.cvta_global(&m0);
+    let n = k.ld_param(Type::U32, &n_p);
+    let kc = k.ld_param(Type::U32, &kc_p);
+    let kp1 = k.binary_imm(BinKind::Add, Type::U32, &kc, 1);
+    let rows = k.binary(BinKind::Sub, Type::U32, &n, &kp1);
+    k.grid_stride_loop(&rows, |k, t| {
+        let row = k.binary(BinKind::Add, Type::U32, t, &kp1);
+        // m[row] = a[row*n + k] / a[k*n + k]
+        let num_i = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: num_i.clone(),
+            a: Operand::reg(&row),
+            b: Operand::reg(&n),
+            c: Operand::reg(&kc),
+        });
+        let den_i = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: den_i.clone(),
+            a: Operand::reg(&kc),
+            b: Operand::reg(&n),
+            c: Operand::reg(&kc),
+        });
+        let num = k.load_elem(&ag, &num_i, Type::F32);
+        let den = k.load_elem(&ag, &den_i, Type::F32);
+        let q = k.binary(BinKind::Div, Type::F32, &num, &den);
+        k.store_elem(&mg, &row, Type::F32, &q);
+    });
+    k.ret();
+    k.build()
+}
+
+/// `gaussian` Fan2: eliminate column `kcol` of the trailing submatrix.
+/// Params: `a, b, m: u64, n, kcol: u32` — thread per (row, col) pair.
+fn fan2_kernel() -> Function {
+    let mut k = KernelBuilder::entry("gaussian_fan2");
+    let a_p = k.param(Type::U64, "a");
+    let b_p = k.param(Type::U64, "b");
+    let m_p = k.param(Type::U64, "m");
+    let n_p = k.param(Type::U32, "n");
+    let kc_p = k.param(Type::U32, "kcol");
+    let a0 = k.ld_param(Type::U64, &a_p);
+    let ag = k.cvta_global(&a0);
+    let b0 = k.ld_param(Type::U64, &b_p);
+    let bg = k.cvta_global(&b0);
+    let m0 = k.ld_param(Type::U64, &m_p);
+    let mg = k.cvta_global(&m0);
+    let n = k.ld_param(Type::U32, &n_p);
+    let kc = k.ld_param(Type::U32, &kc_p);
+    let kp1 = k.binary_imm(BinKind::Add, Type::U32, &kc, 1);
+    let rows = k.binary(BinKind::Sub, Type::U32, &n, &kp1);
+    let cols = k.binary(BinKind::Sub, Type::U32, &n, &kc);
+    let total = k.binary(BinKind::MulLo, Type::U32, &rows, &cols);
+    k.grid_stride_loop(&total, |k, t| {
+        let r_off = k.binary(BinKind::Div, Type::U32, t, &cols);
+        let c_off = k.binary(BinKind::Rem, Type::U32, t, &cols);
+        let row = k.binary(BinKind::Add, Type::U32, &r_off, &kp1);
+        let col = k.binary(BinKind::Add, Type::U32, &c_off, &kc);
+        let mult = k.load_elem(&mg, &row, Type::F32);
+        // a[row, col] -= m[row] * a[k, col]
+        let src_i = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: src_i.clone(),
+            a: Operand::reg(&kc),
+            b: Operand::reg(&n),
+            c: Operand::reg(&col),
+        });
+        let dst_i = k.reg(Type::U32);
+        k.emit(Op::Mad {
+            ty: Type::U32,
+            dst: dst_i.clone(),
+            a: Operand::reg(&row),
+            b: Operand::reg(&n),
+            c: Operand::reg(&col),
+        });
+        let pivot = k.load_elem(&ag, &src_i, Type::F32);
+        let cur = k.load_elem(&ag, &dst_i, Type::F32);
+        let prod = k.binary(BinKind::MulLo, Type::F32, &mult, &pivot);
+        let upd = k.binary(BinKind::Sub, Type::F32, &cur, &prod);
+        k.store_elem(&ag, &dst_i, Type::F32, &upd);
+        // b[row] -= m[row]*b[k] once per row (col == kcol lane does it).
+        let is_first = k.setp(CmpOp::Eq, Type::U32, &col, Operand::reg(&kc));
+        k.if_then(&is_first, |k| {
+            let bk = k.load_elem(&bg, &kc, Type::F32);
+            let br = k.load_elem(&bg, &row, Type::F32);
+            let p = k.binary(BinKind::MulLo, Type::F32, &mult, &bk);
+            let nb = k.binary(BinKind::Sub, Type::F32, &br, &p);
+            k.store_elem(&bg, &row, Type::F32, &nb);
+        });
+    });
+    k.ret();
+    k.build()
+}
+
+/// `hotspot`: one 5-point stencil relaxation step over a `w × w` grid.
+/// Params: `tin, power, tout: u64, w: u32`.
+fn hotspot_kernel() -> Function {
+    let mut k = KernelBuilder::entry("hotspot_step");
+    let t_p = k.param(Type::U64, "tin");
+    let p_p = k.param(Type::U64, "power");
+    let o_p = k.param(Type::U64, "tout");
+    let w_p = k.param(Type::U32, "w");
+    let t0 = k.ld_param(Type::U64, &t_p);
+    let tg = k.cvta_global(&t0);
+    let p0 = k.ld_param(Type::U64, &p_p);
+    let pg = k.cvta_global(&p0);
+    let o0 = k.ld_param(Type::U64, &o_p);
+    let og = k.cvta_global(&o0);
+    let w = k.ld_param(Type::U32, &w_p);
+    let total = k.binary(BinKind::MulLo, Type::U32, &w, &w);
+    k.grid_stride_loop(&total, |k, e| {
+        let y = k.binary(BinKind::Div, Type::U32, e, &w);
+        let x = k.binary(BinKind::Rem, Type::U32, e, &w);
+        let center = k.load_elem(&tg, e, Type::F32);
+        let acc = k.mov(Type::F32, Operand::reg(&center));
+        let wm1 = k.binary_imm(BinKind::Sub, Type::U32, &w, 1);
+        let coef = k.imm_f32(0.2);
+        // Each in-range neighbour adds (neigh - center) * 0.2.
+        let neighbour = |k: &mut KernelBuilder, cond_reg: String, idx: String| {
+            k.if_then(&cond_reg, |k| {
+                let nv = k.load_elem(&tg, &idx, Type::F32);
+                let d = k.binary(BinKind::Sub, Type::F32, &nv, &center);
+                let contrib = k.binary(BinKind::MulLo, Type::F32, &d, &coef);
+                k.emit(Op::Binary {
+                    kind: BinKind::Add,
+                    ty: Type::F32,
+                    dst: acc.clone(),
+                    a: Operand::reg(&acc),
+                    b: Operand::reg(&contrib),
+                });
+            });
+        };
+        let p_left = k.setp(CmpOp::Gt, Type::U32, &x, Operand::ImmInt(0));
+        let left = k.binary_imm(BinKind::Sub, Type::U32, e, 1);
+        neighbour(k, p_left, left);
+        let p_right = k.setp(CmpOp::Lt, Type::U32, &x, Operand::reg(&wm1));
+        let right = k.binary_imm(BinKind::Add, Type::U32, e, 1);
+        neighbour(k, p_right, right);
+        let p_up = k.setp(CmpOp::Gt, Type::U32, &y, Operand::ImmInt(0));
+        let up = k.binary(BinKind::Sub, Type::U32, e, &w);
+        neighbour(k, p_up, up);
+        let p_dn = k.setp(CmpOp::Lt, Type::U32, &y, Operand::reg(&wm1));
+        let dn = k.binary(BinKind::Add, Type::U32, e, &w);
+        neighbour(k, p_dn, dn);
+        // Plus local power dissipation.
+        let pw = k.load_elem(&pg, e, Type::F32);
+        let out = k.binary(BinKind::Add, Type::F32, &acc, &pw);
+        k.store_elem(&og, e, Type::F32, &out);
+    });
+    k.ret();
+    k.build()
+}
+
+/// `lavamd`: pairwise force accumulation (compute-heavy SFU mix).
+/// Params: `pos, force: u64, n: u32` — `pos` is xyz-interleaved.
+fn lavamd_kernel() -> Function {
+    let mut k = KernelBuilder::entry("lavamd_force");
+    let p_p = k.param(Type::U64, "pos");
+    let f_p = k.param(Type::U64, "force");
+    let n_p = k.param(Type::U32, "n");
+    let p0 = k.ld_param(Type::U64, &p_p);
+    let pg = k.cvta_global(&p0);
+    let f0 = k.ld_param(Type::U64, &f_p);
+    let fg = k.cvta_global(&f0);
+    let n = k.ld_param(Type::U32, &n_p);
+    k.grid_stride_loop(&n, |k, i| {
+        let xi_idx = k.binary_imm(BinKind::MulLo, Type::U32, i, 3);
+        let xi = k.load_elem(&pg, &xi_idx, Type::F32);
+        let acc = k.imm_f32(0.0);
+        let j = k.imm_u32(0);
+        let top = k.fresh_label("pair");
+        let done = k.fresh_label("pair_done");
+        k.label(top.clone());
+        let p = k.setp(CmpOp::Ge, Type::U32, &j, Operand::reg(&n));
+        k.emit_pred(&p, false, Op::Bra { uni: false, target: done.clone() });
+        {
+            let xj_idx = k.binary_imm(BinKind::MulLo, Type::U32, &j, 3);
+            let xj = k.load_elem(&pg, &xj_idx, Type::F32);
+            let d = k.binary(BinKind::Sub, Type::F32, &xi, &xj);
+            let d2 = k.binary(BinKind::MulLo, Type::F32, &d, &d);
+            let eps = k.imm_f32(0.01);
+            let d2e = k.binary(BinKind::Add, Type::F32, &d2, &eps);
+            // force ~ exp(-d2) / sqrt(d2+eps)
+            let nd2 = k.unary(UnaryKind::Neg, Type::F32, &d2);
+            let l2e = k.imm_f32(std::f32::consts::LOG2_E);
+            let scaled = k.binary(BinKind::MulLo, Type::F32, &nd2, &l2e);
+            let e = k.unary(UnaryKind::Ex2, Type::F32, &scaled);
+            let rs = k.unary(UnaryKind::Rsqrt, Type::F32, &d2e);
+            let f = k.binary(BinKind::MulLo, Type::F32, &e, &rs);
+            k.emit(Op::Binary {
+                kind: BinKind::Add,
+                ty: Type::F32,
+                dst: acc.clone(),
+                a: Operand::reg(&acc),
+                b: Operand::reg(&f),
+            });
+        }
+        k.emit(Op::Binary {
+            kind: BinKind::Add,
+            ty: Type::U32,
+            dst: j.clone(),
+            a: Operand::reg(&j),
+            b: Operand::ImmInt(1),
+        });
+        k.emit(Op::Bra { uni: true, target: top });
+        k.label(done);
+        k.store_elem(&fg, i, Type::F32, &acc);
+    });
+    k.ret();
+    k.build()
+}
+
+/// `particlefilter` likelihood + weight update.
+/// Params: `particles, weights: u64, n: u32, obs: f32`.
+fn particle_kernel() -> Function {
+    let mut k = KernelBuilder::entry("particle_weights");
+    let p_p = k.param(Type::U64, "particles");
+    let w_p = k.param(Type::U64, "weights");
+    let n_p = k.param(Type::U32, "n");
+    let obs_p = k.param(Type::F32, "obs");
+    let p0 = k.ld_param(Type::U64, &p_p);
+    let pg = k.cvta_global(&p0);
+    let w0 = k.ld_param(Type::U64, &w_p);
+    let wg = k.cvta_global(&w0);
+    let n = k.ld_param(Type::U32, &n_p);
+    let obs = k.ld_param(Type::F32, &obs_p);
+    k.grid_stride_loop(&n, |k, i| {
+        let x = k.load_elem(&pg, i, Type::F32);
+        let d = k.binary(BinKind::Sub, Type::F32, &x, &obs);
+        let d2 = k.binary(BinKind::MulLo, Type::F32, &d, &d);
+        let nd2 = k.unary(UnaryKind::Neg, Type::F32, &d2);
+        let l2e = k.imm_f32(std::f32::consts::LOG2_E);
+        let s = k.binary(BinKind::MulLo, Type::F32, &nd2, &l2e);
+        let lik = k.unary(UnaryKind::Ex2, Type::F32, &s);
+        let wv = k.load_elem(&wg, i, Type::F32);
+        let nw = k.binary(BinKind::MulLo, Type::F32, &wv, &lik);
+        k.store_elem(&wg, i, Type::F32, &nw);
+    });
+    k.ret();
+    k.build()
+}
+
+/// The rodinia module (all four applications' kernels).
+pub fn module() -> &'static ptx::Module {
+    static M: OnceLock<ptx::Module> = OnceLock::new();
+    M.get_or_init(|| {
+        let m = ModuleBuilder::new()
+            .push_function(fan1_kernel())
+            .push_function(fan2_kernel())
+            .push_function(hotspot_kernel())
+            .push_function(lavamd_kernel())
+            .push_function(particle_kernel())
+            .build();
+        debug_assert!(ptx::validate(&m).is_ok());
+        m
+    })
+}
+
+/// The rodinia fatbin.
+pub fn fatbin() -> &'static [u8] {
+    static B: OnceLock<Vec<u8>> = OnceLock::new();
+    B.get_or_init(|| {
+        let mut fb = FatBin::new();
+        fb.push_ptx("rodinia", module().to_string());
+        fb.to_bytes().to_vec()
+    })
+}
+
+/// Which Rodinia application to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// Gaussian elimination.
+    Gaussian,
+    /// Hotspot thermal stencil.
+    Hotspot,
+    /// lavaMD particle forces.
+    LavaMd,
+    /// Particle filter.
+    ParticleFilter,
+}
+
+impl App {
+    /// All four applications.
+    pub const ALL: [App; 4] = [App::Gaussian, App::Hotspot, App::LavaMd, App::ParticleFilter];
+}
+
+/// Run one application at the given scale (the paper scales Rodinia up
+/// ~10×; `scale` multiplies the base problem size here).
+///
+/// # Errors
+///
+/// Propagates runtime failures.
+pub fn run(api: &mut dyn CudaApi, app: App, scale: u32) -> CudaResult<()> {
+    api.register_fatbin(fatbin())?;
+    match app {
+        App::Gaussian => {
+            let n = 16 * scale.max(1);
+            let a = api.cuda_malloc(4 * (n as u64) * (n as u64))?;
+            let b = api.cuda_malloc(4 * n as u64)?;
+            let m = api.cuda_malloc(4 * n as u64)?;
+            // Diagonally dominant matrix so elimination is stable.
+            let host: Vec<u8> = (0..n * n)
+                .flat_map(|i| {
+                    let (r, c) = (i / n, i % n);
+                    let v = if r == c {
+                        4.0f32
+                    } else {
+                        0.3 / (1.0 + (r as f32 - c as f32).abs())
+                    };
+                    v.to_le_bytes()
+                })
+                .collect();
+            api.cuda_memcpy_h2d(a, &host)?;
+            let ones: Vec<u8> = (0..n).flat_map(|_| 1.0f32.to_le_bytes()).collect();
+            api.cuda_memcpy_h2d(b, &ones)?;
+            for kcol in 0..n - 1 {
+                let args = ArgPack::new().ptr(a).ptr(m).u32(n).u32(kcol).finish();
+                api.cuda_launch_kernel("gaussian_fan1", linear_cfg(n), &args, Stream::DEFAULT)?;
+                let args = ArgPack::new().ptr(a).ptr(b).ptr(m).u32(n).u32(kcol).finish();
+                api.cuda_launch_kernel("gaussian_fan2", linear_cfg(n * n), &args, Stream::DEFAULT)?;
+            }
+            api.cuda_device_synchronize()
+        }
+        App::Hotspot => {
+            let w = 32 * scale.max(1);
+            let cells = (w as u64) * (w as u64);
+            let tin = api.cuda_malloc(4 * cells)?;
+            let power = api.cuda_malloc(4 * cells)?;
+            let tout = api.cuda_malloc(4 * cells)?;
+            api.cuda_memset(tin, 0, 4 * cells)?;
+            api.cuda_memset(power, 0, 4 * cells)?;
+            let mut src = tin;
+            let mut dst = tout;
+            for _ in 0..8 {
+                let args = ArgPack::new().ptr(src).ptr(power).ptr(dst).u32(w).finish();
+                api.cuda_launch_kernel("hotspot_step", linear_cfg(w * w), &args, Stream::DEFAULT)?;
+                std::mem::swap(&mut src, &mut dst);
+            }
+            api.cuda_device_synchronize()
+        }
+        App::LavaMd => {
+            let n = 64 * scale.max(1);
+            let pos = api.cuda_malloc(4 * 3 * n as u64)?;
+            let force = api.cuda_malloc(4 * n as u64)?;
+            let host: Vec<u8> = (0..3 * n)
+                .flat_map(|i| ((i as f32 * 0.37).sin()).to_le_bytes())
+                .collect();
+            api.cuda_memcpy_h2d(pos, &host)?;
+            for _ in 0..4 {
+                let args = ArgPack::new().ptr(pos).ptr(force).u32(n).finish();
+                api.cuda_launch_kernel("lavamd_force", linear_cfg(n), &args, Stream::DEFAULT)?;
+            }
+            api.cuda_device_synchronize()
+        }
+        App::ParticleFilter => {
+            let n = 256 * scale.max(1);
+            let particles = api.cuda_malloc(4 * n as u64)?;
+            let weights = api.cuda_malloc(4 * n as u64)?;
+            let host: Vec<u8> = (0..n)
+                .flat_map(|i| ((i as f32 / n as f32) * 4.0 - 2.0).to_le_bytes())
+                .collect();
+            api.cuda_memcpy_h2d(particles, &host)?;
+            let ones: Vec<u8> = (0..n).flat_map(|_| 1.0f32.to_le_bytes()).collect();
+            api.cuda_memcpy_h2d(weights, &ones)?;
+            for step in 0..6 {
+                let obs = (step as f32 * 0.5).sin();
+                let args = ArgPack::new()
+                    .ptr(particles)
+                    .ptr(weights)
+                    .u32(n)
+                    .f32(obs)
+                    .finish();
+                api.cuda_launch_kernel("particle_weights", linear_cfg(n), &args, Stream::DEFAULT)?;
+            }
+            api.cuda_device_synchronize()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda_rt::{share_device, NativeRuntime};
+    use gpu_sim::spec::test_gpu;
+    use gpu_sim::Device;
+
+    #[test]
+    fn module_validates_and_round_trips() {
+        let m = module();
+        ptx::validate(m).unwrap();
+        ptx::validate(&ptx::parse(&m.to_string()).unwrap()).unwrap();
+        assert_eq!(m.kernel_names().len(), 5);
+    }
+
+    #[test]
+    fn all_apps_run_natively() {
+        for app in App::ALL {
+            let dev = share_device(Device::new(test_gpu()));
+            let mut api = NativeRuntime::new(dev).unwrap();
+            run(&mut api, app, 1).unwrap_or_else(|e| panic!("{app:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn gaussian_elimination_zeroes_subdiagonal() {
+        let dev = share_device(Device::new(test_gpu()));
+        let mut api = NativeRuntime::new(dev).unwrap();
+        api.register_fatbin(fatbin()).unwrap();
+        let n = 8u32;
+        let a = api.cuda_malloc(4 * 64).unwrap();
+        let b = api.cuda_malloc(4 * 8).unwrap();
+        let m = api.cuda_malloc(4 * 8).unwrap();
+        let host: Vec<u8> = (0..64)
+            .flat_map(|i| {
+                let (r, c) = (i / 8, i % 8);
+                let v = if r == c { 4.0f32 } else { 0.5 };
+                v.to_le_bytes()
+            })
+            .collect();
+        api.cuda_memcpy_h2d(a, &host).unwrap();
+        api.cuda_memset(b, 0, 32).unwrap();
+        for kcol in 0..n - 1 {
+            let args = ArgPack::new().ptr(a).ptr(m).u32(n).u32(kcol).finish();
+            api.cuda_launch_kernel("gaussian_fan1", linear_cfg(n), &args, Stream::DEFAULT)
+                .unwrap();
+            let args = ArgPack::new().ptr(a).ptr(b).ptr(m).u32(n).u32(kcol).finish();
+            api.cuda_launch_kernel("gaussian_fan2", linear_cfg(n * n), &args, Stream::DEFAULT)
+                .unwrap();
+        }
+        api.cuda_device_synchronize().unwrap();
+        let out = api.cuda_memcpy_d2h(a, 4 * 64).unwrap();
+        let at = |r: usize, c: usize| -> f32 {
+            f32::from_le_bytes(out[(r * 8 + c) * 4..][..4].try_into().unwrap())
+        };
+        for r in 1..8 {
+            for c in 0..r {
+                assert!(at(r, c).abs() < 1e-3, "a[{r}][{c}] = {}", at(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_diffuses_towards_equilibrium() {
+        let dev = share_device(Device::new(test_gpu()));
+        let mut api = NativeRuntime::new(dev).unwrap();
+        api.register_fatbin(fatbin()).unwrap();
+        let w = 8u32;
+        let cells = 64u64;
+        let tin = api.cuda_malloc(4 * cells).unwrap();
+        let power = api.cuda_malloc(4 * cells).unwrap();
+        let tout = api.cuda_malloc(4 * cells).unwrap();
+        api.cuda_memset(power, 0, 4 * cells).unwrap();
+        // Hot spot in one corner.
+        let mut host = vec![0.0f32; 64];
+        host[0] = 100.0;
+        let bytes: Vec<u8> = host.iter().flat_map(|v| v.to_le_bytes()).collect();
+        api.cuda_memcpy_h2d(tin, &bytes).unwrap();
+        let args = ArgPack::new().ptr(tin).ptr(power).ptr(tout).u32(w).finish();
+        api.cuda_launch_kernel("hotspot_step", linear_cfg(64), &args, Stream::DEFAULT)
+            .unwrap();
+        api.cuda_device_synchronize().unwrap();
+        let out = api.cuda_memcpy_d2h(tout, 4 * cells).unwrap();
+        let v = |i: usize| f32::from_le_bytes(out[i * 4..][..4].try_into().unwrap());
+        assert!(v(0) < 100.0, "corner cools: {}", v(0));
+        assert!(v(1) > 0.0, "neighbour warms: {}", v(1));
+    }
+}

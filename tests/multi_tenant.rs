@@ -1,0 +1,61 @@
+//! Multi-tenant scheduling behaviour: spatial sharing beats time-sharing,
+//! MPS dispatch serializes, and all Table 4 workload ids run end-to-end.
+
+use bench::{run_workload, workload};
+use gpu_sim::spec::test_gpu;
+use guardian::backends::Deployment;
+
+/// Spatial sharing (Guardian) finishes a 2-tenant mix faster than native
+/// time-sharing — the Figure 6 headline.
+#[test]
+fn spatial_sharing_beats_time_sharing() {
+    let spec = test_gpu();
+    let jobs = workload('E'); // 2x gaussian: truly concurrent-friendly
+    let native = run_workload(&spec, Deployment::Native, &jobs);
+    let fenced = run_workload(&spec, Deployment::GuardianFencing, &jobs);
+    assert!(
+        fenced < native,
+        "guardian {fenced} should beat time-shared native {native}"
+    );
+}
+
+/// Guardian with protection is slower than Guardian without (the fencing
+/// instructions cost cycles), and both complete.
+#[test]
+fn fencing_costs_more_than_no_protection() {
+    let spec = test_gpu();
+    let jobs = workload('A');
+    let noprot = run_workload(&spec, Deployment::GuardianNoProtection, &jobs);
+    let fenced = run_workload(&spec, Deployment::GuardianFencing, &jobs);
+    assert!(
+        fenced >= noprot,
+        "fencing {fenced} must not be faster than no-protection {noprot}"
+    );
+    // And the overhead is bounded (paper: single-digit percent; allow 25%
+    // slack for the scaled-down workloads).
+    assert!(fenced < noprot * 1.25, "fencing {fenced} vs {noprot}");
+}
+
+/// Every Table 4 workload id completes under Guardian fencing.
+#[test]
+fn all_workloads_complete_under_guardian() {
+    let spec = test_gpu();
+    for id in ['A', 'C', 'E', 'G', 'I', 'J', 'M', 'N', 'O'] {
+        let jobs = workload(id);
+        let t = run_workload(&spec, Deployment::GuardianFencing, &jobs);
+        assert!(t > 0.0, "workload {id} produced no device time");
+    }
+}
+
+/// The three Guardian protection modes order as fencing <= modulo <=
+/// checking in execution time (paper §4.4 cost ladder).
+#[test]
+fn protection_mode_cost_ladder() {
+    let spec = test_gpu();
+    let jobs = workload('A');
+    let fence = run_workload(&spec, Deployment::GuardianFencing, &jobs);
+    let modulo = run_workload(&spec, Deployment::GuardianModulo, &jobs);
+    let check = run_workload(&spec, Deployment::GuardianChecking, &jobs);
+    assert!(fence <= modulo * 1.01, "fence {fence} <= modulo {modulo}");
+    assert!(modulo <= check * 1.01, "modulo {modulo} <= check {check}");
+}

@@ -1,0 +1,155 @@
+//! End-to-end security matrix (paper §5): the Figure 1 attack and data
+//! exfiltration attempts under every deployment, with a victim actively
+//! training alongside the attacker.
+
+use cuda_rt::{share_device, ArgPack};
+use frameworks::{train, Network, TrainConfig};
+use gpu_sim::spec::test_gpu;
+use gpu_sim::{Device, LaunchConfig};
+use guardian::backends::{deploy, Deployment};
+use ptx::fatbin::FatBin;
+
+const EVIL: &str = r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry stomp(.param .u64 target, .param .u32 v)
+{
+    .reg .b32 %r<2>;
+    .reg .b64 %rd<2>;
+    ld.param.u64 %rd1, [target];
+    ld.param.u32 %r1, [v];
+    st.global.u32 [%rd1], %r1;
+    ret;
+}
+.visible .entry peek(.param .u64 target, .param .u64 out)
+{
+    .reg .b32 %r<2>;
+    .reg .b64 %rd<3>;
+    ld.param.u64 %rd1, [target];
+    ld.param.u64 %rd2, [out];
+    ld.global.u32 %r1, [%rd1];
+    st.global.u32 [%rd2], %r1;
+    ret;
+}
+"#;
+
+fn evil_fatbin() -> Vec<u8> {
+    let mut fb = FatBin::new();
+    fb.push_ptx("attack", EVIL);
+    fb.to_bytes().to_vec()
+}
+
+/// Under fencing, a malicious *read* of another tenant's memory returns
+/// data from the attacker's own partition — never the victim's bytes.
+#[test]
+fn fencing_blocks_data_exfiltration() {
+    let device = share_device(Device::new(test_gpu()));
+    let fb = evil_fatbin();
+    let mut t = deploy(&device, Deployment::GuardianFencing, 2, 4 << 20, &[&fb]).unwrap();
+    let secret_buf = t.runtimes[1].cuda_malloc(4096).unwrap();
+    t.runtimes[1]
+        .cuda_memcpy_h2d(secret_buf, &0x5EC2E7u32.to_le_bytes())
+        .unwrap();
+    let out = t.runtimes[0].cuda_malloc(4096).unwrap();
+    t.runtimes[0].cuda_memset(out, 0, 4).unwrap();
+    let args = ArgPack::new().ptr(secret_buf).ptr(out).finish();
+    t.runtimes[0]
+        .cuda_launch_kernel("peek", LaunchConfig::linear(1, 1), &args, Default::default())
+        .unwrap();
+    t.runtimes[0].cuda_device_synchronize().unwrap();
+    let stolen = t.runtimes[0].cuda_memcpy_d2h(out, 4).unwrap();
+    assert_ne!(
+        u32::from_le_bytes(stolen.try_into().unwrap()),
+        0x5EC2E7,
+        "fenced load must not return the victim's secret"
+    );
+    drop(t.runtimes);
+    t.manager.unwrap().shutdown();
+}
+
+/// Full matrix: who survives the Figure 1 attack, per deployment.
+#[test]
+fn fault_isolation_matrix() {
+    // (deployment, attacker survives, victim survives, victim data intact)
+    let expectations = [
+        (Deployment::GuardianNoProtection, true, true, false),
+        (Deployment::Mps, false, false, true),
+        (Deployment::Native, false, true, true),
+        (Deployment::GuardianFencing, true, true, true),
+        (Deployment::GuardianChecking, false, true, true),
+    ];
+    for (deployment, exp_attacker, exp_victim, exp_intact) in expectations {
+        let device = share_device(Device::new(test_gpu()));
+        let fb = evil_fatbin();
+        let mut t = deploy(&device, deployment, 2, 4 << 20, &[&fb]).unwrap();
+        let secret = 0xDEAD_BEEFu32;
+        let victim_buf = t.runtimes[1].cuda_malloc(4096).unwrap();
+        t.runtimes[1]
+            .cuda_memcpy_h2d(victim_buf, &secret.to_le_bytes())
+            .unwrap();
+        let args = ArgPack::new().ptr(victim_buf).u32(0x41414141).finish();
+        let _ = t.runtimes[0].cuda_launch_kernel(
+            "stomp",
+            LaunchConfig::linear(1, 1),
+            &args,
+            Default::default(),
+        );
+        let attacker_alive = t.runtimes[0].cuda_device_synchronize().is_ok();
+        let (victim_alive, intact) = match t.runtimes[1].cuda_memcpy_d2h(victim_buf, 4) {
+            Ok(bytes) => (
+                t.runtimes[1].cuda_device_synchronize().is_ok(),
+                u32::from_le_bytes(bytes.try_into().unwrap()) == secret,
+            ),
+            Err(_) => (false, true /* unreadable, not corrupted */),
+        };
+        assert_eq!(attacker_alive, exp_attacker, "{deployment}: attacker");
+        assert_eq!(victim_alive, exp_victim, "{deployment}: victim");
+        assert_eq!(intact, exp_intact, "{deployment}: data");
+        drop(t.runtimes);
+        if let Some(m) = t.manager {
+            m.shutdown();
+        }
+    }
+}
+
+/// A victim *training a network* is undisturbed by a concurrent attacker
+/// under Guardian fencing (transparency + isolation together).
+#[test]
+fn training_survives_concurrent_attack() {
+    let device = share_device(Device::new(test_gpu()));
+    let fb = evil_fatbin();
+    let t = deploy(&device, Deployment::GuardianFencing, 2, 8 << 20, &[&fb]).unwrap();
+    let mut rts = t.runtimes;
+    let mut attacker = rts.remove(0);
+    let mut victim = rts.remove(0);
+
+    let trainer = std::thread::spawn(move || {
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            batches_per_epoch: 2,
+            lr: 0.1,
+            seed: 5,
+        };
+        train(victim.as_mut(), Network::Lenet, &cfg).expect("victim trains")
+    });
+    let attacks = std::thread::spawn(move || {
+        for i in 0..50u64 {
+            let target = 0x7000_0000_0000u64 + i * 0x10_0000;
+            let args = ArgPack::new().ptr(target).u32(0xFFFF_FFFF).finish();
+            let _ = attacker.cuda_launch_kernel(
+                "stomp",
+                LaunchConfig::linear(1, 1),
+                &args,
+                Default::default(),
+            );
+        }
+        let _ = attacker.cuda_device_synchronize();
+    });
+    let report = trainer.join().unwrap();
+    attacks.join().unwrap();
+    assert!(report.last_epoch_loss.is_finite());
+    drop(rts);
+    t.manager.unwrap().shutdown();
+}
