@@ -1,61 +1,93 @@
-//! §7.6 micro-benchmark (criterion): Guardian's allocator vs the driver
-//! allocator, and the per-transfer bounds-check cost.
-use criterion::{criterion_group, criterion_main, Criterion};
+//! §7.6 micro-benchmark: Guardian's allocator vs the driver allocator, and
+//! the per-transfer bounds-check cost. Self-hosted timing harness, like the
+//! other benches (no external dependencies available offline).
 use guardian::alloc::{Partition, PartitionAllocator, RegionAllocator, MIN_PARTITION};
 use ptx_patcher::{apply_fence, fence_mask};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_allocators(c: &mut Criterion) {
-    c.bench_function("partition_buddy_alloc_free", |b| {
-        b.iter(|| {
-            let mut pa = PartitionAllocator::new(1 << 40, 256 * MIN_PARTITION);
-            let mut live = Vec::new();
-            for i in 0..32u64 {
-                live.push(pa.alloc((i % 4 + 1) * MIN_PARTITION).unwrap());
-            }
-            for p in live {
-                pa.free(p.base).unwrap();
-            }
-        })
-    });
-    c.bench_function("region_first_fit_alloc_free", |b| {
-        let part = Partition { base: 1 << 40, size: 64 * MIN_PARTITION };
-        b.iter(|| {
-            let mut ra = RegionAllocator::new(part);
-            let mut live = Vec::new();
-            for i in 0..128u64 {
-                live.push(ra.alloc(1024 * (i % 7 + 1)).unwrap());
-            }
-            for a in live {
-                ra.free(a).unwrap();
-            }
-        })
-    });
+/// Run `f` repeatedly for ~0.2 s after warmup and report ns/iter.
+fn time<F: FnMut() -> R, R>(mut f: F) -> f64 {
+    for _ in 0..3 {
+        black_box(f());
+    }
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 200 {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters *= 4;
+    }
 }
 
-fn bench_bounds_checks(c: &mut Criterion) {
-    let part = Partition { base: 0x7000_0000_0000, size: 1 << 26 };
-    c.bench_function("transfer_range_check", |b| {
-        b.iter(|| {
-            let mut ok = 0u64;
-            for i in 0..1000u64 {
-                if part.contains_range(part.base + i * 64, 4096) {
-                    ok += 1;
-                }
-            }
-            ok
-        })
+fn main() {
+    let buddy = time(|| {
+        let mut pa = PartitionAllocator::new(1 << 40, 256 * MIN_PARTITION);
+        let mut live = Vec::new();
+        for i in 0..32u64 {
+            live.push(pa.alloc((i % 4 + 1) * MIN_PARTITION).unwrap());
+        }
+        for p in live {
+            pa.free(p.base).unwrap();
+        }
     });
-    c.bench_function("fence_arithmetic", |b| {
-        let mask = fence_mask(part.size);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for i in 0..1000u64 {
-                acc ^= apply_fence(0xDEAD_0000_0000u64.wrapping_add(i * 131), part.base, mask);
-            }
-            acc
-        })
-    });
-}
 
-criterion_group!(benches, bench_allocators, bench_bounds_checks);
-criterion_main!(benches);
+    let part = Partition {
+        base: 1 << 40,
+        size: 64 * MIN_PARTITION,
+    };
+    let region = time(|| {
+        let mut ra = RegionAllocator::new(part);
+        let mut live = Vec::new();
+        for i in 0..128u64 {
+            live.push(ra.alloc(1024 * (i % 7 + 1)).unwrap());
+        }
+        for a in live {
+            ra.free(a).unwrap();
+        }
+    });
+
+    let part = Partition {
+        base: 0x7000_0000_0000,
+        size: 1 << 26,
+    };
+    let check = time(|| {
+        let mut ok = 0u64;
+        for i in 0..1000u64 {
+            if part.contains_range(part.base + i * 64, 4096) {
+                ok += 1;
+            }
+        }
+        ok
+    });
+    let mask = fence_mask(part.size);
+    let fence = time(|| {
+        let mut acc = 0u64;
+        for i in 0..1000u64 {
+            acc ^= apply_fence(0xDEAD_0000_0000u64.wrapping_add(i * 131), part.base, mask);
+        }
+        acc
+    });
+
+    bench::print_table(
+        "§7.6 micro-benchmarks: allocators and transfer checks",
+        &["Operation", "ns/iter"],
+        &[
+            vec![
+                "partition_buddy_alloc_free (32 allocs)".into(),
+                format!("{buddy:.0}"),
+            ],
+            vec![
+                "region_first_fit_alloc_free (128 allocs)".into(),
+                format!("{region:.0}"),
+            ],
+            vec!["transfer_range_check (x1000)".into(), format!("{check:.0}")],
+            vec!["fence_arithmetic (x1000)".into(), format!("{fence:.0}")],
+        ],
+    );
+}

@@ -11,7 +11,13 @@ use std::collections::HashMap;
 fn kernel_cycles(guardian: bool) -> HashMap<String, (u64, u64)> {
     let spec = rtx_a4000();
     let device = share_device(Device::new(spec));
-    let cfg = TrainConfig { epochs: 1, batch_size: 4, batches_per_epoch: 2, lr: 0.1, seed: 42 };
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 4,
+        batches_per_epoch: 2,
+        lr: 0.1,
+        seed: 42,
+    };
     if guardian {
         let mut t = deploy(&device, Deployment::GuardianFencing, 1, 64 << 20, &[]).unwrap();
         train(t.runtimes[0].as_mut(), Network::Lenet, &cfg).unwrap();
@@ -48,7 +54,12 @@ fn main() {
             let ovh = (per_g / per_n - 1.0) * 100.0;
             sum_overhead += ovh;
             counted += 1;
-            rows.push(vec![name.clone(), format!("{per_n:.0}"), format!("{per_g:.0}"), format!("{ovh:+.1}%")]);
+            rows.push(vec![
+                name.clone(),
+                format!("{per_n:.0}"),
+                format!("{per_g:.0}"),
+                format!("{ovh:+.1}%"),
+            ]);
         }
     }
     bench::print_table(
@@ -56,6 +67,8 @@ fn main() {
         &["Kernel", "Native", "Sandboxed", "Overhead"],
         &rows,
     );
-    println!("mean overhead: {:+.2}% over {counted} kernels (paper: avg 3.2%, all < ~10%)",
-             sum_overhead / counted.max(1) as f64);
+    println!(
+        "mean overhead: {:+.2}% over {counted} kernels (paper: avg 3.2%, all < ~10%)",
+        sum_overhead / counted.max(1) as f64
+    );
 }

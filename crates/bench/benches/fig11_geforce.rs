@@ -7,7 +7,13 @@ use guardian::backends::Deployment;
 
 fn main() {
     let spec = rtx_3080ti();
-    let cfg = TrainConfig { epochs: 2, batch_size: 4, batches_per_epoch: 2, lr: 0.1, seed: 42 };
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 4,
+        batches_per_epoch: 2,
+        lr: 0.1,
+        seed: 42,
+    };
     let deployments = [
         Deployment::Native,
         Deployment::GuardianNoProtection,
@@ -30,7 +36,15 @@ fn main() {
     }
     bench::print_table(
         "Figure 11: GeForce RTX 3080 Ti standalone (simulated seconds)",
-        &["App", "Native", "Grd w/o prot", "Fencing", "Checking", "fence%", "check x"],
+        &[
+            "App",
+            "Native",
+            "Grd w/o prot",
+            "Fencing",
+            "Checking",
+            "fence%",
+            "check x",
+        ],
         &rows,
     );
     println!("Paper shapes: cv 12%, rnn 10%, lenet 13% fencing overhead; checking ~1.8x.");

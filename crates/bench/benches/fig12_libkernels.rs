@@ -6,13 +6,21 @@ use gpu_sim::{Device, LaunchConfig};
 use guardian::backends::{deploy, Deployment};
 
 const BLAS_KERNELS: &[&str] = &[
-    "hpr2", "hpr", "nrm2", "rot", "rotg", "rotm", "rotmg", "sbmv", "spmv", "spr", "symm",
-    "symv", "syr2", "syr2k", "syr", "syrk", "syrkx", "tbmv", "tbsv", "tpmv", "tpsv", "trmm",
-    "trmv", "trsmB", "trsm", "trsv",
+    "hpr2", "hpr", "nrm2", "rot", "rotg", "rotm", "rotmg", "sbmv", "spmv", "spr", "symm", "symv",
+    "syr2", "syr2k", "syr", "syrk", "syrkx", "tbmv", "tbsv", "tpmv", "tpsv", "trmm", "trmv",
+    "trsmB", "trsm", "trsv",
 ];
 const SPARSE_KERNELS: &[&str] = &[
-    "coosort", "dense2sparse", "gather", "gpsvInter", "rotsp", "scatter", "spmmcooB",
-    "spmmcsr", "spmmcsrB", "spvv",
+    "coosort",
+    "dense2sparse",
+    "gather",
+    "gpsvInter",
+    "rotsp",
+    "scatter",
+    "spmmcooB",
+    "spmmcsr",
+    "spmmcsrB",
+    "spvv",
 ];
 
 fn run(guardian: bool) -> std::collections::HashMap<String, f64> {
@@ -44,16 +52,59 @@ fn run(guardian: bool) -> std::collections::HashMap<String, f64> {
             api.cuda_memset(counter, 0, 64).unwrap();
             let args = match *name {
                 "gather" | "scatter" => ArgPack::new().ptr(a).ptr(e).ptr(c).u32(64).finish(),
-                "spvv" => ArgPack::new().ptr(a).ptr(e).ptr(c).ptr(counter).u32(64).finish(),
-                "rotsp" => ArgPack::new().ptr(a).ptr(e).ptr(c).u32(64).f32(0.8).f32(0.6).finish(),
-                "dense2sparse" => ArgPack::new().ptr(a).ptr(c).ptr(d).ptr(counter).u32(64).finish(),
+                "spvv" => ArgPack::new()
+                    .ptr(a)
+                    .ptr(e)
+                    .ptr(c)
+                    .ptr(counter)
+                    .u32(64)
+                    .finish(),
+                "rotsp" => ArgPack::new()
+                    .ptr(a)
+                    .ptr(e)
+                    .ptr(c)
+                    .u32(64)
+                    .f32(0.8)
+                    .f32(0.6)
+                    .finish(),
+                "dense2sparse" => ArgPack::new()
+                    .ptr(a)
+                    .ptr(c)
+                    .ptr(d)
+                    .ptr(counter)
+                    .u32(64)
+                    .finish(),
                 "coosort" => ArgPack::new().ptr(e).ptr(a).u32(64).u32(0).finish(),
-                "spmmcsr" | "spmmcsrB" => ArgPack::new().ptr(e).ptr(e).ptr(a).ptr(c).ptr(d).u32(8).u32(4).finish(),
-                "spmmcooB" => ArgPack::new().ptr(e).ptr(e).ptr(a).ptr(c).ptr(d).u32(16).u32(4).finish(),
-                "gpsvInter" => ArgPack::new().ptr(a).ptr(b).ptr(c).ptr(d).u32(8).u32(8).finish(),
+                "spmmcsr" | "spmmcsrB" => ArgPack::new()
+                    .ptr(e)
+                    .ptr(e)
+                    .ptr(a)
+                    .ptr(c)
+                    .ptr(d)
+                    .u32(8)
+                    .u32(4)
+                    .finish(),
+                "spmmcooB" => ArgPack::new()
+                    .ptr(e)
+                    .ptr(e)
+                    .ptr(a)
+                    .ptr(c)
+                    .ptr(d)
+                    .u32(16)
+                    .u32(4)
+                    .finish(),
+                "gpsvInter" => ArgPack::new()
+                    .ptr(a)
+                    .ptr(b)
+                    .ptr(c)
+                    .ptr(d)
+                    .u32(8)
+                    .u32(8)
+                    .finish(),
                 _ => unreachable!(),
             };
-            api.cuda_launch_kernel(name, LaunchConfig::linear(2, 128), &args, Stream::DEFAULT).unwrap();
+            api.cuda_launch_kernel(name, LaunchConfig::linear(2, 128), &args, Stream::DEFAULT)
+                .unwrap();
             api.cuda_device_synchronize().unwrap();
         }
         // cuFFT 1dc2c.
@@ -98,7 +149,12 @@ fn main() {
             let ovh = (gc / nc - 1.0) * 100.0;
             sum += ovh;
             n += 1;
-            rows.push(vec![name.to_string(), format!("{nc:.0}"), format!("{gc:.0}"), format!("{ovh:+.1}%")]);
+            rows.push(vec![
+                name.to_string(),
+                format!("{nc:.0}"),
+                format!("{gc:.0}"),
+                format!("{ovh:+.1}%"),
+            ]);
         }
     }
     bench::print_table(
@@ -106,5 +162,8 @@ fn main() {
         &["Kernel", "Native", "Sandboxed", "Overhead"],
         &rows,
     );
-    println!("{n} kernels, mean {:+.2}% (paper: ~4% average, range 0-13%)", sum / n.max(1) as f64);
+    println!(
+        "{n} kernels, mean {:+.2}% (paper: ~4% average, range 0-13%)",
+        sum / n.max(1) as f64
+    );
 }

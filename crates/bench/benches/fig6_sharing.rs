@@ -40,7 +40,15 @@ fn main() {
     ]);
     bench::print_table(
         "Figure 6: workload execution time (simulated seconds)",
-        &["WL", "Native", "MPS", "Grd w/o prot", "Grd fencing", "fence vs MPS", "fence vs Native"],
+        &[
+            "WL",
+            "Native",
+            "MPS",
+            "Grd w/o prot",
+            "Grd fencing",
+            "fence vs MPS",
+            "fence vs Native",
+        ],
         &rows,
     );
     println!("Paper shapes: Guardian fencing ~4.84% slower than MPS; spatial\nsharing ~23-37% faster than native time-sharing (up to 2x on low-\noccupancy mixes like B and D).");

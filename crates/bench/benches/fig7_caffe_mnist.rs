@@ -7,7 +7,13 @@ use guardian::backends::Deployment;
 
 fn main() {
     let spec = rtx_a4000();
-    let cfg = TrainConfig { epochs: 2, batch_size: 4, batches_per_epoch: 2, lr: 0.1, seed: 42 };
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 4,
+        batches_per_epoch: 2,
+        lr: 0.1,
+        seed: 42,
+    };
     let deployments = [
         Deployment::Native,
         Deployment::GuardianNoProtection,
@@ -32,7 +38,17 @@ fn main() {
     }
     bench::print_table(
         "Figure 7: Caffe mnist/cifar standalone (simulated seconds)",
-        &["App", "Native", "Grd w/o prot", "Fencing", "Modulo", "Checking", "fence%", "mod%", "check%"],
+        &[
+            "App",
+            "Native",
+            "Grd w/o prot",
+            "Fencing",
+            "Modulo",
+            "Checking",
+            "fence%",
+            "mod%",
+            "check%",
+        ],
         &rows,
     );
     println!("Paper shapes: fencing 5.9-12% over native; modulo ~+29%; checking ~1.7x.");

@@ -7,7 +7,13 @@ use guardian::backends::Deployment;
 
 fn main() {
     let spec = rtx_a4000();
-    let cfg = TrainConfig { epochs: 1, batch_size: 4, batches_per_epoch: 2, lr: 0.05, seed: 42 };
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 4,
+        batches_per_epoch: 2,
+        lr: 0.05,
+        seed: 42,
+    };
     let deployments = [
         Deployment::Native,
         Deployment::GuardianNoProtection,
@@ -37,7 +43,15 @@ fn main() {
     }
     bench::print_table(
         "Figure 8: imagenet-style training (simulated seconds)",
-        &["Network", "Native", "Grd w/o prot", "Fencing", "Modulo", "Checking", "fence%"],
+        &[
+            "Network",
+            "Native",
+            "Grd w/o prot",
+            "Fencing",
+            "Modulo",
+            "Checking",
+            "fence%",
+        ],
         &rows,
     );
     println!("Paper shapes: fencing 4.5-10% over native (Caffe) / interception\n~5.5% + fencing ~7.6% (PyTorch).");

@@ -7,8 +7,10 @@ fn main() {
     let mut opt = ExtraRegHistogram::default();
     let mut spills = 0u64;
     let mut kernels = 0u64;
-    let mut modules: Vec<&ptx::Module> =
-        culibs::fatbins::all_modules().into_iter().map(|(_, m)| m).collect();
+    let mut modules: Vec<&ptx::Module> = culibs::fatbins::all_modules()
+        .into_iter()
+        .map(|(_, m)| m)
+        .collect();
     modules.push(rodinia::module());
     for m in modules {
         let patched = patch_module(m, Protection::FenceBitwise).expect("patch");
@@ -22,7 +24,11 @@ fn main() {
     let rows: Vec<Vec<String>> = (0..5)
         .map(|i| {
             vec![
-                if i < 4 { format!("{i} extra regs") } else { "4+ extra regs".into() },
+                if i < 4 {
+                    format!("{i} extra regs")
+                } else {
+                    "4+ extra regs".into()
+                },
                 format!("{:.0}%", unopt.fraction(i) * 100.0),
                 format!("{:.0}%", opt.fraction(i) * 100.0),
             ]

@@ -4,7 +4,11 @@ use guardian::backends::{mig_capabilities, Deployment};
 fn main() {
     let tick = |b: bool| if b { "yes" } else { "-" }.to_string();
     let mut rows = Vec::new();
-    for d in [Deployment::Native, Deployment::GuardianNoProtection, Deployment::Mps] {
+    for d in [
+        Deployment::Native,
+        Deployment::GuardianNoProtection,
+        Deployment::Mps,
+    ] {
         let c = d.capabilities();
         rows.push(vec![
             c.name.to_string(),
@@ -32,7 +36,13 @@ fn main() {
     ]);
     bench::print_table(
         "Table 1: GPU sharing approaches",
-        &["Approach", "OOB Fault Isolation", "Dynamic Res. Alloc.", "No HW support", "Spatial sharing"],
+        &[
+            "Approach",
+            "OOB Fault Isolation",
+            "Dynamic Res. Alloc.",
+            "No HW support",
+            "Spatial sharing",
+        ],
         &rows,
     );
     println!("*MIG requires static GPU resource allocation (paper Table 1).");

@@ -11,16 +11,24 @@ fn main() {
         r
     };
     let rows = vec![
-        row("Compute Capability", &|s| format!("{}.{}", s.compute_capability.0, s.compute_capability.1)),
+        row("Compute Capability", &|s| {
+            format!("{}.{}", s.compute_capability.0, s.compute_capability.1)
+        }),
         row("#SMs", &|s| s.num_sms.to_string()),
         row("#CUDA cores", &|s| s.total_cores().to_string()),
         row("L1 (KB)", &|s| (s.l1_bytes / 1024).to_string()),
         row("L2 (KB)", &|s| (s.l2_bytes / 1024).to_string()),
-        row("Global memory (GB)", &|s| (s.global_mem_bytes >> 30).to_string()),
-        row("#Registers / Thread", &|s| s.max_registers_per_thread.to_string()),
+        row("Global memory (GB)", &|s| {
+            (s.global_mem_bytes >> 30).to_string()
+        }),
+        row("#Registers / Thread", &|s| {
+            s.max_registers_per_thread.to_string()
+        }),
         row("L1 hit latency (cycles)", &|s| s.l1_hit_cycles.to_string()),
         row("L2 hit latency (cycles)", &|s| s.l2_hit_cycles.to_string()),
-        row("Global BW (GB/s)", &|s| format!("{:.0}", s.dram_bytes_per_sec / 1e9)),
+        row("Global BW (GB/s)", &|s| {
+            format!("{:.0}", s.dram_bytes_per_sec / 1e9)
+        }),
         row("ECC", &|s| if s.ecc { "Yes" } else { "No" }.to_string()),
     ];
     bench::print_table(

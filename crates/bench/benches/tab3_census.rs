@@ -24,7 +24,13 @@ fn main() {
     ]);
     bench::print_table(
         "Table 3: instructions identified and safeguarded",
-        &["Library", "#kernels", "#func", "#total loads", "#total stores"],
+        &[
+            "Library",
+            "#kernels",
+            "#func",
+            "#total loads",
+            "#total stores",
+        ],
         &rows,
     );
     println!("(Counts are static per shipped PTX; the paper's binaries carry many\nmore kernels — the ratio of loads:stores and the 100% coverage property\nare the reproduced quantities.)");

@@ -14,8 +14,13 @@ fn main() {
     let args = ArgPack::new().ptr(x).ptr(x).u32(1024).f32(1.0).finish();
     // >1000 launches, as in the paper's methodology.
     for _ in 0..1200 {
-        api.cuda_launch_kernel("scal", LaunchConfig::linear(4, 128), &args, Default::default())
-            .unwrap();
+        api.cuda_launch_kernel(
+            "scal",
+            LaunchConfig::linear(4, 128),
+            &args,
+            Default::default(),
+        )
+        .unwrap();
     }
     api.cuda_device_synchronize().unwrap();
     let stats = t.manager.as_ref().unwrap().interception_stats();
@@ -23,9 +28,21 @@ fn main() {
         "Table 5: Guardian interception cost per cudaLaunchKernel (CPU cycles @3GHz)",
         &["Operation", "Guardian (measured)", "Paper"],
         &[
-            vec!["Lookup GPU kernel".into(), format!("{:.0}", stats.lookup_cycles()), "557 (214-900)".into()],
-            vec!["Augment kernel params".into(), format!("{:.0}", stats.augment_cycles()), "400 (300-600)".into()],
-            vec!["Enqueue (launch path)".into(), format!("{:.0}", stats.enqueue_cycles()), "~9000 incl. driver".into()],
+            vec![
+                "Lookup GPU kernel".into(),
+                format!("{:.0}", stats.lookup_cycles()),
+                "557 (214-900)".into(),
+            ],
+            vec![
+                "Augment kernel params".into(),
+                format!("{:.0}", stats.augment_cycles()),
+                "400 (300-600)".into(),
+            ],
+            vec![
+                "Enqueue (launch path)".into(),
+                format!("{:.0}", stats.enqueue_cycles()),
+                "~9000 incl. driver".into(),
+            ],
         ],
     );
     println!("launches measured: {}", stats.launches);

@@ -1,7 +1,7 @@
 //! Table 6: implicit CUDA runtime/driver calls performed by high-level
 //! accelerated-library functions.
-use culibs::{cublas, cufft, cusolver, cusparse};
 use cuda_rt::{share_device, CallRecorder, CudaApi, NativeRuntime};
+use culibs::{cublas, cufft, cusolver, cusparse};
 use gpu_sim::spec::test_gpu;
 use gpu_sim::Device;
 
@@ -55,7 +55,17 @@ fn main() {
     let yv = api.cuda_malloc(64).unwrap();
     let scratch = api.cuda_malloc(64).unwrap();
     api.reset();
-    cusparse::cusparse_axpby(&mut api, &hs, 1.0, cusparse::SpVec { vals, idx, nnz: 4 }, 1.0, yv, scratch, 16).unwrap();
+    cusparse::cusparse_axpby(
+        &mut api,
+        &hs,
+        1.0,
+        cusparse::SpVec { vals, idx, nnz: 4 },
+        1.0,
+        yv,
+        scratch,
+        16,
+    )
+    .unwrap();
     let (calls, total) = fmt_counts(&api);
     rows.push(vec!["cusparseAxpby".into(), calls, total.to_string()]);
 
@@ -81,7 +91,11 @@ fn main() {
 
     bench::print_table(
         "Table 6: implicit CUDA runtime/driver calls of library functions",
-        &["High-level call", "Implicit CUDA runtime/driver calls", "Total"],
+        &[
+            "High-level call",
+            "Implicit CUDA runtime/driver calls",
+            "Total",
+        ],
         &rows,
     );
     println!("Paper reference: cublasCreate 23 (3 malloc + 18 event + 2 free),\ncublasIdamax 5, cublasDdot 6, cusparseAxpby 2, cufftExecC2C 6 (driver-\nlevel!), cusolverSpDcsrqr 4. Treating libraries as black boxes would\nmiss every one of these (paper §7.7).");

@@ -79,7 +79,10 @@ pub fn workload(id: char) -> Vec<Job> {
             net(Cifar10, 2),
             net(Cifar10, 2),
         ],
-        'M' => vec![Job::Rodinia(App::Hotspot, 2), Job::Rodinia(App::Gaussian, 2)],
+        'M' => vec![
+            Job::Rodinia(App::Hotspot, 2),
+            Job::Rodinia(App::Gaussian, 2),
+        ],
         'N' => vec![Job::Rodinia(App::Gaussian, 2), Job::Rodinia(App::LavaMd, 2)],
         'O' => vec![
             Job::Rodinia(App::ParticleFilter, 2),
@@ -106,12 +109,16 @@ pub fn run_workload(spec: &GpuSpec, deployment: Deployment, jobs: &[Job]) -> f64
     let device: SharedDevice = share_device(Device::new(spec.clone()));
     // Partition size adapts to the device: an eighth of DRAM per tenant on
     // big GPUs, bounded below so small test GPUs still fit all tenants.
-    let mem_per_tenant = (spec.global_mem_bytes / (8 * jobs.len().max(1) as u64))
-        .clamp(2 << 20, 64 << 20);
-    let tenancy = deploy(&device, deployment, jobs.len(), mem_per_tenant, &[])
-        .expect("deployment setup");
+    let mem_per_tenant =
+        (spec.global_mem_bytes / (8 * jobs.len().max(1) as u64)).clamp(2 << 20, 64 << 20);
+    let tenancy =
+        deploy(&device, deployment, jobs.len(), mem_per_tenant, &[]).expect("deployment setup");
+    // Round-robin lockstep: simulated time depends on the order tenant
+    // calls reach the device, so pin that order to make measured
+    // makespans reproducible across runs.
+    let runtimes = cuda_rt::lockstep::Lockstep::wrap_all(tenancy.runtimes);
     let mut handles = Vec::new();
-    for (mut rt, job) in tenancy.runtimes.into_iter().zip(jobs.iter().cloned()) {
+    for (mut rt, job) in runtimes.into_iter().zip(jobs.iter().cloned()) {
         handles.push(std::thread::spawn(move || job.run(rt.as_mut())));
     }
     for h in handles {
@@ -148,7 +155,11 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     let fmt_row = |cells: &[String]| {
         let mut s = String::new();
         for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+            s.push_str(&format!(
+                "{:<w$}  ",
+                c,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         s
     };
@@ -156,7 +167,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -332,10 +332,7 @@ mod tests {
     fn argpack_f32_packs_tight() {
         let args = ArgPack::new().f32(1.0).f32(2.0).finish();
         assert_eq!(args.len(), 8);
-        assert_eq!(
-            f32::from_le_bytes(args[4..8].try_into().unwrap()),
-            2.0
-        );
+        assert_eq!(f32::from_le_bytes(args[4..8].try_into().unwrap()), 2.0);
     }
 
     #[test]

@@ -65,7 +65,10 @@ mod tests {
 
     #[test]
     fn device_errors_map() {
-        assert_eq!(CudaError::from(DeviceError::OutOfMemory), CudaError::OutOfMemory);
+        assert_eq!(
+            CudaError::from(DeviceError::OutOfMemory),
+            CudaError::OutOfMemory
+        );
         assert_eq!(
             CudaError::from(DeviceError::InvalidFree),
             CudaError::InvalidValue

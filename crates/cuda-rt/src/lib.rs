@@ -23,10 +23,12 @@
 pub mod api;
 pub mod error;
 pub mod export;
+pub mod lockstep;
 pub mod native;
 pub mod trace;
 
 pub use api::{ArgPack, CudaApi, DevicePtr, EventHandle, MemcpyKind, ModuleHandle, Stream};
 pub use error::{CudaError, CudaResult};
+pub use lockstep::{Lockstep, Turnstile};
 pub use native::{share_device, NativeRuntime, SharedDevice};
 pub use trace::CallRecorder;

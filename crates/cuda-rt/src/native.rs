@@ -427,7 +427,12 @@ $L_end:
         rt.cuda_memcpy_h2d(x, &xs).unwrap();
         rt.cuda_memcpy_h2d(y, &ys).unwrap();
 
-        let args = crate::api::ArgPack::new().ptr(x).ptr(y).f32(2.0).u32(n).finish();
+        let args = crate::api::ArgPack::new()
+            .ptr(x)
+            .ptr(y)
+            .f32(2.0)
+            .u32(n)
+            .finish();
         rt.cuda_launch_kernel("saxpy", LaunchConfig::linear(4, 64), &args, Stream::DEFAULT)
             .unwrap();
         rt.cuda_device_synchronize().unwrap();
@@ -458,7 +463,12 @@ $L_end:
         let e0 = rt.cuda_event_create_with_flags(0).unwrap();
         let e1 = rt.cuda_event_create_with_flags(0).unwrap();
         rt.cuda_event_record(e0, Stream::DEFAULT).unwrap();
-        let args = crate::api::ArgPack::new().ptr(x).ptr(y).f32(1.0).u32(256).finish();
+        let args = crate::api::ArgPack::new()
+            .ptr(x)
+            .ptr(y)
+            .f32(1.0)
+            .u32(256)
+            .finish();
         rt.cuda_launch_kernel("saxpy", LaunchConfig::linear(4, 64), &args, Stream::DEFAULT)
             .unwrap();
         rt.cuda_event_record(e1, Stream::DEFAULT).unwrap();
@@ -472,7 +482,10 @@ $L_end:
         let mut rt = runtime();
         let e0 = rt.cuda_event_create_with_flags(0).unwrap();
         let e1 = rt.cuda_event_create_with_flags(0).unwrap();
-        assert_eq!(rt.cuda_event_elapsed_ms(e0, e1), Err(CudaError::InvalidValue));
+        assert_eq!(
+            rt.cuda_event_elapsed_ms(e0, e1),
+            Err(CudaError::InvalidValue)
+        );
     }
 
     #[test]
@@ -492,7 +505,7 @@ $L_end:
         let pa = a.cuda_malloc(4096).unwrap();
         let pb = b.cuda_malloc(4096).unwrap();
         assert_ne!(pa, pb);
-        assert_eq!(dev.lock().used_bytes() > 0, true);
+        assert!(dev.lock().used_bytes() > 0);
         // Without protection, runtime B can read A's memory through d2d —
         // the Figure 1 hazard that Guardian exists to fix.
         a.cuda_memcpy_h2d(pa, b"secret!!").unwrap();
@@ -528,7 +541,12 @@ $L_end:
         assert_eq!(m, ModuleHandle(1));
         let p = rt.cu_mem_alloc(1024).unwrap();
         rt.cu_memcpy_htod(p, &[0u8; 16]).unwrap();
-        let args = crate::api::ArgPack::new().ptr(p).ptr(p).f32(0.0).u32(0).finish();
+        let args = crate::api::ArgPack::new()
+            .ptr(p)
+            .ptr(p)
+            .f32(0.0)
+            .u32(0)
+            .finish();
         rt.cu_launch_kernel("saxpy", LaunchConfig::linear(1, 32), &args, Stream::DEFAULT)
             .unwrap();
         rt.cuda_device_synchronize().unwrap();

@@ -112,7 +112,13 @@ pub fn cublas_saxpy(
     x: DevicePtr,
     y: DevicePtr,
 ) -> CudaResult<()> {
-    let args = ArgPack::new().ptr(x).ptr(y).ptr(y).u32(n).f32(alpha).finish();
+    let args = ArgPack::new()
+        .ptr(x)
+        .ptr(y)
+        .ptr(y)
+        .u32(n)
+        .f32(alpha)
+        .finish();
     api.cuda_launch_kernel("axpy", linear_cfg(n), &args, Stream::DEFAULT)
 }
 
@@ -184,7 +190,12 @@ pub fn cublas_ddot(
         .u32(1)
         .f32(0.0)
         .finish();
-    api.cuda_launch_kernel("scal", LaunchConfig::linear(1, 32), &zero_args, Stream::DEFAULT)?;
+    api.cuda_launch_kernel(
+        "scal",
+        LaunchConfig::linear(1, 32),
+        &zero_args,
+        Stream::DEFAULT,
+    )?;
     // Reduction (launch #2).
     let args = ArgPack::new()
         .ptr(x)
@@ -302,16 +313,17 @@ pub fn launch_sample_kernel(
         // triangular solves: (a, b, n) single worker
         "trsv" | "tbsv" | "tpsv" | "trsm" | "trsmB" => {
             let args = ArgPack::new().ptr(a).ptr(b).u32(n).finish();
-            return api.cuda_launch_kernel(name, LaunchConfig::linear(1, 32), &args, Stream::DEFAULT);
+            return api.cuda_launch_kernel(
+                name,
+                LaunchConfig::linear(1, 32),
+                &args,
+                Stream::DEFAULT,
+            );
         }
         // packed walks: (ap, x, y, n, alpha)
-        "spmv" | "tpmv" | "trmv" | "spr" | "hpr" | "hpr2" => ArgPack::new()
-            .ptr(a)
-            .ptr(b)
-            .ptr(c)
-            .u32(n)
-            .f32(1.0)
-            .finish(),
+        "spmv" | "tpmv" | "trmv" | "spr" | "hpr" | "hpr2" => {
+            ArgPack::new().ptr(a).ptr(b).ptr(c).u32(n).f32(1.0).finish()
+        }
         // banded: (ab, x, y, n, band, alpha)
         "sbmv" | "tbmv" => ArgPack::new()
             .ptr(a)
@@ -355,10 +367,21 @@ pub fn launch_sample_kernel(
             return api.cuda_launch_kernel(name, gemm_cfg(d_, d_), &args, Stream::DEFAULT);
         }
         // rotations
-        "rot" | "rotm" => ArgPack::new().ptr(a).ptr(b).u32(n).f32(0.8).f32(0.6).finish(),
+        "rot" | "rotm" => ArgPack::new()
+            .ptr(a)
+            .ptr(b)
+            .u32(n)
+            .f32(0.8)
+            .f32(0.6)
+            .finish(),
         "rotg" | "rotmg" => {
             let args = ArgPack::new().ptr(a).ptr(b).ptr(c).finish();
-            return api.cuda_launch_kernel(name, LaunchConfig::linear(1, 32), &args, Stream::DEFAULT);
+            return api.cuda_launch_kernel(
+                name,
+                LaunchConfig::linear(1, 32),
+                &args,
+                Stream::DEFAULT,
+            );
         }
         // reductions: (x, out, n) / (x, y, out, n)
         "nrm2" => ArgPack::new().ptr(a).ptr(d).u32(n).finish(),
@@ -395,7 +418,9 @@ mod tests {
         let mut api = recorded();
         let h = CublasHandle::create(&mut api).unwrap();
         let x = api.cuda_malloc(1024).unwrap();
-        let data: Vec<u8> = (0..256).flat_map(|i| ((i as f32) - 100.0).to_le_bytes()).collect();
+        let data: Vec<u8> = (0..256)
+            .flat_map(|i| ((i as f32) - 100.0).to_le_bytes())
+            .collect();
         api.cuda_memcpy_h2d(x, &data).unwrap();
         api.reset();
         let max = cublas_isamax(&mut api, &h, 256, x).unwrap();
@@ -440,10 +465,22 @@ mod tests {
         let a = api.cuda_malloc(4 * 6).unwrap();
         let b = api.cuda_malloc(4 * 8).unwrap();
         let c = api.cuda_malloc(4 * 12).unwrap();
-        api.cuda_memcpy_h2d(a, &a_host.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<_>>())
-            .unwrap();
-        api.cuda_memcpy_h2d(b, &b_host.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<_>>())
-            .unwrap();
+        api.cuda_memcpy_h2d(
+            a,
+            &a_host
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        api.cuda_memcpy_h2d(
+            b,
+            &b_host
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
         api.cuda_memset(c, 0, 4 * 12).unwrap();
         cublas_sgemm(&mut api, &h, 0, m, n, kk, 1.0, a, b, 0.0, c).unwrap();
         api.cuda_device_synchronize().unwrap();

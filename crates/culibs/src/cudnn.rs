@@ -61,12 +61,7 @@ impl ConvDesc {
 ///
 /// # Errors
 /// Propagates launch failures.
-pub fn im2col(
-    api: &mut dyn CudaApi,
-    d: ConvDesc,
-    im: DevicePtr,
-    col: DevicePtr,
-) -> CudaResult<()> {
+pub fn im2col(api: &mut dyn CudaApi, d: ConvDesc, im: DevicePtr, col: DevicePtr) -> CudaResult<()> {
     let n = d.col_rows() * d.col_cols();
     let args = ArgPack::new()
         .ptr(im)
@@ -84,12 +79,7 @@ pub fn im2col(
 ///
 /// # Errors
 /// Propagates launch failures.
-pub fn col2im(
-    api: &mut dyn CudaApi,
-    d: ConvDesc,
-    col: DevicePtr,
-    im: DevicePtr,
-) -> CudaResult<()> {
+pub fn col2im(api: &mut dyn CudaApi, d: ConvDesc, col: DevicePtr, im: DevicePtr) -> CudaResult<()> {
     let n = d.col_rows() * d.col_cols();
     let args = ArgPack::new()
         .ptr(col)
@@ -208,7 +198,13 @@ pub fn sgd_update(
     n: u32,
     lr: f32,
 ) -> CudaResult<()> {
-    let args = ArgPack::new().ptr(w).ptr(grad).ptr(w).u32(n).f32(lr).finish();
+    let args = ArgPack::new()
+        .ptr(w)
+        .ptr(grad)
+        .ptr(w)
+        .u32(n)
+        .f32(lr)
+        .finish();
     api.cuda_launch_kernel("sgdupdate", linear_cfg(n), &args, Stream::DEFAULT)
 }
 

@@ -114,8 +114,7 @@ mod tests {
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect();
         let mean: f64 = vals.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
-        let var: f64 =
-            vals.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = vals.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 1.0).abs() < 0.25, "var {var}");
     }

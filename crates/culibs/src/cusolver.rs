@@ -68,10 +68,22 @@ mod tests {
         let b_host: Vec<f32> = vec![2.0, 9.0];
         let a = api.cuda_malloc(16).unwrap();
         let b = api.cuda_malloc(8).unwrap();
-        api.cuda_memcpy_h2d(a, &a_host.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<_>>())
-            .unwrap();
-        api.cuda_memcpy_h2d(b, &b_host.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<_>>())
-            .unwrap();
+        api.cuda_memcpy_h2d(
+            a,
+            &a_host
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        api.cuda_memcpy_h2d(
+            b,
+            &b_host
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
         api.reset();
         cusolver_csrqr(&mut api, &h, a, b, 2).unwrap();
         assert_eq!(api.count("cudaLaunchKernel"), 2);

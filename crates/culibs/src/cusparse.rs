@@ -57,6 +57,7 @@ pub struct CsrMat {
 ///
 /// # Errors
 /// Propagates launch failures.
+#[allow(clippy::too_many_arguments)] // mirrors the cusparseAxpby C signature
 pub fn cusparse_axpby(
     api: &mut dyn CudaApi,
     _h: &CusparseHandle,
@@ -122,7 +123,12 @@ pub fn cusparse_gather(
     y: DevicePtr,
     x: SpVec,
 ) -> CudaResult<()> {
-    let args = ArgPack::new().ptr(y).ptr(x.idx).ptr(x.vals).u32(x.nnz).finish();
+    let args = ArgPack::new()
+        .ptr(y)
+        .ptr(x.idx)
+        .ptr(x.vals)
+        .u32(x.nnz)
+        .finish();
     api.cuda_launch_kernel("gather", linear_cfg(x.nnz), &args, Stream::DEFAULT)
 }
 

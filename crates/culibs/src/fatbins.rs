@@ -55,7 +55,12 @@ cached!(
     "cudnn",
     kernels::dnn::all_kernels()
 );
-cached!(cufft_fatbin, cufft_module, "cufft", kernels::fft::all_kernels());
+cached!(
+    cufft_fatbin,
+    cufft_module,
+    "cufft",
+    kernels::fft::all_kernels()
+);
 cached!(
     cusparse_fatbin,
     cusparse_module,

@@ -5,9 +5,7 @@
 //! level-2/level-3 sample kernels: `hpr2`, `tbmv`, `syrkx`, ...), so the
 //! benchmark harnesses print the same rows the paper plots.
 
-use super::helpers::{
-    elementwise, gemm, gemv, packed_triangular, reduction, triangular_solve,
-};
+use super::helpers::{elementwise, gemm, gemv, packed_triangular, reduction, triangular_solve};
 use ptx::builder::KernelBuilder;
 use ptx::types::{AtomKind, BinKind, CmpOp, Type, UnaryKind};
 use ptx::{Function, Op, Operand};
@@ -61,10 +59,14 @@ fn rotg_kernel(name: &str) -> Function {
     let tid = k.global_tid_x();
     let p = k.setp(CmpOp::Ne, Type::U32, &tid, Operand::ImmInt(0));
     let end = k.fresh_label("end");
-    k.emit_pred(&p, false, Op::Bra {
-        uni: false,
-        target: end.clone(),
-    });
+    k.emit_pred(
+        &p,
+        false,
+        Op::Bra {
+            uni: false,
+            target: end.clone(),
+        },
+    );
     let zero = k.imm_u32(0);
     let a = k.load_elem(&xg, &zero, Type::F32);
     let b = k.load_elem(&yg, &zero, Type::F32);
@@ -187,10 +189,14 @@ fn banded_kernel(name: &str) -> Function {
         let done = k.fresh_label("band_done");
         k.label(top.clone());
         let p = k.setp(CmpOp::Ge, Type::U32, &d, Operand::reg(&width));
-        k.emit_pred(&p, false, Op::Bra {
-            uni: false,
-            target: done.clone(),
-        });
+        k.emit_pred(
+            &p,
+            false,
+            Op::Bra {
+                uni: false,
+                target: done.clone(),
+            },
+        );
         // col = row + d - band; guard 0 <= col < n (unsigned wrap covers <0)
         let rd = k.binary(BinKind::Add, Type::U32, row, &d);
         let col = k.binary(BinKind::Sub, Type::U32, &rd, &band);
@@ -374,8 +380,8 @@ mod tests {
         ptx::validate(&re).unwrap();
         // Figure 10 / Figure 12 names are present.
         for name in [
-            "sgemm_1", "gemv2T", "scal", "axpy", "dot", "asum", "hpr2", "tbmv", "syrkx",
-            "trsmB", "trsv", "spmv",
+            "sgemm_1", "gemv2T", "scal", "axpy", "dot", "asum", "hpr2", "tbmv", "syrkx", "trsmB",
+            "trsv", "spmv",
         ] {
             assert!(m.function(name).is_some(), "missing kernel {name}");
         }

@@ -197,14 +197,28 @@ fn maxpoolfw_kernel() -> Function {
         let ydone = k.fresh_label("py_done");
         k.label(ytop.clone());
         let py = k.setp(CmpOp::Ge, Type::U32, &dy, Operand::reg(&ps));
-        k.emit_pred(&py, false, Op::Bra { uni: false, target: ydone.clone() });
+        k.emit_pred(
+            &py,
+            false,
+            Op::Bra {
+                uni: false,
+                target: ydone.clone(),
+            },
+        );
         {
             let dx = k.imm_u32(0);
             let xtop = k.fresh_label("px");
             let xdone = k.fresh_label("px_done");
             k.label(xtop.clone());
             let px = k.setp(CmpOp::Ge, Type::U32, &dx, Operand::reg(&ps));
-            k.emit_pred(&px, false, Op::Bra { uni: false, target: xdone.clone() });
+            k.emit_pred(
+                &px,
+                false,
+                Op::Bra {
+                    uni: false,
+                    target: xdone.clone(),
+                },
+            );
             {
                 let iy = k.reg(Type::U32);
                 k.emit(Op::Mad {
@@ -254,7 +268,10 @@ fn maxpoolfw_kernel() -> Function {
                 a: Operand::reg(&dx),
                 b: Operand::ImmInt(1),
             });
-            k.emit(Op::Bra { uni: true, target: xtop });
+            k.emit(Op::Bra {
+                uni: true,
+                target: xtop,
+            });
             k.label(xdone);
         }
         k.emit(Op::Binary {
@@ -264,7 +281,10 @@ fn maxpoolfw_kernel() -> Function {
             a: Operand::reg(&dy),
             b: Operand::ImmInt(1),
         });
-        k.emit(Op::Bra { uni: true, target: ytop });
+        k.emit(Op::Bra {
+            uni: true,
+            target: ytop,
+        });
         k.label(ydone);
         k.store_elem(&tg, idx, Type::F32, &best);
     });
@@ -312,14 +332,28 @@ fn maxpoolbw_kernel() -> Function {
         let ydone = k.fresh_label("by_done");
         k.label(ytop.clone());
         let py = k.setp(CmpOp::Ge, Type::U32, &dy, Operand::reg(&ps));
-        k.emit_pred(&py, false, Op::Bra { uni: false, target: ydone.clone() });
+        k.emit_pred(
+            &py,
+            false,
+            Op::Bra {
+                uni: false,
+                target: ydone.clone(),
+            },
+        );
         {
             let dx = k.imm_u32(0);
             let xtop = k.fresh_label("bx");
             let xdone = k.fresh_label("bx_done");
             k.label(xtop.clone());
             let px = k.setp(CmpOp::Ge, Type::U32, &dx, Operand::reg(&ps));
-            k.emit_pred(&px, false, Op::Bra { uni: false, target: xdone.clone() });
+            k.emit_pred(
+                &px,
+                false,
+                Op::Bra {
+                    uni: false,
+                    target: xdone.clone(),
+                },
+            );
             {
                 let iy = k.reg(Type::U32);
                 k.emit(Op::Mad {
@@ -376,7 +410,10 @@ fn maxpoolbw_kernel() -> Function {
                 a: Operand::reg(&dx),
                 b: Operand::ImmInt(1),
             });
-            k.emit(Op::Bra { uni: true, target: xtop });
+            k.emit(Op::Bra {
+                uni: true,
+                target: xtop,
+            });
             k.label(xdone);
         }
         k.emit(Op::Binary {
@@ -386,7 +423,10 @@ fn maxpoolbw_kernel() -> Function {
             a: Operand::reg(&dy),
             b: Operand::ImmInt(1),
         });
-        k.emit(Op::Bra { uni: true, target: ytop });
+        k.emit(Op::Bra {
+            uni: true,
+            target: ytop,
+        });
         k.label(ydone);
     });
     k.ret();
@@ -430,7 +470,14 @@ fn channel_kernel(name: &str, op: &'static str) -> Function {
         let done = k.fresh_label("ch_done");
         k.label(top.clone());
         let p = k.setp(CmpOp::Ge, Type::U32, &c, Operand::reg(&cls));
-        k.emit_pred(&p, false, Op::Bra { uni: false, target: done.clone() });
+        k.emit_pred(
+            &p,
+            false,
+            Op::Bra {
+                uni: false,
+                target: done.clone(),
+            },
+        );
         let idx = k.binary(BinKind::Add, Type::U32, &base, &c);
         let v = k.load_elem(&dg, &idx, Type::F32);
         match op {
@@ -465,7 +512,10 @@ fn channel_kernel(name: &str, op: &'static str) -> Function {
             a: Operand::reg(&c),
             b: Operand::ImmInt(1),
         });
-        k.emit(Op::Bra { uni: true, target: top });
+        k.emit(Op::Bra {
+            uni: true,
+            target: top,
+        });
         k.label(done);
         if op == "max" || op == "sum" {
             k.store_elem(&og, s, Type::F32, &acc);
@@ -610,20 +660,35 @@ fn accuracy_kernel() -> Function {
         let done = k.fresh_label("am_done");
         k.label(top.clone());
         let p = k.setp(CmpOp::Ge, Type::U32, &c, Operand::reg(&cls));
-        k.emit_pred(&p, false, Op::Bra { uni: false, target: done.clone() });
+        k.emit_pred(
+            &p,
+            false,
+            Op::Bra {
+                uni: false,
+                target: done.clone(),
+            },
+        );
         let idx = k.binary(BinKind::Add, Type::U32, &base, &c);
         let v = k.load_elem(&pg, &idx, Type::F32);
         let better = k.setp(CmpOp::Gt, Type::F32, &v, Operand::reg(&best));
-        k.emit_pred(&better, false, Op::Mov {
-            ty: Type::F32,
-            dst: best.clone(),
-            src: Operand::reg(&v),
-        });
-        k.emit_pred(&better, false, Op::Mov {
-            ty: Type::U32,
-            dst: best_idx.clone(),
-            src: Operand::reg(&c),
-        });
+        k.emit_pred(
+            &better,
+            false,
+            Op::Mov {
+                ty: Type::F32,
+                dst: best.clone(),
+                src: Operand::reg(&v),
+            },
+        );
+        k.emit_pred(
+            &better,
+            false,
+            Op::Mov {
+                ty: Type::U32,
+                dst: best_idx.clone(),
+                src: Operand::reg(&c),
+            },
+        );
         k.emit(Op::Binary {
             kind: BinKind::Add,
             ty: Type::U32,
@@ -631,7 +696,10 @@ fn accuracy_kernel() -> Function {
             a: Operand::reg(&c),
             b: Operand::ImmInt(1),
         });
-        k.emit(Op::Bra { uni: true, target: top });
+        k.emit(Op::Bra {
+            uni: true,
+            target: top,
+        });
         k.label(done);
         let label = k.load_elem(&lg, s, Type::U32);
         let hit = k.setp(CmpOp::Eq, Type::U32, &best_idx, Operand::reg(&label));

@@ -108,7 +108,14 @@ pub fn bitrev_kernel() -> Function {
         let done = k.fresh_label("rv_done");
         k.label(top.clone());
         let p = k.setp(CmpOp::Ge, Type::U32, &b, Operand::reg(&bits));
-        k.emit_pred(&p, false, Op::Bra { uni: false, target: done.clone() });
+        k.emit_pred(
+            &p,
+            false,
+            Op::Bra {
+                uni: false,
+                target: done.clone(),
+            },
+        );
         {
             let lsb = k.binary_imm(BinKind::And, Type::B32, &tmp, 1);
             k.emit(Op::Binary {
@@ -140,7 +147,10 @@ pub fn bitrev_kernel() -> Function {
             a: Operand::reg(&b),
             b: Operand::ImmInt(1),
         });
-        k.emit(Op::Bra { uni: true, target: top });
+        k.emit(Op::Bra {
+            uni: true,
+            target: top,
+        });
         k.label(done);
         // swap elements when i < rev (each pair swapped once)
         let do_swap = k.setp(CmpOp::Lt, Type::U32, i, Operand::reg(&rev));

@@ -124,10 +124,14 @@ pub fn reduction(name: &str, n_in: usize, map: Expr) -> Function {
     let done = k.fresh_label("red_done");
     k.label(top.clone());
     let p_done = k.setp(CmpOp::Eq, Type::U32, &stride, Operand::ImmInt(0));
-    k.emit_pred(&p_done, false, Op::Bra {
-        uni: false,
-        target: done.clone(),
-    });
+    k.emit_pred(
+        &p_done,
+        false,
+        Op::Bra {
+            uni: false,
+            target: done.clone(),
+        },
+    );
     let p_active = k.setp(CmpOp::Lt, Type::U32, &tid, Operand::reg(&stride));
     k.if_then(&p_active, |k| {
         let other_idx = k.binary(BinKind::Add, Type::U32, &tid, &stride);
@@ -228,10 +232,14 @@ pub fn gemv(name: &str, transposed: bool) -> Function {
         let done = k.fresh_label("col_done");
         k.label(top.clone());
         let p = k.setp(CmpOp::Ge, Type::U32, &j, Operand::reg(&cols));
-        k.emit_pred(&p, false, Op::Bra {
-            uni: false,
-            target: done.clone(),
-        });
+        k.emit_pred(
+            &p,
+            false,
+            Op::Bra {
+                uni: false,
+                target: done.clone(),
+            },
+        );
         // element index: row-major A[row*cols + j]; transposed A[j*rows + row]
         let idx = if transposed {
             let t = k.reg(Type::U32);
@@ -401,10 +409,14 @@ pub fn gemm(name: &str, ty: Type) -> Function {
     let done = k.fresh_label("ktile_done");
     k.label(top.clone());
     let p_done = k.setp(CmpOp::Ge, Type::U32, &kt, Operand::reg(&kk));
-    k.emit_pred(&p_done, false, Op::Bra {
-        uni: false,
-        target: done.clone(),
-    });
+    k.emit_pred(
+        &p_done,
+        false,
+        Op::Bra {
+            uni: false,
+            target: done.clone(),
+        },
+    );
     {
         // load A[row, kt+tx] into tile_a[ty][tx] (0 when out of range)
         let acol = k.binary(BinKind::Add, Type::U32, &kt, &tx);
@@ -491,10 +503,14 @@ pub fn gemm(name: &str, ty: Type) -> Function {
         let jdone = k.fresh_label("jt_done");
         k.label(jtop.clone());
         let pj = k.setp(CmpOp::Ge, Type::U32, &j, Operand::ImmInt(t));
-        k.emit_pred(&pj, false, Op::Bra {
-            uni: false,
-            target: jdone.clone(),
-        });
+        k.emit_pred(
+            &pj,
+            false,
+            Op::Bra {
+                uni: false,
+                target: jdone.clone(),
+            },
+        );
         {
             // tile_a[ty][j] * tile_b[j][tx]
             let ai = k.reg(Type::U32);
@@ -644,10 +660,14 @@ pub fn packed_triangular(name: &str, accumulate_into_ap: bool) -> Function {
         let done = k.fresh_label("tri_done");
         k.label(top.clone());
         let p = k.setp(CmpOp::Gt, Type::U32, &j, Operand::reg(row));
-        k.emit_pred(&p, false, Op::Bra {
-            uni: false,
-            target: done.clone(),
-        });
+        k.emit_pred(
+            &p,
+            false,
+            Op::Bra {
+                uni: false,
+                target: done.clone(),
+            },
+        );
         let idx = k.binary(BinKind::Add, Type::U32, &base, &j);
         if accumulate_into_ap {
             // ap[idx] += alpha * x[row] * x[j]
@@ -711,20 +731,28 @@ pub fn triangular_solve(name: &str) -> Function {
     let gtid = k.global_tid_x();
     let p_not0 = k.setp(CmpOp::Ne, Type::U32, &gtid, Operand::ImmInt(0));
     let end = k.fresh_label("end");
-    k.emit_pred(&p_not0, false, Op::Bra {
-        uni: false,
-        target: end.clone(),
-    });
+    k.emit_pred(
+        &p_not0,
+        false,
+        Op::Bra {
+            uni: false,
+            target: end.clone(),
+        },
+    );
 
     let i = k.imm_u32(0);
     let itop = k.fresh_label("row");
     let idone = k.fresh_label("row_done");
     k.label(itop.clone());
     let pi = k.setp(CmpOp::Ge, Type::U32, &i, Operand::reg(&n));
-    k.emit_pred(&pi, false, Op::Bra {
-        uni: false,
-        target: idone.clone(),
-    });
+    k.emit_pred(
+        &pi,
+        false,
+        Op::Bra {
+            uni: false,
+            target: idone.clone(),
+        },
+    );
     {
         let acc = k.load_elem(&bg, &i, Type::F32);
         let j = k.imm_u32(0);
@@ -732,10 +760,14 @@ pub fn triangular_solve(name: &str) -> Function {
         let jdone = k.fresh_label("colj_done");
         k.label(jtop.clone());
         let pj = k.setp(CmpOp::Ge, Type::U32, &j, Operand::reg(&i));
-        k.emit_pred(&pj, false, Op::Bra {
-            uni: false,
-            target: jdone.clone(),
-        });
+        k.emit_pred(
+            &pj,
+            false,
+            Op::Bra {
+                uni: false,
+                target: jdone.clone(),
+            },
+        );
         let idx = k.reg(Type::U32);
         k.emit(Op::Mad {
             ty: Type::U32,

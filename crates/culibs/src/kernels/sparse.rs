@@ -260,7 +260,14 @@ fn spmm_csr_kernel(name: &str) -> Function {
         let done = k.fresh_label("nz_done");
         k.label(top.clone());
         let pd = k.setp(CmpOp::Ge, Type::U32, &p, Operand::reg(&end));
-        k.emit_pred(&pd, false, Op::Bra { uni: false, target: done.clone() });
+        k.emit_pred(
+            &pd,
+            false,
+            Op::Bra {
+                uni: false,
+                target: done.clone(),
+            },
+        );
         let col = k.load_elem(&cig, &p, Type::U32);
         let av = k.load_elem(&vg, &p, Type::F32);
         let b_idx = k.reg(Type::U32);
@@ -286,7 +293,10 @@ fn spmm_csr_kernel(name: &str) -> Function {
             a: Operand::reg(&p),
             b: Operand::ImmInt(1),
         });
-        k.emit(Op::Bra { uni: true, target: top });
+        k.emit(Op::Bra {
+            uni: true,
+            target: top,
+        });
         k.label(done);
         k.store_elem(&cg, e, Type::F32, &acc);
     });
@@ -388,7 +398,14 @@ fn gpsv_kernel() -> Function {
         let fdone = k.fresh_label("fw_done");
         k.label(ftop.clone());
         let pf = k.setp(CmpOp::Ge, Type::U32, &i, Operand::reg(&n));
-        k.emit_pred(&pf, false, Op::Bra { uni: false, target: fdone.clone() });
+        k.emit_pred(
+            &pf,
+            false,
+            Op::Bra {
+                uni: false,
+                target: fdone.clone(),
+            },
+        );
         {
             // idx = i*systems + sys ; prev = (i-1)*systems + sys
             let idx = k.reg(Type::U32);
@@ -429,7 +446,10 @@ fn gpsv_kernel() -> Function {
             a: Operand::reg(&i),
             b: Operand::ImmInt(1),
         });
-        k.emit(Op::Bra { uni: true, target: ftop });
+        k.emit(Op::Bra {
+            uni: true,
+            target: ftop,
+        });
         k.label(fdone);
         // Back substitution: x[n-1] then up.
         let last = k.binary_imm(BinKind::Sub, Type::U32, &n, 1);
@@ -450,7 +470,14 @@ fn gpsv_kernel() -> Function {
         let bdone = k.fresh_label("bk_done");
         k.label(btop.clone());
         let pb = k.setp(CmpOp::Eq, Type::U32, &j, Operand::ImmInt(0));
-        k.emit_pred(&pb, false, Op::Bra { uni: false, target: bdone.clone() });
+        k.emit_pred(
+            &pb,
+            false,
+            Op::Bra {
+                uni: false,
+                target: bdone.clone(),
+            },
+        );
         {
             let jm1 = k.binary_imm(BinKind::Sub, Type::U32, &j, 1);
             let idx = k.reg(Type::U32);
@@ -485,7 +512,10 @@ fn gpsv_kernel() -> Function {
             a: Operand::reg(&j),
             b: Operand::ImmInt(1),
         });
-        k.emit(Op::Bra { uni: true, target: btop });
+        k.emit(Op::Bra {
+            uni: true,
+            target: btop,
+        });
         k.label(bdone);
     });
     k.ret();
@@ -525,8 +555,17 @@ mod tests {
         let re = ptx::parse(&m.to_string()).unwrap();
         ptx::validate(&re).unwrap();
         for name in [
-            "axpby", "gather", "scatter", "spvv", "rotsp", "dense2sparse", "coosort",
-            "spmmcsr", "spmmcsrB", "spmmcooB", "gpsvInter",
+            "axpby",
+            "gather",
+            "scatter",
+            "spvv",
+            "rotsp",
+            "dense2sparse",
+            "coosort",
+            "spmmcsr",
+            "spmmcsrB",
+            "spmmcooB",
+            "gpsvInter",
         ] {
             assert!(m.function(name).is_some(), "missing {name}");
         }

@@ -76,9 +76,9 @@ pub fn generate(corpus: Corpus, num: usize, seed: u64) -> Dataset {
     for i in 0..num {
         let c = i % classes;
         labels.push(c as u32);
-        for d in 0..dim {
+        for &p in &protos[c] {
             let noise: f32 = rng.gen_range(-0.1..0.1);
-            images.push((protos[c][d] + noise).clamp(0.0, 1.0));
+            images.push((p + noise).clamp(0.0, 1.0));
         }
     }
     Dataset {
@@ -118,9 +118,8 @@ mod tests {
         let d = generate(Corpus::Mnist, 10, 7);
         // Different-class images differ substantially more than same-class.
         let img = |i: usize| &d.images[i * d.dim..(i + 1) * d.dim];
-        let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
-        };
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum() };
         let same = dist(img(0), img(0));
         let diff = dist(img(0), img(1));
         assert!(diff > same + 0.5);

@@ -8,9 +8,9 @@
 //! `CudaApi` implementation is installed (native or Guardian).
 
 use crate::alloc::TensorAlloc;
+use cuda_rt::{ArgPack, CudaApi, CudaResult, DevicePtr, Stream};
 use culibs::cublas::{cublas_sgemm, CublasHandle};
 use culibs::cudnn::{self, ConvDesc, CudnnHandle};
-use cuda_rt::{ArgPack, CudaApi, CudaResult, DevicePtr, Stream};
 use gpu_sim::LaunchConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -84,7 +84,12 @@ impl Network {
             Network::Vgg11 => vec![(8, 3, 1, true), (16, 3, 1, false), (16, 3, 1, false)],
             Network::Mobilenet => vec![(8, 3, 1, true), (8, 3, 1, false)],
             Network::Resnet50 => {
-                vec![(8, 3, 1, true), (16, 3, 1, false), (16, 3, 1, false), (16, 3, 1, false)]
+                vec![
+                    (8, 3, 1, true),
+                    (16, 3, 1, false),
+                    (16, 3, 1, false),
+                    (16, 3, 1, false),
+                ]
             }
             Network::Rnn => vec![],
         }
@@ -121,12 +126,12 @@ impl Tensor {
 struct ConvBlock {
     desc: ConvDesc,
     filters: u32,
-    w: Tensor,     // [filters, c*k*k]
+    w: Tensor, // [filters, c*k*k]
     dw: Tensor,
-    col: Tensor,   // [c*k*k, wout*wout]
-    colt: Tensor,  // transposed col
-    out: Tensor,   // [filters, wout*wout] pre-activation
-    act: Tensor,   // post-relu
+    col: Tensor,                   // [c*k*k, wout*wout]
+    colt: Tensor,                  // transposed col
+    out: Tensor,                   // [filters, wout*wout] pre-activation
+    act: Tensor,                   // post-relu
     pooled: Option<(Tensor, u32)>, // pooled activation + pooled width
     dact: Tensor,
     dout: Tensor,
@@ -139,9 +144,9 @@ struct ConvBlock {
 struct FcLayer {
     in_dim: u32,
     out_dim: u32,
-    w: Tensor,  // [out, in]
+    w: Tensor, // [out, in]
     dw: Tensor,
-    wt: Tensor, // [in, out] scratch
+    wt: Tensor,  // [in, out] scratch
     out: Tensor, // [batch, out] (row-major, batch rows)
     act: Tensor,
     dact: Tensor,
@@ -163,7 +168,7 @@ pub struct Model {
     features: Tensor,  // [batch, conv_out_dim]
     dfeatures: Tensor,
     fcs: Vec<FcLayer>,
-    logits: Tensor, // alias of last fc act
+    logits: Tensor,  // alias of last fc act
     scratch: Tensor, // [batch] channel scratch
     loss: Tensor,    // 1 f32
     correct: Tensor, // 1 u32
@@ -180,7 +185,7 @@ struct RnnState {
     wh: Tensor,
     dwx: Tensor,
     dwh: Tensor,
-    h: Vec<Tensor>,   // per-step hidden [batch, hidden]
+    h: Vec<Tensor>, // per-step hidden [batch, hidden]
     dh: Tensor,
     wxt: Tensor,
     wht: Tensor,
@@ -204,17 +209,19 @@ impl Model {
         let (channels, width, classes) = net.corpus().shape();
         let (channels, width, classes) = (channels as u32, width as u32, classes as u32);
         let mut rng = StdRng::seed_from_u64(seed);
-        let t = |api: &mut dyn CudaApi, alloc: &mut dyn TensorAlloc, len: u32| -> CudaResult<Tensor> {
-            let ptr = alloc.alloc(api, Tensor::bytes(len))?;
-            Ok(Tensor { ptr, len })
-        };
-        let init = |api: &mut dyn CudaApi, tt: Tensor, fan_in: u32, rng: &mut StdRng| -> CudaResult<()> {
-            let scale = (2.0 / fan_in.max(1) as f32).sqrt() * 0.7;
-            let host: Vec<u8> = (0..tt.len)
-                .flat_map(|_| (rng.gen_range(-scale..scale)).to_le_bytes())
-                .collect();
-            api.cuda_memcpy_h2d(tt.ptr, &host)
-        };
+        let t =
+            |api: &mut dyn CudaApi, alloc: &mut dyn TensorAlloc, len: u32| -> CudaResult<Tensor> {
+                let ptr = alloc.alloc(api, Tensor::bytes(len))?;
+                Ok(Tensor { ptr, len })
+            };
+        let init =
+            |api: &mut dyn CudaApi, tt: Tensor, fan_in: u32, rng: &mut StdRng| -> CudaResult<()> {
+                let scale = (2.0 / fan_in.max(1) as f32).sqrt() * 0.7;
+                let host: Vec<u8> = (0..tt.len)
+                    .flat_map(|_| (rng.gen_range(-scale..scale)).to_le_bytes())
+                    .collect();
+                api.cuda_memcpy_h2d(tt.ptr, &host)
+            };
 
         let mut conv = Vec::new();
         let mut cur_c = channels;
@@ -290,7 +297,11 @@ impl Model {
         } else {
             None
         };
-        let feat_dim = if let Some(r) = &rnn { r.hidden } else { conv_out_dim };
+        let feat_dim = if let Some(r) = &rnn {
+            r.hidden
+        } else {
+            conv_out_dim
+        };
 
         let hidden = net.fc_hidden();
         let mut fcs = Vec::new();
@@ -382,13 +393,31 @@ impl Model {
                 // x·Wx^T: [batch, cols]·[cols, hidden] via transpose(Wx).
                 transpose(api, rnn.wx.ptr, rnn.wxt.ptr, rnn.hidden, cols)?;
                 cublas_sgemm(
-                    api, blas, 0, self.batch, rnn.hidden, cols, 1.0, rnn.x_steps.ptr,
-                    rnn.wxt.ptr, 0.0, rnn.h[s as usize + 1].ptr,
+                    api,
+                    blas,
+                    0,
+                    self.batch,
+                    rnn.hidden,
+                    cols,
+                    1.0,
+                    rnn.x_steps.ptr,
+                    rnn.wxt.ptr,
+                    0.0,
+                    rnn.h[s as usize + 1].ptr,
                 )?;
                 transpose(api, rnn.wh.ptr, rnn.wht.ptr, rnn.hidden, rnn.hidden)?;
                 cublas_sgemm(
-                    api, blas, 1, self.batch, rnn.hidden, rnn.hidden, 1.0,
-                    rnn.h[s as usize].ptr, rnn.wht.ptr, 1.0, rnn.h[s as usize + 1].ptr,
+                    api,
+                    blas,
+                    1,
+                    self.batch,
+                    rnn.hidden,
+                    rnn.hidden,
+                    1.0,
+                    rnn.h[s as usize].ptr,
+                    rnn.wht.ptr,
+                    1.0,
+                    rnn.h[s as usize + 1].ptr,
                 )?;
                 cudnn::activation(
                     api,
@@ -404,7 +433,11 @@ impl Model {
                 Tensor::bytes(self.batch * rnn.hidden),
             )?;
         } else if self.conv.is_empty() {
-            api.cuda_memcpy_d2d(self.features.ptr, self.input.ptr, Tensor::bytes(self.batch * dim))?;
+            api.cuda_memcpy_d2d(
+                self.features.ptr,
+                self.input.ptr,
+                Tensor::bytes(self.batch * dim),
+            )?;
         } else {
             // Conv stack, per sample (Caffe's per-image im2col pipeline).
             for b in 0..self.batch {
@@ -469,7 +502,13 @@ impl Model {
         }
 
         // Softmax in place on the logits.
-        cudnn::softmax_forward(api, self.logits.ptr, self.scratch.ptr, self.batch, self.classes)
+        cudnn::softmax_forward(
+            api,
+            self.logits.ptr,
+            self.scratch.ptr,
+            self.batch,
+            self.classes,
+        )
     }
 
     /// Compute loss and accuracy of the current (softmaxed) logits.
@@ -538,7 +577,12 @@ impl Model {
             // If this layer had relu, gate the incoming gradient.
             if fc.relu {
                 culibs::cudnn::elementwise2(
-                    api, "relubw", fc.dact.ptr, fc.out.ptr, fc.dact.ptr, fc.dact.len,
+                    api,
+                    "relubw",
+                    fc.dact.ptr,
+                    fc.out.ptr,
+                    fc.dact.ptr,
+                    fc.dact.len,
                 )?;
             }
             // dW = dact^T · x  -> [out, in]; dact [batch, out].
@@ -550,8 +594,17 @@ impl Model {
             // dx = dact · W  [batch, out]·[out, in].
             if let Some(dx) = dx_ptr {
                 cublas_sgemm(
-                    api, blas, 2, self.batch, fc.in_dim, fc.out_dim, 1.0, fc.dact.ptr, fc.w.ptr,
-                    0.0, dx,
+                    api,
+                    blas,
+                    2,
+                    self.batch,
+                    fc.in_dim,
+                    fc.out_dim,
+                    1.0,
+                    fc.dact.ptr,
+                    fc.w.ptr,
+                    0.0,
+                    dx,
                 )?;
             }
             cudnn::sgd_update(api, fc.w.ptr, fc.dw.ptr, fc.w.len, lr)?;
@@ -572,12 +625,30 @@ impl Model {
             )?;
             transpose(api, rnn.dh.ptr, rnn.wht.ptr, self.batch, rnn.hidden)?;
             cublas_sgemm(
-                api, blas, 0, rnn.hidden, rnn.hidden, self.batch, 1.0, rnn.wht.ptr,
-                rnn.h[(rnn.steps - 1) as usize].ptr, 0.0, rnn.dwh.ptr,
+                api,
+                blas,
+                0,
+                rnn.hidden,
+                rnn.hidden,
+                self.batch,
+                1.0,
+                rnn.wht.ptr,
+                rnn.h[(rnn.steps - 1) as usize].ptr,
+                0.0,
+                rnn.dwh.ptr,
             )?;
             cublas_sgemm(
-                api, blas, 1, rnn.hidden, cols, self.batch, 1.0, rnn.wht.ptr, rnn.x_steps.ptr,
-                0.0, rnn.dwx.ptr,
+                api,
+                blas,
+                1,
+                rnn.hidden,
+                cols,
+                self.batch,
+                1.0,
+                rnn.wht.ptr,
+                rnn.x_steps.ptr,
+                0.0,
+                rnn.dwx.ptr,
             )?;
             cudnn::sgd_update(api, rnn.wh.ptr, rnn.dwh.ptr, rnn.wh.len, lr)?;
             cudnn::sgd_update(api, rnn.wx.ptr, rnn.dwx.ptr, rnn.wx.len, lr)?;
@@ -655,7 +726,12 @@ impl Model {
                 };
                 // relu gate.
                 culibs::cudnn::elementwise2(
-                    api, "relubw", dact_src, blk.out.ptr, blk.dout.ptr, blk.dout.len,
+                    api,
+                    "relubw",
+                    dact_src,
+                    blk.out.ptr,
+                    blk.dout.ptr,
+                    blk.dout.len,
                 )?;
                 // dW += dout · col^T (col already holds this sample's
                 // unfolding from the recompute above).

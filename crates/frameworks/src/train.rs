@@ -4,9 +4,9 @@
 use crate::alloc::{CachingAlloc, DirectAlloc, TensorAlloc};
 use crate::data::{generate, Dataset};
 use crate::net::{Model, Network};
+use cuda_rt::{CudaApi, CudaResult};
 use culibs::cublas::CublasHandle;
 use culibs::cudnn::CudnnHandle;
-use cuda_rt::{CudaApi, CudaResult};
 
 /// Training configuration (epoch counts scale the paper's workloads down
 /// to simulator budgets).
@@ -200,8 +200,8 @@ mod tests {
     fn every_network_trains_one_step() {
         use Network::*;
         for net in [
-            Lenet, Siamese, Cifar10, Googlenet, Alexnet, Caffenet, Vgg11, Mobilenet, Resnet50,
-            Rnn, Cv,
+            Lenet, Siamese, Cifar10, Googlenet, Alexnet, Caffenet, Vgg11, Mobilenet, Resnet50, Rnn,
+            Cv,
         ] {
             let mut rt = api();
             let cfg = TrainConfig {
@@ -211,8 +211,8 @@ mod tests {
                 lr: 0.1,
                 seed: 11,
             };
-            let report = train(&mut rt, net, &cfg)
-                .unwrap_or_else(|e| panic!("{net:?} failed: {e}"));
+            let report =
+                train(&mut rt, net, &cfg).unwrap_or_else(|e| panic!("{net:?} failed: {e}"));
             assert!(report.last_epoch_loss.is_finite(), "{net:?} loss NaN");
             assert!(report.last_epoch_loss > 0.0, "{net:?} loss nonpositive");
         }

@@ -66,29 +66,117 @@ pub struct CInstr {
 #[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)] // field meanings mirror `ptx::ast::Op`
 pub enum COp {
-    LdParam { ty: Type, dst: u16, offset: u32 },
-    Ld { space: Space, ty: Type, dst: u16, addr: CAddr },
-    St { space: Space, ty: Type, addr: CAddr, src: CSrc },
-    Mov { ty: Type, dst: u16, src: CSrc },
-    Cvt { dty: Type, sty: Type, dst: u16, a: CSrc },
-    SetPred { dst: u16, src: CSrc },
-    Binary { kind: BinKind, ty: Type, dst: u16, a: CSrc, b: CSrc },
-    Unary { kind: UnaryKind, ty: Type, dst: u16, a: CSrc },
-    MulWide { sty: Type, dst: u16, a: CSrc, b: CSrc },
-    Mad { ty: Type, dst: u16, a: CSrc, b: CSrc, c: CSrc },
-    MadWide { sty: Type, dst: u16, a: CSrc, b: CSrc, c: CSrc },
-    Fma { ty: Type, dst: u16, a: CSrc, b: CSrc, c: CSrc },
-    Setp { cmp: CmpOp, ty: Type, dst: u16, a: CSrc, b: CSrc },
-    Selp { ty: Type, dst: u16, a: CSrc, b: CSrc, p: u16 },
-    Bra { target: u32 },
-    BrxIdx { index: u16, targets: Vec<u32> },
-    Call { func: String, args: Vec<(Type, CSrc)> },
+    LdParam {
+        ty: Type,
+        dst: u16,
+        offset: u32,
+    },
+    Ld {
+        space: Space,
+        ty: Type,
+        dst: u16,
+        addr: CAddr,
+    },
+    St {
+        space: Space,
+        ty: Type,
+        addr: CAddr,
+        src: CSrc,
+    },
+    Mov {
+        ty: Type,
+        dst: u16,
+        src: CSrc,
+    },
+    Cvt {
+        dty: Type,
+        sty: Type,
+        dst: u16,
+        a: CSrc,
+    },
+    SetPred {
+        dst: u16,
+        src: CSrc,
+    },
+    Binary {
+        kind: BinKind,
+        ty: Type,
+        dst: u16,
+        a: CSrc,
+        b: CSrc,
+    },
+    Unary {
+        kind: UnaryKind,
+        ty: Type,
+        dst: u16,
+        a: CSrc,
+    },
+    MulWide {
+        sty: Type,
+        dst: u16,
+        a: CSrc,
+        b: CSrc,
+    },
+    Mad {
+        ty: Type,
+        dst: u16,
+        a: CSrc,
+        b: CSrc,
+        c: CSrc,
+    },
+    MadWide {
+        sty: Type,
+        dst: u16,
+        a: CSrc,
+        b: CSrc,
+        c: CSrc,
+    },
+    Fma {
+        ty: Type,
+        dst: u16,
+        a: CSrc,
+        b: CSrc,
+        c: CSrc,
+    },
+    Setp {
+        cmp: CmpOp,
+        ty: Type,
+        dst: u16,
+        a: CSrc,
+        b: CSrc,
+    },
+    Selp {
+        ty: Type,
+        dst: u16,
+        a: CSrc,
+        b: CSrc,
+        p: u16,
+    },
+    Bra {
+        target: u32,
+    },
+    BrxIdx {
+        index: u16,
+        targets: Vec<u32>,
+    },
+    Call {
+        func: String,
+        args: Vec<(Type, CSrc)>,
+    },
     Ret,
     Exit,
     Trap,
     BarSync,
     Membar,
-    Atom { op: AtomKind, space: Space, ty: Type, dst: u16, addr: CAddr, src: CSrc, cmp: Option<CSrc> },
+    Atom {
+        op: AtomKind,
+        space: Space,
+        ty: Type,
+        dst: u16,
+        addr: CAddr,
+        src: CSrc,
+        cmp: Option<CSrc>,
+    },
 }
 
 /// A compiled kernel or device function.
@@ -469,7 +557,13 @@ fn compile_function(
                 dst: ctx.reg(dst)?,
                 a: ctx.src(src, *sty)?,
             },
-            Op::Binary { kind, ty, dst, a, b } => COp::Binary {
+            Op::Binary {
+                kind,
+                ty,
+                dst,
+                a,
+                b,
+            } => COp::Binary {
                 kind: *kind,
                 ty: *ty,
                 dst: ctx.reg(dst)?,

@@ -22,9 +22,9 @@ use crate::interp::{Executor, KernelStats};
 use crate::interp::{LaunchConfig, MemGuard};
 use crate::mem::{Dram, DriverAllocator, NO_OWNER};
 use crate::spec::GpuSpec;
-use crate::stream::{Command, CtxId, StreamId, StreamState};
 #[cfg(test)]
 use crate::stream::CudaFunction;
+use crate::stream::{Command, CtxId, StreamId, StreamState};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::fmt;
@@ -279,7 +279,10 @@ impl Device {
     ///
     /// [`DeviceError::InvalidContext`] for unknown ids.
     pub fn destroy_context(&mut self, ctx: CtxId) -> Result<(), DeviceError> {
-        let state = self.contexts.remove(&ctx).ok_or(DeviceError::InvalidContext)?;
+        let state = self
+            .contexts
+            .remove(&ctx)
+            .ok_or(DeviceError::InvalidContext)?;
         for (off, len) in state.allocations {
             self.allocator.free(off);
             self.dram.set_owner(off, len, NO_OWNER);
@@ -335,7 +338,10 @@ impl Device {
     ///
     /// [`DeviceError::OutOfMemory`] or [`DeviceError::InvalidContext`].
     pub fn malloc(&mut self, ctx: CtxId, bytes: u64) -> Result<u64, DeviceError> {
-        let state = self.contexts.get_mut(&ctx).ok_or(DeviceError::InvalidContext)?;
+        let state = self
+            .contexts
+            .get_mut(&ctx)
+            .ok_or(DeviceError::InvalidContext)?;
         let off = self
             .allocator
             .alloc(bytes, state.asid)
@@ -359,7 +365,10 @@ impl Device {
         bytes: u64,
         align: u64,
     ) -> Result<u64, DeviceError> {
-        let state = self.contexts.get_mut(&ctx).ok_or(DeviceError::InvalidContext)?;
+        let state = self
+            .contexts
+            .get_mut(&ctx)
+            .ok_or(DeviceError::InvalidContext)?;
         let off = self
             .allocator
             .alloc_aligned(bytes, align, state.asid)
@@ -378,9 +387,17 @@ impl Device {
     /// [`DeviceError::InvalidFree`] for unknown pointers,
     /// [`DeviceError::InvalidContext`] for unknown contexts.
     pub fn free(&mut self, ctx: CtxId, addr: u64) -> Result<(), DeviceError> {
-        let state = self.contexts.get_mut(&ctx).ok_or(DeviceError::InvalidContext)?;
-        let off = addr.checked_sub(DEVICE_BASE).ok_or(DeviceError::InvalidFree)?;
-        let len = state.allocations.remove(&off).ok_or(DeviceError::InvalidFree)?;
+        let state = self
+            .contexts
+            .get_mut(&ctx)
+            .ok_or(DeviceError::InvalidContext)?;
+        let off = addr
+            .checked_sub(DEVICE_BASE)
+            .ok_or(DeviceError::InvalidFree)?;
+        let len = state
+            .allocations
+            .remove(&off)
+            .ok_or(DeviceError::InvalidFree)?;
         state.mem_used -= len;
         self.allocator.free(off).ok_or(DeviceError::InvalidFree)?;
         self.dram.set_owner(off, len, NO_OWNER);
@@ -400,8 +417,7 @@ impl Device {
         module: &ptx::Module,
     ) -> Result<Arc<CompiledModule>, DeviceError> {
         // Pre-compute global block size with a dry-run compile at base 0.
-        let probe =
-            compile_module(module, 0).map_err(|e| DeviceError::Compile(e.to_string()))?;
+        let probe = compile_module(module, 0).map_err(|e| DeviceError::Compile(e.to_string()))?;
         let globals_base = if probe.globals_size > 0 {
             self.malloc(ctx, probe.globals_size)?
         } else {
@@ -424,7 +440,9 @@ impl Device {
     /// [`DeviceError::InvalidFree`] is never returned; unmapped ranges give
     /// [`DeviceError::OutOfMemory`].
     pub fn read_memory(&self, addr: u64, buf: &mut [u8]) -> Result<(), DeviceError> {
-        self.dram.read(addr, buf).map_err(|_| DeviceError::OutOfMemory)
+        self.dram
+            .read(addr, buf)
+            .map_err(|_| DeviceError::OutOfMemory)
     }
 
     /// Write device memory from the host directly (bypassing streams; used
@@ -434,7 +452,9 @@ impl Device {
     ///
     /// Unmapped ranges give [`DeviceError::OutOfMemory`].
     pub fn write_memory(&mut self, addr: u64, data: &[u8]) -> Result<(), DeviceError> {
-        self.dram.write(addr, data).map_err(|_| DeviceError::OutOfMemory)
+        self.dram
+            .write(addr, data)
+            .map_err(|_| DeviceError::OutOfMemory)
     }
 
     // ----- streams and commands ---------------------------------------------
@@ -460,7 +480,10 @@ impl Device {
     ///
     /// [`DeviceError::InvalidStream`] / [`DeviceError::ContextPoisoned`].
     pub fn enqueue(&mut self, stream: StreamId, cmd: Command) -> Result<(), DeviceError> {
-        let s = self.streams.get_mut(&stream).ok_or(DeviceError::InvalidStream)?;
+        let s = self
+            .streams
+            .get_mut(&stream)
+            .ok_or(DeviceError::InvalidStream)?;
         let ctx = s.ctx;
         if self.contexts.get(&ctx).map(|c| c.poisoned).unwrap_or(true) {
             return Err(DeviceError::ContextPoisoned);
@@ -873,7 +896,12 @@ $L_done:
         dev.load_module(ctx, &m).unwrap()
     }
 
-    fn launch_cmd(module: &Arc<CompiledModule>, name: &str, cfg: LaunchConfig, params: Vec<u8>) -> Command {
+    fn launch_cmd(
+        module: &Arc<CompiledModule>,
+        name: &str,
+        cfg: LaunchConfig,
+        params: Vec<u8>,
+    ) -> Command {
         Command::Launch {
             func: CudaFunction {
                 kernel: module.kernel(name).unwrap(),
@@ -893,7 +921,12 @@ $L_done:
         let m = load(&mut dev, ctx, SPIN_N);
         dev.enqueue(
             s,
-            launch_cmd(&m, "spin", LaunchConfig::linear(1, 32), 1000u32.to_le_bytes().to_vec()),
+            launch_cmd(
+                &m,
+                "spin",
+                LaunchConfig::linear(1, 32),
+                1000u32.to_le_bytes().to_vec(),
+            ),
         )
         .unwrap();
         assert_eq!(dev.now(), 0);
@@ -919,10 +952,16 @@ $L_done:
             let m = load(&mut dev, ctx, SPIN_N);
             // One block each: the 4-SM test GPU has room for both at once.
             let params = 20_000u32.to_le_bytes().to_vec();
-            dev.enqueue(s1, launch_cmd(&m, "spin", LaunchConfig::linear(1, 64), params.clone()))
-                .unwrap();
-            dev.enqueue(s2, launch_cmd(&m, "spin", LaunchConfig::linear(1, 64), params))
-                .unwrap();
+            dev.enqueue(
+                s1,
+                launch_cmd(&m, "spin", LaunchConfig::linear(1, 64), params.clone()),
+            )
+            .unwrap();
+            dev.enqueue(
+                s2,
+                launch_cmd(&m, "spin", LaunchConfig::linear(1, 64), params),
+            )
+            .unwrap();
             dev.synchronize();
             dev.now()
         };
@@ -948,10 +987,16 @@ $L_done:
             let ma = load(&mut dev, ca, SPIN_N);
             let mb = load(&mut dev, cb, SPIN_N);
             let params = 20_000u32.to_le_bytes().to_vec();
-            dev.enqueue(sa, launch_cmd(&ma, "spin", LaunchConfig::linear(1, 64), params.clone()))
-                .unwrap();
-            dev.enqueue(sb, launch_cmd(&mb, "spin", LaunchConfig::linear(1, 64), params))
-                .unwrap();
+            dev.enqueue(
+                sa,
+                launch_cmd(&ma, "spin", LaunchConfig::linear(1, 64), params.clone()),
+            )
+            .unwrap();
+            dev.enqueue(
+                sb,
+                launch_cmd(&mb, "spin", LaunchConfig::linear(1, 64), params),
+            )
+            .unwrap();
             dev.synchronize();
             (dev.now(), dev.context_switches())
         };
@@ -976,7 +1021,12 @@ $L_done:
             for _ in 0..50 {
                 dev.enqueue(
                     s,
-                    launch_cmd(&m, "spin", LaunchConfig::linear(1, 32), 10u32.to_le_bytes().to_vec()),
+                    launch_cmd(
+                        &m,
+                        "spin",
+                        LaunchConfig::linear(1, 32),
+                        10u32.to_le_bytes().to_vec(),
+                    ),
                 )
                 .unwrap();
             }
@@ -995,8 +1045,14 @@ $L_done:
         let s = dev.create_stream(ctx).unwrap();
         let buf = dev.malloc(ctx, 4096).unwrap();
         let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
-        dev.enqueue(s, Command::MemcpyH2D { dst: buf, data: data.clone() })
-            .unwrap();
+        dev.enqueue(
+            s,
+            Command::MemcpyH2D {
+                dst: buf,
+                data: data.clone(),
+            },
+        )
+        .unwrap();
         let sink = crate::stream::HostSink::new();
         dev.enqueue(
             s,
@@ -1055,15 +1111,21 @@ $L_done:
         let bad = (crate::fault::window::DEVICE_BASE + dev.spec().global_mem_bytes + 4096)
             .to_le_bytes()
             .to_vec();
-        dev.enqueue(s, launch_cmd(&m, "boom", LaunchConfig::linear(1, 1), bad.clone()))
-            .unwrap();
+        dev.enqueue(
+            s,
+            launch_cmd(&m, "boom", LaunchConfig::linear(1, 1), bad.clone()),
+        )
+        .unwrap();
         dev.enqueue(s, launch_cmd(&m, "boom", LaunchConfig::linear(1, 1), bad))
             .unwrap();
         let faults = dev.synchronize();
         assert_eq!(faults, 1, "second launch is dropped, not executed");
         assert!(dev.context_poisoned(ctx));
         assert!(dev
-            .enqueue(s, launch_cmd(&m, "boom", LaunchConfig::linear(1, 1), vec![]))
+            .enqueue(
+                s,
+                launch_cmd(&m, "boom", LaunchConfig::linear(1, 1), vec![])
+            )
             .is_err());
         // Other contexts unaffected at device level.
         let ctx2 = dev.create_context().unwrap();
@@ -1082,8 +1144,11 @@ $L_done:
         let ctx = dev.create_context().unwrap();
         let s = dev.create_stream(ctx).unwrap();
         let m = load(&mut dev, ctx, TRAP);
-        dev.enqueue(s, launch_cmd(&m, "boom", LaunchConfig::linear(1, 1), vec![]))
-            .unwrap();
+        dev.enqueue(
+            s,
+            launch_cmd(&m, "boom", LaunchConfig::linear(1, 1), vec![]),
+        )
+        .unwrap();
         let faults = dev.synchronize();
         assert_eq!(faults, 1);
         assert!(!dev.context_poisoned(ctx), "trap must stay contained");
@@ -1109,7 +1174,12 @@ $L_done:
         for _ in 0..3 {
             dev.enqueue(
                 s,
-                launch_cmd(&m, "spin", LaunchConfig::linear(2, 16), 5u32.to_le_bytes().to_vec()),
+                launch_cmd(
+                    &m,
+                    "spin",
+                    LaunchConfig::linear(2, 16),
+                    5u32.to_le_bytes().to_vec(),
+                ),
             )
             .unwrap();
         }

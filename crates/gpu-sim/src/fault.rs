@@ -125,7 +125,7 @@ mod tests {
     #[test]
     fn windows_are_disjoint() {
         use window::*;
-        assert!(SHARED_BASE + WINDOW_SIZE <= LOCAL_BASE);
-        assert!(LOCAL_BASE + WINDOW_SIZE <= DEVICE_BASE);
+        const { assert!(SHARED_BASE + WINDOW_SIZE <= LOCAL_BASE) }
+        const { assert!(LOCAL_BASE + WINDOW_SIZE <= DEVICE_BASE) }
     }
 }

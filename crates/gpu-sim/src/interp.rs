@@ -277,9 +277,7 @@ impl<'a> Executor<'a> {
                     t.regs[*dst as usize] = u64::from_le_bytes(buf);
                     t.cycles += spec.alu_cycles;
                 }
-                COp::Ld {
-                    ty, dst, addr, ..
-                } => {
+                COp::Ld { ty, dst, addr, .. } => {
                     let a = self.resolve_addr(addr, t);
                     let bits = self.mem_load(a, ty.size(), guard, shared, t, stats)?;
                     t.regs[*dst as usize] = bits;
@@ -304,7 +302,13 @@ impl<'a> Executor<'a> {
                     t.regs[*dst as usize] = convert(*dty, *sty, v);
                     t.cycles += spec.alu_cycles;
                 }
-                COp::Binary { kind, ty, dst, a, b } => {
+                COp::Binary {
+                    kind,
+                    ty,
+                    dst,
+                    a,
+                    b,
+                } => {
                     let va = self.value(a, t, cfg, ctaid);
                     let vb = self.value(b, t, cfg, ctaid);
                     t.regs[*dst as usize] = binary(*kind, *ty, va, vb);
@@ -353,7 +357,11 @@ impl<'a> Executor<'a> {
                     let va = self.value(a, t, cfg, ctaid);
                     let vb = self.value(b, t, cfg, ctaid);
                     let vc = self.value(c, t, cfg, ctaid);
-                    let wide_ty = if sty.is_signed() { Type::S64 } else { Type::U64 };
+                    let wide_ty = if sty.is_signed() {
+                        Type::S64
+                    } else {
+                        Type::U64
+                    };
                     let prod = mul_wide(*sty, va, vb);
                     t.regs[*dst as usize] = binary(BinKind::Add, wide_ty, prod, vc);
                     t.cycles += spec.alu_cycles;
@@ -369,8 +377,8 @@ impl<'a> Executor<'a> {
                             r.to_bits() as u64
                         }
                         _ => {
-                            let r = f64::from_bits(va)
-                                .mul_add(f64::from_bits(vb), f64::from_bits(vc));
+                            let r =
+                                f64::from_bits(va).mul_add(f64::from_bits(vb), f64::from_bits(vc));
                             r.to_bits()
                         }
                     };
@@ -427,8 +435,7 @@ impl<'a> Executor<'a> {
                             let bits = self.value(src, t, cfg, ctaid);
                             let bytes = bits.to_le_bytes();
                             let sz = pty.size();
-                            pbuf[*off as usize..*off as usize + sz]
-                                .copy_from_slice(&bytes[..sz]);
+                            pbuf[*off as usize..*off as usize + sz].copy_from_slice(&bytes[..sz]);
                         }
                     }
                     self.run_call(&callee, cfg, ctaid, &pbuf, guard, shared, t, stats)?;
@@ -534,9 +541,7 @@ impl<'a> Executor<'a> {
 
     fn resolve_addr(&self, addr: &CAddr, t: &Thread) -> u64 {
         match addr {
-            CAddr::Reg { slot, offset } => {
-                t.regs[*slot as usize].wrapping_add_signed(*offset)
-            }
+            CAddr::Reg { slot, offset } => t.regs[*slot as usize].wrapping_add_signed(*offset),
             CAddr::Abs(a) => *a,
             CAddr::Param(off) => *off as u64, // unreachable for ld/st non-param
         }
@@ -629,6 +634,7 @@ impl<'a> Executor<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors mem_load + the value operand
     fn mem_store(
         &mut self,
         addr: u64,
@@ -788,16 +794,16 @@ fn integer_binary(kind: BinKind, ty: Type, a: u64, b: u64) -> u64 {
             }
         }
         Div => {
+            // PTX integer division by zero yields an unspecified value; the
+            // simulator pins it to 0.
             if signed {
                 if sb == 0 {
                     0
                 } else {
                     sa.wrapping_div(sb) as u64
                 }
-            } else if ub == 0 {
-                0
             } else {
-                ua / ub
+                ua.checked_div(ub).unwrap_or(0)
             }
         }
         Rem => {
@@ -924,9 +930,7 @@ pub fn compare(cmp: CmpOp, ty: Type, a: u64, b: u64) -> bool {
     } else if ty.is_signed() {
         Some(as_i64(ty, a).cmp(&as_i64(ty, b)))
     } else {
-        Some(
-            crate::compile::truncate_to(ty, a).cmp(&crate::compile::truncate_to(ty, b)),
-        )
+        Some(crate::compile::truncate_to(ty, a).cmp(&crate::compile::truncate_to(ty, b)))
     };
     match (cmp, ord) {
         // Unordered (NaN) comparisons: only `ne` is true.
@@ -1386,10 +1390,16 @@ $L1:
             2 // (2^31 * 4) >> 32
         );
         assert_eq!(binary(BinKind::Div, Type::U32, 7, 0), 0); // div-by-0 -> 0
-        assert_eq!(binary(BinKind::Shr, Type::S32, 0x8000_0000, 31), 0xFFFF_FFFF);
+        assert_eq!(
+            binary(BinKind::Shr, Type::S32, 0x8000_0000, 31),
+            0xFFFF_FFFF
+        );
         assert_eq!(binary(BinKind::Shr, Type::U32, 0x8000_0000, 31), 1);
         assert_eq!(binary(BinKind::Shl, Type::B32, 1, 40), 0); // overshift
-        assert_eq!(mul_wide(Type::S32, (-2i32) as u32 as u64, 3), (-6i64) as u64);
+        assert_eq!(
+            mul_wide(Type::S32, (-2i32) as u32 as u64, 3),
+            (-6i64) as u64
+        );
         assert_eq!(mul_wide(Type::U32, 0xFFFF_FFFF, 2), 0x1_FFFF_FFFE);
         let pi = std::f32::consts::PI.to_bits() as u64;
         assert!(compare(CmpOp::Gt, Type::F32, pi, 1.0f32.to_bits() as u64));
@@ -1397,7 +1407,10 @@ $L1:
         assert!(!compare(CmpOp::Eq, Type::F32, nan, nan));
         assert!(compare(CmpOp::Ne, Type::F32, nan, nan));
         // cvt f32 -> s32 truncates toward zero.
-        assert_eq!(convert(Type::S32, Type::F32, (-2.7f32).to_bits() as u64), (-2i32) as u32 as u64);
+        assert_eq!(
+            convert(Type::S32, Type::F32, (-2.7f32).to_bits() as u64),
+            (-2i32) as u32 as u64
+        );
         // cvt s32 -> s64 sign-extends.
         assert_eq!(convert(Type::S64, Type::S32, 0xFFFF_FFFF), u64::MAX);
         // cvt u32 -> u64 zero-extends.

@@ -104,7 +104,7 @@ mod proptests {
         #[test]
         fn u64_div_matches_host(a in any::<u64>(), b in any::<u64>()) {
             let r = binary(BinKind::Div, Type::U64, a, b);
-            let expect = if b == 0 { 0 } else { a / b };
+            let expect = a.checked_div(b).unwrap_or(0);
             prop_assert_eq!(r, expect);
         }
 

@@ -61,7 +61,7 @@ impl Dram {
     /// Tag the pages of `[offset, offset+len)` with an owner.
     pub fn set_owner(&mut self, offset: u64, len: u64, asid: u32) {
         let first = (offset / PAGE_SIZE) as usize;
-        let last = ((offset + len + PAGE_SIZE - 1) / PAGE_SIZE) as usize;
+        let last = (offset + len).div_ceil(PAGE_SIZE) as usize;
         for p in first..last.min(self.owner.len()) {
             self.owner[p] = asid;
         }

@@ -164,10 +164,7 @@ impl PartitionAllocator {
         let off = base
             .checked_sub(self.pool_base)
             .ok_or(AllocError::InvalidFree)?;
-        let mut order = self
-            .allocated
-            .remove(&off)
-            .ok_or(AllocError::InvalidFree)?;
+        let mut order = self.allocated.remove(&off).ok_or(AllocError::InvalidFree)?;
         let mut off = off;
         // Coalesce with the buddy while it is free.
         loop {
@@ -196,10 +193,7 @@ impl PartitionAllocator {
 
     /// Bytes currently held by partitions.
     pub fn used_bytes(&self) -> u64 {
-        self.allocated
-            .values()
-            .map(|&o| MIN_PARTITION << o)
-            .sum()
+        self.allocated.values().map(|&o| MIN_PARTITION << o).sum()
     }
 
     /// Pool capacity.
@@ -289,9 +283,7 @@ impl RegionAllocator {
 
     /// Whether an address belongs to a live allocation of this heap.
     pub fn owns(&self, addr: u64) -> bool {
-        self.live
-            .iter()
-            .any(|(&a, &l)| addr >= a && addr < a + l)
+        self.live.iter().any(|(&a, &l)| addr >= a && addr < a + l)
     }
 
     /// Bytes currently allocated.
@@ -409,5 +401,106 @@ mod tests {
             size: MIN_PARTITION,
         };
         assert!(!p.contains_range(u64::MAX - 10, 100));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const POOL_BASE: u64 = 1 << 40;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Alloc/free round-trips: live partitions never overlap, stay
+        /// inside the pool, are self-aligned, and freeing everything then
+        /// coalescing restores the full pool capacity.
+        #[test]
+        fn buddy_round_trip_restores_capacity(
+            ops in proptest::collection::vec((0u8..3, 0usize..16, 0u64..7), 1..80),
+        ) {
+            let pool = 32 * MIN_PARTITION;
+            let mut pa = PartitionAllocator::new(POOL_BASE, pool);
+            let mut live: Vec<Partition> = Vec::new();
+            for (op, idx, size_log) in ops {
+                if op < 2 {
+                    // Sizes from 1 MiB to 64 MiB, beyond-pool included to
+                    // exercise the error path.
+                    if let Ok(p) = pa.alloc(MIN_PARTITION << size_log) {
+                        prop_assert!(p.base >= POOL_BASE);
+                        prop_assert!(p.end() <= POOL_BASE + pool);
+                        prop_assert_eq!(p.base % p.size, 0);
+                        for q in &live {
+                            prop_assert!(
+                                p.end() <= q.base || q.end() <= p.base,
+                                "{:?} overlaps {:?}", p, q
+                            );
+                        }
+                        live.push(p);
+                    }
+                } else if !live.is_empty() {
+                    let p = live.swap_remove(idx % live.len());
+                    prop_assert!(pa.free(p.base).is_ok());
+                }
+                let expected: u64 = live.iter().map(|p| p.size).sum();
+                prop_assert_eq!(pa.used_bytes(), expected);
+                prop_assert_eq!(pa.live_partitions(), live.len());
+            }
+            for p in live.drain(..) {
+                prop_assert!(pa.free(p.base).is_ok());
+            }
+            // Coalescing must have rebuilt the single maximal block.
+            let full = pa.alloc(pool).unwrap();
+            prop_assert_eq!(full.base, POOL_BASE);
+            prop_assert_eq!(full.size, pool);
+        }
+
+        /// Double-free and foreign-pointer frees are always rejected and
+        /// leave the allocator able to serve the remaining capacity.
+        #[test]
+        fn buddy_rejects_bad_frees(junk in any::<u64>()) {
+            let mut pa = PartitionAllocator::new(POOL_BASE, 8 * MIN_PARTITION);
+            let p = pa.alloc(MIN_PARTITION).unwrap();
+            prop_assert!(pa.free(p.base).is_ok());
+            prop_assert_eq!(pa.free(p.base), Err(AllocError::InvalidFree));
+            if junk != p.base {
+                prop_assert!(pa.free(junk).is_err());
+            }
+            let full = pa.alloc(8 * MIN_PARTITION).unwrap();
+            prop_assert_eq!(full.size, 8 * MIN_PARTITION);
+        }
+
+        /// Region heap round-trips: allocations are aligned, disjoint,
+        /// in-partition; freeing everything coalesces back to one block
+        /// able to serve the whole partition again.
+        #[test]
+        fn region_round_trip_restores_capacity(
+            sizes in proptest::collection::vec(1u64..200_000, 1..40),
+        ) {
+            let part = Partition { base: POOL_BASE, size: 4 * MIN_PARTITION };
+            let mut ra = RegionAllocator::new(part);
+            let mut live: Vec<(u64, u64)> = Vec::new();
+            for s in sizes {
+                if let Ok(a) = ra.alloc(s) {
+                    prop_assert_eq!(a % SUBALLOC_ALIGN, 0);
+                    prop_assert!(part.contains_range(a, s));
+                    let len = s.max(1).next_multiple_of(SUBALLOC_ALIGN);
+                    for &(b, bl) in &live {
+                        prop_assert!(a + len <= b || b + bl <= a, "overlap");
+                    }
+                    live.push((a, len));
+                }
+            }
+            // Free in a size-skewed order to stress both coalescing arms.
+            live.sort_by_key(|&(a, l)| (l, a));
+            for (a, _) in live.drain(..) {
+                prop_assert!(ra.free(a).is_ok());
+            }
+            prop_assert_eq!(ra.used_bytes(), 0);
+            let whole = ra.alloc(part.size).unwrap();
+            prop_assert_eq!(whole, part.base);
+        }
     }
 }

@@ -134,8 +134,13 @@ $L_end:
         let api = &mut t.runtimes[0];
         let buf = api.cuda_malloc(4 * 64).unwrap();
         let args = ArgPack::new().ptr(buf).u32(64).finish();
-        api.cuda_launch_kernel("fill", LaunchConfig::linear(2, 32), &args, Default::default())
-            .unwrap();
+        api.cuda_launch_kernel(
+            "fill",
+            LaunchConfig::linear(2, 32),
+            &args,
+            Default::default(),
+        )
+        .unwrap();
         api.cuda_device_synchronize().unwrap();
         let out = api.cuda_memcpy_d2h(buf, 4 * 64).unwrap();
         for i in 0..64u32 {
@@ -156,7 +161,12 @@ $L_end:
         // Attacker aims a store directly at the victim's buffer address.
         let args = ArgPack::new().ptr(victim_buf).u32(0x41414141).finish();
         t.runtimes[0]
-            .cuda_launch_kernel("stomp", LaunchConfig::linear(1, 1), &args, Default::default())
+            .cuda_launch_kernel(
+                "stomp",
+                LaunchConfig::linear(1, 1),
+                &args,
+                Default::default(),
+            )
             .unwrap();
         t.runtimes[0].cuda_device_synchronize().unwrap();
         // The victim's data is intact: the store wrapped into the
@@ -177,7 +187,12 @@ $L_end:
             .unwrap();
         let args = ArgPack::new().ptr(victim_buf).u32(0x41414141).finish();
         t.runtimes[0]
-            .cuda_launch_kernel("stomp", LaunchConfig::linear(1, 1), &args, Default::default())
+            .cuda_launch_kernel(
+                "stomp",
+                LaunchConfig::linear(1, 1),
+                &args,
+                Default::default(),
+            )
             .unwrap();
         t.runtimes[0].cuda_device_synchronize().unwrap();
         let out = t.runtimes[1].cuda_memcpy_d2h(victim_buf, 4).unwrap();
@@ -195,7 +210,12 @@ $L_end:
             .unwrap();
         let args = ArgPack::new().ptr(victim_buf).u32(0x41414141).finish();
         t.runtimes[0]
-            .cuda_launch_kernel("stomp", LaunchConfig::linear(1, 1), &args, Default::default())
+            .cuda_launch_kernel(
+                "stomp",
+                LaunchConfig::linear(1, 1),
+                &args,
+                Default::default(),
+            )
             .unwrap();
         // The offender is terminated at its next synchronization point...
         assert!(t.runtimes[0].cuda_device_synchronize().is_err());
@@ -216,7 +236,12 @@ $L_end:
         let victim_buf = t.runtimes[1].cuda_malloc(4096).unwrap();
         let args = ArgPack::new().ptr(victim_buf).u32(1).finish();
         t.runtimes[0]
-            .cuda_launch_kernel("stomp", LaunchConfig::linear(1, 1), &args, Default::default())
+            .cuda_launch_kernel(
+                "stomp",
+                LaunchConfig::linear(1, 1),
+                &args,
+                Default::default(),
+            )
             .unwrap();
         assert!(t.runtimes[0].cuda_device_synchronize().is_err());
         // The co-running *innocent* client is terminated too (§2.2).
@@ -230,7 +255,12 @@ $L_end:
         let victim_buf = t.runtimes[1].cuda_malloc(4096).unwrap();
         let args = ArgPack::new().ptr(victim_buf).u32(1).finish();
         t.runtimes[0]
-            .cuda_launch_kernel("stomp", LaunchConfig::linear(1, 1), &args, Default::default())
+            .cuda_launch_kernel(
+                "stomp",
+                LaunchConfig::linear(1, 1),
+                &args,
+                Default::default(),
+            )
             .unwrap();
         assert!(t.runtimes[0].cuda_device_synchronize().is_err());
         // Time-sharing: the other context is unaffected.
@@ -270,7 +300,12 @@ $L_end:
         for (i, buf) in [(0usize, b0), (1usize, b1)] {
             let args = ArgPack::new().ptr(buf).u32(8).finish();
             t.runtimes[i]
-                .cuda_launch_kernel("fill", LaunchConfig::linear(1, 8), &args, Default::default())
+                .cuda_launch_kernel(
+                    "fill",
+                    LaunchConfig::linear(1, 8),
+                    &args,
+                    Default::default(),
+                )
                 .unwrap();
             t.runtimes[i].cuda_device_synchronize().unwrap();
         }
@@ -287,7 +322,12 @@ $L_end:
         let args = ArgPack::new().ptr(buf).u32(16).finish();
         for _ in 0..10 {
             t.runtimes[0]
-                .cuda_launch_kernel("fill", LaunchConfig::linear(1, 16), &args, Default::default())
+                .cuda_launch_kernel(
+                    "fill",
+                    LaunchConfig::linear(1, 16),
+                    &args,
+                    Default::default(),
+                )
                 .unwrap();
         }
         t.runtimes[0].cuda_device_synchronize().unwrap();
@@ -389,8 +429,7 @@ $L_end:
                 rt.cuda_device_synchronize().unwrap();
                 let out = rt.cuda_memcpy_d2h(buf, 4 * 128).unwrap();
                 for j in 0..128u32 {
-                    let v =
-                        u32::from_le_bytes(out[j as usize * 4..][..4].try_into().unwrap());
+                    let v = u32::from_le_bytes(out[j as usize * 4..][..4].try_into().unwrap());
                     assert_eq!(v, j, "tenant {i}");
                 }
             }));

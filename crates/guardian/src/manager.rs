@@ -602,8 +602,8 @@ impl Manager {
         if self.registered_fatbins.contains(&hash) {
             return Ok(());
         }
-        let images = ptx::fatbin::extract_ptx(bytes)
-            .map_err(|e| CudaError::ModuleLoad(e.to_string()))?;
+        let images =
+            ptx::fatbin::extract_ptx(bytes).map_err(|e| CudaError::ModuleLoad(e.to_string()))?;
         for (name, text) in images {
             self.register_ptx(&name, &text)?;
         }
@@ -688,10 +688,8 @@ impl Manager {
                 Protection::Check => part.end(),
                 Protection::None => 0,
             };
-            buf[base_off as usize..base_off as usize + 8]
-                .copy_from_slice(&part.base.to_le_bytes());
-            buf[bound_off as usize..bound_off as usize + 8]
-                .copy_from_slice(&bound.to_le_bytes());
+            buf[base_off as usize..base_off as usize + 8].copy_from_slice(&part.base.to_le_bytes());
+            buf[bound_off as usize..bound_off as usize + 8].copy_from_slice(&bound.to_le_bytes());
             buf
         };
         let augment_ns = t1.elapsed().as_nanos() as u64;

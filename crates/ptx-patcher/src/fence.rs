@@ -641,11 +641,7 @@ $L1:
         assert_eq!(writer.params.len(), 3); // dst + base + bound
         let text = patched.module.to_string();
         assert!(text.contains("call writer, (%rd1, %grd0, %grd1)"));
-        let caller_info = patched
-            .info
-            .iter()
-            .find(|i| i.name == "caller")
-            .unwrap();
+        let caller_info = patched.info.iter().find(|i| i.name == "caller").unwrap();
         assert_eq!(caller_info.calls_forwarded, 1);
         let writer_info = patched.info.iter().find(|i| i.name == "writer").unwrap();
         assert_eq!(writer_info.stores, 1);

@@ -57,7 +57,9 @@ pub mod regalloc;
 pub mod sandbox;
 
 pub use census::Census;
-pub use fence::{apply_fence, fence_mask, patch_module, PatchError, PatchInfo, Patched, Protection};
+pub use fence::{
+    apply_fence, fence_mask, patch_module, PatchError, PatchInfo, Patched, Protection,
+};
 pub use regalloc::{report, report_module, ExtraRegHistogram, RegisterReport};
 pub use sandbox::{sandbox_fatbin, sandbox_ptx, SandboxError, SandboxedImage};
 

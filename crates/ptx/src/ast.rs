@@ -142,8 +142,7 @@ impl Function {
         let mut off = 0usize;
         for p in &self.params {
             let sz = p.ty.size();
-            let align = sz;
-            off = (off + align - 1) / align * align;
+            off = off.next_multiple_of(sz);
             offsets.push(off);
             off += sz;
         }

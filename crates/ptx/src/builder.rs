@@ -383,10 +383,14 @@ impl KernelBuilder {
         let done = self.fresh_label("done");
         self.label(top.clone());
         let p = self.setp(CmpOp::Ge, Type::U32, &i, Operand::reg(n));
-        self.emit_pred(&p, false, Op::Bra {
-            uni: false,
-            target: done.clone(),
-        });
+        self.emit_pred(
+            &p,
+            false,
+            Op::Bra {
+                uni: false,
+                target: done.clone(),
+            },
+        );
         body(self, &i);
         self.emit(Op::Binary {
             kind: BinKind::Add,
@@ -406,10 +410,14 @@ impl KernelBuilder {
     /// body.
     pub fn if_then(&mut self, pred: &str, body: impl FnOnce(&mut Self)) {
         let skip = self.fresh_label("skip");
-        self.emit_pred(pred, true, Op::Bra {
-            uni: false,
-            target: skip.clone(),
-        });
+        self.emit_pred(
+            pred,
+            true,
+            Op::Bra {
+                uni: false,
+                target: skip.clone(),
+            },
+        );
         body(self);
         self.label(skip);
     }

@@ -208,9 +208,8 @@ mod tests {
 
     #[test]
     fn straight_line_is_one_block() {
-        let (_, cfg) = cfg_of(
-            ".reg .b32 %r<3>;\nld.param.u32 %r1, [n];\nadd.u32 %r2, %r1, 1;\nret;",
-        );
+        let (_, cfg) =
+            cfg_of(".reg .b32 %r<3>;\nld.param.u32 %r1, [n];\nadd.u32 %r2, %r1, 1;\nret;");
         assert_eq!(cfg.blocks.len(), 1);
         assert!(cfg.blocks[0].succs.is_empty());
     }

@@ -192,7 +192,8 @@ pub fn extract_ptx(data: &[u8]) -> Result<Vec<(String, String)>> {
 mod tests {
     use super::*;
 
-    const PTX: &str = ".version 7.7\n.target sm_86\n.address_size 64\n.visible .entry e() { ret; }\n";
+    const PTX: &str =
+        ".version 7.7\n.target sm_86\n.address_size 64\n.visible .entry e() { ret; }\n";
 
     #[test]
     fn round_trip_container() {

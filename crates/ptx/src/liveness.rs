@@ -258,8 +258,8 @@ ret;"#,
         );
         // %r2 must be live into the predicated mov (old value may survive).
         let pred_mov = 3usize; // statements: decl, decl are skipped in instr idx
-        // Find the statement index of the predicated mov by scanning live_in
-        // for a set that contains %r2 before a def of %r2.
+                               // Find the statement index of the predicated mov by scanning live_in
+                               // for a set that contains %r2 before a def of %r2.
         let any_live_r2 = lv.live_in.values().any(|s| s.contains("%r2"));
         assert!(any_live_r2, "%r2 should be live somewhere: {pred_mov}");
     }

@@ -215,8 +215,7 @@ impl Parser {
     }
 
     fn parse_type(&mut self, name: &str, line: u32) -> Result<Type> {
-        type_from_str(name)
-            .ok_or_else(|| PtxError::parse(line, format!("unknown type `.{name}`")))
+        type_from_str(name).ok_or_else(|| PtxError::parse(line, format!("unknown type `.{name}`")))
     }
 
     /// Parse a variable declaration at module or function scope:
@@ -435,11 +434,33 @@ impl Parser {
         let err = |msg: String| -> Result<Op> { Err(PtxError::parse(line, msg)) };
 
         // Strip rounding/precision modifiers that we accept but normalize.
-        let is_noise =
-            |m: &str| matches!(m, "rn" | "rz" | "rm" | "rp" | "rni" | "rzi" | "rmi" | "rpi"
-                | "ftz" | "sat" | "approx" | "full" | "uni" | "volatile" | "relaxed" | "gpu"
-                | "aligned" | "sync_aligned");
-        let meat: Vec<&str> = mods.iter().map(|s| s.as_str()).filter(|m| !is_noise(m)).collect();
+        let is_noise = |m: &str| {
+            matches!(
+                m,
+                "rn" | "rz"
+                    | "rm"
+                    | "rp"
+                    | "rni"
+                    | "rzi"
+                    | "rmi"
+                    | "rpi"
+                    | "ftz"
+                    | "sat"
+                    | "approx"
+                    | "full"
+                    | "uni"
+                    | "volatile"
+                    | "relaxed"
+                    | "gpu"
+                    | "aligned"
+                    | "sync_aligned"
+            )
+        };
+        let meat: Vec<&str> = mods
+            .iter()
+            .map(|s| s.as_str())
+            .filter(|m| !is_noise(m))
+            .collect();
 
         match mnemonic.as_str() {
             "ld" | "st" => {
@@ -533,7 +554,13 @@ impl Parser {
                     _ => return err(format!("bad `{mnemonic}` modifiers {mods:?}")),
                 };
                 let (dst, a, b) = self.dst_a_b()?;
-                Ok(Op::Binary { kind, ty, dst, a, b })
+                Ok(Op::Binary {
+                    kind,
+                    ty,
+                    dst,
+                    a,
+                    b,
+                })
             }
             "mul" => match meat.as_slice() {
                 ["lo", ty] => {

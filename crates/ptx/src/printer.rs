@@ -173,7 +173,12 @@ impl fmt::Display for Op {
                 fmt_operand(f, src, *ty)
             }
             Op::MovAddr { ty, dst, var } => write!(f, "mov{ty} {dst}, {var}"),
-            Op::Cvta { to, space, dst, src } => {
+            Op::Cvta {
+                to,
+                space,
+                dst,
+                src,
+            } => {
                 if *to {
                     write!(f, "cvta.to{space}.u64 {dst}, {src}")
                 } else {
@@ -184,16 +189,22 @@ impl fmt::Display for Op {
                 // Canonical rounding modifiers for re-parse compatibility.
                 let rmod = if dty.is_integer() && sty.is_float() {
                     ".rzi"
-                } else if dty.is_float() && sty.is_integer() {
-                    ".rn"
-                } else if *dty == Type::F32 && *sty == Type::F64 {
+                } else if (dty.is_float() && sty.is_integer())
+                    || (*dty == Type::F32 && *sty == Type::F64)
+                {
                     ".rn"
                 } else {
                     ""
                 };
                 write!(f, "cvt{rmod}{dty}{sty} {dst}, {src}")
             }
-            Op::Binary { kind, ty, dst, a, b } => {
+            Op::Binary {
+                kind,
+                ty,
+                dst,
+                a,
+                b,
+            } => {
                 write!(f, "{}{ty} {dst}, ", kind.mnemonic(*ty))?;
                 fmt_operand(f, a, *ty)?;
                 write!(f, ", ")?;
@@ -364,7 +375,10 @@ mod tests {
         let k = m.function("fk").unwrap();
         // pi as f32 came through bit-exactly
         let has_pi = k.instructions().any(|(_, i)| match &i.op {
-            Op::Binary { b: Operand::ImmFloat(v), .. } => (*v as f32) == std::f32::consts::PI,
+            Op::Binary {
+                b: Operand::ImmFloat(v),
+                ..
+            } => (*v as f32) == std::f32::consts::PI,
             _ => false,
         });
         assert!(has_pi);

@@ -47,16 +47,12 @@ fn validate_function(
     for s in &f.body {
         match s {
             Statement::Label(l) => {
-                if !labels.insert(l.as_str()) {
-                    return Err(PtxError::validate(
-                        fname,
-                        format!("duplicate label `{l}`"),
-                    ));
+                let fresh = labels.insert(l.as_str());
+                if !fresh {
+                    return Err(PtxError::validate(fname, format!("duplicate label `{l}`")));
                 }
             }
-            Statement::RegDecl {
-                prefix, count, ..
-            } => {
+            Statement::RegDecl { prefix, count, .. } => {
                 for i in 0..*count {
                     regs.insert(format!("{prefix}{i}"));
                 }
@@ -107,13 +103,11 @@ fn validate_function(
                     check_label(t)?;
                 }
             }
-            Op::Call { func, .. } => {
-                if !func_names.contains(func.as_str()) {
-                    return Err(PtxError::validate(
-                        fname,
-                        format!("call to undefined function `{func}`"),
-                    ));
-                }
+            Op::Call { func, .. } if !func_names.contains(func.as_str()) => {
+                return Err(PtxError::validate(
+                    fname,
+                    format!("call to undefined function `{func}`"),
+                ));
             }
             Op::Ld { space, addr, .. } | Op::St { space, addr, .. } => {
                 if let AddrBase::Var(v) = &addr.base {
@@ -133,13 +127,13 @@ fn validate_function(
                     }
                 }
             }
-            Op::MovAddr { var, .. } => {
-                if !local_vars.contains(var.as_str()) && !global_names.contains(var.as_str()) {
-                    return Err(PtxError::validate(
-                        fname,
-                        format!("mov takes address of unknown variable `{var}`"),
-                    ));
-                }
+            Op::MovAddr { var, .. }
+                if !local_vars.contains(var.as_str()) && !global_names.contains(var.as_str()) =>
+            {
+                return Err(PtxError::validate(
+                    fname,
+                    format!("mov takes address of unknown variable `{var}`"),
+                ));
             }
             Op::Mov { src, .. } => {
                 // Special registers are always fine; checked regs above.
@@ -152,17 +146,14 @@ fn validate_function(
     // Falling off the end: the last reachable statement must terminate.
     let cfg = Cfg::build(f);
     let reachable = cfg.reachable();
-    if let Some(last_block) = reachable.iter().max_by_key(|&&b| {
-        cfg.blocks[b]
-            .stmts
-            .last()
-            .copied()
-            .unwrap_or(0)
-    }) {
+    if let Some(last_block) = reachable
+        .iter()
+        .max_by_key(|&&b| cfg.blocks[b].stmts.last().copied().unwrap_or(0))
+    {
         let block = &cfg.blocks[*last_block];
         // Only check the block that contains the lexically last statement.
-        let is_lexically_last = block.stmts.last().copied()
-            == f.instructions().map(|(i, _)| i).last();
+        let is_lexically_last =
+            block.stmts.last().copied() == f.instructions().map(|(i, _)| i).last();
         if is_lexically_last {
             if let Some(&last) = block.stmts.last() {
                 if let Statement::Instr(ins) = &f.body[last] {

@@ -207,7 +207,14 @@ fn lavamd_kernel() -> Function {
         let done = k.fresh_label("pair_done");
         k.label(top.clone());
         let p = k.setp(CmpOp::Ge, Type::U32, &j, Operand::reg(&n));
-        k.emit_pred(&p, false, Op::Bra { uni: false, target: done.clone() });
+        k.emit_pred(
+            &p,
+            false,
+            Op::Bra {
+                uni: false,
+                target: done.clone(),
+            },
+        );
         {
             let xj_idx = k.binary_imm(BinKind::MulLo, Type::U32, &j, 3);
             let xj = k.load_elem(&pg, &xj_idx, Type::F32);
@@ -237,7 +244,10 @@ fn lavamd_kernel() -> Function {
             a: Operand::reg(&j),
             b: Operand::ImmInt(1),
         });
-        k.emit(Op::Bra { uni: true, target: top });
+        k.emit(Op::Bra {
+            uni: true,
+            target: top,
+        });
         k.label(done);
         k.store_elem(&fg, i, Type::F32, &acc);
     });
@@ -316,7 +326,12 @@ pub enum App {
 
 impl App {
     /// All four applications.
-    pub const ALL: [App; 4] = [App::Gaussian, App::Hotspot, App::LavaMd, App::ParticleFilter];
+    pub const ALL: [App; 4] = [
+        App::Gaussian,
+        App::Hotspot,
+        App::LavaMd,
+        App::ParticleFilter,
+    ];
 }
 
 /// Run one application at the given scale (the paper scales Rodinia up
@@ -351,7 +366,13 @@ pub fn run(api: &mut dyn CudaApi, app: App, scale: u32) -> CudaResult<()> {
             for kcol in 0..n - 1 {
                 let args = ArgPack::new().ptr(a).ptr(m).u32(n).u32(kcol).finish();
                 api.cuda_launch_kernel("gaussian_fan1", linear_cfg(n), &args, Stream::DEFAULT)?;
-                let args = ArgPack::new().ptr(a).ptr(b).ptr(m).u32(n).u32(kcol).finish();
+                let args = ArgPack::new()
+                    .ptr(a)
+                    .ptr(b)
+                    .ptr(m)
+                    .u32(n)
+                    .u32(kcol)
+                    .finish();
                 api.cuda_launch_kernel("gaussian_fan2", linear_cfg(n * n), &args, Stream::DEFAULT)?;
             }
             api.cuda_device_synchronize()
@@ -458,7 +479,13 @@ mod tests {
             let args = ArgPack::new().ptr(a).ptr(m).u32(n).u32(kcol).finish();
             api.cuda_launch_kernel("gaussian_fan1", linear_cfg(n), &args, Stream::DEFAULT)
                 .unwrap();
-            let args = ArgPack::new().ptr(a).ptr(b).ptr(m).u32(n).u32(kcol).finish();
+            let args = ArgPack::new()
+                .ptr(a)
+                .ptr(b)
+                .ptr(m)
+                .u32(n)
+                .u32(kcol)
+                .finish();
             api.cuda_launch_kernel("gaussian_fan2", linear_cfg(n * n), &args, Stream::DEFAULT)
                 .unwrap();
         }

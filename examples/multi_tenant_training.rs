@@ -3,6 +3,7 @@
 //!
 //! Run with: `cargo run --release -p bench --example multi_tenant_training`
 
+use cuda_rt::lockstep::Lockstep;
 use cuda_rt::share_device;
 use frameworks::{train, Network, TrainConfig};
 use gpu_sim::spec::rtx_a4000;
@@ -11,11 +12,12 @@ use guardian::backends::{deploy, Deployment};
 
 fn main() {
     let device = share_device(Device::new(rtx_a4000()));
-    let tenancy = deploy(&device, Deployment::GuardianFencing, 3, 64 << 20, &[])
-        .expect("deploy");
+    let tenancy = deploy(&device, Deployment::GuardianFencing, 3, 64 << 20, &[]).expect("deploy");
     let nets = [Network::Lenet, Network::Cifar10, Network::Siamese];
+    // Round-robin lockstep makes the printed makespan reproducible.
+    let runtimes = Lockstep::wrap_all(tenancy.runtimes);
     let mut handles = Vec::new();
-    for (mut rt, net) in tenancy.runtimes.into_iter().zip(nets) {
+    for (mut rt, net) in runtimes.into_iter().zip(nets) {
         handles.push(std::thread::spawn(move || {
             let cfg = TrainConfig {
                 epochs: 3,

@@ -30,7 +30,11 @@ fn main() {
     let module = ptx::parse(KERNEL).expect("parse");
     println!("=== original PTX (the paper's Listing 1 kernel, unpatched) ===");
     println!("{module}");
-    for mode in [Protection::FenceBitwise, Protection::FenceModulo, Protection::Check] {
+    for mode in [
+        Protection::FenceBitwise,
+        Protection::FenceModulo,
+        Protection::Check,
+    ] {
         let patched = patch_module(&module, mode).expect("patch");
         println!("=== sandboxed with {mode} ===");
         println!("{}", patched.module);

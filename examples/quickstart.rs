@@ -46,8 +46,8 @@ fn main() {
     fb.push_ptx("app", KERNEL);
     let fb = fb.to_bytes().to_vec();
     let device = share_device(Device::new(rtx_a4000()));
-    let mut tenancy = deploy(&device, Deployment::GuardianFencing, 2, 64 << 20, &[&fb])
-        .expect("deploy guardian");
+    let mut tenancy =
+        deploy(&device, Deployment::GuardianFencing, 2, 64 << 20, &[&fb]).expect("deploy guardian");
 
     // 2. Each tenant works in its own partition, through the standard
     //    CUDA-style API. Guardian is transparent.
@@ -57,8 +57,13 @@ fn main() {
         let host: Vec<u8> = (0..n).flat_map(|v| (v as f32).to_le_bytes()).collect();
         api.cuda_memcpy_h2d(buf, &host).expect("h2d");
         let args = ArgPack::new().ptr(buf).u32(n).f32(2.0).finish();
-        api.cuda_launch_kernel("scale_add", LaunchConfig::linear(8, 128), &args, Default::default())
-            .expect("launch");
+        api.cuda_launch_kernel(
+            "scale_add",
+            LaunchConfig::linear(8, 128),
+            &args,
+            Default::default(),
+        )
+        .expect("launch");
         api.cuda_device_synchronize().expect("sync");
         let out = api.cuda_memcpy_d2h(buf, 16).expect("d2h");
         let v0 = f32::from_le_bytes(out[0..4].try_into().unwrap());

@@ -1,0 +1,415 @@
+//! Minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the subset the workspace's property tests use: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`, [`strategy::Just`], [`any`],
+//! [`prop_oneof!`], range/tuple strategies, [`collection::vec`], and
+//! `prop_map`. Generation is deterministic (seeded per test) and there is
+//! **no shrinking** — a failing case prints its seed and panics as-is.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore};
+    use std::ops::Range;
+
+    /// Something that can generate values of an associated type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Object-safe boxed strategy.
+    pub type BoxedStrategy<V> = Box<dyn DynStrategy<Value = V>>;
+
+    /// Object-safe mirror of [`Strategy`] (no generic methods).
+    pub trait DynStrategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate_dyn(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+
+        fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut StdRng) -> V {
+            self.as_ref().generate_dyn(rng)
+        }
+    }
+
+    /// Strategy yielding a clone of a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy choosing uniformly among boxed alternatives.
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from pre-boxed alternatives; used by `prop_oneof!`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[idx].generate_dyn(rng)
+        }
+    }
+
+    /// Strategy applying a function to another strategy's output.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    /// Strategy for [`Arbitrary`] types; created by [`any`](super::any).
+    #[derive(Debug, Clone, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        /// Create the strategy.
+        pub fn new() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            // All bit patterns, including NaN and infinities.
+            f32::from_bits(rng.next_u32())
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl<T: rand::SampleUniform + Copy> Strategy for Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident / $v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A / a);
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for vectors with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy: each value has a length drawn from `len` and
+    /// elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.start..self.len.end);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-execution configuration.
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Strategy generating any value of `T` (all bit patterns for floats).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+// Re-exported for `proptest!`'s expansion; consuming crates need not
+// depend on the rand shim themselves.
+#[doc(hidden)]
+pub use rand;
+
+/// Assert inside a property test; failure panics with the case's seed in
+/// the message (printed by the harness).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// (The real crate re-draws; this shim simply moves to the next case.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Choose uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// Define deterministic property tests.
+///
+/// Supported syntax (a subset of the real crate's):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..100, v in any::<i32>()) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            // Deterministic per-test seed: stable across runs, different
+            // per test name.
+            let seed = {
+                use std::hash::{Hash, Hasher};
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                stringify!($name).hash(&mut h);
+                h.finish()
+            };
+            for case in 0..config.cases as u64 {
+                let mut rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                    seed ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+                );
+                let ($($pat,)+) = (
+                    $($crate::strategy::Strategy::generate(&$strat, &mut rng),)+
+                );
+                let run = || { $body };
+                if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                    eprintln!(
+                        "proptest {} failed at case {case} (seed {seed:#x})",
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(e);
+                }
+            }
+        }
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+}
+
+pub mod prelude {
+    //! One-stop import for property tests.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -5i32..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(v in crate::collection::vec((0u8..2, any::<u32>()), 1..10)) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|(tag, _)| *tag < 2));
+        }
+
+        #[test]
+        fn oneof_and_map_work(x in prop_oneof![Just(1u32), Just(2), Just(3)].prop_map(|v| v * 10)) {
+            prop_assert!([10, 20, 30].contains(&x));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use rand::{rngs::StdRng, SeedableRng};
+        let s = crate::collection::vec(any::<u64>(), 5..6);
+        let a = s.generate(&mut StdRng::seed_from_u64(9));
+        let b = s.generate(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

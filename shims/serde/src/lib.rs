@@ -1,0 +1,15 @@
+//! Minimal stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op derives from the local `serde_derive` shim and
+//! declares empty marker traits under the usual names, so seed code can
+//! keep writing `use serde::{Deserialize, Serialize};` +
+//! `#[derive(Serialize, Deserialize)]` unchanged. Nothing in the workspace
+//! serializes yet; vendor real serde before anything does.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait occupying serde's `Serialize` name in the trait namespace.
+pub trait Serialize {}
+
+/// Marker trait occupying serde's `Deserialize` name in the trait namespace.
+pub trait Deserialize {}

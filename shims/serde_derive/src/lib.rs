@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The build environment has no access to crates.io; the workspace only
+//! uses serde derives as annotations (nothing actually serializes yet), so
+//! these derives expand to nothing. If real serialization is needed later,
+//! vendor the real serde instead of extending this shim.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

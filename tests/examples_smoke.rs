@@ -1,0 +1,36 @@
+//! Smoke test: every `examples/` binary runs to completion.
+//!
+//! Each example is a user-facing entry point (quickstart, attack demo,
+//! sandboxing walkthrough, multi-tenant training); this keeps them from
+//! silently rotting as the API evolves.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "ptx_sandboxing",
+    "attack_demo",
+    "multi_tenant_training",
+];
+
+#[test]
+fn all_examples_run_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", example])
+            .current_dir(&workspace_root)
+            .env("CARGO_NET_OFFLINE", "true")
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for `{example}`: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{example}` failed with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

@@ -47,6 +47,24 @@ fn all_workloads_complete_under_guardian() {
     }
 }
 
+/// Regression: measured makespans are bit-for-bit reproducible. The seed
+/// let OS thread scheduling pick the order tenant calls reached the
+/// simulated device, so mode-comparison tests flapped; tenant API streams
+/// are now serialized through a deterministic round-robin turnstile
+/// (`cuda_rt::lockstep`).
+#[test]
+fn makespan_is_deterministic_across_runs() {
+    let spec = test_gpu();
+    let jobs = workload('A');
+    let first = run_workload(&spec, Deployment::GuardianFencing, &jobs);
+    let second = run_workload(&spec, Deployment::GuardianFencing, &jobs);
+    assert_eq!(
+        first.to_bits(),
+        second.to_bits(),
+        "two identical runs measured {first} vs {second}"
+    );
+}
+
 /// The three Guardian protection modes order as fencing <= modulo <=
 /// checking in execution time (paper §4.4 cost ladder).
 #[test]

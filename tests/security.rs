@@ -2,7 +2,7 @@
 //! exfiltration attempts under every deployment, with a victim actively
 //! training alongside the attacker.
 
-use cuda_rt::{share_device, ArgPack};
+use cuda_rt::{share_device, ArgPack, CudaApi};
 use frameworks::{train, Network, TrainConfig};
 use gpu_sim::spec::test_gpu;
 use gpu_sim::{Device, LaunchConfig};
@@ -55,7 +55,12 @@ fn fencing_blocks_data_exfiltration() {
     t.runtimes[0].cuda_memset(out, 0, 4).unwrap();
     let args = ArgPack::new().ptr(secret_buf).ptr(out).finish();
     t.runtimes[0]
-        .cuda_launch_kernel("peek", LaunchConfig::linear(1, 1), &args, Default::default())
+        .cuda_launch_kernel(
+            "peek",
+            LaunchConfig::linear(1, 1),
+            &args,
+            Default::default(),
+        )
         .unwrap();
     t.runtimes[0].cuda_device_synchronize().unwrap();
     let stolen = t.runtimes[0].cuda_memcpy_d2h(out, 4).unwrap();
@@ -77,6 +82,7 @@ fn fault_isolation_matrix() {
         (Deployment::Mps, false, false, true),
         (Deployment::Native, false, true, true),
         (Deployment::GuardianFencing, true, true, true),
+        (Deployment::GuardianModulo, true, true, true),
         (Deployment::GuardianChecking, false, true, true),
     ];
     for (deployment, exp_attacker, exp_victim, exp_intact) in expectations {
@@ -111,6 +117,102 @@ fn fault_isolation_matrix() {
             m.shutdown();
         }
     }
+}
+
+/// Negative control: the same `stomp`/`peek` binaries **succeed** when no
+/// isolation mechanism is present, proving this suite detects missing
+/// isolation rather than vacuously passing.
+///
+/// The unprotected setting is the paper's Figure 1 native stream sharing:
+/// tenants share the GPU through plain contexts with no per-access guard
+/// (`NativeRuntime::new`, `MemGuard::None` — what `Deployment::Native`
+/// degenerates to once apps share spatially without MPS/Guardian).
+#[test]
+fn attack_succeeds_without_isolation() {
+    use cuda_rt::NativeRuntime;
+
+    let device = share_device(Device::new(test_gpu()));
+    let fb = evil_fatbin();
+    let mut attacker = NativeRuntime::new(device.clone()).unwrap();
+    let mut victim = NativeRuntime::new(device.clone()).unwrap();
+    attacker.register_fatbin(&fb).unwrap();
+
+    let secret = 0x5EC2E7u32;
+    let victim_buf = victim.cuda_malloc(4096).unwrap();
+    victim
+        .cuda_memcpy_h2d(victim_buf, &secret.to_le_bytes())
+        .unwrap();
+
+    // peek: exfiltration of the victim's secret succeeds verbatim.
+    let out = attacker.cuda_malloc(4096).unwrap();
+    attacker.cuda_memset(out, 0, 4).unwrap();
+    let args = ArgPack::new().ptr(victim_buf).ptr(out).finish();
+    attacker
+        .cuda_launch_kernel(
+            "peek",
+            LaunchConfig::linear(1, 1),
+            &args,
+            Default::default(),
+        )
+        .unwrap();
+    attacker.cuda_device_synchronize().unwrap();
+    let stolen = attacker.cuda_memcpy_d2h(out, 4).unwrap();
+    assert_eq!(
+        u32::from_le_bytes(stolen.try_into().unwrap()),
+        secret,
+        "without isolation, peek must read the victim's secret"
+    );
+
+    // stomp: the victim's data is silently corrupted and nobody faults.
+    let args = ArgPack::new().ptr(victim_buf).u32(0x41414141).finish();
+    attacker
+        .cuda_launch_kernel(
+            "stomp",
+            LaunchConfig::linear(1, 1),
+            &args,
+            Default::default(),
+        )
+        .unwrap();
+    assert!(
+        attacker.cuda_device_synchronize().is_ok(),
+        "no fault raised"
+    );
+    let bytes = victim.cuda_memcpy_d2h(victim_buf, 4).unwrap();
+    assert_eq!(
+        u32::from_le_bytes(bytes.try_into().unwrap()),
+        0x41414141,
+        "without isolation, stomp must corrupt the victim's buffer"
+    );
+}
+
+/// Negative control for MPS-style sharing: per-client memory protection
+/// stops the write, but the fault escalates to the shared server and the
+/// *victim* is killed too — the attack succeeds as denial of service
+/// (§2.2 shared fate), which Guardian's fault isolation prevents.
+#[test]
+fn attack_kills_victim_under_mps() {
+    let device = share_device(Device::new(test_gpu()));
+    let fb = evil_fatbin();
+    let mut t = deploy(&device, Deployment::Mps, 2, 4 << 20, &[&fb]).unwrap();
+    let victim_buf = t.runtimes[1].cuda_malloc(4096).unwrap();
+    t.runtimes[1]
+        .cuda_memcpy_h2d(victim_buf, &1u32.to_le_bytes())
+        .unwrap();
+    let args = ArgPack::new().ptr(victim_buf).u32(0x41414141).finish();
+    let _ = t.runtimes[0].cuda_launch_kernel(
+        "stomp",
+        LaunchConfig::linear(1, 1),
+        &args,
+        Default::default(),
+    );
+    assert!(
+        t.runtimes[0].cuda_device_synchronize().is_err(),
+        "the ASID guard must fault the attacker"
+    );
+    assert!(
+        t.runtimes[1].cuda_device_synchronize().is_err(),
+        "MPS shared fate must kill the innocent victim as well"
+    );
 }
 
 /// A victim *training a network* is undisturbed by a concurrent attacker
