@@ -1,0 +1,177 @@
+//! Dispatch throughput: launches/sec vs tenant count, serial vs
+//! concurrent data plane.
+//!
+//! The old grdManager drained every tenant's every call through one
+//! serial queue; the split dispatch core executes data-plane operations
+//! concurrently across tenants. This bench quantifies the difference and
+//! emits `BENCH_dispatch.json` so CI can track dispatch regressions.
+//!
+//! Three configurations per tenant count:
+//! * `serial`      — [`DispatchMode::Serial`], eager launch acks (the old
+//!   single-queue core, kept as the lockstep-deterministic baseline);
+//! * `concurrent`  — [`DispatchMode::Concurrent`], eager acks;
+//! * `concurrent+deferred` — concurrent data plane with one-way launch
+//!   frames ([`LaunchAck::Deferred`]): true async enqueue, errors surface
+//!   at sync.
+
+use bench::stress_fatbin;
+use cuda_rt::{share_device, ArgPack, CudaApi};
+use gpu_sim::spec::test_gpu;
+use gpu_sim::{Device, LaunchConfig};
+use guardian::{spawn_manager, DispatchMode, GrdLib, LaunchAck, ManagerConfig};
+use std::time::Instant;
+
+const LAUNCHES_PER_TENANT: usize = 1000;
+
+struct Row {
+    tenants: usize,
+    mode: &'static str,
+    elapsed_ms: f64,
+    launches_per_sec: f64,
+    max_concurrent_data_ops: u32,
+}
+
+fn measure(tenants: usize, dispatch: DispatchMode, ack: LaunchAck, mode: &'static str) -> Row {
+    let device = share_device(Device::new(test_gpu()));
+    let fb = stress_fatbin();
+    let mgr = spawn_manager(
+        device,
+        ManagerConfig {
+            dispatch,
+            launch_ack: ack,
+            ..ManagerConfig::default()
+        },
+        &[&fb],
+    )
+    .expect("spawn manager");
+    let libs: Vec<GrdLib> = (0..tenants)
+        .map(|_| GrdLib::connect(&mgr, 2 << 20).expect("connect"))
+        .collect();
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for mut lib in libs {
+        handles.push(std::thread::spawn(move || {
+            let buf = lib.cuda_malloc(4 * 64).expect("malloc");
+            let args = ArgPack::new().ptr(buf).u32(64).finish();
+            for i in 0..LAUNCHES_PER_TENANT {
+                lib.cuda_launch_kernel(
+                    "fill",
+                    LaunchConfig::linear(2, 32),
+                    &args,
+                    Default::default(),
+                )
+                .expect("launch");
+                // Periodic syncs keep deferred mode's one-way queue
+                // bounded and mirror real workloads' sync points.
+                if i % 100 == 99 {
+                    lib.cuda_device_synchronize().expect("sync");
+                }
+            }
+            lib.cuda_device_synchronize().expect("final sync");
+        }));
+    }
+    for h in handles {
+        h.join().expect("tenant thread");
+    }
+    let elapsed = start.elapsed();
+    let max_concurrent = mgr.max_concurrent_data_ops();
+    mgr.shutdown();
+    let total = (tenants * LAUNCHES_PER_TENANT) as f64;
+    Row {
+        tenants,
+        mode,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        launches_per_sec: total / elapsed.as_secs_f64(),
+        max_concurrent_data_ops: max_concurrent,
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for tenants in [1usize, 2, 4, 8] {
+        rows.push(measure(
+            tenants,
+            DispatchMode::Serial,
+            LaunchAck::Eager,
+            "serial",
+        ));
+        rows.push(measure(
+            tenants,
+            DispatchMode::Concurrent,
+            LaunchAck::Eager,
+            "concurrent",
+        ));
+        rows.push(measure(
+            tenants,
+            DispatchMode::Concurrent,
+            LaunchAck::Deferred,
+            "concurrent+deferred",
+        ));
+    }
+
+    bench::print_table(
+        "Dispatch throughput: launches/sec vs tenant count",
+        &[
+            "Tenants",
+            "Mode",
+            "Elapsed (ms)",
+            "Launches/sec",
+            "Max in-flight",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.tenants.to_string(),
+                    r.mode.into(),
+                    format!("{:.1}", r.elapsed_ms),
+                    format!("{:.0}", r.launches_per_sec),
+                    r.max_concurrent_data_ops.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // Machine-readable output for CI trend tracking.
+    let mut json = String::from("{\n  \"bench\": \"dispatch_throughput\",\n");
+    json.push_str(&format!(
+        "  \"launches_per_tenant\": {LAUNCHES_PER_TENANT},\n  \"results\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"tenants\": {}, \"mode\": \"{}\", \"elapsed_ms\": {:.3}, \
+             \"launches_per_sec\": {:.1}, \"max_concurrent_data_ops\": {}}}{}\n",
+            r.tenants,
+            r.mode,
+            r.elapsed_ms,
+            r.launches_per_sec,
+            r.max_concurrent_data_ops,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    // Anchor to the workspace root regardless of cargo's bench cwd.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dispatch.json");
+    std::fs::write(&out, &json).expect("write BENCH_dispatch.json");
+    println!("\nwrote {}", out.display());
+
+    // Sanity witnesses (hard failures, so CI catches dispatch
+    // regressions): the serial gate must fully serialize, and the
+    // concurrent data plane must demonstrably overlap with 4+ tenants.
+    for r in &rows {
+        if r.mode == "serial" {
+            assert_eq!(
+                r.max_concurrent_data_ops, 1,
+                "serial baseline overlapped at {} tenants",
+                r.tenants
+            );
+        }
+        if r.mode != "serial" && r.tenants >= 4 {
+            assert!(
+                r.max_concurrent_data_ops >= 2,
+                "concurrent dispatch never overlapped at {} tenants",
+                r.tenants
+            );
+        }
+    }
+}

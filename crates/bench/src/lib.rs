@@ -176,6 +176,15 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Fatbin bundling the canonical `fill`/`stomp` kernels
+/// ([`guardian::fixtures`]) for the stress suite and dispatch benches.
+pub fn stress_fatbin() -> Vec<u8> {
+    let mut fb = ptx::fatbin::FatBin::new();
+    fb.push_ptx("stress", guardian::fixtures::FILL);
+    fb.push_ptx("attack", guardian::fixtures::STOMP);
+    fb.to_bytes().to_vec()
+}
+
 /// Percentage overhead of `x` relative to `base`.
 pub fn overhead_pct(x: f64, base: f64) -> f64 {
     if base == 0.0 {

@@ -294,8 +294,15 @@ impl CudaApi for MpsClient {
 
 /// A configured deployment: per-tenant runtimes plus whatever shared state
 /// keeps the deployment alive (the grdManager handle for Guardian modes).
+///
+/// Teardown is Drop-based: the field order guarantees the runtimes
+/// (clients) disconnect before the manager handle drops, and the last
+/// manager handle joins the manager's threads — so simply dropping a
+/// `Tenancy` cannot leak threads or partitions. [`Tenancy::shutdown`]
+/// remains as the explicit eager path.
 pub struct Tenancy {
-    /// One runtime per tenant, in tenant order.
+    /// One runtime per tenant, in tenant order. Declared before `manager`
+    /// so clients disconnect before the manager handle joins on drop.
     pub runtimes: Vec<Box<dyn CudaApi>>,
     /// Keep-alive for the Guardian manager (None for baselines).
     pub manager: Option<ManagerHandle>,
@@ -304,7 +311,8 @@ pub struct Tenancy {
 }
 
 impl Tenancy {
-    /// Shut the deployment down, joining the manager thread if any.
+    /// Shut the deployment down eagerly, joining the manager threads if
+    /// any. Equivalent to `drop`, but makes the teardown point explicit.
     pub fn shutdown(self) {
         let Tenancy {
             runtimes, manager, ..
@@ -384,8 +392,7 @@ pub fn deploy(
                 device.clone(),
                 ManagerConfig {
                     protection,
-                    pool_bytes: None,
-                    native_when_standalone: false,
+                    ..ManagerConfig::default()
                 },
                 fatbins,
             )?;

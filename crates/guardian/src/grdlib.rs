@@ -1,26 +1,38 @@
 //! `grdLib`: Guardian's client-side interposer (§4.1).
 //!
-//! Implements the full [`CudaApi`] surface by forwarding every call over
-//! the IPC channel to the grdManager. Installing a [`GrdLib`] where a
-//! `NativeRuntime` would go is this reproduction's equivalent of the
-//! paper's `LD_PRELOAD` substitution: the application (and the accelerated
-//! libraries it links) observe an identical API, but no call can reach the
-//! GPU without passing Guardian's checks — including the *implicit* calls
-//! libraries make internally, because those flow through the same trait
-//! object.
+//! Implements the full [`CudaApi`] surface by encoding every call as a
+//! wire-protocol frame ([`crate::proto`]) and exchanging it over a
+//! transport connection ([`crate::transport`]) with the grdManager.
+//! Installing a [`GrdLib`] where a `NativeRuntime` would go is this
+//! reproduction's equivalent of the paper's `LD_PRELOAD` substitution: the
+//! application (and the accelerated libraries it links) observe an
+//! identical API, but no call can reach the GPU without passing Guardian's
+//! checks — including the *implicit* calls libraries make internally,
+//! because those flow through the same trait object.
+//!
+//! The stub is transport-agnostic: it holds nothing but a boxed
+//! [`Connection`], so the same code would drive a socket or shared-memory
+//! transport. Kernel launches are either acknowledged at enqueue time
+//! (deterministic ordering; the default) or sent one-way with errors
+//! surfacing at the next synchronization, depending on the manager's
+//! [`LaunchAck`](crate::manager::LaunchAck) policy — the handshake tells
+//! the stub which contract is in force.
 
-use crate::manager::{ClientId, ManagerHandle, Request};
-use crossbeam::channel::bounded;
+use crate::manager::{ClientId, ManagerHandle};
+use crate::proto::{Request, Response};
+use crate::transport::Connection;
 use cuda_rt::{CudaApi, CudaError, CudaResult, DevicePtr, EventHandle, ModuleHandle, Stream};
 use gpu_sim::LaunchConfig;
 
 /// The client-side stub. One per tenant application.
 pub struct GrdLib {
-    handle: ManagerHandle,
+    conn: Box<dyn Connection>,
     id: ClientId,
     clock_ghz: f64,
     partition_base: u64,
     partition_size: u64,
+    /// Manager runs launches in deferred-ack (true async) mode.
+    deferred_launch: bool,
     next_module: u32,
     next_stream: u32,
 }
@@ -36,24 +48,44 @@ impl GrdLib {
     /// [`CudaError::OutOfMemory`] when no partition of the requested size
     /// is available; [`CudaError::Disconnected`] if the manager is gone.
     pub fn connect(handle: &ManagerHandle, mem_requirement: u64) -> CudaResult<Self> {
-        let (tx, rx) = bounded(1);
-        handle
-            .tx
-            .send(Request::Connect {
-                mem_requirement,
-                reply: tx,
-            })
-            .map_err(|_| CudaError::Disconnected)?;
-        let info = rx.recv().map_err(|_| CudaError::Disconnected)??;
-        Ok(GrdLib {
-            handle: handle.clone(),
-            id: info.id,
-            clock_ghz: info.clock_ghz,
-            partition_base: info.partition_base,
-            partition_size: info.partition_size,
+        let conn = handle.dial().map_err(|_| CudaError::Disconnected)?;
+        Self::connect_over(conn, mem_requirement)
+    }
+
+    /// Connect over an already-established transport connection. This is
+    /// the transport-agnostic entry point: anything that speaks the wire
+    /// protocol over a [`Connection`] can host a tenant.
+    ///
+    /// # Errors
+    ///
+    /// As [`GrdLib::connect`].
+    pub fn connect_over(conn: Box<dyn Connection>, mem_requirement: u64) -> CudaResult<Self> {
+        let mut lib = GrdLib {
+            conn,
+            id: ClientId(0),
+            clock_ghz: 0.0,
+            partition_base: 0,
+            partition_size: 0,
+            deferred_launch: false,
             next_module: 1,
             next_stream: 1,
-        })
+        };
+        match lib.call(&Request::Connect { mem_requirement })? {
+            Response::Connected(info) => {
+                lib.id = ClientId(info.client);
+                lib.clock_ghz = info.clock_ghz;
+                lib.partition_base = info.partition_base;
+                lib.partition_size = info.partition_size;
+                lib.deferred_launch = info.deferred_launch;
+                Ok(lib)
+            }
+            _ => Err(CudaError::Disconnected),
+        }
+    }
+
+    /// The client id the manager assigned to this tenant.
+    pub fn client_id(&self) -> ClientId {
+        self.id
     }
 
     /// The tenant's partition, as (base, size). Exposed for tests and
@@ -62,72 +94,93 @@ impl GrdLib {
         (self.partition_base, self.partition_size)
     }
 
-    fn rpc<T>(
+    /// Full RPC round trip: encode, send, await and decode the response.
+    fn call(&self, req: &Request) -> CudaResult<Response> {
+        self.call_frame(req.encode())
+    }
+
+    /// Round trip for an already-encoded frame (hot paths encode straight
+    /// from borrowed buffers via `proto::encode_*`, skipping the owned
+    /// `Request`).
+    fn call_frame(&self, frame: Vec<u8>) -> CudaResult<Response> {
+        self.conn.send(frame).map_err(|_| CudaError::Disconnected)?;
+        let frame = self.conn.recv().map_err(|_| CudaError::Disconnected)?;
+        match Response::decode(&frame).map_err(|_| CudaError::Disconnected)? {
+            Response::Error(e) => Err(e),
+            resp => Ok(resp),
+        }
+    }
+
+    /// One-way message: encode and send without awaiting a response.
+    fn send(&self, req: &Request) -> CudaResult<()> {
+        self.conn
+            .send(req.encode())
+            .map_err(|_| CudaError::Disconnected)
+    }
+
+    fn call_unit(&self, req: &Request) -> CudaResult<()> {
+        self.call_frame_unit(req.encode())
+    }
+
+    fn call_frame_unit(&self, frame: Vec<u8>) -> CudaResult<()> {
+        match self.call_frame(frame)? {
+            Response::Unit => Ok(()),
+            _ => Err(CudaError::Disconnected),
+        }
+    }
+
+    fn call_ptr(&self, req: &Request) -> CudaResult<DevicePtr> {
+        match self.call(req)? {
+            Response::Ptr(p) => Ok(p),
+            _ => Err(CudaError::Disconnected),
+        }
+    }
+
+    fn launch(
         &self,
-        build: impl FnOnce(crossbeam::channel::Sender<CudaResult<T>>) -> Request,
-    ) -> CudaResult<T> {
-        let (tx, rx) = bounded(1);
-        self.handle
-            .tx
-            .send(build(tx))
-            .map_err(|_| CudaError::Disconnected)?;
-        rx.recv().map_err(|_| CudaError::Disconnected)?
+        kernel: &str,
+        cfg: LaunchConfig,
+        args: &[u8],
+        driver_level: bool,
+    ) -> CudaResult<()> {
+        let frame = crate::proto::encode_launch(kernel, &cfg, args, driver_level);
+        if self.deferred_launch {
+            // True async enqueue: fire and forget; launch errors surface
+            // at the next synchronization point (CUDA's async error
+            // model).
+            self.conn.send(frame).map_err(|_| CudaError::Disconnected)
+        } else {
+            self.call_frame_unit(frame)
+        }
     }
 }
 
 impl CudaApi for GrdLib {
     fn cuda_malloc(&mut self, bytes: u64) -> CudaResult<DevicePtr> {
-        self.rpc(|reply| Request::Malloc {
-            client: self.id,
-            bytes,
-            reply,
-        })
+        self.call_ptr(&Request::Malloc { bytes })
     }
 
     fn cuda_free(&mut self, ptr: DevicePtr) -> CudaResult<()> {
-        self.rpc(|reply| Request::Free {
-            client: self.id,
-            ptr,
-            reply,
-        })
+        self.call_unit(&Request::Free { ptr })
     }
 
     fn cuda_memset(&mut self, dst: DevicePtr, byte: u8, len: u64) -> CudaResult<()> {
-        self.rpc(|reply| Request::Memset {
-            client: self.id,
-            dst,
-            byte,
-            len,
-            reply,
-        })
+        self.call_unit(&Request::Memset { dst, byte, len })
     }
 
     fn cuda_memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) -> CudaResult<()> {
-        self.rpc(|reply| Request::MemcpyH2D {
-            client: self.id,
-            dst,
-            data: data.to_vec(),
-            reply,
-        })
+        self.call_frame_unit(crate::proto::encode_memcpy_h2d(dst, data))
     }
 
     fn cuda_memcpy_d2h(&mut self, src: DevicePtr, len: u64) -> CudaResult<Vec<u8>> {
-        self.rpc(|reply| Request::MemcpyD2H {
-            client: self.id,
-            src,
-            len,
-            reply,
-        })
+        match self.call(&Request::MemcpyD2H { src, len })? {
+            Response::Data(d) => Ok(d),
+            _ => Err(CudaError::Disconnected),
+        }
     }
 
     fn cuda_memcpy_d2d(&mut self, dst: DevicePtr, src: DevicePtr, len: u64) -> CudaResult<()> {
-        self.rpc(|reply| Request::MemcpyD2D {
-            client: self.id,
-            dst,
-            src,
-            len,
-            reply,
-        })
+        self.call_unit(&Request::MemcpyD2D { dst, src, len })
     }
 
     fn cuda_launch_kernel(
@@ -137,17 +190,10 @@ impl CudaApi for GrdLib {
         args: &[u8],
         _stream: Stream,
     ) -> CudaResult<()> {
-        // All of one application's work is executed in order by the
-        // grdManager (§4.2.4), so per-app stream handles collapse onto the
-        // tenant's single manager-side stream.
-        self.rpc(|reply| Request::Launch {
-            client: self.id,
-            kernel: kernel.to_string(),
-            cfg,
-            args: args.to_vec(),
-            driver_level: false,
-            reply,
-        })
+        // All of one application's work is executed in order by its
+        // data-plane session (§4.2.4), so per-app stream handles collapse
+        // onto the tenant's single manager-side stream.
+        self.launch(kernel, cfg, args, false)
     }
 
     fn cuda_stream_create(&mut self) -> CudaResult<Stream> {
@@ -161,35 +207,28 @@ impl CudaApi for GrdLib {
     }
 
     fn cuda_device_synchronize(&mut self) -> CudaResult<()> {
-        self.rpc(|reply| Request::Sync {
-            client: self.id,
-            reply,
-        })
+        self.call_unit(&Request::Sync)
     }
 
     fn cuda_event_create_with_flags(&mut self, _flags: u32) -> CudaResult<EventHandle> {
-        self.rpc(|reply| Request::EventCreate {
-            client: self.id,
-            reply,
-        })
-        .map(EventHandle)
+        match self.call(&Request::EventCreate)? {
+            Response::EventId(id) => Ok(EventHandle(id)),
+            _ => Err(CudaError::Disconnected),
+        }
     }
 
     fn cuda_event_record(&mut self, event: EventHandle, _stream: Stream) -> CudaResult<()> {
-        self.rpc(|reply| Request::EventRecord {
-            client: self.id,
-            event: event.0,
-            reply,
-        })
+        self.call_unit(&Request::EventRecord { event: event.0 })
     }
 
     fn cuda_event_elapsed_ms(&mut self, start: EventHandle, end: EventHandle) -> CudaResult<f32> {
-        self.rpc(|reply| Request::EventElapsed {
-            client: self.id,
+        match self.call(&Request::EventElapsed {
             start: start.0,
             end: end.0,
-            reply,
-        })
+        })? {
+            Response::ElapsedMs(ms) => Ok(ms),
+            _ => Err(CudaError::Disconnected),
+        }
     }
 
     fn cuda_stream_get_capture_info(&mut self, _stream: Stream) -> CudaResult<bool> {
@@ -217,11 +256,9 @@ impl CudaApi for GrdLib {
     }
 
     fn cu_module_load_data(&mut self, name: &str, ptx_text: &str) -> CudaResult<ModuleHandle> {
-        self.rpc(|reply| Request::RegisterPtx {
-            client: self.id,
+        self.call_unit(&Request::RegisterPtx {
             name: name.to_string(),
             text: ptx_text.to_string(),
-            reply,
         })?;
         let id = self.next_module;
         self.next_module += 1;
@@ -247,26 +284,20 @@ impl CudaApi for GrdLib {
         args: &[u8],
         _stream: Stream,
     ) -> CudaResult<()> {
-        self.rpc(|reply| Request::Launch {
-            client: self.id,
-            kernel: kernel.to_string(),
-            cfg,
-            args: args.to_vec(),
-            driver_level: true,
-            reply,
-        })
+        self.launch(kernel, cfg, args, true)
     }
 
     fn register_fatbin(&mut self, fatbin: &[u8]) -> CudaResult<()> {
-        self.rpc(|reply| Request::RegisterFatbin {
-            client: self.id,
+        self.call_unit(&Request::RegisterFatbin {
             bytes: fatbin.to_vec(),
-            reply,
         })
     }
 
     fn device_now_cycles(&mut self) -> u64 {
-        self.handle.device_now()
+        match self.call(&Request::DeviceNow) {
+            Ok(Response::Cycles(c)) => c,
+            _ => 0,
+        }
     }
 
     fn device_clock_ghz(&self) -> f64 {
@@ -276,7 +307,9 @@ impl CudaApi for GrdLib {
 
 impl Drop for GrdLib {
     fn drop(&mut self) {
-        // Best-effort disconnect; the manager frees the partition.
-        let _ = self.handle.tx.send(Request::Disconnect { client: self.id });
+        // Best-effort disconnect; the manager frees the partition. The
+        // session also treats a vanished connection as a disconnect, so a
+        // crashed tenant cannot leak its partition.
+        let _ = self.send(&Request::Disconnect);
     }
 }

@@ -4,17 +4,30 @@
 //! fault isolation for tenants sharing a GPU spatially, with no static
 //! partitioning and no special hardware.
 //!
-//! Architecture (Figure 3 of the paper):
+//! Architecture (Figure 3 of the paper, as a layered RPC stack):
 //!
 //! * [`GrdLib`] — the client-side interposer. Implements the whole
-//!   `cuda_rt::CudaApi` trait by forwarding over IPC; applications (and
-//!   the closed-source-style accelerated libraries they use) cannot reach
-//!   the GPU any other way.
-//! * [`manager`] — the `grdManager`, the only entity with GPU access:
-//!   partitions device memory (power-of-two, contiguous — [`alloc`]),
-//!   checks host transfers against the bounds table, swaps launches for
-//!   sandboxed kernels with the partition bounds appended, and multiplexes
-//!   tenants over streams of its single context.
+//!   `cuda_rt::CudaApi` trait by encoding every call as a wire frame;
+//!   applications (and the closed-source-style accelerated libraries they
+//!   use) cannot reach the GPU any other way.
+//! * [`proto`] — the wire protocol: typed request/response messages that
+//!   serialize to self-contained byte frames (no channels or closures
+//!   inside messages), so the tenant boundary could genuinely be a socket
+//!   or shared-memory ring.
+//! * [`transport`] — how frames travel: `Connection`/`Listener`/`Dialer`
+//!   traits with the in-process channel implementation behind them; one
+//!   connection per tenant, the connection is the identity.
+//! * [`manager`] — the `grdManager` **control plane**: a serialized
+//!   thread owning the partition table (power-of-two, contiguous —
+//!   [`alloc`]) and the sandboxed-kernel registry; handles connect,
+//!   disconnect, fatbin/PTX registration, malloc, and free.
+//! * `session` (internal) — the **data plane**: one session thread per
+//!   tenant executing transfers, launches, syncs, and events concurrently
+//!   across tenants against read-mostly shared state; checks every host
+//!   transfer against the partition bounds, swaps launches for sandboxed
+//!   kernels with the caller's bounds appended, and multiplexes tenants
+//!   over streams of the manager's single context. OOB detection kills
+//!   only the offender, whichever session observes the fault.
 //! * [`backends`] — deployment setups for the paper's comparisons:
 //!   native time-sharing, MPS-style spatial sharing (protection without
 //!   fault isolation), and Guardian in its three enforcement modes.
@@ -44,8 +57,9 @@
 //! assert_ne!(a, b);
 //! // Tenant 0 cannot copy into tenant 1's partition:
 //! assert!(tenants[0].cuda_memcpy_h2d(b, &[0u8; 16]).is_err());
-//! drop(tenants);
-//! tenancy.manager.unwrap().shutdown();
+//! // Teardown is Drop-based: tenants disconnect, then the manager handle
+//! // joins the manager threads. (`Tenancy::shutdown`/`ManagerHandle::
+//! // shutdown` remain as explicit eager paths.)
 //! # Ok::<(), cuda_rt::CudaError>(())
 //! ```
 
@@ -55,24 +69,27 @@ pub mod alloc;
 pub mod backends;
 pub mod grdlib;
 pub mod manager;
+pub mod proto;
+mod session;
+pub mod transport;
 
 pub use alloc::{AllocError, Partition, PartitionAllocator, RegionAllocator};
 pub use backends::{deploy, Capabilities, Deployment, MpsClient, Tenancy};
 pub use grdlib::GrdLib;
-pub use manager::{spawn_manager, ClientId, InterceptionStats, ManagerConfig, ManagerHandle};
+pub use manager::{
+    spawn_manager, ClientId, DispatchMode, InterceptionStats, LaunchAck, LaunchStats,
+    ManagerConfig, ManagerHandle,
+};
 pub use ptx_patcher::Protection;
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::backends::mig_capabilities;
-    use cuda_rt::{share_device, ArgPack, CudaError};
-    use gpu_sim::spec::test_gpu;
-    use gpu_sim::{Device, LaunchConfig};
-    use ptx::fatbin::FatBin;
+pub mod fixtures {
+    //! PTX kernel fixtures shared by guardian's unit tests, the
+    //! workspace stress suite, and the dispatch benches — one canonical
+    //! copy so the kernels the security tests confine are byte-identical
+    //! to the ones the stress/throughput harnesses drive.
 
-    /// A well-behaved kernel writing tid into out[tid].
-    const GOOD: &str = r#"
+    /// A well-behaved kernel writing tid into out[tid] (`fill`).
+    pub const FILL: &str = r#"
 .version 7.7
 .target sm_86
 .address_size 64
@@ -99,8 +116,8 @@ $L_end:
 "#;
 
     /// A malicious kernel: writes a value at an arbitrary 64-bit address
-    /// taken from its arguments (the Figure 1 attack).
-    const EVIL: &str = r#"
+    /// taken from its arguments (`stomp`, the Figure 1 attack).
+    pub const STOMP: &str = r#"
 .version 7.7
 .target sm_86
 .address_size 64
@@ -114,6 +131,17 @@ $L_end:
     ret;
 }
 "#;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::mig_capabilities;
+    use crate::fixtures::{FILL as GOOD, STOMP as EVIL};
+    use cuda_rt::{share_device, ArgPack, CudaError};
+    use gpu_sim::spec::test_gpu;
+    use gpu_sim::{Device, LaunchConfig};
+    use ptx::fatbin::FatBin;
 
     fn fatbin() -> Vec<u8> {
         let mut fb = FatBin::new();

@@ -1,29 +1,38 @@
 //! The GPU manager (`grdManager`, §4.2): the only entity with GPU access.
 //!
 //! Applications never touch the device; their `grdLib` forwards every CUDA
-//! runtime/driver call over an IPC channel to this manager, which:
+//! runtime/driver call as a wire-protocol frame ([`crate::proto`]) over a
+//! transport connection ([`crate::transport`]). Server-side the work is
+//! split into two planes:
 //!
-//! * assigns each tenant a contiguous power-of-two **partition** and serves
-//!   its allocations from it (§4.2.1);
-//! * checks every host-initiated transfer against the partition bounds
-//!   table (§4.2.2);
-//! * swaps every kernel launch for its **sandboxed** twin (the
-//!   `pointerToSymbol` lookup), appends the partition bounds to the kernel
-//!   arguments, and issues it on the tenant's stream (§4.2.3);
-//! * runs tenants' streams concurrently on the single shared context
-//!   (§4.2.4), terminating — only — the offending tenant when address
-//!   checking detects an out-of-bounds access.
+//! * the **control plane** (this module): one serialized thread owning the
+//!   partition table and kernel registry. It assigns each tenant a
+//!   contiguous power-of-two **partition** and serves its allocations from
+//!   it (§4.2.1), and sandboxes + pre-loads every registered fatbin/PTX
+//!   image (§4.2.3, §4.4);
+//! * the **data plane** ([`crate::session`]): one session thread per
+//!   connected tenant, executing transfers, launches, syncs, and events
+//!   concurrently across tenants against fine-grained shared state —
+//!   checking every host transfer against the partition bounds (§4.2.2),
+//!   swapping every launch for its sandboxed twin with the bounds
+//!   appended, and issuing it on the tenant's stream (§4.2.3-4.2.4).
+//!
+//! Out-of-bounds detection terminates — only — the offending tenant,
+//! regardless of which session observes the fault.
 
 use crate::alloc::{PartitionAllocator, RegionAllocator};
+use crate::session::{self, ClientShared, EventTable, KernelTable, Shared};
+use crate::transport::{channel_transport, Connection, Dialer};
+use crate::{proto, transport};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use cuda_rt::{CudaError, CudaResult, DevicePtr, SharedDevice};
 use gpu_sim::stream::CudaFunction;
-use gpu_sim::{Command, CtxId, Event, HostSink, LaunchConfig, MemGuard, StreamId};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use ptx_patcher::{fence, Protection};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32};
 use std::sync::Arc;
-use std::time::Instant;
+use std::thread::JoinHandle;
 
 /// Identifies a connected tenant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,7 +42,7 @@ pub struct ClientId(pub u32);
 /// "CPU cycles" unit of the paper's Table 5.
 pub const HOST_GHZ: f64 = 3.0;
 
-/// Host-side interception cost statistics (Table 5).
+/// Host-side interception cost statistics for one launch path (Table 5).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct InterceptionStats {
     /// Launches measured.
@@ -62,6 +71,13 @@ impl InterceptionStats {
     pub fn enqueue_cycles(&self) -> f64 {
         cycles(self.enqueue_ns, self.launches)
     }
+
+    fn add(&mut self, lookup_ns: u64, augment_ns: u64, enqueue_ns: u64) {
+        self.launches += 1;
+        self.lookup_ns += lookup_ns;
+        self.augment_ns += augment_ns;
+        self.enqueue_ns += enqueue_ns;
+    }
 }
 
 fn cycles(ns: u64, n: u64) -> f64 {
@@ -70,6 +86,72 @@ fn cycles(ns: u64, n: u64) -> f64 {
     } else {
         ns as f64 / n as f64 * HOST_GHZ
     }
+}
+
+/// Launch interception costs split by API level, so Table 5 can
+/// distinguish driver-level (`cuLaunchKernel`) from runtime-level
+/// (`cudaLaunchKernel`) costs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LaunchStats {
+    /// Runtime-level launches (`cudaLaunchKernel`).
+    pub runtime: InterceptionStats,
+    /// Driver-level launches (`cuLaunchKernel`).
+    pub driver: InterceptionStats,
+}
+
+impl LaunchStats {
+    /// Both paths merged (the pre-split aggregate view).
+    pub fn combined(&self) -> InterceptionStats {
+        InterceptionStats {
+            launches: self.runtime.launches + self.driver.launches,
+            lookup_ns: self.runtime.lookup_ns + self.driver.lookup_ns,
+            augment_ns: self.runtime.augment_ns + self.driver.augment_ns,
+            enqueue_ns: self.runtime.enqueue_ns + self.driver.enqueue_ns,
+        }
+    }
+
+    pub(crate) fn record(
+        &mut self,
+        driver_level: bool,
+        lookup_ns: u64,
+        augment_ns: u64,
+        enqueue_ns: u64,
+    ) {
+        if driver_level {
+            self.driver.add(lookup_ns, augment_ns, enqueue_ns);
+        } else {
+            self.runtime.add(lookup_ns, augment_ns, enqueue_ns);
+        }
+    }
+}
+
+/// How data-plane operations are scheduled across tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// One data-plane op at a time, globally — the old single-threaded
+    /// dispatch core. Kept as the measurable baseline.
+    Serial,
+    /// Sessions of different tenants execute data-plane ops concurrently.
+    #[default]
+    Concurrent,
+}
+
+/// When a kernel-launch RPC is acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaunchAck {
+    /// Reply once the command is enqueued on the tenant's stream. The
+    /// client observes enqueue-order errors synchronously, and —
+    /// because the client blocks until the enqueue happened — the global
+    /// device arrival order stays pinned under `cuda_rt::lockstep`, which
+    /// the figure/table benches rely on for determinism.
+    #[default]
+    Eager,
+    /// True asynchronous enqueue: `Launch` frames are one-way, the client
+    /// returns immediately, and errors stick to the tenant until its next
+    /// `Sync` (CUDA's asynchronous error model). Highest throughput, but
+    /// cross-tenant enqueue order — and thus simulated timing — is no
+    /// longer reproducible under lockstep.
+    Deferred,
 }
 
 /// Manager configuration.
@@ -84,6 +166,10 @@ pub struct ManagerConfig {
     /// (§4.2.3: standalone applications incur no overhead). Off by default
     /// so overhead experiments measure protection costs.
     pub native_when_standalone: bool,
+    /// Data-plane scheduling across tenants (default: concurrent).
+    pub dispatch: DispatchMode,
+    /// Launch acknowledgement policy (default: eager).
+    pub launch_ack: LaunchAck,
 }
 
 impl Default for ManagerConfig {
@@ -92,102 +178,13 @@ impl Default for ManagerConfig {
             protection: Protection::FenceBitwise,
             pool_bytes: None,
             native_when_standalone: false,
+            dispatch: DispatchMode::default(),
+            launch_ack: LaunchAck::default(),
         }
     }
 }
 
-pub(crate) enum Request {
-    Connect {
-        mem_requirement: u64,
-        reply: Sender<CudaResult<ClientInfo>>,
-    },
-    Disconnect {
-        client: ClientId,
-    },
-    RegisterFatbin {
-        client: ClientId,
-        bytes: Vec<u8>,
-        reply: Sender<CudaResult<()>>,
-    },
-    RegisterPtx {
-        client: ClientId,
-        name: String,
-        text: String,
-        reply: Sender<CudaResult<()>>,
-    },
-    Malloc {
-        client: ClientId,
-        bytes: u64,
-        reply: Sender<CudaResult<DevicePtr>>,
-    },
-    Free {
-        client: ClientId,
-        ptr: DevicePtr,
-        reply: Sender<CudaResult<()>>,
-    },
-    Memset {
-        client: ClientId,
-        dst: DevicePtr,
-        byte: u8,
-        len: u64,
-        reply: Sender<CudaResult<()>>,
-    },
-    MemcpyH2D {
-        client: ClientId,
-        dst: DevicePtr,
-        data: Vec<u8>,
-        reply: Sender<CudaResult<()>>,
-    },
-    MemcpyD2H {
-        client: ClientId,
-        src: DevicePtr,
-        len: u64,
-        reply: Sender<CudaResult<Vec<u8>>>,
-    },
-    MemcpyD2D {
-        client: ClientId,
-        dst: DevicePtr,
-        src: DevicePtr,
-        len: u64,
-        reply: Sender<CudaResult<()>>,
-    },
-    Launch {
-        client: ClientId,
-        kernel: String,
-        cfg: LaunchConfig,
-        args: Vec<u8>,
-        #[allow(dead_code)] // kept for API fidelity (cu vs cuda launch)
-        driver_level: bool,
-        reply: Sender<CudaResult<()>>,
-    },
-    Sync {
-        client: ClientId,
-        reply: Sender<CudaResult<()>>,
-    },
-    EventCreate {
-        client: ClientId,
-        reply: Sender<CudaResult<u32>>,
-    },
-    EventRecord {
-        client: ClientId,
-        event: u32,
-        reply: Sender<CudaResult<()>>,
-    },
-    EventElapsed {
-        client: ClientId,
-        start: u32,
-        end: u32,
-        reply: Sender<CudaResult<f32>>,
-    },
-    DeviceNow {
-        reply: Sender<u64>,
-    },
-    Stats {
-        reply: Sender<InterceptionStats>,
-    },
-}
-
-/// Connection info returned to a new client.
+/// Connection info returned to a new client by the control plane.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ClientInfo {
     pub id: ClientId,
@@ -196,74 +193,339 @@ pub(crate) struct ClientInfo {
     pub partition_size: u64,
 }
 
-struct ClientState {
-    heap: RegionAllocator,
-    stream: StreamId,
-    events: HashMap<u32, Event>,
-    next_event: u32,
-    dead: bool,
+/// A control-plane operation (serialized through the manager thread).
+pub(crate) enum CtrlOp {
+    Connect {
+        mem_requirement: u64,
+    },
+    Disconnect {
+        client: ClientId,
+    },
+    RegisterFatbin {
+        client: ClientId,
+        bytes: Vec<u8>,
+    },
+    RegisterPtx {
+        client: ClientId,
+        name: String,
+        text: String,
+    },
+    Malloc {
+        client: ClientId,
+        bytes: u64,
+    },
+    Free {
+        client: ClientId,
+        ptr: DevicePtr,
+    },
 }
 
-struct Manager {
-    device: SharedDevice,
-    ctx: CtxId,
-    protection: Protection,
-    native_when_standalone: bool,
+/// A control-plane result.
+pub(crate) enum CtrlOut {
+    Connected(ClientInfo),
+    Unit,
+    Ptr(DevicePtr),
+}
+
+/// One message on the control channel. The reply channel is an internal
+/// detail of the in-process control thread — unlike the wire protocol,
+/// control messages never cross the tenant boundary.
+pub(crate) struct CtrlMsg {
+    pub op: CtrlOp,
+    pub reply: Sender<CudaResult<CtrlOut>>,
+}
+
+/// Round-trip one operation through the control plane.
+pub(crate) fn ctrl_call(ctrl: &Sender<CtrlMsg>, op: CtrlOp) -> CudaResult<CtrlOut> {
+    let (tx, rx) = bounded(1);
+    ctrl.send(CtrlMsg { op, reply: tx })
+        .map_err(|_| CudaError::Disconnected)?;
+    rx.recv().map_err(|_| CudaError::Disconnected)?
+}
+
+/// The serialized control plane: sole owner of the partition table and
+/// the fatbin registry, sole writer of the client map.
+struct Control {
+    shared: Arc<Shared>,
     partitions: PartitionAllocator,
-    clients: HashMap<ClientId, ClientState>,
     next_client: u32,
-    /// `pointerToSymbol`: kernel name → sandboxed CUfunction (§4.2.3).
-    pointer_to_symbol: HashMap<String, CudaFunction>,
-    /// Native (unpatched) kernels for the no-protection / standalone path.
-    native_kernels: HashMap<String, CudaFunction>,
     registered_fatbins: Vec<u64>, // hashes, to dedupe repeat registrations
-    stats: InterceptionStats,
-    fault_cursor: usize,
 }
 
-/// A handle to a running grdManager thread. Cloning is cheap; the manager
-/// thread exits when every handle and client has been dropped.
+impl Control {
+    fn run(mut self, rx: Receiver<CtrlMsg>) {
+        while let Ok(msg) = rx.recv() {
+            let r = self.handle(msg.op);
+            let _ = msg.reply.send(r);
+        }
+        // All control senders dropped (manager handle + every session):
+        // release the context.
+        let ctx = self.shared.ctx;
+        let _ = self.shared.device.lock().destroy_context(ctx);
+    }
+
+    fn handle(&mut self, op: CtrlOp) -> CudaResult<CtrlOut> {
+        match op {
+            CtrlOp::Connect { mem_requirement } => {
+                self.connect(mem_requirement).map(CtrlOut::Connected)
+            }
+            CtrlOp::Disconnect { client } => {
+                // Drain the device before releasing the partition: the
+                // tenant may have enqueued launches it never synchronized
+                // (normal under Drop-based teardown and deferred acks).
+                // Freeing first would let those stale commands execute
+                // later — into whichever tenant the partition is handed
+                // to next.
+                if self.shared.clients.read().contains_key(&client) {
+                    self.shared.device.lock().synchronize();
+                    self.shared.reap_faults();
+                }
+                if let Some(state) = self.shared.clients.write().remove(&client) {
+                    let _ = self.partitions.free(state.partition.base);
+                }
+                Ok(CtrlOut::Unit)
+            }
+            CtrlOp::RegisterFatbin { client, bytes } => {
+                self.check_alive(client)?;
+                self.register_fatbin(&bytes).map(|()| CtrlOut::Unit)
+            }
+            CtrlOp::RegisterPtx { client, name, text } => {
+                self.check_alive(client)?;
+                self.register_ptx(&name, &text).map(|()| CtrlOut::Unit)
+            }
+            CtrlOp::Malloc { client, bytes } => {
+                self.check_alive(client)?;
+                let state = self.client(client)?;
+                let r = state.heap.lock().alloc(bytes);
+                r.map(CtrlOut::Ptr).map_err(|_| CudaError::OutOfMemory)
+            }
+            CtrlOp::Free { client, ptr } => {
+                self.check_alive(client)?;
+                let state = self.client(client)?;
+                let r = state.heap.lock().free(ptr);
+                r.map(|()| CtrlOut::Unit)
+                    .map_err(|_| CudaError::InvalidValue)
+            }
+        }
+    }
+
+    fn client(&self, client: ClientId) -> CudaResult<Arc<ClientShared>> {
+        self.shared
+            .clients
+            .read()
+            .get(&client)
+            .cloned()
+            .ok_or(CudaError::InvalidValue)
+    }
+
+    fn check_alive(&self, client: ClientId) -> CudaResult<()> {
+        let state = self.client(client)?;
+        Shared::check_alive(&state)
+    }
+
+    fn connect(&mut self, mem_requirement: u64) -> CudaResult<ClientInfo> {
+        let partition = self
+            .partitions
+            .alloc(mem_requirement)
+            .map_err(|_| CudaError::OutOfMemory)?;
+        let stream = {
+            let mut dev = self.shared.device.lock();
+            match dev.create_stream(self.shared.ctx) {
+                Ok(s) => s,
+                Err(e) => {
+                    drop(dev);
+                    let _ = self.partitions.free(partition.base);
+                    return Err(e.into());
+                }
+            }
+        };
+        let id = ClientId(self.next_client);
+        self.next_client += 1;
+        self.shared.clients.write().insert(
+            id,
+            Arc::new(ClientShared {
+                id,
+                stream,
+                partition,
+                dead: AtomicBool::new(false),
+                sticky: Mutex::new(None),
+                heap: Mutex::new(RegionAllocator::new(partition)),
+                events: Mutex::new(EventTable {
+                    events: HashMap::new(),
+                    next: 1,
+                }),
+            }),
+        );
+        let clock_ghz = self.shared.device.lock().spec().clock_ghz;
+        Ok(ClientInfo {
+            id,
+            clock_ghz,
+            partition_base: partition.base,
+            partition_size: partition.size,
+        })
+    }
+
+    fn register_fatbin(&mut self, bytes: &[u8]) -> CudaResult<()> {
+        let hash = fxhash(bytes);
+        if self.registered_fatbins.contains(&hash) {
+            return Ok(());
+        }
+        let images =
+            ptx::fatbin::extract_ptx(bytes).map_err(|e| CudaError::ModuleLoad(e.to_string()))?;
+        for (name, text) in images {
+            self.register_ptx(&name, &text)?;
+        }
+        self.registered_fatbins.push(hash);
+        Ok(())
+    }
+
+    /// Sandbox + load one PTX translation unit; register both the patched
+    /// and the native kernels into the shared (read-mostly) tables.
+    fn register_ptx(&mut self, _name: &str, text: &str) -> CudaResult<()> {
+        let module = ptx::parse(text).map_err(|e| CudaError::ModuleLoad(e.to_string()))?;
+        let patched = fence::patch_module(&module, self.shared.protection)
+            .map_err(|e| CudaError::ModuleLoad(e.to_string()))?;
+        let (native, sandboxed) = {
+            let mut dev = self.shared.device.lock();
+            let native = dev.load_module(self.shared.ctx, &module)?;
+            let sandboxed = dev.load_module(self.shared.ctx, &patched.module)?;
+            (native, sandboxed)
+        };
+        let mut kernels = self.shared.kernels.write();
+        for (kname, k) in &native.functions {
+            if k.kind == ptx::FunctionKind::Entry {
+                kernels.native.insert(
+                    kname.clone(),
+                    CudaFunction {
+                        kernel: k.clone(),
+                        module: native.clone(),
+                    },
+                );
+            }
+        }
+        for (kname, k) in &sandboxed.functions {
+            if k.kind == ptx::FunctionKind::Entry {
+                kernels.pointer_to_symbol.insert(
+                    kname.clone(),
+                    CudaFunction {
+                        kernel: k.clone(),
+                        module: sandboxed.clone(),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A handle to a running grdManager. Cloning is cheap; the manager's
+/// threads are joined when the last handle drops (after every client has
+/// disconnected) or eagerly via [`ManagerHandle::shutdown`].
+///
+/// **Drop order matters**: dropping the last handle *blocks* until every
+/// connected [`GrdLib`](crate::GrdLib) (and raw connection) has dropped,
+/// because joining the session threads is what guarantees no thread
+/// leaks. Drop clients before the handle — on the same thread,
+/// `drop(manager)` with a live client is a deadlock. [`Tenancy`]
+/// (crate::Tenancy)'s field order encodes the safe sequence.
 #[derive(Clone)]
 pub struct ManagerHandle {
-    pub(crate) tx: Sender<Request>,
-    /// Kept for lifetime management of the shared device.
-    pub(crate) device: SharedDevice,
-    join: Arc<Mutex<Option<std::thread::JoinHandle<()>>>>,
+    inner: Arc<ManagerInner>,
+}
+
+struct ManagerInner {
+    /// Dropped first on shutdown: closes the listener so the acceptor
+    /// stops taking new connections.
+    dialer: Option<Box<dyn Dialer>>,
+    device: SharedDevice,
+    ctrl_tx: Option<Sender<CtrlMsg>>,
+    acceptor: Option<JoinHandle<()>>,
+    control: Option<JoinHandle<()>>,
+}
+
+impl Drop for ManagerInner {
+    fn drop(&mut self) {
+        // 1. Close the listener: no new connections.
+        self.dialer.take();
+        // 2. Join the acceptor; it joins every session, and sessions end
+        //    when their client half drops — so this blocks until all
+        //    tenants have disconnected, like the old explicit shutdown.
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // 3. All session-held control senders are gone now; dropping ours
+        //    lets the control thread drain and exit.
+        self.ctrl_tx.take();
+        if let Some(c) = self.control.take() {
+            let _ = c.join();
+        }
+    }
 }
 
 impl ManagerHandle {
-    /// Interception statistics accumulated so far (Table 5).
-    pub fn interception_stats(&self) -> InterceptionStats {
-        let (tx, rx) = bounded(1);
-        if self.tx.send(Request::Stats { reply: tx }).is_err() {
-            return InterceptionStats::default();
+    /// Open a new transport connection to this manager.
+    pub(crate) fn dial(&self) -> Result<Box<dyn Connection>, transport::TransportError> {
+        match &self.inner.dialer {
+            Some(d) => d.dial(),
+            None => Err(transport::TransportError::Disconnected),
         }
-        rx.recv().unwrap_or_default()
+    }
+
+    /// One-shot query over a fresh connection (cold paths: stats and
+    /// benchmarking probes).
+    fn query(&self, req: &proto::Request) -> Option<proto::Response> {
+        let conn = self.dial().ok()?;
+        conn.send(req.encode()).ok()?;
+        let frame = conn.recv().ok()?;
+        proto::Response::decode(&frame).ok()
+    }
+
+    fn stats_rpc(&self) -> Option<proto::StatsSnapshot> {
+        match self.query(&proto::Request::Stats)? {
+            proto::Response::Stats(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interception statistics accumulated so far, both launch paths
+    /// merged (Table 5's historical aggregate view).
+    pub fn interception_stats(&self) -> InterceptionStats {
+        self.launch_stats().combined()
+    }
+
+    /// Interception statistics split by launch path: runtime-level
+    /// `cudaLaunchKernel` vs driver-level `cuLaunchKernel` (Table 5).
+    pub fn launch_stats(&self) -> LaunchStats {
+        self.stats_rpc().map(|s| s.launch).unwrap_or_default()
+    }
+
+    /// High-water mark of data-plane operations executing simultaneously
+    /// across tenants (stays 1 under [`DispatchMode::Serial`]).
+    pub fn max_concurrent_data_ops(&self) -> u32 {
+        self.stats_rpc()
+            .map(|s| s.max_concurrent_data_ops)
+            .unwrap_or(0)
     }
 
     /// Current device time (cycles), for benchmarking.
     pub fn device_now(&self) -> u64 {
-        let (tx, rx) = bounded(1);
-        if self.tx.send(Request::DeviceNow { reply: tx }).is_err() {
-            return 0;
+        match self.query(&proto::Request::DeviceNow) {
+            Some(proto::Response::Cycles(c)) => c,
+            _ => 0,
         }
-        rx.recv().unwrap_or(0)
     }
 
     /// The shared device (for out-of-band inspection in tests/benches).
     pub fn device(&self) -> &SharedDevice {
-        &self.device
+        &self.inner.device
     }
 
-    /// Drop the handle's sender and join the manager thread once all
-    /// clients have disconnected.
+    /// Eagerly shut down: drop this handle and, if it is the last one,
+    /// join the manager's threads once every client has disconnected.
+    /// Plain `drop` does the same; this method exists to make teardown
+    /// points explicit in tests and benches.
     pub fn shutdown(self) {
-        let ManagerHandle { tx, join, .. } = self;
-        drop(tx);
-        let handle = join.lock().take();
-        if let Some(h) = handle {
-            let _ = h.join();
-        }
+        drop(self);
     }
 }
 
@@ -295,443 +557,48 @@ pub fn spawn_manager(
         }
     };
     let pool_base = device.lock().malloc_aligned(ctx, pool_bytes, pool_bytes)?;
-    let mut mgr = Manager {
-        device,
+    let shared = Arc::new(Shared {
+        device: device.clone(),
         ctx,
         protection: config.protection,
         native_when_standalone: config.native_when_standalone,
+        dispatch: config.dispatch,
+        launch_ack: config.launch_ack,
+        kernels: RwLock::new(KernelTable::default()),
+        clients: RwLock::new(HashMap::new()),
+        stats: Mutex::new(LaunchStats::default()),
+        fault_cursor: Mutex::new(0),
+        serial_gate: Mutex::new(()),
+        inflight: AtomicU32::new(0),
+        max_inflight: AtomicU32::new(0),
+    });
+    let mut control = Control {
+        shared: shared.clone(),
         partitions: PartitionAllocator::new(pool_base, pool_bytes),
-        clients: HashMap::new(),
         next_client: 1,
-        pointer_to_symbol: HashMap::new(),
-        native_kernels: HashMap::new(),
         registered_fatbins: Vec::new(),
-        stats: InterceptionStats::default(),
-        fault_cursor: 0,
     };
+    // Offline phase: sandbox + load the initial fatbins before any tenant
+    // can connect, so registration errors surface here.
     for fb in fatbins {
-        mgr.register_fatbin(fb)?;
+        control.register_fatbin(fb)?;
     }
-    let (tx, rx) = unbounded();
-    let device = mgr.device.clone();
-    let join = std::thread::Builder::new()
+    let (listener, dialer) = channel_transport();
+    let (ctrl_tx, ctrl_rx) = unbounded();
+    let control_join = std::thread::Builder::new()
         .name("grdManager".into())
-        .spawn(move || mgr.run(rx))
+        .spawn(move || control.run(ctrl_rx))
         .expect("spawn grdManager thread");
+    let acceptor_join = session::spawn_acceptor(Box::new(listener), shared, ctrl_tx.clone());
     Ok(ManagerHandle {
-        tx,
-        device,
-        join: Arc::new(Mutex::new(Some(join))),
+        inner: Arc::new(ManagerInner {
+            dialer: Some(Box::new(dialer)),
+            device,
+            ctrl_tx: Some(ctrl_tx),
+            acceptor: Some(acceptor_join),
+            control: Some(control_join),
+        }),
     })
-}
-
-impl Manager {
-    fn run(mut self, rx: Receiver<Request>) {
-        while let Ok(req) = rx.recv() {
-            self.handle(req);
-        }
-        // All handles and clients dropped: release the context.
-        let _ = self.device.lock().destroy_context(self.ctx);
-    }
-
-    fn handle(&mut self, req: Request) {
-        match req {
-            Request::Connect {
-                mem_requirement,
-                reply,
-            } => {
-                let _ = reply.send(self.connect(mem_requirement));
-            }
-            Request::Disconnect { client } => {
-                if let Some(state) = self.clients.remove(&client) {
-                    let _ = self.partitions.free(state.heap.partition().base);
-                }
-            }
-            Request::RegisterFatbin {
-                client,
-                bytes,
-                reply,
-            } => {
-                let r = self
-                    .check_alive(client)
-                    .and_then(|_| self.register_fatbin(&bytes));
-                let _ = reply.send(r);
-            }
-            Request::RegisterPtx {
-                client,
-                name,
-                text,
-                reply,
-            } => {
-                let r = self
-                    .check_alive(client)
-                    .and_then(|_| self.register_ptx(&name, &text));
-                let _ = reply.send(r);
-            }
-            Request::Malloc {
-                client,
-                bytes,
-                reply,
-            } => {
-                let r = self.check_alive(client).and_then(|_| {
-                    self.clients
-                        .get_mut(&client)
-                        .ok_or(CudaError::InvalidValue)?
-                        .heap
-                        .alloc(bytes)
-                        .map_err(|_| CudaError::OutOfMemory)
-                });
-                let _ = reply.send(r);
-            }
-            Request::Free { client, ptr, reply } => {
-                let r = self.check_alive(client).and_then(|_| {
-                    self.clients
-                        .get_mut(&client)
-                        .ok_or(CudaError::InvalidValue)?
-                        .heap
-                        .free(ptr)
-                        .map_err(|_| CudaError::InvalidValue)
-                });
-                let _ = reply.send(r);
-            }
-            Request::Memset {
-                client,
-                dst,
-                byte,
-                len,
-                reply,
-            } => {
-                let r = self.transfer_checked(client, &[(dst, len)], |mgr, stream| {
-                    mgr.enqueue_and_sync(stream, Command::Memset { dst, byte, len })
-                });
-                let _ = reply.send(r);
-            }
-            Request::MemcpyH2D {
-                client,
-                dst,
-                data,
-                reply,
-            } => {
-                let len = data.len() as u64;
-                let r = self.transfer_checked(client, &[(dst, len)], |mgr, stream| {
-                    mgr.enqueue_and_sync(stream, Command::MemcpyH2D { dst, data })
-                });
-                let _ = reply.send(r);
-            }
-            Request::MemcpyD2H {
-                client,
-                src,
-                len,
-                reply,
-            } => {
-                let sink = HostSink::new();
-                let s2 = sink.clone();
-                let r = self
-                    .transfer_checked(client, &[(src, len)], move |mgr, stream| {
-                        mgr.enqueue_and_sync(stream, Command::MemcpyD2H { src, len, sink: s2 })
-                    })
-                    .map(|()| sink.take());
-                let _ = reply.send(r);
-            }
-            Request::MemcpyD2D {
-                client,
-                dst,
-                src,
-                len,
-                reply,
-            } => {
-                let r = self.transfer_checked(client, &[(dst, len), (src, len)], |mgr, stream| {
-                    mgr.enqueue_and_sync(stream, Command::MemcpyD2D { dst, src, len })
-                });
-                let _ = reply.send(r);
-            }
-            Request::Launch {
-                client,
-                kernel,
-                cfg,
-                args,
-                driver_level: _,
-                reply,
-            } => {
-                let _ = reply.send(self.launch(client, &kernel, cfg, &args));
-            }
-            Request::Sync { client, reply } => {
-                let r = self.check_alive(client).and_then(|_| {
-                    self.device.lock().synchronize();
-                    self.reap_faults();
-                    self.check_alive(client)
-                });
-                let _ = reply.send(r);
-            }
-            Request::EventCreate { client, reply } => {
-                let r = self.check_alive(client).and_then(|_| {
-                    let state = self
-                        .clients
-                        .get_mut(&client)
-                        .ok_or(CudaError::InvalidValue)?;
-                    let id = state.next_event;
-                    state.next_event += 1;
-                    state.events.insert(id, Event::new());
-                    Ok(id)
-                });
-                let _ = reply.send(r);
-            }
-            Request::EventRecord {
-                client,
-                event,
-                reply,
-            } => {
-                let r = self.check_alive(client).and_then(|_| {
-                    let state = self.clients.get(&client).ok_or(CudaError::InvalidValue)?;
-                    let ev = state
-                        .events
-                        .get(&event)
-                        .cloned()
-                        .ok_or(CudaError::InvalidValue)?;
-                    self.device
-                        .lock()
-                        .enqueue(state.stream, Command::EventRecord { event: ev })
-                        .map_err(CudaError::from)
-                });
-                let _ = reply.send(r);
-            }
-            Request::EventElapsed {
-                client,
-                start,
-                end,
-                reply,
-            } => {
-                let r = self.check_alive(client).and_then(|_| {
-                    let state = self.clients.get(&client).ok_or(CudaError::InvalidValue)?;
-                    let a = state
-                        .events
-                        .get(&start)
-                        .and_then(|e| e.cycles())
-                        .ok_or(CudaError::InvalidValue)?;
-                    let b = state
-                        .events
-                        .get(&end)
-                        .and_then(|e| e.cycles())
-                        .ok_or(CudaError::InvalidValue)?;
-                    let ghz = self.device.lock().spec().clock_ghz;
-                    Ok(((b.saturating_sub(a)) as f64 / (ghz * 1e6)) as f32)
-                });
-                let _ = reply.send(r);
-            }
-            Request::DeviceNow { reply } => {
-                let _ = reply.send(self.device.lock().now());
-            }
-            Request::Stats { reply } => {
-                let _ = reply.send(self.stats);
-            }
-        }
-    }
-
-    fn connect(&mut self, mem_requirement: u64) -> CudaResult<ClientInfo> {
-        let partition = self
-            .partitions
-            .alloc(mem_requirement)
-            .map_err(|_| CudaError::OutOfMemory)?;
-        let stream = self.device.lock().create_stream(self.ctx)?;
-        let id = ClientId(self.next_client);
-        self.next_client += 1;
-        self.clients.insert(
-            id,
-            ClientState {
-                heap: RegionAllocator::new(partition),
-                stream,
-                events: HashMap::new(),
-                next_event: 1,
-                dead: false,
-            },
-        );
-        let clock_ghz = self.device.lock().spec().clock_ghz;
-        Ok(ClientInfo {
-            id,
-            clock_ghz,
-            partition_base: partition.base,
-            partition_size: partition.size,
-        })
-    }
-
-    fn check_alive(&self, client: ClientId) -> CudaResult<()> {
-        match self.clients.get(&client) {
-            None => Err(CudaError::InvalidValue),
-            Some(s) if s.dead => Err(CudaError::Rejected(
-                "client terminated by Guardian after out-of-bounds detection".into(),
-            )),
-            Some(_) => Ok(()),
-        }
-    }
-
-    /// Run a transfer after verifying every `(addr, len)` range lies in
-    /// the caller's partition (§4.2.2).
-    fn transfer_checked(
-        &mut self,
-        client: ClientId,
-        ranges: &[(u64, u64)],
-        go: impl FnOnce(&mut Self, StreamId) -> CudaResult<()>,
-    ) -> CudaResult<()> {
-        self.check_alive(client)?;
-        let state = self.clients.get(&client).ok_or(CudaError::InvalidValue)?;
-        let part = state.heap.partition();
-        for &(addr, len) in ranges {
-            if !part.contains_range(addr, len) {
-                return Err(CudaError::Rejected(format!(
-                    "transfer [{addr:#x}, +{len}) outside partition [{:#x}, +{})",
-                    part.base, part.size
-                )));
-            }
-        }
-        let stream = state.stream;
-        go(self, stream)
-    }
-
-    fn enqueue_and_sync(&mut self, stream: StreamId, cmd: Command) -> CudaResult<()> {
-        {
-            let mut dev = self.device.lock();
-            dev.enqueue(stream, cmd)?;
-            dev.synchronize();
-        }
-        self.reap_faults();
-        Ok(())
-    }
-
-    fn register_fatbin(&mut self, bytes: &[u8]) -> CudaResult<()> {
-        let hash = fxhash(bytes);
-        if self.registered_fatbins.contains(&hash) {
-            return Ok(());
-        }
-        let images =
-            ptx::fatbin::extract_ptx(bytes).map_err(|e| CudaError::ModuleLoad(e.to_string()))?;
-        for (name, text) in images {
-            self.register_ptx(&name, &text)?;
-        }
-        self.registered_fatbins.push(hash);
-        Ok(())
-    }
-
-    /// Sandbox + load one PTX translation unit; register both the patched
-    /// and the native kernels.
-    fn register_ptx(&mut self, _name: &str, text: &str) -> CudaResult<()> {
-        let module = ptx::parse(text).map_err(|e| CudaError::ModuleLoad(e.to_string()))?;
-        let patched = fence::patch_module(&module, self.protection)
-            .map_err(|e| CudaError::ModuleLoad(e.to_string()))?;
-        let mut dev = self.device.lock();
-        let native = dev.load_module(self.ctx, &module)?;
-        let sandboxed = dev.load_module(self.ctx, &patched.module)?;
-        drop(dev);
-        for (kname, k) in &native.functions {
-            if k.kind == ptx::FunctionKind::Entry {
-                self.native_kernels.insert(
-                    kname.clone(),
-                    CudaFunction {
-                        kernel: k.clone(),
-                        module: native.clone(),
-                    },
-                );
-            }
-        }
-        for (kname, k) in &sandboxed.functions {
-            if k.kind == ptx::FunctionKind::Entry {
-                self.pointer_to_symbol.insert(
-                    kname.clone(),
-                    CudaFunction {
-                        kernel: k.clone(),
-                        module: sandboxed.clone(),
-                    },
-                );
-            }
-        }
-        Ok(())
-    }
-
-    fn launch(
-        &mut self,
-        client: ClientId,
-        kernel: &str,
-        cfg: LaunchConfig,
-        args: &[u8],
-    ) -> CudaResult<()> {
-        self.check_alive(client)?;
-        let use_native = self.protection == Protection::None
-            || (self.native_when_standalone && self.clients.len() == 1);
-
-        // (1) pointerToSymbol lookup (timed; Table 5 "Lookup GPU kernel").
-        let t0 = Instant::now();
-        let func = if use_native {
-            self.native_kernels.get(kernel).cloned()
-        } else {
-            self.pointer_to_symbol.get(kernel).cloned()
-        }
-        .ok_or_else(|| CudaError::InvalidDeviceFunction(kernel.to_string()))?;
-        let lookup_ns = t0.elapsed().as_nanos() as u64;
-
-        // (2) Augment the parameter array with the partition bounds
-        // (timed; Table 5 "Augment kernel params").
-        let t1 = Instant::now();
-        let state = self.clients.get(&client).ok_or(CudaError::InvalidValue)?;
-        let part = state.heap.partition();
-        let params = if use_native {
-            args.to_vec()
-        } else {
-            let mut buf = vec![0u8; func.kernel.param_size];
-            let n = args.len().min(buf.len());
-            buf[..n].copy_from_slice(&args[..n]);
-            let nparams = func.kernel.params.len();
-            debug_assert!(nparams >= 2, "patched kernels carry 2 extra params");
-            let (_, _, base_off) = func.kernel.params[nparams - 2];
-            let (_, _, bound_off) = func.kernel.params[nparams - 1];
-            let bound = match self.protection {
-                Protection::FenceBitwise => part.mask(),
-                Protection::FenceModulo => part.size,
-                Protection::Check => part.end(),
-                Protection::None => 0,
-            };
-            buf[base_off as usize..base_off as usize + 8].copy_from_slice(&part.base.to_le_bytes());
-            buf[bound_off as usize..bound_off as usize + 8].copy_from_slice(&bound.to_le_bytes());
-            buf
-        };
-        let augment_ns = t1.elapsed().as_nanos() as u64;
-
-        // (3) Issue on the tenant's stream (Table 5 "Launch kernel").
-        let t2 = Instant::now();
-        let stream = state.stream;
-        let r = self.device.lock().enqueue(
-            stream,
-            Command::Launch {
-                func,
-                cfg,
-                params,
-                guard: MemGuard::None,
-            },
-        );
-        let enqueue_ns = t2.elapsed().as_nanos() as u64;
-
-        self.stats.launches += 1;
-        self.stats.lookup_ns += lookup_ns;
-        self.stats.augment_ns += augment_ns;
-        self.stats.enqueue_ns += enqueue_ns;
-        r.map_err(CudaError::from)
-    }
-
-    /// Scan new device faults; a contained trap kills only the offending
-    /// client (§4.2.4 / §5 — OOB fault isolation).
-    fn reap_faults(&mut self) {
-        let dev = self.device.lock();
-        let log = dev.fault_log();
-        let new = &log[self.fault_cursor.min(log.len())..];
-        let hits: Vec<StreamId> = new.iter().map(|f| f.stream).collect();
-        self.fault_cursor = log.len();
-        drop(dev);
-        for stream in hits {
-            for state in self.clients.values_mut() {
-                if state.stream == stream {
-                    state.dead = true;
-                }
-            }
-        }
-    }
 }
 
 fn fxhash(bytes: &[u8]) -> u64 {

@@ -1,0 +1,1043 @@
+//! The grdManager wire protocol: typed request/response messages that
+//! serialize to self-contained byte frames.
+//!
+//! This is the bottom layer of Guardian's RPC stack. Messages carry only
+//! plain data — no closures, no reply channels, no shared handles — so a
+//! frame produced by [`Request::encode`] could cross a Unix socket or a
+//! shared-memory ring unchanged; the in-process transport in
+//! [`crate::transport`] is just the cheapest carrier. One connection
+//! corresponds to one tenant, so frames do not repeat the client id: the
+//! connection *is* the identity, exactly as a per-process socket would be
+//! (§4.1 of the paper: applications reach the GPU only through the IPC
+//! boundary to the grdManager).
+//!
+//! Framing is version-prefixed, little-endian, and length-delimited for
+//! all variable-size fields. Decoding is total: malformed input yields a
+//! [`ProtoError`], never a panic, because the manager must survive a
+//! misbehaving tenant (it is the isolation boundary).
+
+use crate::manager::{InterceptionStats, LaunchStats};
+use bytes::BufMut;
+use cuda_rt::{CudaError, DevicePtr};
+use gpu_sim::LaunchConfig;
+use std::fmt;
+
+/// Wire-format version; bumped on any incompatible framing change.
+pub const PROTO_VERSION: u8 = 1;
+
+/// A client-to-manager message (one per CUDA call crossing the boundary).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a tenancy: reserve a partition of at least `mem_requirement`
+    /// bytes (§4.2.1 — applications declare memory up front).
+    Connect {
+        /// Bytes of device memory the tenant requires.
+        mem_requirement: u64,
+    },
+    /// Close the tenancy, releasing the partition. One-way: the client
+    /// does not wait for a reply (it may already be tearing down).
+    Disconnect,
+    /// Register a fatbin; the manager sandboxes and loads every PTX image
+    /// inside it (§4.2.3).
+    RegisterFatbin {
+        /// Raw fatbin container bytes.
+        bytes: Vec<u8>,
+    },
+    /// Register one PTX translation unit (`cuModuleLoadData`).
+    RegisterPtx {
+        /// Module name (diagnostic only).
+        name: String,
+        /// PTX source text.
+        text: String,
+    },
+    /// Allocate from the tenant's partition heap.
+    Malloc {
+        /// Requested size in bytes.
+        bytes: u64,
+    },
+    /// Release a partition-heap allocation.
+    Free {
+        /// Pointer previously returned by `Malloc`.
+        ptr: DevicePtr,
+    },
+    /// Fill `[dst, dst+len)` with `byte`.
+    Memset {
+        /// Destination device address.
+        dst: DevicePtr,
+        /// Fill byte.
+        byte: u8,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Host-to-device copy (payload travels in the frame).
+    MemcpyH2D {
+        /// Destination device address.
+        dst: DevicePtr,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Device-to-host copy; the payload travels back in the response.
+    MemcpyD2H {
+        /// Source device address.
+        src: DevicePtr,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Device-to-device copy within the tenant's partition.
+    MemcpyD2D {
+        /// Destination device address.
+        dst: DevicePtr,
+        /// Source device address.
+        src: DevicePtr,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Launch a kernel on the tenant's stream. The manager swaps in the
+    /// sandboxed twin and appends the partition bounds (§4.2.3).
+    Launch {
+        /// Kernel symbol name.
+        kernel: String,
+        /// Grid/block geometry.
+        cfg: LaunchConfig,
+        /// Flat argument buffer in driver layout.
+        args: Vec<u8>,
+        /// `true` for `cuLaunchKernel`, `false` for `cudaLaunchKernel`;
+        /// the manager accounts the two interception paths separately
+        /// (Table 5).
+        driver_level: bool,
+    },
+    /// Drain the device and surface any pending fault or deferred launch
+    /// error (`cudaDeviceSynchronize`).
+    Sync,
+    /// Create a timing event (`cudaEventCreate`).
+    EventCreate,
+    /// Record an event on the tenant's stream (`cudaEventRecord`).
+    EventRecord {
+        /// Event id from `EventCreate`.
+        event: u32,
+    },
+    /// Elapsed milliseconds between two recorded events.
+    EventElapsed {
+        /// Start event id.
+        start: u32,
+        /// End event id.
+        end: u32,
+    },
+    /// Current device time in cycles (benchmarking; no tenancy needed).
+    DeviceNow,
+    /// Interception/dispatch statistics (benchmarking; no tenancy needed).
+    Stats,
+}
+
+/// Connection handshake data returned for [`Request::Connect`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnectInfo {
+    /// The client id the manager assigned to this connection.
+    pub client: u32,
+    /// Device core clock in GHz (for `cudaGetDeviceProperties`-style use).
+    pub clock_ghz: f64,
+    /// Absolute base address of the tenant's partition.
+    pub partition_base: u64,
+    /// Partition size in bytes (power of two).
+    pub partition_size: u64,
+    /// When `true` the manager runs launches in deferred-ack mode: the
+    /// client must not wait for a `Launch` response; launch errors are
+    /// sticky and surface at the next `Sync`.
+    pub deferred_launch: bool,
+}
+
+/// A statistics snapshot returned for [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// Per-path launch interception costs (Table 5).
+    pub launch: LaunchStats,
+    /// High-water mark of data-plane operations executing simultaneously
+    /// (1 under serial dispatch; >1 proves cross-tenant overlap).
+    pub max_concurrent_data_ops: u32,
+}
+
+/// A manager-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success with no payload.
+    Unit,
+    /// Successful `Connect`.
+    Connected(ConnectInfo),
+    /// A device pointer (`Malloc`).
+    Ptr(DevicePtr),
+    /// A byte payload (`MemcpyD2H`).
+    Data(Vec<u8>),
+    /// A new event id (`EventCreate`).
+    EventId(u32),
+    /// Elapsed milliseconds (`EventElapsed`).
+    ElapsedMs(f32),
+    /// Device cycles (`DeviceNow`).
+    Cycles(u64),
+    /// Statistics snapshot (`Stats`).
+    Stats(StatsSnapshot),
+    /// The call failed.
+    Error(CudaError),
+}
+
+/// Errors produced when decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The frame ended before the message did.
+    Truncated,
+    /// Unknown protocol version byte.
+    BadVersion(u8),
+    /// Unknown message opcode.
+    BadOpcode(u8),
+    /// The message decoded but bytes were left over.
+    TrailingBytes(usize),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => f.write_str("frame truncated"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::BadOpcode(op) => write!(f, "unknown opcode {op}"),
+            ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            ProtoError::BadUtf8 => f.write_str("invalid UTF-8 in string field"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ---- request opcodes -------------------------------------------------------
+
+const REQ_CONNECT: u8 = 1;
+const REQ_DISCONNECT: u8 = 2;
+const REQ_REGISTER_FATBIN: u8 = 3;
+const REQ_REGISTER_PTX: u8 = 4;
+const REQ_MALLOC: u8 = 5;
+const REQ_FREE: u8 = 6;
+const REQ_MEMSET: u8 = 7;
+const REQ_MEMCPY_H2D: u8 = 8;
+const REQ_MEMCPY_D2H: u8 = 9;
+const REQ_MEMCPY_D2D: u8 = 10;
+const REQ_LAUNCH: u8 = 11;
+const REQ_SYNC: u8 = 12;
+const REQ_EVENT_CREATE: u8 = 13;
+const REQ_EVENT_RECORD: u8 = 14;
+const REQ_EVENT_ELAPSED: u8 = 15;
+const REQ_DEVICE_NOW: u8 = 16;
+const REQ_STATS: u8 = 17;
+
+// ---- response opcodes ------------------------------------------------------
+
+const RESP_UNIT: u8 = 1;
+const RESP_CONNECTED: u8 = 2;
+const RESP_PTR: u8 = 3;
+const RESP_DATA: u8 = 4;
+const RESP_EVENT_ID: u8 = 5;
+const RESP_ELAPSED_MS: u8 = 6;
+const RESP_CYCLES: u8 = 7;
+const RESP_STATS: u8 = 8;
+const RESP_ERROR: u8 = 9;
+
+// ---- error codes -----------------------------------------------------------
+
+const ERR_OOM: u8 = 1;
+const ERR_INVALID_VALUE: u8 = 2;
+const ERR_INVALID_DEVICE_FUNCTION: u8 = 3;
+const ERR_CONTEXT_POISONED: u8 = 4;
+const ERR_MODULE_LOAD: u8 = 5;
+const ERR_MISSING_EXPORT_TABLE: u8 = 6;
+const ERR_REJECTED: u8 = 7;
+const ERR_DISCONNECTED: u8 = 8;
+
+// ---- encoding helpers ------------------------------------------------------
+
+fn put_blob(buf: &mut Vec<u8>, data: &[u8]) {
+    // 64-bit length prefix: a >= 4 GiB payload (huge H2D copy, fatbin)
+    // must not silently truncate the prefix and corrupt the frame.
+    buf.put_u64_le(data.len() as u64);
+    buf.extend_from_slice(data);
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_blob(buf, s.as_bytes());
+}
+
+fn put_cfg(buf: &mut Vec<u8>, cfg: &LaunchConfig) {
+    for d in [
+        cfg.grid.0,
+        cfg.grid.1,
+        cfg.grid.2,
+        cfg.block.0,
+        cfg.block.1,
+        cfg.block.2,
+    ] {
+        buf.put_u32_le(d);
+    }
+}
+
+fn put_istats(buf: &mut Vec<u8>, s: &InterceptionStats) {
+    buf.put_u64_le(s.launches);
+    buf.put_u64_le(s.lookup_ns);
+    buf.put_u64_le(s.augment_ns);
+    buf.put_u64_le(s.enqueue_ns);
+}
+
+fn put_error(buf: &mut Vec<u8>, e: &CudaError) {
+    match e {
+        CudaError::OutOfMemory => buf.put_u8(ERR_OOM),
+        CudaError::InvalidValue => buf.put_u8(ERR_INVALID_VALUE),
+        CudaError::InvalidDeviceFunction(s) => {
+            buf.put_u8(ERR_INVALID_DEVICE_FUNCTION);
+            put_str(buf, s);
+        }
+        CudaError::ContextPoisoned => buf.put_u8(ERR_CONTEXT_POISONED),
+        CudaError::ModuleLoad(s) => {
+            buf.put_u8(ERR_MODULE_LOAD);
+            put_str(buf, s);
+        }
+        CudaError::MissingExportTable(id) => {
+            buf.put_u8(ERR_MISSING_EXPORT_TABLE);
+            buf.put_u32_le(*id);
+        }
+        CudaError::Rejected(s) => {
+            buf.put_u8(ERR_REJECTED);
+            put_str(buf, s);
+        }
+        CudaError::Disconnected => buf.put_u8(ERR_DISCONNECTED),
+    }
+}
+
+// ---- decoding helpers ------------------------------------------------------
+
+/// Checked little-endian reader over a frame.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f32(&mut self) -> Result<f32, ProtoError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn blob(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let len = usize::try_from(self.u64()?).map_err(|_| ProtoError::Truncated)?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        String::from_utf8(self.blob()?).map_err(|_| ProtoError::BadUtf8)
+    }
+
+    fn cfg(&mut self) -> Result<LaunchConfig, ProtoError> {
+        Ok(LaunchConfig {
+            grid: (self.u32()?, self.u32()?, self.u32()?),
+            block: (self.u32()?, self.u32()?, self.u32()?),
+        })
+    }
+
+    fn istats(&mut self) -> Result<InterceptionStats, ProtoError> {
+        Ok(InterceptionStats {
+            launches: self.u64()?,
+            lookup_ns: self.u64()?,
+            augment_ns: self.u64()?,
+            enqueue_ns: self.u64()?,
+        })
+    }
+
+    fn error(&mut self) -> Result<CudaError, ProtoError> {
+        Ok(match self.u8()? {
+            ERR_OOM => CudaError::OutOfMemory,
+            ERR_INVALID_VALUE => CudaError::InvalidValue,
+            ERR_INVALID_DEVICE_FUNCTION => CudaError::InvalidDeviceFunction(self.string()?),
+            ERR_CONTEXT_POISONED => CudaError::ContextPoisoned,
+            ERR_MODULE_LOAD => CudaError::ModuleLoad(self.string()?),
+            ERR_MISSING_EXPORT_TABLE => CudaError::MissingExportTable(self.u32()?),
+            ERR_REJECTED => CudaError::Rejected(self.string()?),
+            ERR_DISCONNECTED => CudaError::Disconnected,
+            op => return Err(ProtoError::BadOpcode(op)),
+        })
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes(self.buf.len() - self.pos))
+        }
+    }
+}
+
+fn frame_header(opcode: u8) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16);
+    buf.put_u8(PROTO_VERSION);
+    buf.put_u8(opcode);
+    buf
+}
+
+fn open_frame(frame: &[u8]) -> Result<(u8, Reader<'_>), ProtoError> {
+    let mut r = Reader::new(frame);
+    let version = r.u8()?;
+    if version != PROTO_VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    let opcode = r.u8()?;
+    Ok((opcode, r))
+}
+
+/// Encode a [`Request::Launch`] frame directly from borrowed fields.
+///
+/// Hot-path helper for clients: produces exactly the frame
+/// `Request::Launch { .. }.encode()` would, without first copying the
+/// kernel name and argument buffer into an owned `Request`.
+pub fn encode_launch(kernel: &str, cfg: &LaunchConfig, args: &[u8], driver_level: bool) -> Vec<u8> {
+    let mut buf = frame_header(REQ_LAUNCH);
+    put_str(&mut buf, kernel);
+    put_cfg(&mut buf, cfg);
+    put_blob(&mut buf, args);
+    buf.put_u8(u8::from(driver_level));
+    buf
+}
+
+/// Encode a [`Request::MemcpyH2D`] frame directly from a borrowed
+/// payload (hot-path helper; see [`encode_launch`]).
+pub fn encode_memcpy_h2d(dst: DevicePtr, data: &[u8]) -> Vec<u8> {
+    let mut buf = frame_header(REQ_MEMCPY_H2D);
+    buf.put_u64_le(dst);
+    put_blob(&mut buf, data);
+    buf
+}
+
+impl Request {
+    /// Serialize to a byte frame.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Connect { mem_requirement } => {
+                let mut buf = frame_header(REQ_CONNECT);
+                buf.put_u64_le(*mem_requirement);
+                buf
+            }
+            Request::Disconnect => frame_header(REQ_DISCONNECT),
+            Request::RegisterFatbin { bytes } => {
+                let mut buf = frame_header(REQ_REGISTER_FATBIN);
+                put_blob(&mut buf, bytes);
+                buf
+            }
+            Request::RegisterPtx { name, text } => {
+                let mut buf = frame_header(REQ_REGISTER_PTX);
+                put_str(&mut buf, name);
+                put_str(&mut buf, text);
+                buf
+            }
+            Request::Malloc { bytes } => {
+                let mut buf = frame_header(REQ_MALLOC);
+                buf.put_u64_le(*bytes);
+                buf
+            }
+            Request::Free { ptr } => {
+                let mut buf = frame_header(REQ_FREE);
+                buf.put_u64_le(*ptr);
+                buf
+            }
+            Request::Memset { dst, byte, len } => {
+                let mut buf = frame_header(REQ_MEMSET);
+                buf.put_u64_le(*dst);
+                buf.put_u8(*byte);
+                buf.put_u64_le(*len);
+                buf
+            }
+            Request::MemcpyH2D { dst, data } => encode_memcpy_h2d(*dst, data),
+            Request::MemcpyD2H { src, len } => {
+                let mut buf = frame_header(REQ_MEMCPY_D2H);
+                buf.put_u64_le(*src);
+                buf.put_u64_le(*len);
+                buf
+            }
+            Request::MemcpyD2D { dst, src, len } => {
+                let mut buf = frame_header(REQ_MEMCPY_D2D);
+                buf.put_u64_le(*dst);
+                buf.put_u64_le(*src);
+                buf.put_u64_le(*len);
+                buf
+            }
+            Request::Launch {
+                kernel,
+                cfg,
+                args,
+                driver_level,
+            } => encode_launch(kernel, cfg, args, *driver_level),
+            Request::Sync => frame_header(REQ_SYNC),
+            Request::EventCreate => frame_header(REQ_EVENT_CREATE),
+            Request::EventRecord { event } => {
+                let mut buf = frame_header(REQ_EVENT_RECORD);
+                buf.put_u32_le(*event);
+                buf
+            }
+            Request::EventElapsed { start, end } => {
+                let mut buf = frame_header(REQ_EVENT_ELAPSED);
+                buf.put_u32_le(*start);
+                buf.put_u32_le(*end);
+                buf
+            }
+            Request::DeviceNow => frame_header(REQ_DEVICE_NOW),
+            Request::Stats => frame_header(REQ_STATS),
+        }
+    }
+
+    /// Decode a byte frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on truncation, version/opcode mismatch, bad UTF-8,
+    /// or trailing bytes. Never panics on malformed input.
+    pub fn decode(frame: &[u8]) -> Result<Self, ProtoError> {
+        let (opcode, mut r) = open_frame(frame)?;
+        let req = match opcode {
+            REQ_CONNECT => Request::Connect {
+                mem_requirement: r.u64()?,
+            },
+            REQ_DISCONNECT => Request::Disconnect,
+            REQ_REGISTER_FATBIN => Request::RegisterFatbin { bytes: r.blob()? },
+            REQ_REGISTER_PTX => Request::RegisterPtx {
+                name: r.string()?,
+                text: r.string()?,
+            },
+            REQ_MALLOC => Request::Malloc { bytes: r.u64()? },
+            REQ_FREE => Request::Free { ptr: r.u64()? },
+            REQ_MEMSET => Request::Memset {
+                dst: r.u64()?,
+                byte: r.u8()?,
+                len: r.u64()?,
+            },
+            REQ_MEMCPY_H2D => Request::MemcpyH2D {
+                dst: r.u64()?,
+                data: r.blob()?,
+            },
+            REQ_MEMCPY_D2H => Request::MemcpyD2H {
+                src: r.u64()?,
+                len: r.u64()?,
+            },
+            REQ_MEMCPY_D2D => Request::MemcpyD2D {
+                dst: r.u64()?,
+                src: r.u64()?,
+                len: r.u64()?,
+            },
+            REQ_LAUNCH => Request::Launch {
+                kernel: r.string()?,
+                cfg: r.cfg()?,
+                args: r.blob()?,
+                driver_level: r.u8()? != 0,
+            },
+            REQ_SYNC => Request::Sync,
+            REQ_EVENT_CREATE => Request::EventCreate,
+            REQ_EVENT_RECORD => Request::EventRecord { event: r.u32()? },
+            REQ_EVENT_ELAPSED => Request::EventElapsed {
+                start: r.u32()?,
+                end: r.u32()?,
+            },
+            REQ_DEVICE_NOW => Request::DeviceNow,
+            REQ_STATS => Request::Stats,
+            op => return Err(ProtoError::BadOpcode(op)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialize to a byte frame.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Unit => frame_header(RESP_UNIT),
+            Response::Connected(info) => {
+                let mut buf = frame_header(RESP_CONNECTED);
+                buf.put_u32_le(info.client);
+                buf.put_u64_le(info.clock_ghz.to_bits());
+                buf.put_u64_le(info.partition_base);
+                buf.put_u64_le(info.partition_size);
+                buf.put_u8(u8::from(info.deferred_launch));
+                buf
+            }
+            Response::Ptr(p) => {
+                let mut buf = frame_header(RESP_PTR);
+                buf.put_u64_le(*p);
+                buf
+            }
+            Response::Data(d) => {
+                let mut buf = frame_header(RESP_DATA);
+                put_blob(&mut buf, d);
+                buf
+            }
+            Response::EventId(id) => {
+                let mut buf = frame_header(RESP_EVENT_ID);
+                buf.put_u32_le(*id);
+                buf
+            }
+            Response::ElapsedMs(ms) => {
+                let mut buf = frame_header(RESP_ELAPSED_MS);
+                buf.put_u32_le(ms.to_bits());
+                buf
+            }
+            Response::Cycles(c) => {
+                let mut buf = frame_header(RESP_CYCLES);
+                buf.put_u64_le(*c);
+                buf
+            }
+            Response::Stats(s) => {
+                let mut buf = frame_header(RESP_STATS);
+                put_istats(&mut buf, &s.launch.runtime);
+                put_istats(&mut buf, &s.launch.driver);
+                buf.put_u32_le(s.max_concurrent_data_ops);
+                buf
+            }
+            Response::Error(e) => {
+                let mut buf = frame_header(RESP_ERROR);
+                put_error(&mut buf, e);
+                buf
+            }
+        }
+    }
+
+    /// Decode a byte frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on truncation, version/opcode mismatch, bad UTF-8,
+    /// or trailing bytes. Never panics on malformed input.
+    pub fn decode(frame: &[u8]) -> Result<Self, ProtoError> {
+        let (opcode, mut r) = open_frame(frame)?;
+        let resp = match opcode {
+            RESP_UNIT => Response::Unit,
+            RESP_CONNECTED => Response::Connected(ConnectInfo {
+                client: r.u32()?,
+                clock_ghz: r.f64()?,
+                partition_base: r.u64()?,
+                partition_size: r.u64()?,
+                deferred_launch: r.u8()? != 0,
+            }),
+            RESP_PTR => Response::Ptr(r.u64()?),
+            RESP_DATA => Response::Data(r.blob()?),
+            RESP_EVENT_ID => Response::EventId(r.u32()?),
+            RESP_ELAPSED_MS => Response::ElapsedMs(r.f32()?),
+            RESP_CYCLES => Response::Cycles(r.u64()?),
+            RESP_STATS => Response::Stats(StatsSnapshot {
+                launch: LaunchStats {
+                    runtime: r.istats()?,
+                    driver: r.istats()?,
+                },
+                max_concurrent_data_ops: r.u32()?,
+            }),
+            RESP_ERROR => Response::Error(r.error()?),
+            op => return Err(ProtoError::BadOpcode(op)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip_edge_values() {
+        let cases = vec![
+            Request::Connect {
+                mem_requirement: u64::MAX,
+            },
+            Request::Disconnect,
+            Request::RegisterFatbin { bytes: vec![] },
+            Request::RegisterFatbin {
+                bytes: vec![0xFF; 1024],
+            },
+            Request::RegisterPtx {
+                name: String::new(),
+                text: ".version 7.7\n".into(),
+            },
+            Request::Malloc { bytes: 0 },
+            Request::Free { ptr: 1 << 40 },
+            Request::Memset {
+                dst: 0,
+                byte: 0xAB,
+                len: u64::MAX,
+            },
+            Request::MemcpyH2D {
+                dst: 7,
+                data: vec![1, 2, 3],
+            },
+            Request::MemcpyD2H { src: 9, len: 4096 },
+            Request::MemcpyD2D {
+                dst: 1,
+                src: 2,
+                len: 3,
+            },
+            Request::Launch {
+                kernel: "gemm".into(),
+                cfg: LaunchConfig {
+                    grid: (1, 2, 3),
+                    block: (4, 5, 6),
+                },
+                args: vec![0u8; 64],
+                driver_level: true,
+            },
+            Request::Sync,
+            Request::EventCreate,
+            Request::EventRecord { event: u32::MAX },
+            Request::EventElapsed { start: 1, end: 2 },
+            Request::DeviceNow,
+            Request::Stats,
+        ];
+        for req in cases {
+            let frame = req.encode();
+            assert_eq!(Request::decode(&frame).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn response_round_trip_edge_values() {
+        let cases = vec![
+            Response::Unit,
+            Response::Connected(ConnectInfo {
+                client: 3,
+                clock_ghz: 1.56,
+                partition_base: 1 << 40,
+                partition_size: 1 << 26,
+                deferred_launch: true,
+            }),
+            Response::Ptr(u64::MAX),
+            Response::Data(vec![]),
+            Response::Data(vec![9; 100]),
+            Response::EventId(0),
+            Response::ElapsedMs(3.25),
+            Response::Cycles(123_456),
+            Response::Stats(StatsSnapshot {
+                launch: LaunchStats {
+                    runtime: InterceptionStats {
+                        launches: 1,
+                        lookup_ns: 2,
+                        augment_ns: 3,
+                        enqueue_ns: 4,
+                    },
+                    driver: InterceptionStats {
+                        launches: 5,
+                        lookup_ns: 6,
+                        augment_ns: 7,
+                        enqueue_ns: 8,
+                    },
+                },
+                max_concurrent_data_ops: 11,
+            }),
+            Response::Error(CudaError::OutOfMemory),
+            Response::Error(CudaError::InvalidDeviceFunction("missing".into())),
+            Response::Error(CudaError::MissingExportTable(42)),
+            Response::Error(CudaError::Rejected("out of partition".into())),
+        ];
+        for resp in cases {
+            let frame = resp.encode();
+            assert_eq!(Response::decode(&frame).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn borrowing_encoders_match_owned_encoding() {
+        // The hot-path helpers must stay frame-identical to the owned
+        // Request encoding (Request::encode delegates, but lock that in).
+        let cfg = LaunchConfig {
+            grid: (3, 2, 1),
+            block: (32, 1, 1),
+        };
+        let owned = Request::Launch {
+            kernel: "gemm".into(),
+            cfg,
+            args: vec![7u8; 48],
+            driver_level: true,
+        };
+        assert_eq!(
+            owned.encode(),
+            encode_launch("gemm", &cfg, &[7u8; 48], true)
+        );
+        let owned = Request::MemcpyH2D {
+            dst: 0xABCD,
+            data: vec![1, 2, 3],
+        };
+        assert_eq!(owned.encode(), encode_memcpy_h2d(0xABCD, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn stats_snapshot_split_survives_round_trip() {
+        // The driver/runtime split (Table 5) must not collapse on the
+        // wire: each path's counters come back in their own slot.
+        let snap = StatsSnapshot {
+            launch: LaunchStats {
+                runtime: InterceptionStats {
+                    launches: 10,
+                    lookup_ns: 100,
+                    augment_ns: 200,
+                    enqueue_ns: 300,
+                },
+                driver: InterceptionStats {
+                    launches: 7,
+                    lookup_ns: 70,
+                    augment_ns: 140,
+                    enqueue_ns: 210,
+                },
+            },
+            max_concurrent_data_ops: 4,
+        };
+        let frame = Response::Stats(snap).encode();
+        match Response::decode(&frame).unwrap() {
+            Response::Stats(back) => {
+                assert_eq!(back.launch.runtime.launches, 10);
+                assert_eq!(back.launch.driver.launches, 7);
+                assert_eq!(back.launch.combined().launches, 17);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_frames_error_without_panic() {
+        assert_eq!(Request::decode(&[]), Err(ProtoError::Truncated));
+        assert_eq!(
+            Request::decode(&[9, REQ_SYNC]),
+            Err(ProtoError::BadVersion(9))
+        );
+        assert_eq!(
+            Request::decode(&[PROTO_VERSION, 250]),
+            Err(ProtoError::BadOpcode(250))
+        );
+        // Truncated string length prefix.
+        assert_eq!(
+            Request::decode(&[PROTO_VERSION, REQ_LAUNCH, 0xFF, 0xFF]),
+            Err(ProtoError::Truncated)
+        );
+        // Length prefix larger than the frame.
+        let mut f = vec![PROTO_VERSION, REQ_REGISTER_FATBIN];
+        f.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Request::decode(&f), Err(ProtoError::Truncated));
+        // Trailing garbage.
+        let mut f = Request::Sync.encode();
+        f.push(0);
+        assert_eq!(Request::decode(&f), Err(ProtoError::TrailingBytes(1)));
+        // Bad UTF-8 in a string field.
+        let mut f = frame_header(REQ_REGISTER_PTX);
+        put_blob(&mut f, &[0xFF, 0xFE]);
+        put_blob(&mut f, b"");
+        assert_eq!(Request::decode(&f), Err(ProtoError::BadUtf8));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::collection::vec as pvec;
+    use proptest::prelude::*;
+    use proptest::strategy::BoxedStrategy;
+
+    fn arb_string() -> BoxedStrategy<String> {
+        // Printable ASCII is enough to exercise the length-prefixed
+        // framing; UTF-8 *rejection* is covered by the unit tests.
+        pvec(0x20u8..0x7F, 0..24)
+            .prop_map(|b| b.into_iter().map(char::from).collect())
+            .boxed()
+    }
+
+    fn arb_blob() -> BoxedStrategy<Vec<u8>> {
+        pvec(any::<u8>(), 0..200).boxed()
+    }
+
+    fn arb_cfg() -> BoxedStrategy<LaunchConfig> {
+        (
+            (any::<u32>(), any::<u32>(), any::<u32>()),
+            (any::<u32>(), any::<u32>(), any::<u32>()),
+        )
+            .prop_map(|(grid, block)| LaunchConfig { grid, block })
+            .boxed()
+    }
+
+    fn arb_error() -> BoxedStrategy<CudaError> {
+        prop_oneof![
+            Just(CudaError::OutOfMemory).boxed(),
+            Just(CudaError::InvalidValue).boxed(),
+            arb_string()
+                .prop_map(CudaError::InvalidDeviceFunction)
+                .boxed(),
+            Just(CudaError::ContextPoisoned).boxed(),
+            arb_string().prop_map(CudaError::ModuleLoad).boxed(),
+            any::<u32>().prop_map(CudaError::MissingExportTable).boxed(),
+            arb_string().prop_map(CudaError::Rejected).boxed(),
+            Just(CudaError::Disconnected).boxed(),
+        ]
+        .boxed()
+    }
+
+    /// Every request variant, fields drawn at random.
+    fn arb_request() -> BoxedStrategy<Request> {
+        prop_oneof![
+            any::<u64>()
+                .prop_map(|mem_requirement| Request::Connect { mem_requirement })
+                .boxed(),
+            Just(Request::Disconnect).boxed(),
+            arb_blob()
+                .prop_map(|bytes| Request::RegisterFatbin { bytes })
+                .boxed(),
+            (arb_string(), arb_string())
+                .prop_map(|(name, text)| Request::RegisterPtx { name, text })
+                .boxed(),
+            any::<u64>()
+                .prop_map(|bytes| Request::Malloc { bytes })
+                .boxed(),
+            any::<u64>().prop_map(|ptr| Request::Free { ptr }).boxed(),
+            (any::<u64>(), any::<u8>(), any::<u64>())
+                .prop_map(|(dst, byte, len)| Request::Memset { dst, byte, len })
+                .boxed(),
+            (any::<u64>(), arb_blob())
+                .prop_map(|(dst, data)| Request::MemcpyH2D { dst, data })
+                .boxed(),
+            (any::<u64>(), any::<u64>())
+                .prop_map(|(src, len)| Request::MemcpyD2H { src, len })
+                .boxed(),
+            (any::<u64>(), any::<u64>(), any::<u64>())
+                .prop_map(|(dst, src, len)| Request::MemcpyD2D { dst, src, len })
+                .boxed(),
+            (arb_string(), arb_cfg(), arb_blob(), any::<bool>())
+                .prop_map(|(kernel, cfg, args, driver_level)| Request::Launch {
+                    kernel,
+                    cfg,
+                    args,
+                    driver_level,
+                })
+                .boxed(),
+            Just(Request::Sync).boxed(),
+            Just(Request::EventCreate).boxed(),
+            any::<u32>()
+                .prop_map(|event| Request::EventRecord { event })
+                .boxed(),
+            (any::<u32>(), any::<u32>())
+                .prop_map(|(start, end)| Request::EventElapsed { start, end })
+                .boxed(),
+            Just(Request::DeviceNow).boxed(),
+            Just(Request::Stats).boxed(),
+        ]
+        .boxed()
+    }
+
+    fn arb_istats() -> BoxedStrategy<InterceptionStats> {
+        ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>()))
+            .prop_map(
+                |((launches, lookup_ns), (augment_ns, enqueue_ns))| InterceptionStats {
+                    launches,
+                    lookup_ns,
+                    augment_ns,
+                    enqueue_ns,
+                },
+            )
+            .boxed()
+    }
+
+    /// Every response variant, fields drawn at random (floats cover all
+    /// bit patterns, NaN included — hence the frame-level equality law).
+    fn arb_response() -> BoxedStrategy<Response> {
+        prop_oneof![
+            Just(Response::Unit).boxed(),
+            (
+                (any::<u32>(), any::<u64>()),
+                (any::<u64>(), any::<u64>()),
+                any::<bool>()
+            )
+                .prop_map(
+                    |((client, ghz_bits), (partition_base, partition_size), deferred)| {
+                        Response::Connected(ConnectInfo {
+                            client,
+                            clock_ghz: f64::from_bits(ghz_bits),
+                            partition_base,
+                            partition_size,
+                            deferred_launch: deferred,
+                        })
+                    }
+                )
+                .boxed(),
+            any::<u64>().prop_map(Response::Ptr).boxed(),
+            arb_blob().prop_map(Response::Data).boxed(),
+            any::<u32>().prop_map(Response::EventId).boxed(),
+            any::<u32>()
+                .prop_map(|bits| Response::ElapsedMs(f32::from_bits(bits)))
+                .boxed(),
+            any::<u64>().prop_map(Response::Cycles).boxed(),
+            ((arb_istats(), arb_istats()), any::<u32>())
+                .prop_map(|((runtime, driver), max_concurrent_data_ops)| {
+                    Response::Stats(StatsSnapshot {
+                        launch: LaunchStats { runtime, driver },
+                        max_concurrent_data_ops,
+                    })
+                })
+                .boxed(),
+            arb_error().prop_map(Response::Error).boxed(),
+        ]
+        .boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// encode → decode is the identity for every request message.
+        #[test]
+        fn request_encode_decode_round_trips(req in arb_request()) {
+            let frame = req.encode();
+            let back = Request::decode(&frame).expect("decode");
+            prop_assert_eq!(&back, &req);
+            // And re-encoding is byte-stable (canonical encoding).
+            prop_assert_eq!(back.encode(), frame);
+        }
+
+        /// encode → decode → encode reproduces the exact frame for every
+        /// response message. Frame-level equality is NaN-safe: float
+        /// fields compare by bit pattern, not by PartialEq.
+        #[test]
+        fn response_encode_decode_round_trips(resp in arb_response()) {
+            let frame = resp.encode();
+            let back = Response::decode(&frame).expect("decode");
+            prop_assert_eq!(back.encode(), frame);
+        }
+
+        /// Decoding arbitrary bytes never panics — the manager must
+        /// survive any garbage a hostile tenant sends.
+        #[test]
+        fn decode_total_on_garbage(frame in pvec(any::<u8>(), 0..64)) {
+            let _ = Request::decode(&frame);
+            let _ = Response::decode(&frame);
+        }
+    }
+}

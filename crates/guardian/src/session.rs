@@ -1,0 +1,777 @@
+//! Per-tenant data-plane sessions: the concurrent half of the dispatch
+//! core.
+//!
+//! Every accepted transport connection gets its own session thread. The
+//! session decodes frames and executes **data-plane** operations (memset,
+//! memcpy, launch, sync, events) directly against fine-grained shared
+//! state, so independent tenants no longer serialize through one manager
+//! queue; **control-plane** operations (connect/disconnect, fatbin/PTX
+//! registration, malloc/free) are forwarded to the serialized control
+//! thread in [`crate::manager`], which remains the only mutator of the
+//! partition table and kernel registry.
+//!
+//! Shared state is read-mostly where tenants share it — the
+//! `pointerToSymbol` table behind an `RwLock`, partition bounds immutable
+//! per client — and per-client where it is hot (each tenant's heap and
+//! event table live in its own `ClientShared`, so sessions of different
+//! tenants never contend on them).
+
+use crate::alloc::{Partition, RegionAllocator};
+use crate::manager::{ctrl_call, CtrlMsg, CtrlOp, CtrlOut, DispatchMode, LaunchAck, LaunchStats};
+use crate::proto::{ConnectInfo, Request, Response, StatsSnapshot};
+use crate::transport::{Connection, Listener};
+use crate::ClientId;
+use crossbeam::channel::Sender;
+use cuda_rt::{CudaError, CudaResult, SharedDevice};
+use gpu_sim::stream::CudaFunction;
+use gpu_sim::{Command, CtxId, Event, HostSink, LaunchConfig, MemGuard, StreamId};
+use parking_lot::{Mutex, RwLock};
+use ptx_patcher::Protection;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Kernel registries shared by all sessions (read-mostly: written only
+/// during registration, read on every launch).
+#[derive(Default)]
+pub(crate) struct KernelTable {
+    /// `pointerToSymbol`: kernel name → sandboxed CUfunction (§4.2.3).
+    pub pointer_to_symbol: HashMap<String, CudaFunction>,
+    /// Native (unpatched) kernels for the no-protection / standalone path.
+    pub native: HashMap<String, CudaFunction>,
+}
+
+/// Per-client event table (`cudaEvent_t` handles).
+#[derive(Default)]
+pub(crate) struct EventTable {
+    pub events: HashMap<u32, Event>,
+    pub next: u32,
+}
+
+/// State owned by one tenant but reachable by every session (for fault
+/// reaping) — hot fields are per-client so tenants never contend.
+pub(crate) struct ClientShared {
+    pub id: ClientId,
+    pub stream: StreamId,
+    pub partition: Partition,
+    /// Set when Guardian terminates the client after OOB detection.
+    pub dead: AtomicBool,
+    /// Deferred-mode launch error, surfaced at the next `Sync`.
+    pub sticky: Mutex<Option<CudaError>>,
+    pub heap: Mutex<RegionAllocator>,
+    pub events: Mutex<EventTable>,
+}
+
+/// State shared between the control plane and all data-plane sessions.
+pub(crate) struct Shared {
+    pub device: SharedDevice,
+    pub ctx: CtxId,
+    pub protection: Protection,
+    pub native_when_standalone: bool,
+    pub dispatch: DispatchMode,
+    pub launch_ack: LaunchAck,
+    pub kernels: RwLock<KernelTable>,
+    pub clients: RwLock<HashMap<ClientId, Arc<ClientShared>>>,
+    pub stats: Mutex<LaunchStats>,
+    /// How far into the device fault log reaping has progressed.
+    pub fault_cursor: Mutex<usize>,
+    /// Serializes data-plane ops under [`DispatchMode::Serial`].
+    pub serial_gate: Mutex<()>,
+    /// Data-plane ops currently executing, and the high-water mark — the
+    /// observable witness that tenants' dispatch genuinely overlaps.
+    pub inflight: AtomicU32,
+    pub max_inflight: AtomicU32,
+}
+
+impl Shared {
+    pub(crate) fn check_alive(client: &ClientShared) -> CudaResult<()> {
+        if client.dead.load(Ordering::SeqCst) {
+            Err(CudaError::Rejected(
+                "client terminated by Guardian after out-of-bounds detection".into(),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Scan new device faults; a contained trap kills only the offending
+    /// client (§4.2.4 / §5 — OOB fault isolation). Any session may reap;
+    /// the cursor lock is held until the dead flags are stored, so a
+    /// fault consumed by one session's reap is always visible to the
+    /// offender's next `check_alive` (cursor-advanced-but-not-yet-marked
+    /// would let the offender's own sync slip through and return Ok).
+    pub(crate) fn reap_faults(&self) {
+        let mut cursor = self.fault_cursor.lock();
+        let hits: Vec<StreamId> = {
+            let dev = self.device.lock();
+            let log = dev.fault_log();
+            let start = (*cursor).min(log.len());
+            *cursor = log.len();
+            log[start..].iter().map(|f| f.stream).collect()
+        };
+        if hits.is_empty() {
+            return;
+        }
+        let clients = self.clients.read();
+        for state in clients.values() {
+            if hits.contains(&state.stream) {
+                state.dead.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Spawn the acceptor thread: accepts connections for the listener's
+/// lifetime, one session thread per connection, and joins every session
+/// before exiting (sessions end when their client half drops).
+pub(crate) fn spawn_acceptor(
+    listener: Box<dyn Listener>,
+    shared: Arc<Shared>,
+    ctrl: Sender<CtrlMsg>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("grdAcceptor".into())
+        .spawn(move || {
+            let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+            while let Ok(conn) = listener.accept() {
+                // Reap completed sessions as we go: short-lived
+                // connections (stats polls, departed tenants) must not
+                // accumulate handles for the manager's whole lifetime.
+                sessions.retain(|s| !s.is_finished());
+                let shared = shared.clone();
+                let ctrl = ctrl.clone();
+                let session = std::thread::Builder::new()
+                    .name("grdSession".into())
+                    .spawn(move || run_session(conn, &shared, &ctrl))
+                    .expect("spawn grdSession thread");
+                sessions.push(session);
+            }
+            drop(ctrl);
+            for s in sessions {
+                let _ = s.join();
+            }
+        })
+        .expect("spawn grdAcceptor thread")
+}
+
+/// One tenant's server loop: decode → dispatch → reply, until the client
+/// half of the connection drops. A dropped connection is an implicit
+/// disconnect, so crashed tenants cannot leak partitions.
+fn run_session(conn: Box<dyn Connection>, shared: &Arc<Shared>, ctrl: &Sender<CtrlMsg>) {
+    let mut client: Option<Arc<ClientShared>> = None;
+    while let Ok(frame) = conn.recv() {
+        let req = match Request::decode(&frame) {
+            Ok(req) => req,
+            Err(e) => {
+                // A malformed frame means the peer is broken or hostile;
+                // report once and drop the connection, as a socket server
+                // would.
+                let resp = Response::Error(CudaError::Rejected(format!("malformed frame: {e}")));
+                let _ = conn.send(resp.encode());
+                break;
+            }
+        };
+        let reply = dispatch(req, &mut client, shared, ctrl);
+        if let Some(resp) = reply {
+            if conn.send(resp.encode()).is_err() {
+                break;
+            }
+        }
+    }
+    if let Some(c) = client.take() {
+        let _ = ctrl_call(ctrl, CtrlOp::Disconnect { client: c.id });
+    }
+}
+
+/// Resolve the session's tenant, or reply with the error for calls that
+/// require a completed `Connect`.
+macro_rules! require {
+    ($client:expr) => {
+        match $client.as_ref() {
+            Some(c) => c.clone(),
+            None => return Some(Response::Error(CudaError::InvalidValue)),
+        }
+    };
+}
+
+/// Dispatch one request. `None` means the request is one-way (no frame
+/// goes back): `Disconnect` always, and `Launch` under deferred acks.
+/// Takes the request by value so bulk payloads (H2D data, fatbins, PTX
+/// text) move to their destination instead of being cloned on the hot
+/// path.
+fn dispatch(
+    req: Request,
+    client: &mut Option<Arc<ClientShared>>,
+    shared: &Arc<Shared>,
+    ctrl: &Sender<CtrlMsg>,
+) -> Option<Response> {
+    match req {
+        // ---- control plane: forwarded to the serialized manager -------
+        Request::Connect { mem_requirement } => {
+            // One connection is one tenant: a second Connect on a live
+            // session would orphan the first tenant's partition (the
+            // session cleanup only disconnects the client it tracks), so
+            // a hostile peer could drain the pool. Reject it.
+            if client.is_some() {
+                return Some(Response::Error(CudaError::InvalidValue));
+            }
+            let r = ctrl_call(ctrl, CtrlOp::Connect { mem_requirement });
+            Some(match r {
+                Ok(CtrlOut::Connected(info)) => {
+                    *client = shared.clients.read().get(&info.id).cloned();
+                    Response::Connected(ConnectInfo {
+                        client: info.id.0,
+                        clock_ghz: info.clock_ghz,
+                        partition_base: info.partition_base,
+                        partition_size: info.partition_size,
+                        deferred_launch: shared.launch_ack == LaunchAck::Deferred,
+                    })
+                }
+                Ok(_) => Response::Error(CudaError::InvalidValue),
+                Err(e) => Response::Error(e),
+            })
+        }
+        Request::Disconnect => {
+            if let Some(c) = client.take() {
+                let _ = ctrl_call(ctrl, CtrlOp::Disconnect { client: c.id });
+            }
+            None
+        }
+        Request::RegisterFatbin { bytes } => {
+            let c = require!(client);
+            Some(unit_reply(ctrl_call(
+                ctrl,
+                CtrlOp::RegisterFatbin {
+                    client: c.id,
+                    bytes,
+                },
+            )))
+        }
+        Request::RegisterPtx { name, text } => {
+            let c = require!(client);
+            Some(unit_reply(ctrl_call(
+                ctrl,
+                CtrlOp::RegisterPtx {
+                    client: c.id,
+                    name,
+                    text,
+                },
+            )))
+        }
+        Request::Malloc { bytes } => {
+            let c = require!(client);
+            Some(
+                match ctrl_call(
+                    ctrl,
+                    CtrlOp::Malloc {
+                        client: c.id,
+                        bytes,
+                    },
+                ) {
+                    Ok(CtrlOut::Ptr(p)) => Response::Ptr(p),
+                    Ok(_) => Response::Error(CudaError::InvalidValue),
+                    Err(e) => Response::Error(e),
+                },
+            )
+        }
+        Request::Free { ptr } => {
+            let c = require!(client);
+            Some(unit_reply(ctrl_call(
+                ctrl,
+                CtrlOp::Free { client: c.id, ptr },
+            )))
+        }
+
+        // ---- data plane: executed here, concurrently across tenants ---
+        Request::Memset { dst, byte, len } => {
+            let c = require!(client);
+            Some(result_reply(with_dispatch(shared, || {
+                memset(shared, &c, dst, byte, len)
+            })))
+        }
+        Request::MemcpyH2D { dst, data } => {
+            let c = require!(client);
+            Some(result_reply(with_dispatch(shared, || {
+                memcpy_h2d(shared, &c, dst, data)
+            })))
+        }
+        Request::MemcpyD2H { src, len } => {
+            let c = require!(client);
+            Some(
+                match with_dispatch(shared, || memcpy_d2h(shared, &c, src, len)) {
+                    Ok(data) => Response::Data(data),
+                    Err(e) => Response::Error(e),
+                },
+            )
+        }
+        Request::MemcpyD2D { dst, src, len } => {
+            let c = require!(client);
+            Some(result_reply(with_dispatch(shared, || {
+                memcpy_d2d(shared, &c, dst, src, len)
+            })))
+        }
+        Request::Launch {
+            kernel,
+            cfg,
+            args,
+            driver_level,
+        } => {
+            let Some(c) = client.as_ref().cloned() else {
+                // Launch is one-way under deferred acks even with no
+                // tenancy: replying would desynchronize the peer's
+                // request/response stream (its next round-trip call
+                // would read this frame as its own reply).
+                return match shared.launch_ack {
+                    LaunchAck::Eager => Some(Response::Error(CudaError::InvalidValue)),
+                    LaunchAck::Deferred => None,
+                };
+            };
+            let r = with_dispatch(shared, || {
+                launch(shared, &c, &kernel, cfg, &args, driver_level)
+            });
+            match shared.launch_ack {
+                LaunchAck::Eager => Some(result_reply(r)),
+                LaunchAck::Deferred => {
+                    // True async enqueue: no frame goes back. Errors stick
+                    // to the client and surface at the next Sync, matching
+                    // CUDA's asynchronous error model.
+                    if let Err(e) = r {
+                        let mut sticky = c.sticky.lock();
+                        sticky.get_or_insert(e);
+                    }
+                    None
+                }
+            }
+        }
+        Request::Sync => {
+            let c = require!(client);
+            Some(result_reply(with_dispatch(shared, || sync(shared, &c))))
+        }
+        Request::EventCreate => {
+            let c = require!(client);
+            Some(match with_dispatch(shared, || event_create(&c)) {
+                Ok(id) => Response::EventId(id),
+                Err(e) => Response::Error(e),
+            })
+        }
+        Request::EventRecord { event } => {
+            let c = require!(client);
+            Some(result_reply(with_dispatch(shared, || {
+                event_record(shared, &c, event)
+            })))
+        }
+        Request::EventElapsed { start, end } => {
+            let c = require!(client);
+            Some(
+                match with_dispatch(shared, || event_elapsed(shared, &c, start, end)) {
+                    Ok(ms) => Response::ElapsedMs(ms),
+                    Err(e) => Response::Error(e),
+                },
+            )
+        }
+
+        // ---- connection-scoped queries (no tenancy required) ----------
+        Request::DeviceNow => Some(Response::Cycles(shared.device.lock().now())),
+        Request::Stats => Some(Response::Stats(StatsSnapshot {
+            launch: *shared.stats.lock(),
+            max_concurrent_data_ops: shared.max_inflight.load(Ordering::SeqCst),
+        })),
+    }
+}
+
+fn unit_reply(r: CudaResult<CtrlOut>) -> Response {
+    match r {
+        Ok(_) => Response::Unit,
+        Err(e) => Response::Error(e),
+    }
+}
+
+fn result_reply(r: CudaResult<()>) -> Response {
+    match r {
+        Ok(()) => Response::Unit,
+        Err(e) => Response::Error(e),
+    }
+}
+
+/// Run a data-plane op under the configured dispatch mode, tracking the
+/// concurrency high-water mark. Under [`DispatchMode::Serial`] the global
+/// gate reproduces the old single-threaded dispatch core (the baseline
+/// the `dispatch_throughput` bench compares against).
+fn with_dispatch<R>(shared: &Shared, f: impl FnOnce() -> R) -> R {
+    let _gate = match shared.dispatch {
+        DispatchMode::Serial => Some(shared.serial_gate.lock()),
+        DispatchMode::Concurrent => None,
+    };
+    let now = shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+    shared.max_inflight.fetch_max(now, Ordering::SeqCst);
+    let r = f();
+    shared.inflight.fetch_sub(1, Ordering::SeqCst);
+    r
+}
+
+// ---- data-plane operations -------------------------------------------------
+
+/// Verify every `(addr, len)` range lies in the caller's partition
+/// (§4.2.2 — the host-transfer bounds table).
+fn transfer_checked(client: &ClientShared, ranges: &[(u64, u64)]) -> CudaResult<()> {
+    Shared::check_alive(client)?;
+    let part = client.partition;
+    for &(addr, len) in ranges {
+        if !part.contains_range(addr, len) {
+            return Err(CudaError::Rejected(format!(
+                "transfer [{addr:#x}, +{len}) outside partition [{:#x}, +{})",
+                part.base, part.size
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn enqueue_and_sync(shared: &Shared, stream: StreamId, cmd: Command) -> CudaResult<()> {
+    {
+        let mut dev = shared.device.lock();
+        dev.enqueue(stream, cmd)?;
+        dev.synchronize();
+    }
+    shared.reap_faults();
+    Ok(())
+}
+
+fn memset(shared: &Shared, c: &ClientShared, dst: u64, byte: u8, len: u64) -> CudaResult<()> {
+    transfer_checked(c, &[(dst, len)])?;
+    enqueue_and_sync(shared, c.stream, Command::Memset { dst, byte, len })
+}
+
+fn memcpy_h2d(shared: &Shared, c: &ClientShared, dst: u64, data: Vec<u8>) -> CudaResult<()> {
+    transfer_checked(c, &[(dst, data.len() as u64)])?;
+    enqueue_and_sync(shared, c.stream, Command::MemcpyH2D { dst, data })
+}
+
+fn memcpy_d2h(shared: &Shared, c: &ClientShared, src: u64, len: u64) -> CudaResult<Vec<u8>> {
+    transfer_checked(c, &[(src, len)])?;
+    let sink = HostSink::new();
+    enqueue_and_sync(
+        shared,
+        c.stream,
+        Command::MemcpyD2H {
+            src,
+            len,
+            sink: sink.clone(),
+        },
+    )?;
+    Ok(sink.take())
+}
+
+fn memcpy_d2d(shared: &Shared, c: &ClientShared, dst: u64, src: u64, len: u64) -> CudaResult<()> {
+    transfer_checked(c, &[(dst, len), (src, len)])?;
+    enqueue_and_sync(shared, c.stream, Command::MemcpyD2D { dst, src, len })
+}
+
+/// The interception path of §4.2.3: `pointerToSymbol` lookup, parameter
+/// augmentation with the caller's bounds, enqueue on the caller's stream.
+/// Each step is timed into the per-path Table 5 statistics.
+fn launch(
+    shared: &Shared,
+    c: &ClientShared,
+    kernel: &str,
+    cfg: LaunchConfig,
+    args: &[u8],
+    driver_level: bool,
+) -> CudaResult<()> {
+    Shared::check_alive(c)?;
+    let use_native = shared.protection == Protection::None
+        || (shared.native_when_standalone && shared.clients.read().len() == 1);
+
+    // (1) pointerToSymbol lookup (timed; Table 5 "Lookup GPU kernel").
+    let t0 = Instant::now();
+    let func = {
+        let kernels = shared.kernels.read();
+        if use_native {
+            kernels.native.get(kernel).cloned()
+        } else {
+            kernels.pointer_to_symbol.get(kernel).cloned()
+        }
+    }
+    .ok_or_else(|| CudaError::InvalidDeviceFunction(kernel.to_string()))?;
+    let lookup_ns = t0.elapsed().as_nanos() as u64;
+
+    // (2) Augment the parameter array with the partition bounds
+    // (timed; Table 5 "Augment kernel params").
+    let t1 = Instant::now();
+    let part = c.partition;
+    let params = if use_native {
+        args.to_vec()
+    } else {
+        let mut buf = vec![0u8; func.kernel.param_size];
+        let n = args.len().min(buf.len());
+        buf[..n].copy_from_slice(&args[..n]);
+        let nparams = func.kernel.params.len();
+        debug_assert!(nparams >= 2, "patched kernels carry 2 extra params");
+        let (_, _, base_off) = func.kernel.params[nparams - 2];
+        let (_, _, bound_off) = func.kernel.params[nparams - 1];
+        let bound = match shared.protection {
+            Protection::FenceBitwise => part.mask(),
+            Protection::FenceModulo => part.size,
+            Protection::Check => part.end(),
+            Protection::None => 0,
+        };
+        buf[base_off as usize..base_off as usize + 8].copy_from_slice(&part.base.to_le_bytes());
+        buf[bound_off as usize..bound_off as usize + 8].copy_from_slice(&bound.to_le_bytes());
+        buf
+    };
+    let augment_ns = t1.elapsed().as_nanos() as u64;
+
+    // (3) Issue on the tenant's stream (Table 5 "Launch kernel").
+    let t2 = Instant::now();
+    let r = shared.device.lock().enqueue(
+        c.stream,
+        Command::Launch {
+            func,
+            cfg,
+            params,
+            guard: MemGuard::None,
+        },
+    );
+    let enqueue_ns = t2.elapsed().as_nanos() as u64;
+
+    shared
+        .stats
+        .lock()
+        .record(driver_level, lookup_ns, augment_ns, enqueue_ns);
+    r.map_err(CudaError::from)
+}
+
+fn sync(shared: &Shared, c: &ClientShared) -> CudaResult<()> {
+    Shared::check_alive(c)?;
+    shared.device.lock().synchronize();
+    shared.reap_faults();
+    if let Some(e) = c.sticky.lock().take() {
+        return Err(e);
+    }
+    Shared::check_alive(c)
+}
+
+fn event_create(c: &ClientShared) -> CudaResult<u32> {
+    Shared::check_alive(c)?;
+    let mut table = c.events.lock();
+    let id = table.next;
+    table.next += 1;
+    table.events.insert(id, Event::new());
+    Ok(id)
+}
+
+fn event_record(shared: &Shared, c: &ClientShared, event: u32) -> CudaResult<()> {
+    Shared::check_alive(c)?;
+    let ev = c
+        .events
+        .lock()
+        .events
+        .get(&event)
+        .cloned()
+        .ok_or(CudaError::InvalidValue)?;
+    shared
+        .device
+        .lock()
+        .enqueue(c.stream, Command::EventRecord { event: ev })
+        .map_err(CudaError::from)
+}
+
+fn event_elapsed(shared: &Shared, c: &ClientShared, start: u32, end: u32) -> CudaResult<f32> {
+    Shared::check_alive(c)?;
+    let (a, b) = {
+        let table = c.events.lock();
+        let a = table
+            .events
+            .get(&start)
+            .and_then(Event::cycles)
+            .ok_or(CudaError::InvalidValue)?;
+        let b = table
+            .events
+            .get(&end)
+            .and_then(Event::cycles)
+            .ok_or(CudaError::InvalidValue)?;
+        (a, b)
+    };
+    let ghz = shared.device.lock().spec().clock_ghz;
+    Ok(((b.saturating_sub(a)) as f64 / (ghz * 1e6)) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    //! Raw-protocol sessions: behaviours only reachable by a peer that
+    //! speaks frames directly (the in-tree `GrdLib` always connects
+    //! exactly once, first), which is exactly what a socket transport
+    //! would expose.
+
+    use crate::manager::{spawn_manager, LaunchAck, ManagerConfig};
+    use crate::proto::{Request, Response};
+    use crate::GrdLib;
+    use cuda_rt::{share_device, ArgPack, CudaApi, CudaError};
+    use gpu_sim::spec::test_gpu;
+    use gpu_sim::{Device, LaunchConfig};
+    use ptx::fatbin::FatBin;
+
+    fn mgr(pool: u64, ack: LaunchAck) -> crate::ManagerHandle {
+        spawn_manager(
+            share_device(Device::new(test_gpu())),
+            ManagerConfig {
+                pool_bytes: Some(pool),
+                launch_ack: ack,
+                ..ManagerConfig::default()
+            },
+            &[],
+        )
+        .unwrap()
+    }
+
+    /// A departing tenant's unsynchronized launches must be drained at
+    /// disconnect, *before* its partition returns to the pool — else the
+    /// stale commands would execute later, into whichever tenant the
+    /// partition is reallocated to.
+    #[test]
+    fn disconnect_drains_pending_launches_before_partition_reuse() {
+        let mut fb = FatBin::new();
+        fb.push_ptx("app", crate::fixtures::FILL);
+        let fb = fb.to_bytes().to_vec();
+        // Pool holds exactly one partition, so B provably reuses A's.
+        let mgr = spawn_manager(
+            share_device(Device::new(test_gpu())),
+            ManagerConfig {
+                pool_bytes: Some(4 << 20),
+                ..ManagerConfig::default()
+            },
+            &[&fb],
+        )
+        .unwrap();
+        let (a_base, a_buf) = {
+            let mut a = GrdLib::connect(&mgr, 4 << 20).unwrap();
+            let buf = a.cuda_malloc(4 * 64).unwrap();
+            let args = ArgPack::new().ptr(buf).u32(64).finish();
+            a.cuda_launch_kernel(
+                "fill",
+                LaunchConfig::linear(2, 32),
+                &args,
+                Default::default(),
+            )
+            .unwrap();
+            // No sync: the launch is still queued when A drops here.
+            (a.partition().0, buf)
+        };
+        // B can only connect once A's partition is back in the pool.
+        let mut b = None;
+        for _ in 0..100 {
+            if let Ok(lib) = GrdLib::connect(&mgr, 4 << 20) {
+                b = Some(lib);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let mut b = b.expect("partition not reclaimed");
+        assert_eq!(b.partition().0, a_base, "expected partition reuse");
+        let buf = b.cuda_malloc(4 * 64).unwrap();
+        assert_eq!(buf, a_buf, "expected allocation reuse");
+        b.cuda_memcpy_h2d(buf, &[0u8; 4 * 64]).unwrap();
+        b.cuda_device_synchronize().unwrap();
+        let out = b.cuda_memcpy_d2h(buf, 4 * 64).unwrap();
+        assert_eq!(
+            out,
+            vec![0u8; 4 * 64],
+            "A's stale launch executed into B's partition"
+        );
+        drop(b);
+        mgr.shutdown();
+    }
+
+    /// A second `Connect` on a live session is rejected instead of
+    /// silently replacing the tracked tenant — otherwise the first
+    /// tenant's partition would leak and a hostile peer could drain the
+    /// pool one orphan at a time.
+    #[test]
+    fn double_connect_is_rejected_and_leaks_nothing() {
+        let mgr = mgr(8 << 20, LaunchAck::Eager);
+        let conn = mgr.dial().unwrap();
+        conn.send(
+            Request::Connect {
+                mem_requirement: 4 << 20,
+            }
+            .encode(),
+        )
+        .unwrap();
+        let first = Response::decode(&conn.recv().unwrap()).unwrap();
+        assert!(matches!(first, Response::Connected(_)), "{first:?}");
+        conn.send(
+            Request::Connect {
+                mem_requirement: 4 << 20,
+            }
+            .encode(),
+        )
+        .unwrap();
+        let second = Response::decode(&conn.recv().unwrap()).unwrap();
+        assert!(
+            matches!(second, Response::Error(CudaError::InvalidValue)),
+            "{second:?}"
+        );
+        // Dropping the connection disconnects the one real tenant; the
+        // whole pool must come back (a leaked orphan would pin 4 MiB).
+        drop(conn);
+        let mut reclaimed = false;
+        for _ in 0..100 {
+            if GrdLib::connect(&mgr, 8 << 20).is_ok() {
+                reclaimed = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(reclaimed, "partition leaked by rejected double connect");
+        mgr.shutdown();
+    }
+
+    /// Under deferred acks, `Launch` must be one-way even when the
+    /// session has no tenant: an error frame here would be read by the
+    /// peer as the reply to its *next* round-trip call, desynchronizing
+    /// the stream permanently.
+    #[test]
+    fn deferred_launch_without_tenancy_sends_no_frame() {
+        let mgr = mgr(4 << 20, LaunchAck::Deferred);
+        let conn = mgr.dial().unwrap();
+        conn.send(
+            Request::Launch {
+                kernel: "nope".into(),
+                cfg: LaunchConfig::linear(1, 1),
+                args: vec![],
+                driver_level: false,
+            }
+            .encode(),
+        )
+        .unwrap();
+        // The next round-trip call must receive *its own* reply, not a
+        // stale launch error.
+        conn.send(Request::DeviceNow.encode()).unwrap();
+        let resp = Response::decode(&conn.recv().unwrap()).unwrap();
+        assert!(matches!(resp, Response::Cycles(_)), "{resp:?}");
+        // Eager mode keeps the synchronous error for the same probe.
+        drop(conn);
+        mgr.shutdown();
+        let mgr = self::mgr(4 << 20, LaunchAck::Eager);
+        let conn = mgr.dial().unwrap();
+        conn.send(
+            Request::Launch {
+                kernel: "nope".into(),
+                cfg: LaunchConfig::linear(1, 1),
+                args: vec![],
+                driver_level: false,
+            }
+            .encode(),
+        )
+        .unwrap();
+        let resp = Response::decode(&conn.recv().unwrap()).unwrap();
+        assert!(
+            matches!(resp, Response::Error(CudaError::InvalidValue)),
+            "{resp:?}"
+        );
+        drop(conn);
+        mgr.shutdown();
+    }
+}

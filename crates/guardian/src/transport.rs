@@ -1,0 +1,194 @@
+//! Transport abstraction between `grdLib` and the grdManager.
+//!
+//! The wire protocol ([`crate::proto`]) produces self-contained byte
+//! frames; this module defines how frames travel. Three small traits model
+//! a connection-oriented transport the way sockets do:
+//!
+//! * [`Connection`] — a bidirectional, ordered, reliable frame pipe. One
+//!   connection per tenant: the manager derives the client identity from
+//!   the connection, not from message contents.
+//! * [`Listener`] — the manager side: yields the server half of each new
+//!   connection.
+//! * [`Dialer`] — the client side: opens new connections.
+//!
+//! [`channel_transport`] provides the in-process implementation used by
+//! this reproduction (two `crossbeam` byte-frame channels per connection).
+//! Because nothing above this layer sees anything but byte frames, a Unix
+//! domain socket or shared-memory ring implementation could be swapped in
+//! without touching `grdLib`, the session layer, or the manager.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::fmt;
+
+/// Transport-level failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer (or the listener) has gone away.
+    Disconnected,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Disconnected => f.write_str("transport disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A bidirectional, ordered, reliable byte-frame pipe.
+pub trait Connection: Send {
+    /// Send one frame to the peer.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Disconnected`] if the peer is gone.
+    fn send(&self, frame: Vec<u8>) -> Result<(), TransportError>;
+
+    /// Block until the peer's next frame arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Disconnected`] if the peer is gone and no frames
+    /// remain.
+    fn recv(&self) -> Result<Vec<u8>, TransportError>;
+}
+
+/// The accepting (manager) side of a transport.
+pub trait Listener: Send {
+    /// Block until a client opens a connection; returns the server half.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Disconnected`] once no dialer can ever connect
+    /// again (shutdown).
+    fn accept(&self) -> Result<Box<dyn Connection>, TransportError>;
+}
+
+/// The connecting (client) side of a transport.
+pub trait Dialer: Send + Sync {
+    /// Open a new connection to the manager; returns the client half.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Disconnected`] if the listener is gone.
+    fn dial(&self) -> Result<Box<dyn Connection>, TransportError>;
+}
+
+/// In-process connection half: a pair of byte-frame channels.
+pub struct ChannelConnection {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl Connection for ChannelConnection {
+    fn send(&self, frame: Vec<u8>) -> Result<(), TransportError> {
+        self.tx
+            .send(frame)
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv(&self) -> Result<Vec<u8>, TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Disconnected)
+    }
+}
+
+/// In-process listener: receives server halves from [`ChannelDialer`]s.
+pub struct ChannelListener {
+    incoming: Receiver<ChannelConnection>,
+}
+
+impl Listener for ChannelListener {
+    fn accept(&self) -> Result<Box<dyn Connection>, TransportError> {
+        self.incoming
+            .recv()
+            .map(|c| Box::new(c) as Box<dyn Connection>)
+            .map_err(|_| TransportError::Disconnected)
+    }
+}
+
+/// In-process dialer: builds a duplex channel pair per connection and
+/// hands the server half to the listener.
+pub struct ChannelDialer {
+    // Mutex so the dialer is Sync regardless of the channel Sender's own
+    // Sync-ness (the shim wraps std::sync::mpsc).
+    to_listener: Mutex<Sender<ChannelConnection>>,
+}
+
+impl Dialer for ChannelDialer {
+    fn dial(&self) -> Result<Box<dyn Connection>, TransportError> {
+        let (c2s_tx, c2s_rx) = unbounded();
+        let (s2c_tx, s2c_rx) = unbounded();
+        let server = ChannelConnection {
+            tx: s2c_tx,
+            rx: c2s_rx,
+        };
+        let client = ChannelConnection {
+            tx: c2s_tx,
+            rx: s2c_rx,
+        };
+        self.to_listener
+            .lock()
+            .send(server)
+            .map_err(|_| TransportError::Disconnected)?;
+        Ok(Box::new(client))
+    }
+}
+
+/// Create a connected in-process listener/dialer pair.
+///
+/// Dropping the dialer closes the listener (its `accept` starts failing),
+/// which is how the manager's acceptor thread learns to shut down.
+pub fn channel_transport() -> (ChannelListener, ChannelDialer) {
+    let (tx, rx) = unbounded();
+    (
+        ChannelListener { incoming: rx },
+        ChannelDialer {
+            to_listener: Mutex::new(tx),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_in_order() {
+        let (listener, dialer) = channel_transport();
+        let client = dialer.dial().unwrap();
+        let server = listener.accept().unwrap();
+        client.send(vec![1]).unwrap();
+        client.send(vec![2, 2]).unwrap();
+        assert_eq!(server.recv().unwrap(), vec![1]);
+        assert_eq!(server.recv().unwrap(), vec![2, 2]);
+        server.send(vec![3]).unwrap();
+        assert_eq!(client.recv().unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn connections_are_independent() {
+        let (listener, dialer) = channel_transport();
+        let c1 = dialer.dial().unwrap();
+        let c2 = dialer.dial().unwrap();
+        let s1 = listener.accept().unwrap();
+        let s2 = listener.accept().unwrap();
+        c2.send(vec![2]).unwrap();
+        c1.send(vec![1]).unwrap();
+        assert_eq!(s1.recv().unwrap(), vec![1]);
+        assert_eq!(s2.recv().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn drop_propagates_as_disconnect() {
+        let (listener, dialer) = channel_transport();
+        let client = dialer.dial().unwrap();
+        let server = listener.accept().unwrap();
+        drop(client);
+        assert_eq!(server.recv(), Err(TransportError::Disconnected));
+        drop(dialer);
+        assert!(listener.accept().is_err());
+    }
+}

@@ -65,10 +65,7 @@ fn main() {
             "{deployment:<42} attacker alive: {:<5} victim alive: {:<5} data intact: {}",
             attacker_alive, victim_alive, intact
         );
-        drop(t.runtimes);
-        if let Some(m) = t.manager {
-            m.shutdown();
-        }
+        // `t` drops here: tenants disconnect, then the manager joins.
     }
     println!("\nExpected: no-protection corrupts silently; MPS kills everyone;\nnative survives by not sharing spatially; Guardian fencing keeps the\nvictim intact with everyone alive; checking terminates only the attacker.");
 }

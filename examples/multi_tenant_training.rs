@@ -48,5 +48,5 @@ fn main() {
         dev.fault_log().len()
     );
     drop(dev);
-    tenancy.manager.unwrap().shutdown();
+    // The manager's threads are joined when `tenancy` drops here.
 }

@@ -81,6 +81,6 @@ fn main() {
         "simulated device time: {:.3} ms",
         device.lock().elapsed_secs() * 1e3
     );
-    drop(tenancy.runtimes);
-    tenancy.manager.unwrap().shutdown();
+    // Teardown is Drop-based: tenants disconnect, then the manager handle
+    // joins the grdManager's threads.
 }
