@@ -20,9 +20,21 @@
 
 use crate::manager::{ClientId, ManagerHandle};
 use crate::proto::{Request, Response};
-use crate::transport::Connection;
+use crate::transport::{shm::ShmDialer, uds::UdsDialer, Connection, Dialer, TransportError};
 use cuda_rt::{CudaApi, CudaError, CudaResult, DevicePtr, EventHandle, ModuleHandle, Stream};
 use gpu_sim::LaunchConfig;
+use std::path::Path;
+
+/// Map a transport failure onto the CUDA error surface: a vanished peer
+/// is [`CudaError::Disconnected`]; everything else (oversized frame,
+/// version skew, OS error) keeps its context instead of masquerading as
+/// a disconnect.
+fn transport_to_cuda(e: TransportError) -> CudaError {
+    match e {
+        TransportError::Disconnected => CudaError::Disconnected,
+        other => CudaError::Rejected(format!("transport failure: {other}")),
+    }
+}
 
 /// The client-side stub. One per tenant application.
 pub struct GrdLib {
@@ -48,7 +60,63 @@ impl GrdLib {
     /// [`CudaError::OutOfMemory`] when no partition of the requested size
     /// is available; [`CudaError::Disconnected`] if the manager is gone.
     pub fn connect(handle: &ManagerHandle, mem_requirement: u64) -> CudaResult<Self> {
-        let conn = handle.dial().map_err(|_| CudaError::Disconnected)?;
+        let conn = handle.dial().map_err(transport_to_cuda)?;
+        Self::connect_over(conn, mem_requirement)
+    }
+
+    /// Connect to a grdManager serving a Unix-domain-socket transport at
+    /// `socket` — typically a `guardiand` daemon in another OS process.
+    ///
+    /// # Errors
+    ///
+    /// As [`GrdLib::connect`], plus transport-level failures (daemon not
+    /// listening, version skew) surfaced as
+    /// [`CudaError::Disconnected`]/[`CudaError::Rejected`].
+    pub fn dial_uds(socket: impl AsRef<Path>, mem_requirement: u64) -> CudaResult<Self> {
+        let conn = UdsDialer::new(socket).dial().map_err(transport_to_cuda)?;
+        Self::connect_over(conn, mem_requirement)
+    }
+
+    /// Connect to a grdManager over the shared-memory ring transport,
+    /// handshaking on the Unix socket at `socket`. Same process model as
+    /// [`GrdLib::dial_uds`] but frames cross an mmap'd SPSC ring instead
+    /// of the kernel — the fast path for launch-heavy tenants.
+    ///
+    /// The ring bounds the largest single frame: with the default 1 MiB
+    /// ring ([`DEFAULT_RING_CAPACITY`](crate::transport::shm::DEFAULT_RING_CAPACITY)),
+    /// one `cuda_memcpy_h2d` payload or fatbin must stay under
+    /// capacity − 4 bytes. Transfer-heavy tenants should size the ring
+    /// with [`GrdLib::dial_shm_with_capacity`] (or use uds, whose frame
+    /// limit is 64 MiB).
+    ///
+    /// # Errors
+    ///
+    /// As [`GrdLib::dial_uds`].
+    pub fn dial_shm(socket: impl AsRef<Path>, mem_requirement: u64) -> CudaResult<Self> {
+        let conn = ShmDialer::new(socket).dial().map_err(transport_to_cuda)?;
+        Self::connect_over(conn, mem_requirement)
+    }
+
+    /// [`GrdLib::dial_shm`] with an explicit per-direction ring capacity
+    /// in bytes (power of two, 4 KiB – 1 GiB). The largest sendable
+    /// frame is `ring_capacity - 4` bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`GrdLib::dial_uds`].
+    ///
+    /// # Panics
+    ///
+    /// On an out-of-range capacity — a configuration error, not a
+    /// runtime condition.
+    pub fn dial_shm_with_capacity(
+        socket: impl AsRef<Path>,
+        mem_requirement: u64,
+        ring_capacity: u32,
+    ) -> CudaResult<Self> {
+        let conn = ShmDialer::with_capacity(socket, ring_capacity)
+            .dial()
+            .map_err(transport_to_cuda)?;
         Self::connect_over(conn, mem_requirement)
     }
 
@@ -103,8 +171,8 @@ impl GrdLib {
     /// from borrowed buffers via `proto::encode_*`, skipping the owned
     /// `Request`).
     fn call_frame(&self, frame: Vec<u8>) -> CudaResult<Response> {
-        self.conn.send(frame).map_err(|_| CudaError::Disconnected)?;
-        let frame = self.conn.recv().map_err(|_| CudaError::Disconnected)?;
+        self.conn.send(frame).map_err(transport_to_cuda)?;
+        let frame = self.conn.recv().map_err(transport_to_cuda)?;
         match Response::decode(&frame).map_err(|_| CudaError::Disconnected)? {
             Response::Error(e) => Err(e),
             resp => Ok(resp),
@@ -113,9 +181,7 @@ impl GrdLib {
 
     /// One-way message: encode and send without awaiting a response.
     fn send(&self, req: &Request) -> CudaResult<()> {
-        self.conn
-            .send(req.encode())
-            .map_err(|_| CudaError::Disconnected)
+        self.conn.send(req.encode()).map_err(transport_to_cuda)
     }
 
     fn call_unit(&self, req: &Request) -> CudaResult<()> {
@@ -148,7 +214,7 @@ impl GrdLib {
             // True async enqueue: fire and forget; launch errors surface
             // at the next synchronization point (CUDA's async error
             // model).
-            self.conn.send(frame).map_err(|_| CudaError::Disconnected)
+            self.conn.send(frame).map_err(transport_to_cuda)
         } else {
             self.call_frame_unit(frame)
         }
@@ -311,5 +377,121 @@ impl Drop for GrdLib {
         // session also treats a vanished connection as a disconnect, so a
         // crashed tenant cannot leak its partition.
         let _ = self.send(&Request::Disconnect);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! The same tenant workload over every transport: the stub is
+    //! transport-agnostic, so the only thing these tests vary is how the
+    //! manager was bound and how the tenant dialed.
+
+    use crate::manager::{spawn_manager_over, ManagerConfig};
+    use crate::transport::BoundTransport;
+    use crate::GrdLib;
+    use cuda_rt::{share_device, ArgPack, CudaApi, CudaError};
+    use gpu_sim::spec::test_gpu;
+    use gpu_sim::{Device, LaunchConfig};
+    use ptx::fatbin::FatBin;
+    use std::path::PathBuf;
+
+    fn temp_sock(tag: &str) -> PathBuf {
+        crate::fixtures::temp_socket_path(&format!("lib-{tag}"))
+    }
+
+    fn fill_fatbin() -> Vec<u8> {
+        let mut fb = FatBin::new();
+        fb.push_ptx("app", crate::fixtures::FILL);
+        fb.to_bytes().to_vec()
+    }
+
+    /// Run the end-to-end tenant workload (register, malloc, launch,
+    /// sync, read back, bounds rejection) over an already-bound manager.
+    fn exercise(mut lib: GrdLib) {
+        lib.register_fatbin(&fill_fatbin()).unwrap();
+        let buf = lib.cuda_malloc(4 * 64).unwrap();
+        let args = ArgPack::new().ptr(buf).u32(64).finish();
+        lib.cuda_launch_kernel(
+            "fill",
+            LaunchConfig::linear(2, 32),
+            &args,
+            Default::default(),
+        )
+        .unwrap();
+        lib.cuda_device_synchronize().unwrap();
+        let out = lib.cuda_memcpy_d2h(buf, 4 * 64).unwrap();
+        for i in 0..64u32 {
+            let v = u32::from_le_bytes(out[i as usize * 4..][..4].try_into().unwrap());
+            assert_eq!(v, i);
+        }
+        // Out-of-partition transfer still rejected across the boundary.
+        let (base, size) = lib.partition();
+        assert!(matches!(
+            lib.cuda_memcpy_h2d(base + size, &[0u8; 4]),
+            Err(CudaError::Rejected(_))
+        ));
+    }
+
+    #[test]
+    fn tenant_runs_over_uds_manager() {
+        let path = temp_sock("uds");
+        let mgr = spawn_manager_over(
+            share_device(Device::new(test_gpu())),
+            ManagerConfig {
+                pool_bytes: Some(8 << 20),
+                ..ManagerConfig::default()
+            },
+            &[],
+            BoundTransport::uds(&path).unwrap(),
+        )
+        .unwrap();
+        exercise(GrdLib::dial_uds(&path, 4 << 20).unwrap());
+        // Shutdown must join cleanly despite the kernel-blocked accept.
+        mgr.shutdown();
+        assert!(!path.exists(), "socket file not removed at shutdown");
+    }
+
+    #[test]
+    fn tenant_runs_over_shm_manager() {
+        let path = temp_sock("shm");
+        let mgr = spawn_manager_over(
+            share_device(Device::new(test_gpu())),
+            ManagerConfig {
+                pool_bytes: Some(8 << 20),
+                ..ManagerConfig::default()
+            },
+            &[],
+            BoundTransport::shm(&path).unwrap(),
+        )
+        .unwrap();
+        exercise(GrdLib::dial_shm(&path, 4 << 20).unwrap());
+        mgr.shutdown();
+        assert!(!path.exists(), "handshake socket not removed at shutdown");
+    }
+
+    #[test]
+    fn merged_transport_serves_uds_and_shm_tenants() {
+        let uds_path = temp_sock("m-uds");
+        let shm_path = temp_sock("m-shm");
+        let transport = BoundTransport::merge(vec![
+            BoundTransport::uds(&uds_path).unwrap(),
+            BoundTransport::shm(&shm_path).unwrap(),
+        ]);
+        let mgr = spawn_manager_over(
+            share_device(Device::new(test_gpu())),
+            ManagerConfig {
+                pool_bytes: Some(8 << 20),
+                ..ManagerConfig::default()
+            },
+            &[],
+            transport,
+        )
+        .unwrap();
+        let a = GrdLib::dial_uds(&uds_path, 2 << 20).unwrap();
+        let b = GrdLib::dial_shm(&shm_path, 2 << 20).unwrap();
+        // Distinct tenants of one manager: disjoint partitions.
+        assert_ne!(a.partition().0, b.partition().0);
+        drop((a, b));
+        mgr.shutdown();
     }
 }

@@ -15,8 +15,11 @@
 //!   inside messages), so the tenant boundary could genuinely be a socket
 //!   or shared-memory ring.
 //! * [`transport`] — how frames travel: `Connection`/`Listener`/`Dialer`
-//!   traits with the in-process channel implementation behind them; one
-//!   connection per tenant, the connection is the identity.
+//!   traits with three implementations — in-process channels, Unix domain
+//!   sockets ([`transport::uds`]), and shared-memory rings
+//!   ([`transport::shm`]); one connection per tenant, the connection is
+//!   the identity. The socket transports make tenants real OS processes
+//!   (see the `guardiand` daemon crate).
 //! * [`manager`] — the `grdManager` **control plane**: a serialized
 //!   thread owning the partition table (power-of-two, contiguous —
 //!   [`alloc`]) and the sandboxed-kernel registry; handles connect,
@@ -77,16 +80,29 @@ pub use alloc::{AllocError, Partition, PartitionAllocator, RegionAllocator};
 pub use backends::{deploy, Capabilities, Deployment, MpsClient, Tenancy};
 pub use grdlib::GrdLib;
 pub use manager::{
-    spawn_manager, ClientId, DispatchMode, InterceptionStats, LaunchAck, LaunchStats,
-    ManagerConfig, ManagerHandle,
+    spawn_manager, spawn_manager_over, ClientId, DispatchMode, InterceptionStats, LaunchAck,
+    LaunchStats, ManagerConfig, ManagerHandle,
 };
 pub use ptx_patcher::Protection;
+pub use transport::BoundTransport;
 
 pub mod fixtures {
     //! PTX kernel fixtures shared by guardian's unit tests, the
     //! workspace stress suite, and the dispatch benches — one canonical
     //! copy so the kernels the security tests confine are byte-identical
-    //! to the ones the stress/throughput harnesses drive.
+    //! to the ones the stress/throughput harnesses drive. Also hosts the
+    //! socket-path helper the transport tests and benches share.
+
+    /// A fresh, collision-free socket path in the system temp directory.
+    /// Test/bench support for the socket transports: unique per call
+    /// (process id + counter) so concurrently running suites never race
+    /// on a path.
+    pub fn temp_socket_path(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("grd-{}-{tag}-{n}.sock", std::process::id()))
+    }
 
     /// A well-behaved kernel writing tid into out[tid] (`fill`).
     pub const FILL: &str = r#"

@@ -22,7 +22,7 @@
 
 use crate::alloc::{PartitionAllocator, RegionAllocator};
 use crate::session::{self, ClientShared, EventTable, KernelTable, Shared};
-use crate::transport::{channel_transport, Connection, Dialer};
+use crate::transport::{BoundTransport, Connection, Dialer};
 use crate::{proto, transport};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use cuda_rt::{CudaError, CudaResult, DevicePtr, SharedDevice};
@@ -437,6 +437,9 @@ struct ManagerInner {
     /// Dropped first on shutdown: closes the listener so the acceptor
     /// stops taking new connections.
     dialer: Option<Box<dyn Dialer>>,
+    /// Forces a kernel-blocked `accept` (socket transports) to return at
+    /// shutdown; the in-process channel transport needs none.
+    unblock: Option<transport::UnblockFn>,
     device: SharedDevice,
     ctrl_tx: Option<Sender<CtrlMsg>>,
     acceptor: Option<JoinHandle<()>>,
@@ -445,8 +448,12 @@ struct ManagerInner {
 
 impl Drop for ManagerInner {
     fn drop(&mut self) {
-        // 1. Close the listener: no new connections.
+        // 1. Close the listener: no new connections. Socket listeners
+        //    block in the kernel, so fire their wake-up hook too.
         self.dialer.take();
+        if let Some(unblock) = self.unblock.take() {
+            unblock();
+        }
         // 2. Join the acceptor; it joins every session, and sessions end
         //    when their client half drops — so this blocks until all
         //    tenants have disconnected, like the old explicit shutdown.
@@ -544,6 +551,23 @@ pub fn spawn_manager(
     config: ManagerConfig,
     fatbins: &[&[u8]],
 ) -> CudaResult<ManagerHandle> {
+    spawn_manager_over(device, config, fatbins, BoundTransport::channel())
+}
+
+/// Spawn a grdManager serving an explicit transport — this is how the
+/// manager ends up behind a Unix socket ([`BoundTransport::uds`]) or a
+/// shared-memory ring ([`BoundTransport::shm`]) so tenants can be real OS
+/// processes; [`spawn_manager`] is the in-process special case.
+///
+/// # Errors
+///
+/// As [`spawn_manager`].
+pub fn spawn_manager_over(
+    device: SharedDevice,
+    config: ManagerConfig,
+    fatbins: &[&[u8]],
+    transport_over: BoundTransport,
+) -> CudaResult<ManagerHandle> {
     let ctx = device.lock().create_context()?;
     // Reserve the partition pool: all of free memory rounded down to a
     // power of two (or the configured size), self-aligned for fencing.
@@ -583,16 +607,21 @@ pub fn spawn_manager(
     for fb in fatbins {
         control.register_fatbin(fb)?;
     }
-    let (listener, dialer) = channel_transport();
+    let BoundTransport {
+        listener,
+        dialer,
+        unblock,
+    } = transport_over;
     let (ctrl_tx, ctrl_rx) = unbounded();
     let control_join = std::thread::Builder::new()
         .name("grdManager".into())
         .spawn(move || control.run(ctrl_rx))
         .expect("spawn grdManager thread");
-    let acceptor_join = session::spawn_acceptor(Box::new(listener), shared, ctrl_tx.clone());
+    let acceptor_join = session::spawn_acceptor(listener, shared, ctrl_tx.clone());
     Ok(ManagerHandle {
         inner: Arc::new(ManagerInner {
-            dialer: Some(Box::new(dialer)),
+            dialer: Some(dialer),
+            unblock,
             device,
             ctrl_tx: Some(ctrl_tx),
             acceptor: Some(acceptor_join),

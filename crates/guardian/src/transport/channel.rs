@@ -1,81 +1,10 @@
-//! Transport abstraction between `grdLib` and the grdManager.
-//!
-//! The wire protocol ([`crate::proto`]) produces self-contained byte
-//! frames; this module defines how frames travel. Three small traits model
-//! a connection-oriented transport the way sockets do:
-//!
-//! * [`Connection`] — a bidirectional, ordered, reliable frame pipe. One
-//!   connection per tenant: the manager derives the client identity from
-//!   the connection, not from message contents.
-//! * [`Listener`] — the manager side: yields the server half of each new
-//!   connection.
-//! * [`Dialer`] — the client side: opens new connections.
-//!
-//! [`channel_transport`] provides the in-process implementation used by
-//! this reproduction (two `crossbeam` byte-frame channels per connection).
-//! Because nothing above this layer sees anything but byte frames, a Unix
-//! domain socket or shared-memory ring implementation could be swapped in
-//! without touching `grdLib`, the session layer, or the manager.
+//! In-process channel transport: two `crossbeam` byte-frame channels per
+//! connection. The cheapest carrier — no copies beyond the frame itself,
+//! no syscalls — used by tests, benches, and single-process deployments.
 
+use super::{Connection, Dialer, Listener, TransportError};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::fmt;
-
-/// Transport-level failures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TransportError {
-    /// The peer (or the listener) has gone away.
-    Disconnected,
-}
-
-impl fmt::Display for TransportError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TransportError::Disconnected => f.write_str("transport disconnected"),
-        }
-    }
-}
-
-impl std::error::Error for TransportError {}
-
-/// A bidirectional, ordered, reliable byte-frame pipe.
-pub trait Connection: Send {
-    /// Send one frame to the peer.
-    ///
-    /// # Errors
-    ///
-    /// [`TransportError::Disconnected`] if the peer is gone.
-    fn send(&self, frame: Vec<u8>) -> Result<(), TransportError>;
-
-    /// Block until the peer's next frame arrives.
-    ///
-    /// # Errors
-    ///
-    /// [`TransportError::Disconnected`] if the peer is gone and no frames
-    /// remain.
-    fn recv(&self) -> Result<Vec<u8>, TransportError>;
-}
-
-/// The accepting (manager) side of a transport.
-pub trait Listener: Send {
-    /// Block until a client opens a connection; returns the server half.
-    ///
-    /// # Errors
-    ///
-    /// [`TransportError::Disconnected`] once no dialer can ever connect
-    /// again (shutdown).
-    fn accept(&self) -> Result<Box<dyn Connection>, TransportError>;
-}
-
-/// The connecting (client) side of a transport.
-pub trait Dialer: Send + Sync {
-    /// Open a new connection to the manager; returns the client half.
-    ///
-    /// # Errors
-    ///
-    /// [`TransportError::Disconnected`] if the listener is gone.
-    fn dial(&self) -> Result<Box<dyn Connection>, TransportError>;
-}
 
 /// In-process connection half: a pair of byte-frame channels.
 pub struct ChannelConnection {

@@ -1,0 +1,376 @@
+//! Byte-stream framing shared by the stream-oriented transports.
+//!
+//! Unix sockets (and any future TCP transport) deliver a byte *stream*;
+//! the wire protocol deals in self-contained *frames*. This module pins
+//! down the mapping:
+//!
+//! * each direction of a stream starts with a 4-byte preamble
+//!   ([`PREAMBLE`]): the ASCII magic `GRD` plus [`TRANSPORT_VERSION`], so
+//!   version skew is detected at connection time instead of surfacing as
+//!   garbled frames mid-session;
+//! * each frame is a little-endian `u32` length prefix followed by that
+//!   many payload bytes.
+//!
+//! [`FrameDecoder`] is a pure incremental reassembler: feed it the chunks
+//! the OS hands you — however the kernel split them — and it yields
+//! complete frames. Keeping it free of I/O makes the reassembly logic
+//! property-testable over adversarial splits (see the proptests below),
+//! which is exactly the code path a hostile tenant controls.
+
+use super::TransportError;
+
+/// Version of the stream framing (independent of
+/// [`crate::proto::PROTO_VERSION`], which versions frame *contents*).
+pub const TRANSPORT_VERSION: u8 = 1;
+
+/// Magic bytes opening each direction of a framed stream.
+pub const PREAMBLE: [u8; 4] = [b'G', b'R', b'D', TRANSPORT_VERSION];
+
+/// Default per-frame size limit. Large enough for any realistic fatbin
+/// or H2D payload, small enough that a hostile length prefix cannot make
+/// the manager allocate unbounded memory.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Validate a received preamble.
+///
+/// # Errors
+///
+/// [`TransportError::Io`] when the magic bytes are wrong (the peer is not
+/// speaking this protocol at all), [`TransportError::VersionMismatch`]
+/// when the magic matches but the version differs.
+pub fn check_preamble(got: &[u8; 4]) -> Result<(), TransportError> {
+    if got[..3] != PREAMBLE[..3] {
+        return Err(TransportError::Io {
+            op: "handshake",
+            kind: std::io::ErrorKind::InvalidData,
+            detail: format!("bad preamble magic {:02x?}", &got[..3]),
+        });
+    }
+    if got[3] != TRANSPORT_VERSION {
+        return Err(TransportError::VersionMismatch {
+            got: got[3],
+            want: TRANSPORT_VERSION,
+        });
+    }
+    Ok(())
+}
+
+/// Encode one frame: length prefix + payload.
+///
+/// # Errors
+///
+/// [`TransportError::FrameTooLarge`] when the payload exceeds
+/// `max_frame` — checked on the *sending* side so an oversized frame
+/// fails locally instead of poisoning the stream for the peer.
+pub fn encode_frame(payload: &[u8], max_frame: u32) -> Result<Vec<u8>, TransportError> {
+    if payload.len() as u64 > max_frame as u64 {
+        return Err(TransportError::FrameTooLarge {
+            len: payload.len() as u64,
+            max: max_frame as u64,
+        });
+    }
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    Ok(buf)
+}
+
+/// Incremental frame reassembler for a length-prefixed byte stream.
+///
+/// Push bytes in whatever chunks arrive; pull complete frames out. The
+/// decoder carries at most one partial frame plus unconsumed input, so
+/// memory stays bounded by `max_frame` + the largest chunk pushed.
+pub struct FrameDecoder {
+    max_frame: u32,
+    /// Unconsumed stream bytes (compacted lazily).
+    buf: Vec<u8>,
+    /// Read cursor into `buf`.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max_frame` as the per-frame size limit.
+    pub fn new(max_frame: u32) -> Self {
+        FrameDecoder {
+            max_frame,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Feed stream bytes into the decoder, exactly as received.
+    pub fn push(&mut self, chunk: &[u8]) {
+        // Compact before growing: everything before `pos` is consumed.
+        if self.pos > 0 && self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Try to extract the next complete frame.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::FrameTooLarge`] when a length prefix exceeds the
+    /// limit. The decoder is poisoned conceptually at that point — the
+    /// stream can no longer be trusted — so callers should drop the
+    /// connection.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len_bytes: [u8; 4] = self.buf[self.pos..self.pos + 4]
+            .try_into()
+            .expect("4-byte slice");
+        let len = u32::from_le_bytes(len_bytes);
+        if len > self.max_frame {
+            return Err(TransportError::FrameTooLarge {
+                len: len as u64,
+                max: self.max_frame as u64,
+            });
+        }
+        let total = 4 + len as usize;
+        if avail < total {
+            return Ok(None);
+        }
+        let frame = self.buf[self.pos + 4..self.pos + total].to_vec();
+        self.pos += total;
+        Ok(Some(frame))
+    }
+
+    /// Whether the decoder holds a partially received frame (or stray
+    /// bytes). Used to distinguish clean EOF from mid-frame truncation.
+    pub fn mid_frame(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_reassemble_across_any_split() {
+        let frames: Vec<Vec<u8>> = vec![vec![], vec![7], vec![1, 2, 3], vec![0xAB; 300]];
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f, MAX_FRAME).unwrap());
+        }
+        // Feed one byte at a time: the worst-case split.
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let mut out = Vec::new();
+        for b in &stream {
+            dec.push(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(out, frames);
+        assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_not_allocated() {
+        let mut dec = FrameDecoder::new(1024);
+        dec.push(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(TransportError::FrameTooLarge {
+                len: u32::MAX as u64,
+                max: 1024,
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_send_fails_locally() {
+        let payload = vec![0u8; 10];
+        assert!(matches!(
+            encode_frame(&payload, 4),
+            Err(TransportError::FrameTooLarge { len: 10, max: 4 })
+        ));
+    }
+
+    #[test]
+    fn preamble_validation() {
+        assert!(check_preamble(&PREAMBLE).is_ok());
+        assert_eq!(
+            check_preamble(&[b'G', b'R', b'D', 99]),
+            Err(TransportError::VersionMismatch {
+                got: 99,
+                want: TRANSPORT_VERSION
+            })
+        );
+        assert!(matches!(
+            check_preamble(&[0, 0, 0, TRANSPORT_VERSION]),
+            Err(TransportError::Io {
+                op: "handshake",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_reports_mid_frame() {
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let enc = encode_frame(&[1, 2, 3, 4], MAX_FRAME).unwrap();
+        dec.push(&enc[..enc.len() - 1]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert!(dec.mid_frame());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    //! The satellite property: frame reassembly over adversarial partial
+    //! reads / split writes round-trips every `proto` message on the uds
+    //! codec. The split points are drawn by proptest, so shrinking finds
+    //! the minimal pathological split when a regression appears.
+
+    use super::*;
+    use crate::proto::{ConnectInfo, Request, Response};
+    use proptest::collection::vec as pvec;
+    use proptest::prelude::*;
+    use proptest::strategy::BoxedStrategy;
+
+    fn arb_request() -> BoxedStrategy<Request> {
+        prop_oneof![
+            any::<u64>()
+                .prop_map(|mem_requirement| Request::Connect { mem_requirement })
+                .boxed(),
+            Just(Request::Disconnect).boxed(),
+            pvec(any::<u8>(), 0..300)
+                .prop_map(|bytes| Request::RegisterFatbin { bytes })
+                .boxed(),
+            any::<u64>()
+                .prop_map(|bytes| Request::Malloc { bytes })
+                .boxed(),
+            (any::<u64>(), pvec(any::<u8>(), 0..300))
+                .prop_map(|(dst, data)| Request::MemcpyH2D { dst, data })
+                .boxed(),
+            (
+                pvec(0x20u8..0x7F, 0..24),
+                pvec(any::<u8>(), 0..128),
+                any::<bool>()
+            )
+                .prop_map(|(name, args, driver_level)| Request::Launch {
+                    kernel: name.into_iter().map(char::from).collect(),
+                    cfg: gpu_sim::LaunchConfig::linear(1, 32),
+                    args,
+                    driver_level,
+                })
+                .boxed(),
+            Just(Request::Sync).boxed(),
+            Just(Request::Stats).boxed(),
+        ]
+        .boxed()
+    }
+
+    fn arb_response() -> BoxedStrategy<Response> {
+        prop_oneof![
+            Just(Response::Unit).boxed(),
+            ((any::<u32>(), any::<u64>()), (any::<u64>(), any::<u64>()))
+                .prop_map(|((client, base), (size, ghz_bits))| {
+                    Response::Connected(ConnectInfo {
+                        client,
+                        clock_ghz: f64::from_bits(ghz_bits),
+                        partition_base: base,
+                        partition_size: size,
+                        deferred_launch: client % 2 == 0,
+                    })
+                })
+                .boxed(),
+            any::<u64>().prop_map(Response::Ptr).boxed(),
+            pvec(any::<u8>(), 0..300).prop_map(Response::Data).boxed(),
+            any::<u64>().prop_map(Response::Cycles).boxed(),
+        ]
+        .boxed()
+    }
+
+    /// Split `stream` at the given (wrapped) cut points and push the
+    /// chunks one by one, collecting every completed frame.
+    fn reassemble(stream: &[u8], cuts: &[u16]) -> Vec<Vec<u8>> {
+        let mut points: Vec<usize> = cuts
+            .iter()
+            .map(|&i| i as usize % (stream.len() + 1))
+            .collect();
+        points.push(0);
+        points.push(stream.len());
+        points.sort_unstable();
+        points.dedup();
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let mut out = Vec::new();
+        for w in points.windows(2) {
+            dec.push(&stream[w[0]..w[1]]);
+            while let Some(f) = dec.next_frame().expect("well-formed stream") {
+                out.push(f);
+            }
+        }
+        assert!(!dec.mid_frame(), "bytes left over after full stream");
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        /// A run of proto requests survives encode → arbitrary stream
+        /// splits → reassemble → decode, message for message.
+        #[test]
+        fn requests_round_trip_any_split(
+            reqs in pvec(arb_request(), 1..8),
+            cuts in pvec(any::<u16>(), 0..24),
+        ) {
+            let mut stream = Vec::new();
+            for req in &reqs {
+                stream.extend_from_slice(&encode_frame(&req.encode(), MAX_FRAME).unwrap());
+            }
+            let frames = reassemble(&stream, &cuts);
+            prop_assert_eq!(frames.len(), reqs.len());
+            for (frame, req) in frames.iter().zip(&reqs) {
+                prop_assert_eq!(&Request::decode(frame).expect("decode"), req);
+            }
+        }
+
+        /// Same law for responses (covers float payloads: frame bytes
+        /// compare exactly, NaN-safe).
+        #[test]
+        fn responses_round_trip_any_split(
+            resps in pvec(arb_response(), 1..8),
+            cuts in pvec(any::<u16>(), 0..24),
+        ) {
+            let mut stream = Vec::new();
+            let mut expect = Vec::new();
+            for resp in &resps {
+                let payload = resp.encode();
+                stream.extend_from_slice(&encode_frame(&payload, MAX_FRAME).unwrap());
+                expect.push(payload);
+            }
+            let frames = reassemble(&stream, &cuts);
+            prop_assert_eq!(&frames, &expect);
+            for frame in &frames {
+                Response::decode(frame).expect("decode");
+            }
+        }
+
+        /// Garbage bytes never panic the decoder: it either yields frames
+        /// (which `proto` then rejects in its own total decoder) or a
+        /// FrameTooLarge error, but no allocation blow-up or slice panic.
+        #[test]
+        fn decoder_total_on_garbage(
+            chunks in pvec(pvec(any::<u8>(), 0..64), 0..8),
+        ) {
+            let mut dec = FrameDecoder::new(4096);
+            for c in &chunks {
+                dec.push(c);
+                while let Ok(Some(_)) = dec.next_frame() {}
+            }
+        }
+    }
+}

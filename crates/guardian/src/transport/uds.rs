@@ -1,0 +1,319 @@
+//! Unix-domain-socket transport: tenants as real OS processes.
+//!
+//! Frames travel length-prefixed over `std::os::unix::net` streams (the
+//! [`super::frame`] codec handles partial-read reassembly, so however the
+//! kernel splits a write, the receiver sees whole frames). EOF — a tenant
+//! that exited, crashed, or was `SIGKILL`ed — surfaces as
+//! [`TransportError::Disconnected`], which is exactly what the session
+//! layer treats as an implicit disconnect: the partition is drained and
+//! freed through the same path a polite `Disconnect` frame takes.
+//!
+//! Each direction of a fresh connection opens with the 4-byte
+//! [`frame::PREAMBLE`] so version skew fails the handshake instead of
+//! corrupting mid-session frames.
+
+use super::frame::{self, FrameDecoder, MAX_FRAME, PREAMBLE};
+use super::{Connection, Dialer, Listener, TransportError};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a freshly accepted peer may take to complete the preamble
+/// exchange before its session gives up on it. The handshake runs on
+/// the connection's own session thread (never the accept loop), so this
+/// bounds how long a wedged client can pin one thread, not the daemon.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn io_err(op: &'static str, e: &std::io::Error) -> TransportError {
+    TransportError::from_io(op, e)
+}
+
+/// Exchange preambles on a fresh stream: write ours, read and validate
+/// the peer's. Order is safe because both sides write first — 4 bytes
+/// always fit in the socket buffer.
+fn handshake(stream: &UnixStream) -> Result<(), TransportError> {
+    stream
+        .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
+        .map_err(|e| io_err("handshake", &e))?;
+    (&*stream)
+        .write_all(&PREAMBLE)
+        .map_err(|e| io_err("handshake", &e))?;
+    let mut got = [0u8; 4];
+    (&*stream)
+        .read_exact(&mut got)
+        .map_err(|e| io_err("handshake", &e))?;
+    frame::check_preamble(&got)?;
+    stream
+        .set_read_timeout(None)
+        .map_err(|e| io_err("handshake", &e))?;
+    Ok(())
+}
+
+/// One framed Unix-socket connection (either half).
+pub struct UdsConnection {
+    stream: UnixStream,
+    /// Serializes writers so interleaved sends cannot shear a frame.
+    send_lock: Mutex<()>,
+    /// Reassembly state; also serializes readers.
+    recv_state: Mutex<FrameDecoder>,
+    /// `false` on freshly accepted server halves: the preamble exchange
+    /// is deferred to the connection's own session thread, so a wedged
+    /// or hostile client stalls only itself — never the accept loop.
+    handshaken: Mutex<bool>,
+}
+
+impl UdsConnection {
+    fn new(stream: UnixStream, handshaken: bool) -> Self {
+        UdsConnection {
+            stream,
+            send_lock: Mutex::new(()),
+            recv_state: Mutex::new(FrameDecoder::new(MAX_FRAME)),
+            handshaken: Mutex::new(handshaken),
+        }
+    }
+
+    /// Run the deferred preamble exchange once, on whichever thread
+    /// touches the connection first (in the manager: the session thread).
+    fn ensure_handshaken(&self) -> Result<(), TransportError> {
+        let mut done = self.handshaken.lock();
+        if !*done {
+            handshake(&self.stream)?;
+            *done = true;
+        }
+        Ok(())
+    }
+}
+
+impl Connection for UdsConnection {
+    fn send(&self, frame: Vec<u8>) -> Result<(), TransportError> {
+        self.ensure_handshaken()?;
+        let encoded = frame::encode_frame(&frame, MAX_FRAME)?;
+        let _guard = self.send_lock.lock();
+        (&self.stream)
+            .write_all(&encoded)
+            .map_err(|e| io_err("send", &e))
+    }
+
+    fn recv(&self) -> Result<Vec<u8>, TransportError> {
+        self.ensure_handshaken()?;
+        let mut dec = self.recv_state.lock();
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(f) = dec.next_frame()? {
+                return Ok(f);
+            }
+            let n = (&self.stream)
+                .read(&mut chunk)
+                .map_err(|e| io_err("recv", &e))?;
+            if n == 0 {
+                // EOF. Whether the peer exited cleanly or was SIGKILLed
+                // mid-frame, the session's answer is the same: treat the
+                // tenant as gone so its partition is reclaimed.
+                return Err(TransportError::Disconnected);
+            }
+            dec.push(&chunk[..n]);
+        }
+    }
+}
+
+/// Server side: a bound Unix socket accepting framed connections.
+pub struct UdsListener {
+    listener: UnixListener,
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+}
+
+impl UdsListener {
+    /// Bind at `path`, replacing any stale socket file from a previous
+    /// run. Returns the listener and an `unblock` closure that makes a
+    /// blocked [`Listener::accept`] return `Disconnected` (used by the
+    /// manager at shutdown — a kernel-blocked accept cannot be woken by
+    /// dropping a dialer the way the in-process transport is).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] when binding fails.
+    pub fn bind(path: &Path) -> Result<(Self, super::UnblockFn), TransportError> {
+        if path.exists() {
+            std::fs::remove_file(path).map_err(|e| io_err("bind", &e))?;
+        }
+        let listener = UnixListener::bind(path).map_err(|e| io_err("bind", &e))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let unblock = {
+            let stop = stop.clone();
+            let path = path.to_path_buf();
+            Box::new(move || {
+                stop.store(true, Ordering::SeqCst);
+                // Wake the kernel-blocked accept with a throwaway
+                // connection; the listener sees the flag and bails.
+                let _ = UnixStream::connect(&path);
+            })
+        };
+        Ok((
+            UdsListener {
+                listener,
+                path: path.to_path_buf(),
+                stop,
+            },
+            unblock,
+        ))
+    }
+
+    /// The socket path this listener serves.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Listener for UdsListener {
+    fn accept(&self) -> Result<Box<dyn Connection>, TransportError> {
+        let (stream, _) = self.listener.accept().map_err(|e| io_err("accept", &e))?;
+        if self.stop.load(Ordering::SeqCst) {
+            return Err(TransportError::Disconnected);
+        }
+        // The preamble exchange is deferred to the connection's first
+        // send/recv — i.e. its session thread — so a client that
+        // connects and then stalls (or speaks garbage) costs the accept
+        // loop nothing; its own session fails the handshake and exits.
+        Ok(Box::new(UdsConnection::new(stream, false)))
+    }
+}
+
+impl Drop for UdsListener {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Client side: dials framed connections to a [`UdsListener`].
+pub struct UdsDialer {
+    path: PathBuf,
+}
+
+impl UdsDialer {
+    /// A dialer for the manager socket at `path`.
+    pub fn new(path: impl AsRef<Path>) -> Self {
+        UdsDialer {
+            path: path.as_ref().to_path_buf(),
+        }
+    }
+}
+
+impl Dialer for UdsDialer {
+    fn dial(&self) -> Result<Box<dyn Connection>, TransportError> {
+        let stream = UnixStream::connect(&self.path).map_err(|e| io_err("dial", &e))?;
+        // Clients handshake eagerly: the server side completes its half
+        // as soon as the connection's session thread starts reading.
+        handshake(&stream)?;
+        Ok(Box::new(UdsConnection::new(stream, true)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_sock(tag: &str) -> PathBuf {
+        crate::fixtures::temp_socket_path(&format!("uds-test-{tag}"))
+    }
+
+    #[test]
+    fn frames_round_trip_over_socket() {
+        let path = temp_sock("rt");
+        let (listener, _unblock) = UdsListener::bind(&path).unwrap();
+        let dialer = UdsDialer::new(&path);
+        let server_thread = std::thread::spawn(move || {
+            let server = listener.accept().unwrap();
+            let got = server.recv().unwrap();
+            server.send(got.iter().rev().copied().collect()).unwrap();
+            // Big frame forces multiple reads on the client side.
+            server.send(vec![0x5A; 1 << 20]).unwrap();
+            server
+        });
+        let client = dialer.dial().unwrap();
+        client.send(vec![1, 2, 3]).unwrap();
+        assert_eq!(client.recv().unwrap(), vec![3, 2, 1]);
+        assert_eq!(client.recv().unwrap(), vec![0x5A; 1 << 20]);
+        drop(client);
+        let server = server_thread.join().unwrap();
+        assert_eq!(server.recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn unblock_wakes_a_kernel_blocked_accept() {
+        let path = temp_sock("eof");
+        let (listener, unblock) = UdsListener::bind(&path).unwrap();
+        let accept_thread = std::thread::spawn(move || (listener.accept().err(), listener));
+        std::thread::sleep(Duration::from_millis(20));
+        unblock();
+        let (woken, listener) = accept_thread.join().unwrap();
+        assert_eq!(woken, Some(TransportError::Disconnected));
+        drop(listener); // removes the socket file
+        assert!(!path.exists());
+    }
+
+    /// A client speaking the wrong framing version is rejected — by the
+    /// accepted connection's own first recv (i.e. its session thread),
+    /// not by the accept loop, which stays free for other clients.
+    #[test]
+    fn version_skew_fails_the_session_not_the_listener() {
+        let path = temp_sock("ver");
+        let (listener, _unblock) = UdsListener::bind(&path).unwrap();
+        let session_thread = std::thread::spawn(move || {
+            let conn = listener.accept().unwrap();
+            (conn.recv(), listener)
+        });
+        // Hand-rolled dial with a wrong version byte.
+        let stream = UnixStream::connect(&path).unwrap();
+        (&stream).write_all(&[b'G', b'R', b'D', 0x7F]).unwrap();
+        // The server half still sends its (valid) preamble first.
+        let mut got = [0u8; 4];
+        (&stream).read_exact(&mut got).unwrap();
+        assert!(frame::check_preamble(&got).is_ok());
+        let (r, _listener) = session_thread.join().unwrap();
+        assert_eq!(
+            r,
+            Err(TransportError::VersionMismatch {
+                got: 0x7F,
+                want: frame::TRANSPORT_VERSION
+            })
+        );
+        // The rejected connection was dropped: we observe EOF.
+        let mut probe = [0u8; 1];
+        assert_eq!((&stream).read(&mut probe).unwrap(), 0);
+    }
+
+    /// A client that connects and then goes silent wedges only its own
+    /// connection: the accept loop keeps serving, and a well-behaved
+    /// client dialing *afterwards* completes immediately.
+    #[test]
+    fn stalled_client_does_not_block_the_accept_loop() {
+        let path = temp_sock("stall");
+        let (listener, _unblock) = UdsListener::bind(&path).unwrap();
+        // The wedge: connect and send nothing, forever.
+        let _stalled = UnixStream::connect(&path).unwrap();
+        let server_thread = std::thread::spawn(move || {
+            let first = listener.accept().unwrap(); // the stalled client
+            let second = listener.accept().unwrap(); // the real one
+            let got = second.recv().unwrap();
+            (first, got)
+        });
+        let client = UdsDialer::new(&path).dial().unwrap();
+        client.send(vec![42]).unwrap();
+        let (_first, got) = server_thread.join().unwrap();
+        assert_eq!(got, vec![42]);
+    }
+
+    #[test]
+    fn dial_to_missing_socket_is_io_error() {
+        let dialer = UdsDialer::new("/nonexistent/grd.sock");
+        assert!(matches!(
+            dialer.dial(),
+            Err(TransportError::Io { op: "dial", .. })
+        ));
+    }
+}

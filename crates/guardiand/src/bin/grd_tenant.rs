@@ -1,0 +1,47 @@
+//! `grd-tenant`: one Guardian tenant as one OS process.
+//!
+//! Dials a `guardiand` daemon over uds or shm, registers its kernels
+//! (the well-behaved `fill` and the hostile `stomp`), announces itself
+//! with a `ready <client> <partition-base> <partition-size>` stdout
+//! line, then runs the requested workload. See `guardiand::run_workload`
+//! for the exit-code contract.
+
+use guardiand::{dial_retry, run_workload, tenant_fatbin, TenantOpts};
+use std::io::Write;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match TenantOpts::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("grd-tenant: {e}");
+            eprintln!(
+                "usage: grd-tenant --transport uds|shm --socket PATH \
+                 [--mem BYTES] [--workload fill|oob|storm] [--iters N] [--hold-ms N]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let mut lib = match dial_retry(opts.wire, &opts.socket, opts.mem, Duration::from_secs(10)) {
+        Ok(lib) => lib,
+        Err(e) => {
+            eprintln!("grd-tenant: connect failed: {e}");
+            std::process::exit(3);
+        }
+    };
+    if let Err(e) = cuda_rt::CudaApi::register_fatbin(&mut lib, &tenant_fatbin()) {
+        eprintln!("grd-tenant: fatbin registration failed: {e}");
+        std::process::exit(3);
+    }
+
+    let (base, size) = lib.partition();
+    println!("ready {} {base} {size}", lib.client_id().0);
+    let _ = std::io::stdout().flush();
+    if opts.hold_ms > 0 {
+        std::thread::sleep(Duration::from_millis(opts.hold_ms));
+    }
+
+    std::process::exit(run_workload(&mut lib, opts.workload, opts.iters));
+}

@@ -1,0 +1,453 @@
+//! # guardiand — Guardian's manager as an OS daemon
+//!
+//! The paper's deployment model (§4): one trusted `grdManager` process
+//! owns the GPU; untrusted tenants are *separate OS processes* whose
+//! intercepted CUDA calls cross a real IPC boundary. This crate packages
+//! that model:
+//!
+//! * the **`guardiand`** binary serves a manager over a Unix-domain
+//!   socket and/or a shared-memory-ring endpoint;
+//! * the **`grd-tenant`** binary is a tenant process: it dials a daemon,
+//!   registers its kernels, and runs one of a few canned workloads
+//!   (well-behaved fill loops, an out-of-bounds attack, an unbounded
+//!   launch storm) — the raw material of the cross-process isolation
+//!   suite in `tests/process_isolation.rs`;
+//! * this library holds the argument parsing and workload logic both
+//!   binaries share, so the test suite can reason about exit codes and
+//!   stdout lines instead of duplicating workload code.
+//!
+//! Exit-code contract for `grd-tenant` (asserted by the tests):
+//! `0` — workload completed as intended (for `oob` that means Guardian
+//! terminated *us*, and only us); `2` — bad usage; `3` — unexpected
+//! runtime failure.
+
+#![warn(missing_docs)]
+
+use cuda_rt::{ArgPack, CudaApi, CudaError, CudaResult};
+use gpu_sim::LaunchConfig;
+use guardian::{GrdLib, Protection};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Which wire the tenant uses to reach the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wire {
+    /// Unix-domain-socket framing.
+    Uds,
+    /// Shared-memory rings (handshake over the socket path).
+    Shm,
+}
+
+impl Wire {
+    /// Parse `"uds"` / `"shm"`.
+    ///
+    /// # Errors
+    ///
+    /// A usage message for anything else.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "uds" => Ok(Wire::Uds),
+            "shm" => Ok(Wire::Shm),
+            other => Err(format!("unknown transport `{other}` (want uds|shm)")),
+        }
+    }
+}
+
+/// A canned tenant workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// `iters` fill launches with periodic syncs; verifies results.
+    Fill,
+    /// One out-of-bounds stomp aimed just past the tenant's own
+    /// partition; expects Guardian to terminate this tenant.
+    Oob,
+    /// Unbounded launch storm (runs until killed or the daemon is gone).
+    Storm,
+}
+
+impl Workload {
+    /// Parse `"fill"` / `"oob"` / `"storm"`.
+    ///
+    /// # Errors
+    ///
+    /// A usage message for anything else.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "fill" => Ok(Workload::Fill),
+            "oob" => Ok(Workload::Oob),
+            "storm" => Ok(Workload::Storm),
+            other => Err(format!("unknown workload `{other}` (want fill|oob|storm)")),
+        }
+    }
+}
+
+/// Parsed `grd-tenant` command line.
+#[derive(Debug, Clone)]
+pub struct TenantOpts {
+    /// Transport to dial.
+    pub wire: Wire,
+    /// Daemon socket path.
+    pub socket: PathBuf,
+    /// Partition size to request at connect.
+    pub mem: u64,
+    /// Workload to run after connecting.
+    pub workload: Workload,
+    /// Iteration count for bounded workloads.
+    pub iters: u32,
+    /// Milliseconds to hold the tenancy idle between the `ready` banner
+    /// and the workload. Lets a supervisor observe several tenants
+    /// holding partitions *concurrently* (the isolation tests use this
+    /// so a fast tenant cannot finish — and free its partition — before
+    /// a slow sibling even connects).
+    pub hold_ms: u64,
+}
+
+impl TenantOpts {
+    /// Parse `grd-tenant` arguments:
+    /// `--transport uds|shm --socket PATH [--mem BYTES] [--workload W]
+    /// [--iters N]`.
+    ///
+    /// # Errors
+    ///
+    /// A usage message naming the offending flag.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut wire = None;
+        let mut socket = None;
+        let mut mem = 4 << 20;
+        let mut workload = Workload::Fill;
+        let mut iters = 50;
+        let mut hold_ms = 0;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--transport" => wire = Some(Wire::parse(&value("--transport")?)?),
+                "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+                "--mem" => {
+                    mem = value("--mem")?.parse().map_err(|e| format!("--mem: {e}"))?;
+                }
+                "--workload" => workload = Workload::parse(&value("--workload")?)?,
+                "--iters" => {
+                    iters = value("--iters")?
+                        .parse()
+                        .map_err(|e| format!("--iters: {e}"))?;
+                }
+                "--hold-ms" => {
+                    hold_ms = value("--hold-ms")?
+                        .parse()
+                        .map_err(|e| format!("--hold-ms: {e}"))?;
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(TenantOpts {
+            wire: wire.ok_or("--transport is required")?,
+            socket: socket.ok_or("--socket is required")?,
+            mem,
+            workload,
+            iters,
+            hold_ms,
+        })
+    }
+}
+
+/// Parsed `guardiand` command line.
+#[derive(Debug, Clone)]
+pub struct DaemonOpts {
+    /// Unix-socket endpoint to serve, if any.
+    pub uds: Option<PathBuf>,
+    /// Shared-memory endpoint (handshake socket path) to serve, if any.
+    pub shm: Option<PathBuf>,
+    /// Partition pool size; `None` = half of device memory.
+    pub pool_bytes: Option<u64>,
+    /// Bounds-enforcement mode.
+    pub protection: Protection,
+    /// Acknowledge launches at enqueue (`false`) or run them as one-way
+    /// deferred sends (`true`).
+    pub deferred: bool,
+}
+
+impl DaemonOpts {
+    /// Parse `guardiand` arguments:
+    /// `[--uds PATH] [--shm PATH] [--pool-bytes N]
+    /// [--protection fence|modulo|check|none] [--deferred]`.
+    ///
+    /// # Errors
+    ///
+    /// A usage message; at least one of `--uds`/`--shm` is required.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = DaemonOpts {
+            uds: None,
+            shm: None,
+            pool_bytes: None,
+            protection: Protection::FenceBitwise,
+            deferred: false,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--uds" => opts.uds = Some(PathBuf::from(value("--uds")?)),
+                "--shm" => opts.shm = Some(PathBuf::from(value("--shm")?)),
+                "--pool-bytes" => {
+                    opts.pool_bytes = Some(
+                        value("--pool-bytes")?
+                            .parse()
+                            .map_err(|e| format!("--pool-bytes: {e}"))?,
+                    );
+                }
+                "--protection" => {
+                    opts.protection = match value("--protection")?.as_str() {
+                        "fence" => Protection::FenceBitwise,
+                        "modulo" => Protection::FenceModulo,
+                        "check" => Protection::Check,
+                        "none" => Protection::None,
+                        other => {
+                            return Err(format!(
+                                "unknown protection `{other}` (want fence|modulo|check|none)"
+                            ))
+                        }
+                    };
+                }
+                "--deferred" => opts.deferred = true,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        if opts.uds.is_none() && opts.shm.is_none() {
+            return Err("at least one of --uds/--shm is required".into());
+        }
+        Ok(opts)
+    }
+}
+
+/// The PTX every tenant registers: the well-behaved `fill` kernel plus
+/// the `stomp` attack (both from `guardian::fixtures`), packaged as one
+/// fatbin — registration itself thus crosses the process boundary.
+pub fn tenant_fatbin() -> Vec<u8> {
+    let mut fb = ptx::fatbin::FatBin::new();
+    fb.push_ptx("app", guardian::fixtures::FILL);
+    fb.push_ptx("attack", guardian::fixtures::STOMP);
+    fb.to_bytes().to_vec()
+}
+
+/// Dial the daemon, retrying while it finishes starting up (the parent
+/// spawns daemon and tenants concurrently; a bounded retry window
+/// de-races them without any out-of-band synchronization).
+///
+/// # Errors
+///
+/// The last dial error once `window` is exhausted.
+pub fn dial_retry(
+    wire: Wire,
+    socket: &std::path::Path,
+    mem: u64,
+    window: Duration,
+) -> CudaResult<GrdLib> {
+    let deadline = Instant::now() + window;
+    loop {
+        let r = match wire {
+            Wire::Uds => GrdLib::dial_uds(socket, mem),
+            Wire::Shm => GrdLib::dial_shm(socket, mem),
+        };
+        match r {
+            Ok(lib) => return Ok(lib),
+            // Pool exhaustion is a real answer, not a startup race.
+            Err(CudaError::OutOfMemory) => return Err(CudaError::OutOfMemory),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Run a tenant workload to its exit code (the `grd-tenant` contract).
+/// Emits `fill-ok` / `oob-terminated` progress lines on stdout.
+pub fn run_workload(lib: &mut GrdLib, workload: Workload, iters: u32) -> i32 {
+    match workload {
+        Workload::Fill => run_fill(lib, iters),
+        Workload::Oob => run_oob(lib),
+        Workload::Storm => run_storm(lib),
+    }
+}
+
+fn run_fill(lib: &mut GrdLib, iters: u32) -> i32 {
+    let n = 64u32;
+    let buf = match lib.cuda_malloc(4 * n as u64) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("grd-tenant: malloc failed: {e}");
+            return 3;
+        }
+    };
+    let args = ArgPack::new().ptr(buf).u32(n).finish();
+    for i in 0..iters {
+        let r = lib.cuda_launch_kernel(
+            "fill",
+            LaunchConfig::linear(2, 32),
+            &args,
+            Default::default(),
+        );
+        if let Err(e) = r {
+            eprintln!("grd-tenant: launch {i} failed: {e}");
+            return 3;
+        }
+        if i % 10 == 9 {
+            if let Err(e) = lib.cuda_device_synchronize() {
+                eprintln!("grd-tenant: sync at {i} failed: {e}");
+                return 3;
+            }
+        }
+    }
+    if let Err(e) = lib.cuda_device_synchronize() {
+        eprintln!("grd-tenant: final sync failed: {e}");
+        return 3;
+    }
+    match lib.cuda_memcpy_d2h(buf, 4 * n as u64) {
+        Ok(out) => {
+            for i in 0..n {
+                let got = u32::from_le_bytes(out[i as usize * 4..][..4].try_into().expect("4"));
+                if got != i {
+                    eprintln!("grd-tenant: out[{i}] = {got}, isolation broken?");
+                    return 3;
+                }
+            }
+            println!("fill-ok");
+            0
+        }
+        Err(e) => {
+            eprintln!("grd-tenant: readback failed: {e}");
+            3
+        }
+    }
+}
+
+/// Launch `stomp` at the first byte past our own partition; Guardian
+/// must terminate exactly this tenant. Success (exit 0) means we
+/// observed our own death certificate.
+fn run_oob(lib: &mut GrdLib) -> i32 {
+    let (base, size) = lib.partition();
+    let args = ArgPack::new().ptr(base + size).u32(0x4141_4141).finish();
+    if let Err(e) = lib.cuda_launch_kernel(
+        "stomp",
+        LaunchConfig::linear(1, 1),
+        &args,
+        Default::default(),
+    ) {
+        eprintln!("grd-tenant: oob launch rejected at enqueue: {e}");
+        return 3;
+    }
+    // Under checking-mode protection the fault surfaces at sync; under
+    // fencing the store wraps into our own partition and we stay alive —
+    // both are correct confinement, but this workload is only meaningful
+    // under `--protection check`.
+    if lib.cuda_device_synchronize().is_ok() {
+        eprintln!("grd-tenant: oob sync succeeded (fencing mode? wrong daemon config)");
+        return 3;
+    }
+    // Guardian must keep rejecting us — the kill is sticky.
+    match lib.cuda_malloc(16) {
+        Err(CudaError::Rejected(_)) => {
+            println!("oob-terminated");
+            0
+        }
+        r => {
+            eprintln!("grd-tenant: expected sticky rejection, got {r:?}");
+            3
+        }
+    }
+}
+
+/// Launch storm: as fast as the transport carries frames, until killed.
+/// Never syncs, so under deferred acks this is pure one-way traffic.
+fn run_storm(lib: &mut GrdLib) -> i32 {
+    let buf = match lib.cuda_malloc(4 * 64) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("grd-tenant: malloc failed: {e}");
+            return 3;
+        }
+    };
+    let args = ArgPack::new().ptr(buf).u32(64).finish();
+    let mut n = 0u64;
+    loop {
+        let r = lib.cuda_launch_kernel(
+            "fill",
+            LaunchConfig::linear(2, 32),
+            &args,
+            Default::default(),
+        );
+        if r.is_err() {
+            // The daemon went away first; that's the end of the storm,
+            // not a tenant bug.
+            return 0;
+        }
+        n += 1;
+        if n.is_multiple_of(4096) {
+            // Bound the one-way queue so a deferred-mode storm cannot
+            // outrun the device unboundedly.
+            let _ = lib.cuda_device_synchronize();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_args_parse() {
+        let args: Vec<String> = [
+            "--transport",
+            "shm",
+            "--socket",
+            "/tmp/g.sock",
+            "--mem",
+            "1048576",
+            "--workload",
+            "storm",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = TenantOpts::parse(&args).unwrap();
+        assert_eq!(opts.wire, Wire::Shm);
+        assert_eq!(opts.mem, 1 << 20);
+        assert_eq!(opts.workload, Workload::Storm);
+        assert!(TenantOpts::parse(&["--socket".into(), "/tmp/x".into()]).is_err());
+        assert!(TenantOpts::parse(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn daemon_args_parse() {
+        let args: Vec<String> = [
+            "--uds",
+            "/tmp/g.sock",
+            "--pool-bytes",
+            "8388608",
+            "--deferred",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = DaemonOpts::parse(&args).unwrap();
+        assert_eq!(
+            opts.uds.as_deref(),
+            Some(std::path::Path::new("/tmp/g.sock"))
+        );
+        assert_eq!(opts.pool_bytes, Some(8 << 20));
+        assert!(opts.deferred);
+        // No endpoint at all is a usage error.
+        assert!(DaemonOpts::parse(&[]).is_err());
+    }
+}

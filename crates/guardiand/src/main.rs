@@ -1,0 +1,87 @@
+//! `guardiand`: the grdManager as a standalone daemon process.
+//!
+//! Owns the (simulated) GPU and serves Guardian's wire protocol over a
+//! Unix domain socket (`--uds PATH`) and/or a shared-memory-ring
+//! endpoint (`--shm PATH`) — both at once fan into one manager, one
+//! partition pool. Tenants are separate OS processes (`grd-tenant`, or
+//! anything using `GrdLib::dial_uds`/`dial_shm`).
+//!
+//! Prints one `guardiand: listening …` line to stdout once every
+//! endpoint is bound, so supervisors (and the cross-process test suite)
+//! can wait for readiness, then serves until killed.
+
+use guardian::{spawn_manager_over, BoundTransport, LaunchAck, ManagerConfig};
+use guardiand::DaemonOpts;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match DaemonOpts::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("guardiand: {e}");
+            eprintln!(
+                "usage: guardiand [--uds PATH] [--shm PATH] [--pool-bytes N] \
+                 [--protection fence|modulo|check|none] [--deferred]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let mut transports = Vec::new();
+    if let Some(path) = &opts.uds {
+        match BoundTransport::uds(path) {
+            Ok(t) => transports.push(t),
+            Err(e) => fail(&format!("cannot bind uds endpoint {}: {e}", path.display())),
+        }
+    }
+    if let Some(path) = &opts.shm {
+        match BoundTransport::shm(path) {
+            Ok(t) => transports.push(t),
+            Err(e) => fail(&format!("cannot bind shm endpoint {}: {e}", path.display())),
+        }
+    }
+    let transport = if transports.len() == 1 {
+        transports.pop().expect("one transport")
+    } else {
+        BoundTransport::merge(transports)
+    };
+
+    let device = cuda_rt::share_device(gpu_sim::Device::new(gpu_sim::spec::test_gpu()));
+    let config = ManagerConfig {
+        protection: opts.protection,
+        pool_bytes: opts.pool_bytes,
+        launch_ack: if opts.deferred {
+            LaunchAck::Deferred
+        } else {
+            LaunchAck::Eager
+        },
+        ..ManagerConfig::default()
+    };
+    // Bound to a named variable: the handle must outlive the serve loop
+    // (dropping it would tear the acceptor down).
+    let _manager = match spawn_manager_over(device, config, &[], transport) {
+        Ok(m) => m,
+        Err(e) => fail(&format!("cannot spawn manager: {e}")),
+    };
+
+    let endpoints: Vec<String> = [
+        opts.uds.as_ref().map(|p| format!("uds:{}", p.display())),
+        opts.shm.as_ref().map(|p| format!("shm:{}", p.display())),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+    println!("guardiand: listening on {}", endpoints.join(" "));
+    let _ = std::io::stdout().flush();
+
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("guardiand: {msg}");
+    std::process::exit(1);
+}

@@ -12,6 +12,7 @@ const EXAMPLES: &[&str] = &[
     "ptx_sandboxing",
     "attack_demo",
     "multi_tenant_training",
+    "socket_transports",
 ];
 
 #[test]

@@ -1,0 +1,402 @@
+//! Cross-process isolation: the multi-tenant, OOB-offender-only, and
+//! crash-reaping guarantees re-run with tenants as **real OS processes**
+//! against a **real `guardiand` daemon process**, over both socket
+//! transports.
+//!
+//! Everything the in-process suites assert about Guardian's isolation
+//! story is only credible if it survives a genuine IPC boundary: here
+//! every CUDA call crosses a Unix socket or a shared-memory ring between
+//! processes, tenants are spawned with `spawn_tenant`, and the harshest
+//! case — `kill -9` of a tenant mid-launch-storm — must still end with
+//! the manager reclaiming the dead tenant's partition.
+//!
+//! Wired as an integration test of the `guardiand` crate so
+//! `CARGO_BIN_EXE_*` resolves to the daemon and tenant binaries. CI runs
+//! it in release under a hard timeout: a deadlocked cross-process
+//! handshake fails the job fast instead of hanging it.
+
+use cuda_rt::CudaApi;
+use guardian::GrdLib;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{channel, Receiver};
+use std::time::{Duration, Instant};
+
+const DAEMON_BIN: &str = env!("CARGO_BIN_EXE_guardiand");
+const TENANT_BIN: &str = env!("CARGO_BIN_EXE_grd-tenant");
+
+/// Generous deadline for any single cross-process step (debug builds on
+/// loaded CI machines are slow; correctness, not latency, is on trial).
+const STEP_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn temp_sock(tag: &str) -> PathBuf {
+    guardian::fixtures::temp_socket_path(&format!("pi-{tag}"))
+}
+
+/// A `guardiand` child process; killed and cleaned up on drop.
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    /// Spawn a daemon serving `wire` at a fresh socket path.
+    fn spawn(wire: &str, extra_args: &[&str]) -> Daemon {
+        let socket = temp_sock(wire);
+        let endpoint_flag = match wire {
+            "uds" => "--uds",
+            "shm" => "--shm",
+            other => panic!("unknown wire {other}"),
+        };
+        let child = Command::new(DAEMON_BIN)
+            .arg(endpoint_flag)
+            .arg(&socket)
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn guardiand");
+        Daemon { child, socket }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+/// A tenant child process plus a non-blocking view of its stdout.
+struct Tenant {
+    child: Child,
+    lines: Receiver<String>,
+}
+
+/// Fork a real tenant process running `workload` against the daemon at
+/// `socket` — the cross-process analogue of `GrdLib::connect`.
+/// `hold_ms` keeps the tenancy idle between `ready` and the workload so
+/// the caller can observe several tenants holding partitions at once.
+fn spawn_tenant(
+    wire: &str,
+    socket: &PathBuf,
+    mem: u64,
+    workload: &str,
+    iters: u32,
+    hold_ms: u64,
+) -> Tenant {
+    let mut child = Command::new(TENANT_BIN)
+        .args(["--transport", wire])
+        .arg("--socket")
+        .arg(socket)
+        .args(["--mem", &mem.to_string()])
+        .args(["--workload", workload])
+        .args(["--iters", &iters.to_string()])
+        .args(["--hold-ms", &hold_ms.to_string()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn grd-tenant");
+    let stdout = child.stdout.take().expect("tenant stdout");
+    let (tx, rx) = channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines().map_while(Result::ok) {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    Tenant { child, lines: rx }
+}
+
+impl Tenant {
+    /// Wait for the tenant's `ready <client> <base> <size>` banner.
+    fn ready(&self) -> (u32, u64, u64) {
+        let deadline = Instant::now() + STEP_TIMEOUT;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            let line = self
+                .lines
+                .recv_timeout(left)
+                .expect("tenant never became ready");
+            if let Some(rest) = line.strip_prefix("ready ") {
+                let mut parts = rest.split_whitespace();
+                let client = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("client id");
+                let base = parts.next().and_then(|s| s.parse().ok()).expect("base");
+                let size = parts.next().and_then(|s| s.parse().ok()).expect("size");
+                return (client, base, size);
+            }
+        }
+    }
+
+    /// Wait for exit, collecting the rest of stdout.
+    fn join(mut self) -> (i32, Vec<String>) {
+        let deadline = Instant::now() + STEP_TIMEOUT;
+        let status = loop {
+            match self.child.try_wait().expect("try_wait") {
+                Some(status) => break status,
+                None if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    panic!("tenant did not exit within {STEP_TIMEOUT:?}");
+                }
+                None => std::thread::sleep(Duration::from_millis(10)),
+            }
+        };
+        // Drain the rest of stdout without racing the reader thread: the
+        // child may have exited before its buffered pipe data was
+        // forwarded. The reader drops its sender at pipe EOF, so wait
+        // for the disconnect rather than snapshotting with try_recv.
+        let mut out = Vec::new();
+        let drain_deadline = Instant::now() + STEP_TIMEOUT;
+        loop {
+            match self.lines.recv_timeout(Duration::from_millis(50)) {
+                Ok(line) => out.push(line),
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    if Instant::now() > drain_deadline {
+                        break;
+                    }
+                }
+            }
+        }
+        (status.code().unwrap_or(-1), out)
+    }
+
+    /// SIGKILL, mid-whatever-it-was-doing.
+    fn kill9(&mut self) {
+        self.child.kill().expect("kill -9 tenant");
+        let _ = self.child.wait();
+    }
+}
+
+/// Dial the daemon from this (test) process, retrying through startup
+/// races and not-yet-reclaimed partitions.
+fn dial_until(wire: &str, socket: &PathBuf, mem: u64) -> GrdLib {
+    let deadline = Instant::now() + STEP_TIMEOUT;
+    loop {
+        let r = match wire {
+            "uds" => GrdLib::dial_uds(socket, mem),
+            "shm" => GrdLib::dial_shm(socket, mem),
+            other => panic!("unknown wire {other}"),
+        };
+        match r {
+            Ok(lib) => return lib,
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "could not connect to daemon over {wire} within {STEP_TIMEOUT:?}: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+// ---- multi-tenant isolation -------------------------------------------------
+
+/// Three concurrent tenant *processes* all run their fill workloads to
+/// verified completion: partitions are disjoint and transfers/launches
+/// are confined even with every call crossing the process boundary.
+fn multi_tenant_isolation(wire: &str) {
+    let daemon = Daemon::spawn(wire, &["--pool-bytes", &(32u64 << 20).to_string()]);
+    let tenants: Vec<Tenant> = (0..3)
+        .map(|_| spawn_tenant(wire, &daemon.socket, 4 << 20, "fill", 40, 1500))
+        .collect();
+    let mut partitions = Vec::new();
+    for t in &tenants {
+        let (_, base, size) = t.ready();
+        partitions.push((base, size));
+    }
+    // Disjoint partitions across processes.
+    for (i, &(a_base, a_size)) in partitions.iter().enumerate() {
+        for &(b_base, b_size) in &partitions[i + 1..] {
+            assert!(
+                a_base + a_size <= b_base || b_base + b_size <= a_base,
+                "partitions overlap: {partitions:?}"
+            );
+        }
+    }
+    for t in tenants {
+        let (code, out) = t.join();
+        assert_eq!(code, 0, "tenant failed; stdout: {out:?}");
+        assert!(out.iter().any(|l| l == "fill-ok"), "no fill-ok in {out:?}");
+    }
+}
+
+#[test]
+fn multi_tenant_isolation_across_processes_uds() {
+    multi_tenant_isolation("uds");
+}
+
+#[test]
+fn multi_tenant_isolation_across_processes_shm() {
+    multi_tenant_isolation("shm");
+}
+
+// ---- OOB kills only the offender ---------------------------------------------
+
+/// An out-of-bounds attacker process is terminated by Guardian — and
+/// *only* it: the victim process, connected over the same daemon, keeps
+/// computing and verifying results.
+fn oob_kills_only_the_offender(wire: &str) {
+    let daemon = Daemon::spawn(
+        wire,
+        &[
+            "--pool-bytes",
+            &(16u64 << 20).to_string(),
+            "--protection",
+            "check",
+        ],
+    );
+    let victim = spawn_tenant(wire, &daemon.socket, 4 << 20, "fill", 80, 500);
+    victim.ready();
+    let offender = spawn_tenant(wire, &daemon.socket, 4 << 20, "oob", 1, 0);
+    offender.ready();
+
+    let (code, out) = offender.join();
+    assert_eq!(code, 0, "offender saw the wrong ending; stdout: {out:?}");
+    assert!(
+        out.iter().any(|l| l == "oob-terminated"),
+        "offender was not terminated by Guardian: {out:?}"
+    );
+    let (code, out) = victim.join();
+    assert_eq!(code, 0, "victim must be unaffected; stdout: {out:?}");
+    assert!(out.iter().any(|l| l == "fill-ok"), "no fill-ok in {out:?}");
+}
+
+#[test]
+fn oob_kills_only_the_offender_uds() {
+    oob_kills_only_the_offender("uds");
+}
+
+#[test]
+fn oob_kills_only_the_offender_shm() {
+    oob_kills_only_the_offender("shm");
+}
+
+// ---- crash reaping / kill -9 mid-storm ---------------------------------------
+
+/// `kill -9` a tenant in the middle of a launch storm; the manager must
+/// notice the vanished connection, drain the dead tenant's queued work,
+/// and return its partition to the pool — proven by a new tenant
+/// acquiring the *same* partition and using it. The pool holds exactly
+/// one partition, so reclamation is the only way the second connect can
+/// succeed.
+fn sigkill_mid_storm_reclaims_partition(wire: &str, daemon_extra: &[&str]) {
+    let pool = (4u64 << 20).to_string();
+    let mut args = vec!["--pool-bytes", pool.as_str()];
+    args.extend_from_slice(daemon_extra);
+    let daemon = Daemon::spawn(wire, &args);
+
+    let mut storm = spawn_tenant(wire, &daemon.socket, 4 << 20, "storm", 0, 0);
+    let (_, storm_base, _) = storm.ready();
+    // Let the storm rage long enough that frames are genuinely in flight
+    // when the SIGKILL lands.
+    std::thread::sleep(Duration::from_millis(200));
+    storm.kill9();
+
+    // The partition comes back (dial_until retries through OutOfMemory
+    // while the manager reaps), and it is the same one.
+    let mut lib = dial_until(wire, &daemon.socket, 4 << 20);
+    assert_eq!(
+        lib.partition().0,
+        storm_base,
+        "expected the dead tenant's partition to be reused"
+    );
+    // And it is fully usable: the dead tenant's drained storm left no
+    // stale commands behind.
+    let buf = lib
+        .cuda_malloc(4096)
+        .expect("malloc in reclaimed partition");
+    lib.cuda_memcpy_h2d(buf, &[7u8; 64]).expect("h2d");
+    lib.cuda_device_synchronize().expect("sync");
+    assert_eq!(
+        lib.cuda_memcpy_d2h(buf, 64).expect("d2h"),
+        vec![7u8; 64],
+        "reclaimed partition corrupted"
+    );
+}
+
+#[test]
+fn sigkill_mid_storm_reclaims_partition_uds() {
+    sigkill_mid_storm_reclaims_partition("uds", &[]);
+}
+
+#[test]
+fn sigkill_mid_storm_reclaims_partition_shm() {
+    // Deferred acks: the storm is pure one-way ring traffic, the hardest
+    // case for crash detection (no reply ever un-blocks the tenant).
+    sigkill_mid_storm_reclaims_partition("shm", &["--deferred"]);
+}
+
+// ---- daemon robustness --------------------------------------------------------
+
+/// A hostile peer speaking garbage at the socket must not take the
+/// daemon down or wedge its accept loop: a well-behaved tenant connects
+/// and works afterwards.
+#[test]
+fn garbage_handshake_does_not_wedge_the_daemon() {
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+
+    let daemon = Daemon::spawn("uds", &["--pool-bytes", &(8u64 << 20).to_string()]);
+    // Wait until the daemon accepts connections at all.
+    let probe = dial_until("uds", &daemon.socket, 1 << 20);
+    drop(probe);
+    // Garbage preamble, then an abrupt hangup mid-"frame".
+    if let Ok(mut s) = UnixStream::connect(&daemon.socket) {
+        let _ = s.write_all(b"HTTP/1.1 GET /gpu\r\n");
+    }
+    if let Ok(mut s) = UnixStream::connect(&daemon.socket) {
+        let _ = s.write_all(&[b'G', b'R', b'D', 250]); // wrong version
+    }
+    // The daemon still serves real tenants.
+    let t = spawn_tenant("uds", &daemon.socket, 4 << 20, "fill", 10, 0);
+    t.ready();
+    let (code, out) = t.join();
+    assert_eq!(code, 0, "tenant failed after garbage clients: {out:?}");
+}
+
+// ---- graceful exit frees the partition ----------------------------------------
+
+/// A tenant process that exits cleanly (Drop sends `Disconnect`) frees
+/// its partition for the next process — the polite twin of the SIGKILL
+/// case, across both transports in one scenario.
+#[test]
+fn graceful_exit_frees_partition_for_next_process() {
+    let pool = (4u64 << 20).to_string();
+    let uds_sock = temp_sock("both-uds");
+    let shm_sock = temp_sock("both-shm");
+    let child = Command::new(DAEMON_BIN)
+        .arg("--uds")
+        .arg(&uds_sock)
+        .arg("--shm")
+        .arg(&shm_sock)
+        .args(["--pool-bytes", pool.as_str()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn guardiand");
+    let daemon = Daemon {
+        child,
+        socket: uds_sock.clone(),
+    };
+    // First tenant over uds takes the whole pool and exits cleanly.
+    let t = spawn_tenant("uds", &uds_sock, 4 << 20, "fill", 10, 0);
+    t.ready();
+    let (code, _) = t.join();
+    assert_eq!(code, 0);
+    // Second tenant over *shm* gets the freed partition: both endpoints
+    // front one pool.
+    let t = spawn_tenant("shm", &shm_sock, 4 << 20, "fill", 10, 0);
+    t.ready();
+    let (code, out) = t.join();
+    assert_eq!(code, 0, "shm tenant failed: {out:?}");
+    drop(daemon);
+    let _ = std::fs::remove_file(&shm_sock);
+}
