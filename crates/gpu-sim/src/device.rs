@@ -151,6 +151,9 @@ impl PartialOrd for Ev {
 /// The simulated GPU.
 pub struct Device {
     spec: GpuSpec,
+    /// Position of this device in its host's device set (as reported by
+    /// `cudaGetDevice`); 0 for standalone devices.
+    ordinal: u32,
     dram: Dram,
     cache: CacheHierarchy,
     allocator: DriverAllocator,
@@ -178,12 +181,21 @@ pub struct Device {
 }
 
 impl Device {
-    /// Bring up a device of the given model.
+    /// Bring up a standalone device of the given model (ordinal 0).
     pub fn new(spec: GpuSpec) -> Self {
+        Device::new_indexed(spec, 0)
+    }
+
+    /// Bring up a device at a specific ordinal in a multi-GPU host.
+    /// Each device is a fully independent simulator instance — its own
+    /// DRAM, caches, clock, and event engine — exactly as PCIe-attached
+    /// GPUs are; only the ordinal ties it to a host-visible device id.
+    pub fn new_indexed(spec: GpuSpec, ordinal: u32) -> Self {
         let dram = Dram::new(spec.global_mem_bytes);
         let cache = CacheHierarchy::new(spec.l1_bytes, spec.l2_bytes);
         let allocator = DriverAllocator::new(spec.global_mem_bytes);
         Device {
+            ordinal,
             dram,
             cache,
             allocator,
@@ -214,6 +226,11 @@ impl Device {
     /// The device's model parameters.
     pub fn spec(&self) -> &GpuSpec {
         &self.spec
+    }
+
+    /// This device's ordinal in its host's device set (0 standalone).
+    pub fn ordinal(&self) -> u32 {
+        self.ordinal
     }
 
     /// Current device virtual time in cycles.
@@ -472,6 +489,21 @@ impl Device {
         self.next_stream += 1;
         self.streams.insert(id, StreamState::new(ctx));
         Ok(id)
+    }
+
+    /// Destroy a stream (`cudaStreamDestroy`). Queued-but-unstarted work
+    /// is dropped with it; callers that care must synchronize first (the
+    /// Guardian manager drains the device before retiring a migrated
+    /// tenant's source stream).
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::InvalidStream`] for unknown ids.
+    pub fn destroy_stream(&mut self, stream: StreamId) -> Result<(), DeviceError> {
+        self.streams
+            .remove(&stream)
+            .map(|_| ())
+            .ok_or(DeviceError::InvalidStream)
     }
 
     /// Enqueue a command on a stream.
@@ -806,8 +838,12 @@ impl Device {
 
     /// Complete a command that never became busy (instant commands).
     fn complete_command(&mut self, sid: StreamId) {
-        let ctx = self.streams[&sid].ctx;
-        let s = self.streams.get_mut(&sid).expect("known");
+        // The stream may have been destroyed while a block was in flight;
+        // its completion then has nowhere to land, which is fine.
+        let Some(s) = self.streams.get_mut(&sid) else {
+            return;
+        };
+        let ctx = s.ctx;
         s.queue.pop_front();
         s.busy = false;
         s.last_done = self.now;
@@ -1188,6 +1224,57 @@ $L_done:
         assert_eq!(agg.launches, 3);
         assert!(agg.instructions > 0);
         assert!(agg.thread_cycles > 0);
+    }
+
+    #[test]
+    fn device_set_assigns_ordinals_and_isolates_state() {
+        let mut devs = crate::device_set(vec![test_gpu(), test_gpu()]);
+        assert_eq!(devs[0].ordinal(), 0);
+        assert_eq!(devs[1].ordinal(), 1);
+        let c0 = devs[0].create_context().unwrap();
+        let p = devs[0].malloc(c0, 4096).unwrap();
+        devs[0].write_memory(p, &[7u8; 16]).unwrap();
+        let c1 = devs[1].create_context().unwrap();
+        let q = devs[1].malloc(c1, 4096).unwrap();
+        // Independent address spaces: the same numeric address on another
+        // device must not alias device 0's bytes.
+        assert_eq!(p, q);
+        let mut buf = [0u8; 16];
+        devs[1].read_memory(q, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16], "device 1 saw device 0's data");
+    }
+
+    #[test]
+    fn destroy_stream_drops_queue_and_rejects_reuse() {
+        let mut dev = Device::new(test_gpu());
+        let ctx = dev.create_context().unwrap();
+        let s = dev.create_stream(ctx).unwrap();
+        let m = load(&mut dev, ctx, SPIN_N);
+        dev.enqueue(
+            s,
+            launch_cmd(
+                &m,
+                "spin",
+                LaunchConfig::linear(1, 32),
+                10u32.to_le_bytes().to_vec(),
+            ),
+        )
+        .unwrap();
+        dev.synchronize();
+        dev.destroy_stream(s).unwrap();
+        assert_eq!(dev.destroy_stream(s), Err(DeviceError::InvalidStream));
+        assert!(dev
+            .enqueue(
+                s,
+                Command::Memset {
+                    dst: 0,
+                    byte: 0,
+                    len: 1
+                }
+            )
+            .is_err());
+        // The device still synchronizes cleanly with the stream gone.
+        dev.synchronize();
     }
 
     #[test]

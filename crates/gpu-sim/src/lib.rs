@@ -73,6 +73,18 @@ pub mod spec;
 pub mod stream;
 
 pub use device::{Device, DeviceError, FaultRecord};
+
+/// Construct a multi-GPU host: one fully independent [`Device`] per spec
+/// (own DRAM, caches, clock, event engine), ordinals assigned in order.
+/// Heterogeneous sets are fine — the paper's evaluation spans an RTX
+/// A4000 and an RTX 3080 Ti (Table 2).
+pub fn device_set(specs: Vec<GpuSpec>) -> Vec<Device> {
+    specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| Device::new_indexed(spec, i as u32))
+        .collect()
+}
 pub use fault::Fault;
 pub use interp::{LaunchConfig, MemGuard};
 pub use spec::GpuSpec;

@@ -116,9 +116,17 @@ impl PartitionAllocator {
         }
     }
 
+    /// Buddy order for a request, or `u32::MAX` for sizes beyond any
+    /// pool (2^63 bytes and up have no power-of-two rounding in u64).
+    /// The sentinel exceeds every real order, so `alloc` reports
+    /// `OutOfPartitions` and `can_alloc` says no — a hostile
+    /// `Connect { mem_requirement: u64::MAX }` must not panic the
+    /// control plane.
     fn order_of(&self, bytes: u64) -> u32 {
-        let size = bytes.max(MIN_PARTITION).next_power_of_two();
-        (size / MIN_PARTITION).ilog2()
+        match bytes.max(MIN_PARTITION).checked_next_power_of_two() {
+            Some(size) => (size / MIN_PARTITION).ilog2(),
+            None => u32::MAX,
+        }
     }
 
     /// Allocate a partition of at least `bytes` (rounded up to a power of
@@ -184,6 +192,16 @@ impl PartitionAllocator {
         self.free[order as usize].push(off);
         let _ = self.min_order;
         Ok(())
+    }
+
+    /// Whether a partition of at least `bytes` could be allocated right
+    /// now, without allocating it. This is the placement layer's
+    /// fit-probe: a byte count alone cannot answer it, because buddy
+    /// fragmentation can strand capacity.
+    pub fn can_alloc(&self, bytes: u64) -> bool {
+        let want = self.order_of(bytes);
+        (want as usize) < self.free.len()
+            && self.free[want as usize..].iter().any(|f| !f.is_empty())
     }
 
     /// Number of live partitions.
@@ -279,6 +297,36 @@ impl RegionAllocator {
             }
         }
         Ok(())
+    }
+
+    /// Every live allocation as `(addr, len)`, sorted by address — the
+    /// copy list for partition migration.
+    pub fn live_allocations(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.live.iter().map(|(&a, &l)| (a, l)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Re-anchor the heap to an equally-sized partition at `new_base`,
+    /// preserving every allocation's offset (so a migrated tenant's
+    /// pointers translate by a single delta). The internal free list and
+    /// live map are shifted wholesale; nothing is allocated or freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new partition's size differs — migration is defined
+    /// as a same-size move (partitions are power-of-two; resize is a
+    /// different operation).
+    pub fn rebase(&mut self, new: Partition) {
+        assert_eq!(
+            new.size, self.partition.size,
+            "rebase requires an equally-sized partition"
+        );
+        let old_base = self.partition.base;
+        let shift = |addr: u64| addr - old_base + new.base;
+        self.free = self.free.iter().map(|&(a, l)| (shift(a), l)).collect();
+        self.live = self.live.iter().map(|(&a, &l)| (shift(a), l)).collect();
+        self.partition = new;
     }
 
     /// Whether an address belongs to a live allocation of this heap.
@@ -392,6 +440,67 @@ mod tests {
         assert_eq!(ra.alloc(256), Err(AllocError::PartitionFull));
         ra.free(a).unwrap();
         assert!(ra.alloc(MIN_PARTITION / 4).is_ok());
+    }
+
+    #[test]
+    fn absurd_request_sizes_fail_without_panic() {
+        // Wire-reachable: Connect { mem_requirement } is attacker
+        // controlled, and 2^63+ has no power-of-two rounding in u64 —
+        // the probe and the alloc must both say no, not unwind the
+        // control plane.
+        let mut pa = PartitionAllocator::new(POOL_BASE, 4 * MIN_PARTITION);
+        for bytes in [u64::MAX, (1 << 63) + 1, 1 << 63] {
+            assert!(!pa.can_alloc(bytes));
+            assert_eq!(pa.alloc(bytes), Err(AllocError::OutOfPartitions));
+        }
+        // The pool is still fully serviceable afterwards.
+        assert!(pa.alloc(4 * MIN_PARTITION).is_ok());
+    }
+
+    #[test]
+    fn can_alloc_agrees_with_alloc() {
+        let mut pa = PartitionAllocator::new(POOL_BASE, 4 * MIN_PARTITION);
+        assert!(pa.can_alloc(4 * MIN_PARTITION));
+        let a = pa.alloc(2 * MIN_PARTITION).unwrap();
+        let _b = pa.alloc(MIN_PARTITION).unwrap();
+        let _c = pa.alloc(MIN_PARTITION).unwrap();
+        // Full: the probe says no without mutating.
+        assert!(!pa.can_alloc(MIN_PARTITION));
+        pa.free(a.base).unwrap();
+        assert!(pa.can_alloc(2 * MIN_PARTITION));
+        // Fragmentation-aware: 2 MiB free as one buddy block fits 2 MiB...
+        assert!(pa.alloc(2 * MIN_PARTITION).is_ok());
+        // ...but now nothing does.
+        assert!(!pa.can_alloc(1));
+    }
+
+    #[test]
+    fn rebase_preserves_offsets_and_serviceability() {
+        let old = Partition {
+            base: POOL_BASE,
+            size: MIN_PARTITION,
+        };
+        let mut ra = RegionAllocator::new(old);
+        let a = ra.alloc(1000).unwrap();
+        let b = ra.alloc(4096).unwrap();
+        ra.free(a).unwrap();
+        let new = Partition {
+            base: POOL_BASE + 64 * MIN_PARTITION,
+            size: MIN_PARTITION,
+        };
+        ra.rebase(new);
+        assert_eq!(ra.partition(), new);
+        // Offsets preserved: b moved by exactly the base delta.
+        let live = ra.live_allocations();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].0 - new.base, b - old.base);
+        // Old addresses are dead, new ones work.
+        assert!(ra.free(b).is_err());
+        ra.free(b - old.base + new.base).unwrap();
+        assert_eq!(ra.used_bytes(), 0);
+        // Free list coalesced correctly in the new frame: full partition
+        // serviceable again.
+        assert_eq!(ra.alloc(new.size).unwrap(), new.base);
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //! the stub which contract is in force.
 
 use crate::manager::{ClientId, ManagerHandle};
-use crate::proto::{Request, Response};
+use crate::placement::PlacementHint;
+use crate::proto::{DeviceInfo, Request, Response};
 use crate::transport::{shm::ShmDialer, uds::UdsDialer, Connection, Dialer, TransportError};
 use cuda_rt::{CudaApi, CudaError, CudaResult, DevicePtr, EventHandle, ModuleHandle, Stream};
 use gpu_sim::LaunchConfig;
@@ -43,6 +44,8 @@ pub struct GrdLib {
     clock_ghz: f64,
     partition_base: u64,
     partition_size: u64,
+    /// Index of the GPU the manager placed this tenant on.
+    device: u32,
     /// Manager runs launches in deferred-ack (true async) mode.
     deferred_launch: bool,
     next_module: u32,
@@ -60,8 +63,24 @@ impl GrdLib {
     /// [`CudaError::OutOfMemory`] when no partition of the requested size
     /// is available; [`CudaError::Disconnected`] if the manager is gone.
     pub fn connect(handle: &ManagerHandle, mem_requirement: u64) -> CudaResult<Self> {
+        Self::connect_hinted(handle, mem_requirement, None)
+    }
+
+    /// [`GrdLib::connect`] with an explicit multi-GPU [`PlacementHint`]
+    /// — pin to a device ([`PlacementHint::pin`]) or prefer one with
+    /// policy fallback ([`PlacementHint::prefer`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`GrdLib::connect`]; a strict hint whose device cannot host the
+    /// tenant fails with [`CudaError::OutOfMemory`] instead of spilling.
+    pub fn connect_hinted(
+        handle: &ManagerHandle,
+        mem_requirement: u64,
+        hint: Option<PlacementHint>,
+    ) -> CudaResult<Self> {
         let conn = handle.dial().map_err(transport_to_cuda)?;
-        Self::connect_over(conn, mem_requirement)
+        Self::connect_over_hinted(conn, mem_requirement, hint)
     }
 
     /// Connect to a grdManager serving a Unix-domain-socket transport at
@@ -73,8 +92,21 @@ impl GrdLib {
     /// listening, version skew) surfaced as
     /// [`CudaError::Disconnected`]/[`CudaError::Rejected`].
     pub fn dial_uds(socket: impl AsRef<Path>, mem_requirement: u64) -> CudaResult<Self> {
+        Self::dial_uds_hinted(socket, mem_requirement, None)
+    }
+
+    /// [`GrdLib::dial_uds`] with a multi-GPU [`PlacementHint`].
+    ///
+    /// # Errors
+    ///
+    /// As [`GrdLib::dial_uds`].
+    pub fn dial_uds_hinted(
+        socket: impl AsRef<Path>,
+        mem_requirement: u64,
+        hint: Option<PlacementHint>,
+    ) -> CudaResult<Self> {
         let conn = UdsDialer::new(socket).dial().map_err(transport_to_cuda)?;
-        Self::connect_over(conn, mem_requirement)
+        Self::connect_over_hinted(conn, mem_requirement, hint)
     }
 
     /// Connect to a grdManager over the shared-memory ring transport,
@@ -93,8 +125,21 @@ impl GrdLib {
     ///
     /// As [`GrdLib::dial_uds`].
     pub fn dial_shm(socket: impl AsRef<Path>, mem_requirement: u64) -> CudaResult<Self> {
+        Self::dial_shm_hinted(socket, mem_requirement, None)
+    }
+
+    /// [`GrdLib::dial_shm`] with a multi-GPU [`PlacementHint`].
+    ///
+    /// # Errors
+    ///
+    /// As [`GrdLib::dial_shm`].
+    pub fn dial_shm_hinted(
+        socket: impl AsRef<Path>,
+        mem_requirement: u64,
+        hint: Option<PlacementHint>,
+    ) -> CudaResult<Self> {
         let conn = ShmDialer::new(socket).dial().map_err(transport_to_cuda)?;
-        Self::connect_over(conn, mem_requirement)
+        Self::connect_over_hinted(conn, mem_requirement, hint)
     }
 
     /// [`GrdLib::dial_shm`] with an explicit per-direction ring capacity
@@ -128,22 +173,40 @@ impl GrdLib {
     ///
     /// As [`GrdLib::connect`].
     pub fn connect_over(conn: Box<dyn Connection>, mem_requirement: u64) -> CudaResult<Self> {
+        Self::connect_over_hinted(conn, mem_requirement, None)
+    }
+
+    /// [`GrdLib::connect_over`] with a multi-GPU [`PlacementHint`].
+    ///
+    /// # Errors
+    ///
+    /// As [`GrdLib::connect`].
+    pub fn connect_over_hinted(
+        conn: Box<dyn Connection>,
+        mem_requirement: u64,
+        hint: Option<PlacementHint>,
+    ) -> CudaResult<Self> {
         let mut lib = GrdLib {
             conn,
             id: ClientId(0),
             clock_ghz: 0.0,
             partition_base: 0,
             partition_size: 0,
+            device: 0,
             deferred_launch: false,
             next_module: 1,
             next_stream: 1,
         };
-        match lib.call(&Request::Connect { mem_requirement })? {
+        match lib.call(&Request::Connect {
+            mem_requirement,
+            hint,
+        })? {
             Response::Connected(info) => {
                 lib.id = ClientId(info.client);
                 lib.clock_ghz = info.clock_ghz;
                 lib.partition_base = info.partition_base;
                 lib.partition_size = info.partition_size;
+                lib.device = info.device;
                 lib.deferred_launch = info.deferred_launch;
                 Ok(lib)
             }
@@ -160,6 +223,81 @@ impl GrdLib {
     /// examples; applications do not need it.
     pub fn partition(&self) -> (u64, u64) {
         (self.partition_base, self.partition_size)
+    }
+
+    /// Index of the GPU the manager placed (or last migrated) this
+    /// tenant onto.
+    pub fn device(&self) -> u32 {
+        self.device
+    }
+
+    /// Enumerate the manager's device set: per-GPU pool capacity, load,
+    /// and tenant counts.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`CudaError::Disconnected`]/`Rejected`.
+    pub fn device_infos(&self) -> CudaResult<Vec<DeviceInfo>> {
+        match self.call(&Request::DeviceInfo)? {
+            Response::Devices(d) => Ok(d),
+            _ => Err(CudaError::Disconnected),
+        }
+    }
+
+    /// Number of GPUs behind this manager.
+    ///
+    /// # Errors
+    ///
+    /// As [`GrdLib::device_infos`].
+    pub fn device_count(&self) -> CudaResult<u32> {
+        Ok(self.device_infos()?.len() as u32)
+    }
+
+    /// Migrate this tenant's partition to `device`, live. The manager
+    /// drains outstanding work, copies every live allocation to an
+    /// equally-sized partition on the destination (offsets preserved),
+    /// and rebinds the session. Returns the pointer delta to add to any
+    /// device pointers the application still holds — `cudaMalloc`
+    /// results obtained before the move stay valid after
+    /// `ptr.wrapping_add(delta)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CudaError::OutOfMemory`] when the destination pool cannot host
+    /// the partition (the tenant stays where it was);
+    /// [`CudaError::Rejected`] for unknown devices.
+    pub fn migrate(&mut self, device: u32) -> CudaResult<u64> {
+        let resp = self.call(&Request::Migrate { device })?;
+        self.adopt_binding(resp)
+    }
+
+    /// Re-read this tenant's current binding from the manager and adopt
+    /// it, returning the pointer delta since the last known frame (0
+    /// when nothing moved). A tenant the *manager* migrated — rebalance
+    /// ([`ManagerHandle::rebalance`](crate::ManagerHandle::rebalance)) or
+    /// an operator's [`migrate_partition`](crate::ManagerHandle::migrate_partition)
+    /// — holds stale pointers until it calls this.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`CudaError::Disconnected`]/`Rejected`.
+    pub fn refresh(&mut self) -> CudaResult<u64> {
+        let resp = self.call(&Request::Binding)?;
+        self.adopt_binding(resp)
+    }
+
+    fn adopt_binding(&mut self, resp: Response) -> CudaResult<u64> {
+        match resp {
+            Response::Connected(info) => {
+                let delta = info.partition_base.wrapping_sub(self.partition_base);
+                self.clock_ghz = info.clock_ghz;
+                self.partition_base = info.partition_base;
+                self.partition_size = info.partition_size;
+                self.device = info.device;
+                Ok(delta)
+            }
+            _ => Err(CudaError::Disconnected),
+        }
     }
 
     /// Full RPC round trip: encode, send, await and decode the response.

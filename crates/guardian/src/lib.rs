@@ -21,16 +21,23 @@
 //!   the identity. The socket transports make tenants real OS processes
 //!   (see the `guardiand` daemon crate).
 //! * [`manager`] — the `grdManager` **control plane**: a serialized
-//!   thread owning the partition table (power-of-two, contiguous —
-//!   [`alloc`]) and the sandboxed-kernel registry; handles connect,
-//!   disconnect, fatbin/PTX registration, malloc, and free.
+//!   thread owning one partition table (power-of-two, contiguous —
+//!   [`alloc`]) and one sandboxed-kernel registry **per GPU** of its
+//!   device set; handles connect (routed across devices by
+//!   [`placement`] — least-loaded, round-robin, or an explicit
+//!   [`PlacementHint`]), disconnect, fatbin/PTX registration,
+//!   malloc/free, live partition **migration** between GPUs, and a
+//!   one-step rebalancer. A one-device set is exactly the single-GPU
+//!   manager.
 //! * `session` (internal) — the **data plane**: one session thread per
 //!   tenant executing transfers, launches, syncs, and events concurrently
 //!   across tenants against read-mostly shared state; checks every host
 //!   transfer against the partition bounds, swaps launches for sandboxed
-//!   kernels with the caller's bounds appended, and multiplexes tenants
-//!   over streams of the manager's single context. OOB detection kills
-//!   only the offender, whichever session observes the fault.
+//!   kernels with the caller's bounds appended, and issues on the
+//!   tenant's stream of its **bound GPU** (ops hold the binding read
+//!   lock, so a migration's write acquisition is the barrier). OOB
+//!   detection kills only the offender — keyed by `(gpu, stream)` —
+//!   whichever session observes the fault.
 //! * [`backends`] — deployment setups for the paper's comparisons:
 //!   native time-sharing, MPS-style spatial sharing (protection without
 //!   fault isolation), and Guardian in its three enforcement modes.
@@ -72,6 +79,7 @@ pub mod alloc;
 pub mod backends;
 pub mod grdlib;
 pub mod manager;
+pub mod placement;
 pub mod proto;
 mod session;
 pub mod transport;
@@ -80,9 +88,10 @@ pub use alloc::{AllocError, Partition, PartitionAllocator, RegionAllocator};
 pub use backends::{deploy, Capabilities, Deployment, MpsClient, Tenancy};
 pub use grdlib::GrdLib;
 pub use manager::{
-    spawn_manager, spawn_manager_over, ClientId, DispatchMode, InterceptionStats, LaunchAck,
-    LaunchStats, ManagerConfig, ManagerHandle,
+    spawn_manager, spawn_manager_multi, spawn_manager_over, ClientId, DispatchMode,
+    InterceptionStats, LaunchAck, LaunchStats, ManagerConfig, ManagerHandle,
 };
+pub use placement::{Affinity, PlacementHint, PlacementPolicy};
 pub use ptx_patcher::Protection;
 pub use transport::BoundTransport;
 

@@ -21,7 +21,8 @@
 //! regardless of which session observes the fault.
 
 use crate::alloc::{PartitionAllocator, RegionAllocator};
-use crate::session::{self, ClientShared, EventTable, KernelTable, Shared};
+use crate::placement::{choose_device, DeviceLoad, PlacementError, PlacementHint, PlacementPolicy};
+use crate::session::{self, Binding, ClientShared, EventTable, GpuShared, KernelTable, Shared};
 use crate::transport::{BoundTransport, Connection, Dialer};
 use crate::{proto, transport};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -30,7 +31,7 @@ use gpu_sim::stream::CudaFunction;
 use parking_lot::{Mutex, RwLock};
 use ptx_patcher::{fence, Protection};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -159,9 +160,13 @@ pub enum LaunchAck {
 pub struct ManagerConfig {
     /// Bounds-enforcement mode applied to kernels.
     pub protection: Protection,
-    /// Pool reserved for partitions (power of two). `None` = largest
-    /// power of two ≤ half of device memory.
+    /// Pool reserved for partitions on each device (power of two).
+    /// `None` = largest power of two ≤ half of that device's memory.
     pub pool_bytes: Option<u64>,
+    /// Per-device pool sizes, overriding `pool_bytes` index-by-index when
+    /// set (heterogeneous device sets want heterogeneous pools). Length
+    /// must match the device count.
+    pub pool_bytes_per_gpu: Option<Vec<u64>>,
     /// Issue native (unpatched) kernels when only one client is connected
     /// (§4.2.3: standalone applications incur no overhead). Off by default
     /// so overhead experiments measure protection costs.
@@ -170,6 +175,9 @@ pub struct ManagerConfig {
     pub dispatch: DispatchMode,
     /// Launch acknowledgement policy (default: eager).
     pub launch_ack: LaunchAck,
+    /// How un-hinted tenants are routed across the device set (default:
+    /// least-loaded pool bytes).
+    pub placement: PlacementPolicy,
 }
 
 impl Default for ManagerConfig {
@@ -177,9 +185,11 @@ impl Default for ManagerConfig {
         ManagerConfig {
             protection: Protection::FenceBitwise,
             pool_bytes: None,
+            pool_bytes_per_gpu: None,
             native_when_standalone: false,
             dispatch: DispatchMode::default(),
             launch_ack: LaunchAck::default(),
+            placement: PlacementPolicy::default(),
         }
     }
 }
@@ -191,12 +201,14 @@ pub(crate) struct ClientInfo {
     pub clock_ghz: f64,
     pub partition_base: u64,
     pub partition_size: u64,
+    pub device: u32,
 }
 
 /// A control-plane operation (serialized through the manager thread).
 pub(crate) enum CtrlOp {
     Connect {
         mem_requirement: u64,
+        hint: Option<PlacementHint>,
     },
     Disconnect {
         client: ClientId,
@@ -218,6 +230,16 @@ pub(crate) enum CtrlOp {
         client: ClientId,
         ptr: DevicePtr,
     },
+    /// Enumerate the device set (per-GPU pool load and tenant counts).
+    DeviceInfo,
+    /// Move a tenant's partition to another GPU, live.
+    Migrate {
+        client: ClientId,
+        dst_gpu: u32,
+    },
+    /// One rebalance step: migrate one tenant from the most- to the
+    /// least-loaded device if that narrows the spread.
+    Rebalance,
 }
 
 /// A control-plane result.
@@ -225,6 +247,10 @@ pub(crate) enum CtrlOut {
     Connected(ClientInfo),
     Unit,
     Ptr(DevicePtr),
+    Devices(Vec<proto::DeviceInfo>),
+    /// What a rebalance step did: `(client, src_gpu, dst_gpu)`, or `None`
+    /// when the placement was already balanced.
+    Rebalanced(Option<(ClientId, u32, u32)>),
 }
 
 /// One message on the control channel. The reply channel is an internal
@@ -243,13 +269,24 @@ pub(crate) fn ctrl_call(ctrl: &Sender<CtrlMsg>, op: CtrlOp) -> CudaResult<CtrlOu
     rx.recv().map_err(|_| CudaError::Disconnected)?
 }
 
-/// The serialized control plane: sole owner of the partition table and
-/// the fatbin registry, sole writer of the client map.
+/// The serialized control plane: sole owner of the per-GPU partition
+/// tables and the fatbin registry, sole writer of the client map, and
+/// the only thread that migrates bindings.
 struct Control {
     shared: Arc<Shared>,
-    partitions: PartitionAllocator,
+    /// One partition pool per GPU, indexed like `shared.gpus`.
+    pools: Vec<PartitionAllocator>,
+    policy: PlacementPolicy,
+    rr_cursor: u32,
     next_client: u32,
     registered_fatbins: Vec<u64>, // hashes, to dedupe repeat registrations
+}
+
+fn placement_to_cuda(e: PlacementError) -> CudaError {
+    match e {
+        PlacementError::NoSuchDevice(d) => CudaError::Rejected(format!("no such device {d}")),
+        PlacementError::NoCapacity => CudaError::OutOfMemory,
+    }
 }
 
 impl Control {
@@ -259,29 +296,44 @@ impl Control {
             let _ = msg.reply.send(r);
         }
         // All control senders dropped (manager handle + every session):
-        // release the context.
-        let ctx = self.shared.ctx;
-        let _ = self.shared.device.lock().destroy_context(ctx);
+        // release each device's context.
+        for g in &self.shared.gpus {
+            let _ = g.device.lock().destroy_context(g.ctx);
+        }
     }
 
     fn handle(&mut self, op: CtrlOp) -> CudaResult<CtrlOut> {
         match op {
-            CtrlOp::Connect { mem_requirement } => {
-                self.connect(mem_requirement).map(CtrlOut::Connected)
-            }
+            CtrlOp::Connect {
+                mem_requirement,
+                hint,
+            } => self.connect(mem_requirement, hint).map(CtrlOut::Connected),
             CtrlOp::Disconnect { client } => {
-                // Drain the device before releasing the partition: the
-                // tenant may have enqueued launches it never synchronized
-                // (normal under Drop-based teardown and deferred acks).
-                // Freeing first would let those stale commands execute
-                // later — into whichever tenant the partition is handed
-                // to next.
-                if self.shared.clients.read().contains_key(&client) {
-                    self.shared.device.lock().synchronize();
-                    self.shared.reap_faults();
+                // Drain the tenant's device before releasing the
+                // partition: the tenant may have enqueued launches it
+                // never synchronized (normal under Drop-based teardown
+                // and deferred acks). Freeing first would let those stale
+                // commands execute later — into whichever tenant the
+                // partition is handed to next.
+                let binding = self
+                    .shared
+                    .clients
+                    .read()
+                    .get(&client)
+                    .map(|state| *state.binding.read());
+                if let Some(b) = binding {
+                    self.shared.gpu(b.gpu).device.lock().synchronize();
+                    self.shared.reap_faults(b.gpu);
                 }
                 if let Some(state) = self.shared.clients.write().remove(&client) {
-                    let _ = self.partitions.free(state.partition.base);
+                    let b = *state.binding.read();
+                    let _ = self.pools[b.gpu as usize].free(b.partition.base);
+                    let _ = self
+                        .shared
+                        .gpu(b.gpu)
+                        .device
+                        .lock()
+                        .destroy_stream(b.stream);
                 }
                 Ok(CtrlOut::Unit)
             }
@@ -306,6 +358,212 @@ impl Control {
                 r.map(|()| CtrlOut::Unit)
                     .map_err(|_| CudaError::InvalidValue)
             }
+            CtrlOp::DeviceInfo => Ok(CtrlOut::Devices(self.device_infos())),
+            CtrlOp::Migrate { client, dst_gpu } => {
+                self.migrate(client, dst_gpu).map(CtrlOut::Connected)
+            }
+            CtrlOp::Rebalance => self.rebalance().map(CtrlOut::Rebalanced),
+        }
+    }
+
+    fn device_infos(&self) -> Vec<proto::DeviceInfo> {
+        let clients = self.shared.clients.read();
+        self.shared
+            .gpus
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let tenants = clients
+                    .values()
+                    .filter(|c| c.gpu_tag.load(Ordering::SeqCst) == i as u32)
+                    .count() as u32;
+                let (name, clock_ghz) = {
+                    let dev = g.device.lock();
+                    (dev.spec().name.clone(), dev.spec().clock_ghz)
+                };
+                proto::DeviceInfo {
+                    index: i as u32,
+                    name,
+                    clock_ghz,
+                    pool_bytes: self.pools[i].capacity(),
+                    used_bytes: self.pools[i].used_bytes(),
+                    tenants,
+                }
+            })
+            .collect()
+    }
+
+    /// Live partition migration (the cross-GPU rebalance primitive):
+    ///
+    /// 1. take the binding **write lock** — the migration barrier. New
+    ///    data-plane ops from the tenant's session block here; in-flight
+    ///    ones finish first (write acquisition waits out readers). Other
+    ///    tenants' data planes are untouched throughout.
+    /// 2. drain the source device and reap its faults, so nothing of the
+    ///    tenant's is still executing and a just-faulted tenant is not
+    ///    migrated (its kill must stand).
+    /// 3. carve an equally-sized partition on the destination, copy every
+    ///    live allocation at its same offset, rebase the heap.
+    /// 4. retire the source stream and partition, store the new binding,
+    ///    refresh the reap tags.
+    ///
+    /// The reply carries the new base so the tenant can translate its
+    /// device pointers by `new_base - old_base` (offsets are preserved).
+    fn migrate(&mut self, client: ClientId, dst_gpu: u32) -> CudaResult<ClientInfo> {
+        if dst_gpu as usize >= self.shared.gpus.len() {
+            return Err(CudaError::Rejected(format!("no such device {dst_gpu}")));
+        }
+        let state = self.client(client)?;
+        Shared::check_alive(&state)?;
+
+        // (1) The barrier. Only the control thread ever write-locks a
+        // binding, so this cannot deadlock with another migration.
+        let mut binding = state.binding.write();
+        let src = *binding;
+        if src.gpu == dst_gpu {
+            return Ok(self.client_info(&state, &src));
+        }
+
+        // (2) Drain and reap the source. reap_faults matches on the
+        // lock-free tags, not the binding lock we hold.
+        self.shared.gpu(src.gpu).device.lock().synchronize();
+        self.shared.reap_faults(src.gpu);
+        Shared::check_alive(&state)?;
+
+        // (3) Destination partition + stream.
+        let dst_part = self.pools[dst_gpu as usize]
+            .alloc(src.partition.size)
+            .map_err(|_| CudaError::OutOfMemory)?;
+        debug_assert_eq!(dst_part.size, src.partition.size);
+        let g_dst = self.shared.gpu(dst_gpu);
+        let dst_stream = match g_dst.device.lock().create_stream(g_dst.ctx) {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = self.pools[dst_gpu as usize].free(dst_part.base);
+                return Err(e.into());
+            }
+        };
+
+        // Copy live allocations offset-stable. The source is drained and
+        // the tenant's data plane is blocked on the barrier, so a plain
+        // host-side read/write is a consistent snapshot.
+        let mut heap = state.heap.lock();
+        let copy_result = {
+            let g_src = self.shared.gpu(src.gpu);
+            let mut r: CudaResult<()> = Ok(());
+            for (addr, len) in heap.live_allocations() {
+                let mut buf = vec![0u8; len as usize];
+                let off = addr - src.partition.base;
+                let step = g_src
+                    .device
+                    .lock()
+                    .read_memory(addr, &mut buf)
+                    .and_then(|()| g_dst.device.lock().write_memory(dst_part.base + off, &buf));
+                if let Err(e) = step {
+                    r = Err(e.into());
+                    break;
+                }
+            }
+            r
+        };
+        if let Err(e) = copy_result {
+            // Failed migration leaves the tenant exactly where it was.
+            drop(heap);
+            let _ = self.pools[dst_gpu as usize].free(dst_part.base);
+            let _ = g_dst.device.lock().destroy_stream(dst_stream);
+            return Err(e);
+        }
+        heap.rebase(dst_part);
+        drop(heap);
+
+        // (4) Retire the source, publish the new binding. Recorded
+        // events are invalidated wholesale: their timestamps are cycle
+        // counts of the *source* device's clock, incomparable with
+        // anything the destination will record (real CUDA events are
+        // likewise context-bound). Stale handles now answer
+        // InvalidValue instead of garbage elapsed times.
+        state.events.lock().events.clear();
+        let _ = self.pools[src.gpu as usize].free(src.partition.base);
+        let _ = self
+            .shared
+            .gpu(src.gpu)
+            .device
+            .lock()
+            .destroy_stream(src.stream);
+        state.set_binding(
+            &mut binding,
+            Binding {
+                gpu: dst_gpu,
+                stream: dst_stream,
+                partition: dst_part,
+            },
+        );
+        let new = *binding;
+        drop(binding);
+        Ok(self.client_info(&state, &new))
+    }
+
+    /// One rebalance step: if moving one tenant from the most-loaded to
+    /// the least-loaded pool narrows the byte spread, migrate the
+    /// smallest such tenant and report it. A no-op on balanced (or
+    /// single-GPU) sets.
+    fn rebalance(&mut self) -> CudaResult<Option<(ClientId, u32, u32)>> {
+        if self.shared.gpus.len() < 2 {
+            return Ok(None);
+        }
+        let used: Vec<u64> = self.pools.iter().map(|p| p.used_bytes()).collect();
+        let (src, _) = used
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, u)| (**u, usize::MAX - *i))
+            .expect("non-empty");
+        let (dst, _) = used
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, u)| (**u, *i))
+            .expect("non-empty");
+        if src == dst {
+            return Ok(None);
+        }
+        // Smallest live tenant on the most-loaded device whose move
+        // narrows the spread and fits on the destination.
+        let candidate = {
+            let clients = self.shared.clients.read();
+            let mut best: Option<(u64, ClientId)> = None;
+            for state in clients.values() {
+                if state.dead.load(Ordering::SeqCst)
+                    || state.gpu_tag.load(Ordering::SeqCst) != src as u32
+                {
+                    continue;
+                }
+                let size = state.binding.read().partition.size;
+                let narrows = used[dst] + size < used[src];
+                if narrows && self.pools[dst].can_alloc(size) {
+                    let better = best.map(|(s, _)| size < s).unwrap_or(true);
+                    if better {
+                        best = Some((size, state.id));
+                    }
+                }
+            }
+            best
+        };
+        match candidate {
+            Some((_, id)) => {
+                self.migrate(id, dst as u32)?;
+                Ok(Some((id, src as u32, dst as u32)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn client_info(&self, state: &ClientShared, b: &Binding) -> ClientInfo {
+        let clock_ghz = self.shared.gpu(b.gpu).device.lock().spec().clock_ghz;
+        ClientInfo {
+            id: state.id,
+            clock_ghz,
+            partition_base: b.partition.base,
+            partition_size: b.partition.size,
+            device: b.gpu,
         }
     }
 
@@ -323,46 +581,62 @@ impl Control {
         Shared::check_alive(&state)
     }
 
-    fn connect(&mut self, mem_requirement: u64) -> CudaResult<ClientInfo> {
-        let partition = self
-            .partitions
+    fn connect(
+        &mut self,
+        mem_requirement: u64,
+        hint: Option<PlacementHint>,
+    ) -> CudaResult<ClientInfo> {
+        // Route first: the policy sees every pool's fit-probe, so the
+        // device it returns can always carve the partition (the placement
+        // proptests pin this down against the real buddy allocator).
+        let loads: Vec<DeviceLoad> = self
+            .pools
+            .iter()
+            .map(|p| DeviceLoad {
+                used_bytes: p.used_bytes(),
+                can_fit: p.can_alloc(mem_requirement),
+            })
+            .collect();
+        let gpu = choose_device(self.policy, &mut self.rr_cursor, hint, &loads)
+            .map_err(placement_to_cuda)?;
+        let partition = self.pools[gpu as usize]
             .alloc(mem_requirement)
             .map_err(|_| CudaError::OutOfMemory)?;
+        let g = self.shared.gpu(gpu);
         let stream = {
-            let mut dev = self.shared.device.lock();
-            match dev.create_stream(self.shared.ctx) {
+            let mut dev = g.device.lock();
+            match dev.create_stream(g.ctx) {
                 Ok(s) => s,
                 Err(e) => {
                     drop(dev);
-                    let _ = self.partitions.free(partition.base);
+                    let _ = self.pools[gpu as usize].free(partition.base);
                     return Err(e.into());
                 }
             }
         };
         let id = ClientId(self.next_client);
         self.next_client += 1;
-        self.shared.clients.write().insert(
+        let binding = Binding {
+            gpu,
+            stream,
+            partition,
+        };
+        let state = Arc::new(ClientShared {
             id,
-            Arc::new(ClientShared {
-                id,
-                stream,
-                partition,
-                dead: AtomicBool::new(false),
-                sticky: Mutex::new(None),
-                heap: Mutex::new(RegionAllocator::new(partition)),
-                events: Mutex::new(EventTable {
-                    events: HashMap::new(),
-                    next: 1,
-                }),
+            dead: AtomicBool::new(false),
+            sticky: Mutex::new(None),
+            heap: Mutex::new(RegionAllocator::new(partition)),
+            events: Mutex::new(EventTable {
+                events: HashMap::new(),
+                next: 1,
             }),
-        );
-        let clock_ghz = self.shared.device.lock().spec().clock_ghz;
-        Ok(ClientInfo {
-            id,
-            clock_ghz,
-            partition_base: partition.base,
-            partition_size: partition.size,
-        })
+            binding: RwLock::new(binding),
+            gpu_tag: AtomicU32::new(gpu),
+            stream_tag: AtomicU32::new(stream.0),
+        });
+        let info = self.client_info(&state, &binding);
+        self.shared.clients.write().insert(id, state);
+        Ok(info)
     }
 
     fn register_fatbin(&mut self, bytes: &[u8]) -> CudaResult<()> {
@@ -379,39 +653,44 @@ impl Control {
         Ok(())
     }
 
-    /// Sandbox + load one PTX translation unit; register both the patched
-    /// and the native kernels into the shared (read-mostly) tables.
+    /// Sandbox one PTX translation unit and load it on **every** GPU,
+    /// registering the patched and native kernels into each device's
+    /// (read-mostly) registry — a tenant may be placed on, or migrate
+    /// to, any device, and its kernels must already be resident there
+    /// (the §4.4 compile-at-init discipline, per device).
     fn register_ptx(&mut self, _name: &str, text: &str) -> CudaResult<()> {
         let module = ptx::parse(text).map_err(|e| CudaError::ModuleLoad(e.to_string()))?;
         let patched = fence::patch_module(&module, self.shared.protection)
             .map_err(|e| CudaError::ModuleLoad(e.to_string()))?;
-        let (native, sandboxed) = {
-            let mut dev = self.shared.device.lock();
-            let native = dev.load_module(self.shared.ctx, &module)?;
-            let sandboxed = dev.load_module(self.shared.ctx, &patched.module)?;
-            (native, sandboxed)
-        };
-        let mut kernels = self.shared.kernels.write();
-        for (kname, k) in &native.functions {
-            if k.kind == ptx::FunctionKind::Entry {
-                kernels.native.insert(
-                    kname.clone(),
-                    CudaFunction {
-                        kernel: k.clone(),
-                        module: native.clone(),
-                    },
-                );
+        for g in &self.shared.gpus {
+            let (native, sandboxed) = {
+                let mut dev = g.device.lock();
+                let native = dev.load_module(g.ctx, &module)?;
+                let sandboxed = dev.load_module(g.ctx, &patched.module)?;
+                (native, sandboxed)
+            };
+            let mut kernels = g.kernels.write();
+            for (kname, k) in &native.functions {
+                if k.kind == ptx::FunctionKind::Entry {
+                    kernels.native.insert(
+                        kname.clone(),
+                        CudaFunction {
+                            kernel: k.clone(),
+                            module: native.clone(),
+                        },
+                    );
+                }
             }
-        }
-        for (kname, k) in &sandboxed.functions {
-            if k.kind == ptx::FunctionKind::Entry {
-                kernels.pointer_to_symbol.insert(
-                    kname.clone(),
-                    CudaFunction {
-                        kernel: k.clone(),
-                        module: sandboxed.clone(),
-                    },
-                );
+            for (kname, k) in &sandboxed.functions {
+                if k.kind == ptx::FunctionKind::Entry {
+                    kernels.pointer_to_symbol.insert(
+                        kname.clone(),
+                        CudaFunction {
+                            kernel: k.clone(),
+                            module: sandboxed.clone(),
+                        },
+                    );
+                }
             }
         }
         Ok(())
@@ -440,7 +719,7 @@ struct ManagerInner {
     /// Forces a kernel-blocked `accept` (socket transports) to return at
     /// shutdown; the in-process channel transport needs none.
     unblock: Option<transport::UnblockFn>,
-    device: SharedDevice,
+    devices: Vec<SharedDevice>,
     ctrl_tx: Option<Sender<CtrlMsg>>,
     acceptor: Option<JoinHandle<()>>,
     control: Option<JoinHandle<()>>,
@@ -522,9 +801,71 @@ impl ManagerHandle {
         }
     }
 
-    /// The shared device (for out-of-band inspection in tests/benches).
+    /// The first (or only) shared device, for out-of-band inspection in
+    /// tests/benches — the single-GPU view of [`ManagerHandle::devices`].
     pub fn device(&self) -> &SharedDevice {
-        &self.inner.device
+        &self.inner.devices[0]
+    }
+
+    /// The whole device set, indexed by GPU ordinal.
+    pub fn devices(&self) -> &[SharedDevice] {
+        &self.inner.devices
+    }
+
+    /// Number of GPUs this manager owns.
+    pub fn device_count(&self) -> usize {
+        self.inner.devices.len()
+    }
+
+    /// Per-device pool load and tenant counts, as the control plane sees
+    /// them (the same answer a tenant gets from `Request::DeviceInfo`).
+    pub fn device_infos(&self) -> CudaResult<Vec<proto::DeviceInfo>> {
+        match self.ctrl(CtrlOp::DeviceInfo)? {
+            CtrlOut::Devices(d) => Ok(d),
+            _ => Err(CudaError::InvalidValue),
+        }
+    }
+
+    /// Migrate a tenant's partition to `dst_gpu`, live: drains the
+    /// source, copies allocations offset-stable, rebinds the session.
+    /// Returns the new `(partition_base, partition_size)`. This is the
+    /// operator-side entry (tests, rebalancers); tenants use
+    /// [`GrdLib::migrate`](crate::GrdLib::migrate), which also refreshes
+    /// their cached pointers.
+    ///
+    /// # Errors
+    ///
+    /// [`CudaError::OutOfMemory`] when `dst_gpu`'s pool cannot host the
+    /// partition; [`CudaError::Rejected`] for unknown devices or a tenant
+    /// already killed by Guardian.
+    pub fn migrate_partition(&self, client: ClientId, dst_gpu: u32) -> CudaResult<(u64, u64)> {
+        match self.ctrl(CtrlOp::Migrate { client, dst_gpu })? {
+            CtrlOut::Connected(info) => Ok((info.partition_base, info.partition_size)),
+            _ => Err(CudaError::InvalidValue),
+        }
+    }
+
+    /// One rebalance step: migrate one tenant from the most- to the
+    /// least-loaded device if that narrows the pool-byte spread. Returns
+    /// what moved, or `None` when already balanced. Call in a loop (or
+    /// from a periodic supervisor) to converge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates migration failures; `Disconnected` once the manager is
+    /// gone.
+    pub fn rebalance(&self) -> CudaResult<Option<(ClientId, u32, u32)>> {
+        match self.ctrl(CtrlOp::Rebalance)? {
+            CtrlOut::Rebalanced(moved) => Ok(moved),
+            _ => Err(CudaError::InvalidValue),
+        }
+    }
+
+    fn ctrl(&self, op: CtrlOp) -> CudaResult<CtrlOut> {
+        match &self.inner.ctrl_tx {
+            Some(tx) => ctrl_call(tx, op),
+            None => Err(CudaError::Disconnected),
+        }
     }
 
     /// Eagerly shut down: drop this handle and, if it is the last one,
@@ -568,42 +909,86 @@ pub fn spawn_manager_over(
     fatbins: &[&[u8]],
     transport_over: BoundTransport,
 ) -> CudaResult<ManagerHandle> {
-    let ctx = device.lock().create_context()?;
-    // Reserve the partition pool: all of free memory rounded down to a
-    // power of two (or the configured size), self-aligned for fencing.
-    let pool_bytes = match config.pool_bytes {
-        Some(b) => b,
-        None => {
-            let spec_mem = device.lock().spec().global_mem_bytes;
-            let free = spec_mem - device.lock().used_bytes();
-            let half = free / 2;
-            1u64 << (63 - half.leading_zeros())
+    spawn_manager_multi(vec![device], config, fatbins, transport_over)
+}
+
+/// Spawn a grdManager owning a whole **device set**: one partition pool,
+/// kernel registry, and fault cursor per GPU. Tenants are routed across
+/// the set at `Connect` by [`ManagerConfig::placement`] or an explicit
+/// [`PlacementHint`], and can be migrated between devices live
+/// ([`ManagerHandle::migrate_partition`]). A one-element set is exactly
+/// the old single-GPU manager — [`spawn_manager_over`] delegates here.
+///
+/// # Errors
+///
+/// As [`spawn_manager`]; additionally fails on an empty device set or a
+/// `pool_bytes_per_gpu` whose length does not match it.
+pub fn spawn_manager_multi(
+    devices: Vec<SharedDevice>,
+    config: ManagerConfig,
+    fatbins: &[&[u8]],
+    transport_over: BoundTransport,
+) -> CudaResult<ManagerHandle> {
+    if devices.is_empty() {
+        return Err(CudaError::Rejected("empty device set".into()));
+    }
+    if let Some(per) = &config.pool_bytes_per_gpu {
+        if per.len() != devices.len() {
+            return Err(CudaError::Rejected(format!(
+                "pool_bytes_per_gpu has {} entries for {} devices",
+                per.len(),
+                devices.len()
+            )));
         }
-    };
-    let pool_base = device.lock().malloc_aligned(ctx, pool_bytes, pool_bytes)?;
+    }
+    let mut gpus = Vec::with_capacity(devices.len());
+    let mut pools = Vec::with_capacity(devices.len());
+    for (i, device) in devices.iter().enumerate() {
+        let ctx = device.lock().create_context()?;
+        // Reserve this device's partition pool: all of free memory
+        // rounded down to a power of two (or the configured size),
+        // self-aligned for fencing.
+        let pool_bytes = match (&config.pool_bytes_per_gpu, config.pool_bytes) {
+            (Some(per), _) => per[i],
+            (None, Some(b)) => b,
+            (None, None) => {
+                let spec_mem = device.lock().spec().global_mem_bytes;
+                let free = spec_mem - device.lock().used_bytes();
+                let half = free / 2;
+                1u64 << (63 - half.leading_zeros())
+            }
+        };
+        let pool_base = device.lock().malloc_aligned(ctx, pool_bytes, pool_bytes)?;
+        gpus.push(GpuShared {
+            device: device.clone(),
+            ctx,
+            kernels: RwLock::new(KernelTable::default()),
+            fault_cursor: Mutex::new(0),
+        });
+        pools.push(PartitionAllocator::new(pool_base, pool_bytes));
+    }
     let shared = Arc::new(Shared {
-        device: device.clone(),
-        ctx,
+        gpus,
         protection: config.protection,
         native_when_standalone: config.native_when_standalone,
         dispatch: config.dispatch,
         launch_ack: config.launch_ack,
-        kernels: RwLock::new(KernelTable::default()),
         clients: RwLock::new(HashMap::new()),
         stats: Mutex::new(LaunchStats::default()),
-        fault_cursor: Mutex::new(0),
         serial_gate: Mutex::new(()),
         inflight: AtomicU32::new(0),
         max_inflight: AtomicU32::new(0),
     });
     let mut control = Control {
         shared: shared.clone(),
-        partitions: PartitionAllocator::new(pool_base, pool_bytes),
+        pools,
+        policy: config.placement,
+        rr_cursor: 0,
         next_client: 1,
         registered_fatbins: Vec::new(),
     };
-    // Offline phase: sandbox + load the initial fatbins before any tenant
-    // can connect, so registration errors surface here.
+    // Offline phase: sandbox + load the initial fatbins (on every GPU)
+    // before any tenant can connect, so registration errors surface here.
     for fb in fatbins {
         control.register_fatbin(fb)?;
     }
@@ -622,7 +1007,7 @@ pub fn spawn_manager_over(
         inner: Arc::new(ManagerInner {
             dialer: Some(dialer),
             unblock,
-            device,
+            devices,
             ctrl_tx: Some(ctrl_tx),
             acceptor: Some(acceptor_join),
             control: Some(control_join),

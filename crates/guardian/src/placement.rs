@@ -1,0 +1,420 @@
+//! Tenant placement across a multi-GPU device set.
+//!
+//! When the grdManager owns several GPUs (one partition pool per device),
+//! every `Connect` must pick a device before a partition can be carved.
+//! The policy layer is deliberately pure — it looks at a snapshot of
+//! per-device load and an optional tenant-supplied [`PlacementHint`], and
+//! returns a device index — so it can be property-tested exhaustively
+//! without spinning up managers (the ParvaGPU / MIG-fragmentation line of
+//! work in PAPERS.md is all about this decision being the difference
+//! between aggregate throughput and stranded capacity).
+//!
+//! Invariants the proptests pin down:
+//!
+//! * a returned device can always satisfy the request (no overcommit —
+//!   the control plane allocates from exactly the pool the policy chose);
+//! * an explicit, satisfiable hint is always honored;
+//! * an unsatisfiable strict hint fails *instead of* spilling onto a
+//!   device the tenant did not ask for.
+
+use std::fmt;
+
+/// How the manager routes tenants with no (or non-strict) hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Route to the device with the fewest partition-pool bytes in use
+    /// that can satisfy the request (ties break to the lowest index).
+    #[default]
+    LeastLoaded,
+    /// Rotate over devices, skipping those that cannot satisfy the
+    /// request.
+    RoundRobin,
+}
+
+/// How binding a hint is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Affinity {
+    /// The hinted device or failure — never silent spillover (a tenant
+    /// pinned for data locality must not land elsewhere).
+    #[default]
+    Strict,
+    /// Prefer the hinted device, fall back to the policy when it cannot
+    /// satisfy the request.
+    Prefer,
+}
+
+/// A tenant's placement request, carried in the `Connect` wire message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlacementHint {
+    /// Device index to pin to, if any.
+    pub device: Option<u32>,
+    /// Whether the pin is a requirement or a preference. Ignored when
+    /// `device` is `None`.
+    pub affinity: Affinity,
+}
+
+impl PlacementHint {
+    /// Pin to `device`, failing if it cannot host the tenant.
+    pub fn pin(device: u32) -> Self {
+        PlacementHint {
+            device: Some(device),
+            affinity: Affinity::Strict,
+        }
+    }
+
+    /// Prefer `device`, falling back to the policy if it is full.
+    pub fn prefer(device: u32) -> Self {
+        PlacementHint {
+            device: Some(device),
+            affinity: Affinity::Prefer,
+        }
+    }
+}
+
+/// A point-in-time view of one device's partition pool, as the control
+/// plane sees it at `Connect`.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceLoad {
+    /// Pool bytes currently held by partitions.
+    pub used_bytes: u64,
+    /// Whether this device's pool can carve a partition of the requested
+    /// size right now (buddy-allocator answer, not just a byte count —
+    /// fragmentation matters).
+    pub can_fit: bool,
+}
+
+/// Why a placement failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The hint named a device index outside the device set.
+    NoSuchDevice(u32),
+    /// No device (or, under a strict hint, not the hinted device) can
+    /// satisfy the request.
+    NoCapacity,
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::NoSuchDevice(d) => write!(f, "no such device {d}"),
+            PlacementError::NoCapacity => f.write_str("no device can satisfy the request"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Pick a device for one connect. `rr_cursor` is the round-robin state:
+/// it advances only when the policy (not a hint) makes the choice, so
+/// hinted tenants do not skew the rotation.
+///
+/// # Errors
+///
+/// [`PlacementError::NoSuchDevice`] for an out-of-range hint;
+/// [`PlacementError::NoCapacity`] when nothing (or, strictly, not the
+/// hinted device) fits.
+pub fn choose_device(
+    policy: PlacementPolicy,
+    rr_cursor: &mut u32,
+    hint: Option<PlacementHint>,
+    loads: &[DeviceLoad],
+) -> Result<u32, PlacementError> {
+    if let Some(hint) = hint {
+        if let Some(d) = hint.device {
+            let load = loads
+                .get(d as usize)
+                .ok_or(PlacementError::NoSuchDevice(d))?;
+            if load.can_fit {
+                return Ok(d);
+            }
+            if hint.affinity == Affinity::Strict {
+                return Err(PlacementError::NoCapacity);
+            }
+            // Prefer: fall through to the policy.
+        }
+    }
+    match policy {
+        PlacementPolicy::LeastLoaded => loads
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.can_fit)
+            .min_by_key(|(i, l)| (l.used_bytes, *i))
+            .map(|(i, _)| i as u32)
+            .ok_or(PlacementError::NoCapacity),
+        PlacementPolicy::RoundRobin => {
+            let n = loads.len() as u32;
+            if n == 0 {
+                return Err(PlacementError::NoCapacity);
+            }
+            for step in 0..n {
+                let d = (*rr_cursor + step) % n;
+                if loads[d as usize].can_fit {
+                    *rr_cursor = (d + 1) % n;
+                    return Ok(d);
+                }
+            }
+            Err(PlacementError::NoCapacity)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(used: u64, fit: bool) -> DeviceLoad {
+        DeviceLoad {
+            used_bytes: used,
+            can_fit: fit,
+        }
+    }
+
+    #[test]
+    fn least_loaded_picks_min_bytes_breaking_ties_low() {
+        let mut rr = 0;
+        let loads = [load(8, true), load(4, true), load(4, true)];
+        let d = choose_device(PlacementPolicy::LeastLoaded, &mut rr, None, &loads).unwrap();
+        assert_eq!(d, 1);
+    }
+
+    #[test]
+    fn least_loaded_skips_full_devices() {
+        let mut rr = 0;
+        let loads = [load(0, false), load(16, true)];
+        let d = choose_device(PlacementPolicy::LeastLoaded, &mut rr, None, &loads).unwrap();
+        assert_eq!(d, 1);
+    }
+
+    #[test]
+    fn round_robin_rotates_and_skips() {
+        let mut rr = 0;
+        let loads = [load(0, true), load(0, false), load(0, true)];
+        let picks: Vec<u32> = (0..4)
+            .map(|_| choose_device(PlacementPolicy::RoundRobin, &mut rr, None, &loads).unwrap())
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn strict_hint_is_honored_or_fails() {
+        let mut rr = 0;
+        let loads = [load(0, true), load(0, false)];
+        assert_eq!(
+            choose_device(
+                PlacementPolicy::LeastLoaded,
+                &mut rr,
+                Some(PlacementHint::pin(0)),
+                &loads
+            ),
+            Ok(0)
+        );
+        assert_eq!(
+            choose_device(
+                PlacementPolicy::LeastLoaded,
+                &mut rr,
+                Some(PlacementHint::pin(1)),
+                &loads
+            ),
+            Err(PlacementError::NoCapacity)
+        );
+        assert_eq!(
+            choose_device(
+                PlacementPolicy::LeastLoaded,
+                &mut rr,
+                Some(PlacementHint::pin(7)),
+                &loads
+            ),
+            Err(PlacementError::NoSuchDevice(7))
+        );
+    }
+
+    #[test]
+    fn prefer_hint_spills_to_policy() {
+        let mut rr = 0;
+        let loads = [load(9, true), load(0, false)];
+        let d = choose_device(
+            PlacementPolicy::LeastLoaded,
+            &mut rr,
+            Some(PlacementHint::prefer(1)),
+            &loads,
+        )
+        .unwrap();
+        assert_eq!(d, 0, "preferred device full: spill to least-loaded");
+    }
+
+    #[test]
+    fn hints_do_not_advance_round_robin() {
+        let mut rr = 0;
+        let loads = [load(0, true), load(0, true)];
+        let _ = choose_device(
+            PlacementPolicy::RoundRobin,
+            &mut rr,
+            Some(PlacementHint::pin(1)),
+            &loads,
+        )
+        .unwrap();
+        assert_eq!(rr, 0, "hinted placement must not skew the rotation");
+        let d = choose_device(PlacementPolicy::RoundRobin, &mut rr, None, &loads).unwrap();
+        assert_eq!(d, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    //! The placement policy driven against *real* per-device buddy
+    //! allocators: arbitrary interleavings of connects (mixed hints,
+    //! mixed sizes, both policies) and disconnects must never overcommit
+    //! any device's pool and must always honor a satisfiable explicit
+    //! hint.
+
+    use super::*;
+    use crate::alloc::{PartitionAllocator, MIN_PARTITION};
+    use proptest::collection::vec as pvec;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Connect requesting `size_mult` MiB-partitions with a hint.
+        Connect {
+            size_mult: u64,
+            hint_device: Option<u32>,
+            strict: bool,
+        },
+        /// Disconnect the idx-th live tenant (mod live count).
+        Disconnect { idx: usize },
+    }
+
+    fn arb_connect(devices: u32) -> impl Strategy<Value = Op> {
+        (
+            1u64..5,
+            (any::<bool>(), 0..devices + 1), // +1: out-of-range hints too
+            any::<bool>(),
+        )
+            .prop_map(|(size_mult, (hinted, device), strict)| Op::Connect {
+                size_mult,
+                hint_device: hinted.then_some(device),
+                strict,
+            })
+    }
+
+    fn arb_op(devices: u32) -> impl Strategy<Value = Op> {
+        // Three connect arms to one disconnect keeps pools loaded.
+        prop_oneof![
+            arb_connect(devices),
+            arb_connect(devices),
+            arb_connect(devices),
+            (0usize..32).prop_map(|idx| Op::Disconnect { idx }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn placement_never_overcommits_and_honors_hints(
+            ops in pvec(arb_op(3), 1..60),
+            round_robin in any::<bool>(),
+        ) {
+            const POOL: u64 = 8 * MIN_PARTITION;
+            let policy = if round_robin {
+                PlacementPolicy::RoundRobin
+            } else {
+                PlacementPolicy::LeastLoaded
+            };
+            let mut pools: Vec<PartitionAllocator> = (0..3)
+                .map(|i| PartitionAllocator::new((i as u64 + 1) << 40, POOL))
+                .collect();
+            let mut rr = 0u32;
+            // (device, partition base, partition size)
+            let mut live: Vec<(u32, u64, u64)> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Connect { size_mult, hint_device, strict } => {
+                        let bytes = size_mult * MIN_PARTITION;
+                        let hint = hint_device.map(|d| PlacementHint {
+                            device: Some(d),
+                            affinity: if strict { Affinity::Strict } else { Affinity::Prefer },
+                        });
+                        let loads: Vec<DeviceLoad> = pools
+                            .iter()
+                            .map(|p| DeviceLoad {
+                                used_bytes: p.used_bytes(),
+                                can_fit: p.can_alloc(bytes),
+                            })
+                            .collect();
+                        match choose_device(policy, &mut rr, hint, &loads) {
+                            Ok(d) => {
+                                // No overcommit: the chosen pool must
+                                // actually carve the partition.
+                                let part = pools[d as usize].alloc(bytes);
+                                prop_assert!(
+                                    part.is_ok(),
+                                    "policy chose device {} which could not fit {} bytes",
+                                    d, bytes
+                                );
+                                let part = part.unwrap();
+                                // A satisfiable explicit hint is always
+                                // honored, strict or not.
+                                if let Some(hd) = hint_device {
+                                    if (hd as usize) < pools.len() && loads[hd as usize].can_fit {
+                                        prop_assert_eq!(
+                                            d, hd,
+                                            "satisfiable hint for device {} ignored", hd
+                                        );
+                                    }
+                                }
+                                live.push((d, part.base, part.size));
+                            }
+                            Err(PlacementError::NoSuchDevice(d)) => {
+                                prop_assert!(d as usize >= pools.len());
+                            }
+                            Err(PlacementError::NoCapacity) => {
+                                match hint_device {
+                                    // A strict in-range hint fails iff the
+                                    // hinted device cannot fit.
+                                    Some(hd) if strict && (hd as usize) < pools.len() => {
+                                        prop_assert!(!loads[hd as usize].can_fit);
+                                    }
+                                    // Otherwise failure means *nothing* fits.
+                                    _ => {
+                                        for (i, l) in loads.iter().enumerate() {
+                                            prop_assert!(
+                                                !l.can_fit,
+                                                "NoCapacity but device {} fits", i
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        // Per-device pool accounting can never exceed
+                        // capacity (the allocator enforces it; assert the
+                        // live set agrees).
+                        for (i, pool) in pools.iter().enumerate() {
+                            let held: u64 = live
+                                .iter()
+                                .filter(|(d, _, _)| *d as usize == i)
+                                .map(|(_, _, s)| s)
+                                .sum();
+                            prop_assert_eq!(held, pool.used_bytes());
+                            prop_assert!(held <= POOL, "device {} overcommitted", i);
+                        }
+                    }
+                    Op::Disconnect { idx } => {
+                        if !live.is_empty() {
+                            let (d, base, _) = live.swap_remove(idx % live.len());
+                            prop_assert!(pools[d as usize].free(base).is_ok());
+                        }
+                    }
+                }
+            }
+            // Everything freeable; all pools fully restored.
+            for (d, base, _) in live.drain(..) {
+                prop_assert!(pools[d as usize].free(base).is_ok());
+            }
+            for pool in &mut pools {
+                prop_assert!(pool.alloc(POOL).is_ok());
+            }
+        }
+    }
+}

@@ -17,13 +17,25 @@
 //! misbehaving tenant (it is the isolation boundary).
 
 use crate::manager::{InterceptionStats, LaunchStats};
+use crate::placement::{Affinity, PlacementHint};
 use bytes::BufMut;
 use cuda_rt::{CudaError, DevicePtr};
 use gpu_sim::LaunchConfig;
 use std::fmt;
 
-/// Wire-format version; bumped on any incompatible framing change.
-pub const PROTO_VERSION: u8 = 1;
+/// Wire-format version this build emits. Version 2 added multi-GPU
+/// routing: an optional [`PlacementHint`] on `Connect`, a device index in
+/// [`ConnectInfo`], and the `DeviceInfo`/`Migrate` messages.
+pub const PROTO_VERSION: u8 = 2;
+
+/// Oldest wire-format version this build still **decodes**. This is
+/// decode-side compatibility only: a v1 frame (single-GPU era —
+/// hintless `Connect`, device-less `Connected`) parses with the v1
+/// defaults, so recorded traffic and mixed-build test fixtures stay
+/// readable. It does *not* make a live v1 peer a valid tenant — this
+/// build always encodes (and therefore replies) at [`PROTO_VERSION`],
+/// which a v1 decoder rejects as `BadVersion`.
+pub const MIN_PROTO_VERSION: u8 = 1;
 
 /// A client-to-manager message (one per CUDA call crossing the boundary).
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +45,9 @@ pub enum Request {
     Connect {
         /// Bytes of device memory the tenant requires.
         mem_requirement: u64,
+        /// Multi-GPU placement request (v2). `None` — and every v1
+        /// frame — routes by the manager's policy.
+        hint: Option<PlacementHint>,
     },
     /// Close the tenancy, releasing the partition. One-way: the client
     /// does not wait for a reply (it may already be tearing down).
@@ -127,6 +142,23 @@ pub enum Request {
     DeviceNow,
     /// Interception/dispatch statistics (benchmarking; no tenancy needed).
     Stats,
+    /// Enumerate the manager's device set: per-GPU pool capacity, load,
+    /// and tenant count (v2; no tenancy needed).
+    DeviceInfo,
+    /// Migrate this tenant's partition to another GPU (v2). The manager
+    /// drains the source, copies live allocations offset-stable into a
+    /// fresh partition on the destination, rebinds the session, and
+    /// replies with a new [`ConnectInfo`] — the tenant translates its
+    /// device pointers by `new_base - old_base`.
+    Migrate {
+        /// Destination device index.
+        device: u32,
+    },
+    /// Re-read this tenant's current binding (v2): device, partition
+    /// base/size. A tenant migrated *by the manager* (rebalancing) has a
+    /// stale pointer frame until it asks; the reply is the same
+    /// [`ConnectInfo`] shape `Connect`/`Migrate` return.
+    Binding,
 }
 
 /// Connection handshake data returned for [`Request::Connect`].
@@ -144,6 +176,26 @@ pub struct ConnectInfo {
     /// client must not wait for a `Launch` response; launch errors are
     /// sticky and surface at the next `Sync`.
     pub deferred_launch: bool,
+    /// Index of the GPU the tenant was placed on (v2; 0 when decoding a
+    /// v1 frame — the single-GPU era had exactly one device).
+    pub device: u32,
+}
+
+/// One device's row in a [`Response::Devices`] answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceInfo {
+    /// Device index in the manager's set.
+    pub index: u32,
+    /// GPU model name.
+    pub name: String,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Partition-pool capacity on this device, bytes.
+    pub pool_bytes: u64,
+    /// Pool bytes currently held by partitions.
+    pub used_bytes: u64,
+    /// Tenants currently bound to this device.
+    pub tenants: u32,
 }
 
 /// A statistics snapshot returned for [`Request::Stats`].
@@ -175,6 +227,8 @@ pub enum Response {
     Cycles(u64),
     /// Statistics snapshot (`Stats`).
     Stats(StatsSnapshot),
+    /// The manager's device set (`DeviceInfo`, v2).
+    Devices(Vec<DeviceInfo>),
     /// The call failed.
     Error(CudaError),
 }
@@ -227,6 +281,9 @@ const REQ_EVENT_RECORD: u8 = 14;
 const REQ_EVENT_ELAPSED: u8 = 15;
 const REQ_DEVICE_NOW: u8 = 16;
 const REQ_STATS: u8 = 17;
+const REQ_DEVICE_INFO: u8 = 18;
+const REQ_MIGRATE: u8 = 19;
+const REQ_BINDING: u8 = 20;
 
 // ---- response opcodes ------------------------------------------------------
 
@@ -239,6 +296,12 @@ const RESP_ELAPSED_MS: u8 = 6;
 const RESP_CYCLES: u8 = 7;
 const RESP_STATS: u8 = 8;
 const RESP_ERROR: u8 = 9;
+const RESP_DEVICES: u8 = 10;
+
+// ---- placement-hint affinity codes -----------------------------------------
+
+const AFFINITY_STRICT: u8 = 0;
+const AFFINITY_PREFER: u8 = 1;
 
 // ---- error codes -----------------------------------------------------------
 
@@ -282,6 +345,35 @@ fn put_istats(buf: &mut Vec<u8>, s: &InterceptionStats) {
     buf.put_u64_le(s.lookup_ns);
     buf.put_u64_le(s.augment_ns);
     buf.put_u64_le(s.enqueue_ns);
+}
+
+fn put_hint(buf: &mut Vec<u8>, hint: &Option<PlacementHint>) {
+    match hint {
+        None => buf.put_u8(0),
+        Some(h) => {
+            buf.put_u8(1);
+            match h.device {
+                None => buf.put_u8(0),
+                Some(d) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(d);
+                }
+            }
+            buf.put_u8(match h.affinity {
+                Affinity::Strict => AFFINITY_STRICT,
+                Affinity::Prefer => AFFINITY_PREFER,
+            });
+        }
+    }
+}
+
+fn put_device_info(buf: &mut Vec<u8>, d: &DeviceInfo) {
+    buf.put_u32_le(d.index);
+    put_str(buf, &d.name);
+    buf.put_u64_le(d.clock_ghz.to_bits());
+    buf.put_u64_le(d.pool_bytes);
+    buf.put_u64_le(d.used_bytes);
+    buf.put_u32_le(d.tenants);
 }
 
 fn put_error(buf: &mut Vec<u8>, e: &CudaError) {
@@ -377,6 +469,34 @@ impl<'a> Reader<'a> {
         })
     }
 
+    fn hint(&mut self) -> Result<Option<PlacementHint>, ProtoError> {
+        if self.u8()? == 0 {
+            return Ok(None);
+        }
+        let device = if self.u8()? == 0 {
+            None
+        } else {
+            Some(self.u32()?)
+        };
+        let affinity = match self.u8()? {
+            AFFINITY_STRICT => Affinity::Strict,
+            AFFINITY_PREFER => Affinity::Prefer,
+            op => return Err(ProtoError::BadOpcode(op)),
+        };
+        Ok(Some(PlacementHint { device, affinity }))
+    }
+
+    fn device_info(&mut self) -> Result<DeviceInfo, ProtoError> {
+        Ok(DeviceInfo {
+            index: self.u32()?,
+            name: self.string()?,
+            clock_ghz: self.f64()?,
+            pool_bytes: self.u64()?,
+            used_bytes: self.u64()?,
+            tenants: self.u32()?,
+        })
+    }
+
     fn error(&mut self) -> Result<CudaError, ProtoError> {
         Ok(match self.u8()? {
             ERR_OOM => CudaError::OutOfMemory,
@@ -407,14 +527,14 @@ fn frame_header(opcode: u8) -> Vec<u8> {
     buf
 }
 
-fn open_frame(frame: &[u8]) -> Result<(u8, Reader<'_>), ProtoError> {
+fn open_frame(frame: &[u8]) -> Result<(u8, u8, Reader<'_>), ProtoError> {
     let mut r = Reader::new(frame);
     let version = r.u8()?;
-    if version != PROTO_VERSION {
+    if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
         return Err(ProtoError::BadVersion(version));
     }
     let opcode = r.u8()?;
-    Ok((opcode, r))
+    Ok((version, opcode, r))
 }
 
 /// Encode a [`Request::Launch`] frame directly from borrowed fields.
@@ -444,9 +564,13 @@ impl Request {
     /// Serialize to a byte frame.
     pub fn encode(&self) -> Vec<u8> {
         match self {
-            Request::Connect { mem_requirement } => {
+            Request::Connect {
+                mem_requirement,
+                hint,
+            } => {
                 let mut buf = frame_header(REQ_CONNECT);
                 buf.put_u64_le(*mem_requirement);
+                put_hint(&mut buf, hint);
                 buf
             }
             Request::Disconnect => frame_header(REQ_DISCONNECT),
@@ -513,6 +637,13 @@ impl Request {
             }
             Request::DeviceNow => frame_header(REQ_DEVICE_NOW),
             Request::Stats => frame_header(REQ_STATS),
+            Request::DeviceInfo => frame_header(REQ_DEVICE_INFO),
+            Request::Migrate { device } => {
+                let mut buf = frame_header(REQ_MIGRATE);
+                buf.put_u32_le(*device);
+                buf
+            }
+            Request::Binding => frame_header(REQ_BINDING),
         }
     }
 
@@ -523,10 +654,12 @@ impl Request {
     /// [`ProtoError`] on truncation, version/opcode mismatch, bad UTF-8,
     /// or trailing bytes. Never panics on malformed input.
     pub fn decode(frame: &[u8]) -> Result<Self, ProtoError> {
-        let (opcode, mut r) = open_frame(frame)?;
+        let (version, opcode, mut r) = open_frame(frame)?;
         let req = match opcode {
             REQ_CONNECT => Request::Connect {
                 mem_requirement: r.u64()?,
+                // v1 peers predate placement hints.
+                hint: if version >= 2 { r.hint()? } else { None },
             },
             REQ_DISCONNECT => Request::Disconnect,
             REQ_REGISTER_FATBIN => Request::RegisterFatbin { bytes: r.blob()? },
@@ -569,6 +702,9 @@ impl Request {
             },
             REQ_DEVICE_NOW => Request::DeviceNow,
             REQ_STATS => Request::Stats,
+            REQ_DEVICE_INFO => Request::DeviceInfo,
+            REQ_MIGRATE => Request::Migrate { device: r.u32()? },
+            REQ_BINDING => Request::Binding,
             op => return Err(ProtoError::BadOpcode(op)),
         };
         r.finish()?;
@@ -588,6 +724,7 @@ impl Response {
                 buf.put_u64_le(info.partition_base);
                 buf.put_u64_le(info.partition_size);
                 buf.put_u8(u8::from(info.deferred_launch));
+                buf.put_u32_le(info.device);
                 buf
             }
             Response::Ptr(p) => {
@@ -622,6 +759,14 @@ impl Response {
                 buf.put_u32_le(s.max_concurrent_data_ops);
                 buf
             }
+            Response::Devices(devs) => {
+                let mut buf = frame_header(RESP_DEVICES);
+                buf.put_u32_le(devs.len() as u32);
+                for d in devs {
+                    put_device_info(&mut buf, d);
+                }
+                buf
+            }
             Response::Error(e) => {
                 let mut buf = frame_header(RESP_ERROR);
                 put_error(&mut buf, e);
@@ -637,7 +782,7 @@ impl Response {
     /// [`ProtoError`] on truncation, version/opcode mismatch, bad UTF-8,
     /// or trailing bytes. Never panics on malformed input.
     pub fn decode(frame: &[u8]) -> Result<Self, ProtoError> {
-        let (opcode, mut r) = open_frame(frame)?;
+        let (version, opcode, mut r) = open_frame(frame)?;
         let resp = match opcode {
             RESP_UNIT => Response::Unit,
             RESP_CONNECTED => Response::Connected(ConnectInfo {
@@ -646,6 +791,8 @@ impl Response {
                 partition_base: r.u64()?,
                 partition_size: r.u64()?,
                 deferred_launch: r.u8()? != 0,
+                // v1 managers had exactly one device.
+                device: if version >= 2 { r.u32()? } else { 0 },
             }),
             RESP_PTR => Response::Ptr(r.u64()?),
             RESP_DATA => Response::Data(r.blob()?),
@@ -659,6 +806,16 @@ impl Response {
                 },
                 max_concurrent_data_ops: r.u32()?,
             }),
+            RESP_DEVICES => {
+                let n = r.u32()?;
+                // Bound preallocation by the frame itself: a hostile
+                // length cannot trigger a giant reserve.
+                let mut devs = Vec::with_capacity((n as usize).min(64));
+                for _ in 0..n {
+                    devs.push(r.device_info()?);
+                }
+                Response::Devices(devs)
+            }
             RESP_ERROR => Response::Error(r.error()?),
             op => return Err(ProtoError::BadOpcode(op)),
         };
@@ -676,6 +833,18 @@ mod tests {
         let cases = vec![
             Request::Connect {
                 mem_requirement: u64::MAX,
+                hint: None,
+            },
+            Request::Connect {
+                mem_requirement: 1 << 20,
+                hint: Some(PlacementHint::pin(3)),
+            },
+            Request::Connect {
+                mem_requirement: 1 << 20,
+                hint: Some(PlacementHint {
+                    device: None,
+                    affinity: Affinity::Prefer,
+                }),
             },
             Request::Disconnect,
             Request::RegisterFatbin { bytes: vec![] },
@@ -718,6 +887,9 @@ mod tests {
             Request::EventElapsed { start: 1, end: 2 },
             Request::DeviceNow,
             Request::Stats,
+            Request::DeviceInfo,
+            Request::Migrate { device: u32::MAX },
+            Request::Binding,
         ];
         for req in cases {
             let frame = req.encode();
@@ -735,7 +907,27 @@ mod tests {
                 partition_base: 1 << 40,
                 partition_size: 1 << 26,
                 deferred_launch: true,
+                device: 2,
             }),
+            Response::Devices(vec![]),
+            Response::Devices(vec![
+                DeviceInfo {
+                    index: 0,
+                    name: "Quadro RTX A4000".into(),
+                    clock_ghz: 1.56,
+                    pool_bytes: 8 << 30,
+                    used_bytes: 2 << 30,
+                    tenants: 3,
+                },
+                DeviceInfo {
+                    index: 1,
+                    name: String::new(),
+                    clock_ghz: 0.0,
+                    pool_bytes: u64::MAX,
+                    used_bytes: 0,
+                    tenants: u32::MAX,
+                },
+            ]),
             Response::Ptr(u64::MAX),
             Response::Data(vec![]),
             Response::Data(vec![9; 100]),
@@ -827,6 +1019,48 @@ mod tests {
         }
     }
 
+    /// Version-1 frames — the single-GPU wire format — must keep
+    /// decoding: a hintless `Connect` ends after `mem_requirement`, and
+    /// a `Connected` without the device field means device 0. (Decode
+    /// side only; see [`MIN_PROTO_VERSION`] — replies always carry v2.)
+    #[test]
+    fn v1_frames_still_decode() {
+        let mut f = vec![1u8, REQ_CONNECT];
+        f.extend_from_slice(&(4u64 << 20).to_le_bytes());
+        assert_eq!(
+            Request::decode(&f).unwrap(),
+            Request::Connect {
+                mem_requirement: 4 << 20,
+                hint: None,
+            }
+        );
+        let mut f = vec![1u8, RESP_CONNECTED];
+        f.extend_from_slice(&7u32.to_le_bytes());
+        f.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+        f.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        f.extend_from_slice(&(1u64 << 22).to_le_bytes());
+        f.push(1);
+        match Response::decode(&f).unwrap() {
+            Response::Connected(info) => {
+                assert_eq!(info.client, 7);
+                assert_eq!(info.device, 0, "v1 means the one-and-only device");
+                assert!(info.deferred_launch);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+        // Plain-bodied messages are bit-identical across versions.
+        let mut sync_v1 = Request::Sync.encode();
+        sync_v1[0] = 1;
+        assert_eq!(Request::decode(&sync_v1).unwrap(), Request::Sync);
+        // The v2 additions never existed in v1... but decoding them under
+        // a v1 version byte is harmless (opcode-gated, not version-gated);
+        // what must fail is a *future* version.
+        assert_eq!(
+            Request::decode(&[PROTO_VERSION + 1, REQ_SYNC]),
+            Err(ProtoError::BadVersion(PROTO_VERSION + 1))
+        );
+    }
+
     #[test]
     fn malformed_frames_error_without_panic() {
         assert_eq!(Request::decode(&[]), Err(ProtoError::Truncated));
@@ -834,6 +1068,11 @@ mod tests {
             Request::decode(&[9, REQ_SYNC]),
             Err(ProtoError::BadVersion(9))
         );
+        // A hint with an unknown affinity discriminant is rejected.
+        let mut f = frame_header(REQ_CONNECT);
+        f.extend_from_slice(&0u64.to_le_bytes());
+        f.extend_from_slice(&[1, 0, 99]); // has_hint, no device, bad affinity
+        assert_eq!(Request::decode(&f), Err(ProtoError::BadOpcode(99)));
         assert_eq!(
             Request::decode(&[PROTO_VERSION, 250]),
             Err(ProtoError::BadOpcode(250))
@@ -903,11 +1142,32 @@ mod proptests {
         .boxed()
     }
 
+    fn arb_hint() -> BoxedStrategy<Option<PlacementHint>> {
+        (
+            (any::<bool>(), any::<bool>()),
+            (any::<u32>(), any::<bool>()),
+        )
+            .prop_map(|((has_hint, has_device), (device, strict))| {
+                has_hint.then(|| PlacementHint {
+                    device: has_device.then_some(device),
+                    affinity: if strict {
+                        Affinity::Strict
+                    } else {
+                        Affinity::Prefer
+                    },
+                })
+            })
+            .boxed()
+    }
+
     /// Every request variant, fields drawn at random.
     fn arb_request() -> BoxedStrategy<Request> {
         prop_oneof![
-            any::<u64>()
-                .prop_map(|mem_requirement| Request::Connect { mem_requirement })
+            (any::<u64>(), arb_hint())
+                .prop_map(|(mem_requirement, hint)| Request::Connect {
+                    mem_requirement,
+                    hint,
+                })
                 .boxed(),
             Just(Request::Disconnect).boxed(),
             arb_blob()
@@ -950,6 +1210,11 @@ mod proptests {
                 .boxed(),
             Just(Request::DeviceNow).boxed(),
             Just(Request::Stats).boxed(),
+            Just(Request::DeviceInfo).boxed(),
+            any::<u32>()
+                .prop_map(|device| Request::Migrate { device })
+                .boxed(),
+            Just(Request::Binding).boxed(),
         ]
         .boxed()
     }
@@ -975,20 +1240,42 @@ mod proptests {
             (
                 (any::<u32>(), any::<u64>()),
                 (any::<u64>(), any::<u64>()),
-                any::<bool>()
+                (any::<bool>(), any::<u32>())
             )
                 .prop_map(
-                    |((client, ghz_bits), (partition_base, partition_size), deferred)| {
+                    |((client, ghz_bits), (partition_base, partition_size), (deferred, device))| {
                         Response::Connected(ConnectInfo {
                             client,
                             clock_ghz: f64::from_bits(ghz_bits),
                             partition_base,
                             partition_size,
                             deferred_launch: deferred,
+                            device,
                         })
                     }
                 )
                 .boxed(),
+            pvec(
+                (
+                    (any::<u32>(), arb_string(), any::<u64>()),
+                    (any::<u64>(), any::<u64>(), any::<u32>())
+                )
+                    .prop_map(
+                        |((index, name, ghz_bits), (pool_bytes, used_bytes, tenants))| {
+                            DeviceInfo {
+                                index,
+                                name,
+                                clock_ghz: f64::from_bits(ghz_bits),
+                                pool_bytes,
+                                used_bytes,
+                                tenants,
+                            }
+                        }
+                    ),
+                0..5
+            )
+            .prop_map(Response::Devices)
+            .boxed(),
             any::<u64>().prop_map(Response::Ptr).boxed(),
             arb_blob().prop_map(Response::Data).boxed(),
             any::<u32>().prop_map(Response::EventId).boxed(),

@@ -50,33 +50,72 @@ pub(crate) struct EventTable {
     pub next: u32,
 }
 
+/// Everything the manager keeps **per GPU**: the device itself, the
+/// manager's one context on it, the sandboxed-kernel registry (each
+/// device JITs its own copy of every module), and the fault-reaping
+/// cursor into that device's log. Sessions of tenants on *different*
+/// GPUs share none of this — that independence is what makes a second
+/// device add throughput instead of lock contention.
+pub(crate) struct GpuShared {
+    pub device: SharedDevice,
+    pub ctx: CtxId,
+    pub kernels: RwLock<KernelTable>,
+    /// How far into this device's fault log reaping has progressed.
+    pub fault_cursor: Mutex<usize>,
+}
+
+/// A tenant's current placement: which GPU, which stream on it, and the
+/// partition carved from that GPU's pool. Data-plane operations hold the
+/// read lock for their whole duration; migration takes the write lock —
+/// that acquisition is the **migration barrier** (it waits out in-flight
+/// ops, and every later op sees the new device).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Binding {
+    pub gpu: u32,
+    pub stream: StreamId,
+    pub partition: Partition,
+}
+
 /// State owned by one tenant but reachable by every session (for fault
 /// reaping) — hot fields are per-client so tenants never contend.
 pub(crate) struct ClientShared {
     pub id: ClientId,
-    pub stream: StreamId,
-    pub partition: Partition,
     /// Set when Guardian terminates the client after OOB detection.
     pub dead: AtomicBool,
     /// Deferred-mode launch error, surfaced at the next `Sync`.
     pub sticky: Mutex<Option<CudaError>>,
     pub heap: Mutex<RegionAllocator>,
     pub events: Mutex<EventTable>,
+    /// Where the tenant currently lives; see [`Binding`].
+    pub binding: RwLock<Binding>,
+    /// Lock-free mirrors of `binding.gpu` / `binding.stream`, updated
+    /// under the binding write lock. Fault reaping matches on these so it
+    /// never takes a binding lock — a session reaping another device's
+    /// faults while a migration holds a write lock must not deadlock.
+    pub gpu_tag: AtomicU32,
+    pub stream_tag: AtomicU32,
+}
+
+impl ClientShared {
+    /// Store a new binding (write lock already held by the caller) and
+    /// refresh the reap tags.
+    pub(crate) fn set_binding(&self, guard: &mut Binding, new: Binding) {
+        *guard = new;
+        self.gpu_tag.store(new.gpu, Ordering::SeqCst);
+        self.stream_tag.store(new.stream.0, Ordering::SeqCst);
+    }
 }
 
 /// State shared between the control plane and all data-plane sessions.
 pub(crate) struct Shared {
-    pub device: SharedDevice,
-    pub ctx: CtxId,
+    /// The device set, indexed by GPU ordinal.
+    pub gpus: Vec<GpuShared>,
     pub protection: Protection,
     pub native_when_standalone: bool,
     pub dispatch: DispatchMode,
     pub launch_ack: LaunchAck,
-    pub kernels: RwLock<KernelTable>,
     pub clients: RwLock<HashMap<ClientId, Arc<ClientShared>>>,
     pub stats: Mutex<LaunchStats>,
-    /// How far into the device fault log reaping has progressed.
-    pub fault_cursor: Mutex<usize>,
     /// Serializes data-plane ops under [`DispatchMode::Serial`].
     pub serial_gate: Mutex<()>,
     /// Data-plane ops currently executing, and the high-water mark — the
@@ -96,16 +135,26 @@ impl Shared {
         }
     }
 
-    /// Scan new device faults; a contained trap kills only the offending
-    /// client (§4.2.4 / §5 — OOB fault isolation). Any session may reap;
-    /// the cursor lock is held until the dead flags are stored, so a
-    /// fault consumed by one session's reap is always visible to the
+    pub(crate) fn gpu(&self, index: u32) -> &GpuShared {
+        &self.gpus[index as usize]
+    }
+
+    /// Scan new faults on one device; a contained trap kills only the
+    /// offending client (§4.2.4 / §5 — OOB fault isolation). Any session
+    /// may reap; the cursor lock is held until the dead flags are stored,
+    /// so a fault consumed by one session's reap is always visible to the
     /// offender's next `check_alive` (cursor-advanced-but-not-yet-marked
     /// would let the offender's own sync slip through and return Ok).
-    pub(crate) fn reap_faults(&self) {
-        let mut cursor = self.fault_cursor.lock();
+    /// Matching uses the clients' lock-free `(gpu_tag, stream_tag)`
+    /// mirrors: a fault can only be attributed to a tenant while it is
+    /// bound to the faulting device, and migration drains the source
+    /// device (and reaps it) before retagging, so no fault slips through
+    /// a rebind.
+    pub(crate) fn reap_faults(&self, gpu: u32) {
+        let g = self.gpu(gpu);
+        let mut cursor = g.fault_cursor.lock();
         let hits: Vec<StreamId> = {
-            let dev = self.device.lock();
+            let dev = g.device.lock();
             let log = dev.fault_log();
             let start = (*cursor).min(log.len());
             *cursor = log.len();
@@ -116,7 +165,9 @@ impl Shared {
         }
         let clients = self.clients.read();
         for state in clients.values() {
-            if hits.contains(&state.stream) {
+            if state.gpu_tag.load(Ordering::SeqCst) == gpu
+                && hits.contains(&StreamId(state.stream_tag.load(Ordering::SeqCst)))
+            {
                 state.dead.store(true, Ordering::SeqCst);
             }
         }
@@ -209,7 +260,10 @@ fn dispatch(
 ) -> Option<Response> {
     match req {
         // ---- control plane: forwarded to the serialized manager -------
-        Request::Connect { mem_requirement } => {
+        Request::Connect {
+            mem_requirement,
+            hint,
+        } => {
             // One connection is one tenant: a second Connect on a live
             // session would orphan the first tenant's partition (the
             // session cleanup only disconnects the client it tracks), so
@@ -217,21 +271,57 @@ fn dispatch(
             if client.is_some() {
                 return Some(Response::Error(CudaError::InvalidValue));
             }
-            let r = ctrl_call(ctrl, CtrlOp::Connect { mem_requirement });
+            let r = ctrl_call(
+                ctrl,
+                CtrlOp::Connect {
+                    mem_requirement,
+                    hint,
+                },
+            );
             Some(match r {
                 Ok(CtrlOut::Connected(info)) => {
                     *client = shared.clients.read().get(&info.id).cloned();
-                    Response::Connected(ConnectInfo {
-                        client: info.id.0,
-                        clock_ghz: info.clock_ghz,
-                        partition_base: info.partition_base,
-                        partition_size: info.partition_size,
-                        deferred_launch: shared.launch_ack == LaunchAck::Deferred,
-                    })
+                    Response::Connected(connect_info(shared, &info))
                 }
                 Ok(_) => Response::Error(CudaError::InvalidValue),
                 Err(e) => Response::Error(e),
             })
+        }
+        Request::Migrate { device } => {
+            let c = require!(client);
+            Some(
+                match ctrl_call(
+                    ctrl,
+                    CtrlOp::Migrate {
+                        client: c.id,
+                        dst_gpu: device,
+                    },
+                ) {
+                    Ok(CtrlOut::Connected(info)) => {
+                        Response::Connected(connect_info(shared, &info))
+                    }
+                    Ok(_) => Response::Error(CudaError::InvalidValue),
+                    Err(e) => Response::Error(e),
+                },
+            )
+        }
+        Request::DeviceInfo => Some(match ctrl_call(ctrl, CtrlOp::DeviceInfo) {
+            Ok(CtrlOut::Devices(devs)) => Response::Devices(devs),
+            Ok(_) => Response::Error(CudaError::InvalidValue),
+            Err(e) => Response::Error(e),
+        }),
+        Request::Binding => {
+            let c = require!(client);
+            let b = *c.binding.read();
+            let clock_ghz = shared.gpu(b.gpu).device.lock().spec().clock_ghz;
+            Some(Response::Connected(ConnectInfo {
+                client: c.id.0,
+                clock_ghz,
+                partition_base: b.partition.base,
+                partition_size: b.partition.size,
+                deferred_launch: shared.launch_ack == LaunchAck::Deferred,
+                device: b.gpu,
+            }))
         }
         Request::Disconnect => {
             if let Some(c) = client.take() {
@@ -373,11 +463,28 @@ fn dispatch(
         }
 
         // ---- connection-scoped queries (no tenancy required) ----------
-        Request::DeviceNow => Some(Response::Cycles(shared.device.lock().now())),
+        Request::DeviceNow => {
+            // Each device has an independent virtual clock: a bound
+            // tenant gets *its* GPU's time (anything else makes its
+            // cycle deltas meaningless); tenancy-less probes read GPU 0.
+            let gpu = client.as_ref().map(|c| c.binding.read().gpu).unwrap_or(0);
+            Some(Response::Cycles(shared.gpu(gpu).device.lock().now()))
+        }
         Request::Stats => Some(Response::Stats(StatsSnapshot {
             launch: *shared.stats.lock(),
             max_concurrent_data_ops: shared.max_inflight.load(Ordering::SeqCst),
         })),
+    }
+}
+
+fn connect_info(shared: &Shared, info: &crate::manager::ClientInfo) -> ConnectInfo {
+    ConnectInfo {
+        client: info.id.0,
+        clock_ghz: info.clock_ghz,
+        partition_base: info.partition_base,
+        partition_size: info.partition_size,
+        deferred_launch: shared.launch_ack == LaunchAck::Deferred,
+        device: info.device,
     }
 }
 
@@ -412,12 +519,20 @@ fn with_dispatch<R>(shared: &Shared, f: impl FnOnce() -> R) -> R {
 }
 
 // ---- data-plane operations -------------------------------------------------
+//
+// Every operation reads the client's binding once, up front, and holds
+// the read guard for its whole duration: the op executes entirely against
+// one (gpu, stream, partition) triple, and a concurrent migration — which
+// needs the write lock — waits for it to finish (and vice versa).
 
 /// Verify every `(addr, len)` range lies in the caller's partition
 /// (§4.2.2 — the host-transfer bounds table).
-fn transfer_checked(client: &ClientShared, ranges: &[(u64, u64)]) -> CudaResult<()> {
+fn transfer_checked(
+    client: &ClientShared,
+    part: Partition,
+    ranges: &[(u64, u64)],
+) -> CudaResult<()> {
     Shared::check_alive(client)?;
-    let part = client.partition;
     for &(addr, len) in ranges {
         if !part.contains_range(addr, len) {
             return Err(CudaError::Rejected(format!(
@@ -429,32 +544,36 @@ fn transfer_checked(client: &ClientShared, ranges: &[(u64, u64)]) -> CudaResult<
     Ok(())
 }
 
-fn enqueue_and_sync(shared: &Shared, stream: StreamId, cmd: Command) -> CudaResult<()> {
+fn enqueue_and_sync(shared: &Shared, b: &Binding, cmd: Command) -> CudaResult<()> {
     {
-        let mut dev = shared.device.lock();
-        dev.enqueue(stream, cmd)?;
+        let g = shared.gpu(b.gpu);
+        let mut dev = g.device.lock();
+        dev.enqueue(b.stream, cmd)?;
         dev.synchronize();
     }
-    shared.reap_faults();
+    shared.reap_faults(b.gpu);
     Ok(())
 }
 
 fn memset(shared: &Shared, c: &ClientShared, dst: u64, byte: u8, len: u64) -> CudaResult<()> {
-    transfer_checked(c, &[(dst, len)])?;
-    enqueue_and_sync(shared, c.stream, Command::Memset { dst, byte, len })
+    let b = c.binding.read();
+    transfer_checked(c, b.partition, &[(dst, len)])?;
+    enqueue_and_sync(shared, &b, Command::Memset { dst, byte, len })
 }
 
 fn memcpy_h2d(shared: &Shared, c: &ClientShared, dst: u64, data: Vec<u8>) -> CudaResult<()> {
-    transfer_checked(c, &[(dst, data.len() as u64)])?;
-    enqueue_and_sync(shared, c.stream, Command::MemcpyH2D { dst, data })
+    let b = c.binding.read();
+    transfer_checked(c, b.partition, &[(dst, data.len() as u64)])?;
+    enqueue_and_sync(shared, &b, Command::MemcpyH2D { dst, data })
 }
 
 fn memcpy_d2h(shared: &Shared, c: &ClientShared, src: u64, len: u64) -> CudaResult<Vec<u8>> {
-    transfer_checked(c, &[(src, len)])?;
+    let b = c.binding.read();
+    transfer_checked(c, b.partition, &[(src, len)])?;
     let sink = HostSink::new();
     enqueue_and_sync(
         shared,
-        c.stream,
+        &b,
         Command::MemcpyD2H {
             src,
             len,
@@ -465,8 +584,9 @@ fn memcpy_d2h(shared: &Shared, c: &ClientShared, src: u64, len: u64) -> CudaResu
 }
 
 fn memcpy_d2d(shared: &Shared, c: &ClientShared, dst: u64, src: u64, len: u64) -> CudaResult<()> {
-    transfer_checked(c, &[(dst, len), (src, len)])?;
-    enqueue_and_sync(shared, c.stream, Command::MemcpyD2D { dst, src, len })
+    let b = c.binding.read();
+    transfer_checked(c, b.partition, &[(dst, len), (src, len)])?;
+    enqueue_and_sync(shared, &b, Command::MemcpyD2D { dst, src, len })
 }
 
 /// The interception path of §4.2.3: `pointerToSymbol` lookup, parameter
@@ -481,13 +601,16 @@ fn launch(
     driver_level: bool,
 ) -> CudaResult<()> {
     Shared::check_alive(c)?;
+    let b = c.binding.read();
+    let g = shared.gpu(b.gpu);
     let use_native = shared.protection == Protection::None
         || (shared.native_when_standalone && shared.clients.read().len() == 1);
 
-    // (1) pointerToSymbol lookup (timed; Table 5 "Lookup GPU kernel").
+    // (1) pointerToSymbol lookup in the bound GPU's registry (timed;
+    // Table 5 "Lookup GPU kernel").
     let t0 = Instant::now();
     let func = {
-        let kernels = shared.kernels.read();
+        let kernels = g.kernels.read();
         if use_native {
             kernels.native.get(kernel).cloned()
         } else {
@@ -500,7 +623,7 @@ fn launch(
     // (2) Augment the parameter array with the partition bounds
     // (timed; Table 5 "Augment kernel params").
     let t1 = Instant::now();
-    let part = c.partition;
+    let part = b.partition;
     let params = if use_native {
         args.to_vec()
     } else {
@@ -525,8 +648,8 @@ fn launch(
 
     // (3) Issue on the tenant's stream (Table 5 "Launch kernel").
     let t2 = Instant::now();
-    let r = shared.device.lock().enqueue(
-        c.stream,
+    let r = g.device.lock().enqueue(
+        b.stream,
         Command::Launch {
             func,
             cfg,
@@ -545,8 +668,9 @@ fn launch(
 
 fn sync(shared: &Shared, c: &ClientShared) -> CudaResult<()> {
     Shared::check_alive(c)?;
-    shared.device.lock().synchronize();
-    shared.reap_faults();
+    let b = c.binding.read();
+    shared.gpu(b.gpu).device.lock().synchronize();
+    shared.reap_faults(b.gpu);
     if let Some(e) = c.sticky.lock().take() {
         return Err(e);
     }
@@ -564,6 +688,7 @@ fn event_create(c: &ClientShared) -> CudaResult<u32> {
 
 fn event_record(shared: &Shared, c: &ClientShared, event: u32) -> CudaResult<()> {
     Shared::check_alive(c)?;
+    let b = c.binding.read();
     let ev = c
         .events
         .lock()
@@ -572,14 +697,16 @@ fn event_record(shared: &Shared, c: &ClientShared, event: u32) -> CudaResult<()>
         .cloned()
         .ok_or(CudaError::InvalidValue)?;
     shared
+        .gpu(b.gpu)
         .device
         .lock()
-        .enqueue(c.stream, Command::EventRecord { event: ev })
+        .enqueue(b.stream, Command::EventRecord { event: ev })
         .map_err(CudaError::from)
 }
 
 fn event_elapsed(shared: &Shared, c: &ClientShared, start: u32, end: u32) -> CudaResult<f32> {
     Shared::check_alive(c)?;
+    let bind = c.binding.read();
     let (a, b) = {
         let table = c.events.lock();
         let a = table
@@ -594,7 +721,7 @@ fn event_elapsed(shared: &Shared, c: &ClientShared, start: u32, end: u32) -> Cud
             .ok_or(CudaError::InvalidValue)?;
         (a, b)
     };
-    let ghz = shared.device.lock().spec().clock_ghz;
+    let ghz = shared.gpu(bind.gpu).device.lock().spec().clock_ghz;
     Ok(((b.saturating_sub(a)) as f64 / (ghz * 1e6)) as f32)
 }
 
@@ -695,6 +822,7 @@ mod tests {
         conn.send(
             Request::Connect {
                 mem_requirement: 4 << 20,
+                hint: None,
             }
             .encode(),
         )
@@ -704,6 +832,7 @@ mod tests {
         conn.send(
             Request::Connect {
                 mem_requirement: 4 << 20,
+                hint: None,
             }
             .encode(),
         )

@@ -243,7 +243,10 @@ mod proptests {
     fn arb_request() -> BoxedStrategy<Request> {
         prop_oneof![
             any::<u64>()
-                .prop_map(|mem_requirement| Request::Connect { mem_requirement })
+                .prop_map(|mem_requirement| Request::Connect {
+                    mem_requirement,
+                    hint: None,
+                })
                 .boxed(),
             Just(Request::Disconnect).boxed(),
             pvec(any::<u8>(), 0..300)
@@ -284,6 +287,7 @@ mod proptests {
                         partition_base: base,
                         partition_size: size,
                         deferred_launch: client % 2 == 0,
+                        device: client % 3,
                     })
                 })
                 .boxed(),

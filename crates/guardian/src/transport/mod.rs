@@ -33,10 +33,12 @@ use std::io;
 
 pub mod channel;
 pub mod frame;
+pub mod peercred;
 pub mod shm;
 pub mod uds;
 
 pub use channel::{channel_transport, ChannelConnection, ChannelDialer, ChannelListener};
+pub use peercred::UidPolicy;
 
 /// Transport-level failures.
 ///
@@ -199,8 +201,24 @@ impl BoundTransport {
     ///
     /// [`TransportError::Io`] when the socket cannot be bound.
     pub fn uds(path: impl AsRef<std::path::Path>) -> Result<Self, TransportError> {
+        Self::uds_with_policy(path, UidPolicy::AllowAll)
+    }
+
+    /// [`BoundTransport::uds`] with an `SO_PEERCRED` uid allowlist:
+    /// connections from uids the policy rejects are dropped at accept,
+    /// before any protocol byte. This is how `guardiand` restricts its
+    /// socket to the daemon's own uid (or an explicit `--allow-uid`
+    /// list).
+    ///
+    /// # Errors
+    ///
+    /// As [`BoundTransport::uds`].
+    pub fn uds_with_policy(
+        path: impl AsRef<std::path::Path>,
+        policy: UidPolicy,
+    ) -> Result<Self, TransportError> {
         let path = path.as_ref();
-        let (listener, unblock) = uds::UdsListener::bind(path)?;
+        let (listener, unblock) = uds::UdsListener::bind_with_policy(path, policy)?;
         Ok(BoundTransport {
             listener: Box::new(listener),
             dialer: Box::new(uds::UdsDialer::new(path)),
@@ -215,8 +233,21 @@ impl BoundTransport {
     ///
     /// [`TransportError::Io`] when the handshake socket cannot be bound.
     pub fn shm(path: impl AsRef<std::path::Path>) -> Result<Self, TransportError> {
+        Self::shm_with_policy(path, UidPolicy::AllowAll)
+    }
+
+    /// [`BoundTransport::shm`] with an `SO_PEERCRED` uid allowlist on
+    /// the handshake socket (see [`BoundTransport::uds_with_policy`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`BoundTransport::shm`].
+    pub fn shm_with_policy(
+        path: impl AsRef<std::path::Path>,
+        policy: UidPolicy,
+    ) -> Result<Self, TransportError> {
         let path = path.as_ref();
-        let (listener, unblock) = shm::ShmListener::bind(path)?;
+        let (listener, unblock) = shm::ShmListener::bind_with_policy(path, policy)?;
         Ok(BoundTransport {
             listener: Box::new(listener),
             dialer: Box::new(shm::ShmDialer::new(path)),

@@ -1,0 +1,151 @@
+//! Peer-credential checks for the Unix-socket listeners (`SO_PEERCRED`).
+//!
+//! `guardiand`'s sockets are the trust boundary between tenants and the
+//! process that owns the GPU; filesystem permissions on the socket path
+//! are the first gate, but a world-reachable path (or a lax umask) must
+//! not silently widen it. The kernel attaches the connecting process's
+//! credentials to every `SOCK_STREAM` Unix connection; [`UidPolicy`]
+//! checks the peer's uid against an allowlist at `accept` time, before a
+//! single protocol byte is read, and rejected peers are simply dropped —
+//! they observe EOF, the accept loop moves on.
+//!
+//! The container vendors no `libc` crate (same situation as the raw
+//! `mmap` in [`super::shm`]); the two syscall wrappers are declared
+//! directly against the C runtime every Rust binary links.
+
+use super::TransportError;
+use std::io;
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+
+extern "C" {
+    fn getsockopt(
+        sockfd: i32,
+        level: i32,
+        optname: i32,
+        optval: *mut core::ffi::c_void,
+        optlen: *mut u32,
+    ) -> i32;
+    fn geteuid() -> u32;
+}
+
+const SOL_SOCKET: i32 = 1;
+const SO_PEERCRED: i32 = 17;
+
+/// Mirror of the kernel's `struct ucred` (pid, uid, gid — all 32-bit on
+/// Linux).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+struct Ucred {
+    pid: i32,
+    uid: u32,
+    gid: u32,
+}
+
+/// The effective uid of this process.
+pub fn current_uid() -> u32 {
+    unsafe { geteuid() }
+}
+
+/// The uid of the process at the other end of a Unix-socket connection.
+///
+/// # Errors
+///
+/// [`TransportError::Io`] when the kernel refuses `SO_PEERCRED` (not a
+/// `SOCK_STREAM` Unix socket, or the platform lacks it).
+pub fn peer_uid(stream: &UnixStream) -> Result<u32, TransportError> {
+    let mut cred = Ucred {
+        pid: 0,
+        uid: u32::MAX,
+        gid: u32::MAX,
+    };
+    let mut len = std::mem::size_of::<Ucred>() as u32;
+    let rc = unsafe {
+        getsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_PEERCRED,
+            (&mut cred as *mut Ucred).cast(),
+            &mut len,
+        )
+    };
+    if rc != 0 {
+        return Err(TransportError::from_io(
+            "peercred",
+            &io::Error::last_os_error(),
+        ));
+    }
+    Ok(cred.uid)
+}
+
+/// Which peer uids a listener admits.
+#[derive(Debug, Clone, Default)]
+pub enum UidPolicy {
+    /// Admit any uid (the library default — single-user test setups and
+    /// the in-process transport need no gate; daemons should tighten).
+    #[default]
+    AllowAll,
+    /// Admit only the listed uids. `guardiand` defaults to
+    /// `Allow(vec![current_uid()])` — the uid the daemon runs as.
+    Allow(Vec<u32>),
+}
+
+impl UidPolicy {
+    /// Admit only the daemon's own uid.
+    pub fn same_user() -> Self {
+        UidPolicy::Allow(vec![current_uid()])
+    }
+
+    /// Whether a peer with `uid` may connect.
+    pub fn admits(&self, uid: u32) -> bool {
+        match self {
+            UidPolicy::AllowAll => true,
+            UidPolicy::Allow(uids) => uids.contains(&uid),
+        }
+    }
+
+    /// Check one freshly accepted connection. `Ok(true)` — admit;
+    /// `Ok(false)` — reject (caller drops the stream and keeps
+    /// accepting). Credential *lookup failures* reject closed: a peer
+    /// whose identity cannot be established is not admitted under a
+    /// restrictive policy.
+    pub fn check(&self, stream: &UnixStream) -> bool {
+        match self {
+            UidPolicy::AllowAll => true,
+            UidPolicy::Allow(_) => match peer_uid(stream) {
+                Ok(uid) => self.admits(uid),
+                Err(_) => false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::unix::net::UnixListener;
+
+    #[test]
+    fn peer_uid_reports_our_own_uid_over_socketpair() {
+        let path = crate::fixtures::temp_socket_path("peercred");
+        let listener = UnixListener::bind(&path).unwrap();
+        let client = UnixStream::connect(&path).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        // Both ends belong to this process.
+        assert_eq!(peer_uid(&server).unwrap(), current_uid());
+        assert_eq!(peer_uid(&client).unwrap(), current_uid());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn policies_admit_and_reject() {
+        assert!(UidPolicy::AllowAll.admits(0));
+        assert!(UidPolicy::AllowAll.admits(u32::MAX));
+        let same = UidPolicy::same_user();
+        assert!(same.admits(current_uid()));
+        assert!(!same.admits(current_uid().wrapping_add(1)));
+        let listed = UidPolicy::Allow(vec![1000, 1001]);
+        assert!(listed.admits(1001));
+        assert!(!listed.admits(0));
+    }
+}

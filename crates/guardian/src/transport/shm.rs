@@ -24,6 +24,7 @@
 //! intact even after a mid-storm kill).
 
 use super::frame::{self, PREAMBLE};
+use super::peercred::UidPolicy;
 use super::{Connection, Dialer, Listener, TransportError};
 use parking_lot::Mutex;
 use std::ffi::c_void;
@@ -501,6 +502,7 @@ pub struct ShmListener {
     listener: UnixListener,
     path: PathBuf,
     stop: Arc<AtomicBool>,
+    policy: UidPolicy,
     /// Ring files currently mapped by live server connections.
     mapped: Arc<Mutex<std::collections::HashSet<RingFileId>>>,
 }
@@ -514,6 +516,20 @@ impl ShmListener {
     ///
     /// [`TransportError::Io`] when binding fails.
     pub fn bind(path: &Path) -> Result<(Self, super::UnblockFn), TransportError> {
+        Self::bind_with_policy(path, UidPolicy::AllowAll)
+    }
+
+    /// [`ShmListener::bind`] with an `SO_PEERCRED` uid policy on the
+    /// handshake socket — the ring file is only ever opened for peers
+    /// the policy admits.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShmListener::bind`].
+    pub fn bind_with_policy(
+        path: &Path,
+        policy: UidPolicy,
+    ) -> Result<(Self, super::UnblockFn), TransportError> {
         if path.exists() {
             std::fs::remove_file(path).map_err(|e| io_err("bind", &e))?;
         }
@@ -532,6 +548,7 @@ impl ShmListener {
                 listener,
                 path: path.to_path_buf(),
                 stop,
+                policy,
                 mapped: Arc::new(Mutex::new(std::collections::HashSet::new())),
             },
             unblock,
@@ -680,18 +697,27 @@ impl Connection for PendingShmConnection {
 
 impl Listener for ShmListener {
     fn accept(&self) -> Result<Box<dyn Connection>, TransportError> {
-        let (sock, _) = self.listener.accept().map_err(|e| io_err("accept", &e))?;
-        if self.stop.load(Ordering::SeqCst) {
-            return Err(TransportError::Disconnected);
+        loop {
+            let (sock, _) = self.listener.accept().map_err(|e| io_err("accept", &e))?;
+            if self.stop.load(Ordering::SeqCst) {
+                return Err(TransportError::Disconnected);
+            }
+            // Credential gate: a peer the uid policy rejects is dropped
+            // before the hello — its ring file is never opened or
+            // mapped.
+            if !self.policy.check(&sock) {
+                drop(sock);
+                continue;
+            }
+            // The hello is deferred to the connection's first send/recv
+            // (its session thread), keeping the accept loop un-wedgeable.
+            return Ok(Box::new(PendingShmConnection {
+                state: Mutex::new(ShmServerState::Pending {
+                    sock,
+                    mapped: self.mapped.clone(),
+                }),
+            }));
         }
-        // The hello is deferred to the connection's first send/recv (its
-        // session thread), keeping the accept loop un-wedgeable.
-        Ok(Box::new(PendingShmConnection {
-            state: Mutex::new(ShmServerState::Pending {
-                sock,
-                mapped: self.mapped.clone(),
-            }),
-        }))
     }
 }
 

@@ -13,6 +13,7 @@
 //! corrupting mid-session frames.
 
 use super::frame::{self, FrameDecoder, MAX_FRAME, PREAMBLE};
+use super::peercred::UidPolicy;
 use super::{Connection, Dialer, Listener, TransportError};
 use parking_lot::Mutex;
 use std::io::{Read, Write};
@@ -125,6 +126,7 @@ pub struct UdsListener {
     listener: UnixListener,
     path: PathBuf,
     stop: Arc<AtomicBool>,
+    policy: UidPolicy,
 }
 
 impl UdsListener {
@@ -138,6 +140,20 @@ impl UdsListener {
     ///
     /// [`TransportError::Io`] when binding fails.
     pub fn bind(path: &Path) -> Result<(Self, super::UnblockFn), TransportError> {
+        Self::bind_with_policy(path, UidPolicy::AllowAll)
+    }
+
+    /// [`UdsListener::bind`] with an `SO_PEERCRED` uid policy: peers the
+    /// policy rejects are dropped at `accept`, before any protocol byte
+    /// is read, and the accept loop moves on to the next connection.
+    ///
+    /// # Errors
+    ///
+    /// As [`UdsListener::bind`].
+    pub fn bind_with_policy(
+        path: &Path,
+        policy: UidPolicy,
+    ) -> Result<(Self, super::UnblockFn), TransportError> {
         if path.exists() {
             std::fs::remove_file(path).map_err(|e| io_err("bind", &e))?;
         }
@@ -158,6 +174,7 @@ impl UdsListener {
                 listener,
                 path: path.to_path_buf(),
                 stop,
+                policy,
             },
             unblock,
         ))
@@ -171,15 +188,24 @@ impl UdsListener {
 
 impl Listener for UdsListener {
     fn accept(&self) -> Result<Box<dyn Connection>, TransportError> {
-        let (stream, _) = self.listener.accept().map_err(|e| io_err("accept", &e))?;
-        if self.stop.load(Ordering::SeqCst) {
-            return Err(TransportError::Disconnected);
+        loop {
+            let (stream, _) = self.listener.accept().map_err(|e| io_err("accept", &e))?;
+            if self.stop.load(Ordering::SeqCst) {
+                return Err(TransportError::Disconnected);
+            }
+            // Credential gate first: a peer the uid policy rejects is
+            // dropped (it observes EOF) and never reaches the protocol.
+            if !self.policy.check(&stream) {
+                drop(stream);
+                continue;
+            }
+            // The preamble exchange is deferred to the connection's first
+            // send/recv — i.e. its session thread — so a client that
+            // connects and then stalls (or speaks garbage) costs the
+            // accept loop nothing; its own session fails the handshake
+            // and exits.
+            return Ok(Box::new(UdsConnection::new(stream, false)));
         }
-        // The preamble exchange is deferred to the connection's first
-        // send/recv — i.e. its session thread — so a client that
-        // connects and then stalls (or speaks garbage) costs the accept
-        // loop nothing; its own session fails the handshake and exits.
-        Ok(Box::new(UdsConnection::new(stream, false)))
     }
 }
 
@@ -306,6 +332,53 @@ mod tests {
         client.send(vec![42]).unwrap();
         let (_first, got) = server_thread.join().unwrap();
         assert_eq!(got, vec![42]);
+    }
+
+    /// A same-user `SO_PEERCRED` policy admits this process's own dials
+    /// end-to-end; a deny-list policy drops the connection before the
+    /// handshake (the dialer observes EOF → `Disconnected`) and leaves
+    /// the accept loop alive for admitted peers.
+    #[test]
+    fn peercred_policy_gates_accept() {
+        use super::super::peercred::{current_uid, UidPolicy};
+
+        // Admitted: same-user policy, normal round trip.
+        let path = temp_sock("cred-ok");
+        let (listener, _unblock) =
+            UdsListener::bind_with_policy(&path, UidPolicy::same_user()).unwrap();
+        let server_thread = std::thread::spawn(move || {
+            let server = listener.accept().unwrap();
+            let got = server.recv().unwrap();
+            server.send(got).unwrap();
+        });
+        let client = UdsDialer::new(&path).dial().unwrap();
+        client.send(vec![9]).unwrap();
+        assert_eq!(client.recv().unwrap(), vec![9]);
+        server_thread.join().unwrap();
+
+        // Rejected: an allowlist naming a different uid. The server
+        // drops us pre-handshake; dialing fails as a disconnect. The
+        // accept loop must keep running (it skips rejected peers), so
+        // unblock() still wakes it cleanly.
+        let path = temp_sock("cred-no");
+        let (listener, unblock) = UdsListener::bind_with_policy(
+            &path,
+            UidPolicy::Allow(vec![current_uid().wrapping_add(1)]),
+        )
+        .unwrap();
+        let accept_thread = std::thread::spawn(move || listener.accept().err());
+        for _ in 0..3 {
+            assert_eq!(
+                UdsDialer::new(&path).dial().err(),
+                Some(TransportError::Disconnected),
+                "rejected peer should observe a disconnect"
+            );
+        }
+        unblock();
+        assert_eq!(
+            accept_thread.join().unwrap(),
+            Some(TransportError::Disconnected)
+        );
     }
 
     #[test]

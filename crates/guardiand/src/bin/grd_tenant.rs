@@ -1,8 +1,9 @@
 //! `grd-tenant`: one Guardian tenant as one OS process.
 //!
-//! Dials a `guardiand` daemon over uds or shm, registers its kernels
-//! (the well-behaved `fill` and the hostile `stomp`), announces itself
-//! with a `ready <client> <partition-base> <partition-size>` stdout
+//! Dials a `guardiand` daemon over uds or shm (optionally pinned to a
+//! GPU via `--hint`), registers its kernels (the well-behaved `fill` and
+//! the hostile `stomp`), announces itself with a
+//! `ready <client> <partition-base> <partition-size> <device>` stdout
 //! line, then runs the requested workload. See `guardiand::run_workload`
 //! for the exit-code contract.
 
@@ -18,13 +19,20 @@ fn main() {
             eprintln!("grd-tenant: {e}");
             eprintln!(
                 "usage: grd-tenant --transport uds|shm --socket PATH \
-                 [--mem BYTES] [--workload fill|oob|storm] [--iters N] [--hold-ms N]"
+                 [--mem BYTES] [--workload fill|oob|storm|migrate] [--iters N] \
+                 [--hold-ms N] [--hint GPU]"
             );
             std::process::exit(2);
         }
     };
 
-    let mut lib = match dial_retry(opts.wire, &opts.socket, opts.mem, Duration::from_secs(10)) {
+    let mut lib = match dial_retry(
+        opts.wire,
+        &opts.socket,
+        opts.mem,
+        opts.hint,
+        Duration::from_secs(10),
+    ) {
         Ok(lib) => lib,
         Err(e) => {
             eprintln!("grd-tenant: connect failed: {e}");
@@ -37,7 +45,7 @@ fn main() {
     }
 
     let (base, size) = lib.partition();
-    println!("ready {} {base} {size}", lib.client_id().0);
+    println!("ready {} {base} {size} {}", lib.client_id().0, lib.device());
     let _ = std::io::stdout().flush();
     if opts.hold_ms > 0 {
         std::thread::sleep(Duration::from_millis(opts.hold_ms));

@@ -25,7 +25,7 @@
 
 use cuda_rt::{ArgPack, CudaApi, CudaError, CudaResult};
 use gpu_sim::LaunchConfig;
-use guardian::{GrdLib, Protection};
+use guardian::{GrdLib, PlacementHint, Protection};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -63,10 +63,14 @@ pub enum Workload {
     Oob,
     /// Unbounded launch storm (runs until killed or the daemon is gone).
     Storm,
+    /// Unbounded migration ping-pong across the daemon's GPUs, verifying
+    /// a data checksum after every hop (runs until killed or the daemon
+    /// is gone). Prints `migrated <n> <device>` per hop.
+    Migrate,
 }
 
 impl Workload {
-    /// Parse `"fill"` / `"oob"` / `"storm"`.
+    /// Parse `"fill"` / `"oob"` / `"storm"` / `"migrate"`.
     ///
     /// # Errors
     ///
@@ -76,7 +80,10 @@ impl Workload {
             "fill" => Ok(Workload::Fill),
             "oob" => Ok(Workload::Oob),
             "storm" => Ok(Workload::Storm),
-            other => Err(format!("unknown workload `{other}` (want fill|oob|storm)")),
+            "migrate" => Ok(Workload::Migrate),
+            other => Err(format!(
+                "unknown workload `{other}` (want fill|oob|storm|migrate)"
+            )),
         }
     }
 }
@@ -100,12 +107,14 @@ pub struct TenantOpts {
     /// so a fast tenant cannot finish — and free its partition — before
     /// a slow sibling even connects).
     pub hold_ms: u64,
+    /// GPU index to pin the tenancy to (strict placement hint), if any.
+    pub hint: Option<u32>,
 }
 
 impl TenantOpts {
     /// Parse `grd-tenant` arguments:
     /// `--transport uds|shm --socket PATH [--mem BYTES] [--workload W]
-    /// [--iters N]`.
+    /// [--iters N] [--hold-ms N] [--hint GPU]`.
     ///
     /// # Errors
     ///
@@ -117,6 +126,7 @@ impl TenantOpts {
         let mut workload = Workload::Fill;
         let mut iters = 50;
         let mut hold_ms = 0;
+        let mut hint = None;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let mut value = |flag: &str| {
@@ -141,6 +151,13 @@ impl TenantOpts {
                         .parse()
                         .map_err(|e| format!("--hold-ms: {e}"))?;
                 }
+                "--hint" => {
+                    hint = Some(
+                        value("--hint")?
+                            .parse()
+                            .map_err(|e| format!("--hint: {e}"))?,
+                    );
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -151,6 +168,7 @@ impl TenantOpts {
             workload,
             iters,
             hold_ms,
+            hint,
         })
     }
 }
@@ -162,30 +180,41 @@ pub struct DaemonOpts {
     pub uds: Option<PathBuf>,
     /// Shared-memory endpoint (handshake socket path) to serve, if any.
     pub shm: Option<PathBuf>,
-    /// Partition pool size; `None` = half of device memory.
-    pub pool_bytes: Option<u64>,
+    /// Number of simulated GPUs the daemon owns (default 1).
+    pub gpus: u32,
+    /// Partition pool sizes: empty = half of each device's memory; one
+    /// entry = that size on every device; else one entry per device
+    /// (`--pool-bytes` accepts a comma-separated list).
+    pub pool_bytes: Vec<u64>,
     /// Bounds-enforcement mode.
     pub protection: Protection,
     /// Acknowledge launches at enqueue (`false`) or run them as one-way
     /// deferred sends (`true`).
     pub deferred: bool,
+    /// Peer uids admitted at the sockets (`SO_PEERCRED`). Empty = only
+    /// the uid the daemon runs as.
+    pub allow_uids: Vec<u32>,
 }
 
 impl DaemonOpts {
     /// Parse `guardiand` arguments:
-    /// `[--uds PATH] [--shm PATH] [--pool-bytes N]
-    /// [--protection fence|modulo|check|none] [--deferred]`.
+    /// `[--uds PATH] [--shm PATH] [--gpus N] [--pool-bytes N[,N...]]
+    /// [--protection fence|modulo|check|none] [--deferred]
+    /// [--allow-uid UID[,UID...]]`.
     ///
     /// # Errors
     ///
-    /// A usage message; at least one of `--uds`/`--shm` is required.
+    /// A usage message; at least one of `--uds`/`--shm` is required, and
+    /// a multi-entry `--pool-bytes` must match `--gpus`.
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut opts = DaemonOpts {
             uds: None,
             shm: None,
-            pool_bytes: None,
+            gpus: 1,
+            pool_bytes: Vec::new(),
             protection: Protection::FenceBitwise,
             deferred: false,
+            allow_uids: Vec::new(),
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -197,12 +226,25 @@ impl DaemonOpts {
             match arg.as_str() {
                 "--uds" => opts.uds = Some(PathBuf::from(value("--uds")?)),
                 "--shm" => opts.shm = Some(PathBuf::from(value("--shm")?)),
+                "--gpus" => {
+                    opts.gpus = value("--gpus")?
+                        .parse()
+                        .map_err(|e| format!("--gpus: {e}"))?;
+                }
                 "--pool-bytes" => {
-                    opts.pool_bytes = Some(
-                        value("--pool-bytes")?
-                            .parse()
-                            .map_err(|e| format!("--pool-bytes: {e}"))?,
-                    );
+                    opts.pool_bytes = value("--pool-bytes")?
+                        .split(',')
+                        .map(|s| s.trim().parse::<u64>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| format!("--pool-bytes: {e}"))?;
+                }
+                "--allow-uid" => {
+                    let uids: Vec<u32> = value("--allow-uid")?
+                        .split(',')
+                        .map(|s| s.trim().parse::<u32>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| format!("--allow-uid: {e}"))?;
+                    opts.allow_uids.extend(uids);
                 }
                 "--protection" => {
                     opts.protection = match value("--protection")?.as_str() {
@@ -224,7 +266,37 @@ impl DaemonOpts {
         if opts.uds.is_none() && opts.shm.is_none() {
             return Err("at least one of --uds/--shm is required".into());
         }
+        if opts.gpus == 0 {
+            return Err("--gpus must be at least 1".into());
+        }
+        if opts.pool_bytes.len() > 1 && opts.pool_bytes.len() != opts.gpus as usize {
+            return Err(format!(
+                "--pool-bytes lists {} sizes for {} gpus",
+                opts.pool_bytes.len(),
+                opts.gpus
+            ));
+        }
         Ok(opts)
+    }
+
+    /// The per-device pool configuration for `ManagerConfig`:
+    /// `(uniform pool_bytes, per-device override)`.
+    pub fn pool_config(&self) -> (Option<u64>, Option<Vec<u64>>) {
+        match self.pool_bytes.len() {
+            0 => (None, None),
+            1 => (Some(self.pool_bytes[0]), None),
+            _ => (None, Some(self.pool_bytes.clone())),
+        }
+    }
+
+    /// The `SO_PEERCRED` policy for the daemon's sockets: the explicit
+    /// `--allow-uid` list, or — by default — only the daemon's own uid.
+    pub fn uid_policy(&self) -> guardian::transport::UidPolicy {
+        if self.allow_uids.is_empty() {
+            guardian::transport::UidPolicy::same_user()
+        } else {
+            guardian::transport::UidPolicy::Allow(self.allow_uids.clone())
+        }
     }
 }
 
@@ -240,7 +312,8 @@ pub fn tenant_fatbin() -> Vec<u8> {
 
 /// Dial the daemon, retrying while it finishes starting up (the parent
 /// spawns daemon and tenants concurrently; a bounded retry window
-/// de-races them without any out-of-band synchronization).
+/// de-races them without any out-of-band synchronization). `hint` pins
+/// the tenancy to a GPU (strict).
 ///
 /// # Errors
 ///
@@ -249,13 +322,15 @@ pub fn dial_retry(
     wire: Wire,
     socket: &std::path::Path,
     mem: u64,
+    hint: Option<u32>,
     window: Duration,
 ) -> CudaResult<GrdLib> {
     let deadline = Instant::now() + window;
+    let hint = hint.map(PlacementHint::pin);
     loop {
         let r = match wire {
-            Wire::Uds => GrdLib::dial_uds(socket, mem),
-            Wire::Shm => GrdLib::dial_shm(socket, mem),
+            Wire::Uds => GrdLib::dial_uds_hinted(socket, mem, hint),
+            Wire::Shm => GrdLib::dial_shm_hinted(socket, mem, hint),
         };
         match r {
             Ok(lib) => return Ok(lib),
@@ -278,6 +353,7 @@ pub fn run_workload(lib: &mut GrdLib, workload: Workload, iters: u32) -> i32 {
         Workload::Fill => run_fill(lib, iters),
         Workload::Oob => run_oob(lib),
         Workload::Storm => run_storm(lib),
+        Workload::Migrate => run_migrate(lib),
     }
 }
 
@@ -368,6 +444,70 @@ fn run_oob(lib: &mut GrdLib) -> i32 {
     }
 }
 
+/// Migration ping-pong: bounce the tenancy across the daemon's GPUs as
+/// fast as migrations complete, carrying a seeded data pattern and
+/// verifying it after every hop. Runs until killed or the daemon is
+/// gone; data corruption is a tenant failure (exit 3).
+fn run_migrate(lib: &mut GrdLib) -> i32 {
+    let n_gpus = match lib.device_count() {
+        Ok(n) if n >= 2 => n,
+        Ok(n) => {
+            eprintln!("grd-tenant: migrate workload needs >= 2 gpus, daemon has {n}");
+            return 3;
+        }
+        Err(e) => {
+            eprintln!("grd-tenant: device_count failed: {e}");
+            return 3;
+        }
+    };
+    let len = 4096usize;
+    let pattern: Vec<u8> = (0..len).map(|i| (i * 7 + 13) as u8).collect();
+    let mut buf = match lib.cuda_malloc(len as u64) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("grd-tenant: malloc failed: {e}");
+            return 3;
+        }
+    };
+    if let Err(e) = lib.cuda_memcpy_h2d(buf, &pattern) {
+        eprintln!("grd-tenant: seed h2d failed: {e}");
+        return 3;
+    }
+    let mut hops = 0u64;
+    loop {
+        let dst = (lib.device() + 1) % n_gpus;
+        match lib.migrate(dst) {
+            Ok(delta) => {
+                buf = buf.wrapping_add(delta);
+                hops += 1;
+            }
+            // The daemon went away (or the pool is momentarily taken);
+            // a vanished daemon ends the ping-pong, not the tenant.
+            Err(CudaError::Disconnected) => return 0,
+            Err(e) => {
+                eprintln!("grd-tenant: migrate to {dst} failed: {e}");
+                return 3;
+            }
+        }
+        match lib.cuda_memcpy_d2h(buf, len as u64) {
+            Ok(back) => {
+                if back != pattern {
+                    eprintln!("grd-tenant: data corrupted after hop {hops}");
+                    return 3;
+                }
+            }
+            Err(CudaError::Disconnected) => return 0,
+            Err(e) => {
+                eprintln!("grd-tenant: readback after hop {hops} failed: {e}");
+                return 3;
+            }
+        }
+        println!("migrated {hops} {}", lib.device());
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+    }
+}
+
 /// Launch storm: as fast as the transport carries frames, until killed.
 /// Never syncs, so under deferred acks this is pure one-way traffic.
 fn run_storm(lib: &mut GrdLib) -> i32 {
@@ -445,9 +585,66 @@ mod tests {
             opts.uds.as_deref(),
             Some(std::path::Path::new("/tmp/g.sock"))
         );
-        assert_eq!(opts.pool_bytes, Some(8 << 20));
+        assert_eq!(opts.gpus, 1);
+        assert_eq!(opts.pool_config(), (Some(8 << 20), None));
         assert!(opts.deferred);
         // No endpoint at all is a usage error.
         assert!(DaemonOpts::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn daemon_multi_gpu_args_parse() {
+        let args: Vec<String> = [
+            "--uds",
+            "/tmp/g.sock",
+            "--gpus",
+            "2",
+            "--pool-bytes",
+            "8388608,4194304",
+            "--allow-uid",
+            "1000,1001",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = DaemonOpts::parse(&args).unwrap();
+        assert_eq!(opts.gpus, 2);
+        assert_eq!(opts.pool_config(), (None, Some(vec![8 << 20, 4 << 20])));
+        match opts.uid_policy() {
+            guardian::transport::UidPolicy::Allow(uids) => assert_eq!(uids, vec![1000, 1001]),
+            other => panic!("expected explicit allowlist, got {other:?}"),
+        }
+        // Default policy is same-uid.
+        let bare = DaemonOpts::parse(&["--uds".into(), "/tmp/g.sock".into()]).unwrap();
+        match bare.uid_policy() {
+            guardian::transport::UidPolicy::Allow(uids) => {
+                assert_eq!(uids, vec![guardian::transport::peercred::current_uid()]);
+            }
+            other => panic!("expected same-uid default, got {other:?}"),
+        }
+        // Per-device pool list must match the gpu count.
+        assert!(DaemonOpts::parse(&[
+            "--uds".into(),
+            "/tmp/g.sock".into(),
+            "--gpus".into(),
+            "3".into(),
+            "--pool-bytes".into(),
+            "1,2".into(),
+        ])
+        .is_err());
+        // Tenant --hint parses.
+        let t = TenantOpts::parse(&[
+            "--transport".into(),
+            "uds".into(),
+            "--socket".into(),
+            "/tmp/x".into(),
+            "--hint".into(),
+            "1".into(),
+            "--workload".into(),
+            "migrate".into(),
+        ])
+        .unwrap();
+        assert_eq!(t.hint, Some(1));
+        assert_eq!(t.workload, Workload::Migrate);
     }
 }

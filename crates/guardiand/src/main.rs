@@ -10,7 +10,7 @@
 //! endpoint is bound, so supervisors (and the cross-process test suite)
 //! can wait for readiness, then serves until killed.
 
-use guardian::{spawn_manager_over, BoundTransport, LaunchAck, ManagerConfig};
+use guardian::{spawn_manager_multi, BoundTransport, LaunchAck, ManagerConfig};
 use guardiand::DaemonOpts;
 use std::io::Write;
 
@@ -21,22 +21,26 @@ fn main() {
         Err(e) => {
             eprintln!("guardiand: {e}");
             eprintln!(
-                "usage: guardiand [--uds PATH] [--shm PATH] [--pool-bytes N] \
-                 [--protection fence|modulo|check|none] [--deferred]"
+                "usage: guardiand [--uds PATH] [--shm PATH] [--gpus N] \
+                 [--pool-bytes N[,N...]] [--protection fence|modulo|check|none] \
+                 [--deferred] [--allow-uid UID[,UID...]]"
             );
             std::process::exit(2);
         }
     };
 
+    // SO_PEERCRED gate on every socket: the daemon's own uid unless an
+    // explicit --allow-uid list was given.
+    let policy = opts.uid_policy();
     let mut transports = Vec::new();
     if let Some(path) = &opts.uds {
-        match BoundTransport::uds(path) {
+        match BoundTransport::uds_with_policy(path, policy.clone()) {
             Ok(t) => transports.push(t),
             Err(e) => fail(&format!("cannot bind uds endpoint {}: {e}", path.display())),
         }
     }
     if let Some(path) = &opts.shm {
-        match BoundTransport::shm(path) {
+        match BoundTransport::shm_with_policy(path, policy) {
             Ok(t) => transports.push(t),
             Err(e) => fail(&format!("cannot bind shm endpoint {}: {e}", path.display())),
         }
@@ -47,10 +51,14 @@ fn main() {
         BoundTransport::merge(transports)
     };
 
-    let device = cuda_rt::share_device(gpu_sim::Device::new(gpu_sim::spec::test_gpu()));
+    let devices: Vec<_> = (0..opts.gpus)
+        .map(|i| cuda_rt::share_device(gpu_sim::Device::new_indexed(gpu_sim::spec::test_gpu(), i)))
+        .collect();
+    let (pool_bytes, pool_bytes_per_gpu) = opts.pool_config();
     let config = ManagerConfig {
         protection: opts.protection,
-        pool_bytes: opts.pool_bytes,
+        pool_bytes,
+        pool_bytes_per_gpu,
         launch_ack: if opts.deferred {
             LaunchAck::Deferred
         } else {
@@ -60,7 +68,7 @@ fn main() {
     };
     // Bound to a named variable: the handle must outlive the serve loop
     // (dropping it would tear the acceptor down).
-    let _manager = match spawn_manager_over(device, config, &[], transport) {
+    let _manager = match spawn_manager_multi(devices, config, &[], transport) {
         Ok(m) => m,
         Err(e) => fail(&format!("cannot spawn manager: {e}")),
     };
@@ -72,7 +80,12 @@ fn main() {
     .into_iter()
     .flatten()
     .collect();
-    println!("guardiand: listening on {}", endpoints.join(" "));
+    println!(
+        "guardiand: listening on {} ({} gpu{})",
+        endpoints.join(" "),
+        opts.gpus,
+        if opts.gpus == 1 { "" } else { "s" }
+    );
     let _ = std::io::stdout().flush();
 
     // Serve until killed.

@@ -87,14 +87,32 @@ fn spawn_tenant(
     iters: u32,
     hold_ms: u64,
 ) -> Tenant {
-    let mut child = Command::new(TENANT_BIN)
-        .args(["--transport", wire])
+    spawn_tenant_hinted(wire, socket, mem, workload, iters, hold_ms, None)
+}
+
+/// [`spawn_tenant`] with a GPU pin (`--hint`) for multi-GPU daemons.
+#[allow(clippy::too_many_arguments)]
+fn spawn_tenant_hinted(
+    wire: &str,
+    socket: &PathBuf,
+    mem: u64,
+    workload: &str,
+    iters: u32,
+    hold_ms: u64,
+    hint: Option<u32>,
+) -> Tenant {
+    let mut cmd = Command::new(TENANT_BIN);
+    cmd.args(["--transport", wire])
         .arg("--socket")
         .arg(socket)
         .args(["--mem", &mem.to_string()])
         .args(["--workload", workload])
         .args(["--iters", &iters.to_string()])
-        .args(["--hold-ms", &hold_ms.to_string()])
+        .args(["--hold-ms", &hold_ms.to_string()]);
+    if let Some(h) = hint {
+        cmd.args(["--hint", &h.to_string()]);
+    }
+    let mut child = cmd
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
@@ -112,8 +130,16 @@ fn spawn_tenant(
 }
 
 impl Tenant {
-    /// Wait for the tenant's `ready <client> <base> <size>` banner.
+    /// Wait for the tenant's `ready <client> <base> <size> <device>`
+    /// banner; returns `(client, base, size)`.
     fn ready(&self) -> (u32, u64, u64) {
+        let (client, base, size, _device) = self.ready_on();
+        (client, base, size)
+    }
+
+    /// As [`Tenant::ready`], also returning the GPU index the daemon
+    /// placed the tenant on.
+    fn ready_on(&self) -> (u32, u64, u64, u32) {
         let deadline = Instant::now() + STEP_TIMEOUT;
         loop {
             let left = deadline.saturating_duration_since(Instant::now());
@@ -129,7 +155,24 @@ impl Tenant {
                     .expect("client id");
                 let base = parts.next().and_then(|s| s.parse().ok()).expect("base");
                 let size = parts.next().and_then(|s| s.parse().ok()).expect("size");
-                return (client, base, size);
+                let device = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+                return (client, base, size, device);
+            }
+        }
+    }
+
+    /// Wait until the tenant has printed at least `n` lines starting
+    /// with `prefix` (e.g. migration-hop progress).
+    fn await_lines(&self, prefix: &str, n: usize) {
+        let deadline = Instant::now() + STEP_TIMEOUT;
+        let mut seen = 0;
+        while seen < n {
+            let left = deadline.saturating_duration_since(Instant::now());
+            let line = self.lines.recv_timeout(left).unwrap_or_else(|_| {
+                panic!("tenant printed only {seen}/{n} `{prefix}` lines in {STEP_TIMEOUT:?}")
+            });
+            if line.starts_with(prefix) {
+                seen += 1;
             }
         }
     }
@@ -177,11 +220,17 @@ impl Tenant {
 /// Dial the daemon from this (test) process, retrying through startup
 /// races and not-yet-reclaimed partitions.
 fn dial_until(wire: &str, socket: &PathBuf, mem: u64) -> GrdLib {
+    dial_until_hinted(wire, socket, mem, None)
+}
+
+/// [`dial_until`] pinned to a GPU (strict placement hint).
+fn dial_until_hinted(wire: &str, socket: &PathBuf, mem: u64, hint: Option<u32>) -> GrdLib {
+    let hint = hint.map(guardian::PlacementHint::pin);
     let deadline = Instant::now() + STEP_TIMEOUT;
     loop {
         let r = match wire {
-            "uds" => GrdLib::dial_uds(socket, mem),
-            "shm" => GrdLib::dial_shm(socket, mem),
+            "uds" => GrdLib::dial_uds_hinted(socket, mem, hint),
+            "shm" => GrdLib::dial_shm_hinted(socket, mem, hint),
             other => panic!("unknown wire {other}"),
         };
         match r {
@@ -332,6 +381,56 @@ fn sigkill_mid_storm_reclaims_partition_shm() {
     // Deferred acks: the storm is pure one-way ring traffic, the hardest
     // case for crash detection (no reply ever un-blocks the tenant).
     sigkill_mid_storm_reclaims_partition("shm", &["--deferred"]);
+}
+
+// ---- crash mid-migration ------------------------------------------------------
+
+/// `kill -9` a tenant while it ping-pongs its partition between two
+/// GPUs. Whatever instant the SIGKILL lands at — mid-copy, between
+/// hops, mid-verify — the manager must end up with **both** devices'
+/// pools fully reclaimed: the migration path frees the source as part
+/// of the move, and the vanished-connection path frees wherever the
+/// tenant died. Each device's pool holds exactly one partition, so a
+/// pinned full-pool connect on *each* GPU is possible only if nothing
+/// leaked on either side.
+fn sigkill_mid_migration_reclaims_both_partitions(wire: &str) {
+    let pool = (4u64 << 20).to_string();
+    let daemon = Daemon::spawn(wire, &["--gpus", "2", "--pool-bytes", pool.as_str()]);
+
+    let mut mig = spawn_tenant_hinted(wire, &daemon.socket, 4 << 20, "migrate", 0, 0, Some(0));
+    let (_, _, _, device) = mig.ready_on();
+    assert_eq!(device, 0, "hint-pinned tenant must start on device 0");
+    // Let it complete a few hops so the kill genuinely races live
+    // migration machinery, then strike.
+    mig.await_lines("migrated ", 3);
+    mig.kill9();
+
+    // Both GPUs' pools come back whole (dial retries through the reap).
+    let a = dial_until_hinted(wire, &daemon.socket, 4 << 20, Some(0));
+    assert_eq!(a.device(), 0);
+    let mut b = dial_until_hinted(wire, &daemon.socket, 4 << 20, Some(1));
+    assert_eq!(b.device(), 1);
+    // And the reclaimed partitions are usable: no stale copies or
+    // commands from the dead migrator land in them.
+    let buf = b.cuda_malloc(4096).expect("malloc on reclaimed device 1");
+    b.cuda_memcpy_h2d(buf, &[0x5Au8; 256]).expect("h2d");
+    b.cuda_device_synchronize().expect("sync");
+    assert_eq!(
+        b.cuda_memcpy_d2h(buf, 256).expect("d2h"),
+        vec![0x5Au8; 256],
+        "reclaimed partition corrupted"
+    );
+    drop((a, b));
+}
+
+#[test]
+fn sigkill_mid_migration_reclaims_both_partitions_uds() {
+    sigkill_mid_migration_reclaims_both_partitions("uds");
+}
+
+#[test]
+fn sigkill_mid_migration_reclaims_both_partitions_shm() {
+    sigkill_mid_migration_reclaims_both_partitions("shm");
 }
 
 // ---- daemon robustness --------------------------------------------------------
