@@ -611,5 +611,32 @@ mod proptests {
             let whole = ra.alloc(part.size).unwrap();
             prop_assert_eq!(whole, part.base);
         }
+
+        /// `contains_range` is the single bounds gate for host transfers,
+        /// so it must agree with checked arithmetic for *any* `(addr,
+        /// len)` a hostile peer can put in a frame: acceptance implies
+        /// `addr + len` does not overflow and the whole span is inside
+        /// the partition — no wrap-around ever sneaks a range through.
+        #[test]
+        fn contains_range_never_accepts_a_wrapping_span(
+            base in any::<u64>(),
+            size_log in 0u32..48,
+            addr in any::<u64>(),
+            len in any::<u64>(),
+        ) {
+            let size = 1u64 << size_log;
+            prop_assume!(base.checked_add(size).is_some());
+            let p = Partition { base, size };
+            if p.contains_range(addr, len) {
+                let end = addr.checked_add(len);
+                prop_assert!(end.is_some(), "accepted span wraps u64");
+                prop_assert!(addr >= p.base && end.unwrap() <= p.end());
+            } else {
+                // Completeness: every genuinely in-bounds span is accepted.
+                let inside = addr >= p.base
+                    && addr.checked_add(len).is_some_and(|e| e <= p.end());
+                prop_assert!(!inside, "rejected an in-bounds span");
+            }
+        }
     }
 }

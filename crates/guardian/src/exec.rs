@@ -1,0 +1,335 @@
+//! The event-driven session executor: a small pool of workers
+//! multiplexing every event-capable connection over one epoll instance.
+//!
+//! Under the original data plane each accepted connection got its own OS
+//! thread, which stops scaling once tenants outnumber cores: hundreds of
+//! mostly-idle session threads cost stacks, scheduler churn, and wakeup
+//! latency. Here sessions stop being threads and become state machines
+//! ([`SessionCtx`]) attached to **cells**; N workers (one per core by
+//! default) sleep in `epoll_wait` and pump whichever cells have traffic.
+//!
+//! Each cell owns its connection, its session state, and the fd set it
+//! has registered (a Unix socket; for shared-memory rings the doorbell
+//! eventfd plus the lifeline socket). Epoll events carry the cell id.
+//! Workers race on a per-cell `dirty` flag + `try_lock` so a cell is
+//! drained by at most one worker while wakeups landing mid-drain are
+//! never lost:
+//!
+//! * an event marks the cell dirty, then tries the state lock;
+//! * the losing worker walks away — the winner re-checks `dirty` after
+//!   its drain and loops;
+//! * fds are registered level-triggered + `EPOLLONESHOT` and re-armed
+//!   after every drain, so a frame that slips in between the final
+//!   empty `try_recv` and the re-arm immediately re-fires.
+//!
+//! Replies produced within one drain are coalesced into batched sends
+//! ([`Connection::send_batch`]) — the server-side half of the frame
+//! batching that the client library applies to its deferred launches.
+//!
+//! A connection that turns out not to be event-capable after its
+//! deferred handshake (a doorbell-less legacy shm peer: `event_fds`
+//! comes back empty) is **demoted** to a dedicated blocking thread, the
+//! pre-executor behaviour. Its cell stays in the map until the thread
+//! exits so shutdown still accounts for it.
+
+use crate::session::{self, SessionCtx, Step};
+use crate::transport::sys::{self, Epoll, OwnedFd};
+use crate::transport::Connection;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Registration flags for session fds: readable / peer-hung-up, one
+/// shot (re-armed after each drain so two workers never drain one fd).
+const EV_FLAGS: u32 = sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLONESHOT;
+
+/// Reply frames buffered during one drain are flushed (as one batched
+/// send) at this many, bounding per-cell memory on reply-heavy runs.
+const REPLY_FLUSH: usize = 64;
+
+/// Epoll data value reserved for the shutdown eventfd (cell ids start
+/// at 1).
+const SHUTDOWN_ID: u64 = 0;
+
+struct CellState {
+    conn: Box<dyn Connection>,
+    ctx: SessionCtx,
+}
+
+struct Cell {
+    id: u64,
+    /// `None` once the state moved out — to a demotion thread, or into
+    /// teardown. Stale epoll events then find nothing to do.
+    state: Mutex<Option<CellState>>,
+    /// Set by every event before trying the state lock; cleared by the
+    /// draining worker before each pump. A set flag after a drain means
+    /// another event landed mid-drain: drain again.
+    dirty: AtomicBool,
+    /// fds currently registered with the epoll instance for this cell.
+    /// Re-queried from the connection after every drain: a shm session
+    /// gains its doorbell fd when the deferred handshake completes.
+    registered: Mutex<Vec<i32>>,
+}
+
+struct PoolInner {
+    epoll: Epoll,
+    /// Written once at shutdown; registered level-triggered *without*
+    /// `EPOLLONESHOT` under [`SHUTDOWN_ID`], so every worker wakes
+    /// (and keeps waking) until it observes `stop`.
+    shutdown_bell: OwnedFd,
+    stop: AtomicBool,
+    cells: Mutex<HashMap<u64, Arc<Cell>>>,
+    /// Notified when the last cell is removed; `shutdown` waits on it.
+    idle: Condvar,
+    next_id: AtomicU64,
+    /// Threads owning demoted sessions; joined at shutdown.
+    demoted: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The executor pool. Owned by the acceptor; created lazily on the
+/// first event-capable connection, shut down after the listener closes.
+pub(crate) struct EventPool {
+    inner: Arc<PoolInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EventPool {
+    /// Start `workers` pump threads (`0` = one per available core).
+    pub(crate) fn new(workers: usize) -> Self {
+        let n = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        } else {
+            workers
+        };
+        let epoll = Epoll::new().expect("create executor epoll");
+        let shutdown_bell = sys::eventfd_new().expect("create executor shutdown eventfd");
+        epoll
+            .add(shutdown_bell.raw(), sys::EPOLLIN, SHUTDOWN_ID)
+            .expect("register executor shutdown eventfd");
+        let inner = Arc::new(PoolInner {
+            epoll,
+            shutdown_bell,
+            stop: AtomicBool::new(false),
+            cells: Mutex::new(HashMap::new()),
+            idle: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            demoted: Mutex::new(Vec::new()),
+        });
+        let workers = (0..n)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("grdEvent-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn grdEvent worker")
+            })
+            .collect();
+        EventPool { inner, workers }
+    }
+
+    /// Hand a connection (already switched into event mode) and its
+    /// session to the pool.
+    pub(crate) fn adopt(&self, conn: Box<dyn Connection>, ctx: SessionCtx) {
+        let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
+        let fds = conn.event_fds();
+        let cell = Arc::new(Cell {
+            id,
+            state: Mutex::new(Some(CellState { conn, ctx })),
+            dirty: AtomicBool::new(false),
+            registered: Mutex::new(Vec::new()),
+        });
+        self.inner.cells.lock().unwrap().insert(id, cell.clone());
+        if fds.is_empty() {
+            // Nothing pollable at all: straight to a dedicated thread.
+            let st = cell.state.lock().unwrap().take().expect("fresh cell");
+            demote(&self.inner, &cell, st);
+            return;
+        }
+        // Register only after the map insertion so a worker woken by an
+        // already-readable fd (level-triggered add) can find the cell.
+        sync_registration(&self.inner, &cell, &fds);
+    }
+
+    /// Wait for every session to finish — clients dropping their
+    /// connections is what ends sessions, exactly the contract the
+    /// thread-per-session acceptor had by joining each session thread —
+    /// then stop and join the workers.
+    pub(crate) fn shutdown(self) {
+        {
+            let mut cells = self.inner.cells.lock().unwrap();
+            while !cells.is_empty() {
+                cells = self.inner.idle.wait(cells).unwrap();
+            }
+        }
+        self.inner.stop.store(true, Ordering::SeqCst);
+        sys::eventfd_signal(self.inner.shutdown_bell.raw());
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let demoted = std::mem::take(&mut *self.inner.demoted.lock().unwrap());
+        for t in demoted {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<PoolInner>) {
+    loop {
+        let events = inner.epoll.wait(64, -1);
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        for (_mask, id) in events {
+            if id != SHUTDOWN_ID {
+                handle_event(inner, id);
+            }
+        }
+    }
+}
+
+/// React to readiness on one cell: drain it if no other worker already
+/// is, looping until the cell is quiet *and* no wakeup landed mid-drain.
+fn handle_event(inner: &Arc<PoolInner>, id: u64) {
+    let cell = match inner.cells.lock().unwrap().get(&id) {
+        Some(c) => c.clone(),
+        None => return, // already closed; stale event
+    };
+    cell.dirty.store(true, Ordering::SeqCst);
+    loop {
+        let Ok(mut guard) = cell.state.try_lock() else {
+            // Another worker holds the cell; it will observe `dirty`
+            // after its drain and loop.
+            return;
+        };
+        cell.dirty.store(false, Ordering::SeqCst);
+        let Some(st) = guard.as_mut() else {
+            return; // demoted or mid-teardown
+        };
+        if drain(st) {
+            let st = guard.take().expect("state present");
+            drop(guard);
+            remove_cell(inner, &cell, st);
+            return;
+        }
+        // Re-query the fd set: a shm session's doorbell only exists
+        // after its deferred handshake, and a doorbell-less peer is
+        // only recognizable then — demote that one to a thread.
+        let fds = st.conn.event_fds();
+        if fds.is_empty() {
+            let st = guard.take().expect("state present");
+            drop(guard);
+            demote(inner, &cell, st);
+            return;
+        }
+        sync_registration(inner, &cell, &fds);
+        drop(guard);
+        if !cell.dirty.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Pump one connection until nothing is buffered. Replies produced by
+/// the drained frames are coalesced into batched sends. Returns `true`
+/// when the connection is done (peer gone, transport error, or a
+/// malformed frame closed the session).
+fn drain(st: &mut CellState) -> bool {
+    let mut replies: Vec<Vec<u8>> = Vec::new();
+    let mut closed = false;
+    loop {
+        match st.conn.try_recv() {
+            Ok(Some(frame)) => match st.ctx.handle_frame(&frame) {
+                Step::Reply(r) => {
+                    replies.push(r);
+                    if replies.len() >= REPLY_FLUSH
+                        && st.conn.send_batch(std::mem::take(&mut replies)).is_err()
+                    {
+                        closed = true;
+                        break;
+                    }
+                }
+                Step::None => {}
+                Step::ReplyThenClose(r) => {
+                    replies.push(r);
+                    closed = true;
+                    break;
+                }
+            },
+            Ok(None) => break,
+            Err(_) => {
+                closed = true;
+                break;
+            }
+        }
+    }
+    if !replies.is_empty() && st.conn.send_batch(replies).is_err() {
+        closed = true;
+    }
+    closed
+}
+
+/// Bring the epoll registration in line with the connection's current
+/// fd set, re-arming unchanged fds (they are `EPOLLONESHOT`-disarmed
+/// after delivering). Level-triggered re-arm means an fd that is still
+/// readable fires again immediately — the property that makes the
+/// dirty-flag race benign.
+fn sync_registration(inner: &PoolInner, cell: &Cell, fds: &[i32]) {
+    let mut reg = cell.registered.lock().unwrap();
+    for fd in reg.iter() {
+        if !fds.contains(fd) {
+            inner.epoll.del(*fd);
+        }
+    }
+    for fd in fds {
+        if reg.contains(fd) {
+            let _ = inner.epoll.rearm(*fd, EV_FLAGS, cell.id);
+        } else {
+            let _ = inner.epoll.add(*fd, EV_FLAGS, cell.id);
+        }
+    }
+    if *reg != fds {
+        *reg = fds.to_vec();
+    }
+}
+
+/// Tear a finished cell down: unregister its fds, run the session's
+/// implicit disconnect, drop the connection, and wake `shutdown` if it
+/// was the last.
+fn remove_cell(inner: &PoolInner, cell: &Cell, mut st: CellState) {
+    for fd in cell.registered.lock().unwrap().drain(..) {
+        inner.epoll.del(fd);
+    }
+    st.ctx.finish();
+    drop(st);
+    let mut cells = inner.cells.lock().unwrap();
+    cells.remove(&cell.id);
+    if cells.is_empty() {
+        inner.idle.notify_all();
+    }
+}
+
+/// Move a session onto its own blocking thread (the pre-executor
+/// behaviour) when its connection cannot signal readiness through fds.
+fn demote(inner: &Arc<PoolInner>, cell: &Cell, st: CellState) {
+    for fd in cell.registered.lock().unwrap().drain(..) {
+        inner.epoll.del(fd);
+    }
+    let pool = inner.clone();
+    let id = cell.id;
+    let join = std::thread::Builder::new()
+        .name("grdSession".into())
+        .spawn(move || {
+            let CellState { conn, ctx } = st;
+            session::run_session(conn, ctx);
+            let mut cells = pool.cells.lock().unwrap();
+            cells.remove(&id);
+            if cells.is_empty() {
+                pool.idle.notify_all();
+            }
+        })
+        .expect("spawn grdSession thread");
+    inner.demoted.lock().unwrap().push(join);
+}

@@ -24,7 +24,20 @@ use crate::proto::{DeviceInfo, Request, Response};
 use crate::transport::{shm::ShmDialer, uds::UdsDialer, Connection, Dialer, TransportError};
 use cuda_rt::{CudaApi, CudaError, CudaResult, DevicePtr, EventHandle, ModuleHandle, Stream};
 use gpu_sim::LaunchConfig;
+use parking_lot::Mutex;
 use std::path::Path;
+
+/// One-way frames buffered before a forced flush. Round-trip calls
+/// always flush regardless, so this only bounds memory (and transport
+/// batch size) for long fire-and-forget runs.
+const PENDING_FLUSH: usize = 64;
+
+/// Largest host-to-device payload sent one-way (and therefore batched
+/// with the launches around it) under deferred-launch mode. Larger
+/// copies keep the synchronous round trip: their transfer time dwarfs
+/// the RPC latency, and the immediate bounds-check error is worth more
+/// than batching.
+const H2D_ASYNC_MAX: usize = 4096;
 
 /// Map a transport failure onto the CUDA error surface: a vanished peer
 /// is [`CudaError::Disconnected`]; everything else (oversized frame,
@@ -48,6 +61,11 @@ pub struct GrdLib {
     device: u32,
     /// Manager runs launches in deferred-ack (true async) mode.
     deferred_launch: bool,
+    /// Encoded one-way frames (deferred launches, small async H2D
+    /// copies) awaiting coalescing into one transport send. Flushed by
+    /// every round-trip call — so a `Sync`, event op, or read-back acts
+    /// as an explicit flush boundary — and at [`PENDING_FLUSH`] frames.
+    pending: Mutex<Vec<Vec<u8>>>,
     next_module: u32,
     next_stream: u32,
 }
@@ -194,6 +212,7 @@ impl GrdLib {
             partition_size: 0,
             device: 0,
             deferred_launch: false,
+            pending: Mutex::new(Vec::new()),
             next_module: 1,
             next_stream: 1,
         };
@@ -307,9 +326,23 @@ impl GrdLib {
 
     /// Round trip for an already-encoded frame (hot paths encode straight
     /// from borrowed buffers via `proto::encode_*`, skipping the owned
-    /// `Request`).
+    /// `Request`). Buffered one-way frames ride along in front of the
+    /// request, in one batched send — order on the wire is exactly the
+    /// order the application issued.
     fn call_frame(&self, frame: Vec<u8>) -> CudaResult<Response> {
-        self.conn.send(frame).map_err(transport_to_cuda)?;
+        let batch = {
+            let mut pending = self.pending.lock();
+            if pending.is_empty() {
+                // The common (non-deferred) shape: a one-frame batch is
+                // a plain send on every transport, bit-identical to the
+                // pre-batching wire traffic.
+                vec![frame]
+            } else {
+                pending.push(frame);
+                std::mem::take(&mut *pending)
+            }
+        };
+        self.conn.send_batch(batch).map_err(transport_to_cuda)?;
         let frame = self.conn.recv().map_err(transport_to_cuda)?;
         match Response::decode(&frame).map_err(|_| CudaError::Disconnected)? {
             Response::Error(e) => Err(e),
@@ -317,9 +350,17 @@ impl GrdLib {
         }
     }
 
-    /// One-way message: encode and send without awaiting a response.
-    fn send(&self, req: &Request) -> CudaResult<()> {
-        self.conn.send(req.encode()).map_err(transport_to_cuda)
+    /// Queue a one-way frame for coalescing, flushing at the batch cap.
+    fn push_one_way(&self, frame: Vec<u8>) -> CudaResult<()> {
+        let batch = {
+            let mut pending = self.pending.lock();
+            pending.push(frame);
+            if pending.len() < PENDING_FLUSH {
+                return Ok(());
+            }
+            std::mem::take(&mut *pending)
+        };
+        self.conn.send_batch(batch).map_err(transport_to_cuda)
     }
 
     fn call_unit(&self, req: &Request) -> CudaResult<()> {
@@ -351,8 +392,8 @@ impl GrdLib {
         if self.deferred_launch {
             // True async enqueue: fire and forget; launch errors surface
             // at the next synchronization point (CUDA's async error
-            // model).
-            self.conn.send(frame).map_err(transport_to_cuda)
+            // model). Coalesced with neighbouring one-way frames.
+            self.push_one_way(frame)
         } else {
             self.call_frame_unit(frame)
         }
@@ -373,7 +414,15 @@ impl CudaApi for GrdLib {
     }
 
     fn cuda_memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) -> CudaResult<()> {
-        self.call_frame_unit(crate::proto::encode_memcpy_h2d(dst, data))
+        if self.deferred_launch && data.len() <= H2D_ASYNC_MAX {
+            // Small staging copies between deferred launches go one-way so
+            // the whole enqueue run coalesces into a single transport send;
+            // bounds errors become sticky and surface at the next sync,
+            // matching the async launch error model.
+            self.push_one_way(crate::proto::encode_memcpy_h2d_async(dst, data))
+        } else {
+            self.call_frame_unit(crate::proto::encode_memcpy_h2d(dst, data))
+        }
     }
 
     fn cuda_memcpy_d2h(&mut self, src: DevicePtr, len: u64) -> CudaResult<Vec<u8>> {
@@ -514,7 +563,9 @@ impl Drop for GrdLib {
         // Best-effort disconnect; the manager frees the partition. The
         // session also treats a vanished connection as a disconnect, so a
         // crashed tenant cannot leak its partition.
-        let _ = self.send(&Request::Disconnect);
+        let mut batch = std::mem::take(&mut *self.pending.lock());
+        batch.push(Request::Disconnect.encode());
+        let _ = self.conn.send_batch(batch);
     }
 }
 

@@ -77,6 +77,7 @@
 
 pub mod alloc;
 pub mod backends;
+mod exec;
 pub mod grdlib;
 pub mod manager;
 pub mod placement;
@@ -89,7 +90,7 @@ pub use backends::{deploy, Capabilities, Deployment, MpsClient, Tenancy};
 pub use grdlib::GrdLib;
 pub use manager::{
     spawn_manager, spawn_manager_multi, spawn_manager_over, ClientId, DispatchMode,
-    InterceptionStats, LaunchAck, LaunchStats, ManagerConfig, ManagerHandle,
+    InterceptionStats, LaunchAck, LaunchStats, ManagerConfig, ManagerHandle, SessionDriver,
 };
 pub use placement::{Affinity, PlacementHint, PlacementPolicy};
 pub use ptx_patcher::Protection;

@@ -137,6 +137,28 @@ pub enum DispatchMode {
     Concurrent,
 }
 
+/// How data-plane sessions are driven on the server side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SessionDriver {
+    /// Pick per dispatch mode: [`DispatchMode::Serial`] keeps one OS
+    /// thread per session (the lockstep-deterministic baseline),
+    /// [`DispatchMode::Concurrent`] uses the event pool.
+    #[default]
+    Auto,
+    /// One OS thread per connection — the original data plane. Simple
+    /// and fair at small tenant counts; stops scaling once tenants far
+    /// outnumber cores.
+    ThreadPerSession,
+    /// A small epoll-driven executor pool multiplexing every
+    /// event-capable connection (Unix sockets, doorbell shm rings);
+    /// other transports still get dedicated threads. `workers == 0`
+    /// means one worker per available core.
+    EventPool {
+        /// Pump threads to start (`0` = one per core).
+        workers: usize,
+    },
+}
+
 /// When a kernel-launch RPC is acknowledged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LaunchAck {
@@ -178,6 +200,9 @@ pub struct ManagerConfig {
     /// How un-hinted tenants are routed across the device set (default:
     /// least-loaded pool bytes).
     pub placement: PlacementPolicy,
+    /// How sessions are driven: threads, the epoll executor pool, or
+    /// picked automatically from the dispatch mode (default).
+    pub session_driver: SessionDriver,
 }
 
 impl Default for ManagerConfig {
@@ -190,6 +215,7 @@ impl Default for ManagerConfig {
             dispatch: DispatchMode::default(),
             launch_ack: LaunchAck::default(),
             placement: PlacementPolicy::default(),
+            session_driver: SessionDriver::default(),
         }
     }
 }
@@ -1002,7 +1028,19 @@ pub fn spawn_manager_multi(
         .name("grdManager".into())
         .spawn(move || control.run(ctrl_rx))
         .expect("spawn grdManager thread");
-    let acceptor_join = session::spawn_acceptor(listener, shared, ctrl_tx.clone());
+    // Resolve the automatic driver here so the acceptor gets a concrete
+    // choice: serial dispatch keeps threads (a blocked lockstep enqueue
+    // must never stall an executor worker that other sessions share,
+    // and per-session threads keep its makespans bit-for-bit
+    // reproducible); concurrent dispatch gets the executor pool.
+    let driver = match config.session_driver {
+        SessionDriver::Auto => match config.dispatch {
+            DispatchMode::Serial => SessionDriver::ThreadPerSession,
+            DispatchMode::Concurrent => SessionDriver::EventPool { workers: 0 },
+        },
+        d => d,
+    };
+    let acceptor_join = session::spawn_acceptor(listener, shared, ctrl_tx.clone(), driver);
     Ok(ManagerHandle {
         inner: Arc::new(ManagerInner {
             dialer: Some(dialer),

@@ -91,6 +91,16 @@ pub enum Request {
         /// Bytes to write.
         data: Vec<u8>,
     },
+    /// Host-to-device copy, **one-way** (v2): no frame comes back. Used
+    /// by deferred-launch clients for small payloads so copies batch
+    /// with the launches around them; errors stick to the tenant and
+    /// surface at the next `Sync`, like a deferred `Launch`'s.
+    MemcpyH2DAsync {
+        /// Destination device address.
+        dst: DevicePtr,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
     /// Device-to-host copy; the payload travels back in the response.
     MemcpyD2H {
         /// Source device address.
@@ -284,6 +294,7 @@ const REQ_STATS: u8 = 17;
 const REQ_DEVICE_INFO: u8 = 18;
 const REQ_MIGRATE: u8 = 19;
 const REQ_BINDING: u8 = 20;
+const REQ_MEMCPY_H2D_ASYNC: u8 = 21;
 
 // ---- response opcodes ------------------------------------------------------
 
@@ -560,6 +571,15 @@ pub fn encode_memcpy_h2d(dst: DevicePtr, data: &[u8]) -> Vec<u8> {
     buf
 }
 
+/// Encode a [`Request::MemcpyH2DAsync`] frame directly from a borrowed
+/// payload (hot-path helper; see [`encode_launch`]).
+pub fn encode_memcpy_h2d_async(dst: DevicePtr, data: &[u8]) -> Vec<u8> {
+    let mut buf = frame_header(REQ_MEMCPY_H2D_ASYNC);
+    buf.put_u64_le(dst);
+    put_blob(&mut buf, data);
+    buf
+}
+
 impl Request {
     /// Serialize to a byte frame.
     pub fn encode(&self) -> Vec<u8> {
@@ -603,6 +623,7 @@ impl Request {
                 buf
             }
             Request::MemcpyH2D { dst, data } => encode_memcpy_h2d(*dst, data),
+            Request::MemcpyH2DAsync { dst, data } => encode_memcpy_h2d_async(*dst, data),
             Request::MemcpyD2H { src, len } => {
                 let mut buf = frame_header(REQ_MEMCPY_D2H);
                 buf.put_u64_le(*src);
@@ -675,6 +696,10 @@ impl Request {
                 len: r.u64()?,
             },
             REQ_MEMCPY_H2D => Request::MemcpyH2D {
+                dst: r.u64()?,
+                data: r.blob()?,
+            },
+            REQ_MEMCPY_H2D_ASYNC => Request::MemcpyH2DAsync {
                 dst: r.u64()?,
                 data: r.blob()?,
             },
@@ -866,6 +891,10 @@ mod tests {
                 dst: 7,
                 data: vec![1, 2, 3],
             },
+            Request::MemcpyH2DAsync {
+                dst: u64::MAX,
+                data: vec![],
+            },
             Request::MemcpyD2H { src: 9, len: 4096 },
             Request::MemcpyD2D {
                 dst: 1,
@@ -985,6 +1014,11 @@ mod tests {
             data: vec![1, 2, 3],
         };
         assert_eq!(owned.encode(), encode_memcpy_h2d(0xABCD, &[1, 2, 3]));
+        let owned = Request::MemcpyH2DAsync {
+            dst: 0xABCD,
+            data: vec![1, 2, 3],
+        };
+        assert_eq!(owned.encode(), encode_memcpy_h2d_async(0xABCD, &[1, 2, 3]));
     }
 
     #[test]
@@ -1185,6 +1219,9 @@ mod proptests {
                 .boxed(),
             (any::<u64>(), arb_blob())
                 .prop_map(|(dst, data)| Request::MemcpyH2D { dst, data })
+                .boxed(),
+            (any::<u64>(), arb_blob())
+                .prop_map(|(dst, data)| Request::MemcpyH2DAsync { dst, data })
                 .boxed(),
             (any::<u64>(), any::<u64>())
                 .prop_map(|(src, len)| Request::MemcpyD2H { src, len })

@@ -17,7 +17,9 @@
 //! tenants never contend on them).
 
 use crate::alloc::{Partition, RegionAllocator};
-use crate::manager::{ctrl_call, CtrlMsg, CtrlOp, CtrlOut, DispatchMode, LaunchAck, LaunchStats};
+use crate::manager::{
+    ctrl_call, CtrlMsg, CtrlOp, CtrlOut, DispatchMode, LaunchAck, LaunchStats, SessionDriver,
+};
 use crate::proto::{ConnectInfo, Request, Response, StatsSnapshot};
 use crate::transport::{Connection, Listener};
 use crate::ClientId;
@@ -174,28 +176,103 @@ impl Shared {
     }
 }
 
+/// What the caller driving a session should do after feeding it one
+/// frame.
+pub(crate) enum Step {
+    /// Send this reply frame back to the peer.
+    Reply(Vec<u8>),
+    /// One-way request: nothing goes back.
+    None,
+    /// Send this reply, then drop the connection (malformed frame —
+    /// the peer is broken or hostile; report once and hang up, as a
+    /// socket server would).
+    ReplyThenClose(Vec<u8>),
+}
+
+/// A session as a transport-agnostic state machine: everything one
+/// tenant's server side *is*, minus the connection it is fed from. The
+/// thread-per-session loop ([`run_session`]) and the epoll executor
+/// ([`crate::exec`]) both drive one of these.
+pub(crate) struct SessionCtx {
+    shared: Arc<Shared>,
+    ctrl: Sender<CtrlMsg>,
+    client: Option<Arc<ClientShared>>,
+}
+
+impl SessionCtx {
+    pub(crate) fn new(shared: Arc<Shared>, ctrl: Sender<CtrlMsg>) -> Self {
+        SessionCtx {
+            shared,
+            ctrl,
+            client: None,
+        }
+    }
+
+    /// Decode and execute one frame.
+    pub(crate) fn handle_frame(&mut self, frame: &[u8]) -> Step {
+        let req = match Request::decode(frame) {
+            Ok(req) => req,
+            Err(e) => {
+                let resp = Response::Error(CudaError::Rejected(format!("malformed frame: {e}")));
+                return Step::ReplyThenClose(resp.encode());
+            }
+        };
+        match dispatch(req, &mut self.client, &self.shared, &self.ctrl) {
+            Some(resp) => Step::Reply(resp.encode()),
+            None => Step::None,
+        }
+    }
+
+    /// Release the session's tenant, if any — the implicit disconnect
+    /// when the connection drops, so crashed tenants cannot leak
+    /// partitions. Idempotent.
+    pub(crate) fn finish(&mut self) {
+        if let Some(c) = self.client.take() {
+            let _ = ctrl_call(&self.ctrl, CtrlOp::Disconnect { client: c.id });
+        }
+    }
+}
+
 /// Spawn the acceptor thread: accepts connections for the listener's
-/// lifetime, one session thread per connection, and joins every session
-/// before exiting (sessions end when their client half drops).
+/// lifetime and hands each one to the configured [`SessionDriver`] —
+/// a dedicated thread, or a cell in the shared epoll executor pool
+/// (event-capable transports only; the in-process channel transport
+/// always gets a thread). Exits only after every session has ended
+/// (sessions end when their client half drops).
 pub(crate) fn spawn_acceptor(
     listener: Box<dyn Listener>,
     shared: Arc<Shared>,
     ctrl: Sender<CtrlMsg>,
+    driver: SessionDriver,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("grdAcceptor".into())
         .spawn(move || {
+            // The pool is built lazily on the first adopted connection,
+            // so channel-transport managers (most tests) never pay for
+            // idle epoll workers.
+            let pool_workers = match driver {
+                SessionDriver::EventPool { workers } => Some(workers),
+                _ => None,
+            };
+            let mut pool: Option<crate::exec::EventPool> = None;
             let mut sessions: Vec<JoinHandle<()>> = Vec::new();
             while let Ok(conn) = listener.accept() {
                 // Reap completed sessions as we go: short-lived
                 // connections (stats polls, departed tenants) must not
                 // accumulate handles for the manager's whole lifetime.
                 sessions.retain(|s| !s.is_finished());
-                let shared = shared.clone();
-                let ctrl = ctrl.clone();
+                let ctx = SessionCtx::new(shared.clone(), ctrl.clone());
+                if let Some(workers) = pool_workers {
+                    if conn.enter_event_mode() {
+                        pool.get_or_insert_with(|| crate::exec::EventPool::new(workers))
+                            .adopt(conn, ctx);
+                        continue;
+                    }
+                }
                 let session = std::thread::Builder::new()
                     .name("grdSession".into())
-                    .spawn(move || run_session(conn, &shared, &ctrl))
+                    .spawn(move || run_session(conn, ctx))
                     .expect("spawn grdSession thread");
                 sessions.push(session);
             }
@@ -203,37 +280,31 @@ pub(crate) fn spawn_acceptor(
             for s in sessions {
                 let _ = s.join();
             }
+            if let Some(pool) = pool {
+                pool.shutdown();
+            }
         })
         .expect("spawn grdAcceptor thread")
 }
 
 /// One tenant's server loop: decode → dispatch → reply, until the client
-/// half of the connection drops. A dropped connection is an implicit
-/// disconnect, so crashed tenants cannot leak partitions.
-fn run_session(conn: Box<dyn Connection>, shared: &Arc<Shared>, ctrl: &Sender<CtrlMsg>) {
-    let mut client: Option<Arc<ClientShared>> = None;
+/// half of the connection drops.
+pub(crate) fn run_session(conn: Box<dyn Connection>, mut ctx: SessionCtx) {
     while let Ok(frame) = conn.recv() {
-        let req = match Request::decode(&frame) {
-            Ok(req) => req,
-            Err(e) => {
-                // A malformed frame means the peer is broken or hostile;
-                // report once and drop the connection, as a socket server
-                // would.
-                let resp = Response::Error(CudaError::Rejected(format!("malformed frame: {e}")));
-                let _ = conn.send(resp.encode());
-                break;
+        match ctx.handle_frame(&frame) {
+            Step::Reply(r) => {
+                if conn.send(r).is_err() {
+                    break;
+                }
             }
-        };
-        let reply = dispatch(req, &mut client, shared, ctrl);
-        if let Some(resp) = reply {
-            if conn.send(resp.encode()).is_err() {
+            Step::None => {}
+            Step::ReplyThenClose(r) => {
+                let _ = conn.send(r);
                 break;
             }
         }
     }
-    if let Some(c) = client.take() {
-        let _ = ctrl_call(ctrl, CtrlOp::Disconnect { client: c.id });
-    }
+    ctx.finish();
 }
 
 /// Resolve the session's tenant, or reply with the error for calls that
@@ -386,6 +457,19 @@ fn dispatch(
             Some(result_reply(with_dispatch(shared, || {
                 memcpy_h2d(shared, &c, dst, data)
             })))
+        }
+        Request::MemcpyH2DAsync { dst, data } => {
+            // One-way by definition (not by ack mode): replying — even
+            // with an error, even with no tenant — would desynchronize
+            // the peer's request/response stream. Failures stick to the
+            // tenant and surface at its next Sync, like a deferred
+            // launch's.
+            let c = client.as_ref().cloned()?;
+            if let Err(e) = with_dispatch(shared, || memcpy_h2d(shared, &c, dst, data)) {
+                let mut sticky = c.sticky.lock();
+                sticky.get_or_insert(e);
+            }
+            None
         }
         Request::MemcpyD2H { src, len } => {
             let c = require!(client);
@@ -900,6 +984,95 @@ mod tests {
             matches!(resp, Response::Error(CudaError::InvalidValue)),
             "{resp:?}"
         );
+        drop(conn);
+        mgr.shutdown();
+    }
+
+    /// Hostile length fields — `dst`/`len` chosen so `dst + len` wraps
+    /// past `u64::MAX` — must come back `Rejected`, not panic the session
+    /// or wrap into another tenant's partition. Raw frames, because the
+    /// in-tree stub never emits these.
+    #[test]
+    fn hostile_transfer_lengths_are_rejected_not_wrapped() {
+        let mgr = mgr(8 << 20, LaunchAck::Eager);
+        let conn = mgr.dial().unwrap();
+        conn.send(
+            Request::Connect {
+                mem_requirement: 4 << 20,
+                hint: None,
+            }
+            .encode(),
+        )
+        .unwrap();
+        let Response::Connected(info) = Response::decode(&conn.recv().unwrap()).unwrap() else {
+            panic!("connect failed");
+        };
+        let base = info.partition_base;
+        let rejected = |resp: Response| {
+            assert!(
+                matches!(resp, Response::Error(CudaError::Rejected(_))),
+                "{resp:?}"
+            );
+        };
+        // In-partition start address, wrapping length.
+        for req in [
+            Request::Memset {
+                dst: base,
+                byte: 0xA5,
+                len: u64::MAX,
+            },
+            Request::Memset {
+                dst: base + 1,
+                byte: 0,
+                len: u64::MAX - base,
+            },
+            Request::MemcpyD2H {
+                src: base,
+                len: u64::MAX - 7,
+            },
+            Request::MemcpyD2D {
+                dst: base,
+                src: base,
+                len: u64::MAX,
+            },
+            // Start address itself near the top of the address space.
+            Request::Memset {
+                dst: u64::MAX - 4,
+                byte: 0,
+                len: 64,
+            },
+            Request::MemcpyH2D {
+                dst: u64::MAX,
+                data: vec![0u8; 16],
+            },
+        ] {
+            conn.send(req.encode()).unwrap();
+            rejected(Response::decode(&conn.recv().unwrap()).unwrap());
+        }
+        // The one-way async H2D path must not wrap either: the error is
+        // sticky and surfaces at the next Sync instead of replying.
+        conn.send(
+            Request::MemcpyH2DAsync {
+                dst: u64::MAX - 3,
+                data: vec![0u8; 16],
+            }
+            .encode(),
+        )
+        .unwrap();
+        conn.send(Request::Sync.encode()).unwrap();
+        rejected(Response::decode(&conn.recv().unwrap()).unwrap());
+        // The session survived all of it: a well-formed op still works.
+        conn.send(
+            Request::Memset {
+                dst: base,
+                byte: 0,
+                len: 64,
+            }
+            .encode(),
+        )
+        .unwrap();
+        let resp = Response::decode(&conn.recv().unwrap()).unwrap();
+        assert!(matches!(resp, Response::Unit), "{resp:?}");
         drop(conn);
         mgr.shutdown();
     }

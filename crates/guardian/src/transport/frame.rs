@@ -18,10 +18,18 @@
 //! which is exactly the code path a hostile tenant controls.
 
 use super::TransportError;
+use std::collections::VecDeque;
 
 /// Version of the stream framing (independent of
 /// [`crate::proto::PROTO_VERSION`], which versions frame *contents*).
 pub const TRANSPORT_VERSION: u8 = 1;
+
+/// High bit of the length prefix marking a *batch* frame: the payload is
+/// a concatenation of `[u32 sub-length][sub-payload]` entries, flushed by
+/// the sender as one transport write. Safe to steal because
+/// [`MAX_FRAME`] (and every per-connection limit derived from it) is far
+/// below 2³¹, so a legitimate plain length never has this bit set.
+pub const BATCH_FLAG: u32 = 1 << 31;
 
 /// Magic bytes opening each direction of a framed stream.
 pub const PREAMBLE: [u8; 4] = [b'G', b'R', b'D', TRANSPORT_VERSION];
@@ -75,6 +83,67 @@ pub fn encode_frame(payload: &[u8], max_frame: u32) -> Result<Vec<u8>, Transport
     Ok(buf)
 }
 
+/// Concatenate `frames` into one batch body: `[u32 sub-len][payload]` per
+/// frame. The caller prefixes the body with `(body.len() | BATCH_FLAG)`
+/// and sends it as a single transport write.
+pub fn batch_body(frames: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = frames.iter().map(|f| 4 + f.len()).sum();
+    let mut body = Vec::with_capacity(total);
+    for f in frames {
+        body.extend_from_slice(&(f.len() as u32).to_le_bytes());
+        body.extend_from_slice(f);
+    }
+    body
+}
+
+/// Split a batch body back into its sub-frames.
+///
+/// # Errors
+///
+/// [`TransportError::Io`] (`InvalidData`) when the walk is inconsistent:
+/// a truncated sub-header, a sub-length overrunning the body, or a
+/// sub-length with [`BATCH_FLAG`] set (batches do not nest);
+/// [`TransportError::FrameTooLarge`] when a sub-frame exceeds
+/// `max_frame`.
+pub fn split_batch(body: &[u8], max_frame: u32) -> Result<Vec<Vec<u8>>, TransportError> {
+    let bad = |detail: String| TransportError::Io {
+        op: "recv",
+        kind: std::io::ErrorKind::InvalidData,
+        detail,
+    };
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    while pos < body.len() {
+        if body.len() - pos < 4 {
+            return Err(bad(format!(
+                "batch truncated: {} trailing bytes",
+                body.len() - pos
+            )));
+        }
+        let len_bytes: [u8; 4] = body[pos..pos + 4].try_into().expect("4-byte slice");
+        let len = u32::from_le_bytes(len_bytes);
+        if len & BATCH_FLAG != 0 {
+            return Err(bad("nested batch frame".into()));
+        }
+        if len > max_frame {
+            return Err(TransportError::FrameTooLarge {
+                len: len as u64,
+                max: max_frame as u64,
+            });
+        }
+        pos += 4;
+        if body.len() - pos < len as usize {
+            return Err(bad(format!(
+                "batch sub-frame of {len} bytes overruns body ({} left)",
+                body.len() - pos
+            )));
+        }
+        frames.push(body[pos..pos + len as usize].to_vec());
+        pos += len as usize;
+    }
+    Ok(frames)
+}
+
 /// Incremental frame reassembler for a length-prefixed byte stream.
 ///
 /// Push bytes in whatever chunks arrive; pull complete frames out. The
@@ -86,6 +155,9 @@ pub struct FrameDecoder {
     buf: Vec<u8>,
     /// Read cursor into `buf`.
     pos: usize,
+    /// Sub-frames of an already-consumed batch, yielded before the
+    /// stream is advanced further.
+    pending: VecDeque<Vec<u8>>,
 }
 
 impl FrameDecoder {
@@ -95,6 +167,7 @@ impl FrameDecoder {
             max_frame,
             buf: Vec::new(),
             pos: 0,
+            pending: VecDeque::new(),
         }
     }
 
@@ -122,31 +195,46 @@ impl FrameDecoder {
     /// stream can no longer be trusted — so callers should drop the
     /// connection.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
-        let avail = self.buf.len() - self.pos;
-        if avail < 4 {
-            return Ok(None);
+        loop {
+            if let Some(f) = self.pending.pop_front() {
+                return Ok(Some(f));
+            }
+            let avail = self.buf.len() - self.pos;
+            if avail < 4 {
+                return Ok(None);
+            }
+            let len_bytes: [u8; 4] = self.buf[self.pos..self.pos + 4]
+                .try_into()
+                .expect("4-byte slice");
+            let word = u32::from_le_bytes(len_bytes);
+            let len = word & !BATCH_FLAG;
+            if len > self.max_frame {
+                return Err(TransportError::FrameTooLarge {
+                    len: len as u64,
+                    max: self.max_frame as u64,
+                });
+            }
+            let total = 4 + len as usize;
+            if avail < total {
+                return Ok(None);
+            }
+            if word & BATCH_FLAG == 0 {
+                let frame = self.buf[self.pos + 4..self.pos + total].to_vec();
+                self.pos += total;
+                return Ok(Some(frame));
+            }
+            // Batch frame: split its body into pending sub-frames and
+            // loop — an empty batch is simply consumed.
+            let subs = split_batch(&self.buf[self.pos + 4..self.pos + total], self.max_frame)?;
+            self.pos += total;
+            self.pending.extend(subs);
         }
-        let len_bytes: [u8; 4] = self.buf[self.pos..self.pos + 4]
-            .try_into()
-            .expect("4-byte slice");
-        let len = u32::from_le_bytes(len_bytes);
-        if len > self.max_frame {
-            return Err(TransportError::FrameTooLarge {
-                len: len as u64,
-                max: self.max_frame as u64,
-            });
-        }
-        let total = 4 + len as usize;
-        if avail < total {
-            return Ok(None);
-        }
-        let frame = self.buf[self.pos + 4..self.pos + total].to_vec();
-        self.pos += total;
-        Ok(Some(frame))
     }
 
     /// Whether the decoder holds a partially received frame (or stray
     /// bytes). Used to distinguish clean EOF from mid-frame truncation.
+    /// Fully received but not-yet-pulled batch sub-frames do *not*
+    /// count — they are complete frames, not truncation.
     pub fn mid_frame(&self) -> bool {
         self.pos < self.buf.len()
     }
@@ -179,11 +267,13 @@ mod tests {
     #[test]
     fn oversized_length_prefix_is_rejected_not_allocated() {
         let mut dec = FrameDecoder::new(1024);
+        // u32::MAX carries BATCH_FLAG; the *masked* length is what gets
+        // bounds-checked (and rejected) before any allocation.
         dec.push(&u32::MAX.to_le_bytes());
         assert_eq!(
             dec.next_frame(),
             Err(TransportError::FrameTooLarge {
-                len: u32::MAX as u64,
+                len: (!BATCH_FLAG) as u64,
                 max: 1024,
             })
         );
@@ -224,6 +314,101 @@ mod tests {
         dec.push(&enc[..enc.len() - 1]);
         assert_eq!(dec.next_frame().unwrap(), None);
         assert!(dec.mid_frame());
+    }
+
+    fn encode_batch(frames: &[Vec<u8>]) -> Vec<u8> {
+        let body = batch_body(frames);
+        let mut buf = Vec::with_capacity(4 + body.len());
+        buf.extend_from_slice(&(body.len() as u32 | BATCH_FLAG).to_le_bytes());
+        buf.extend_from_slice(&body);
+        buf
+    }
+
+    #[test]
+    fn batch_round_trips_through_the_decoder() {
+        let frames: Vec<Vec<u8>> = vec![vec![], vec![7], vec![1, 2, 3], vec![0xAB; 300]];
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        dec.push(&encode_batch(&frames));
+        let mut out = Vec::new();
+        while let Some(f) = dec.next_frame().unwrap() {
+            out.push(f);
+        }
+        assert_eq!(out, frames);
+        assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn empty_batch_is_consumed_silently() {
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        dec.push(&encode_batch(&[]));
+        dec.push(&encode_frame(&[9], MAX_FRAME).unwrap());
+        assert_eq!(dec.next_frame().unwrap(), Some(vec![9]));
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn nested_batch_is_rejected() {
+        // A batch whose sub-length carries BATCH_FLAG: hostile framing.
+        let mut body = Vec::new();
+        body.extend_from_slice(&(1u32 | BATCH_FLAG).to_le_bytes());
+        body.push(0);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(body.len() as u32 | BATCH_FLAG).to_le_bytes());
+        buf.extend_from_slice(&body);
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        dec.push(&buf);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(TransportError::Io { op: "recv", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_batch_body_is_rejected() {
+        // Batch body of 2 bytes cannot hold a 4-byte sub-header.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(2u32 | BATCH_FLAG).to_le_bytes());
+        buf.extend_from_slice(&[0, 0]);
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        dec.push(&buf);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(TransportError::Io { op: "recv", .. })
+        ));
+    }
+
+    #[test]
+    fn batch_sub_frame_overrunning_body_is_rejected() {
+        // Sub-header claims 100 bytes but the body ends after 1.
+        let mut body = Vec::new();
+        body.extend_from_slice(&100u32.to_le_bytes());
+        body.push(0);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(body.len() as u32 | BATCH_FLAG).to_le_bytes());
+        buf.extend_from_slice(&body);
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        dec.push(&buf);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(TransportError::Io { op: "recv", .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_batch_sub_frame_is_rejected() {
+        // A small container whose sub-header *claims* a giant frame: the
+        // lie is caught as FrameTooLarge, never as an allocation.
+        let mut body = Vec::new();
+        body.extend_from_slice(&(1u32 << 24).to_le_bytes());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(body.len() as u32 | BATCH_FLAG).to_le_bytes());
+        buf.extend_from_slice(&body);
+        let mut dec = FrameDecoder::new(4096);
+        dec.push(&buf);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(TransportError::FrameTooLarge { len, .. }) if len == 1 << 24
+        ));
     }
 }
 
@@ -375,6 +560,72 @@ mod proptests {
                 dec.push(c);
                 while let Ok(Some(_)) = dec.next_frame() {}
             }
+        }
+
+        /// One connection mixing proto v1 and v2 frames — some sent
+        /// plain, some coalesced into batch frames — reassembles and
+        /// decodes message-for-message across arbitrary stream splits.
+        /// This is exactly what a legacy client talking to a batching
+        /// manager (or vice versa) produces.
+        #[test]
+        fn mixed_v1_v2_and_batched_frames_round_trip_any_split(
+            reqs in pvec((arb_request(), any::<bool>()), 1..10),
+            groups in pvec(1usize..4, 1..10),
+            cuts in pvec(any::<u16>(), 0..24),
+        ) {
+            // Encode each request, downgrading a random subset to proto
+            // v1 (legal for these shapes: plain bodies are bit-identical
+            // across versions, and a hintless v1 Connect simply ends
+            // after mem_requirement — drop the has-hint byte).
+            let payloads: Vec<Vec<u8>> = reqs
+                .iter()
+                .map(|(req, v1)| {
+                    let mut p = req.encode();
+                    if *v1 {
+                        p[0] = 1;
+                        if matches!(req, Request::Connect { hint: None, .. }) {
+                            p.pop();
+                        }
+                    }
+                    p
+                })
+                .collect();
+            // Group consecutive payloads: groups of one go out as plain
+            // frames, larger groups as batch frames.
+            let mut stream = Vec::new();
+            let mut it = payloads.iter().peekable();
+            let mut gi = 0;
+            while it.peek().is_some() {
+                let n = groups[gi % groups.len()];
+                gi += 1;
+                let group: Vec<Vec<u8>> = it.by_ref().take(n).cloned().collect();
+                if group.len() == 1 {
+                    stream.extend_from_slice(&encode_frame(&group[0], MAX_FRAME).unwrap());
+                } else {
+                    let body = batch_body(&group);
+                    stream.extend_from_slice(&(body.len() as u32 | BATCH_FLAG).to_le_bytes());
+                    stream.extend_from_slice(&body);
+                }
+            }
+            let frames = reassemble(&stream, &cuts);
+            prop_assert_eq!(&frames, &payloads);
+            for (frame, (req, _)) in frames.iter().zip(&reqs) {
+                prop_assert_eq!(&Request::decode(frame).expect("decode"), req);
+            }
+        }
+
+        /// `split_batch` is total on hostile bodies: any byte soup either
+        /// splits cleanly or errors — no panic, no runaway allocation.
+        #[test]
+        fn split_batch_total_on_garbage(body in pvec(any::<u8>(), 0..256)) {
+            let _ = split_batch(&body, 4096);
+        }
+
+        /// batch_body/split_batch are inverses for any frame set.
+        #[test]
+        fn batch_body_round_trips(frames in pvec(pvec(any::<u8>(), 0..64), 0..8)) {
+            let body = batch_body(&frames);
+            prop_assert_eq!(split_batch(&body, MAX_FRAME).unwrap(), frames);
         }
     }
 }

@@ -35,6 +35,7 @@ pub mod channel;
 pub mod frame;
 pub mod peercred;
 pub mod shm;
+pub(crate) mod sys;
 pub mod uds;
 
 pub use channel::{channel_transport, ChannelConnection, ChannelDialer, ChannelListener};
@@ -139,6 +140,59 @@ pub trait Connection: Send {
     /// [`TransportError::Disconnected`] if the peer is gone and no frames
     /// remain; other variants on I/O or framing violations.
     fn recv(&self) -> Result<Vec<u8>, TransportError>;
+
+    /// Send several frames as one transport operation where the wire
+    /// supports it (a single batch write on uds/shm); the default just
+    /// sends them one by one, so every [`Connection`] stays correct.
+    /// Frame boundaries are preserved — the peer's decoder yields the
+    /// same frame sequence either way.
+    ///
+    /// # Errors
+    ///
+    /// As [`Connection::send`]; on error, a prefix of `frames` may have
+    /// been delivered.
+    fn send_batch(&self, frames: Vec<Vec<u8>>) -> Result<(), TransportError> {
+        for f in frames {
+            self.send(f)?;
+        }
+        Ok(())
+    }
+
+    /// Non-blocking receive for event-driven callers: `Ok(Some(frame))`
+    /// when a frame is ready, `Ok(None)` when the caller should wait for
+    /// the next readiness event. Only meaningful after
+    /// [`Connection::enter_event_mode`] returned `true`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Connection::recv`]; transports that do not support event
+    /// mode report an `Unsupported` [`TransportError::Io`].
+    fn try_recv(&self) -> Result<Option<Vec<u8>>, TransportError> {
+        Err(TransportError::Io {
+            op: "try_recv",
+            kind: io::ErrorKind::Unsupported,
+            detail: "connection does not support event-driven receive".into(),
+        })
+    }
+
+    /// Switch the connection into non-blocking event mode. Returns
+    /// `true` when the connection can be driven by an epoll executor
+    /// (readiness fds from [`Connection::event_fds`] + frames from
+    /// [`Connection::try_recv`]); `false` means the caller must dedicate
+    /// a blocking thread. The default — and the in-process channel
+    /// transport — stays blocking.
+    fn enter_event_mode(&self) -> bool {
+        false
+    }
+
+    /// File descriptors whose readability means "poll [`try_recv`]
+    /// again". Re-queried after every drain: the shm transport's
+    /// doorbell fd only exists once its deferred handshake completes.
+    ///
+    /// [`try_recv`]: Connection::try_recv
+    fn event_fds(&self) -> Vec<i32> {
+        Vec::new()
+    }
 }
 
 /// The accepting (manager) side of a transport.

@@ -16,24 +16,38 @@
 //! both sides have it mapped) and then serves as the **liveness channel**:
 //! neither side writes to it again, so a readable EOF means the peer is
 //! gone — including by `SIGKILL`, where the kernel closes the socket for
-//! the corpse. Waiting sides park with a spin → yield → sleep ladder and
-//! probe the socket only in the sleep phase, so an active ring never pays
-//! for liveness checks. The receiver drains frames still in the ring
-//! before reporting [`TransportError::Disconnected`] (tail is published
-//! only after a frame is fully written, so everything up to tail is
-//! intact even after a mid-storm kill).
+//! the corpse. The receiver drains frames still in the ring before
+//! reporting [`TransportError::Disconnected`] (tail is published only
+//! after a frame is fully written, so everything up to tail is intact
+//! even after a mid-storm kill).
+//!
+//! **Parking is eventfd-driven.** The dialer creates one eventfd
+//! *doorbell* per side and passes both to the listener with the
+//! handshake (`SCM_RIGHTS` on the hello's preamble byte). A waiter —
+//! consumer out of frames, or producer out of ring space — publishes a
+//! *parked* flag in the ring header, re-checks the counters (Dekker
+//! style, with seq-cst fences on both sides), and then sleeps in
+//! `poll(2)` on its doorbell **and** the liveness socket. The peer rings
+//! the doorbell only when the parked flag is set, so the hot path stays
+//! syscall-free, and a parked side wakes instantly on either new
+//! data/space or peer death (socket EOF) — no sleep ladder, no liveness
+//! probe cadence. Peers that skip the doorbell exchange (legacy or
+//! hand-rolled hellos) fall back to a short spin followed by a 1 ms
+//! `poll` on the socket alone: still wakeup-driven for death detection,
+//! just periodic for data.
 
-use super::frame::{self, PREAMBLE};
+use super::frame::{self, BATCH_FLAG, PREAMBLE};
 use super::peercred::UidPolicy;
-use super::{Connection, Dialer, Listener, TransportError};
+use super::{sys, Connection, Dialer, Listener, TransportError};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::ffi::c_void;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -60,6 +74,11 @@ const OFF_C2S_TAIL: usize = 64;
 const OFF_C2S_HEAD: usize = 128;
 const OFF_S2C_TAIL: usize = 192;
 const OFF_S2C_HEAD: usize = 256;
+/// Parked flags (u32, 0|1): set by a side before it sleeps in `poll` on
+/// its doorbell, checked by the peer after publishing — the peer only
+/// pays the `write(eventfd)` syscall when someone is actually asleep.
+const OFF_CLIENT_PARKED: usize = 320;
+const OFF_SERVER_PARKED: usize = 384;
 const OFF_DATA: usize = 4096;
 
 fn file_len(capacity: u32) -> u64 {
@@ -193,40 +212,28 @@ fn ring_read(map: &RawMap, r: RingRef, pos: u64, out: &mut [u8]) {
 
 // ---- parking ---------------------------------------------------------------
 
-/// Spin → yield → sleep ladder. Returns `true` when the caller should
-/// probe peer liveness (only in the sleep phase, so an active ring pays
-/// zero syscalls for liveness). The sleep escalates from 50 µs toward
-/// 2 ms, so a manager session parked on an *idle* tenant costs a few
-/// hundred wakeups per second instead of tens of thousands, while a
-/// ring that just went quiet is still re-checked within microseconds
-/// (the ladder resets on every wait).
-struct Backoff {
-    steps: u32,
-    sleep_us: u64,
-}
+/// Iterations of `spin_loop`/`yield_now` before a waiter parks for real.
+/// Short: the doorbell wake costs ~a microsecond, so burning long spin
+/// phases per idle tenant is exactly what this transport no longer does.
+const SPIN_ITERS: u32 = 128;
+const YIELD_ITERS: u32 = 32;
 
-impl Backoff {
-    fn new() -> Self {
-        Backoff {
-            steps: 0,
-            sleep_us: 50,
-        }
-    }
+/// Safety-net timeout for a doorbell park. The Dekker protocol makes a
+/// lost wakeup impossible in theory; the bound makes a latent bug cost
+/// 100 ms instead of a hang (and re-checks liveness on the way out).
+const PARK_TIMEOUT_MS: i32 = 100;
 
-    fn snooze(&mut self) -> bool {
-        self.steps = self.steps.saturating_add(1);
-        if self.steps < 512 {
-            std::hint::spin_loop();
-            false
-        } else if self.steps < 2048 {
-            std::thread::yield_now();
-            false
-        } else {
-            std::thread::sleep(Duration::from_micros(self.sleep_us));
-            self.sleep_us = (self.sleep_us * 2).min(2000);
-            true
-        }
-    }
+/// Park interval for connections without doorbells (legacy or
+/// hand-rolled peers that skipped the fd exchange): poll the liveness
+/// socket — waking instantly on peer death — and re-check the ring every
+/// millisecond.
+const FALLBACK_PARK_MS: i32 = 1;
+
+/// The eventfd pair wired up by the handshake: the peer rings `mine`
+/// when we are parked; we ring `peers` when they are.
+struct Doorbells {
+    mine: sys::OwnedFd,
+    peers: sys::OwnedFd,
 }
 
 /// Probe the liveness socket: EOF means the peer is gone (exited,
@@ -259,8 +266,17 @@ pub struct ShmConnection {
     /// lock makes one endpoint's concurrent callers look like the single
     /// producer the ring requires).
     send_lock: Mutex<()>,
-    /// Serializes local receivers, likewise.
-    recv_lock: Mutex<()>,
+    /// Serializes local receivers; also queues the tail of a decoded
+    /// batch frame so every `recv`/`try_recv` returns one payload.
+    recv_lock: Mutex<VecDeque<Vec<u8>>>,
+    /// Eventfd pair from the handshake; `None` for peers that skipped
+    /// the fd exchange (fallback parking applies).
+    doorbells: Option<Doorbells>,
+    /// Header offset of *our* parked flag (set before we sleep).
+    my_parked: usize,
+    /// Header offset of the *peer's* parked flag (checked after we
+    /// publish).
+    peer_parked: usize,
     /// Server side only: the listener's exclusive claim on the ring
     /// file, released on drop.
     _claim: Option<RingClaim>,
@@ -272,6 +288,7 @@ impl ShmConnection {
         sock: UnixStream,
         capacity: u32,
         side: Side,
+        doorbells: Option<Doorbells>,
         claim: Option<RingClaim>,
     ) -> Self {
         let cap = capacity as u64;
@@ -287,9 +304,9 @@ impl ShmConnection {
             head: OFF_S2C_HEAD,
             tail: OFF_S2C_TAIL,
         };
-        let (send_ring, recv_ring) = match side {
-            Side::Client => (c2s, s2c),
-            Side::Server => (s2c, c2s),
+        let (send_ring, recv_ring, my_parked, peer_parked) = match side {
+            Side::Client => (c2s, s2c, OFF_CLIENT_PARKED, OFF_SERVER_PARKED),
+            Side::Server => (s2c, c2s, OFF_SERVER_PARKED, OFF_CLIENT_PARKED),
         };
         ShmConnection {
             map,
@@ -297,9 +314,185 @@ impl ShmConnection {
             send_ring,
             recv_ring,
             send_lock: Mutex::new(()),
-            recv_lock: Mutex::new(()),
+            recv_lock: Mutex::new(VecDeque::new()),
+            doorbells,
+            my_parked,
+            peer_parked,
             _claim: claim,
         }
+    }
+
+    /// After publishing (tail advance) or retiring (head advance): ring
+    /// the peer's doorbell iff it declared itself parked. The seq-cst
+    /// fence pairs with the one in [`ShmConnection::park`] — either we
+    /// see their parked flag, or they see our counter update.
+    fn wake_peer_if_parked(&self) {
+        fence(Ordering::SeqCst);
+        if let Some(db) = &self.doorbells {
+            if self.map.atomic_u32(self.peer_parked).load(Ordering::SeqCst) == 1 {
+                sys::eventfd_signal(db.peers.raw());
+            }
+        }
+    }
+
+    /// Park until the doorbell rings, the peer dies, or `ready()` turns
+    /// true. Returns `Err(Disconnected)` only on peer death with
+    /// `ready()` still false (so a receiver drains the ring first).
+    ///
+    /// One endpoint can have a sender (out of space) and a receiver (out
+    /// of frames) parked at once sharing one doorbell; a wake meant for
+    /// one may be consumed by the other. The bounded park makes that a
+    /// latency blip, not a hang.
+    fn park(&self, ready: impl Fn() -> bool) -> Result<(), TransportError> {
+        match &self.doorbells {
+            Some(db) => {
+                let parked = self.map.atomic_u32(self.my_parked);
+                parked.store(1, Ordering::SeqCst);
+                fence(Ordering::SeqCst);
+                if ready() {
+                    parked.store(0, Ordering::SeqCst);
+                    return Ok(());
+                }
+                if peer_gone(&self.sock) {
+                    parked.store(0, Ordering::SeqCst);
+                    return Err(TransportError::Disconnected);
+                }
+                sys::poll_fds(
+                    &[
+                        (db.mine.raw(), sys::POLLIN),
+                        (self.sock.as_raw_fd(), sys::POLLIN),
+                    ],
+                    PARK_TIMEOUT_MS,
+                );
+                sys::eventfd_drain(db.mine.raw());
+                parked.store(0, Ordering::SeqCst);
+                if !ready() && peer_gone(&self.sock) {
+                    return Err(TransportError::Disconnected);
+                }
+                Ok(())
+            }
+            None => {
+                // No doorbell: poll the liveness socket alone. Peer
+                // death still wakes us instantly; fresh data is picked
+                // up on the next 1 ms tick.
+                sys::poll_fds(&[(self.sock.as_raw_fd(), sys::POLLIN)], FALLBACK_PARK_MS);
+                if !ready() && peer_gone(&self.sock) {
+                    return Err(TransportError::Disconnected);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Spin briefly, then park until `ready()`. The caller re-derives
+    /// whatever state it needs after this returns.
+    fn wait_until(&self, ready: impl Fn() -> bool) -> Result<(), TransportError> {
+        loop {
+            for _ in 0..SPIN_ITERS {
+                if ready() {
+                    return Ok(());
+                }
+                std::hint::spin_loop();
+            }
+            for _ in 0..YIELD_ITERS {
+                if ready() {
+                    return Ok(());
+                }
+                std::thread::yield_now();
+            }
+            self.park(&ready)?;
+            if ready() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Sole producer (send lock held): write `word` (length prefix,
+    /// possibly batch-flagged) + `body`, waiting for ring space.
+    fn raw_send(&self, word: u32, body: &[u8]) -> Result<(), TransportError> {
+        let r = self.send_ring;
+        let need = body.len() as u64 + 4;
+        debug_assert!(need <= r.cap, "caller checks capacity");
+        let tail_a = self.map.atomic_u64(r.tail);
+        let head_a = self.map.atomic_u64(r.head);
+        // Sole producer under the lock: our own tail is stable.
+        let tail = tail_a.load(Ordering::Relaxed);
+        let hostile = std::cell::Cell::new(false);
+        self.wait_until(|| {
+            // The consumer's head counter lives in memory the peer can
+            // scribble on; treat it as untrusted input, exactly like the
+            // recv path treats the producer's counters. A head "ahead"
+            // of our tail can only mean a hostile or corrupted peer.
+            let head = head_a.load(Ordering::Acquire);
+            let used = tail.wrapping_sub(head);
+            if used > r.cap {
+                hostile.set(true);
+                return true;
+            }
+            r.cap - used >= need
+        })?;
+        if hostile.get() {
+            let head = head_a.load(Ordering::Acquire);
+            return Err(TransportError::Io {
+                op: "send",
+                kind: std::io::ErrorKind::InvalidData,
+                detail: format!("ring consumer head {head} ahead of producer tail {tail}"),
+            });
+        }
+        ring_write(&self.map, r, tail, &word.to_le_bytes());
+        ring_write(&self.map, r, tail + 4, body);
+        // Publish: the consumer's acquire load of tail sees the frame
+        // bytes fully written.
+        tail_a.store(tail + need, Ordering::Release);
+        self.wake_peer_if_parked();
+        Ok(())
+    }
+
+    /// With the recv lock held and the ring non-empty at `(head, tail)`:
+    /// consume one wire frame, pushing its payload(s) onto `pending`
+    /// (one for a plain frame, each sub-frame for a batch).
+    fn consume_wire_frame(
+        &self,
+        pending: &mut VecDeque<Vec<u8>>,
+        head: u64,
+        tail: u64,
+    ) -> Result<(), TransportError> {
+        let r = self.recv_ring;
+        // The producer's tail is peer-writable memory: untrusted. A tail
+        // "behind" our head (published > cap after wrapping) means a
+        // hostile or corrupted producer.
+        let published = tail.wrapping_sub(head);
+        let mut len_bytes = [0u8; 4];
+        ring_read(&self.map, r, head, &mut len_bytes);
+        let word = u32::from_le_bytes(len_bytes);
+        let len = (word & !BATCH_FLAG) as u64;
+        if published > r.cap || len + 4 > published {
+            // Only a corrupted (or hostile) producer can publish a length
+            // beyond its own published bytes; don't trust the stream.
+            return Err(TransportError::Io {
+                op: "recv",
+                kind: std::io::ErrorKind::InvalidData,
+                detail: format!("ring frame length {len} exceeds published bytes"),
+            });
+        }
+        let mut payload = vec![0u8; len as usize];
+        ring_read(&self.map, r, head + 4, &mut payload);
+        self.map
+            .atomic_u64(r.head)
+            .store(head + 4 + len, Ordering::Release);
+        // A producer parked on backpressure wants to know space opened.
+        self.wake_peer_if_parked();
+        if word & BATCH_FLAG == 0 {
+            pending.push_back(payload);
+        } else {
+            // Sub-frames are bounded by the batch body, which the check
+            // above already bounded by the ring capacity.
+            pending.extend(frame::split_batch(
+                &payload,
+                r.cap.min(u32::MAX as u64) as u32,
+            )?);
+        }
+        Ok(())
     }
 }
 
@@ -314,85 +507,124 @@ impl Connection for ShmConnection {
             });
         }
         let _guard = self.send_lock.lock();
-        let tail_a = self.map.atomic_u64(r.tail);
-        let head_a = self.map.atomic_u64(r.head);
-        // Sole producer under the lock: our own tail is stable.
-        let tail = tail_a.load(Ordering::Relaxed);
-        let mut backoff = Backoff::new();
-        loop {
-            // The consumer's head counter lives in memory the peer can
-            // scribble on; treat it as untrusted input, exactly like the
-            // recv path treats the producer's counters. A head "ahead"
-            // of our tail can only mean a hostile or corrupted peer —
-            // fail the connection instead of underflowing.
-            let head = head_a.load(Ordering::Acquire);
-            let used = tail.wrapping_sub(head);
-            if used > r.cap {
-                return Err(TransportError::Io {
-                    op: "send",
-                    kind: std::io::ErrorKind::InvalidData,
-                    detail: format!("ring consumer head {head} ahead of producer tail {tail}"),
-                });
-            }
-            if r.cap - used >= need {
-                break;
-            }
-            if backoff.snooze() && peer_gone(&self.sock) {
-                return Err(TransportError::Disconnected);
-            }
-        }
-        ring_write(&self.map, r, tail, &(frame.len() as u32).to_le_bytes());
-        ring_write(&self.map, r, tail + 4, &frame);
-        // Publish: the consumer's acquire load of tail sees the frame
-        // bytes fully written.
-        tail_a.store(tail + need, Ordering::Release);
-        Ok(())
+        self.raw_send(frame.len() as u32, &frame)
     }
 
     fn recv(&self) -> Result<Vec<u8>, TransportError> {
         let r = self.recv_ring;
-        let _guard = self.recv_lock.lock();
-        let tail_a = self.map.atomic_u64(r.tail);
-        let head_a = self.map.atomic_u64(r.head);
-        let head = head_a.load(Ordering::Relaxed);
-        let mut backoff = Backoff::new();
-        let tail = loop {
+        let mut pending = self.recv_lock.lock();
+        loop {
+            if let Some(f) = pending.pop_front() {
+                return Ok(f);
+            }
+            let tail_a = self.map.atomic_u64(r.tail);
+            let head_a = self.map.atomic_u64(r.head);
+            let head = head_a.load(Ordering::Relaxed);
+            // Ring drained: only a dead peer may end the stream — frames
+            // written before the peer died are still delivered.
+            self.wait_until(|| tail_a.load(Ordering::Acquire) != head)?;
+            let tail = tail_a.load(Ordering::Acquire);
+            self.consume_wire_frame(&mut pending, head, tail)?;
+        }
+    }
+
+    fn send_batch(&self, frames: Vec<Vec<u8>>) -> Result<(), TransportError> {
+        if frames.len() <= 1 {
+            return match frames.into_iter().next() {
+                Some(f) => self.send(f),
+                None => Ok(()),
+            };
+        }
+        let r = self.send_ring;
+        let body = frame::batch_body(&frames);
+        if body.len() as u64 + 4 > r.cap {
+            // Run too large for one publish: send frame-by-frame under
+            // one producer lock so the run stays contiguous.
+            let _guard = self.send_lock.lock();
+            for f in frames {
+                let need = f.len() as u64 + 4;
+                if need > r.cap {
+                    return Err(TransportError::FrameTooLarge {
+                        len: f.len() as u64,
+                        max: r.cap - 4,
+                    });
+                }
+                self.raw_send(f.len() as u32, &f)?;
+            }
+            return Ok(());
+        }
+        let _guard = self.send_lock.lock();
+        self.raw_send(body.len() as u32 | BATCH_FLAG, &body)
+    }
+
+    fn try_recv(&self) -> Result<Option<Vec<u8>>, TransportError> {
+        let r = self.recv_ring;
+        let mut pending = self.recv_lock.lock();
+        // Reset park state from a previous None: drain the doorbell and
+        // clear the flag so producers go back to syscall-free publishes.
+        if let Some(db) = &self.doorbells {
+            self.map
+                .atomic_u32(self.my_parked)
+                .store(0, Ordering::SeqCst);
+            sys::eventfd_drain(db.mine.raw());
+        }
+        loop {
+            if let Some(f) = pending.pop_front() {
+                return Ok(Some(f));
+            }
+            let tail_a = self.map.atomic_u64(r.tail);
+            let head_a = self.map.atomic_u64(r.head);
+            let head = head_a.load(Ordering::Relaxed);
             let tail = tail_a.load(Ordering::Acquire);
             if tail != head {
-                break tail;
+                self.consume_wire_frame(&mut pending, head, tail)?;
+                continue;
             }
-            // Ring drained: only now may a dead peer end the stream —
-            // frames written before the peer died are still delivered.
-            if backoff.snooze() && peer_gone(&self.sock) {
+            // Empty. Declare ourselves parked *before* the final check —
+            // the Dekker handshake with the producer's publish path —
+            // so the executor's next poll cannot miss a frame published
+            // in between.
+            if let Some(_db) = &self.doorbells {
+                self.map
+                    .atomic_u32(self.my_parked)
+                    .store(1, Ordering::SeqCst);
+                fence(Ordering::SeqCst);
+                if tail_a.load(Ordering::SeqCst) != head {
+                    self.map
+                        .atomic_u32(self.my_parked)
+                        .store(0, Ordering::SeqCst);
+                    continue;
+                }
+            }
+            if peer_gone(&self.sock) {
                 return Err(TransportError::Disconnected);
             }
-        };
-        // The producer's tail is peer-writable memory: untrusted. A tail
-        // "behind" our head (published > cap after wrapping) means a
-        // hostile or corrupted producer.
-        let published = tail.wrapping_sub(head);
-        let mut len_bytes = [0u8; 4];
-        ring_read(&self.map, r, head, &mut len_bytes);
-        let len = u32::from_le_bytes(len_bytes) as u64;
-        if published > r.cap || len + 4 > published {
-            // Only a corrupted (or hostile) producer can publish a length
-            // beyond its own published bytes; don't trust the stream.
-            return Err(TransportError::Io {
-                op: "recv",
-                kind: std::io::ErrorKind::InvalidData,
-                detail: format!("ring frame length {len} exceeds published bytes"),
-            });
+            return Ok(None);
         }
-        let mut payload = vec![0u8; len as usize];
-        ring_read(&self.map, r, head + 4, &mut payload);
-        head_a.store(head + 4 + len, Ordering::Release);
-        Ok(payload)
+    }
+
+    fn enter_event_mode(&self) -> bool {
+        // Event mode needs the doorbell: ring traffic never touches a
+        // pollable fd otherwise. Doorbell-less peers keep a dedicated
+        // blocking thread.
+        self.doorbells.is_some()
+    }
+
+    fn event_fds(&self) -> Vec<i32> {
+        match &self.doorbells {
+            Some(db) => vec![db.mine.raw(), self.sock.as_raw_fd()],
+            None => Vec::new(),
+        }
     }
 }
 
 // ---- handshake -------------------------------------------------------------
 
 /// Client half of the handshake: name the ring file and its capacity.
+/// This is the doorbell-less legacy form (kept as the wire baseline —
+/// and as the hand-rolled-hostile-client path the tests exercise);
+/// [`send_hello_with_bells`] is what the dialer actually uses.
+#[cfg_attr(not(test), allow(dead_code))]
 fn send_hello(sock: &UnixStream, path: &Path, capacity: u32) -> Result<(), TransportError> {
     let bytes = path.as_os_str().as_encoded_bytes();
     let mut msg = Vec::with_capacity(12 + bytes.len());
@@ -405,13 +637,73 @@ fn send_hello(sock: &UnixStream, path: &Path, capacity: u32) -> Result<(), Trans
         .map_err(|e| io_err("handshake", &e))
 }
 
-/// Server half: read the hello, validate, map the ring file.
-fn read_hello(sock: &UnixStream) -> Result<(PathBuf, u32), TransportError> {
-    let mut preamble = [0u8; 4];
+/// [`send_hello`] with the two doorbell eventfds riding `SCM_RIGHTS` on
+/// the preamble bytes (`[client's bell, server's bell]`). The rest of
+/// the hello travels as plain stream bytes, so a server reads it
+/// identically either way.
+fn send_hello_with_bells(
+    sock: &UnixStream,
+    path: &Path,
+    capacity: u32,
+    client_bell: &sys::OwnedFd,
+    server_bell: &sys::OwnedFd,
+) -> Result<(), TransportError> {
+    let sent = sys::send_with_fds(
+        sock.as_raw_fd(),
+        &PREAMBLE,
+        &[client_bell.raw(), server_bell.raw()],
+    )
+    .map_err(|e| io_err("handshake", &e))?;
+    if sent != PREAMBLE.len() {
+        return Err(TransportError::Io {
+            op: "handshake",
+            kind: std::io::ErrorKind::WriteZero,
+            detail: format!("short preamble sendmsg ({sent} of 4 bytes)"),
+        });
+    }
+    let bytes = path.as_os_str().as_encoded_bytes();
+    let mut msg = Vec::with_capacity(8 + bytes.len());
+    msg.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    msg.extend_from_slice(bytes);
+    msg.extend_from_slice(&capacity.to_le_bytes());
     (&*sock)
-        .read_exact(&mut preamble)
-        .map_err(|e| io_err("handshake", &e))?;
+        .write_all(&msg)
+        .map_err(|e| io_err("handshake", &e))
+}
+
+/// Server half: read the hello, validate, map the ring file. Collects
+/// the doorbell fds if the client attached them (`None` otherwise —
+/// the connection then uses fallback parking).
+fn read_hello(sock: &UnixStream) -> Result<(PathBuf, u32, Option<Doorbells>), TransportError> {
+    // The preamble comes via recvmsg so an attached SCM_RIGHTS payload
+    // is collected; a plain-write legacy hello yields the same bytes
+    // with no fds. Loop in case the kernel splits the 4 bytes.
+    let mut preamble = [0u8; 4];
+    let mut got = 0usize;
+    let mut fds = Vec::new();
+    while got < 4 {
+        let (n, mut newfds) = sys::recv_with_fds(sock.as_raw_fd(), &mut preamble[got..], 2)
+            .map_err(|e| io_err("handshake", &e))?;
+        if n == 0 {
+            return Err(TransportError::Disconnected);
+        }
+        got += n;
+        fds.append(&mut newfds);
+    }
     frame::check_preamble(&preamble)?;
+    // Exactly two fds form a doorbell pair (ours is the second); any
+    // other count is a peer playing games — ignore the fds, keep the
+    // connection on fallback parking.
+    let doorbells = if fds.len() == 2 {
+        let server_bell = fds.pop().expect("two fds");
+        let client_bell = fds.pop().expect("two fds");
+        Some(Doorbells {
+            mine: server_bell,
+            peers: client_bell,
+        })
+    } else {
+        None
+    };
     let mut len_bytes = [0u8; 4];
     (&*sock)
         .read_exact(&mut len_bytes)
@@ -444,7 +736,7 @@ fn read_hello(sock: &UnixStream) -> Result<(PathBuf, u32), TransportError> {
     // client; treat them as a platform path verbatim.
     let path =
         PathBuf::from(unsafe { std::ffi::OsString::from_encoded_bytes_unchecked(path_bytes) });
-    Ok((path, capacity))
+    Ok((path, capacity, doorbells))
 }
 
 fn validate_header(map: &RawMap, capacity: u32) -> Result<(), TransportError> {
@@ -562,12 +854,12 @@ impl ShmListener {
 fn complete_server_handshake(
     sock: &UnixStream,
     mapped: &Arc<Mutex<std::collections::HashSet<RingFileId>>>,
-) -> Result<(RawMap, u32, RingClaim), TransportError> {
+) -> Result<(RawMap, u32, Option<Doorbells>, RingClaim), TransportError> {
     use std::os::unix::fs::{MetadataExt, OpenOptionsExt};
 
     sock.set_read_timeout(Some(HANDSHAKE_TIMEOUT))
         .map_err(|e| io_err("handshake", &e))?;
-    let (ring_path, capacity) = read_hello(sock)?;
+    let (ring_path, capacity, doorbells) = read_hello(sock)?;
     // O_NOFOLLOW | O_NONBLOCK (asm-generic Linux values, shared by
     // x86_64 and aarch64): the path is attacker-controlled, so refuse
     // symlinks outright and never block inside open(2) on a smuggled
@@ -623,7 +915,7 @@ fn complete_server_handshake(
         .map_err(|e| io_err("handshake", &e))?;
     sock.set_nonblocking(true)
         .map_err(|e| io_err("handshake", &e))?;
-    Ok((map, capacity, claim))
+    Ok((map, capacity, doorbells, claim))
 }
 
 /// A freshly accepted server half whose hello has not been read yet.
@@ -656,7 +948,7 @@ impl PendingShmConnection {
         let mut state = self.state.lock();
         if let ShmServerState::Pending { sock, mapped } = &*state {
             match complete_server_handshake(sock, mapped) {
-                Ok((map, capacity, claim)) => {
+                Ok((map, capacity, doorbells, claim)) => {
                     // The socket moves into the connection; replace the
                     // state wholesale.
                     let old = std::mem::replace(&mut *state, ShmServerState::Failed);
@@ -668,6 +960,7 @@ impl PendingShmConnection {
                         sock,
                         capacity,
                         Side::Server,
+                        doorbells,
                         Some(claim),
                     ));
                 }
@@ -692,6 +985,34 @@ impl Connection for PendingShmConnection {
 
     fn recv(&self) -> Result<Vec<u8>, TransportError> {
         self.with_ready(|c| c.recv())
+    }
+
+    fn send_batch(&self, frames: Vec<Vec<u8>>) -> Result<(), TransportError> {
+        self.with_ready(|c| c.send_batch(frames))
+    }
+
+    fn try_recv(&self) -> Result<Option<Vec<u8>>, TransportError> {
+        // The first call runs the deferred handshake (bounded by
+        // HANDSHAKE_TIMEOUT) on the executor worker that saw the hello
+        // bytes arrive.
+        self.with_ready(|c| c.try_recv())
+    }
+
+    fn enter_event_mode(&self) -> bool {
+        // Adoptable: before the handshake the hello's arrival is itself
+        // a socket-readable event. Whether the *ring* can be event-driven
+        // is only known post-handshake — the executor re-queries
+        // `event_fds` after each drain and demotes to a dedicated thread
+        // if the client sent no doorbells.
+        true
+    }
+
+    fn event_fds(&self) -> Vec<i32> {
+        match &*self.state.lock() {
+            ShmServerState::Pending { sock, .. } => vec![sock.as_raw_fd()],
+            ShmServerState::Ready(c) => c.event_fds(),
+            ShmServerState::Failed => Vec::new(),
+        }
     }
 }
 
@@ -795,11 +1116,15 @@ impl Dialer for ShmDialer {
         map.atomic_u64(OFF_MAGIC)
             .store(SHM_MAGIC, Ordering::Release);
 
-        // Handshake over the socket.
+        // Handshake over the socket, doorbell eventfds attached: the
+        // client keeps the originals, the server gets kernel-duplicated
+        // descriptors of the same eventfd objects.
+        let client_bell = sys::eventfd_new().map_err(|e| io_err("dial", &e))?;
+        let server_bell = sys::eventfd_new().map_err(|e| io_err("dial", &e))?;
         let sock = UnixStream::connect(&self.path).map_err(|e| io_err("dial", &e))?;
         sock.set_read_timeout(Some(HANDSHAKE_TIMEOUT))
             .map_err(|e| io_err("handshake", &e))?;
-        send_hello(&sock, &ring_path, self.capacity)?;
+        send_hello_with_bells(&sock, &ring_path, self.capacity, &client_bell, &server_bell)?;
         let mut ready = [0u8; 1];
         (&sock)
             .read_exact(&mut ready)
@@ -822,6 +1147,10 @@ impl Dialer for ShmDialer {
             sock,
             self.capacity,
             Side::Client,
+            Some(Doorbells {
+                mine: client_bell,
+                peers: server_bell,
+            }),
             None,
         )))
     }
@@ -830,6 +1159,7 @@ impl Dialer for ShmDialer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     fn temp_sock(tag: &str) -> PathBuf {
         crate::fixtures::temp_socket_path(&format!("shm-test-{tag}"))
@@ -1077,5 +1407,172 @@ mod tests {
             "aliased claim produced {r2:?}"
         );
         let _ = std::fs::remove_file(&ring_path);
+    }
+
+    /// Regression gate for the satellite: a SIGKILLed (here: dropped —
+    /// the kernel closes the socket either way) peer must be detected in
+    /// well under 100 ms by a receiver that is idle-parked on its
+    /// doorbell, because the park multiplexes the eventfd *and* the
+    /// socket fd in one poll. The old spin→yield→sleep ladder only
+    /// probed the socket once per wakeup, so a sleeping receiver could
+    /// lag a full sleep quantum behind the death.
+    #[test]
+    fn dead_peer_is_detected_quickly_from_an_idle_park() {
+        let path = temp_sock("deadpeer");
+        let (listener, _unblock) = ShmListener::bind(&path).unwrap();
+        let accept_thread = std::thread::spawn(move || {
+            let c = listener.accept().unwrap();
+            c.send(Vec::new()).unwrap(); // completes the deferred handshake
+            let start = Instant::now();
+            let r = c.recv();
+            (r, start.elapsed())
+        });
+        let client = ShmDialer::with_capacity(&path, 4096).dial().unwrap();
+        assert!(client.enter_event_mode(), "dialer must negotiate bells");
+        // Give the server time to pass the spin/yield phases and park.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(client);
+        let (r, elapsed) = accept_thread.join().unwrap();
+        assert_eq!(r, Err(TransportError::Disconnected));
+        assert!(
+            elapsed < Duration::from_millis(100),
+            "parked receiver took {elapsed:?} to notice the dead peer"
+        );
+    }
+
+    /// A batched send must arrive as the individual frames, in order,
+    /// and the doorbell wakes the parked receiver for it.
+    #[test]
+    fn batch_round_trips_through_the_ring() {
+        let path = temp_sock("batch");
+        let (listener, _unblock) = ShmListener::bind(&path).unwrap();
+        let server_thread = std::thread::spawn(move || {
+            let server = listener.accept().unwrap();
+            let mut got = Vec::new();
+            for _ in 0..4 {
+                got.push(server.recv().unwrap());
+            }
+            server
+                .send_batch(vec![vec![7; 9], vec![], vec![8]])
+                .unwrap();
+            got
+        });
+        let client = ShmDialer::with_capacity(&path, 4096).dial().unwrap();
+        let frames = vec![vec![1u8, 2, 3], Vec::new(), vec![4u8; 500], vec![5u8]];
+        client.send_batch(frames.clone()).unwrap();
+        for expect in [vec![7u8; 9], Vec::new(), vec![8u8]] {
+            assert_eq!(client.recv().unwrap(), expect);
+        }
+        assert_eq!(server_thread.join().unwrap(), frames);
+    }
+
+    /// A batch whose combined body exceeds the ring capacity degrades
+    /// to sequential plain sends instead of failing.
+    #[test]
+    fn oversized_batch_degrades_to_sequential_sends() {
+        let path = temp_sock("bigbatch");
+        let (listener, _unblock) = ShmListener::bind(&path).unwrap();
+        let server_thread = std::thread::spawn(move || {
+            let server = listener.accept().unwrap();
+            (0..4)
+                .map(|_| server.recv().unwrap().len())
+                .collect::<Vec<_>>()
+        });
+        let client = ShmDialer::with_capacity(&path, 4096).dial().unwrap();
+        // 4 × 1500 B > 4096 B ring: the combined body can never fit in
+        // one wire frame, but each member fits on its own.
+        client.send_batch(vec![vec![0u8; 1500]; 4]).unwrap();
+        assert_eq!(server_thread.join().unwrap(), vec![1500; 4]);
+        drop(client);
+    }
+
+    /// Event-mode contract: `try_recv` never blocks, returns queued
+    /// frames in order, and reports `Disconnected` once the peer is
+    /// gone and the ring is drained.
+    #[test]
+    fn try_recv_is_nonblocking_and_drains_before_disconnect() {
+        let path = temp_sock("tryrecv");
+        let (listener, _unblock) = ShmListener::bind(&path).unwrap();
+        let accept_thread = std::thread::spawn(move || {
+            let c = listener.accept().unwrap();
+            c.send(Vec::new()).unwrap();
+            c
+        });
+        let client = ShmDialer::with_capacity(&path, 4096).dial().unwrap();
+        let server = accept_thread.join().unwrap();
+        assert!(server.enter_event_mode());
+        assert_eq!(server.event_fds().len(), 2, "doorbell + socket");
+        assert_eq!(server.try_recv().unwrap(), None);
+        client.send_batch(vec![vec![1], vec![2, 2]]).unwrap();
+        client.send(vec![3, 3, 3]).unwrap();
+        // The frames are already published when the sends return; no
+        // polling loop is needed on the consumer side.
+        assert_eq!(server.try_recv().unwrap(), Some(vec![1]));
+        assert_eq!(server.try_recv().unwrap(), Some(vec![2, 2]));
+        assert_eq!(server.try_recv().unwrap(), Some(vec![3, 3, 3]));
+        drop(client);
+        // Drained + dead peer → Disconnected (possibly after the close
+        // propagates through the socket).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match server.try_recv() {
+                Err(TransportError::Disconnected) => break,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(1))
+                }
+                other => panic!("expected eventual Disconnected, got {other:?}"),
+            }
+        }
+    }
+
+    /// A legacy hello (no SCM_RIGHTS doorbells) still yields a working
+    /// connection: the server falls back to the poll-based park.
+    #[test]
+    fn doorbell_less_hello_falls_back_cleanly() {
+        let path = temp_sock("legacyhello");
+        let (listener, _unblock) = ShmListener::bind(&path).unwrap();
+        let accept_thread = std::thread::spawn(move || {
+            let c = listener.accept().unwrap();
+            let f = c.recv().unwrap();
+            c.send(f).unwrap();
+            let start = Instant::now();
+            let r = c.recv();
+            (r, start.elapsed())
+        });
+        // Hand-rolled legacy client: create + map the ring, plain hello.
+        let capacity = 4096u32;
+        let ring_path =
+            std::env::temp_dir().join(format!("grd-legacy-ring-{}.shm", std::process::id()));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&ring_path)
+            .unwrap();
+        file.set_len(file_len(capacity)).unwrap();
+        let map = RawMap::map(&file, file_len(capacity) as usize).unwrap();
+        map.atomic_u32(OFF_VERSION)
+            .store(frame::TRANSPORT_VERSION as u32, Ordering::Release);
+        map.atomic_u32(OFF_CAPACITY)
+            .store(capacity, Ordering::Release);
+        map.atomic_u64(OFF_MAGIC)
+            .store(SHM_MAGIC, Ordering::Release);
+        let sock = UnixStream::connect(&path).unwrap();
+        send_hello(&sock, &ring_path, capacity).unwrap();
+        let mut ready = [0u8; 1];
+        (&sock).read_exact(&mut ready).unwrap();
+        assert_eq!(ready[0], 1);
+        let _ = std::fs::remove_file(&ring_path);
+        let client = ShmConnection::new(map, sock, capacity, Side::Client, None, None);
+        client.send(vec![42; 10]).unwrap();
+        assert_eq!(client.recv().unwrap(), vec![42; 10]);
+        // Death detection also works without bells (1 ms fallback poll).
+        drop(client);
+        let (r, elapsed) = accept_thread.join().unwrap();
+        assert_eq!(r, Err(TransportError::Disconnected));
+        assert!(
+            elapsed < Duration::from_millis(100),
+            "fallback park took {elapsed:?} to notice the dead peer"
+        );
     }
 }

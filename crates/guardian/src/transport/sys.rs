@@ -1,0 +1,424 @@
+//! Minimal raw-syscall surface for the event-driven data plane.
+//!
+//! The workspace deliberately carries no `libc` crate; like the `mmap`
+//! externs in [`super::shm`], this module declares exactly the handful of
+//! Linux calls the executor and the ring doorbells need — `eventfd` for
+//! wakeups, `epoll` for readiness, `poll` for single-connection parking,
+//! and `sendmsg`/`recvmsg` with `SCM_RIGHTS` to pass the doorbell fds
+//! across the handshake socket. Everything is wrapped in safe helpers
+//! returning `io::Result`, so the transports above never touch a raw
+//! pointer.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+#[allow(non_camel_case_types)]
+type c_int = i32;
+#[allow(non_camel_case_types)]
+type c_uint = u32;
+#[allow(non_camel_case_types)]
+type c_void = std::ffi::c_void;
+
+extern "C" {
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn sendmsg(fd: c_int, msg: *const MsgHdr, flags: c_int) -> isize;
+    fn recvmsg(fd: c_int, msg: *mut MsgHdr, flags: c_int) -> isize;
+}
+
+// asm-generic flag values (x86_64/aarch64 Linux).
+const EFD_NONBLOCK: c_int = 0o4000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+/// Readability.
+pub const EPOLLIN: u32 = 0x1;
+/// Peer closed its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// One-shot delivery: the fd is disarmed after each event and must be
+/// rearmed with [`epoll_rearm`] — the executor's single-drainer
+/// exclusivity lever.
+pub const EPOLLONESHOT: u32 = 1 << 30;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+/// `poll(2)` readability.
+pub const POLLIN: i16 = 0x1;
+/// `poll(2)` writability.
+pub const POLLOUT: i16 = 0x4;
+
+const SOL_SOCKET: c_int = 1;
+const SCM_RIGHTS: c_int = 1;
+const MSG_CMSG_CLOEXEC: c_int = 0x4000_0000;
+
+/// `struct epoll_event`. Packed on x86_64 (the kernel ABI), natural
+/// alignment elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Event mask (`EPOLLIN` | ...).
+    pub events: u32,
+    /// Caller cookie, returned verbatim by `epoll_wait`.
+    pub data: u64,
+}
+
+/// `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct PollFd {
+    /// Descriptor to poll.
+    pub fd: RawFd,
+    /// Requested events.
+    pub events: i16,
+    /// Returned events.
+    pub revents: i16,
+}
+
+#[repr(C)]
+struct IoVec {
+    base: *mut c_void,
+    len: usize,
+}
+
+// 64-bit Linux msghdr layout (int msg_flags padded to the end).
+#[repr(C)]
+struct MsgHdr {
+    msg_name: *mut c_void,
+    msg_namelen: u32,
+    msg_iov: *mut IoVec,
+    msg_iovlen: usize,
+    msg_control: *mut c_void,
+    msg_controllen: usize,
+    msg_flags: c_int,
+}
+
+// 64-bit cmsghdr: size_t len, int level, int type — 16 bytes, data
+// follows at the next usize boundary (i.e. immediately).
+const CMSG_HDR: usize = 16;
+const fn cmsg_align(n: usize) -> usize {
+    (n + 7) & !7
+}
+
+fn last_os_error() -> io::Error {
+    io::Error::last_os_error()
+}
+
+/// An owned file descriptor closed on drop.
+#[derive(Debug)]
+pub struct OwnedFd(RawFd);
+
+impl OwnedFd {
+    /// The raw descriptor (still owned by `self`).
+    pub fn raw(&self) -> RawFd {
+        self.0
+    }
+}
+
+impl Drop for OwnedFd {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.0);
+        }
+    }
+}
+
+/// A fresh non-blocking, close-on-exec eventfd at count 0.
+pub fn eventfd_new() -> io::Result<OwnedFd> {
+    let fd = unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) };
+    if fd < 0 {
+        return Err(last_os_error());
+    }
+    Ok(OwnedFd(fd))
+}
+
+/// Ring the doorbell: add 1 to the eventfd counter. Never blocks (the
+/// counter saturating at `u64::MAX - 1` would return `EAGAIN`, which is
+/// fine — the peer is already signalled).
+pub fn eventfd_signal(fd: RawFd) {
+    let one = 1u64.to_ne_bytes();
+    unsafe {
+        write(fd, one.as_ptr() as *const c_void, 8);
+    }
+}
+
+/// Drain a non-blocking eventfd back to 0. Returns `true` when a signal
+/// had been pending.
+pub fn eventfd_drain(fd: RawFd) -> bool {
+    let mut buf = [0u8; 8];
+    unsafe { read(fd, buf.as_mut_ptr() as *mut c_void, 8) == 8 }
+}
+
+/// `poll(2)` the given (fd, events) pairs. Returns the revents of each
+/// entry (0 = not ready); all-zero means the timeout elapsed. EINTR is
+/// treated as a timeout — callers loop anyway.
+pub fn poll_fds(entries: &[(RawFd, i16)], timeout_ms: i32) -> Vec<i16> {
+    let mut fds: Vec<PollFd> = entries
+        .iter()
+        .map(|&(fd, events)| PollFd {
+            fd,
+            events,
+            revents: 0,
+        })
+        .collect();
+    let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+    if n <= 0 {
+        return vec![0; entries.len()];
+    }
+    fds.iter().map(|p| p.revents).collect()
+}
+
+/// An owned epoll instance.
+pub struct Epoll(OwnedFd);
+
+impl Epoll {
+    /// A fresh close-on-exec epoll instance.
+    pub fn new() -> io::Result<Self> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(last_os_error());
+        }
+        Ok(Epoll(OwnedFd(fd)))
+    }
+
+    /// Register `fd` with `events` and the caller cookie `data`.
+    pub fn add(&self, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, data)
+    }
+
+    /// Rearm a one-shot registration (EPOLL_CTL_MOD).
+    pub fn rearm(&self, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, data)
+    }
+
+    /// Deregister `fd`. Errors are ignored — the fd may already be
+    /// closed, which deregisters implicitly.
+    pub fn del(&self, fd: RawFd) {
+        let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Wait up to `timeout_ms` (-1 = forever) for events. EINTR yields
+    /// an empty set.
+    pub fn wait(&self, max_events: usize, timeout_ms: i32) -> Vec<(u32, u64)> {
+        let mut events = vec![EpollEvent { events: 0, data: 0 }; max_events.max(1)];
+        let n = unsafe {
+            epoll_wait(
+                self.0.raw(),
+                events.as_mut_ptr(),
+                events.len() as c_int,
+                timeout_ms,
+            )
+        };
+        if n <= 0 {
+            return Vec::new();
+        }
+        events[..n as usize]
+            .iter()
+            .map(|e| {
+                let ev = *e;
+                (ev.events, ev.data)
+            })
+            .collect()
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data };
+        let rc = unsafe { epoll_ctl(self.0.raw(), op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(last_os_error());
+        }
+        Ok(())
+    }
+}
+
+/// `sendmsg` `bytes` on `sock` with `fds` attached as one `SCM_RIGHTS`
+/// control message. Returns the number of payload bytes sent.
+pub fn send_with_fds(sock: RawFd, bytes: &[u8], fds: &[RawFd]) -> io::Result<usize> {
+    let mut iov = IoVec {
+        base: bytes.as_ptr() as *mut c_void,
+        len: bytes.len(),
+    };
+    let space = CMSG_HDR + cmsg_align(fds.len() * 4);
+    // u64 storage guarantees the kernel's cmsg alignment.
+    let mut control = vec![0u64; space.div_ceil(8)];
+    {
+        let ctrl = control.as_mut_ptr() as *mut u8;
+        let len_field = (CMSG_HDR + fds.len() * 4) as u64;
+        unsafe {
+            std::ptr::copy_nonoverlapping(len_field.to_ne_bytes().as_ptr(), ctrl, 8);
+            std::ptr::copy_nonoverlapping(SOL_SOCKET.to_ne_bytes().as_ptr(), ctrl.add(8), 4);
+            std::ptr::copy_nonoverlapping(SCM_RIGHTS.to_ne_bytes().as_ptr(), ctrl.add(12), 4);
+            for (i, fd) in fds.iter().enumerate() {
+                std::ptr::copy_nonoverlapping(
+                    fd.to_ne_bytes().as_ptr(),
+                    ctrl.add(CMSG_HDR + i * 4),
+                    4,
+                );
+            }
+        }
+    }
+    let msg = MsgHdr {
+        msg_name: std::ptr::null_mut(),
+        msg_namelen: 0,
+        msg_iov: &mut iov,
+        msg_iovlen: 1,
+        msg_control: if fds.is_empty() {
+            std::ptr::null_mut()
+        } else {
+            control.as_mut_ptr() as *mut c_void
+        },
+        msg_controllen: if fds.is_empty() { 0 } else { space },
+        msg_flags: 0,
+    };
+    let n = unsafe { sendmsg(sock, &msg, 0) };
+    if n < 0 {
+        return Err(last_os_error());
+    }
+    Ok(n as usize)
+}
+
+/// `recvmsg` into `buf`, collecting up to `max_fds` descriptors from an
+/// attached `SCM_RIGHTS` control message (close-on-exec). Returns the
+/// payload byte count and the received fds (owned — unclaimed fds are
+/// closed when the vec drops).
+pub fn recv_with_fds(
+    sock: RawFd,
+    buf: &mut [u8],
+    max_fds: usize,
+) -> io::Result<(usize, Vec<OwnedFd>)> {
+    let mut iov = IoVec {
+        base: buf.as_mut_ptr() as *mut c_void,
+        len: buf.len(),
+    };
+    let space = CMSG_HDR + cmsg_align(max_fds * 4);
+    let mut control = vec![0u64; space.div_ceil(8)];
+    let mut msg = MsgHdr {
+        msg_name: std::ptr::null_mut(),
+        msg_namelen: 0,
+        msg_iov: &mut iov,
+        msg_iovlen: 1,
+        msg_control: control.as_mut_ptr() as *mut c_void,
+        msg_controllen: space,
+        msg_flags: 0,
+    };
+    let n = unsafe { recvmsg(sock, &mut msg, MSG_CMSG_CLOEXEC) };
+    if n < 0 {
+        return Err(last_os_error());
+    }
+    let mut fds = Vec::new();
+    if msg.msg_controllen >= CMSG_HDR {
+        let ctrl = control.as_ptr() as *const u8;
+        let mut len_bytes = [0u8; 8];
+        let mut level_bytes = [0u8; 4];
+        let mut ty_bytes = [0u8; 4];
+        unsafe {
+            std::ptr::copy_nonoverlapping(ctrl, len_bytes.as_mut_ptr(), 8);
+            std::ptr::copy_nonoverlapping(ctrl.add(8), level_bytes.as_mut_ptr(), 4);
+            std::ptr::copy_nonoverlapping(ctrl.add(12), ty_bytes.as_mut_ptr(), 4);
+        }
+        let cmsg_len = u64::from_ne_bytes(len_bytes) as usize;
+        let level = c_int::from_ne_bytes(level_bytes);
+        let ty = c_int::from_ne_bytes(ty_bytes);
+        if level == SOL_SOCKET && ty == SCM_RIGHTS && cmsg_len > CMSG_HDR {
+            let count = ((cmsg_len - CMSG_HDR) / 4).min(max_fds);
+            for i in 0..count {
+                let mut fd_bytes = [0u8; 4];
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        ctrl.add(CMSG_HDR + i * 4),
+                        fd_bytes.as_mut_ptr(),
+                        4,
+                    );
+                }
+                fds.push(OwnedFd(RawFd::from_ne_bytes(fd_bytes)));
+            }
+        }
+    }
+    Ok((n as usize, fds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn eventfd_signal_drain_round_trip() {
+        let efd = eventfd_new().unwrap();
+        assert!(!eventfd_drain(efd.raw()), "fresh eventfd has no signal");
+        eventfd_signal(efd.raw());
+        eventfd_signal(efd.raw());
+        assert!(eventfd_drain(efd.raw()), "signalled eventfd drains");
+        assert!(!eventfd_drain(efd.raw()), "drain resets the counter");
+    }
+
+    #[test]
+    fn poll_sees_eventfd_readability() {
+        let efd = eventfd_new().unwrap();
+        let idle = poll_fds(&[(efd.raw(), POLLIN)], 0);
+        assert_eq!(idle[0] & POLLIN, 0);
+        eventfd_signal(efd.raw());
+        let ready = poll_fds(&[(efd.raw(), POLLIN)], 1000);
+        assert_ne!(ready[0] & POLLIN, 0);
+    }
+
+    #[test]
+    fn epoll_oneshot_delivers_then_disarms_then_rearms() {
+        let ep = Epoll::new().unwrap();
+        let efd = eventfd_new().unwrap();
+        ep.add(efd.raw(), EPOLLIN | EPOLLONESHOT, 42).unwrap();
+        eventfd_signal(efd.raw());
+        let evs = ep.wait(8, 1000);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].1, 42);
+        // One-shot: without a rearm the (still readable) fd stays quiet.
+        assert!(ep.wait(8, 50).is_empty());
+        ep.rearm(efd.raw(), EPOLLIN | EPOLLONESHOT, 42).unwrap();
+        assert_eq!(ep.wait(8, 1000).len(), 1);
+        ep.del(efd.raw());
+    }
+
+    #[test]
+    fn scm_rights_passes_eventfds_across_a_socket() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let e1 = eventfd_new().unwrap();
+        let e2 = eventfd_new().unwrap();
+        eventfd_signal(e1.raw());
+        let sent = send_with_fds(a.as_raw_fd(), b"hi", &[e1.raw(), e2.raw()]).unwrap();
+        assert_eq!(sent, 2);
+        let mut buf = [0u8; 2];
+        let (n, fds) = recv_with_fds(b.as_raw_fd(), &mut buf, 2).unwrap();
+        assert_eq!((n, &buf), (2, b"hi"));
+        assert_eq!(fds.len(), 2);
+        // The duplicated descriptor shares the eventfd object: the signal
+        // written before the transfer is visible through the new fd.
+        assert!(eventfd_drain(fds[0].raw()));
+        assert!(!eventfd_drain(fds[1].raw()));
+    }
+
+    #[test]
+    fn plain_stream_bytes_carry_no_fds() {
+        let (a, mut b) = UnixStream::pair().unwrap();
+        let mut a2 = a.try_clone().unwrap();
+        a2.write_all(b"xyz").unwrap();
+        let mut buf = [0u8; 3];
+        let (n, fds) = recv_with_fds(b.as_raw_fd(), &mut buf, 2).unwrap();
+        assert_eq!((n, &buf), (3, b"xyz"));
+        assert!(fds.is_empty());
+        // And the reverse interleaving: recvmsg'd bytes then plain read.
+        send_with_fds(a.as_raw_fd(), b"pq", &[]).unwrap();
+        let mut rest = [0u8; 2];
+        b.read_exact(&mut rest).unwrap();
+        assert_eq!(&rest, b"pq");
+    }
+}

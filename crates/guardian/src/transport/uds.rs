@@ -12,11 +12,12 @@
 //! [`frame::PREAMBLE`] so version skew fails the handshake instead of
 //! corrupting mid-session frames.
 
-use super::frame::{self, FrameDecoder, MAX_FRAME, PREAMBLE};
+use super::frame::{self, FrameDecoder, BATCH_FLAG, MAX_FRAME, PREAMBLE};
 use super::peercred::UidPolicy;
-use super::{Connection, Dialer, Listener, TransportError};
+use super::{sys, Connection, Dialer, Listener, TransportError};
 use parking_lot::Mutex;
 use std::io::{Read, Write};
+use std::os::unix::io::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -65,7 +66,16 @@ pub struct UdsConnection {
     /// is deferred to the connection's own session thread, so a wedged
     /// or hostile client stalls only itself — never the accept loop.
     handshaken: Mutex<bool>,
+    /// `true` once an epoll executor adopted this connection: the stream
+    /// goes non-blocking (after the handshake) and frames are pulled via
+    /// [`Connection::try_recv`].
+    event_mode: AtomicBool,
 }
+
+/// How long a send may sit in `poll(POLLOUT)` waiting for a peer that
+/// reads nothing before the connection is declared wedged. Generous: a
+/// live manager drains its socket continuously.
+const SEND_STALL_TIMEOUT: Duration = Duration::from_secs(10);
 
 impl UdsConnection {
     fn new(stream: UnixStream, handshaken: bool) -> Self {
@@ -74,16 +84,58 @@ impl UdsConnection {
             send_lock: Mutex::new(()),
             recv_state: Mutex::new(FrameDecoder::new(MAX_FRAME)),
             handshaken: Mutex::new(handshaken),
+            event_mode: AtomicBool::new(false),
         }
     }
 
     /// Run the deferred preamble exchange once, on whichever thread
-    /// touches the connection first (in the manager: the session thread).
+    /// touches the connection first (in the manager: the session thread
+    /// or executor worker).
     fn ensure_handshaken(&self) -> Result<(), TransportError> {
         let mut done = self.handshaken.lock();
         if !*done {
             handshake(&self.stream)?;
+            // Event-mode adoption may have happened before the deferred
+            // handshake ran; the stream only goes non-blocking now, so
+            // the handshake itself could use read timeouts.
+            if self.event_mode.load(Ordering::SeqCst) {
+                self.stream
+                    .set_nonblocking(true)
+                    .map_err(|e| io_err("handshake", &e))?;
+            }
             *done = true;
+        }
+        Ok(())
+    }
+
+    /// Write all of `bytes`, riding out `WouldBlock` on a non-blocking
+    /// stream by parking in `poll(POLLOUT)` — bounded so a peer that
+    /// stops reading cannot pin an executor worker forever.
+    fn send_all(&self, bytes: &[u8]) -> Result<(), TransportError> {
+        let mut off = 0;
+        let mut stalled = Duration::ZERO;
+        while off < bytes.len() {
+            match (&self.stream).write(&bytes[off..]) {
+                Ok(0) => return Err(TransportError::Disconnected),
+                Ok(n) => {
+                    off += n;
+                    stalled = Duration::ZERO;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if stalled >= SEND_STALL_TIMEOUT {
+                        return Err(TransportError::Io {
+                            op: "send",
+                            kind: std::io::ErrorKind::TimedOut,
+                            detail: "peer stopped reading".into(),
+                        });
+                    }
+                    let step = 100;
+                    sys::poll_fds(&[(self.stream.as_raw_fd(), sys::POLLOUT)], step);
+                    stalled += Duration::from_millis(step as u64);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(io_err("send", &e)),
+            }
         }
         Ok(())
     }
@@ -94,9 +146,7 @@ impl Connection for UdsConnection {
         self.ensure_handshaken()?;
         let encoded = frame::encode_frame(&frame, MAX_FRAME)?;
         let _guard = self.send_lock.lock();
-        (&self.stream)
-            .write_all(&encoded)
-            .map_err(|e| io_err("send", &e))
+        self.send_all(&encoded)
     }
 
     fn recv(&self) -> Result<Vec<u8>, TransportError> {
@@ -118,6 +168,72 @@ impl Connection for UdsConnection {
             }
             dec.push(&chunk[..n]);
         }
+    }
+
+    fn send_batch(&self, frames: Vec<Vec<u8>>) -> Result<(), TransportError> {
+        if frames.len() <= 1 {
+            return match frames.into_iter().next() {
+                Some(f) => self.send(f),
+                None => Ok(()),
+            };
+        }
+        self.ensure_handshaken()?;
+        for f in &frames {
+            if f.len() as u64 > MAX_FRAME as u64 {
+                return Err(TransportError::FrameTooLarge {
+                    len: f.len() as u64,
+                    max: MAX_FRAME as u64,
+                });
+            }
+        }
+        let body = frame::batch_body(&frames);
+        if body.len() as u64 > MAX_FRAME as u64 {
+            // Too big to coalesce: fall back to frame-by-frame sends
+            // under one writer lock so the run stays contiguous.
+            let _guard = self.send_lock.lock();
+            for f in frames {
+                let encoded = frame::encode_frame(&f, MAX_FRAME)?;
+                self.send_all(&encoded)?;
+            }
+            return Ok(());
+        }
+        let mut buf = Vec::with_capacity(4 + body.len());
+        buf.extend_from_slice(&(body.len() as u32 | BATCH_FLAG).to_le_bytes());
+        buf.extend_from_slice(&body);
+        let _guard = self.send_lock.lock();
+        self.send_all(&buf)
+    }
+
+    fn try_recv(&self) -> Result<Option<Vec<u8>>, TransportError> {
+        self.ensure_handshaken()?;
+        let mut dec = self.recv_state.lock();
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(f) = dec.next_frame()? {
+                return Ok(Some(f));
+            }
+            match (&self.stream).read(&mut chunk) {
+                Ok(0) => return Err(TransportError::Disconnected),
+                Ok(n) => dec.push(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(io_err("recv", &e)),
+            }
+        }
+    }
+
+    fn enter_event_mode(&self) -> bool {
+        self.event_mode.store(true, Ordering::SeqCst);
+        // If the handshake already ran (client halves), flip to
+        // non-blocking now; otherwise `ensure_handshaken` does it.
+        if *self.handshaken.lock() && self.stream.set_nonblocking(true).is_err() {
+            return false;
+        }
+        true
+    }
+
+    fn event_fds(&self) -> Vec<i32> {
+        vec![self.stream.as_raw_fd()]
     }
 }
 
@@ -379,6 +495,78 @@ mod tests {
             accept_thread.join().unwrap(),
             Some(TransportError::Disconnected)
         );
+    }
+
+    /// A batch send arrives as the same sequence of individual frames —
+    /// coalescing is invisible above the transport.
+    #[test]
+    fn batch_send_preserves_frame_boundaries() {
+        let path = temp_sock("batch");
+        let (listener, _unblock) = UdsListener::bind(&path).unwrap();
+        let server_thread = std::thread::spawn(move || {
+            let server = listener.accept().unwrap();
+            let frames: Vec<Vec<u8>> = (0..4).map(|_| server.recv().unwrap()).collect();
+            server
+                .send_batch(vec![vec![10], vec![], vec![20, 21]])
+                .unwrap();
+            frames
+        });
+        let client = UdsDialer::new(&path).dial().unwrap();
+        client
+            .send_batch(vec![vec![1], vec![2, 2], vec![], vec![3; 300]])
+            .unwrap();
+        assert_eq!(client.recv().unwrap(), vec![10]);
+        assert_eq!(client.recv().unwrap(), Vec::<u8>::new());
+        assert_eq!(client.recv().unwrap(), vec![20, 21]);
+        let got = server_thread.join().unwrap();
+        assert_eq!(got, vec![vec![1], vec![2, 2], vec![], vec![3; 300]]);
+    }
+
+    /// Event mode: try_recv yields Ok(None) while the socket is idle and
+    /// the queued frames once bytes arrive — the executor's contract.
+    #[test]
+    fn event_mode_try_recv_is_nonblocking() {
+        let path = temp_sock("event");
+        let (listener, _unblock) = UdsListener::bind(&path).unwrap();
+        let client = std::thread::spawn({
+            let path = path.clone();
+            move || UdsDialer::new(&path).dial().unwrap()
+        });
+        let server = listener.accept().unwrap();
+        assert!(server.enter_event_mode());
+        assert_eq!(server.event_fds().len(), 1);
+        // First try_recv performs the deferred handshake (unblocking the
+        // client's eager dial), then sees an empty socket.
+        assert_eq!(server.try_recv().unwrap(), None);
+        let client = client.join().unwrap();
+        client.send_batch(vec![vec![7], vec![8, 9]]).unwrap();
+        // Poll until the kernel delivers the bytes.
+        let mut got = Vec::new();
+        for _ in 0..500 {
+            match server.try_recv().unwrap() {
+                Some(f) => {
+                    got.push(f);
+                    if got.len() == 2 {
+                        break;
+                    }
+                }
+                None => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        assert_eq!(got, vec![vec![7], vec![8, 9]]);
+        // Peer death surfaces as Disconnected from try_recv.
+        drop(client);
+        let mut end = None;
+        for _ in 0..500 {
+            match server.try_recv() {
+                Ok(None) => std::thread::sleep(Duration::from_millis(1)),
+                other => {
+                    end = Some(other);
+                    break;
+                }
+            }
+        }
+        assert_eq!(end, Some(Err(TransportError::Disconnected)));
     }
 
     #[test]

@@ -23,7 +23,8 @@ fn main() {
             eprintln!(
                 "usage: guardiand [--uds PATH] [--shm PATH] [--gpus N] \
                  [--pool-bytes N[,N...]] [--protection fence|modulo|check|none] \
-                 [--deferred] [--allow-uid UID[,UID...]]"
+                 [--deferred] [--allow-uid UID[,UID...]] \
+                 [--driver threads|event[:N]]"
             );
             std::process::exit(2);
         }
@@ -64,6 +65,7 @@ fn main() {
         } else {
             LaunchAck::Eager
         },
+        session_driver: opts.driver,
         ..ManagerConfig::default()
     };
     // Bound to a named variable: the handle must outlive the serve loop
