@@ -37,14 +37,23 @@
 //!   hundreds of parked OS threads — so the bench hard-fails if the
 //!   event pool stops keeping pace with thread-per-session at 64
 //!   tenants.
+//!
+//! * **control-plane hooks** (deferred launches, 64 tenants, uds): the
+//!   64-tenant event-pool point re-measured with the node control plane
+//!   fully engaged — a default lease on every admit, the per-uid
+//!   connect-rate gate in the accept loop, and usage counters ticking on
+//!   the drain path. Leases are bookkeeping, not a second data plane, so
+//!   the bench hard-fails if the hooks tax deferred throughput by more
+//!   than the shared 3% noise floor.
 
 use bench::stress_fatbin;
 use cuda_rt::{share_device, ArgPack, CudaApi};
 use gpu_sim::spec::test_gpu;
 use gpu_sim::LaunchConfig;
+use guardian::transport::UidPolicy;
 use guardian::{
-    spawn_manager_multi, BoundTransport, DispatchMode, GrdLib, LaunchAck, ManagerConfig,
-    SessionDriver,
+    spawn_manager_multi, Admission, BoundTransport, DispatchMode, GrdLib, LaunchAck, LeaseSpec,
+    ManagerConfig, SessionDriver,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -60,7 +69,9 @@ const GPU_SWEEP_TENANTS: usize = 8;
 /// the bench's wall clock.
 const SCALE_TENANT_COUNTS: [usize; 3] = [64, 128, 256];
 const SCALE_LAUNCHES: usize = 200;
-/// Tenant count the event-pool-vs-threads CI gate is evaluated at.
+/// Tenant count the event-pool-vs-threads CI gate is evaluated at —
+/// also where the control-plane-hooks gate runs (the accept loop and
+/// drain path are busiest there, so hook cost is least hideable).
 const SCALE_GATE_TENANTS: usize = 64;
 /// Noise floor for rate-vs-rate CI gates: "A must keep pace with B"
 /// flips on sub-permille scheduler noise when asserted strictly, so a
@@ -93,6 +104,9 @@ struct Row {
     elapsed_ms: f64,
     launches_per_sec: f64,
     max_concurrent_data_ops: u32,
+    /// Control plane engaged: default lease, connect-rate gate, usage
+    /// accounting.
+    admission: bool,
 }
 
 fn temp_sock(tag: &str) -> PathBuf {
@@ -116,6 +130,7 @@ fn measure(
         transport,
         LAUNCHES_PER_TENANT,
         SessionDriver::Auto,
+        false,
     )
 }
 
@@ -129,6 +144,7 @@ fn measure_with(
     transport: Transport,
     launches: usize,
     driver: SessionDriver,
+    control: bool,
 ) -> Row {
     // The stock 64 MiB test GPU pools at most 16 MiB by default (half of
     // free memory, floored to a power of two — the context's scratch
@@ -150,16 +166,27 @@ fn measure_with(
         .map(share_device)
         .collect();
     let fb = stress_fatbin();
+    // `control` engages the whole control plane with terms no tenant
+    // here violates: a generous lease on every admit, plus an accept-
+    // loop rate gate sized so the bench's own connect burst is never
+    // shed — the point is hook *cost*, not hook *effect*.
+    let admission = control.then(|| std::sync::Arc::new(Admission::new(1_000_000.0, 1_000_000)));
     let config = ManagerConfig {
         dispatch,
         launch_ack: ack,
         session_driver: driver,
         pool_bytes,
+        lease_default: control
+            .then(|| LeaseSpec::parse("mem=16M,streams=4,ttl=30m").expect("bench lease")),
+        admission: admission.clone(),
         ..ManagerConfig::default()
     };
     let bound = match transport {
         Transport::Channel => BoundTransport::channel(),
-        Transport::Uds => BoundTransport::uds(temp_sock("uds")).expect("bind uds"),
+        Transport::Uds => {
+            BoundTransport::uds_gated(temp_sock("uds"), UidPolicy::AllowAll, admission)
+                .expect("bind uds")
+        }
         Transport::Shm => BoundTransport::shm(temp_sock("shm")).expect("bind shm"),
     };
     let mgr = spawn_manager_multi(devices, config, &[&fb], bound).expect("spawn manager");
@@ -207,6 +234,7 @@ fn measure_with(
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         launches_per_sec: total / elapsed.as_secs_f64(),
         max_concurrent_data_ops: max_concurrent,
+        admission: control,
     }
 }
 
@@ -301,6 +329,7 @@ fn main() {
                         Transport::Uds,
                         SCALE_LAUNCHES,
                         driver,
+                        false,
                     )
                 })
                 .min_by(|a, b| a.elapsed_ms.total_cmp(&b.elapsed_ms))
@@ -308,6 +337,27 @@ fn main() {
             rows.push(row);
         }
     }
+    // Sweep 5: control-plane hook cost — the 64-tenant event-pool point
+    // with leases, admission metering, and usage accounting engaged.
+    // Best-of-two: the hooks gate below compares against the matching
+    // unleased sweep-4 row directly.
+    let leased = (0..2)
+        .map(|_| {
+            measure_with(
+                SCALE_GATE_TENANTS,
+                1,
+                DispatchMode::Concurrent,
+                LaunchAck::Deferred,
+                "deferred+event+leased",
+                Transport::Uds,
+                SCALE_LAUNCHES,
+                SessionDriver::EventPool { workers: 0 },
+                true,
+            )
+        })
+        .min_by(|a, b| a.elapsed_ms.total_cmp(&b.elapsed_ms))
+        .expect("two runs");
+    rows.push(leased);
 
     bench::print_table(
         "Dispatch throughput: launches/sec vs tenant count",
@@ -319,6 +369,7 @@ fn main() {
             "Elapsed (ms)",
             "Launches/sec",
             "Max in-flight",
+            "Control",
         ],
         &rows
             .iter()
@@ -331,6 +382,7 @@ fn main() {
                     format!("{:.1}", r.elapsed_ms),
                     format!("{:.0}", r.launches_per_sec),
                     r.max_concurrent_data_ops.to_string(),
+                    if r.admission { "leased" } else { "-" }.into(),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -346,7 +398,7 @@ fn main() {
             "    {{\"tenants\": {}, \"gpus\": {}, \"mode\": \"{}\", \"transport\": \"{}\", \
              \"launches_per_tenant\": {}, \
              \"elapsed_ms\": {:.3}, \"launches_per_sec\": {:.1}, \
-             \"max_concurrent_data_ops\": {}}}{}\n",
+             \"max_concurrent_data_ops\": {}, \"admission\": {}}}{}\n",
             r.tenants,
             r.gpus,
             r.mode,
@@ -355,6 +407,7 @@ fn main() {
             r.elapsed_ms,
             r.launches_per_sec,
             r.max_concurrent_data_ops,
+            r.admission,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -473,5 +526,24 @@ fn main() {
         event >= GATE_NOISE_FLOOR * threads,
         "event-pool executor fell behind thread-per-session at \
          {SCALE_GATE_TENANTS} tenants: {event:.0}/s < {threads:.0}/s"
+    );
+
+    // Control-plane witness: at 64 tenants, the fully engaged control
+    // plane (lease admit + TTL sweep, accept-loop rate gate, usage
+    // counters on the drain path) must cost no more than the noise
+    // floor against the identical unleased configuration. Lease
+    // bookkeeping lives on the control thread and per-batch counters
+    // are a handful of relaxed atomics — if this gate trips, a hook
+    // leaked into the per-frame hot path.
+    let leased_rate = driver_rate("deferred+event+leased");
+    println!(
+        "control-plane hooks at {SCALE_GATE_TENANTS} tenants: \
+         leased {leased_rate:.0}/s vs unleased {event:.0}/s ({:.2}x)",
+        leased_rate / event
+    );
+    assert!(
+        leased_rate >= GATE_NOISE_FLOOR * event,
+        "control-plane hooks tax deferred throughput at \
+         {SCALE_GATE_TENANTS} tenants: {leased_rate:.0}/s < {event:.0}/s"
     );
 }

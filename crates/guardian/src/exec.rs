@@ -239,25 +239,29 @@ fn handle_event(inner: &Arc<PoolInner>, id: u64) {
 fn drain(st: &mut CellState) -> bool {
     let mut replies: Vec<Vec<u8>> = Vec::new();
     let mut closed = false;
+    let mut frames: u64 = 0;
     loop {
         match st.conn.try_recv() {
-            Ok(Some(frame)) => match st.ctx.handle_frame(&frame) {
-                Step::Reply(r) => {
-                    replies.push(r);
-                    if replies.len() >= REPLY_FLUSH
-                        && st.conn.send_batch(std::mem::take(&mut replies)).is_err()
-                    {
+            Ok(Some(frame)) => {
+                frames += 1;
+                match st.ctx.handle_frame(&frame) {
+                    Step::Reply(r) => {
+                        replies.push(r);
+                        if replies.len() >= REPLY_FLUSH
+                            && st.conn.send_batch(std::mem::take(&mut replies)).is_err()
+                        {
+                            closed = true;
+                            break;
+                        }
+                    }
+                    Step::None => {}
+                    Step::ReplyThenClose(r) => {
+                        replies.push(r);
                         closed = true;
                         break;
                     }
                 }
-                Step::None => {}
-                Step::ReplyThenClose(r) => {
-                    replies.push(r);
-                    closed = true;
-                    break;
-                }
-            },
+            }
             Ok(None) => break,
             Err(_) => {
                 closed = true;
@@ -268,6 +272,7 @@ fn drain(st: &mut CellState) -> bool {
     if !replies.is_empty() && st.conn.send_batch(replies).is_err() {
         closed = true;
     }
+    st.ctx.note_frames(frames);
     closed
 }
 

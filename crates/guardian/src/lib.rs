@@ -38,6 +38,14 @@
 //!   lock, so a migration's write acquisition is the barrier). OOB
 //!   detection kills only the offender — keyed by `(gpu, stream)` —
 //!   whichever session observes the fault.
+//! * [`control`] — the node **control plane** riding above the manager:
+//!   tenant leases ([`LeaseSpec`] — memory cap, stream cap, TTL with
+//!   manager-side expiry sweep and operator revocation), per-uid quota
+//!   and usage accounting that survives tenant death, a per-uid
+//!   connect-rate token bucket ([`Admission`]) for the transport accept
+//!   loops, and the admin plane (`guardianctl`'s uds endpoint plus an
+//!   optional HTTP `/metrics` mirror) serving Prometheus-text metrics
+//!   and live device/tenant tables.
 //! * [`backends`] — deployment setups for the paper's comparisons:
 //!   native time-sharing, MPS-style spatial sharing (protection without
 //!   fault isolation), and Guardian in its three enforcement modes.
@@ -77,6 +85,7 @@
 
 pub mod alloc;
 pub mod backends;
+pub mod control;
 mod exec;
 pub mod grdlib;
 pub mod manager;
@@ -87,6 +96,7 @@ pub mod transport;
 
 pub use alloc::{AllocError, Partition, PartitionAllocator, RegionAllocator};
 pub use backends::{deploy, Capabilities, Deployment, MpsClient, Tenancy};
+pub use control::{Admission, ControlPlane, LeaseSpec};
 pub use grdlib::GrdLib;
 pub use manager::{
     spawn_manager, spawn_manager_multi, spawn_manager_over, ClientId, DispatchMode,

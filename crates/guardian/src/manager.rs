@@ -20,12 +20,14 @@
 //! Out-of-bounds detection terminates — only — the offending tenant,
 //! regardless of which session observes the fault.
 
-use crate::alloc::{PartitionAllocator, RegionAllocator};
+use crate::alloc::{PartitionAllocator, RegionAllocator, SUBALLOC_ALIGN};
+use crate::control::{Admission, ControlPlane, LeaseSpec, TenantCounters};
 use crate::placement::{choose_device, DeviceLoad, PlacementError, PlacementHint, PlacementPolicy};
+use crate::proto::{AdminRequest, AdminResponse};
 use crate::session::{self, Binding, ClientShared, EventTable, GpuShared, KernelTable, Shared};
 use crate::transport::{BoundTransport, Connection, Dialer};
 use crate::{proto, transport};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use cuda_rt::{CudaError, CudaResult, DevicePtr, SharedDevice};
 use gpu_sim::stream::CudaFunction;
 use parking_lot::{Mutex, RwLock};
@@ -203,6 +205,19 @@ pub struct ManagerConfig {
     /// How sessions are driven: threads, the epoll executor pool, or
     /// picked automatically from the dispatch mode (default).
     pub session_driver: SessionDriver,
+    /// Lease terms for uids without an explicit override (`None` =
+    /// unlimited: uncapped memory, no expiry — the pre-control-plane
+    /// behaviour). `guardiand --lease-default` feeds this.
+    pub lease_default: Option<LeaseSpec>,
+    /// Node identity echoed in every admin response (`None` =
+    /// `grd-<pid>`), so a fleet of managers stays distinguishable to a
+    /// future federated control plane.
+    pub node_id: Option<String>,
+    /// The per-uid connect rate limiter, when one gates this manager's
+    /// transports. The gate itself runs in the socket accept loops
+    /// (see [`BoundTransport::uds_gated`]); the manager only needs the
+    /// handle so `/metrics` can report its rejection counter.
+    pub admission: Option<Arc<Admission>>,
 }
 
 impl Default for ManagerConfig {
@@ -216,6 +231,9 @@ impl Default for ManagerConfig {
             launch_ack: LaunchAck::default(),
             placement: PlacementPolicy::default(),
             session_driver: SessionDriver::default(),
+            lease_default: None,
+            node_id: None,
+            admission: None,
         }
     }
 }
@@ -228,6 +246,8 @@ pub(crate) struct ClientInfo {
     pub partition_base: u64,
     pub partition_size: u64,
     pub device: u32,
+    pub lease_mem: u64,
+    pub lease_ttl_ms: u64,
 }
 
 /// A control-plane operation (serialized through the manager thread).
@@ -235,9 +255,21 @@ pub(crate) enum CtrlOp {
     Connect {
         mem_requirement: u64,
         hint: Option<PlacementHint>,
+        /// Peer uid the transport established (`SO_PEERCRED` for the
+        /// socket transports; the process's own uid in-process) — the
+        /// identity leases and quotas are keyed by.
+        uid: u32,
     },
     Disconnect {
         client: ClientId,
+    },
+    /// End a tenancy by force: mark it dead, drain its device through
+    /// the migration barrier, reclaim the partition, retire its usage.
+    /// `expired` distinguishes TTL expiry from operator revocation in
+    /// the metrics.
+    Revoke {
+        client: ClientId,
+        expired: bool,
     },
     RegisterFatbin {
         client: ClientId,
@@ -306,7 +338,17 @@ struct Control {
     rr_cursor: u32,
     next_client: u32,
     registered_fatbins: Vec<u64>, // hashes, to dedupe repeat registrations
+    /// The node's lease/quota registry, shared with the admin plane.
+    plane: Arc<ControlPlane>,
+    /// Per-client launch counts as of the last rebalance step, so the
+    /// rebalancer can rank candidates by activity *since* then.
+    activity_marks: HashMap<ClientId, u64>,
 }
+
+/// How often the control thread wakes to sweep expired leases when no
+/// control traffic arrives (and the floor between two sweeps when it
+/// does). TTL precision is bounded by this.
+const LEASE_SWEEP: std::time::Duration = std::time::Duration::from_millis(25);
 
 fn placement_to_cuda(e: PlacementError) -> CudaError {
     match e {
@@ -317,9 +359,28 @@ fn placement_to_cuda(e: PlacementError) -> CudaError {
 
 impl Control {
     fn run(mut self, rx: Receiver<CtrlMsg>) {
-        while let Ok(msg) = rx.recv() {
-            let r = self.handle(msg.op);
-            let _ = msg.reply.send(r);
+        // `recv_timeout` instead of `recv`: leases expire on wall-clock
+        // time, so the control thread must wake even when no tenant is
+        // talking to it.
+        let mut last_sweep = std::time::Instant::now();
+        loop {
+            match rx.recv_timeout(LEASE_SWEEP) {
+                Ok(msg) => {
+                    let r = self.handle(msg.op);
+                    let _ = msg.reply.send(r);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            if last_sweep.elapsed() >= LEASE_SWEEP {
+                for client in self.plane.expired() {
+                    let _ = self.handle(CtrlOp::Revoke {
+                        client: ClientId(client),
+                        expired: true,
+                    });
+                }
+                last_sweep = std::time::Instant::now();
+            }
         }
         // All control senders dropped (manager handle + every session):
         // release each device's context.
@@ -333,33 +394,26 @@ impl Control {
             CtrlOp::Connect {
                 mem_requirement,
                 hint,
-            } => self.connect(mem_requirement, hint).map(CtrlOut::Connected),
+                uid,
+            } => self
+                .connect(mem_requirement, hint, uid)
+                .map(CtrlOut::Connected),
             CtrlOp::Disconnect { client } => {
-                // Drain the tenant's device before releasing the
-                // partition: the tenant may have enqueued launches it
-                // never synchronized (normal under Drop-based teardown
-                // and deferred acks). Freeing first would let those stale
-                // commands execute later — into whichever tenant the
-                // partition is handed to next.
-                let binding = self
-                    .shared
-                    .clients
-                    .read()
-                    .get(&client)
-                    .map(|state| *state.binding.read());
-                if let Some(b) = binding {
-                    self.shared.gpu(b.gpu).device.lock().synchronize();
-                    self.shared.reap_faults(b.gpu);
-                }
-                if let Some(state) = self.shared.clients.write().remove(&client) {
-                    let b = *state.binding.read();
-                    let _ = self.pools[b.gpu as usize].free(b.partition.base);
-                    let _ = self
-                        .shared
-                        .gpu(b.gpu)
-                        .device
-                        .lock()
-                        .destroy_stream(b.stream);
+                self.teardown(client);
+                Ok(CtrlOut::Unit)
+            }
+            CtrlOp::Revoke { client, expired } => {
+                let state = self.client(client)?;
+                // Mark the tenant dead first: data-plane ops started
+                // after this point fail their liveness check before
+                // touching the partition; the teardown barrier below
+                // waits out the ones already in flight.
+                state.dead.store(true, Ordering::SeqCst);
+                self.teardown(client);
+                if expired {
+                    self.plane.expired_total.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.plane.revoked_total.fetch_add(1, Ordering::Relaxed);
                 }
                 Ok(CtrlOut::Unit)
             }
@@ -374,13 +428,32 @@ impl Control {
             CtrlOp::Malloc { client, bytes } => {
                 self.check_alive(client)?;
                 let state = self.client(client)?;
-                let r = state.heap.lock().alloc(bytes);
+                let mut heap = state.heap.lock();
+                // Lease cap: checked against what the heap would hold
+                // after this allocation (rounded to the heap's grain,
+                // so the check and the allocator agree byte-for-byte).
+                if state.lease_mem != u64::MAX {
+                    let want = bytes.max(1).next_multiple_of(SUBALLOC_ALIGN);
+                    if heap.used_bytes().saturating_add(want) > state.lease_mem {
+                        return Err(CudaError::OutOfMemory);
+                    }
+                }
+                let r = heap.alloc(bytes);
+                state
+                    .counters
+                    .bytes_held
+                    .store(heap.used_bytes(), Ordering::Relaxed);
                 r.map(CtrlOut::Ptr).map_err(|_| CudaError::OutOfMemory)
             }
             CtrlOp::Free { client, ptr } => {
                 self.check_alive(client)?;
                 let state = self.client(client)?;
-                let r = state.heap.lock().free(ptr);
+                let mut heap = state.heap.lock();
+                let r = heap.free(ptr);
+                state
+                    .counters
+                    .bytes_held
+                    .store(heap.used_bytes(), Ordering::Relaxed);
                 r.map(|()| CtrlOut::Unit)
                     .map_err(|_| CudaError::InvalidValue)
             }
@@ -417,6 +490,38 @@ impl Control {
                 }
             })
             .collect()
+    }
+
+    /// End a tenancy and reclaim everything it held. Serves disconnects
+    /// (voluntary or crashed — the session's last act either way),
+    /// operator revocation, and TTL expiry; idempotent for unknown
+    /// clients, so a revoked tenant's trailing disconnect is a no-op.
+    ///
+    /// The binding **write lock** is the barrier (as in [`Control::
+    /// migrate`]): in-flight data-plane ops of this tenant finish before
+    /// the drain, and none can start again before the partition is
+    /// freed — a revoked tenant mid-launch-storm cannot write into
+    /// memory that has already been handed to someone else. The drain +
+    /// fault-reap before the free keeps stale enqueued commands from
+    /// executing into the partition's next owner.
+    fn teardown(&mut self, client: ClientId) {
+        let state = self.shared.clients.read().get(&client).cloned();
+        let Some(state) = state else { return };
+        let binding = state.binding.write();
+        let b = *binding;
+        self.shared.gpu(b.gpu).device.lock().synchronize();
+        self.shared.reap_faults(b.gpu);
+        self.shared.clients.write().remove(&client);
+        let _ = self.pools[b.gpu as usize].free(b.partition.base);
+        let _ = self
+            .shared
+            .gpu(b.gpu)
+            .device
+            .lock()
+            .destroy_stream(b.stream);
+        drop(binding);
+        self.plane.retire(client.0);
+        self.activity_marks.remove(&client);
     }
 
     /// Live partition migration (the cross-GPU rebalance primitive):
@@ -526,12 +631,17 @@ impl Control {
         );
         let new = *binding;
         drop(binding);
+        self.plane.rebind(client.0, dst_gpu);
         Ok(self.client_info(&state, &new))
     }
 
     /// One rebalance step: if moving one tenant from the most-loaded to
     /// the least-loaded pool narrows the byte spread, migrate the
-    /// smallest such tenant and report it. A no-op on balanced (or
+    /// **least active** such tenant (fewest launches since the last
+    /// rebalance step; partition size breaks ties toward smaller) and
+    /// report it. Activity outranks size: migrating an idle 8 MiB
+    /// tenant pauses nobody, while moving a hot 2 MiB one stalls its
+    /// launch stream behind the copy barrier. A no-op on balanced (or
     /// single-GPU) sets.
     fn rebalance(&mut self) -> CudaResult<Option<(ClientId, u32, u32)>> {
         if self.shared.gpus.len() < 2 {
@@ -551,30 +661,40 @@ impl Control {
         if src == dst {
             return Ok(None);
         }
-        // Smallest live tenant on the most-loaded device whose move
-        // narrows the spread and fits on the destination.
+        // Least-active live tenant on the most-loaded device whose move
+        // narrows the spread and fits on the destination. Every live
+        // tenant's launch count is re-marked, so the next step ranks by
+        // activity since *this* one.
+        let mut marks = HashMap::new();
         let candidate = {
             let clients = self.shared.clients.read();
-            let mut best: Option<(u64, ClientId)> = None;
+            let mut best: Option<(u64, u64, ClientId)> = None;
             for state in clients.values() {
+                let launches = state.counters.launches.load(Ordering::Relaxed);
+                marks.insert(state.id, launches);
                 if state.dead.load(Ordering::SeqCst)
                     || state.gpu_tag.load(Ordering::SeqCst) != src as u32
                 {
                     continue;
                 }
+                let activity = launches
+                    .saturating_sub(self.activity_marks.get(&state.id).copied().unwrap_or(0));
                 let size = state.binding.read().partition.size;
                 let narrows = used[dst] + size < used[src];
                 if narrows && self.pools[dst].can_alloc(size) {
-                    let better = best.map(|(s, _)| size < s).unwrap_or(true);
+                    let better = best
+                        .map(|(a, s, _)| (activity, size) < (a, s))
+                        .unwrap_or(true);
                     if better {
-                        best = Some((size, state.id));
+                        best = Some((activity, size, state.id));
                     }
                 }
             }
             best
         };
+        self.activity_marks = marks;
         match candidate {
-            Some((_, id)) => {
+            Some((_, _, id)) => {
                 self.migrate(id, dst as u32)?;
                 Ok(Some((id, src as u32, dst as u32)))
             }
@@ -590,6 +710,8 @@ impl Control {
             partition_base: b.partition.base,
             partition_size: b.partition.size,
             device: b.gpu,
+            lease_mem: state.lease_mem,
+            lease_ttl_ms: state.lease_ttl_ms,
         }
     }
 
@@ -611,7 +733,21 @@ impl Control {
         &mut self,
         mem_requirement: u64,
         hint: Option<PlacementHint>,
+        uid: u32,
     ) -> CudaResult<ClientInfo> {
+        // Admission under the uid's lease terms, before anything is
+        // carved: a zero-stream lease denies outright, and a partition
+        // request beyond the memory cap is OOM to the tenant (the same
+        // error an honest over-asker would see from the pool).
+        let lease = self.plane.lease_for(uid);
+        if lease.streams == 0 {
+            return Err(CudaError::Rejected(
+                "lease denies admission (streams=0)".into(),
+            ));
+        }
+        if mem_requirement > lease.mem_bytes {
+            return Err(CudaError::OutOfMemory);
+        }
         // Route first: the policy sees every pool's fit-probe, so the
         // device it returns can always carve the partition (the placement
         // proptests pin this down against the real buddy allocator).
@@ -647,6 +783,7 @@ impl Control {
             stream,
             partition,
         };
+        let counters = Arc::new(TenantCounters::default());
         let state = Arc::new(ClientShared {
             id,
             dead: AtomicBool::new(false),
@@ -659,9 +796,14 @@ impl Control {
             binding: RwLock::new(binding),
             gpu_tag: AtomicU32::new(gpu),
             stream_tag: AtomicU32::new(stream.0),
+            lease_mem: lease.mem_bytes,
+            lease_ttl_ms: lease.ttl_ms(),
+            counters: counters.clone(),
         });
         let info = self.client_info(&state, &binding);
         self.shared.clients.write().insert(id, state);
+        self.plane
+            .admit(id.0, uid, gpu, partition.size, lease, counters);
         Ok(info)
     }
 
@@ -739,6 +881,9 @@ pub struct ManagerHandle {
 }
 
 struct ManagerInner {
+    /// The node's lease/quota registry (shared with the control thread
+    /// and any admin endpoints serving this manager).
+    plane: Arc<ControlPlane>,
     /// Dropped first on shutdown: closes the listener so the acceptor
     /// stops taking new connections.
     dialer: Option<Box<dyn Dialer>>,
@@ -894,12 +1039,127 @@ impl ManagerHandle {
         }
     }
 
+    /// The node's lease/quota registry — lease defaults and overrides,
+    /// live-tenant and per-uid usage tables, metrics rendering.
+    pub fn control_plane(&self) -> &Arc<ControlPlane> {
+        &self.inner.plane
+    }
+
+    /// The admin plane's handle into this manager, for serving
+    /// `guardianctl` (see [`crate::control::serve_admin`]) or driving
+    /// lease operations programmatically.
+    pub fn admin(&self) -> AdminApi {
+        AdminApi {
+            plane: self.inner.plane.clone(),
+            ctrl: self
+                .inner
+                .ctrl_tx
+                .clone()
+                .expect("ctrl_tx lives as long as ManagerInner"),
+        }
+    }
+
+    /// Revoke a tenant's lease by force: the session is drained through
+    /// the migration barrier, the partition reclaimed, and the tenant's
+    /// next operation answers `Rejected`.
+    ///
+    /// # Errors
+    ///
+    /// [`CudaError::InvalidValue`] for unknown clients.
+    pub fn revoke(&self, client: ClientId) -> CudaResult<()> {
+        self.ctrl(CtrlOp::Revoke {
+            client,
+            expired: false,
+        })
+        .map(|_| ())
+    }
+
     /// Eagerly shut down: drop this handle and, if it is the last one,
     /// join the manager's threads once every client has disconnected.
     /// Plain `drop` does the same; this method exists to make teardown
     /// points explicit in tests and benches.
     pub fn shutdown(self) {
         drop(self);
+    }
+}
+
+/// The admin plane's view of one manager: answers the
+/// [`AdminRequest`] message family by combining the lease/quota
+/// registry with one-shot queries through the serialized control
+/// thread. Cloneable; [`crate::control::serve_admin`] takes one per
+/// endpoint.
+#[derive(Clone)]
+pub struct AdminApi {
+    plane: Arc<ControlPlane>,
+    ctrl: Sender<CtrlMsg>,
+}
+
+impl AdminApi {
+    /// The registry this API serves.
+    pub fn control_plane(&self) -> &Arc<ControlPlane> {
+        &self.plane
+    }
+
+    fn devices(&self) -> CudaResult<Vec<proto::DeviceInfo>> {
+        match ctrl_call(&self.ctrl, CtrlOp::DeviceInfo)? {
+            CtrlOut::Devices(d) => Ok(d),
+            _ => Err(CudaError::InvalidValue),
+        }
+    }
+
+    /// Answer one admin request. Never panics on hostile input — errors
+    /// come back as [`AdminResponse::Error`] with this node's id, like
+    /// every other response.
+    pub fn handle(&self, req: AdminRequest) -> AdminResponse {
+        let node = self.plane.node().to_string();
+        let err = |msg: String| AdminResponse::Error {
+            node: node.clone(),
+            msg,
+        };
+        match req {
+            AdminRequest::Devices => match self.devices() {
+                Ok(devices) => AdminResponse::Devices { node, devices },
+                Err(e) => err(e.to_string()),
+            },
+            AdminRequest::Tenants => AdminResponse::Tenants {
+                node,
+                tenants: self.plane.tenants_table(),
+            },
+            AdminRequest::LeaseSet {
+                uid,
+                mem_bytes,
+                streams,
+                ttl_ms,
+            } => {
+                self.plane
+                    .set_override(uid, LeaseSpec::from_wire(mem_bytes, streams, ttl_ms));
+                AdminResponse::Ok { node }
+            }
+            AdminRequest::LeaseRevoke { client } => {
+                let r = ctrl_call(
+                    &self.ctrl,
+                    CtrlOp::Revoke {
+                        client: ClientId(client),
+                        expired: false,
+                    },
+                );
+                match r {
+                    Ok(_) => AdminResponse::Ok { node },
+                    Err(e) => err(format!("revoke client {client}: {e}")),
+                }
+            }
+            AdminRequest::Quota { uid } => AdminResponse::Quota {
+                node,
+                entries: self.plane.quota_table(uid),
+            },
+            AdminRequest::Metrics => match self.devices() {
+                Ok(devices) => AdminResponse::Metrics {
+                    node,
+                    text: self.plane.render_metrics(&devices),
+                },
+                Err(e) => err(e.to_string()),
+            },
+        }
     }
 }
 
@@ -978,10 +1238,23 @@ pub fn spawn_manager_multi(
             (Some(per), _) => per[i],
             (None, Some(b)) => b,
             (None, None) => {
-                let spec_mem = device.lock().spec().global_mem_bytes;
-                let free = spec_mem - device.lock().used_bytes();
-                let half = free / 2;
-                1u64 << (63 - half.leading_zeros())
+                // Target the largest power of two ≤ half of the
+                // device's *total* memory, then halve until it fits in
+                // what is actually free. Sizing from free memory alone
+                // undercounts: the context's scratch allocation (1 MiB)
+                // has already been carved, so `free/2` lands just under
+                // the power-of-two boundary and the pool silently loses
+                // a whole doubling.
+                let (spec_mem, free) = {
+                    let dev = device.lock();
+                    let spec_mem = dev.spec().global_mem_bytes;
+                    (spec_mem, spec_mem - dev.used_bytes())
+                };
+                let mut pool = 1u64 << (63 - (spec_mem / 2).leading_zeros());
+                while pool > free {
+                    pool >>= 1;
+                }
+                pool
             }
         };
         let pool_base = device.lock().malloc_aligned(ctx, pool_bytes, pool_bytes)?;
@@ -1005,6 +1278,15 @@ pub fn spawn_manager_multi(
         inflight: AtomicU32::new(0),
         max_inflight: AtomicU32::new(0),
     });
+    let node_id = config
+        .node_id
+        .clone()
+        .unwrap_or_else(|| format!("grd-{}", std::process::id()));
+    let plane = Arc::new(ControlPlane::new(
+        node_id,
+        config.lease_default.unwrap_or_default(),
+        config.admission.clone(),
+    ));
     let mut control = Control {
         shared: shared.clone(),
         pools,
@@ -1012,6 +1294,8 @@ pub fn spawn_manager_multi(
         rr_cursor: 0,
         next_client: 1,
         registered_fatbins: Vec::new(),
+        plane: plane.clone(),
+        activity_marks: HashMap::new(),
     };
     // Offline phase: sandbox + load the initial fatbins (on every GPU)
     // before any tenant can connect, so registration errors surface here.
@@ -1043,6 +1327,7 @@ pub fn spawn_manager_multi(
     let acceptor_join = session::spawn_acceptor(listener, shared, ctrl_tx.clone(), driver);
     Ok(ManagerHandle {
         inner: Arc::new(ManagerInner {
+            plane,
             dialer: Some(dialer),
             unblock,
             devices,

@@ -25,8 +25,11 @@ use std::fmt;
 
 /// Wire-format version this build emits. Version 2 added multi-GPU
 /// routing: an optional [`PlacementHint`] on `Connect`, a device index in
-/// [`ConnectInfo`], and the `DeviceInfo`/`Migrate` messages.
-pub const PROTO_VERSION: u8 = 2;
+/// [`ConnectInfo`], and the `DeviceInfo`/`Migrate` messages. Version 3
+/// added the node control plane: lease terms in [`ConnectInfo`] and the
+/// admin-plane message family ([`AdminRequest`]/[`AdminResponse`])
+/// spoken on `guardiand`'s admin socket.
+pub const PROTO_VERSION: u8 = 3;
 
 /// Oldest wire-format version this build still **decodes**. This is
 /// decode-side compatibility only: a v1 frame (single-GPU era —
@@ -189,6 +192,62 @@ pub struct ConnectInfo {
     /// Index of the GPU the tenant was placed on (v2; 0 when decoding a
     /// v1 frame — the single-GPU era had exactly one device).
     pub device: u32,
+    /// Memory cap of the lease this tenancy was admitted under (v3;
+    /// `u64::MAX` — and every pre-v3 frame — means uncapped).
+    pub lease_mem: u64,
+    /// Wall-clock TTL of the lease in milliseconds (v3; 0 — and every
+    /// pre-v3 frame — means the lease never expires).
+    pub lease_ttl_ms: u64,
+}
+
+/// One tenant's row in an [`AdminResponse::Tenants`] answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantInfo {
+    /// Client id the manager assigned at connect.
+    pub client: u32,
+    /// Unix uid of the owning process (`SO_PEERCRED`).
+    pub uid: u32,
+    /// Device index the tenant is currently bound to.
+    pub device: u32,
+    /// Partition size in bytes.
+    pub partition_size: u64,
+    /// Lease memory cap in bytes (`u64::MAX` = uncapped).
+    pub lease_mem: u64,
+    /// Lease TTL in milliseconds (0 = no expiry).
+    pub lease_ttl_ms: u64,
+    /// Milliseconds since the lease was granted.
+    pub age_ms: u64,
+    /// Partition-heap bytes currently held.
+    pub bytes_held: u64,
+    /// Kernel launches dispatched so far.
+    pub launches: u64,
+    /// Host/device transfers dispatched so far.
+    pub transfers: u64,
+    /// Bytes moved by those transfers.
+    pub transfer_bytes: u64,
+}
+
+/// One per-uid usage row in an [`AdminResponse::Quota`] answer,
+/// aggregated per device and including usage retired by tenants that
+/// already disconnected (or were killed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsageInfo {
+    /// Unix uid the usage belongs to.
+    pub uid: u32,
+    /// Device index the usage accrued on.
+    pub device: u32,
+    /// Tenants of this uid currently live on this device.
+    pub live: u32,
+    /// Partition-heap bytes currently held by live tenants.
+    pub bytes_held: u64,
+    /// Kernel launches, live + retired.
+    pub launches: u64,
+    /// Transfers, live + retired.
+    pub transfers: u64,
+    /// Transfer bytes, live + retired.
+    pub transfer_bytes: u64,
+    /// Milliseconds of tenancy occupancy, live + retired.
+    pub occupancy_ms: u64,
 }
 
 /// One device's row in a [`Response::Devices`] answer.
@@ -241,6 +300,91 @@ pub enum Response {
     Devices(Vec<DeviceInfo>),
     /// The call failed.
     Error(CudaError),
+}
+
+/// An operator-to-manager message on the **admin plane** (v3): the
+/// separate uds socket `guardiand --admin-socket` binds, spoken by
+/// `guardianctl`. Admin frames never travel on tenant connections —
+/// the session layer has no decoder for them — so a tenant cannot
+/// grant itself a lease.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdminRequest {
+    /// Enumerate the device set (pool capacity, load, tenant count).
+    Devices,
+    /// List live tenants with their leases and usage counters.
+    Tenants,
+    /// Set the lease future connects by `uid` are admitted under.
+    LeaseSet {
+        /// Unix uid the lease applies to.
+        uid: u32,
+        /// Memory cap in bytes (`u64::MAX` = uncapped).
+        mem_bytes: u64,
+        /// Device streams the tenant may hold (0 denies admission).
+        streams: u32,
+        /// Wall-clock TTL in milliseconds (0 = no expiry).
+        ttl_ms: u64,
+    },
+    /// Revoke a live tenancy: drain it, reclaim the partition, and
+    /// retire its usage into the uid's quota aggregate.
+    LeaseRevoke {
+        /// Client id from the tenants table.
+        client: u32,
+    },
+    /// Per-uid usage accounting, aggregated per device; `None` reports
+    /// every uid.
+    Quota {
+        /// Restrict the answer to one uid.
+        uid: Option<u32>,
+    },
+    /// Prometheus-text exposition of every node metric.
+    Metrics,
+}
+
+/// A manager-to-operator message on the admin plane (v3). Every
+/// variant carries the node id so responses stay attributable when a
+/// future federation layer fans `guardianctl` out across a fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdminResponse {
+    /// The device set ([`AdminRequest::Devices`]).
+    Devices {
+        /// Responding node.
+        node: String,
+        /// One row per GPU.
+        devices: Vec<DeviceInfo>,
+    },
+    /// The live-tenant table ([`AdminRequest::Tenants`]).
+    Tenants {
+        /// Responding node.
+        node: String,
+        /// One row per live tenancy.
+        tenants: Vec<TenantInfo>,
+    },
+    /// Success with no payload (lease set / revoke).
+    Ok {
+        /// Responding node.
+        node: String,
+    },
+    /// Usage accounting ([`AdminRequest::Quota`]).
+    Quota {
+        /// Responding node.
+        node: String,
+        /// One row per (uid, device) with any recorded usage.
+        entries: Vec<UsageInfo>,
+    },
+    /// Prometheus-text metrics ([`AdminRequest::Metrics`]).
+    Metrics {
+        /// Responding node.
+        node: String,
+        /// The exposition body.
+        text: String,
+    },
+    /// The admin call failed (unknown client, malformed lease, …).
+    Error {
+        /// Responding node.
+        node: String,
+        /// Human-readable failure reason.
+        msg: String,
+    },
 }
 
 /// Errors produced when decoding a frame.
@@ -308,6 +452,22 @@ const RESP_CYCLES: u8 = 7;
 const RESP_STATS: u8 = 8;
 const RESP_ERROR: u8 = 9;
 const RESP_DEVICES: u8 = 10;
+
+// ---- admin-plane opcodes (v3; separate message family, own socket) ---------
+
+const ADMIN_REQ_DEVICES: u8 = 1;
+const ADMIN_REQ_TENANTS: u8 = 2;
+const ADMIN_REQ_LEASE_SET: u8 = 3;
+const ADMIN_REQ_LEASE_REVOKE: u8 = 4;
+const ADMIN_REQ_QUOTA: u8 = 5;
+const ADMIN_REQ_METRICS: u8 = 6;
+
+const ADMIN_RESP_DEVICES: u8 = 1;
+const ADMIN_RESP_TENANTS: u8 = 2;
+const ADMIN_RESP_OK: u8 = 3;
+const ADMIN_RESP_QUOTA: u8 = 4;
+const ADMIN_RESP_METRICS: u8 = 5;
+const ADMIN_RESP_ERROR: u8 = 6;
 
 // ---- placement-hint affinity codes -----------------------------------------
 
@@ -385,6 +545,31 @@ fn put_device_info(buf: &mut Vec<u8>, d: &DeviceInfo) {
     buf.put_u64_le(d.pool_bytes);
     buf.put_u64_le(d.used_bytes);
     buf.put_u32_le(d.tenants);
+}
+
+fn put_tenant_info(buf: &mut Vec<u8>, t: &TenantInfo) {
+    buf.put_u32_le(t.client);
+    buf.put_u32_le(t.uid);
+    buf.put_u32_le(t.device);
+    buf.put_u64_le(t.partition_size);
+    buf.put_u64_le(t.lease_mem);
+    buf.put_u64_le(t.lease_ttl_ms);
+    buf.put_u64_le(t.age_ms);
+    buf.put_u64_le(t.bytes_held);
+    buf.put_u64_le(t.launches);
+    buf.put_u64_le(t.transfers);
+    buf.put_u64_le(t.transfer_bytes);
+}
+
+fn put_usage_info(buf: &mut Vec<u8>, u: &UsageInfo) {
+    buf.put_u32_le(u.uid);
+    buf.put_u32_le(u.device);
+    buf.put_u32_le(u.live);
+    buf.put_u64_le(u.bytes_held);
+    buf.put_u64_le(u.launches);
+    buf.put_u64_le(u.transfers);
+    buf.put_u64_le(u.transfer_bytes);
+    buf.put_u64_le(u.occupancy_ms);
 }
 
 fn put_error(buf: &mut Vec<u8>, e: &CudaError) {
@@ -505,6 +690,35 @@ impl<'a> Reader<'a> {
             pool_bytes: self.u64()?,
             used_bytes: self.u64()?,
             tenants: self.u32()?,
+        })
+    }
+
+    fn tenant_info(&mut self) -> Result<TenantInfo, ProtoError> {
+        Ok(TenantInfo {
+            client: self.u32()?,
+            uid: self.u32()?,
+            device: self.u32()?,
+            partition_size: self.u64()?,
+            lease_mem: self.u64()?,
+            lease_ttl_ms: self.u64()?,
+            age_ms: self.u64()?,
+            bytes_held: self.u64()?,
+            launches: self.u64()?,
+            transfers: self.u64()?,
+            transfer_bytes: self.u64()?,
+        })
+    }
+
+    fn usage_info(&mut self) -> Result<UsageInfo, ProtoError> {
+        Ok(UsageInfo {
+            uid: self.u32()?,
+            device: self.u32()?,
+            live: self.u32()?,
+            bytes_held: self.u64()?,
+            launches: self.u64()?,
+            transfers: self.u64()?,
+            transfer_bytes: self.u64()?,
+            occupancy_ms: self.u64()?,
         })
     }
 
@@ -750,6 +964,8 @@ impl Response {
                 buf.put_u64_le(info.partition_size);
                 buf.put_u8(u8::from(info.deferred_launch));
                 buf.put_u32_le(info.device);
+                buf.put_u64_le(info.lease_mem);
+                buf.put_u64_le(info.lease_ttl_ms);
                 buf
             }
             Response::Ptr(p) => {
@@ -818,6 +1034,10 @@ impl Response {
                 deferred_launch: r.u8()? != 0,
                 // v1 managers had exactly one device.
                 device: if version >= 2 { r.u32()? } else { 0 },
+                // Pre-v3 managers had no control plane: tenancies were
+                // uncapped and never expired.
+                lease_mem: if version >= 3 { r.u64()? } else { u64::MAX },
+                lease_ttl_ms: if version >= 3 { r.u64()? } else { 0 },
             }),
             RESP_PTR => Response::Ptr(r.u64()?),
             RESP_DATA => Response::Data(r.blob()?),
@@ -842,6 +1062,180 @@ impl Response {
                 Response::Devices(devs)
             }
             RESP_ERROR => Response::Error(r.error()?),
+            op => return Err(ProtoError::BadOpcode(op)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+impl AdminRequest {
+    /// Serialize to a byte frame.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            AdminRequest::Devices => frame_header(ADMIN_REQ_DEVICES),
+            AdminRequest::Tenants => frame_header(ADMIN_REQ_TENANTS),
+            AdminRequest::LeaseSet {
+                uid,
+                mem_bytes,
+                streams,
+                ttl_ms,
+            } => {
+                let mut buf = frame_header(ADMIN_REQ_LEASE_SET);
+                buf.put_u32_le(*uid);
+                buf.put_u64_le(*mem_bytes);
+                buf.put_u32_le(*streams);
+                buf.put_u64_le(*ttl_ms);
+                buf
+            }
+            AdminRequest::LeaseRevoke { client } => {
+                let mut buf = frame_header(ADMIN_REQ_LEASE_REVOKE);
+                buf.put_u32_le(*client);
+                buf
+            }
+            AdminRequest::Quota { uid } => {
+                let mut buf = frame_header(ADMIN_REQ_QUOTA);
+                match uid {
+                    None => buf.put_u8(0),
+                    Some(u) => {
+                        buf.put_u8(1);
+                        buf.put_u32_le(*u);
+                    }
+                }
+                buf
+            }
+            AdminRequest::Metrics => frame_header(ADMIN_REQ_METRICS),
+        }
+    }
+
+    /// Decode a byte frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on truncation, version/opcode mismatch, bad UTF-8,
+    /// or trailing bytes. Never panics on malformed input — the admin
+    /// socket is same-uid by default, but it still faces raw bytes.
+    pub fn decode(frame: &[u8]) -> Result<Self, ProtoError> {
+        let (_, opcode, mut r) = open_frame(frame)?;
+        let req = match opcode {
+            ADMIN_REQ_DEVICES => AdminRequest::Devices,
+            ADMIN_REQ_TENANTS => AdminRequest::Tenants,
+            ADMIN_REQ_LEASE_SET => AdminRequest::LeaseSet {
+                uid: r.u32()?,
+                mem_bytes: r.u64()?,
+                streams: r.u32()?,
+                ttl_ms: r.u64()?,
+            },
+            ADMIN_REQ_LEASE_REVOKE => AdminRequest::LeaseRevoke { client: r.u32()? },
+            ADMIN_REQ_QUOTA => AdminRequest::Quota {
+                uid: if r.u8()? == 0 { None } else { Some(r.u32()?) },
+            },
+            ADMIN_REQ_METRICS => AdminRequest::Metrics,
+            op => return Err(ProtoError::BadOpcode(op)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl AdminResponse {
+    /// Serialize to a byte frame.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            AdminResponse::Devices { node, devices } => {
+                let mut buf = frame_header(ADMIN_RESP_DEVICES);
+                put_str(&mut buf, node);
+                buf.put_u32_le(devices.len() as u32);
+                for d in devices {
+                    put_device_info(&mut buf, d);
+                }
+                buf
+            }
+            AdminResponse::Tenants { node, tenants } => {
+                let mut buf = frame_header(ADMIN_RESP_TENANTS);
+                put_str(&mut buf, node);
+                buf.put_u32_le(tenants.len() as u32);
+                for t in tenants {
+                    put_tenant_info(&mut buf, t);
+                }
+                buf
+            }
+            AdminResponse::Ok { node } => {
+                let mut buf = frame_header(ADMIN_RESP_OK);
+                put_str(&mut buf, node);
+                buf
+            }
+            AdminResponse::Quota { node, entries } => {
+                let mut buf = frame_header(ADMIN_RESP_QUOTA);
+                put_str(&mut buf, node);
+                buf.put_u32_le(entries.len() as u32);
+                for e in entries {
+                    put_usage_info(&mut buf, e);
+                }
+                buf
+            }
+            AdminResponse::Metrics { node, text } => {
+                let mut buf = frame_header(ADMIN_RESP_METRICS);
+                put_str(&mut buf, node);
+                put_str(&mut buf, text);
+                buf
+            }
+            AdminResponse::Error { node, msg } => {
+                let mut buf = frame_header(ADMIN_RESP_ERROR);
+                put_str(&mut buf, node);
+                put_str(&mut buf, msg);
+                buf
+            }
+        }
+    }
+
+    /// Decode a byte frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on truncation, version/opcode mismatch, bad UTF-8,
+    /// or trailing bytes. Never panics on malformed input.
+    pub fn decode(frame: &[u8]) -> Result<Self, ProtoError> {
+        let (_, opcode, mut r) = open_frame(frame)?;
+        let resp = match opcode {
+            ADMIN_RESP_DEVICES => {
+                let node = r.string()?;
+                let n = r.u32()?;
+                let mut devices = Vec::with_capacity((n as usize).min(64));
+                for _ in 0..n {
+                    devices.push(r.device_info()?);
+                }
+                AdminResponse::Devices { node, devices }
+            }
+            ADMIN_RESP_TENANTS => {
+                let node = r.string()?;
+                let n = r.u32()?;
+                // Bound preallocation by the frame itself, as for
+                // RESP_DEVICES: a hostile count must not reserve GiBs.
+                let mut tenants = Vec::with_capacity((n as usize).min(64));
+                for _ in 0..n {
+                    tenants.push(r.tenant_info()?);
+                }
+                AdminResponse::Tenants { node, tenants }
+            }
+            ADMIN_RESP_OK => AdminResponse::Ok { node: r.string()? },
+            ADMIN_RESP_QUOTA => {
+                let node = r.string()?;
+                let n = r.u32()?;
+                let mut entries = Vec::with_capacity((n as usize).min(64));
+                for _ in 0..n {
+                    entries.push(r.usage_info()?);
+                }
+                AdminResponse::Quota { node, entries }
+            }
+            ADMIN_RESP_METRICS => AdminResponse::Metrics {
+                node: r.string()?,
+                text: r.string()?,
+            },
+            ADMIN_RESP_ERROR => AdminResponse::Error {
+                node: r.string()?,
+                msg: r.string()?,
+            },
             op => return Err(ProtoError::BadOpcode(op)),
         };
         r.finish()?;
@@ -937,6 +1331,8 @@ mod tests {
                 partition_size: 1 << 26,
                 deferred_launch: true,
                 device: 2,
+                lease_mem: 16 << 20,
+                lease_ttl_ms: 30_000,
             }),
             Response::Devices(vec![]),
             Response::Devices(vec![
@@ -1056,7 +1452,8 @@ mod tests {
     /// Version-1 frames — the single-GPU wire format — must keep
     /// decoding: a hintless `Connect` ends after `mem_requirement`, and
     /// a `Connected` without the device field means device 0. (Decode
-    /// side only; see [`MIN_PROTO_VERSION`] — replies always carry v2.)
+    /// side only; see [`MIN_PROTO_VERSION`] — replies always carry
+    /// [`PROTO_VERSION`].)
     #[test]
     fn v1_frames_still_decode() {
         let mut f = vec![1u8, REQ_CONNECT];
@@ -1079,6 +1476,8 @@ mod tests {
                 assert_eq!(info.client, 7);
                 assert_eq!(info.device, 0, "v1 means the one-and-only device");
                 assert!(info.deferred_launch);
+                assert_eq!(info.lease_mem, u64::MAX, "v1 tenancies are uncapped");
+                assert_eq!(info.lease_ttl_ms, 0, "v1 tenancies never expire");
             }
             other => panic!("decoded {other:?}"),
         }
@@ -1093,6 +1492,146 @@ mod tests {
             Request::decode(&[PROTO_VERSION + 1, REQ_SYNC]),
             Err(ProtoError::BadVersion(PROTO_VERSION + 1))
         );
+    }
+
+    /// Version-2 frames — the multi-GPU, pre-control-plane wire format —
+    /// must keep decoding now that v3 appends lease terms: a v2
+    /// `Connect` still carries its placement hint, and a v2 `Connected`
+    /// ending at the device field means an uncapped, non-expiring
+    /// tenancy.
+    #[test]
+    fn v2_frames_still_decode() {
+        // v2 Connect: mem_requirement + encoded hint, nothing after.
+        let mut f = vec![2u8, REQ_CONNECT];
+        f.extend_from_slice(&(4u64 << 20).to_le_bytes());
+        f.extend_from_slice(&[1, 1]); // has_hint, has_device
+        f.extend_from_slice(&3u32.to_le_bytes());
+        f.push(AFFINITY_STRICT);
+        assert_eq!(
+            Request::decode(&f).unwrap(),
+            Request::Connect {
+                mem_requirement: 4 << 20,
+                hint: Some(PlacementHint::pin(3)),
+            }
+        );
+        // v2 Connected: ends after the device index — no lease fields.
+        let mut f = vec![2u8, RESP_CONNECTED];
+        f.extend_from_slice(&7u32.to_le_bytes());
+        f.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+        f.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        f.extend_from_slice(&(1u64 << 22).to_le_bytes());
+        f.push(1);
+        f.extend_from_slice(&2u32.to_le_bytes());
+        match Response::decode(&f).unwrap() {
+            Response::Connected(info) => {
+                assert_eq!(info.client, 7);
+                assert_eq!(info.device, 2);
+                assert_eq!(info.lease_mem, u64::MAX, "v2 tenancies are uncapped");
+                assert_eq!(info.lease_ttl_ms, 0, "v2 tenancies never expire");
+            }
+            other => panic!("decoded {other:?}"),
+        }
+        // Plain-bodied messages are bit-identical across versions.
+        let mut sync_v2 = Request::Sync.encode();
+        sync_v2[0] = 2;
+        assert_eq!(Request::decode(&sync_v2).unwrap(), Request::Sync);
+        // A v2 Devices answer (unchanged shape in v3) still decodes.
+        let mut devs = Response::Devices(vec![DeviceInfo {
+            index: 0,
+            name: "A4000".into(),
+            clock_ghz: 1.56,
+            pool_bytes: 8 << 30,
+            used_bytes: 1 << 30,
+            tenants: 2,
+        }])
+        .encode();
+        devs[0] = 2;
+        assert!(matches!(
+            Response::decode(&devs).unwrap(),
+            Response::Devices(d) if d.len() == 1
+        ));
+    }
+
+    #[test]
+    fn admin_round_trip_edge_values() {
+        let reqs = vec![
+            AdminRequest::Devices,
+            AdminRequest::Tenants,
+            AdminRequest::LeaseSet {
+                uid: u32::MAX,
+                mem_bytes: u64::MAX,
+                streams: 0,
+                ttl_ms: 1,
+            },
+            AdminRequest::LeaseRevoke { client: 7 },
+            AdminRequest::Quota { uid: None },
+            AdminRequest::Quota { uid: Some(1000) },
+            AdminRequest::Metrics,
+        ];
+        for req in reqs {
+            let frame = req.encode();
+            assert_eq!(AdminRequest::decode(&frame).unwrap(), req, "{req:?}");
+        }
+        let resps = vec![
+            AdminResponse::Devices {
+                node: "node-a".into(),
+                devices: vec![DeviceInfo {
+                    index: 1,
+                    name: "A4000".into(),
+                    clock_ghz: 1.56,
+                    pool_bytes: 8 << 30,
+                    used_bytes: 0,
+                    tenants: 0,
+                }],
+            },
+            AdminResponse::Tenants {
+                node: String::new(),
+                tenants: vec![TenantInfo {
+                    client: 3,
+                    uid: 1000,
+                    device: 1,
+                    partition_size: 1 << 22,
+                    lease_mem: u64::MAX,
+                    lease_ttl_ms: 0,
+                    age_ms: 1234,
+                    bytes_held: 4096,
+                    launches: u64::MAX,
+                    transfers: 9,
+                    transfer_bytes: 1 << 40,
+                }],
+            },
+            AdminResponse::Ok {
+                node: "node-a".into(),
+            },
+            AdminResponse::Quota {
+                node: "node-a".into(),
+                entries: vec![UsageInfo {
+                    uid: 0,
+                    device: u32::MAX,
+                    live: 2,
+                    bytes_held: 1,
+                    launches: 2,
+                    transfers: 3,
+                    transfer_bytes: 4,
+                    occupancy_ms: 5,
+                }],
+            },
+            AdminResponse::Metrics {
+                node: "node-a".into(),
+                text: "# HELP guardian_tenants Live tenants.\nguardian_tenants 2\n".into(),
+            },
+            AdminResponse::Error {
+                node: "node-a".into(),
+                msg: "no such client 99".into(),
+            },
+        ];
+        for resp in resps {
+            let frame = resp.encode();
+            assert_eq!(AdminResponse::decode(&frame).unwrap(), resp, "{resp:?}");
+        }
+        // Tenant-plane frames are not admin frames: an admin socket fed
+        // a tenant Sync (opcode 12) must reject it, not misparse it.
+        assert!(AdminRequest::decode(&Request::Sync.encode()).is_err());
     }
 
     #[test]
@@ -1277,10 +1816,16 @@ mod proptests {
             (
                 (any::<u32>(), any::<u64>()),
                 (any::<u64>(), any::<u64>()),
-                (any::<bool>(), any::<u32>())
+                (any::<bool>(), any::<u32>()),
+                (any::<u64>(), any::<u64>())
             )
                 .prop_map(
-                    |((client, ghz_bits), (partition_base, partition_size), (deferred, device))| {
+                    |(
+                        (client, ghz_bits),
+                        (partition_base, partition_size),
+                        (deferred, device),
+                        (lease_mem, lease_ttl_ms),
+                    )| {
                         Response::Connected(ConnectInfo {
                             client,
                             clock_ghz: f64::from_bits(ghz_bits),
@@ -1288,6 +1833,8 @@ mod proptests {
                             partition_size,
                             deferred_launch: deferred,
                             device,
+                            lease_mem,
+                            lease_ttl_ms,
                         })
                     }
                 )
@@ -1362,6 +1909,8 @@ mod proptests {
         fn decode_total_on_garbage(frame in pvec(any::<u8>(), 0..64)) {
             let _ = Request::decode(&frame);
             let _ = Response::decode(&frame);
+            let _ = AdminRequest::decode(&frame);
+            let _ = AdminResponse::decode(&frame);
         }
     }
 }

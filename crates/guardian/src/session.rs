@@ -17,6 +17,7 @@
 //! tenants never contend on them).
 
 use crate::alloc::{Partition, RegionAllocator};
+use crate::control::TenantCounters;
 use crate::manager::{
     ctrl_call, CtrlMsg, CtrlOp, CtrlOut, DispatchMode, LaunchAck, LaunchStats, SessionDriver,
 };
@@ -96,6 +97,13 @@ pub(crate) struct ClientShared {
     /// faults while a migration holds a write lock must not deadlock.
     pub gpu_tag: AtomicU32,
     pub stream_tag: AtomicU32,
+    /// Memory cap of the lease this tenancy was granted under
+    /// (`u64::MAX` = uncapped); immutable for the tenancy's lifetime.
+    pub lease_mem: u64,
+    /// Lease TTL in milliseconds (0 = never expires); immutable.
+    pub lease_ttl_ms: u64,
+    /// Usage counters the data plane bumps and the admin plane reads.
+    pub counters: Arc<TenantCounters>,
 }
 
 impl ClientShared {
@@ -197,14 +205,30 @@ pub(crate) struct SessionCtx {
     shared: Arc<Shared>,
     ctrl: Sender<CtrlMsg>,
     client: Option<Arc<ClientShared>>,
+    /// Peer uid the transport established at accept (`SO_PEERCRED` for
+    /// sockets; our own uid in-process) — the quota identity a Connect
+    /// on this session is admitted under.
+    uid: u32,
 }
 
 impl SessionCtx {
-    pub(crate) fn new(shared: Arc<Shared>, ctrl: Sender<CtrlMsg>) -> Self {
+    pub(crate) fn new(shared: Arc<Shared>, ctrl: Sender<CtrlMsg>, uid: u32) -> Self {
         SessionCtx {
             shared,
             ctrl,
             client: None,
+            uid,
+        }
+    }
+
+    /// Credit `n` handled frames to this session's tenant. The epoll
+    /// executor calls this once per drain batch — one relaxed add for
+    /// up to a whole batch of frames.
+    pub(crate) fn note_frames(&self, n: u64) {
+        if n > 0 {
+            if let Some(c) = &self.client {
+                c.counters.frames.fetch_add(n, Ordering::Relaxed);
+            }
         }
     }
 
@@ -217,7 +241,7 @@ impl SessionCtx {
                 return Step::ReplyThenClose(resp.encode());
             }
         };
-        match dispatch(req, &mut self.client, &self.shared, &self.ctrl) {
+        match dispatch(req, &mut self.client, &self.shared, &self.ctrl, self.uid) {
             Some(resp) => Step::Reply(resp.encode()),
             None => Step::None,
         }
@@ -262,7 +286,13 @@ pub(crate) fn spawn_acceptor(
                 // connections (stats polls, departed tenants) must not
                 // accumulate handles for the manager's whole lifetime.
                 sessions.retain(|s| !s.is_finished());
-                let ctx = SessionCtx::new(shared.clone(), ctrl.clone());
+                // SO_PEERCRED-style transports report the peer's uid at
+                // accept; in-process transports (channel) have no peer —
+                // the tenant is us, so fall back to our own uid.
+                let uid = conn
+                    .peer_uid()
+                    .unwrap_or_else(crate::transport::peercred::current_uid);
+                let ctx = SessionCtx::new(shared.clone(), ctrl.clone(), uid);
                 if let Some(workers) = pool_workers {
                     if conn.enter_event_mode() {
                         pool.get_or_insert_with(|| crate::exec::EventPool::new(workers))
@@ -291,6 +321,7 @@ pub(crate) fn spawn_acceptor(
 /// half of the connection drops.
 pub(crate) fn run_session(conn: Box<dyn Connection>, mut ctx: SessionCtx) {
     while let Ok(frame) = conn.recv() {
+        ctx.note_frames(1);
         match ctx.handle_frame(&frame) {
             Step::Reply(r) => {
                 if conn.send(r).is_err() {
@@ -328,6 +359,7 @@ fn dispatch(
     client: &mut Option<Arc<ClientShared>>,
     shared: &Arc<Shared>,
     ctrl: &Sender<CtrlMsg>,
+    uid: u32,
 ) -> Option<Response> {
     match req {
         // ---- control plane: forwarded to the serialized manager -------
@@ -347,6 +379,7 @@ fn dispatch(
                 CtrlOp::Connect {
                     mem_requirement,
                     hint,
+                    uid,
                 },
             );
             Some(match r {
@@ -392,6 +425,8 @@ fn dispatch(
                 partition_size: b.partition.size,
                 deferred_launch: shared.launch_ack == LaunchAck::Deferred,
                 device: b.gpu,
+                lease_mem: c.lease_mem,
+                lease_ttl_ms: c.lease_ttl_ms,
             }))
         }
         Request::Disconnect => {
@@ -569,6 +604,8 @@ fn connect_info(shared: &Shared, info: &crate::manager::ClientInfo) -> ConnectIn
         partition_size: info.partition_size,
         deferred_launch: shared.launch_ack == LaunchAck::Deferred,
         device: info.device,
+        lease_mem: info.lease_mem,
+        lease_ttl_ms: info.lease_ttl_ms,
     }
 }
 
@@ -642,18 +679,21 @@ fn enqueue_and_sync(shared: &Shared, b: &Binding, cmd: Command) -> CudaResult<()
 fn memset(shared: &Shared, c: &ClientShared, dst: u64, byte: u8, len: u64) -> CudaResult<()> {
     let b = c.binding.read();
     transfer_checked(c, b.partition, &[(dst, len)])?;
+    c.counters.note_transfer(len);
     enqueue_and_sync(shared, &b, Command::Memset { dst, byte, len })
 }
 
 fn memcpy_h2d(shared: &Shared, c: &ClientShared, dst: u64, data: Vec<u8>) -> CudaResult<()> {
     let b = c.binding.read();
     transfer_checked(c, b.partition, &[(dst, data.len() as u64)])?;
+    c.counters.note_transfer(data.len() as u64);
     enqueue_and_sync(shared, &b, Command::MemcpyH2D { dst, data })
 }
 
 fn memcpy_d2h(shared: &Shared, c: &ClientShared, src: u64, len: u64) -> CudaResult<Vec<u8>> {
     let b = c.binding.read();
     transfer_checked(c, b.partition, &[(src, len)])?;
+    c.counters.note_transfer(len);
     let sink = HostSink::new();
     enqueue_and_sync(
         shared,
@@ -670,6 +710,7 @@ fn memcpy_d2h(shared: &Shared, c: &ClientShared, src: u64, len: u64) -> CudaResu
 fn memcpy_d2d(shared: &Shared, c: &ClientShared, dst: u64, src: u64, len: u64) -> CudaResult<()> {
     let b = c.binding.read();
     transfer_checked(c, b.partition, &[(dst, len), (src, len)])?;
+    c.counters.note_transfer(len);
     enqueue_and_sync(shared, &b, Command::MemcpyD2D { dst, src, len })
 }
 
@@ -747,6 +788,9 @@ fn launch(
         .stats
         .lock()
         .record(driver_level, lookup_ns, augment_ns, enqueue_ns);
+    if r.is_ok() {
+        c.counters.launches.fetch_add(1, Ordering::Relaxed);
+    }
     r.map_err(CudaError::from)
 }
 

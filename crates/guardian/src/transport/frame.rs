@@ -473,6 +473,8 @@ mod proptests {
                         partition_size: size,
                         deferred_launch: client % 2 == 0,
                         device: client % 3,
+                        lease_mem: base ^ size,
+                        lease_ttl_ms: size.rotate_left(7),
                     })
                 })
                 .boxed(),

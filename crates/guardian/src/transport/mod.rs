@@ -193,6 +193,14 @@ pub trait Connection: Send {
     fn event_fds(&self) -> Vec<i32> {
         Vec::new()
     }
+
+    /// The peer's uid, where the transport can establish it
+    /// (`SO_PEERCRED` on server halves of socket transports). `None` for
+    /// in-process transports and client halves; the session layer then
+    /// falls back to the process's own uid.
+    fn peer_uid(&self) -> Option<u32> {
+        None
+    }
 }
 
 /// The accepting (manager) side of a transport.
@@ -271,8 +279,24 @@ impl BoundTransport {
         path: impl AsRef<std::path::Path>,
         policy: UidPolicy,
     ) -> Result<Self, TransportError> {
+        Self::uds_gated(path, policy, None)
+    }
+
+    /// [`BoundTransport::uds_with_policy`] with an optional connect-rate
+    /// [`Admission`](crate::control::Admission) gate: connections from a
+    /// uid exceeding its token bucket are dropped at accept, so a
+    /// reconnect storm cannot starve the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// As [`BoundTransport::uds`].
+    pub fn uds_gated(
+        path: impl AsRef<std::path::Path>,
+        policy: UidPolicy,
+        admission: Option<std::sync::Arc<crate::control::Admission>>,
+    ) -> Result<Self, TransportError> {
         let path = path.as_ref();
-        let (listener, unblock) = uds::UdsListener::bind_with_policy(path, policy)?;
+        let (listener, unblock) = uds::UdsListener::bind_gated(path, policy, admission)?;
         Ok(BoundTransport {
             listener: Box::new(listener),
             dialer: Box::new(uds::UdsDialer::new(path)),
@@ -300,8 +324,23 @@ impl BoundTransport {
         path: impl AsRef<std::path::Path>,
         policy: UidPolicy,
     ) -> Result<Self, TransportError> {
+        Self::shm_gated(path, policy, None)
+    }
+
+    /// [`BoundTransport::shm_with_policy`] with an optional connect-rate
+    /// [`Admission`](crate::control::Admission) gate on the handshake
+    /// socket (see [`BoundTransport::uds_gated`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`BoundTransport::shm`].
+    pub fn shm_gated(
+        path: impl AsRef<std::path::Path>,
+        policy: UidPolicy,
+        admission: Option<std::sync::Arc<crate::control::Admission>>,
+    ) -> Result<Self, TransportError> {
         let path = path.as_ref();
-        let (listener, unblock) = shm::ShmListener::bind_with_policy(path, policy)?;
+        let (listener, unblock) = shm::ShmListener::bind_gated(path, policy, admission)?;
         Ok(BoundTransport {
             listener: Box::new(listener),
             dialer: Box::new(shm::ShmDialer::new(path)),

@@ -795,6 +795,8 @@ pub struct ShmListener {
     path: PathBuf,
     stop: Arc<AtomicBool>,
     policy: UidPolicy,
+    /// Optional per-uid connect-rate gate on the handshake socket.
+    admission: Option<Arc<crate::control::Admission>>,
     /// Ring files currently mapped by live server connections.
     mapped: Arc<Mutex<std::collections::HashSet<RingFileId>>>,
 }
@@ -822,6 +824,22 @@ impl ShmListener {
         path: &Path,
         policy: UidPolicy,
     ) -> Result<(Self, super::UnblockFn), TransportError> {
+        Self::bind_gated(path, policy, None)
+    }
+
+    /// [`ShmListener::bind_with_policy`] with an optional per-uid
+    /// connect-rate gate ([`Admission`](crate::control::Admission)) on
+    /// the handshake socket: over-rate peers are dropped before their
+    /// hello is read (their ring file is never opened).
+    ///
+    /// # Errors
+    ///
+    /// As [`ShmListener::bind`].
+    pub fn bind_gated(
+        path: &Path,
+        policy: UidPolicy,
+        admission: Option<Arc<crate::control::Admission>>,
+    ) -> Result<(Self, super::UnblockFn), TransportError> {
         if path.exists() {
             std::fs::remove_file(path).map_err(|e| io_err("bind", &e))?;
         }
@@ -841,6 +859,7 @@ impl ShmListener {
                 path: path.to_path_buf(),
                 stop,
                 policy,
+                admission,
                 mapped: Arc::new(Mutex::new(std::collections::HashSet::new())),
             },
             unblock,
@@ -924,6 +943,8 @@ fn complete_server_handshake(
 /// stalls wedges only itself, never the accept loop.
 struct PendingShmConnection {
     state: Mutex<ShmServerState>,
+    /// `SO_PEERCRED` uid captured from the handshake socket at accept.
+    peer_uid: Option<u32>,
 }
 
 enum ShmServerState {
@@ -1014,6 +1035,10 @@ impl Connection for PendingShmConnection {
             ShmServerState::Failed => Vec::new(),
         }
     }
+
+    fn peer_uid(&self) -> Option<u32> {
+        self.peer_uid
+    }
 }
 
 impl Listener for ShmListener {
@@ -1030,6 +1055,15 @@ impl Listener for ShmListener {
                 drop(sock);
                 continue;
             }
+            let uid = super::peercred::peer_uid(&sock).ok();
+            // Rate gate next: an over-rate uid is dropped before its
+            // hello is read, and the loop moves on.
+            if let (Some(adm), Some(uid)) = (&self.admission, uid) {
+                if !adm.admit(uid) {
+                    drop(sock);
+                    continue;
+                }
+            }
             // The hello is deferred to the connection's first send/recv
             // (its session thread), keeping the accept loop un-wedgeable.
             return Ok(Box::new(PendingShmConnection {
@@ -1037,6 +1071,7 @@ impl Listener for ShmListener {
                     sock,
                     mapped: self.mapped.clone(),
                 }),
+                peer_uid: uid,
             }));
         }
     }

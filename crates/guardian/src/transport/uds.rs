@@ -70,6 +70,9 @@ pub struct UdsConnection {
     /// goes non-blocking (after the handshake) and frames are pulled via
     /// [`Connection::try_recv`].
     event_mode: AtomicBool,
+    /// `SO_PEERCRED` uid, captured at accept on server halves; `None` on
+    /// client halves (the peer there is the manager, not a tenant).
+    peer_uid: Option<u32>,
 }
 
 /// How long a send may sit in `poll(POLLOUT)` waiting for a peer that
@@ -79,12 +82,17 @@ const SEND_STALL_TIMEOUT: Duration = Duration::from_secs(10);
 
 impl UdsConnection {
     fn new(stream: UnixStream, handshaken: bool) -> Self {
+        Self::with_peer_uid(stream, handshaken, None)
+    }
+
+    fn with_peer_uid(stream: UnixStream, handshaken: bool, peer_uid: Option<u32>) -> Self {
         UdsConnection {
             stream,
             send_lock: Mutex::new(()),
             recv_state: Mutex::new(FrameDecoder::new(MAX_FRAME)),
             handshaken: Mutex::new(handshaken),
             event_mode: AtomicBool::new(false),
+            peer_uid,
         }
     }
 
@@ -235,6 +243,10 @@ impl Connection for UdsConnection {
     fn event_fds(&self) -> Vec<i32> {
         vec![self.stream.as_raw_fd()]
     }
+
+    fn peer_uid(&self) -> Option<u32> {
+        self.peer_uid
+    }
 }
 
 /// Server side: a bound Unix socket accepting framed connections.
@@ -243,6 +255,10 @@ pub struct UdsListener {
     path: PathBuf,
     stop: Arc<AtomicBool>,
     policy: UidPolicy,
+    /// Optional per-uid connect-rate gate, checked right after the
+    /// credential policy — an over-rate peer is dropped before any
+    /// protocol byte.
+    admission: Option<Arc<crate::control::Admission>>,
 }
 
 impl UdsListener {
@@ -270,6 +286,22 @@ impl UdsListener {
         path: &Path,
         policy: UidPolicy,
     ) -> Result<(Self, super::UnblockFn), TransportError> {
+        Self::bind_gated(path, policy, None)
+    }
+
+    /// [`UdsListener::bind_with_policy`] with an optional per-uid
+    /// connect-rate gate ([`Admission`](crate::control::Admission)):
+    /// peers whose uid is over its token bucket are dropped at `accept`,
+    /// so a reconnect storm cannot starve other tenants' connects.
+    ///
+    /// # Errors
+    ///
+    /// As [`UdsListener::bind`].
+    pub fn bind_gated(
+        path: &Path,
+        policy: UidPolicy,
+        admission: Option<Arc<crate::control::Admission>>,
+    ) -> Result<(Self, super::UnblockFn), TransportError> {
         if path.exists() {
             std::fs::remove_file(path).map_err(|e| io_err("bind", &e))?;
         }
@@ -291,6 +323,7 @@ impl UdsListener {
                 path: path.to_path_buf(),
                 stop,
                 policy,
+                admission,
             },
             unblock,
         ))
@@ -315,12 +348,21 @@ impl Listener for UdsListener {
                 drop(stream);
                 continue;
             }
+            let uid = super::peercred::peer_uid(&stream).ok();
+            // Rate gate next: an over-rate uid is dropped just as a
+            // policy-rejected one is, and the loop moves on.
+            if let (Some(adm), Some(uid)) = (&self.admission, uid) {
+                if !adm.admit(uid) {
+                    drop(stream);
+                    continue;
+                }
+            }
             // The preamble exchange is deferred to the connection's first
             // send/recv — i.e. its session thread — so a client that
             // connects and then stalls (or speaks garbage) costs the
             // accept loop nothing; its own session fails the handshake
             // and exits.
-            return Ok(Box::new(UdsConnection::new(stream, false)));
+            return Ok(Box::new(UdsConnection::with_peer_uid(stream, false, uid)));
         }
     }
 }

@@ -1,0 +1,213 @@
+//! `guardianctl`: operator CLI for a live `guardiand`.
+//!
+//! Speaks the v3 admin message family over the daemon's
+//! `--admin-socket` uds endpoint (same-uid only). One request, one
+//! response, exit:
+//!
+//! ```text
+//! guardianctl --socket /run/guardian.admin devices
+//! guardianctl --socket /run/guardian.admin tenants
+//! guardianctl --socket /run/guardian.admin lease set 1000 mem=16M,streams=4,ttl=30s
+//! guardianctl --socket /run/guardian.admin lease revoke 3
+//! guardianctl --socket /run/guardian.admin quota [UID]
+//! guardianctl --socket /run/guardian.admin metrics
+//! ```
+//!
+//! Tables print human-readable; `metrics` prints the raw Prometheus
+//! text exposition (pipe it straight to a scrape file). Exit status:
+//! 0 on success, 1 when the daemon reports an error or cannot be
+//! reached, 2 on bad usage.
+
+use guardian::proto::{AdminRequest, AdminResponse};
+use guardian::transport::uds::UdsDialer;
+use guardian::transport::Dialer;
+use guardian::LeaseSpec;
+
+const USAGE: &str = "usage: guardianctl --socket PATH \
+    <devices | tenants | lease set UID SPEC | lease revoke CLIENT | quota [UID] | metrics>";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (socket, req) = match parse(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("guardianctl: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let conn = match UdsDialer::new(&socket).dial() {
+        Ok(c) => c,
+        Err(e) => fail(&format!("cannot dial {socket}: {e}")),
+    };
+    if let Err(e) = conn.send(req.encode()) {
+        fail(&format!("send failed: {e}"));
+    }
+    let frame = match conn.recv() {
+        Ok(f) => f,
+        Err(e) => fail(&format!("no response: {e}")),
+    };
+    let resp = match AdminResponse::decode(&frame) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("bad response frame: {e:?}")),
+    };
+    render(resp);
+}
+
+/// Split the command line into the socket path and the admin request.
+fn parse(args: &[String]) -> Result<(String, AdminRequest), String> {
+    let mut socket = None;
+    let mut words = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => {
+                socket = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| "--socket needs a value".to_string())?,
+                );
+            }
+            w => words.push(w.to_string()),
+        }
+    }
+    let socket = socket.ok_or("--socket is required")?;
+    let words: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+    let req = match words.as_slice() {
+        ["devices"] => AdminRequest::Devices,
+        ["tenants"] => AdminRequest::Tenants,
+        ["lease", "set", uid, spec] => {
+            let uid: u32 = uid.parse().map_err(|e| format!("lease set UID: {e}"))?;
+            let lease = LeaseSpec::parse(spec).map_err(|e| format!("lease set SPEC: {e}"))?;
+            AdminRequest::LeaseSet {
+                uid,
+                mem_bytes: lease.mem_bytes,
+                streams: lease.streams,
+                ttl_ms: lease.ttl_ms(),
+            }
+        }
+        ["lease", "revoke", client] => AdminRequest::LeaseRevoke {
+            client: client
+                .parse()
+                .map_err(|e| format!("lease revoke CLIENT: {e}"))?,
+        },
+        ["quota"] => AdminRequest::Quota { uid: None },
+        ["quota", uid] => AdminRequest::Quota {
+            uid: Some(uid.parse().map_err(|e| format!("quota UID: {e}"))?),
+        },
+        ["metrics"] => AdminRequest::Metrics,
+        [] => return Err("a command is required".into()),
+        other => return Err(format!("unknown command `{}`", other.join(" "))),
+    };
+    Ok((socket, req))
+}
+
+fn render(resp: AdminResponse) {
+    match resp {
+        AdminResponse::Devices { node, devices } => {
+            println!("node {node}: {} device(s)", devices.len());
+            println!(
+                "{:>3}  {:<18} {:>9} {:>10} {:>10} {:>7}",
+                "idx", "name", "clock", "pool", "used", "tenants"
+            );
+            for d in devices {
+                println!(
+                    "{:>3}  {:<18} {:>6.2}GHz {:>10} {:>10} {:>7}",
+                    d.index,
+                    d.name,
+                    d.clock_ghz,
+                    fmt_bytes(d.pool_bytes),
+                    fmt_bytes(d.used_bytes),
+                    d.tenants
+                );
+            }
+        }
+        AdminResponse::Tenants { node, tenants } => {
+            println!("node {node}: {} tenant(s)", tenants.len());
+            println!(
+                "{:>6} {:>6} {:>4} {:>10} {:>10} {:>9} {:>8} {:>9} {:>9} {:>10}",
+                "client",
+                "uid",
+                "dev",
+                "partition",
+                "lease",
+                "ttl",
+                "age",
+                "held",
+                "launches",
+                "xfer"
+            );
+            for t in tenants {
+                println!(
+                    "{:>6} {:>6} {:>4} {:>10} {:>10} {:>9} {:>7}s {:>9} {:>9} {:>10}",
+                    t.client,
+                    t.uid,
+                    t.device,
+                    fmt_bytes(t.partition_size),
+                    if t.lease_mem == u64::MAX {
+                        "none".to_string()
+                    } else {
+                        fmt_bytes(t.lease_mem)
+                    },
+                    if t.lease_ttl_ms == 0 {
+                        "none".to_string()
+                    } else {
+                        format!("{}ms", t.lease_ttl_ms)
+                    },
+                    t.age_ms / 1000,
+                    fmt_bytes(t.bytes_held),
+                    t.launches,
+                    fmt_bytes(t.transfer_bytes)
+                );
+            }
+        }
+        AdminResponse::Quota { node, entries } => {
+            println!("node {node}: {} usage row(s)", entries.len());
+            println!(
+                "{:>6} {:>4} {:>5} {:>10} {:>9} {:>9} {:>10} {:>10}",
+                "uid", "dev", "live", "held", "launches", "xfers", "xfer-bytes", "occupancy"
+            );
+            for u in entries {
+                println!(
+                    "{:>6} {:>4} {:>5} {:>10} {:>9} {:>9} {:>10} {:>9}s",
+                    u.uid,
+                    u.device,
+                    u.live,
+                    fmt_bytes(u.bytes_held),
+                    u.launches,
+                    u.transfers,
+                    fmt_bytes(u.transfer_bytes),
+                    u.occupancy_ms / 1000
+                );
+            }
+        }
+        AdminResponse::Metrics { text, .. } => print!("{text}"),
+        AdminResponse::Ok { node } => println!("node {node}: ok"),
+        AdminResponse::Error { node, msg } => fail(&format!("node {node}: {msg}")),
+    }
+}
+
+/// Human byte sizes: exact power-of-two multiples print as `K`/`M`/`G`,
+/// everything else prints raw so the operator never loses precision.
+fn fmt_bytes(b: u64) -> String {
+    const G: u64 = 1 << 30;
+    const M: u64 = 1 << 20;
+    const K: u64 = 1 << 10;
+    if b == u64::MAX {
+        "inf".to_string()
+    } else if b >= G && b.is_multiple_of(G) {
+        format!("{}G", b / G)
+    } else if b >= M && b.is_multiple_of(M) {
+        format!("{}M", b / M)
+    } else if b >= K && b.is_multiple_of(K) {
+        format!("{}K", b / K)
+    } else {
+        format!("{b}B")
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("guardianctl: {msg}");
+    std::process::exit(1);
+}

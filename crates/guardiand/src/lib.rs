@@ -198,6 +198,19 @@ pub struct DaemonOpts {
     /// dispatch, thread-per-session under serial), or an explicit
     /// `--driver threads` / `--driver event[:N]`.
     pub driver: SessionDriver,
+    /// Lease every connect is admitted under unless a per-uid override
+    /// exists (`--lease-default mem=16M,streams=4,ttl=30s`). `None` =
+    /// uncapped, never-expiring leases.
+    pub lease_default: Option<guardian::LeaseSpec>,
+    /// Admin-plane uds socket (`guardianctl` endpoint), if any.
+    pub admin_socket: Option<PathBuf>,
+    /// Sustained connects-per-second each uid may attempt; `None` =
+    /// unmetered admission.
+    pub max_connect_rate: Option<f64>,
+    /// Node id stamped into every admin response (default `grd-<pid>`).
+    pub node_id: Option<String>,
+    /// Plaintext-HTTP `/metrics` listen address (`127.0.0.1:9090`).
+    pub admin_http: Option<String>,
 }
 
 /// Parse a `--driver` value: `threads`, `event`, or `event:N` where `N`
@@ -220,7 +233,9 @@ impl DaemonOpts {
     /// Parse `guardiand` arguments:
     /// `[--uds PATH] [--shm PATH] [--gpus N] [--pool-bytes N[,N...]]
     /// [--protection fence|modulo|check|none] [--deferred]
-    /// [--allow-uid UID[,UID...]] [--driver threads|event[:N]]`.
+    /// [--allow-uid UID[,UID...]] [--driver threads|event[:N]]
+    /// [--lease-default SPEC] [--admin-socket PATH]
+    /// [--max-connect-rate N] [--node-id NAME] [--admin-http ADDR]`.
     ///
     /// # Errors
     ///
@@ -236,6 +251,11 @@ impl DaemonOpts {
             deferred: false,
             allow_uids: Vec::new(),
             driver: SessionDriver::Auto,
+            lease_default: None,
+            admin_socket: None,
+            max_connect_rate: None,
+            node_id: None,
+            admin_http: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -282,6 +302,26 @@ impl DaemonOpts {
                 }
                 "--deferred" => opts.deferred = true,
                 "--driver" => opts.driver = parse_driver(&value("--driver")?)?,
+                "--lease-default" => {
+                    opts.lease_default = Some(
+                        guardian::LeaseSpec::parse(&value("--lease-default")?)
+                            .map_err(|e| format!("--lease-default: {e}"))?,
+                    );
+                }
+                "--admin-socket" => {
+                    opts.admin_socket = Some(PathBuf::from(value("--admin-socket")?));
+                }
+                "--max-connect-rate" => {
+                    let rate: f64 = value("--max-connect-rate")?
+                        .parse()
+                        .map_err(|e| format!("--max-connect-rate: {e}"))?;
+                    if !rate.is_finite() || rate <= 0.0 {
+                        return Err("--max-connect-rate must be a positive number".into());
+                    }
+                    opts.max_connect_rate = Some(rate);
+                }
+                "--node-id" => opts.node_id = Some(value("--node-id")?),
+                "--admin-http" => opts.admin_http = Some(value("--admin-http")?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -319,6 +359,14 @@ impl DaemonOpts {
         } else {
             guardian::transport::UidPolicy::Allow(self.allow_uids.clone())
         }
+    }
+
+    /// The per-uid connect-rate gate from `--max-connect-rate`, shared
+    /// between the uds and shm accept loops so both sockets meter one
+    /// token budget per uid. Burst is one second's worth of connects.
+    pub fn admission(&self) -> Option<std::sync::Arc<guardian::Admission>> {
+        self.max_connect_rate
+            .map(|rate| std::sync::Arc::new(guardian::Admission::new(rate, rate.ceil() as u32)))
     }
 }
 
@@ -639,6 +687,51 @@ mod tests {
         );
         assert!(parse("event:").is_err());
         assert!(parse("fibers").is_err());
+    }
+
+    #[test]
+    fn daemon_control_plane_args_parse() {
+        let args: Vec<String> = [
+            "--uds",
+            "/tmp/g.sock",
+            "--lease-default",
+            "mem=16M,streams=4,ttl=30s",
+            "--admin-socket",
+            "/tmp/g.admin",
+            "--max-connect-rate",
+            "50",
+            "--node-id",
+            "node-a",
+            "--admin-http",
+            "127.0.0.1:9090",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = DaemonOpts::parse(&args).unwrap();
+        let lease = opts.lease_default.unwrap();
+        assert_eq!(lease.mem_bytes, 16 << 20);
+        assert_eq!(lease.streams, 4);
+        assert_eq!(lease.ttl_ms(), 30_000);
+        assert_eq!(
+            opts.admin_socket.as_deref(),
+            Some(std::path::Path::new("/tmp/g.admin"))
+        );
+        assert_eq!(opts.max_connect_rate, Some(50.0));
+        assert!(opts.admission().is_some());
+        assert_eq!(opts.node_id.as_deref(), Some("node-a"));
+        assert_eq!(opts.admin_http.as_deref(), Some("127.0.0.1:9090"));
+        // A daemon without the flags runs unleased and unmetered.
+        let bare = DaemonOpts::parse(&["--uds".into(), "/tmp/g.sock".into()]).unwrap();
+        assert!(bare.lease_default.is_none());
+        assert!(bare.admission().is_none());
+        // Malformed values are usage errors, not panics.
+        let bad = |flag: &str, v: &str| {
+            DaemonOpts::parse(&["--uds".into(), "/tmp/g.sock".into(), flag.into(), v.into()])
+        };
+        assert!(bad("--lease-default", "mem=banana").is_err());
+        assert!(bad("--max-connect-rate", "0").is_err());
+        assert!(bad("--max-connect-rate", "nan").is_err());
     }
 
     #[test]

@@ -6,10 +6,19 @@
 //! partition pool. Tenants are separate OS processes (`grd-tenant`, or
 //! anything using `GrdLib::dial_uds`/`dial_shm`).
 //!
+//! The node control plane rides along: `--lease-default` admits every
+//! connect under a memory/stream/TTL lease, `--max-connect-rate`
+//! meters connects per uid at the accept loops, and `--admin-socket`
+//! binds the operator endpoint `guardianctl` speaks (with an optional
+//! plaintext-HTTP `/metrics` mirror via `--admin-http`).
+//!
 //! Prints one `guardiand: listening …` line to stdout once every
 //! endpoint is bound, so supervisors (and the cross-process test suite)
 //! can wait for readiness, then serves until killed.
 
+use guardian::control::{serve_admin, serve_http_metrics};
+use guardian::proto::{AdminRequest, AdminResponse};
+use guardian::transport::UidPolicy;
 use guardian::{spawn_manager_multi, BoundTransport, LaunchAck, ManagerConfig};
 use guardiand::DaemonOpts;
 use std::io::Write;
@@ -24,24 +33,28 @@ fn main() {
                 "usage: guardiand [--uds PATH] [--shm PATH] [--gpus N] \
                  [--pool-bytes N[,N...]] [--protection fence|modulo|check|none] \
                  [--deferred] [--allow-uid UID[,UID...]] \
-                 [--driver threads|event[:N]]"
+                 [--driver threads|event[:N]] [--lease-default SPEC] \
+                 [--admin-socket PATH] [--max-connect-rate N] \
+                 [--node-id NAME] [--admin-http ADDR]"
             );
             std::process::exit(2);
         }
     };
 
     // SO_PEERCRED gate on every socket: the daemon's own uid unless an
-    // explicit --allow-uid list was given.
+    // explicit --allow-uid list was given. The connect-rate gate is
+    // shared across endpoints so both meter one budget per uid.
     let policy = opts.uid_policy();
+    let admission = opts.admission();
     let mut transports = Vec::new();
     if let Some(path) = &opts.uds {
-        match BoundTransport::uds_with_policy(path, policy.clone()) {
+        match BoundTransport::uds_gated(path, policy.clone(), admission.clone()) {
             Ok(t) => transports.push(t),
             Err(e) => fail(&format!("cannot bind uds endpoint {}: {e}", path.display())),
         }
     }
     if let Some(path) = &opts.shm {
-        match BoundTransport::shm_with_policy(path, policy) {
+        match BoundTransport::shm_gated(path, policy, admission.clone()) {
             Ok(t) => transports.push(t),
             Err(e) => fail(&format!("cannot bind shm endpoint {}: {e}", path.display())),
         }
@@ -66,18 +79,46 @@ fn main() {
             LaunchAck::Eager
         },
         session_driver: opts.driver,
+        lease_default: opts.lease_default,
+        node_id: opts.node_id.clone(),
+        admission,
         ..ManagerConfig::default()
     };
     // Bound to a named variable: the handle must outlive the serve loop
     // (dropping it would tear the acceptor down).
-    let _manager = match spawn_manager_multi(devices, config, &[], transport) {
+    let manager = match spawn_manager_multi(devices, config, &[], transport) {
         Ok(m) => m,
         Err(e) => fail(&format!("cannot spawn manager: {e}")),
     };
 
+    // The admin plane is operator-only: same-uid regardless of who the
+    // tenant sockets admit, and never metered by the connect gate.
+    let _admin = opts.admin_socket.as_ref().map(|path| {
+        let transport = match BoundTransport::uds_with_policy(path, UidPolicy::same_user()) {
+            Ok(t) => t,
+            Err(e) => fail(&format!("cannot bind admin socket {}: {e}", path.display())),
+        };
+        let api = manager.admin();
+        serve_admin(transport, move |req| api.handle(req))
+    });
+    let _http = opts.admin_http.as_ref().map(|addr| {
+        let api = manager.admin();
+        match serve_http_metrics(addr, move || match api.handle(AdminRequest::Metrics) {
+            AdminResponse::Metrics { text, .. } => text,
+            other => format!("# metrics unavailable: {other:?}\n"),
+        }) {
+            Ok(s) => s,
+            Err(e) => fail(&format!("cannot bind admin http {addr}: {e}")),
+        }
+    });
+
     let endpoints: Vec<String> = [
         opts.uds.as_ref().map(|p| format!("uds:{}", p.display())),
         opts.shm.as_ref().map(|p| format!("shm:{}", p.display())),
+        opts.admin_socket
+            .as_ref()
+            .map(|p| format!("admin:{}", p.display())),
+        opts.admin_http.as_ref().map(|a| format!("http:{a}")),
     ]
     .into_iter()
     .flatten()

@@ -15,6 +15,83 @@ const EXAMPLES: &[&str] = &[
     "socket_transports",
 ];
 
+/// Operator-quickstart smoke: a `guardiand` with an admin socket comes
+/// up and `guardianctl metrics` scrapes well-formed Prometheus text
+/// from it — the exact two commands the README's Operations section
+/// opens with.
+#[test]
+fn guardianctl_metrics_smoke() {
+    use std::time::{Duration, Instant};
+
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let socket = guardian::fixtures::temp_socket_path("smoke-t");
+    let admin = guardian::fixtures::temp_socket_path("smoke-a");
+    let mut daemon = Command::new(&cargo)
+        .args([
+            "run",
+            "--quiet",
+            "-p",
+            "guardiand",
+            "--bin",
+            "guardiand",
+            "--",
+        ])
+        .arg("--uds")
+        .arg(&socket)
+        .arg("--admin-socket")
+        .arg(&admin)
+        .args(["--node-id", "smoke-node"])
+        .current_dir(&workspace_root)
+        .env("CARGO_NET_OFFLINE", "true")
+        .spawn()
+        .expect("spawn guardiand");
+
+    // Scrape until the daemon finishes building + binding (one cargo
+    // invocation may compile first; generous deadline).
+    let deadline = Instant::now() + Duration::from_secs(240);
+    let text = loop {
+        let out = Command::new(&cargo)
+            .args([
+                "run",
+                "--quiet",
+                "-p",
+                "guardiand",
+                "--bin",
+                "guardianctl",
+                "--",
+            ])
+            .arg("--socket")
+            .arg(&admin)
+            .arg("metrics")
+            .current_dir(&workspace_root)
+            .env("CARGO_NET_OFFLINE", "true")
+            .output()
+            .expect("run guardianctl");
+        if out.status.success() {
+            break String::from_utf8_lossy(&out.stdout).into_owned();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "guardianctl never scraped the daemon: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    let _ = daemon.kill();
+    let _ = daemon.wait();
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&admin);
+    assert!(
+        text.contains("# TYPE guardian_device_pool_bytes gauge"),
+        "not Prometheus text: {text}"
+    );
+    assert!(
+        text.contains("node=\"smoke-node\""),
+        "node label missing: {text}"
+    );
+}
+
 #[test]
 fn all_examples_run_to_completion() {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());

@@ -291,3 +291,65 @@ fn rebalancer_converges_skewed_placement() {
     drop(tenants);
     mgr.shutdown();
 }
+
+/// Candidate choice is activity-aware: with an idle 8 MiB tenant and a
+/// hot 2 MiB one crowding device 0, the rebalancer migrates the idle
+/// tenant even though the hot one is smaller — moving it pauses nobody,
+/// while moving the hot tenant would stall its launch stream behind the
+/// copy barrier.
+#[test]
+fn rebalancer_prefers_idle_tenant_over_hot_smaller_one() {
+    let mgr = two_gpu_manager(Protection::FenceBitwise, 16 << 20);
+    let mut idle = GrdLib::connect_hinted(&mgr, 8 << 20, Some(PlacementHint::pin(0))).unwrap();
+    let mut hot = GrdLib::connect_hinted(&mgr, 2 << 20, Some(PlacementHint::pin(0))).unwrap();
+    // Make the small tenant unambiguously hot: a burst of launches the
+    // idle tenant never matches.
+    let buf = hot.cuda_malloc(4 * 64).unwrap();
+    let args = ArgPack::new().ptr(buf).u32(64).finish();
+    for _ in 0..16 {
+        hot.cuda_launch_kernel(
+            "fill",
+            LaunchConfig::linear(2, 32),
+            &args,
+            Default::default(),
+        )
+        .unwrap();
+    }
+    hot.cuda_device_synchronize().unwrap();
+
+    let (_client, src, dst) = mgr
+        .rebalance()
+        .unwrap()
+        .expect("skewed placement must produce a migration");
+    assert_eq!((src, dst), (0, 1));
+    idle.refresh().unwrap();
+    hot.refresh().unwrap();
+    assert_eq!(idle.device(), 1, "the idle tenant is the one that moved");
+    assert_eq!(hot.device(), 0, "the hot tenant stays put");
+    drop((idle, hot));
+    mgr.shutdown();
+}
+
+/// Default pool sizing targets half of the device's *total* memory: on
+/// the 64 MiB test GPU the context's 1 MiB scratch must not demote the
+/// pool to 16 MiB (sizing from free memory alone loses a whole
+/// power-of-two doubling).
+#[test]
+fn default_pool_is_half_of_total_memory_despite_context_overhead() {
+    let devices = vec![share_device(gpu_sim::Device::new(test_gpu()))];
+    let fb = fatbin();
+    let mgr = spawn_manager_multi(
+        devices,
+        ManagerConfig::default(), // pool_bytes: None — the sizing under test
+        &[&fb],
+        BoundTransport::channel(),
+    )
+    .unwrap();
+    let infos = mgr.device_infos().unwrap();
+    assert_eq!(
+        infos[0].pool_bytes,
+        32 << 20,
+        "64 MiB device must yield a 32 MiB default pool"
+    );
+    mgr.shutdown();
+}

@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 
 const DAEMON_BIN: &str = env!("CARGO_BIN_EXE_guardiand");
 const TENANT_BIN: &str = env!("CARGO_BIN_EXE_grd-tenant");
+const CTL_BIN: &str = env!("CARGO_BIN_EXE_guardianctl");
 
 /// Generous deadline for any single cross-process step (debug builds on
 /// loaded CI machines are slow; correctness, not latency, is on trial).
@@ -246,6 +247,29 @@ fn dial_until_hinted(wire: &str, socket: &PathBuf, mem: u64, hint: Option<u32>) 
     }
 }
 
+/// Run `guardianctl` against `admin`, retrying dial failures through
+/// the daemon's startup window. Returns `(exit_code, stdout)`.
+fn ctl(admin: &PathBuf, args: &[&str]) -> (i32, String) {
+    let deadline = Instant::now() + STEP_TIMEOUT;
+    loop {
+        let out = Command::new(CTL_BIN)
+            .arg("--socket")
+            .arg(admin)
+            .args(args)
+            .output()
+            .expect("run guardianctl");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        if stderr.contains("cannot dial") && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
+        }
+        return (
+            out.status.code().unwrap_or(-1),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+        );
+    }
+}
+
 // ---- multi-tenant isolation -------------------------------------------------
 
 /// Three concurrent tenant *processes* all run their fill workloads to
@@ -431,6 +455,128 @@ fn sigkill_mid_migration_reclaims_both_partitions_uds() {
 #[test]
 fn sigkill_mid_migration_reclaims_both_partitions_shm() {
     sigkill_mid_migration_reclaims_both_partitions("shm");
+}
+
+// ---- lease lifecycle under crashes --------------------------------------------
+
+/// A tenant *process* admitted under a short default TTL is reclaimed
+/// by the manager alone when the lease lapses: the pool's only
+/// partition becomes re-allocatable with no operator (and no tenant
+/// cooperation — the tenant is mid-hold when the lease ends), and the
+/// evicted process observes its tenancy as dead rather than hanging.
+#[test]
+fn ttl_expiry_evicts_tenant_process_and_reclaims_partition() {
+    let pool = (4u64 << 20).to_string();
+    let daemon = Daemon::spawn(
+        "uds",
+        &["--pool-bytes", &pool, "--lease-default", "ttl=400ms"],
+    );
+    // The tenant holds its partition idle well past the TTL before
+    // trying to compute.
+    let t = spawn_tenant("uds", &daemon.socket, 4 << 20, "fill", 10, 3000);
+    t.ready();
+    // Reclamation happens while the tenant still *thinks* it is holding:
+    // this full-pool connect succeeds only once the lease was swept.
+    let mut lib = dial_until("uds", &daemon.socket, 4 << 20);
+    let buf = lib.cuda_malloc(4096).expect("malloc after expiry");
+    lib.cuda_memcpy_h2d(buf, &[6u8; 64]).expect("h2d");
+    lib.cuda_device_synchronize().expect("sync");
+    assert_eq!(lib.cuda_memcpy_d2h(buf, 64).expect("d2h"), vec![6u8; 64]);
+    // The evicted process fails fast (exit 3: runtime failure) instead
+    // of computing on a partition it no longer owns.
+    let (code, out) = t.join();
+    assert_eq!(code, 3, "evicted tenant must fail its workload: {out:?}");
+    assert!(
+        !out.iter().any(|l| l == "fill-ok"),
+        "evicted tenant must not verify a fill: {out:?}"
+    );
+}
+
+/// `guardianctl lease revoke` of a tenant mid-launch-storm drains and
+/// kills only the offender: a victim process computing alongside on the
+/// same daemon finishes its workload untouched.
+#[test]
+fn revocation_mid_storm_kills_only_the_offender() {
+    let admin = temp_sock("revoke-admin");
+    let pool = (16u64 << 20).to_string();
+    let admin_s = admin.display().to_string();
+    let daemon = Daemon::spawn(
+        "uds",
+        &["--pool-bytes", &pool, "--admin-socket", admin_s.as_str()],
+    );
+    let victim = spawn_tenant("uds", &daemon.socket, 4 << 20, "fill", 80, 500);
+    victim.ready();
+    let storm = spawn_tenant("uds", &daemon.socket, 4 << 20, "storm", 0, 0);
+    let (offender, _, _) = storm.ready();
+    // Let frames be genuinely in flight when the revocation lands.
+    std::thread::sleep(Duration::from_millis(200));
+    let (code, out) = ctl(&admin, &["lease", "revoke", &offender.to_string()]);
+    assert_eq!(code, 0, "revoke failed: {out}");
+
+    // The storm ends (the tenant sees its tenancy die and exits clean —
+    // same contract as daemon shutdown), the victim never notices.
+    let (code, out) = storm.join();
+    assert_eq!(code, 0, "revoked storm must exit cleanly: {out:?}");
+    let (code, out) = victim.join();
+    assert_eq!(code, 0, "victim must be unaffected: {out:?}");
+    assert!(out.iter().any(|l| l == "fill-ok"), "no fill-ok in {out:?}");
+    let _ = std::fs::remove_file(&admin);
+}
+
+/// `kill -9` of a *leased* tenant releases its quota hold: the usage it
+/// accrued stays on the books (retired launches survive), but its held
+/// bytes drop to zero and the partition returns to the pool.
+#[test]
+fn sigkill_of_leased_tenant_releases_quota() {
+    let admin = temp_sock("quota-admin");
+    let pool = (4u64 << 20).to_string();
+    let admin_s = admin.display().to_string();
+    let daemon = Daemon::spawn(
+        "uds",
+        &[
+            "--pool-bytes",
+            &pool,
+            "--lease-default",
+            "mem=8M",
+            "--admin-socket",
+            admin_s.as_str(),
+        ],
+    );
+    let mut storm = spawn_tenant("uds", &daemon.socket, 4 << 20, "storm", 0, 0);
+    storm.ready();
+    std::thread::sleep(Duration::from_millis(200));
+    storm.kill9();
+
+    // Partition reclaimed (the pool holds exactly one), then released
+    // again by a graceful disconnect.
+    let lib = dial_until("uds", &daemon.socket, 4 << 20);
+    drop(lib);
+
+    // The uid's quota row converges to zero live tenancy and zero held
+    // bytes while keeping the dead tenant's retired launches.
+    let uid = guardian::transport::peercred::current_uid().to_string();
+    let deadline = Instant::now() + STEP_TIMEOUT;
+    loop {
+        let (code, out) = ctl(&admin, &["quota", &uid]);
+        assert_eq!(code, 0, "quota query failed: {out}");
+        let row: Vec<&str> = out
+            .lines()
+            .map(|l| l.split_whitespace().collect::<Vec<_>>())
+            .find(|f| f.first() == Some(&uid.as_str()))
+            .unwrap_or_default();
+        // uid dev live held launches xfers xfer-bytes occupancy
+        if row.len() >= 5 && row[2] == "0" && row[3] == "0B" {
+            let launches: u64 = row[4].parse().expect("launch count");
+            assert!(launches > 0, "retired launches lost: {out}");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "quota never released after SIGKILL: {out}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let _ = std::fs::remove_file(&admin);
 }
 
 // ---- daemon robustness --------------------------------------------------------
