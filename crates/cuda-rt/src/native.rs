@@ -133,7 +133,7 @@ impl NativeRuntime {
             Command::Launch {
                 func,
                 cfg,
-                params: args.to_vec(),
+                params: args.to_vec().into(),
                 guard: self.guard,
             },
         )?;

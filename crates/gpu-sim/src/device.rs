@@ -166,6 +166,23 @@ pub struct Device {
     seq: u64,
     threads_in_use: u64,
     running: Vec<RunningKernel>,
+    /// Recyclable indexes into `running` (finished kernels with no
+    /// in-flight blocks). Without recycling, `running` grows with every
+    /// launch ever made and the per-event block scheduler scan turns
+    /// quadratic in total launches — the 256-tenant throughput cliff.
+    free_slots: Vec<usize>,
+    /// Total unscheduled blocks across `running`, so the per-event
+    /// scheduler call exits in O(1) when every block is already placed.
+    pending_blocks: u64,
+    /// Streams with a startable head command, each tracked at most once
+    /// (`StreamState::in_ready`). The scheduler pulls from here instead
+    /// of rescanning every stream on every engine step.
+    ready: std::collections::VecDeque<StreamId>,
+    /// Streams whose start attempt hit a busy resource (SMs, a PCIe
+    /// direction, the dispatch server, the exclusive-context gate);
+    /// re-queued onto `ready` after each handled event, since events
+    /// are what free those resources.
+    blocked: Vec<StreamId>,
     events: BinaryHeap<Reverse<Ev>>,
     pcie_h2d_free: u64,
     pcie_d2h_free: u64,
@@ -207,6 +224,10 @@ impl Device {
             seq: 0,
             threads_in_use: 0,
             running: Vec::new(),
+            free_slots: Vec::new(),
+            pending_blocks: 0,
+            ready: std::collections::VecDeque::new(),
+            blocked: Vec::new(),
             events: BinaryHeap::new(),
             pcie_h2d_free: 0,
             pcie_d2h_free: 0,
@@ -521,6 +542,9 @@ impl Device {
             return Err(DeviceError::ContextPoisoned);
         }
         s.queue.push_back(cmd);
+        if !s.busy {
+            self.mark_ready(stream);
+        }
         Ok(())
     }
 
@@ -528,22 +552,65 @@ impl Device {
     /// number of *new* faults recorded during this drain.
     pub fn synchronize(&mut self) -> usize {
         let faults_before = self.fault_log.len();
+        // Consecutive rounds in which neither a start nor an event
+        // happened. One fruitless round after a full requeue means the
+        // same (deterministic) state would just repeat: drained.
+        let mut stalls = 0;
         loop {
             let progress = self.try_start();
             if let Some(Reverse(ev)) = self.events.pop() {
                 self.now = self.now.max(ev.time);
                 self.handle_event(ev);
+                // The event may have freed SMs, a PCIe direction, the
+                // dispatch server, or the active context: retry gated
+                // streams.
+                self.requeue_blocked();
+                stalls = 0;
                 continue;
             }
-            if !progress && !self.has_startable_work() {
+            if progress {
+                stalls = 0;
+                continue;
+            }
+            // Nothing started and no event pending. Give every stream
+            // that still has work one full retry (covers gated streams
+            // and any bookkeeping gap), then conclude.
+            if stalls >= 1 {
+                break;
+            }
+            stalls += 1;
+            self.requeue_blocked();
+            let stalled: Vec<StreamId> = self
+                .streams
+                .iter()
+                .filter(|(_, s)| !s.in_ready && !s.busy && !s.queue.is_empty())
+                .map(|(id, _)| *id)
+                .collect();
+            for sid in stalled {
+                self.mark_ready(sid);
+            }
+            if self.ready.is_empty() {
                 break;
             }
         }
         self.fault_log.len() - faults_before
     }
 
-    fn has_startable_work(&self) -> bool {
-        self.streams.values().any(|s| s.busy || !s.queue.is_empty())
+    /// Queue a stream for a start attempt (at most once at a time).
+    fn mark_ready(&mut self, sid: StreamId) {
+        if let Some(s) = self.streams.get_mut(&sid) {
+            if !s.in_ready {
+                s.in_ready = true;
+                self.ready.push_back(sid);
+            }
+        }
+    }
+
+    /// Move every resource-gated stream back onto the ready queue.
+    fn requeue_blocked(&mut self) {
+        // `in_ready` stayed set while parked in `blocked`, so a plain
+        // append cannot double-queue.
+        self.ready.extend(self.blocked.drain(..));
     }
 
     /// All faults recorded so far.
@@ -584,20 +651,28 @@ impl Device {
         }));
     }
 
-    /// Try to start head commands / pending blocks; returns whether any
-    /// progress was made.
+    /// Try to start pending blocks and the head commands of every ready
+    /// stream; returns whether any progress was made. Streams that hit
+    /// a busy resource park in `blocked` (re-queued per event) instead
+    /// of being rescanned on every engine step.
     fn try_start(&mut self) -> bool {
         let mut progress = false;
         // Schedule blocks of already-running kernels first (leftover).
         progress |= self.schedule_blocks();
 
-        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
-        for sid in ids {
-            loop {
-                let (ctx, busy, has_cmd) = {
-                    let s = &self.streams[&sid];
-                    (s.ctx, s.busy, !s.queue.is_empty())
-                };
+        let mut remaining = self.ready.len();
+        while remaining > 0 {
+            remaining -= 1;
+            let Some(sid) = self.ready.pop_front() else {
+                break;
+            };
+            if let Some(s) = self.streams.get_mut(&sid) {
+                s.in_ready = false;
+            }
+            // Terminates when the stream vanishes (destroyed while
+            // queued), goes busy, drains, parks, or poisons.
+            while let Some(s) = self.streams.get(&sid) {
+                let (ctx, busy, has_cmd) = (s.ctx, s.busy, !s.queue.is_empty());
                 if busy || !has_cmd {
                     break;
                 }
@@ -612,6 +687,7 @@ impl Device {
                     match self.active_ctx {
                         Some(active) if active != ctx => {
                             if self.context_has_live_work(active) {
+                                self.park_blocked(sid);
                                 break; // wait for the active context
                             }
                             self.now += self.spec.context_switch_cycles;
@@ -628,6 +704,7 @@ impl Device {
                     if self.server_free > self.now {
                         let t = self.server_free;
                         self.push_event(t, EvKind::Wake);
+                        self.park_blocked(sid);
                         break;
                     }
                     self.server_free = self.now + self.dispatch_overhead;
@@ -635,11 +712,22 @@ impl Device {
                 if self.start_command(sid) {
                     progress = true;
                 } else {
-                    break; // resource busy; an event wake is queued
+                    // Resource busy; an event wake is queued.
+                    self.park_blocked(sid);
+                    break;
                 }
             }
         }
         progress
+    }
+
+    /// Park a stream until the next event frees a resource. The stream
+    /// keeps its `in_ready` mark so it cannot be double-queued.
+    fn park_blocked(&mut self, sid: StreamId) {
+        if let Some(s) = self.streams.get_mut(&sid) {
+            s.in_ready = true;
+            self.blocked.push(sid);
+        }
     }
 
     fn context_has_live_work(&self, ctx: CtxId) -> bool {
@@ -685,17 +773,23 @@ impl Device {
                     self.complete_command(sid);
                     return true;
                 }
-                let slot = self.running.len();
-                self.running.push(RunningKernel {
+                let rk = RunningKernel {
                     stream: sid,
                     name: func.kernel.name.clone(),
                     pending: outcome.block_cycles.iter().map(|c| (*c).max(1)).collect(),
                     in_flight: 0,
                     threads_per_block: cfg.threads_per_block().clamp(32, THREADS_PER_SM),
                     alive: true,
-                });
+                };
+                self.pending_blocks += rk.pending.len() as u64;
+                // Reuse a finished kernel's slot: all of its block-end
+                // events have fired (that is what finished means), so
+                // no queued event still refers to the index.
+                match self.free_slots.pop() {
+                    Some(slot) => self.running[slot] = rk,
+                    None => self.running.push(rk),
+                }
                 self.streams.get_mut(&sid).expect("known").busy = true;
-                let _ = slot;
                 self.schedule_blocks();
                 true
             }
@@ -783,6 +877,9 @@ impl Device {
     /// Fill free SM capacity with pending blocks (round-robin across
     /// running kernels — the leftover policy).
     fn schedule_blocks(&mut self) -> bool {
+        if self.pending_blocks == 0 {
+            return false; // everything already placed: O(1) on the common path
+        }
         let capacity = self.spec.num_sms as u64 * THREADS_PER_SM;
         let mut progress = false;
         loop {
@@ -800,6 +897,7 @@ impl Device {
                     rk.in_flight += 1;
                     (rk.threads_per_block, dur)
                 };
+                self.pending_blocks -= 1;
                 self.threads_in_use += threads;
                 let end = self.now + dur;
                 self.push_event(end, EvKind::BlockEnd { slot, threads });
@@ -829,6 +927,7 @@ impl Device {
                 if finished {
                     let sid = self.running[slot].stream;
                     self.running[slot].alive = false;
+                    self.free_slots.push(slot);
                     self.complete_busy_command(sid);
                 }
                 self.schedule_blocks();
@@ -847,8 +946,12 @@ impl Device {
         s.queue.pop_front();
         s.busy = false;
         s.last_done = self.now;
+        let more = !s.queue.is_empty();
         if let Some(c) = self.contexts.get_mut(&ctx) {
             c.finish_time = c.finish_time.max(self.now);
+        }
+        if more {
+            self.mark_ready(sid);
         }
     }
 
@@ -944,7 +1047,7 @@ $L_done:
                 module: module.clone(),
             },
             cfg,
-            params,
+            params: params.into(),
             guard: MemGuard::None,
         }
     }

@@ -50,7 +50,7 @@
 //! dev.enqueue(stream, Command::Launch {
 //!     func: CudaFunction { kernel: loaded.kernel("fill").unwrap(), module: loaded },
 //!     cfg: LaunchConfig::linear(1, 64),
-//!     params: buf.to_le_bytes().to_vec(),
+//!     params: buf.to_le_bytes().to_vec().into(),
 //!     guard: MemGuard::None,
 //! })?;
 //! dev.synchronize();
@@ -88,7 +88,7 @@ pub fn device_set(specs: Vec<GpuSpec>) -> Vec<Device> {
 pub use fault::Fault;
 pub use interp::{LaunchConfig, MemGuard};
 pub use spec::GpuSpec;
-pub use stream::{Command, CtxId, CudaFunction, Event, HostSink, StreamId};
+pub use stream::{Command, CtxId, CudaFunction, Event, HostSink, ParamBuf, ParamPool, StreamId};
 
 #[cfg(test)]
 mod proptests {

@@ -8,7 +8,7 @@ use crate::compile::{CompiledKernel, CompiledModule};
 use crate::interp::{LaunchConfig, MemGuard};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// Identifies a context on a device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -26,6 +26,112 @@ pub struct CudaFunction {
     pub kernel: Arc<CompiledKernel>,
     /// The module it was loaded from.
     pub module: Arc<CompiledModule>,
+}
+
+/// Most parameter buffers a [`ParamPool`] parks for reuse; beyond this
+/// the storage is simply dropped.
+const PARAM_POOL_CAP: usize = 128;
+
+/// Recycles kernel parameter buffers so a steady stream of launches stops
+/// allocating: enqueue takes a buffer from the pool, and when the command
+/// is dropped (after execution, or with its stream) the storage returns.
+#[derive(Debug, Default)]
+pub struct ParamPool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+}
+
+impl ParamPool {
+    /// Create an empty pool.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Take a cleared buffer (recycled when available), tied back to this
+    /// pool for return-on-drop.
+    pub fn take(self: &Arc<Self>) -> ParamBuf {
+        let data = self.bufs.lock().pop().unwrap_or_default();
+        ParamBuf {
+            data,
+            pool: Arc::downgrade(self),
+        }
+    }
+
+    fn put(&self, mut data: Vec<u8>) {
+        if data.capacity() == 0 {
+            return;
+        }
+        let mut bufs = self.bufs.lock();
+        if bufs.len() < PARAM_POOL_CAP {
+            data.clear();
+            bufs.push(data);
+        }
+    }
+}
+
+/// A kernel parameter buffer, optionally backed by a [`ParamPool`].
+/// Unpooled buffers (built with `From<Vec<u8>>`) behave exactly like the
+/// plain `Vec<u8>` they wrap.
+#[derive(Debug)]
+pub struct ParamBuf {
+    data: Vec<u8>,
+    pool: Weak<ParamPool>,
+}
+
+impl ParamBuf {
+    /// Mutable access to the underlying storage, for building the buffer
+    /// in place.
+    pub fn data_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.data
+    }
+}
+
+impl From<Vec<u8>> for ParamBuf {
+    fn from(data: Vec<u8>) -> Self {
+        ParamBuf {
+            data,
+            pool: Weak::new(),
+        }
+    }
+}
+
+impl std::ops::Deref for ParamBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for ParamBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Clone for ParamBuf {
+    fn clone(&self) -> Self {
+        // Pooled buffers clone *through* the pool, so the copy a device
+        // makes to execute a command is also allocation-free once warm.
+        match self.pool.upgrade() {
+            Some(pool) => {
+                let mut buf = pool.take();
+                buf.data.clear();
+                buf.data.extend_from_slice(&self.data);
+                buf
+            }
+            None => ParamBuf {
+                data: self.data.clone(),
+                pool: Weak::new(),
+            },
+        }
+    }
+}
+
+impl Drop for ParamBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.upgrade() {
+            pool.put(std::mem::take(&mut self.data));
+        }
+    }
 }
 
 /// A recordable timestamp (the `cudaEvent_t` analogue). The device stores
@@ -83,8 +189,8 @@ pub enum Command {
         func: CudaFunction,
         /// Grid/block geometry.
         cfg: LaunchConfig,
-        /// Flat parameter buffer.
-        params: Vec<u8>,
+        /// Flat parameter buffer (pooled on the manager's hot path).
+        params: ParamBuf,
         /// Memory-protection mode for this launch.
         guard: MemGuard,
     },
@@ -152,6 +258,9 @@ pub(crate) struct StreamState {
     pub busy: bool,
     /// Completion time of the most recently finished command.
     pub last_done: u64,
+    /// Whether the stream sits in the engine's ready/blocked queues
+    /// (dedup flag, so a stream is tracked at most once).
+    pub in_ready: bool,
 }
 
 impl StreamState {
@@ -161,6 +270,7 @@ impl StreamState {
             queue: VecDeque::new(),
             busy: false,
             last_done: 0,
+            in_ready: false,
         }
     }
 }
@@ -184,6 +294,27 @@ mod tests {
         s.put(vec![1, 2, 3]);
         assert_eq!(s.take(), vec![1, 2, 3]);
         assert!(s.take().is_empty());
+    }
+
+    #[test]
+    fn param_pool_recycles_storage_and_clones_through_the_pool() {
+        let pool = ParamPool::new();
+        let mut a = pool.take();
+        a.data_mut().extend_from_slice(&[1, 2, 3]);
+        let cap = a.data_mut().capacity();
+        let b = a.clone();
+        assert_eq!(&*b, &[1, 2, 3]);
+        drop(a);
+        // The recycled buffer comes back with its old storage.
+        let mut c = pool.take();
+        assert!(c.is_empty());
+        assert_eq!(c.data_mut().capacity(), cap);
+        drop(c);
+        drop(b);
+        // Unpooled buffers survive the pool's death.
+        drop(pool);
+        let d: ParamBuf = vec![9u8; 4].into();
+        assert_eq!(&*d, &[9, 9, 9, 9]);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Heap-allocation auditing for the dispatch hot path.
+//!
+//! The steady-state launch admission path (decode a `Launch` frame,
+//! resolve the kernel through the session cache, push a descriptor into
+//! the preallocated batch) is designed to perform **zero** heap
+//! allocations. This module lets a test binary prove that: the binary
+//! installs a counting `#[global_allocator]` that calls [`note_alloc`]
+//! on every `alloc`/`realloc`, arms the audit with [`arm`], and the
+//! session then `debug_assert!`s via [`assert_unchanged`] that no
+//! allocation happened between the frame's [`mark`] and admission.
+//!
+//! Outside an armed test binary every call is a no-op (a relaxed load
+//! of a false flag), and in release builds the assertion sites compile
+//! out entirely.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Global switch; off by default so production paths pay one relaxed
+/// load at most.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// Allocations observed on this thread since it started.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    /// Snapshot taken at the top of the current frame.
+    static MARK: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Turn auditing on or off. Only meaningful in binaries whose global
+/// allocator reports into [`note_alloc`].
+pub fn arm(on: bool) {
+    ARMED.store(on, Ordering::SeqCst);
+}
+
+/// Whether the audit is currently armed.
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Report one heap allocation on the calling thread. Called by a test
+/// binary's counting global allocator; must not itself allocate.
+pub fn note_alloc() {
+    ALLOCS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Allocations observed on the calling thread so far.
+pub fn count() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// Snapshot the allocation counter at the start of a frame.
+pub fn mark() {
+    if armed() {
+        MARK.with(|m| m.set(count()));
+    }
+}
+
+/// Assert (debug builds, armed binaries only) that no allocation
+/// happened since the last [`mark`] on this thread.
+pub fn assert_unchanged(what: &str) {
+    if armed() {
+        let delta = count().wrapping_sub(MARK.with(|m| m.get()));
+        debug_assert_eq!(
+            delta, 0,
+            "{what}: {delta} heap allocation(s) on the hot path"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_is_inert_and_armed_tracks_marks() {
+        // Not armed: mark/assert never fire regardless of counts.
+        arm(false);
+        note_alloc();
+        assert_unchanged("inert");
+
+        arm(true);
+        mark();
+        assert_unchanged("clean window");
+        let before = count();
+        note_alloc();
+        assert_eq!(count(), before + 1);
+        mark();
+        assert_unchanged("re-marked window");
+        arm(false);
+    }
+}

@@ -36,7 +36,7 @@ use crate::session::{self, SessionCtx, Step};
 use crate::transport::sys::{self, Epoll, OwnedFd};
 use crate::transport::Connection;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -48,9 +48,20 @@ const EV_FLAGS: u32 = sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLONESHOT;
 /// send) at this many, bounding per-cell memory on reply-heavy runs.
 const REPLY_FLUSH: usize = 64;
 
-/// Epoll data value reserved for the shutdown eventfd (cell ids start
-/// at 1).
+/// Epoll data value reserved for the shutdown eventfd. Cell ids start
+/// at 1 and are shifted left by two to carry the fd index, so every
+/// cell's data is ≥ 4 and can never collide with this.
 const SHUTDOWN_ID: u64 = 0;
+
+/// Bit in [`Cell::fired`] meaning "an fd beyond index 2 fired — re-arm
+/// everything". No current transport registers more than two fds.
+const FIRED_ALL: u32 = 1 << 3;
+
+/// Pack a cell id and an fd index into one epoll data word. Indexes
+/// saturate at 3, the [`FIRED_ALL`] sentinel.
+fn ev_data(cell_id: u64, idx: usize) -> u64 {
+    (cell_id << 2) | (idx.min(3) as u64)
+}
 
 struct CellState {
     conn: Box<dyn Connection>,
@@ -66,6 +77,13 @@ struct Cell {
     /// draining worker before each pump. A set flag after a drain means
     /// another event landed mid-drain: drain again.
     dirty: AtomicBool,
+    /// Bitmask of fd indexes whose `EPOLLONESHOT` delivery disarmed
+    /// them since the last re-arm. Set (with the index from the epoll
+    /// data word) *before* `dirty`, so the draining worker's re-arm
+    /// pass — `swap(0)` — is guaranteed to observe the bit of any
+    /// delivery it is responsible for re-arming. Only fired fds get an
+    /// `EPOLL_CTL_MOD` after a drain; quiet fds are still armed.
+    fired: AtomicU32,
     /// fds currently registered with the epoll instance for this cell.
     /// Re-queried from the connection after every drain: a shm session
     /// gains its doorbell fd when the deferred handshake completes.
@@ -139,6 +157,7 @@ impl EventPool {
             id,
             state: Mutex::new(Some(CellState { conn, ctx })),
             dirty: AtomicBool::new(false),
+            fired: AtomicU32::new(0),
             registered: Mutex::new(Vec::new()),
         });
         self.inner.cells.lock().unwrap().insert(id, cell.clone());
@@ -182,9 +201,9 @@ fn worker_loop(inner: &Arc<PoolInner>) {
         if inner.stop.load(Ordering::SeqCst) {
             return;
         }
-        for (_mask, id) in events {
-            if id != SHUTDOWN_ID {
-                handle_event(inner, id);
+        for (_mask, data) in events {
+            if data != SHUTDOWN_ID {
+                handle_event(inner, data);
             }
         }
     }
@@ -192,11 +211,16 @@ fn worker_loop(inner: &Arc<PoolInner>) {
 
 /// React to readiness on one cell: drain it if no other worker already
 /// is, looping until the cell is quiet *and* no wakeup landed mid-drain.
-fn handle_event(inner: &Arc<PoolInner>, id: u64) {
+fn handle_event(inner: &Arc<PoolInner>, data: u64) {
+    let (id, idx) = (data >> 2, (data & 3) as u32);
     let cell = match inner.cells.lock().unwrap().get(&id) {
         Some(c) => c.clone(),
         None => return, // already closed; stale event
     };
+    // Record which fd this delivery disarmed *before* raising `dirty`:
+    // whoever ends up draining re-checks `dirty` after re-arming, so a
+    // bit set before `dirty` is never stranded un-re-armed.
+    cell.fired.fetch_or(1 << idx, Ordering::SeqCst);
     cell.dirty.store(true, Ordering::SeqCst);
     loop {
         let Ok(mut guard) = cell.state.try_lock() else {
@@ -224,7 +248,7 @@ fn handle_event(inner: &Arc<PoolInner>, id: u64) {
             demote(inner, &cell, st);
             return;
         }
-        sync_registration(inner, &cell, &fds);
+        rearm_cell(inner, &cell, &fds);
         drop(guard);
         if !cell.dirty.load(Ordering::SeqCst) {
             return;
@@ -272,8 +296,42 @@ fn drain(st: &mut CellState) -> bool {
     if !replies.is_empty() && st.conn.send_batch(replies).is_err() {
         closed = true;
     }
+    // Launches admitted during this drain hit the device as one batch:
+    // one device-lock acquisition for the whole burst.
+    st.ctx.flush_pending();
     st.ctx.note_frames(frames);
     closed
+}
+
+/// Post-drain epoll maintenance. If the connection's fd set changed
+/// (shm handshake completed), fall back to a full [`sync_registration`].
+/// Otherwise re-arm **only** the fds whose `EPOLLONESHOT` actually
+/// delivered since the last re-arm — with frame batching, a drain that
+/// pumped dozens of frames typically re-arms a single fd instead of
+/// issuing an `epoll_ctl` per registered fd per drain.
+fn rearm_cell(inner: &PoolInner, cell: &Cell, fds: &[i32]) {
+    if *cell.registered.lock().unwrap() != *fds {
+        sync_registration(inner, cell, fds);
+        // Every fd was just armed; bits set concurrently refer to
+        // deliveries those arms already supersede.
+        cell.fired.store(0, Ordering::SeqCst);
+        return;
+    }
+    let fired = cell.fired.swap(0, Ordering::SeqCst);
+    if fired == 0 {
+        return;
+    }
+    if fired & FIRED_ALL != 0 {
+        for (i, fd) in fds.iter().enumerate() {
+            let _ = inner.epoll.rearm(*fd, EV_FLAGS, ev_data(cell.id, i));
+        }
+        return;
+    }
+    for (i, fd) in fds.iter().enumerate().take(3) {
+        if fired & (1 << i) != 0 {
+            let _ = inner.epoll.rearm(*fd, EV_FLAGS, ev_data(cell.id, i));
+        }
+    }
 }
 
 /// Bring the epoll registration in line with the connection's current
@@ -288,11 +346,11 @@ fn sync_registration(inner: &PoolInner, cell: &Cell, fds: &[i32]) {
             inner.epoll.del(*fd);
         }
     }
-    for fd in fds {
+    for (i, fd) in fds.iter().enumerate() {
         if reg.contains(fd) {
-            let _ = inner.epoll.rearm(*fd, EV_FLAGS, cell.id);
+            let _ = inner.epoll.rearm(*fd, EV_FLAGS, ev_data(cell.id, i));
         } else {
-            let _ = inner.epoll.add(*fd, EV_FLAGS, cell.id);
+            let _ = inner.epoll.add(*fd, EV_FLAGS, ev_data(cell.id, i));
         }
     }
     if *reg != fds {

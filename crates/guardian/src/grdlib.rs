@@ -542,7 +542,7 @@ impl CudaApi for GrdLib {
 
     fn register_fatbin(&mut self, fatbin: &[u8]) -> CudaResult<()> {
         self.call_unit(&Request::RegisterFatbin {
-            bytes: fatbin.to_vec(),
+            bytes: fatbin.to_vec().into(),
         })
     }
 

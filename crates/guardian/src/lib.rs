@@ -84,6 +84,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod alloc_audit;
 pub mod backends;
 pub mod control;
 mod exec;

@@ -33,7 +33,7 @@ use gpu_sim::stream::CudaFunction;
 use parking_lot::{Mutex, RwLock};
 use ptx_patcher::{fence, Protection};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -74,13 +74,6 @@ impl InterceptionStats {
     pub fn enqueue_cycles(&self) -> f64 {
         cycles(self.enqueue_ns, self.launches)
     }
-
-    fn add(&mut self, lookup_ns: u64, augment_ns: u64, enqueue_ns: u64) {
-        self.launches += 1;
-        self.lookup_ns += lookup_ns;
-        self.augment_ns += augment_ns;
-        self.enqueue_ns += enqueue_ns;
-    }
 }
 
 fn cycles(ns: u64, n: u64) -> f64 {
@@ -112,18 +105,81 @@ impl LaunchStats {
             enqueue_ns: self.runtime.enqueue_ns + self.driver.enqueue_ns,
         }
     }
+}
 
+/// One launch path's counters as lock-free atomics, so the hot path
+/// records with relaxed adds instead of a global mutex. Readers fold the
+/// fields into an [`InterceptionStats`] snapshot; the fields are updated
+/// independently, so a snapshot racing a record may be off by one
+/// in-flight launch — fine for statistics, free for the data plane.
+#[derive(Debug, Default)]
+struct PathStatsAtomic {
+    launches: AtomicU64,
+    lookup_ns: AtomicU64,
+    augment_ns: AtomicU64,
+    enqueue_ns: AtomicU64,
+}
+
+impl PathStatsAtomic {
+    fn add(&self, n: u64, lookup_ns: u64, augment_ns: u64, enqueue_ns: u64) {
+        self.launches.fetch_add(n, Ordering::Relaxed);
+        self.lookup_ns.fetch_add(lookup_ns, Ordering::Relaxed);
+        self.augment_ns.fetch_add(augment_ns, Ordering::Relaxed);
+        self.enqueue_ns.fetch_add(enqueue_ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> InterceptionStats {
+        InterceptionStats {
+            launches: self.launches.load(Ordering::Relaxed),
+            lookup_ns: self.lookup_ns.load(Ordering::Relaxed),
+            augment_ns: self.augment_ns.load(Ordering::Relaxed),
+            enqueue_ns: self.enqueue_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// [`LaunchStats`] as shared atomics (see [`PathStatsAtomic`]).
+#[derive(Debug, Default)]
+pub(crate) struct LaunchStatsAtomic {
+    runtime: PathStatsAtomic,
+    driver: PathStatsAtomic,
+}
+
+impl LaunchStatsAtomic {
     pub(crate) fn record(
-        &mut self,
+        &self,
         driver_level: bool,
         lookup_ns: u64,
         augment_ns: u64,
         enqueue_ns: u64,
     ) {
+        self.record_batch(driver_level, 1, lookup_ns, augment_ns, enqueue_ns);
+    }
+
+    /// Record `n` launches of one path in a single atomic round — the
+    /// per-batch form the deferred flush path uses.
+    pub(crate) fn record_batch(
+        &self,
+        driver_level: bool,
+        n: u64,
+        lookup_ns: u64,
+        augment_ns: u64,
+        enqueue_ns: u64,
+    ) {
+        if n == 0 {
+            return;
+        }
         if driver_level {
-            self.driver.add(lookup_ns, augment_ns, enqueue_ns);
+            self.driver.add(n, lookup_ns, augment_ns, enqueue_ns);
         } else {
-            self.runtime.add(lookup_ns, augment_ns, enqueue_ns);
+            self.runtime.add(n, lookup_ns, augment_ns, enqueue_ns);
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> LaunchStats {
+        LaunchStats {
+            runtime: self.runtime.snapshot(),
+            driver: self.driver.snapshot(),
         }
     }
 }
@@ -508,6 +564,12 @@ impl Control {
         let state = self.shared.clients.read().get(&client).cloned();
         let Some(state) = state else { return };
         let binding = state.binding.write();
+        // Invalidate session fast caches *before* the drain: a flush that
+        // acquires the device lock after our synchronize must observe the
+        // bump and fall back to the locked slow path (where the destroyed
+        // stream rejects stale enqueues); one that got the lock first has
+        // its commands drained right here, before the partition is freed.
+        state.epoch.fetch_add(1, Ordering::SeqCst);
         let b = *binding;
         self.shared.gpu(b.gpu).device.lock().synchronize();
         self.shared.reap_faults(b.gpu);
@@ -554,6 +616,11 @@ impl Control {
         if src.gpu == dst_gpu {
             return Ok(self.client_info(&state, &src));
         }
+        // Invalidate session fast caches before the drain (same ordering
+        // argument as in [`Control::teardown`]): any flush serialized
+        // after our synchronize re-reads the binding and lands on the
+        // destination.
+        state.epoch.fetch_add(1, Ordering::SeqCst);
 
         // (2) Drain and reap the source. reap_faults matches on the
         // lock-free tags, not the binding lock we hold.
@@ -787,6 +854,7 @@ impl Control {
         let state = Arc::new(ClientShared {
             id,
             dead: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
             sticky: Mutex::new(None),
             heap: Mutex::new(RegionAllocator::new(partition)),
             events: Mutex::new(EventTable {
@@ -860,6 +928,11 @@ impl Control {
                     );
                 }
             }
+            drop(kernels);
+            // Registry changed: sessions drop their resolved-kernel
+            // caches on the next launch (a re-registered name must not
+            // keep serving the old module).
+            g.kernels_gen.fetch_add(1, Ordering::Release);
         }
         Ok(())
     }
@@ -1262,6 +1335,7 @@ pub fn spawn_manager_multi(
             device: device.clone(),
             ctx,
             kernels: RwLock::new(KernelTable::default()),
+            kernels_gen: AtomicU64::new(0),
             fault_cursor: Mutex::new(0),
         });
         pools.push(PartitionAllocator::new(pool_base, pool_bytes));
@@ -1273,7 +1347,7 @@ pub fn spawn_manager_multi(
         dispatch: config.dispatch,
         launch_ack: config.launch_ack,
         clients: RwLock::new(HashMap::new()),
-        stats: Mutex::new(LaunchStats::default()),
+        stats: LaunchStatsAtomic::default(),
         serial_gate: Mutex::new(()),
         inflight: AtomicU32::new(0),
         max_inflight: AtomicU32::new(0),

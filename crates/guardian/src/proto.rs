@@ -18,10 +18,118 @@
 
 use crate::manager::{InterceptionStats, LaunchStats};
 use crate::placement::{Affinity, PlacementHint};
+use crate::transport::frame::FrameView;
 use bytes::BufMut;
 use cuda_rt::{CudaError, DevicePtr};
 use gpu_sim::LaunchConfig;
 use std::fmt;
+
+/// A byte payload inside a decoded [`Request`].
+///
+/// Backed by a refcounted [`FrameView`]: [`Request::decode_view`] makes
+/// payloads *borrow* the receive buffer (zero-copy — a launch's argument
+/// bytes are never duplicated between socket and device queue), while
+/// plain [`Request::decode`] and the `From<Vec<u8>>` construction path
+/// own their bytes through the same representation. Equality is by byte
+/// content, so `Request` round-trips compare naturally in tests.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Payload(FrameView);
+
+impl Payload {
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Recover owned bytes (zero-copy when the payload solely owns its
+    /// backing block).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.0.into_vec()
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload(FrameView::from(v))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        Payload(FrameView::from(v.to_vec()))
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({} bytes)", self.len())
+    }
+}
+
+/// A guaranteed-UTF-8 string field inside a decoded [`Request`] (kernel
+/// symbol names). Same zero-copy backing as [`Payload`], so decoding a
+/// `Launch` frame allocates no `String`; validation happens once at
+/// decode time and `Deref<Target = str>` is free thereafter.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Symbol(FrameView);
+
+impl Symbol {
+    /// The symbol text.
+    pub fn as_str(&self) -> &str {
+        // UTF-8 was validated when the Symbol was constructed.
+        unsafe { std::str::from_utf8_unchecked(&self.0) }
+    }
+}
+
+impl std::ops::Deref for Symbol {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol(FrameView::from(s.as_bytes().to_vec()))
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol(FrameView::from(s.into_bytes()))
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Wire-format version this build emits. Version 2 added multi-GPU
 /// routing: an optional [`PlacementHint`] on `Connect`, a device index in
@@ -59,7 +167,7 @@ pub enum Request {
     /// inside it (§4.2.3).
     RegisterFatbin {
         /// Raw fatbin container bytes.
-        bytes: Vec<u8>,
+        bytes: Payload,
     },
     /// Register one PTX translation unit (`cuModuleLoadData`).
     RegisterPtx {
@@ -92,7 +200,7 @@ pub enum Request {
         /// Destination device address.
         dst: DevicePtr,
         /// Bytes to write.
-        data: Vec<u8>,
+        data: Payload,
     },
     /// Host-to-device copy, **one-way** (v2): no frame comes back. Used
     /// by deferred-launch clients for small payloads so copies batch
@@ -102,7 +210,7 @@ pub enum Request {
         /// Destination device address.
         dst: DevicePtr,
         /// Bytes to write.
-        data: Vec<u8>,
+        data: Payload,
     },
     /// Device-to-host copy; the payload travels back in the response.
     MemcpyD2H {
@@ -124,11 +232,11 @@ pub enum Request {
     /// sandboxed twin and appends the partition bounds (§4.2.3).
     Launch {
         /// Kernel symbol name.
-        kernel: String,
+        kernel: Symbol,
         /// Grid/block geometry.
         cfg: LaunchConfig,
         /// Flat argument buffer in driver layout.
-        args: Vec<u8>,
+        args: Payload,
         /// `true` for `cuLaunchKernel`, `false` for `cudaLaunchKernel`;
         /// the manager accounts the two interception paths separately
         /// (Table 5).
@@ -645,6 +753,35 @@ impl<'a> Reader<'a> {
         Ok(self.take(len)?.to_vec())
     }
 
+    /// The byte span of the next blob within the frame (consuming it).
+    fn blob_range(&mut self) -> Result<std::ops::Range<usize>, ProtoError> {
+        let len = usize::try_from(self.u64()?).map_err(|_| ProtoError::Truncated)?;
+        let start = self.pos;
+        self.take(len)?;
+        Ok(start..self.pos)
+    }
+
+    /// A blob as a [`Payload`]: a zero-copy sub-view when `src` is the
+    /// frame's backing view, an owned copy otherwise.
+    fn payload(&mut self, src: Option<&FrameView>) -> Result<Payload, ProtoError> {
+        let range = self.blob_range()?;
+        Ok(Payload(match src {
+            Some(view) => view.slice(range),
+            None => FrameView::from(self.buf[range].to_vec()),
+        }))
+    }
+
+    /// A blob as a [`Symbol`]: UTF-8 validated in place, zero-copy when
+    /// `src` is the frame's backing view.
+    fn symbol(&mut self, src: Option<&FrameView>) -> Result<Symbol, ProtoError> {
+        let range = self.blob_range()?;
+        std::str::from_utf8(&self.buf[range.clone()]).map_err(|_| ProtoError::BadUtf8)?;
+        Ok(Symbol(match src {
+            Some(view) => view.slice(range),
+            None => FrameView::from(self.buf[range].to_vec()),
+        }))
+    }
+
     fn string(&mut self) -> Result<String, ProtoError> {
         String::from_utf8(self.blob()?).map_err(|_| ProtoError::BadUtf8)
     }
@@ -889,6 +1026,22 @@ impl Request {
     /// [`ProtoError`] on truncation, version/opcode mismatch, bad UTF-8,
     /// or trailing bytes. Never panics on malformed input.
     pub fn decode(frame: &[u8]) -> Result<Self, ProtoError> {
+        Self::decode_with(frame, None)
+    }
+
+    /// Decode a received [`FrameView`] **zero-copy**: the `bytes`/`data`/
+    /// `args`/`kernel` fields of the decoded request are refcounted
+    /// sub-views of `frame` — no payload bytes are duplicated. Produces
+    /// exactly the value [`Request::decode`] would for the same bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::decode`].
+    pub fn decode_view(frame: &FrameView) -> Result<Self, ProtoError> {
+        Self::decode_with(frame, Some(frame))
+    }
+
+    fn decode_with(frame: &[u8], src: Option<&FrameView>) -> Result<Self, ProtoError> {
         let (version, opcode, mut r) = open_frame(frame)?;
         let req = match opcode {
             REQ_CONNECT => Request::Connect {
@@ -897,7 +1050,9 @@ impl Request {
                 hint: if version >= 2 { r.hint()? } else { None },
             },
             REQ_DISCONNECT => Request::Disconnect,
-            REQ_REGISTER_FATBIN => Request::RegisterFatbin { bytes: r.blob()? },
+            REQ_REGISTER_FATBIN => Request::RegisterFatbin {
+                bytes: r.payload(src)?,
+            },
             REQ_REGISTER_PTX => Request::RegisterPtx {
                 name: r.string()?,
                 text: r.string()?,
@@ -911,11 +1066,11 @@ impl Request {
             },
             REQ_MEMCPY_H2D => Request::MemcpyH2D {
                 dst: r.u64()?,
-                data: r.blob()?,
+                data: r.payload(src)?,
             },
             REQ_MEMCPY_H2D_ASYNC => Request::MemcpyH2DAsync {
                 dst: r.u64()?,
-                data: r.blob()?,
+                data: r.payload(src)?,
             },
             REQ_MEMCPY_D2H => Request::MemcpyD2H {
                 src: r.u64()?,
@@ -927,9 +1082,9 @@ impl Request {
                 len: r.u64()?,
             },
             REQ_LAUNCH => Request::Launch {
-                kernel: r.string()?,
+                kernel: r.symbol(src)?,
                 cfg: r.cfg()?,
-                args: r.blob()?,
+                args: r.payload(src)?,
                 driver_level: r.u8()? != 0,
             },
             REQ_SYNC => Request::Sync,
@@ -1266,9 +1421,11 @@ mod tests {
                 }),
             },
             Request::Disconnect,
-            Request::RegisterFatbin { bytes: vec![] },
             Request::RegisterFatbin {
-                bytes: vec![0xFF; 1024],
+                bytes: vec![].into(),
+            },
+            Request::RegisterFatbin {
+                bytes: vec![0xFF; 1024].into(),
             },
             Request::RegisterPtx {
                 name: String::new(),
@@ -1283,11 +1440,11 @@ mod tests {
             },
             Request::MemcpyH2D {
                 dst: 7,
-                data: vec![1, 2, 3],
+                data: vec![1, 2, 3].into(),
             },
             Request::MemcpyH2DAsync {
                 dst: u64::MAX,
-                data: vec![],
+                data: vec![].into(),
             },
             Request::MemcpyD2H { src: 9, len: 4096 },
             Request::MemcpyD2D {
@@ -1301,7 +1458,7 @@ mod tests {
                     grid: (1, 2, 3),
                     block: (4, 5, 6),
                 },
-                args: vec![0u8; 64],
+                args: vec![0u8; 64].into(),
                 driver_level: true,
             },
             Request::Sync,
@@ -1398,7 +1555,7 @@ mod tests {
         let owned = Request::Launch {
             kernel: "gemm".into(),
             cfg,
-            args: vec![7u8; 48],
+            args: vec![7u8; 48].into(),
             driver_level: true,
         };
         assert_eq!(
@@ -1407,12 +1564,12 @@ mod tests {
         );
         let owned = Request::MemcpyH2D {
             dst: 0xABCD,
-            data: vec![1, 2, 3],
+            data: vec![1, 2, 3].into(),
         };
         assert_eq!(owned.encode(), encode_memcpy_h2d(0xABCD, &[1, 2, 3]));
         let owned = Request::MemcpyH2DAsync {
             dst: 0xABCD,
-            data: vec![1, 2, 3],
+            data: vec![1, 2, 3].into(),
         };
         assert_eq!(owned.encode(), encode_memcpy_h2d_async(0xABCD, &[1, 2, 3]));
     }
@@ -1744,7 +1901,9 @@ mod proptests {
                 .boxed(),
             Just(Request::Disconnect).boxed(),
             arb_blob()
-                .prop_map(|bytes| Request::RegisterFatbin { bytes })
+                .prop_map(|bytes: Vec<u8>| Request::RegisterFatbin {
+                    bytes: bytes.into()
+                })
                 .boxed(),
             (arb_string(), arb_string())
                 .prop_map(|(name, text)| Request::RegisterPtx { name, text })
@@ -1757,10 +1916,16 @@ mod proptests {
                 .prop_map(|(dst, byte, len)| Request::Memset { dst, byte, len })
                 .boxed(),
             (any::<u64>(), arb_blob())
-                .prop_map(|(dst, data)| Request::MemcpyH2D { dst, data })
+                .prop_map(|(dst, data): (u64, Vec<u8>)| Request::MemcpyH2D {
+                    dst,
+                    data: data.into()
+                })
                 .boxed(),
             (any::<u64>(), arb_blob())
-                .prop_map(|(dst, data)| Request::MemcpyH2DAsync { dst, data })
+                .prop_map(|(dst, data): (u64, Vec<u8>)| Request::MemcpyH2DAsync {
+                    dst,
+                    data: data.into()
+                })
                 .boxed(),
             (any::<u64>(), any::<u64>())
                 .prop_map(|(src, len)| Request::MemcpyD2H { src, len })
@@ -1770,9 +1935,9 @@ mod proptests {
                 .boxed(),
             (arb_string(), arb_cfg(), arb_blob(), any::<bool>())
                 .prop_map(|(kernel, cfg, args, driver_level)| Request::Launch {
-                    kernel,
+                    kernel: kernel.into(),
                     cfg,
-                    args,
+                    args: args.into(),
                     driver_level,
                 })
                 .boxed(),

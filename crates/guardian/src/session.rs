@@ -19,19 +19,20 @@
 use crate::alloc::{Partition, RegionAllocator};
 use crate::control::TenantCounters;
 use crate::manager::{
-    ctrl_call, CtrlMsg, CtrlOp, CtrlOut, DispatchMode, LaunchAck, LaunchStats, SessionDriver,
+    ctrl_call, CtrlMsg, CtrlOp, CtrlOut, DispatchMode, LaunchAck, LaunchStatsAtomic, SessionDriver,
 };
-use crate::proto::{ConnectInfo, Request, Response, StatsSnapshot};
+use crate::proto::{ConnectInfo, Payload, Request, Response, StatsSnapshot, Symbol};
+use crate::transport::frame::FrameView;
 use crate::transport::{Connection, Listener};
 use crate::ClientId;
 use crossbeam::channel::Sender;
 use cuda_rt::{CudaError, CudaResult, SharedDevice};
-use gpu_sim::stream::CudaFunction;
+use gpu_sim::stream::{CudaFunction, ParamBuf, ParamPool};
 use gpu_sim::{Command, CtxId, Event, HostSink, LaunchConfig, MemGuard, StreamId};
 use parking_lot::{Mutex, RwLock};
 use ptx_patcher::Protection;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -63,6 +64,10 @@ pub(crate) struct GpuShared {
     pub device: SharedDevice,
     pub ctx: CtxId,
     pub kernels: RwLock<KernelTable>,
+    /// Bumped on every registry write; session-side kernel caches
+    /// compare against it so a re-registered name is never served from
+    /// a stale resolved handle.
+    pub kernels_gen: AtomicU64,
     /// How far into this device's fault log reaping has progressed.
     pub fault_cursor: Mutex<usize>,
 }
@@ -85,6 +90,14 @@ pub(crate) struct ClientShared {
     pub id: ClientId,
     /// Set when Guardian terminates the client after OOB detection.
     pub dead: AtomicBool,
+    /// Bumped by the control thread (under the binding write lock,
+    /// *before* it drains the device) whenever this tenant's placement
+    /// is about to change — migration or teardown. Sessions cache the
+    /// binding and resolved kernels under the epoch they read, and
+    /// re-validate it under the device lock at flush, so the steady
+    /// state skips `binding.read()` entirely without weakening the
+    /// migration barrier.
+    pub epoch: AtomicU64,
     /// Deferred-mode launch error, surfaced at the next `Sync`.
     pub sticky: Mutex<Option<CudaError>>,
     pub heap: Mutex<RegionAllocator>,
@@ -125,7 +138,7 @@ pub(crate) struct Shared {
     pub dispatch: DispatchMode,
     pub launch_ack: LaunchAck,
     pub clients: RwLock<HashMap<ClientId, Arc<ClientShared>>>,
-    pub stats: Mutex<LaunchStats>,
+    pub stats: LaunchStatsAtomic,
     /// Serializes data-plane ops under [`DispatchMode::Serial`].
     pub serial_gate: Mutex<()>,
     /// Data-plane ops currently executing, and the high-water mark — the
@@ -197,6 +210,35 @@ pub(crate) enum Step {
     ReplyThenClose(Vec<u8>),
 }
 
+/// Launch descriptors admitted but not yet enqueued are flushed at this
+/// many, bounding per-session memory and device-queue burstiness.
+const LAUNCH_BUF: usize = 64;
+
+/// One admitted-but-unflushed launch: the resolved kernel handle, the
+/// geometry, and the raw (unaugmented) argument bytes — still a zero-copy
+/// view into the receive buffer. Partition bounds are applied at flush,
+/// under the epoch-validated binding.
+struct LaunchItem {
+    func: CudaFunction,
+    cfg: LaunchConfig,
+    args: Payload,
+    driver_level: bool,
+}
+
+/// A session's epoch-validated snapshot of its tenant's placement and the
+/// kernels it has resolved on that placement's device. Valid exactly
+/// while `ClientShared::epoch` still equals `epoch` — the control thread
+/// bumps it under the binding write lock before any migration/teardown
+/// drain, so steady-state launches skip `binding.read()` and
+/// `kernels.read()` entirely.
+struct FastCache {
+    epoch: u64,
+    /// The device registry generation `funcs` was resolved against.
+    kgen: u64,
+    binding: Binding,
+    funcs: HashMap<String, CudaFunction>,
+}
+
 /// A session as a transport-agnostic state machine: everything one
 /// tenant's server side *is*, minus the connection it is fed from. The
 /// thread-per-session loop ([`run_session`]) and the epoll executor
@@ -209,15 +251,37 @@ pub(crate) struct SessionCtx {
     /// sockets; our own uid in-process) — the quota identity a Connect
     /// on this session is admitted under.
     uid: u32,
+    /// See [`FastCache`]; populated on the first buffered launch.
+    cache: Option<FastCache>,
+    /// Launches admitted but not yet enqueued (deferred+concurrent only).
+    pending: Vec<LaunchItem>,
+    /// Recycles kernel parameter buffers across flushes.
+    params: Arc<ParamPool>,
+    /// Augmented parameter buffers staged during one flush (storage
+    /// reused across flushes).
+    staged: Vec<ParamBuf>,
+    /// Whether this manager's configuration admits launch buffering:
+    /// deferred acks (no per-launch reply), concurrent dispatch (the
+    /// serial gate must see one op at a time), and no standalone-native
+    /// switching (its kernel choice depends on the live client count).
+    buffering: bool,
 }
 
 impl SessionCtx {
     pub(crate) fn new(shared: Arc<Shared>, ctrl: Sender<CtrlMsg>, uid: u32) -> Self {
+        let buffering = shared.launch_ack == LaunchAck::Deferred
+            && shared.dispatch == DispatchMode::Concurrent
+            && !(shared.native_when_standalone && shared.protection != Protection::None);
         SessionCtx {
             shared,
             ctrl,
             client: None,
             uid,
+            cache: None,
+            pending: Vec::with_capacity(if buffering { LAUNCH_BUF } else { 0 }),
+            params: ParamPool::new(),
+            staged: Vec::new(),
+            buffering,
         }
     }
 
@@ -232,16 +296,20 @@ impl SessionCtx {
         }
     }
 
-    /// Decode and execute one frame.
-    pub(crate) fn handle_frame(&mut self, frame: &[u8]) -> Step {
-        let req = match Request::decode(frame) {
+    /// Decode and execute one frame. The decode borrows payloads from
+    /// the frame's backing block, so bulk bytes (H2D data, launch args)
+    /// are never copied on the way in.
+    pub(crate) fn handle_frame(&mut self, frame: &FrameView) -> Step {
+        #[cfg(debug_assertions)]
+        crate::alloc_audit::mark();
+        let req = match Request::decode_view(frame) {
             Ok(req) => req,
             Err(e) => {
                 let resp = Response::Error(CudaError::Rejected(format!("malformed frame: {e}")));
                 return Step::ReplyThenClose(resp.encode());
             }
         };
-        match dispatch(req, &mut self.client, &self.shared, &self.ctrl, self.uid) {
+        match dispatch(req, self) {
             Some(resp) => Step::Reply(resp.encode()),
             None => Step::None,
         }
@@ -251,10 +319,286 @@ impl SessionCtx {
     /// when the connection drops, so crashed tenants cannot leak
     /// partitions. Idempotent.
     pub(crate) fn finish(&mut self) {
+        self.flush_pending();
         if let Some(c) = self.client.take() {
             let _ = ctrl_call(&self.ctrl, CtrlOp::Disconnect { client: c.id });
         }
     }
+
+    /// (Re)snapshot the tenant's binding and epoch under a brief read
+    /// lock. Loading the epoch while the read lock is held pins the
+    /// pair: no writer is active, so the epoch matches the binding.
+    fn rebuild_cache(&mut self, c: &ClientShared) {
+        let guard = c.binding.read();
+        let binding = *guard;
+        let epoch = c.epoch.load(Ordering::SeqCst);
+        drop(guard);
+        // Reuse the map's storage; `kgen: MAX` forces re-resolution
+        // against the (possibly different) device's registry.
+        let funcs = self
+            .cache
+            .take()
+            .map(|f| {
+                let mut m = f.funcs;
+                m.clear();
+                m
+            })
+            .unwrap_or_default();
+        self.cache = Some(FastCache {
+            epoch,
+            kgen: u64::MAX,
+            binding,
+            funcs,
+        });
+    }
+
+    /// Admit one launch onto the buffered hot path: resolve the kernel
+    /// through the epoch-validated cache and queue a descriptor; the
+    /// device is only touched at the next flush. Steady state this takes
+    /// no locks (two relaxed-ish atomic loads) and no heap allocations.
+    fn buffer_launch(
+        &mut self,
+        c: &Arc<ClientShared>,
+        kernel: Symbol,
+        cfg: LaunchConfig,
+        args: Payload,
+        driver_level: bool,
+    ) {
+        if let Err(e) = Shared::check_alive(c) {
+            stick(c, e);
+            return;
+        }
+        let mut warm = true;
+        let epoch = c.epoch.load(Ordering::SeqCst);
+        if self.cache.as_ref().map(|f| f.epoch) != Some(epoch) {
+            warm = false;
+            self.rebuild_cache(c);
+        }
+        let cache = self.cache.as_mut().expect("cache just built");
+        let g = &self.shared.gpus[cache.binding.gpu as usize];
+        let kgen = g.kernels_gen.load(Ordering::Acquire);
+        if cache.kgen != kgen {
+            cache.funcs.clear();
+            cache.kgen = kgen;
+            warm = false;
+        }
+        let func = match cache.funcs.get(kernel.as_str()) {
+            Some(f) => f.clone(),
+            None => {
+                warm = false;
+                match resolve_func(&self.shared, g, kernel.as_str()) {
+                    Some(f) => {
+                        cache.funcs.insert(kernel.as_str().to_string(), f.clone());
+                        f
+                    }
+                    None => {
+                        stick(
+                            c,
+                            CudaError::InvalidDeviceFunction(kernel.as_str().to_string()),
+                        );
+                        return;
+                    }
+                }
+            }
+        };
+        // The op counts as in flight from admission until its flush —
+        // that window is the pipelining depth the concurrency high-water
+        // mark witnesses.
+        let now = self.shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        self.shared.max_inflight.fetch_max(now, Ordering::SeqCst);
+        self.pending.push(LaunchItem {
+            func,
+            cfg,
+            args,
+            driver_level,
+        });
+        // The steady state (warm cache, buffer below its preallocated
+        // cap) must not touch the heap; armed by the stress tests'
+        // counting allocator.
+        #[cfg(debug_assertions)]
+        if warm {
+            crate::alloc_audit::assert_unchanged("steady-state launch admission");
+        }
+        let _ = warm;
+        if self.pending.len() >= LAUNCH_BUF {
+            self.flush_pending();
+        }
+    }
+
+    /// Enqueue every buffered launch under **one** device-lock
+    /// acquisition, re-validating the cached binding under that lock.
+    /// Errors stick to the tenant (buffering only happens under deferred
+    /// acks, where CUDA's asynchronous error model applies).
+    pub(crate) fn flush_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let n = self.pending.len() as u32;
+        let r = match self.client.clone() {
+            Some(c) => {
+                let r = self.flush_inner(&c);
+                if let Err(e) = r {
+                    stick(&c, e);
+                }
+                Ok(())
+            }
+            None => Ok(()),
+        };
+        let _: CudaResult<()> = r;
+        self.shared.inflight.fetch_sub(n, Ordering::SeqCst);
+        self.pending.clear();
+        self.staged.clear();
+    }
+
+    fn flush_inner(&mut self, c: &Arc<ClientShared>) -> CudaResult<()> {
+        loop {
+            Shared::check_alive(c)?;
+            let cache = self.cache.as_ref().expect("pending implies cache");
+            let (epoch, b) = (cache.epoch, cache.binding);
+            let g = &self.shared.gpus[b.gpu as usize];
+
+            // (2) Augment every parameter array with the partition
+            // bounds, outside the device lock (pure CPU work; Table 5
+            // "Augment kernel params", amortized over the batch).
+            let t0 = Instant::now();
+            self.staged.clear();
+            for item in &self.pending {
+                self.staged
+                    .push(build_params(&self.shared, &self.params, b.partition, item));
+            }
+            let augment_ns = t0.elapsed().as_nanos() as u64;
+
+            // (3) One lock, whole batch (Table 5 "Launch kernel").
+            let t1 = Instant::now();
+            let mut dev = g.device.lock();
+            if c.epoch.load(Ordering::SeqCst) != epoch {
+                // Placement changed after the params were built. The
+                // device mutex orders us against the migration/teardown
+                // drain, so re-snapshot and re-resolve on the (possibly
+                // new) device, then try again.
+                drop(dev);
+                self.rebuild_cache(c);
+                self.re_resolve_pending()?;
+                continue;
+            }
+            let mut first_err: CudaResult<()> = Ok(());
+            let mut ok: u64 = 0;
+            for (item, params) in self.pending.iter().zip(self.staged.drain(..)) {
+                match dev.enqueue(
+                    b.stream,
+                    Command::Launch {
+                        func: item.func.clone(),
+                        cfg: item.cfg,
+                        params,
+                        guard: MemGuard::None,
+                    },
+                ) {
+                    Ok(()) => ok += 1,
+                    Err(e) => {
+                        if first_err.is_ok() {
+                            first_err = Err(e.into());
+                        }
+                    }
+                }
+            }
+            drop(dev);
+            let enqueue_ns = t1.elapsed().as_nanos() as u64;
+
+            // One atomic round per batch; cache hits make the lookup
+            // cost ~0, and the shared ns totals are attributed to the
+            // two API levels by launch count.
+            let n = self.pending.len() as u64;
+            let drv = self.pending.iter().filter(|i| i.driver_level).count() as u64;
+            let rt = n - drv;
+            self.shared
+                .stats
+                .record_batch(false, rt, 0, augment_ns * rt / n, enqueue_ns * rt / n);
+            self.shared.stats.record_batch(
+                true,
+                drv,
+                0,
+                augment_ns * drv / n,
+                enqueue_ns * drv / n,
+            );
+            c.counters.launches.fetch_add(ok, Ordering::Relaxed);
+            return first_err;
+        }
+    }
+
+    /// After a migration invalidated the cache, the buffered handles
+    /// still point at the source GPU's modules: resolve each kernel by
+    /// name on the new device before retrying the flush.
+    fn re_resolve_pending(&mut self) -> CudaResult<()> {
+        let cache = self.cache.as_mut().expect("cache rebuilt");
+        let g = &self.shared.gpus[cache.binding.gpu as usize];
+        cache.kgen = g.kernels_gen.load(Ordering::Acquire);
+        cache.funcs.clear();
+        let ks = g.kernels.read();
+        let native = self.shared.protection == Protection::None;
+        for item in &mut self.pending {
+            let name = item.func.kernel.name.as_str();
+            let f = if native {
+                ks.native.get(name)
+            } else {
+                ks.pointer_to_symbol.get(name)
+            };
+            match f {
+                Some(f) => item.func = f.clone(),
+                None => return Err(CudaError::InvalidDeviceFunction(name.to_string())),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Record a deferred-path error against the tenant; it surfaces at the
+/// next `Sync` (CUDA's asynchronous error model).
+fn stick(c: &ClientShared, e: CudaError) {
+    let mut sticky = c.sticky.lock();
+    sticky.get_or_insert(e);
+}
+
+/// Resolve a kernel in the device's read-mostly registry (the slow path
+/// behind the session cache).
+fn resolve_func(shared: &Shared, g: &GpuShared, kernel: &str) -> Option<CudaFunction> {
+    let ks = g.kernels.read();
+    if shared.protection == Protection::None {
+        ks.native.get(kernel).cloned()
+    } else {
+        ks.pointer_to_symbol.get(kernel).cloned()
+    }
+}
+
+/// Build one launch's augmented parameter array from a pooled buffer.
+fn build_params(
+    shared: &Shared,
+    pool: &Arc<ParamPool>,
+    part: Partition,
+    item: &LaunchItem,
+) -> ParamBuf {
+    let mut buf = pool.take();
+    let data = buf.data_mut();
+    if shared.protection == Protection::None {
+        data.extend_from_slice(&item.args);
+        return buf;
+    }
+    let psize = item.func.kernel.param_size;
+    data.resize(psize, 0);
+    let n = item.args.len().min(psize);
+    data[..n].copy_from_slice(&item.args[..n]);
+    let nparams = item.func.kernel.params.len();
+    debug_assert!(nparams >= 2, "patched kernels carry 2 extra params");
+    let (_, _, base_off) = item.func.kernel.params[nparams - 2];
+    let (_, _, bound_off) = item.func.kernel.params[nparams - 1];
+    let bound = match shared.protection {
+        Protection::FenceBitwise => part.mask(),
+        Protection::FenceModulo => part.size,
+        Protection::Check => part.end(),
+        Protection::None => 0,
+    };
+    data[base_off as usize..base_off as usize + 8].copy_from_slice(&part.base.to_le_bytes());
+    data[bound_off as usize..bound_off as usize + 8].copy_from_slice(&bound.to_le_bytes());
+    buf
 }
 
 /// Spawn the acceptor thread: accepts connections for the listener's
@@ -322,7 +666,13 @@ pub(crate) fn spawn_acceptor(
 pub(crate) fn run_session(conn: Box<dyn Connection>, mut ctx: SessionCtx) {
     while let Ok(frame) = conn.recv() {
         ctx.note_frames(1);
-        match ctx.handle_frame(&frame) {
+        let frame = FrameView::from(frame);
+        let step = ctx.handle_frame(&frame);
+        // The blocking transport has no "more input queued" signal, so
+        // a thread-per-session server flushes after every frame — the
+        // batching win comes from the event-driven executor's drains.
+        ctx.flush_pending();
+        match step {
             Step::Reply(r) => {
                 if conn.send(r).is_err() {
                     break;
@@ -354,13 +704,18 @@ macro_rules! require {
 /// Takes the request by value so bulk payloads (H2D data, fatbins, PTX
 /// text) move to their destination instead of being cloned on the hot
 /// path.
-fn dispatch(
-    req: Request,
-    client: &mut Option<Arc<ClientShared>>,
-    shared: &Arc<Shared>,
-    ctrl: &Sender<CtrlMsg>,
-    uid: u32,
-) -> Option<Response> {
+fn dispatch(req: Request, ctx: &mut SessionCtx) -> Option<Response> {
+    // Any non-Launch request is an ordering point: buffered launches
+    // must reach the device before e.g. a Sync or D2H copy observes it.
+    if !ctx.pending.is_empty() && !matches!(req, Request::Launch { .. }) {
+        ctx.flush_pending();
+    }
+    let shared = ctx.shared.clone();
+    let ctrl = ctx.ctrl.clone();
+    let uid = ctx.uid;
+    let client = &mut ctx.client;
+    let shared = &shared;
+    let ctrl = &ctrl;
     match req {
         // ---- control plane: forwarded to the serialized manager -------
         Request::Connect {
@@ -441,7 +796,7 @@ fn dispatch(
                 ctrl,
                 CtrlOp::RegisterFatbin {
                     client: c.id,
-                    bytes,
+                    bytes: bytes.into_vec(),
                 },
             )))
         }
@@ -537,6 +892,12 @@ fn dispatch(
                     LaunchAck::Deferred => None,
                 };
             };
+            if ctx.buffering {
+                // Hot path: admit into the session-local batch without
+                // touching the binding lock, kernel registry, or device.
+                ctx.buffer_launch(&c, kernel, cfg, args, driver_level);
+                return None;
+            }
             let r = with_dispatch(shared, || {
                 launch(shared, &c, &kernel, cfg, &args, driver_level)
             });
@@ -590,7 +951,7 @@ fn dispatch(
             Some(Response::Cycles(shared.gpu(gpu).device.lock().now()))
         }
         Request::Stats => Some(Response::Stats(StatsSnapshot {
-            launch: *shared.stats.lock(),
+            launch: shared.stats.snapshot(),
             max_concurrent_data_ops: shared.max_inflight.load(Ordering::SeqCst),
         })),
     }
@@ -683,11 +1044,18 @@ fn memset(shared: &Shared, c: &ClientShared, dst: u64, byte: u8, len: u64) -> Cu
     enqueue_and_sync(shared, &b, Command::Memset { dst, byte, len })
 }
 
-fn memcpy_h2d(shared: &Shared, c: &ClientShared, dst: u64, data: Vec<u8>) -> CudaResult<()> {
+fn memcpy_h2d(shared: &Shared, c: &ClientShared, dst: u64, data: Payload) -> CudaResult<()> {
     let b = c.binding.read();
     transfer_checked(c, b.partition, &[(dst, data.len() as u64)])?;
     c.counters.note_transfer(data.len() as u64);
-    enqueue_and_sync(shared, &b, Command::MemcpyH2D { dst, data })
+    enqueue_and_sync(
+        shared,
+        &b,
+        Command::MemcpyH2D {
+            dst,
+            data: data.into_vec(),
+        },
+    )
 }
 
 fn memcpy_d2h(shared: &Shared, c: &ClientShared, src: u64, len: u64) -> CudaResult<Vec<u8>> {
@@ -778,7 +1146,7 @@ fn launch(
         Command::Launch {
             func,
             cfg,
-            params,
+            params: params.into(),
             guard: MemGuard::None,
         },
     );
@@ -786,7 +1154,6 @@ fn launch(
 
     shared
         .stats
-        .lock()
         .record(driver_level, lookup_ns, augment_ns, enqueue_ns);
     if r.is_ok() {
         c.counters.launches.fetch_add(1, Ordering::Relaxed);
@@ -997,7 +1364,7 @@ mod tests {
             Request::Launch {
                 kernel: "nope".into(),
                 cfg: LaunchConfig::linear(1, 1),
-                args: vec![],
+                args: vec![].into(),
                 driver_level: false,
             }
             .encode(),
@@ -1017,7 +1384,7 @@ mod tests {
             Request::Launch {
                 kernel: "nope".into(),
                 cfg: LaunchConfig::linear(1, 1),
-                args: vec![],
+                args: vec![].into(),
                 driver_level: false,
             }
             .encode(),
@@ -1087,7 +1454,7 @@ mod tests {
             },
             Request::MemcpyH2D {
                 dst: u64::MAX,
-                data: vec![0u8; 16],
+                data: vec![0u8; 16].into(),
             },
         ] {
             conn.send(req.encode()).unwrap();
@@ -1098,7 +1465,7 @@ mod tests {
         conn.send(
             Request::MemcpyH2DAsync {
                 dst: u64::MAX - 3,
-                data: vec![0u8; 16],
+                data: vec![0u8; 16].into(),
             }
             .encode(),
         )

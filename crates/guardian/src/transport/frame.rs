@@ -16,9 +16,17 @@
 //! complete frames. Keeping it free of I/O makes the reassembly logic
 //! property-testable over adversarial splits (see the proptests below),
 //! which is exactly the code path a hostile tenant controls.
+//!
+//! Frames come out as [`FrameView`]s: refcounted slices into the frozen
+//! receive block, so a 64-launch batch costs zero per-frame copies. The
+//! blocks themselves recycle through a [`BufPool`], so a session in
+//! steady state allocates nothing on its receive path.
 
 use super::TransportError;
+use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::{Arc, Weak};
 
 /// Version of the stream framing (independent of
 /// [`crate::proto::PROTO_VERSION`], which versions frame *contents*).
@@ -38,6 +46,216 @@ pub const PREAMBLE: [u8; 4] = [b'G', b'R', b'D', TRANSPORT_VERSION];
 /// or H2D payload, small enough that a hostile length prefix cannot make
 /// the manager allocate unbounded memory.
 pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Buffers retained per [`BufPool`]; excess retirements simply free.
+const POOL_MAX_BUFS: usize = 8;
+
+/// Buffers whose capacity grew beyond this are freed instead of pooled,
+/// so one giant fatbin passing through cannot pin megabytes for the
+/// connection's remaining lifetime.
+const POOL_MAX_CAPACITY: usize = 1 << 20;
+
+/// A recycling pool of byte buffers for receive-path blocks.
+///
+/// Retired blocks return their storage here (capacity intact) instead of
+/// freeing, so a steady-state receive loop reuses the same few
+/// allocations forever. The pool is held via [`Weak`] by outstanding
+/// blocks: when the owning connection dies, the pool dies with it and
+/// in-flight blocks free normally — a view can never write into (or
+/// resurrect) a retired pool.
+pub struct BufPool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+}
+
+impl BufPool {
+    /// A fresh, empty pool.
+    pub fn new() -> Arc<Self> {
+        Arc::new(BufPool {
+            bufs: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Take a cleared buffer, recycled when one is available.
+    pub fn take(&self) -> Vec<u8> {
+        self.bufs.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the pool (bounded; oversized or surplus
+    /// buffers are dropped).
+    fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > POOL_MAX_CAPACITY {
+            return;
+        }
+        buf.clear();
+        let mut bufs = self.bufs.lock();
+        if bufs.len() < POOL_MAX_BUFS {
+            bufs.push(buf);
+        }
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn parked(&self) -> usize {
+        self.bufs.lock().len()
+    }
+}
+
+/// A frozen receive block: immutable bytes plus a weak edge back to the
+/// pool that recycles the storage when the last view drops.
+struct PoolBlock {
+    data: Vec<u8>,
+    pool: Weak<BufPool>,
+}
+
+impl Drop for PoolBlock {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.upgrade() {
+            pool.put(std::mem::take(&mut self.data));
+        }
+    }
+}
+
+/// A refcounted, immutable slice of a received frame.
+///
+/// Views borrow from a shared frozen block, so decoding a 64-frame batch
+/// produces 64 views into one buffer instead of 64 copies. A view made
+/// [`From`] a `Vec<u8>` owns its bytes via the same representation (one
+/// small refcount allocation, no copy), so every consumer handles both
+/// shapes identically.
+pub struct FrameView {
+    block: Arc<PoolBlock>,
+    start: usize,
+    end: usize,
+}
+
+impl FrameView {
+    fn shared(block: &Arc<PoolBlock>, span: Range<usize>) -> Self {
+        debug_assert!(span.start <= span.end && span.end <= block.data.len());
+        FrameView {
+            block: Arc::clone(block),
+            start: span.start,
+            end: span.end,
+        }
+    }
+
+    /// A sub-view of this view (`range` is relative to `self`). Shares
+    /// the underlying block — no copy.
+    ///
+    /// # Panics
+    ///
+    /// When `range` exceeds the view — an internal logic error, not a
+    /// wire-input condition (callers bounds-check wire lengths first).
+    pub fn slice(&self, range: Range<usize>) -> FrameView {
+        assert!(range.start <= range.end && range.end <= self.end - self.start);
+        FrameView {
+            block: Arc::clone(&self.block),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Recover an owned `Vec<u8>`, without copying when this view is the
+    /// sole owner of a block it fully spans.
+    pub fn into_vec(self) -> Vec<u8> {
+        if self.start == 0 && self.end == self.block.data.len() {
+            match Arc::try_unwrap(self.block) {
+                Ok(mut block) => {
+                    // Detach from the pool so the drop below doesn't
+                    // recycle an empty husk.
+                    block.pool = Weak::new();
+                    return std::mem::take(&mut block.data);
+                }
+                Err(block) => return block.data.clone(),
+            }
+        }
+        self[..].to_vec()
+    }
+}
+
+impl From<Vec<u8>> for FrameView {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        FrameView {
+            block: Arc::new(PoolBlock {
+                data,
+                pool: Weak::new(),
+            }),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl FrameView {
+    /// A view over `data` whose storage retires into `pool` when the
+    /// last view drops (used by transports that fill their own receive
+    /// buffers, e.g. the shm ring).
+    pub fn pooled(data: Vec<u8>, pool: &Arc<BufPool>) -> Self {
+        let end = data.len();
+        FrameView {
+            block: Arc::new(PoolBlock {
+                data,
+                pool: Arc::downgrade(pool),
+            }),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Clone for FrameView {
+    fn clone(&self) -> Self {
+        FrameView {
+            block: Arc::clone(&self.block),
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+impl std::ops::Deref for FrameView {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.block.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for FrameView {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for FrameView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FrameView({:02x?})", &self[..])
+    }
+}
+
+impl PartialEq for FrameView {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for FrameView {}
+
+impl PartialEq<[u8]> for FrameView {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for FrameView {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self[..] == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for FrameView {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        &self[..] == other
+    }
+}
 
 /// Validate a received preamble.
 ///
@@ -96,7 +314,65 @@ pub fn batch_body(frames: &[Vec<u8>]) -> Vec<u8> {
     body
 }
 
-/// Split a batch body back into its sub-frames.
+fn bad_batch(detail: String) -> TransportError {
+    TransportError::Io {
+        op: "recv",
+        kind: std::io::ErrorKind::InvalidData,
+        detail,
+    }
+}
+
+/// Walk a batch body, appending each sub-frame's payload span (offset by
+/// `base`) to `spans`. All-or-nothing: on error, `spans` is restored to
+/// its length at entry.
+///
+/// # Errors
+///
+/// As [`split_batch`].
+fn scan_batch(
+    body: &[u8],
+    base: usize,
+    max_frame: u32,
+    spans: &mut Vec<Range<usize>>,
+) -> Result<(), TransportError> {
+    let mark = spans.len();
+    let mut pos = 0usize;
+    while pos < body.len() {
+        if body.len() - pos < 4 {
+            spans.truncate(mark);
+            return Err(bad_batch(format!(
+                "batch truncated: {} trailing bytes",
+                body.len() - pos
+            )));
+        }
+        let len_bytes: [u8; 4] = body[pos..pos + 4].try_into().expect("4-byte slice");
+        let len = u32::from_le_bytes(len_bytes);
+        if len & BATCH_FLAG != 0 {
+            spans.truncate(mark);
+            return Err(bad_batch("nested batch frame".into()));
+        }
+        if len > max_frame {
+            spans.truncate(mark);
+            return Err(TransportError::FrameTooLarge {
+                len: len as u64,
+                max: max_frame as u64,
+            });
+        }
+        pos += 4;
+        if body.len() - pos < len as usize {
+            spans.truncate(mark);
+            return Err(bad_batch(format!(
+                "batch sub-frame of {len} bytes overruns body ({} left)",
+                body.len() - pos
+            )));
+        }
+        spans.push(base + pos..base + pos + len as usize);
+        pos += len as usize;
+    }
+    Ok(())
+}
+
+/// Split a batch body back into owned sub-frames.
 ///
 /// # Errors
 ///
@@ -106,69 +382,74 @@ pub fn batch_body(frames: &[Vec<u8>]) -> Vec<u8> {
 /// [`TransportError::FrameTooLarge`] when a sub-frame exceeds
 /// `max_frame`.
 pub fn split_batch(body: &[u8], max_frame: u32) -> Result<Vec<Vec<u8>>, TransportError> {
-    let bad = |detail: String| TransportError::Io {
-        op: "recv",
-        kind: std::io::ErrorKind::InvalidData,
-        detail,
-    };
-    let mut frames = Vec::new();
-    let mut pos = 0usize;
-    while pos < body.len() {
-        if body.len() - pos < 4 {
-            return Err(bad(format!(
-                "batch truncated: {} trailing bytes",
-                body.len() - pos
-            )));
-        }
-        let len_bytes: [u8; 4] = body[pos..pos + 4].try_into().expect("4-byte slice");
-        let len = u32::from_le_bytes(len_bytes);
-        if len & BATCH_FLAG != 0 {
-            return Err(bad("nested batch frame".into()));
-        }
-        if len > max_frame {
-            return Err(TransportError::FrameTooLarge {
-                len: len as u64,
-                max: max_frame as u64,
-            });
-        }
-        pos += 4;
-        if body.len() - pos < len as usize {
-            return Err(bad(format!(
-                "batch sub-frame of {len} bytes overruns body ({} left)",
-                body.len() - pos
-            )));
-        }
-        frames.push(body[pos..pos + len as usize].to_vec());
-        pos += len as usize;
-    }
-    Ok(frames)
+    let mut spans = Vec::new();
+    scan_batch(body, 0, max_frame, &mut spans)?;
+    Ok(spans.into_iter().map(|s| body[s].to_vec()).collect())
+}
+
+/// Split a batch-body *view* into zero-copy sub-frame views, appended to
+/// `out`. All-or-nothing, like [`split_batch`].
+///
+/// # Errors
+///
+/// As [`split_batch`].
+pub fn split_batch_views(
+    body: &FrameView,
+    max_frame: u32,
+    out: &mut VecDeque<FrameView>,
+) -> Result<(), TransportError> {
+    let mut spans = Vec::new();
+    scan_batch(body, 0, max_frame, &mut spans)?;
+    out.extend(spans.into_iter().map(|s| body.slice(s)));
+    Ok(())
 }
 
 /// Incremental frame reassembler for a length-prefixed byte stream.
 ///
-/// Push bytes in whatever chunks arrive; pull complete frames out. The
+/// Push bytes in whatever chunks arrive; pull complete frames out as
+/// [`FrameView`]s. Internally the decoder stages bytes in a pooled
+/// buffer; once at least one complete frame is present, the staging
+/// buffer is *frozen* into a shared block (the partial tail, if any, is
+/// carried into a fresh pooled buffer) and every complete frame —
+/// including each sub-frame of a batch — becomes a view into it. The
 /// decoder carries at most one partial frame plus unconsumed input, so
 /// memory stays bounded by `max_frame` + the largest chunk pushed.
 pub struct FrameDecoder {
     max_frame: u32,
-    /// Unconsumed stream bytes (compacted lazily).
+    pool: Arc<BufPool>,
+    /// Staging buffer for unconsumed stream bytes (from `pool`).
     buf: Vec<u8>,
-    /// Read cursor into `buf`.
+    /// Read cursor into `buf` (nonzero only after consuming frames that
+    /// produced no views, e.g. empty batches).
     pos: usize,
-    /// Sub-frames of an already-consumed batch, yielded before the
-    /// stream is advanced further.
-    pending: VecDeque<Vec<u8>>,
+    /// Complete frames frozen out of the stream, in arrival order.
+    ready: VecDeque<FrameView>,
+    /// Scratch span list reused across freezes.
+    spans: Vec<Range<usize>>,
+    /// First framing violation encountered; the stream is untrusted from
+    /// that point on, so the error repeats and no later bytes decode.
+    poisoned: Option<TransportError>,
 }
 
 impl FrameDecoder {
     /// A decoder enforcing `max_frame` as the per-frame size limit.
     pub fn new(max_frame: u32) -> Self {
+        let pool = BufPool::new();
+        let buf = pool.take();
         FrameDecoder {
             max_frame,
-            buf: Vec::new(),
+            pool,
+            buf,
             pos: 0,
-            pending: VecDeque::new(),
+            ready: VecDeque::new(),
+            spans: Vec::new(),
+            poisoned: None,
         }
+    }
+
+    /// The decoder's recycling pool (shared with the blocks it freezes).
+    pub fn pool(&self) -> &Arc<BufPool> {
+        &self.pool
     }
 
     /// Feed stream bytes into the decoder, exactly as received.
@@ -184,6 +465,67 @@ impl FrameDecoder {
         self.buf.extend_from_slice(chunk);
     }
 
+    /// Scan the staging buffer for complete frames; freeze them into
+    /// views when any are found.
+    fn scan(&mut self) {
+        if self.poisoned.is_some() {
+            return;
+        }
+        let mut pos = self.pos;
+        let mut err = None;
+        loop {
+            let avail = self.buf.len() - pos;
+            if avail < 4 {
+                break;
+            }
+            let len_bytes: [u8; 4] = self.buf[pos..pos + 4].try_into().expect("4-byte slice");
+            let word = u32::from_le_bytes(len_bytes);
+            let len = word & !BATCH_FLAG;
+            if len > self.max_frame {
+                err = Some(TransportError::FrameTooLarge {
+                    len: len as u64,
+                    max: self.max_frame as u64,
+                });
+                break;
+            }
+            let total = 4 + len as usize;
+            if avail < total {
+                break;
+            }
+            if word & BATCH_FLAG == 0 {
+                self.spans.push(pos + 4..pos + total);
+            } else if let Err(e) = scan_batch(
+                &self.buf[pos + 4..pos + total],
+                pos + 4,
+                self.max_frame,
+                &mut self.spans,
+            ) {
+                err = Some(e);
+                break;
+            }
+            pos += total;
+        }
+        if self.spans.is_empty() {
+            // Nothing to freeze; remember how far consumption got (empty
+            // batches advance the cursor without yielding frames).
+            self.pos = pos;
+        } else {
+            // Freeze: the partial tail moves to a fresh pooled buffer,
+            // the scanned prefix becomes an immutable shared block.
+            let mut fresh = self.pool.take();
+            fresh.extend_from_slice(&self.buf[pos..]);
+            let frozen = std::mem::replace(&mut self.buf, fresh);
+            self.pos = 0;
+            let block = Arc::new(PoolBlock {
+                data: frozen,
+                pool: Arc::downgrade(&self.pool),
+            });
+            self.ready
+                .extend(self.spans.drain(..).map(|s| FrameView::shared(&block, s)));
+        }
+        self.poisoned = err;
+    }
+
     /// Try to extract the next complete frame.
     ///
     /// Returns `Ok(None)` when more bytes are needed.
@@ -191,51 +533,31 @@ impl FrameDecoder {
     /// # Errors
     ///
     /// [`TransportError::FrameTooLarge`] when a length prefix exceeds the
-    /// limit. The decoder is poisoned conceptually at that point — the
-    /// stream can no longer be trusted — so callers should drop the
-    /// connection.
-    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
-        loop {
-            if let Some(f) = self.pending.pop_front() {
-                return Ok(Some(f));
-            }
-            let avail = self.buf.len() - self.pos;
-            if avail < 4 {
-                return Ok(None);
-            }
-            let len_bytes: [u8; 4] = self.buf[self.pos..self.pos + 4]
-                .try_into()
-                .expect("4-byte slice");
-            let word = u32::from_le_bytes(len_bytes);
-            let len = word & !BATCH_FLAG;
-            if len > self.max_frame {
-                return Err(TransportError::FrameTooLarge {
-                    len: len as u64,
-                    max: self.max_frame as u64,
-                });
-            }
-            let total = 4 + len as usize;
-            if avail < total {
-                return Ok(None);
-            }
-            if word & BATCH_FLAG == 0 {
-                let frame = self.buf[self.pos + 4..self.pos + total].to_vec();
-                self.pos += total;
-                return Ok(Some(frame));
-            }
-            // Batch frame: split its body into pending sub-frames and
-            // loop — an empty batch is simply consumed.
-            let subs = split_batch(&self.buf[self.pos + 4..self.pos + total], self.max_frame)?;
-            self.pos += total;
-            self.pending.extend(subs);
+    /// limit, [`TransportError::Io`] on malformed batch framing. The
+    /// decoder is poisoned at that point — the stream can no longer be
+    /// trusted — so callers should drop the connection. Frames completed
+    /// *before* the violation are still yielded first.
+    pub fn next_frame(&mut self) -> Result<Option<FrameView>, TransportError> {
+        if self.ready.is_empty() {
+            self.scan();
+        }
+        if let Some(f) = self.ready.pop_front() {
+            return Ok(Some(f));
+        }
+        match &self.poisoned {
+            Some(e) => Err(e.clone()),
+            None => Ok(None),
         }
     }
 
     /// Whether the decoder holds a partially received frame (or stray
     /// bytes). Used to distinguish clean EOF from mid-frame truncation.
-    /// Fully received but not-yet-pulled batch sub-frames do *not*
-    /// count — they are complete frames, not truncation.
-    pub fn mid_frame(&self) -> bool {
+    /// Fully received but not-yet-pulled frames do *not* count — they
+    /// are complete frames, not truncation.
+    pub fn mid_frame(&mut self) -> bool {
+        if self.ready.is_empty() {
+            self.scan();
+        }
         self.pos < self.buf.len()
     }
 }
@@ -243,6 +565,14 @@ impl FrameDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn collect(dec: &mut FrameDecoder) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(f) = dec.next_frame().unwrap() {
+            out.push(f.into_vec());
+        }
+        out
+    }
 
     #[test]
     fn frames_reassemble_across_any_split() {
@@ -256,9 +586,7 @@ mod tests {
         let mut out = Vec::new();
         for b in &stream {
             dec.push(std::slice::from_ref(b));
-            while let Some(f) = dec.next_frame().unwrap() {
-                out.push(f);
-            }
+            out.extend(collect(&mut dec));
         }
         assert_eq!(out, frames);
         assert!(!dec.mid_frame());
@@ -271,7 +599,7 @@ mod tests {
         // bounds-checked (and rejected) before any allocation.
         dec.push(&u32::MAX.to_le_bytes());
         assert_eq!(
-            dec.next_frame(),
+            dec.next_frame().map(|f| f.map(|v| v.into_vec())),
             Err(TransportError::FrameTooLarge {
                 len: (!BATCH_FLAG) as u64,
                 max: 1024,
@@ -312,7 +640,7 @@ mod tests {
         let mut dec = FrameDecoder::new(MAX_FRAME);
         let enc = encode_frame(&[1, 2, 3, 4], MAX_FRAME).unwrap();
         dec.push(&enc[..enc.len() - 1]);
-        assert_eq!(dec.next_frame().unwrap(), None);
+        assert!(dec.next_frame().unwrap().is_none());
         assert!(dec.mid_frame());
     }
 
@@ -329,11 +657,7 @@ mod tests {
         let frames: Vec<Vec<u8>> = vec![vec![], vec![7], vec![1, 2, 3], vec![0xAB; 300]];
         let mut dec = FrameDecoder::new(MAX_FRAME);
         dec.push(&encode_batch(&frames));
-        let mut out = Vec::new();
-        while let Some(f) = dec.next_frame().unwrap() {
-            out.push(f);
-        }
-        assert_eq!(out, frames);
+        assert_eq!(collect(&mut dec), frames);
         assert!(!dec.mid_frame());
     }
 
@@ -342,8 +666,8 @@ mod tests {
         let mut dec = FrameDecoder::new(MAX_FRAME);
         dec.push(&encode_batch(&[]));
         dec.push(&encode_frame(&[9], MAX_FRAME).unwrap());
-        assert_eq!(dec.next_frame().unwrap(), Some(vec![9]));
-        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(collect(&mut dec), vec![vec![9]]);
+        assert!(!dec.mid_frame());
     }
 
     #[test]
@@ -410,6 +734,78 @@ mod tests {
             Err(TransportError::FrameTooLarge { len, .. }) if len == 1 << 24
         ));
     }
+
+    #[test]
+    fn frames_before_a_framing_violation_still_deliver() {
+        let mut dec = FrameDecoder::new(1024);
+        let mut stream = encode_frame(&[1, 2], 1024).unwrap();
+        stream.extend_from_slice(&u32::MAX.to_le_bytes());
+        dec.push(&stream);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), [1u8, 2][..]);
+        assert!(dec.next_frame().is_err());
+        // The poison is sticky: the stream never decodes further.
+        assert!(dec.next_frame().is_err());
+        assert!(dec.mid_frame());
+    }
+
+    #[test]
+    fn views_share_one_block_and_recycle_it_through_the_pool() {
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let frames: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 16]).collect();
+        dec.push(&encode_batch(&frames));
+        let views: Vec<FrameView> = {
+            let mut v = Vec::new();
+            while let Some(f) = dec.next_frame().unwrap() {
+                v.push(f);
+            }
+            v
+        };
+        assert_eq!(views.len(), frames.len());
+        // Zero-copy: every view points into one shared block.
+        let base = views[0].as_ptr() as usize;
+        for (i, v) in views.iter().enumerate() {
+            assert_eq!(&v[..], frames[i].as_slice());
+            let off = v.as_ptr() as usize - base;
+            assert!(off < 8 * (16 + 4) + 4, "view left the shared block");
+        }
+        // Dropping every view retires the block's storage to the pool...
+        assert_eq!(dec.pool().parked(), 0);
+        drop(views);
+        assert_eq!(dec.pool().parked(), 1);
+        // ...and the next freeze reuses it: steady state allocates no
+        // fresh blocks.
+        dec.push(&encode_frame(&[42], MAX_FRAME).unwrap());
+        let v = dec.next_frame().unwrap().unwrap();
+        assert_eq!(v, [42u8][..]);
+        assert_eq!(dec.pool().parked(), 0);
+    }
+
+    #[test]
+    fn views_survive_decoder_death_and_pool_dies_cleanly() {
+        // Session death with frames still in flight: the views must stay
+        // readable (no use-after-retire), and their eventual drop must
+        // not resurrect the retired pool.
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        dec.push(&encode_frame(&[7, 7, 7], MAX_FRAME).unwrap());
+        let view = dec.next_frame().unwrap().unwrap();
+        drop(dec); // kill -9 equivalent: connection and decoder are gone
+        assert_eq!(view, [7u8, 7, 7][..]);
+        let copy = view.clone();
+        drop(view);
+        assert_eq!(copy, [7u8, 7, 7][..]);
+        drop(copy); // block frees here; the Weak pool edge upgrades to None
+    }
+
+    #[test]
+    fn into_vec_is_move_not_copy_for_sole_whole_block_views() {
+        // An Owned view round-trips its exact allocation.
+        let data = vec![1u8, 2, 3, 4];
+        let ptr = data.as_ptr() as usize;
+        let view = FrameView::from(data);
+        let back = view.into_vec();
+        assert_eq!(back.as_ptr() as usize, ptr);
+        assert_eq!(back, vec![1, 2, 3, 4]);
+    }
 }
 
 #[cfg(test)]
@@ -435,13 +831,18 @@ mod proptests {
                 .boxed(),
             Just(Request::Disconnect).boxed(),
             pvec(any::<u8>(), 0..300)
-                .prop_map(|bytes| Request::RegisterFatbin { bytes })
+                .prop_map(|bytes| Request::RegisterFatbin {
+                    bytes: bytes.into()
+                })
                 .boxed(),
             any::<u64>()
                 .prop_map(|bytes| Request::Malloc { bytes })
                 .boxed(),
             (any::<u64>(), pvec(any::<u8>(), 0..300))
-                .prop_map(|(dst, data)| Request::MemcpyH2D { dst, data })
+                .prop_map(|(dst, data)| Request::MemcpyH2D {
+                    dst,
+                    data: data.into()
+                })
                 .boxed(),
             (
                 pvec(0x20u8..0x7F, 0..24),
@@ -449,9 +850,9 @@ mod proptests {
                 any::<bool>()
             )
                 .prop_map(|(name, args, driver_level)| Request::Launch {
-                    kernel: name.into_iter().map(char::from).collect(),
+                    kernel: name.into_iter().map(char::from).collect::<String>().into(),
                     cfg: gpu_sim::LaunchConfig::linear(1, 32),
-                    args,
+                    args: args.into(),
                     driver_level,
                 })
                 .boxed(),
@@ -487,7 +888,7 @@ mod proptests {
 
     /// Split `stream` at the given (wrapped) cut points and push the
     /// chunks one by one, collecting every completed frame.
-    fn reassemble(stream: &[u8], cuts: &[u16]) -> Vec<Vec<u8>> {
+    fn reassemble(stream: &[u8], cuts: &[u16]) -> Vec<FrameView> {
         let mut points: Vec<usize> = cuts
             .iter()
             .map(|&i| i as usize % (stream.len() + 1))
@@ -512,7 +913,9 @@ mod proptests {
         #![proptest_config(ProptestConfig::with_cases(192))]
 
         /// A run of proto requests survives encode → arbitrary stream
-        /// splits → reassemble → decode, message for message.
+        /// splits → reassemble → decode, message for message — and the
+        /// zero-copy view decoder agrees bit-for-bit with the owned
+        /// decoder on every frame.
         #[test]
         fn requests_round_trip_any_split(
             reqs in pvec(arb_request(), 1..8),
@@ -526,6 +929,10 @@ mod proptests {
             prop_assert_eq!(frames.len(), reqs.len());
             for (frame, req) in frames.iter().zip(&reqs) {
                 prop_assert_eq!(&Request::decode(frame).expect("decode"), req);
+                prop_assert_eq!(
+                    &Request::decode_view(frame).expect("decode_view"),
+                    req
+                );
             }
         }
 
@@ -544,15 +951,16 @@ mod proptests {
                 expect.push(payload);
             }
             let frames = reassemble(&stream, &cuts);
-            prop_assert_eq!(&frames, &expect);
-            for frame in &frames {
+            prop_assert_eq!(frames.len(), expect.len());
+            for (frame, payload) in frames.iter().zip(&expect) {
+                prop_assert_eq!(&frame[..], payload.as_slice());
                 Response::decode(frame).expect("decode");
             }
         }
 
         /// Garbage bytes never panic the decoder: it either yields frames
         /// (which `proto` then rejects in its own total decoder) or a
-        /// FrameTooLarge error, but no allocation blow-up or slice panic.
+        /// framing error, but no allocation blow-up or slice panic.
         #[test]
         fn decoder_total_on_garbage(
             chunks in pvec(pvec(any::<u8>(), 0..64), 0..8),
@@ -566,9 +974,11 @@ mod proptests {
 
         /// One connection mixing proto v1 and v2 frames — some sent
         /// plain, some coalesced into batch frames — reassembles and
-        /// decodes message-for-message across arbitrary stream splits.
-        /// This is exactly what a legacy client talking to a batching
-        /// manager (or vice versa) produces.
+        /// decodes message-for-message across arbitrary stream splits,
+        /// and the zero-copy view decoder stays bit-for-bit equivalent
+        /// to the owned decoder on this mixed-version traffic. This is
+        /// exactly what a legacy client talking to a batching manager
+        /// (or vice versa) produces.
         #[test]
         fn mixed_v1_v2_and_batched_frames_round_trip_any_split(
             reqs in pvec((arb_request(), any::<bool>()), 1..10),
@@ -610,9 +1020,17 @@ mod proptests {
                 }
             }
             let frames = reassemble(&stream, &cuts);
-            prop_assert_eq!(&frames, &payloads);
+            prop_assert_eq!(frames.len(), payloads.len());
+            for (frame, payload) in frames.iter().zip(&payloads) {
+                prop_assert_eq!(&frame[..], payload.as_slice());
+            }
             for (frame, (req, _)) in frames.iter().zip(&reqs) {
-                prop_assert_eq!(&Request::decode(frame).expect("decode"), req);
+                let owned = Request::decode(frame).expect("decode");
+                prop_assert_eq!(&owned, req);
+                prop_assert_eq!(
+                    &Request::decode_view(frame).expect("decode_view"),
+                    &owned
+                );
             }
         }
 
@@ -628,6 +1046,25 @@ mod proptests {
         fn batch_body_round_trips(frames in pvec(pvec(any::<u8>(), 0..64), 0..8)) {
             let body = batch_body(&frames);
             prop_assert_eq!(split_batch(&body, MAX_FRAME).unwrap(), frames);
+        }
+
+        /// View-splitting a batch body agrees with the owned splitter on
+        /// every input — including hostile ones, where both must reject.
+        #[test]
+        fn split_batch_views_matches_owned(body in pvec(any::<u8>(), 0..256)) {
+            let owned = split_batch(&body, 4096);
+            let view = FrameView::from(body.clone());
+            let mut out = VecDeque::new();
+            match (owned, split_batch_views(&view, 4096, &mut out)) {
+                (Ok(frames), Ok(())) => {
+                    prop_assert_eq!(frames.len(), out.len());
+                    for (f, v) in frames.iter().zip(&out) {
+                        prop_assert_eq!(f.as_slice(), &v[..]);
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "splitters disagree: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+            }
         }
     }
 }

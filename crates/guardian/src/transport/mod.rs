@@ -163,11 +163,16 @@ pub trait Connection: Send {
     /// the next readiness event. Only meaningful after
     /// [`Connection::enter_event_mode`] returned `true`.
     ///
+    /// Frames come back as zero-copy [`frame::FrameView`]s into the
+    /// transport's receive buffer, so the executor's drain loop never
+    /// copies payload bytes; cold callers recover owned bytes with
+    /// [`frame::FrameView::into_vec`].
+    ///
     /// # Errors
     ///
     /// As [`Connection::recv`]; transports that do not support event
     /// mode report an `Unsupported` [`TransportError::Io`].
-    fn try_recv(&self) -> Result<Option<Vec<u8>>, TransportError> {
+    fn try_recv(&self) -> Result<Option<frame::FrameView>, TransportError> {
         Err(TransportError::Io {
             op: "try_recv",
             kind: io::ErrorKind::Unsupported,

@@ -36,7 +36,7 @@
 //! `poll` on the socket alone: still wakeup-driven for death detection,
 //! just periodic for data.
 
-use super::frame::{self, BATCH_FLAG, PREAMBLE};
+use super::frame::{self, BufPool, FrameView, BATCH_FLAG, PREAMBLE};
 use super::peercred::UidPolicy;
 use super::{sys, Connection, Dialer, Listener, TransportError};
 use parking_lot::Mutex;
@@ -268,7 +268,10 @@ pub struct ShmConnection {
     send_lock: Mutex<()>,
     /// Serializes local receivers; also queues the tail of a decoded
     /// batch frame so every `recv`/`try_recv` returns one payload.
-    recv_lock: Mutex<VecDeque<Vec<u8>>>,
+    recv_lock: Mutex<VecDeque<FrameView>>,
+    /// Recycles the receive-copy buffers frames are lifted into off the
+    /// ring, so a steady-state receiver allocates nothing per frame.
+    recv_pool: Arc<BufPool>,
     /// Eventfd pair from the handshake; `None` for peers that skipped
     /// the fd exchange (fallback parking applies).
     doorbells: Option<Doorbells>,
@@ -315,6 +318,7 @@ impl ShmConnection {
             recv_ring,
             send_lock: Mutex::new(()),
             recv_lock: Mutex::new(VecDeque::new()),
+            recv_pool: BufPool::new(),
             doorbells,
             my_parked,
             peer_parked,
@@ -453,7 +457,7 @@ impl ShmConnection {
     /// (one for a plain frame, each sub-frame for a batch).
     fn consume_wire_frame(
         &self,
-        pending: &mut VecDeque<Vec<u8>>,
+        pending: &mut VecDeque<FrameView>,
         head: u64,
         tail: u64,
     ) -> Result<(), TransportError> {
@@ -475,22 +479,25 @@ impl ShmConnection {
                 detail: format!("ring frame length {len} exceeds published bytes"),
             });
         }
-        let mut payload = vec![0u8; len as usize];
+        // Lift the payload off the ring into a pooled buffer: the one
+        // unavoidable copy (ring slots recycle under the producer), but
+        // the buffer itself is reused across frames.
+        let mut payload = self.recv_pool.take();
+        payload.resize(len as usize, 0);
         ring_read(&self.map, r, head + 4, &mut payload);
         self.map
             .atomic_u64(r.head)
             .store(head + 4 + len, Ordering::Release);
         // A producer parked on backpressure wants to know space opened.
         self.wake_peer_if_parked();
+        let view = FrameView::pooled(payload, &self.recv_pool);
         if word & BATCH_FLAG == 0 {
-            pending.push_back(payload);
+            pending.push_back(view);
         } else {
             // Sub-frames are bounded by the batch body, which the check
-            // above already bounded by the ring capacity.
-            pending.extend(frame::split_batch(
-                &payload,
-                r.cap.min(u32::MAX as u64) as u32,
-            )?);
+            // above already bounded by the ring capacity. Each sub-frame
+            // is a zero-copy sub-view of the shared body block.
+            frame::split_batch_views(&view, r.cap.min(u32::MAX as u64) as u32, pending)?;
         }
         Ok(())
     }
@@ -515,7 +522,7 @@ impl Connection for ShmConnection {
         let mut pending = self.recv_lock.lock();
         loop {
             if let Some(f) = pending.pop_front() {
-                return Ok(f);
+                return Ok(f.into_vec());
             }
             let tail_a = self.map.atomic_u64(r.tail);
             let head_a = self.map.atomic_u64(r.head);
@@ -557,7 +564,7 @@ impl Connection for ShmConnection {
         self.raw_send(body.len() as u32 | BATCH_FLAG, &body)
     }
 
-    fn try_recv(&self) -> Result<Option<Vec<u8>>, TransportError> {
+    fn try_recv(&self) -> Result<Option<FrameView>, TransportError> {
         let r = self.recv_ring;
         let mut pending = self.recv_lock.lock();
         // Reset park state from a previous None: drain the doorbell and
@@ -1012,7 +1019,7 @@ impl Connection for PendingShmConnection {
         self.with_ready(|c| c.send_batch(frames))
     }
 
-    fn try_recv(&self) -> Result<Option<Vec<u8>>, TransportError> {
+    fn try_recv(&self) -> Result<Option<FrameView>, TransportError> {
         // The first call runs the deferred handshake (bounded by
         // HANDSHAKE_TIMEOUT) on the executor worker that saw the hello
         // bytes arrive.
@@ -1542,9 +1549,18 @@ mod tests {
         client.send(vec![3, 3, 3]).unwrap();
         // The frames are already published when the sends return; no
         // polling loop is needed on the consumer side.
-        assert_eq!(server.try_recv().unwrap(), Some(vec![1]));
-        assert_eq!(server.try_recv().unwrap(), Some(vec![2, 2]));
-        assert_eq!(server.try_recv().unwrap(), Some(vec![3, 3, 3]));
+        assert_eq!(
+            server.try_recv().unwrap().map(|f| f.into_vec()),
+            Some(vec![1])
+        );
+        assert_eq!(
+            server.try_recv().unwrap().map(|f| f.into_vec()),
+            Some(vec![2, 2])
+        );
+        assert_eq!(
+            server.try_recv().unwrap().map(|f| f.into_vec()),
+            Some(vec![3, 3, 3])
+        );
         drop(client);
         // Drained + dead peer → Disconnected (possibly after the close
         // propagates through the socket).

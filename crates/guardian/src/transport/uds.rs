@@ -12,11 +12,11 @@
 //! [`frame::PREAMBLE`] so version skew fails the handshake instead of
 //! corrupting mid-session frames.
 
-use super::frame::{self, FrameDecoder, BATCH_FLAG, MAX_FRAME, PREAMBLE};
+use super::frame::{self, FrameDecoder, FrameView, BATCH_FLAG, MAX_FRAME, PREAMBLE};
 use super::peercred::UidPolicy;
 use super::{sys, Connection, Dialer, Listener, TransportError};
 use parking_lot::Mutex;
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -55,11 +55,23 @@ fn handshake(stream: &UnixStream) -> Result<(), TransportError> {
     Ok(())
 }
 
+/// Per-connection send state: the writer lock plus a reusable scratch
+/// buffer holding the length prefixes for vectored writes, so a
+/// steady-state sender allocates nothing per frame or batch.
+#[derive(Default)]
+struct SendState {
+    /// Length-prefix scratch: `[outer word][sub-len][sub-len]…` for a
+    /// batch, just the prefix for a single frame. Capacity is retained
+    /// across sends.
+    prefixes: Vec<u8>,
+}
+
 /// One framed Unix-socket connection (either half).
 pub struct UdsConnection {
     stream: UnixStream,
-    /// Serializes writers so interleaved sends cannot shear a frame.
-    send_lock: Mutex<()>,
+    /// Serializes writers so interleaved sends cannot shear a frame;
+    /// carries the reusable prefix scratch.
+    send_lock: Mutex<SendState>,
     /// Reassembly state; also serializes readers.
     recv_state: Mutex<FrameDecoder>,
     /// `false` on freshly accepted server halves: the preamble exchange
@@ -88,7 +100,7 @@ impl UdsConnection {
     fn with_peer_uid(stream: UnixStream, handshaken: bool, peer_uid: Option<u32>) -> Self {
         UdsConnection {
             stream,
-            send_lock: Mutex::new(()),
+            send_lock: Mutex::new(SendState::default()),
             recv_state: Mutex::new(FrameDecoder::new(MAX_FRAME)),
             handshaken: Mutex::new(handshaken),
             event_mode: AtomicBool::new(false),
@@ -116,17 +128,39 @@ impl UdsConnection {
         Ok(())
     }
 
-    /// Write all of `bytes`, riding out `WouldBlock` on a non-blocking
-    /// stream by parking in `poll(POLLOUT)` — bounded so a peer that
-    /// stops reading cannot pin an executor worker forever.
-    fn send_all(&self, bytes: &[u8]) -> Result<(), TransportError> {
-        let mut off = 0;
+    /// Gather-write every byte of `parts` in order — one `writev(2)` per
+    /// trip to the kernel (via `write_vectored`), so a whole batch of
+    /// frames plus its length prefixes goes out as a single syscall in
+    /// the common case. Rides out `WouldBlock` on a non-blocking stream
+    /// by parking in `poll(POLLOUT)` — bounded so a peer that stops
+    /// reading cannot pin an executor worker forever.
+    fn send_vectored(&self, parts: &[&[u8]]) -> Result<(), TransportError> {
+        /// Linux IOV_MAX; longer part lists loop.
+        const MAX_IOV: usize = 1024;
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut written = 0usize;
         let mut stalled = Duration::ZERO;
-        while off < bytes.len() {
-            match (&self.stream).write(&bytes[off..]) {
+        let mut iovs: Vec<IoSlice> = Vec::with_capacity(parts.len().min(MAX_IOV));
+        while written < total {
+            // Rebuild the iov list from the first unwritten byte; cheap
+            // relative to the syscall, and partial writes are rare.
+            iovs.clear();
+            let mut skip = written;
+            for p in parts {
+                if skip >= p.len() {
+                    skip -= p.len();
+                    continue;
+                }
+                iovs.push(IoSlice::new(&p[skip..]));
+                skip = 0;
+                if iovs.len() == MAX_IOV {
+                    break;
+                }
+            }
+            match (&self.stream).write_vectored(&iovs) {
                 Ok(0) => return Err(TransportError::Disconnected),
                 Ok(n) => {
-                    off += n;
+                    written += n;
                     stalled = Duration::ZERO;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -152,9 +186,18 @@ impl UdsConnection {
 impl Connection for UdsConnection {
     fn send(&self, frame: Vec<u8>) -> Result<(), TransportError> {
         self.ensure_handshaken()?;
-        let encoded = frame::encode_frame(&frame, MAX_FRAME)?;
-        let _guard = self.send_lock.lock();
-        self.send_all(&encoded)
+        if frame.len() as u64 > MAX_FRAME as u64 {
+            return Err(TransportError::FrameTooLarge {
+                len: frame.len() as u64,
+                max: MAX_FRAME as u64,
+            });
+        }
+        let mut st = self.send_lock.lock();
+        st.prefixes.clear();
+        st.prefixes
+            .extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        // Vectored write: prefix + payload, no coalescing copy.
+        self.send_vectored(&[&st.prefixes[..], &frame])
     }
 
     fn recv(&self) -> Result<Vec<u8>, TransportError> {
@@ -163,7 +206,7 @@ impl Connection for UdsConnection {
         let mut chunk = [0u8; 16 * 1024];
         loop {
             if let Some(f) = dec.next_frame()? {
-                return Ok(f);
+                return Ok(f.into_vec());
             }
             let n = (&self.stream)
                 .read(&mut chunk)
@@ -186,6 +229,7 @@ impl Connection for UdsConnection {
             };
         }
         self.ensure_handshaken()?;
+        let mut body_len = 0u64;
         for f in &frames {
             if f.len() as u64 > MAX_FRAME as u64 {
                 return Err(TransportError::FrameTooLarge {
@@ -193,26 +237,45 @@ impl Connection for UdsConnection {
                     max: MAX_FRAME as u64,
                 });
             }
+            body_len += 4 + f.len() as u64;
         }
-        let body = frame::batch_body(&frames);
-        if body.len() as u64 > MAX_FRAME as u64 {
+        let mut st = self.send_lock.lock();
+        if body_len > MAX_FRAME as u64 {
             // Too big to coalesce: fall back to frame-by-frame sends
-            // under one writer lock so the run stays contiguous.
-            let _guard = self.send_lock.lock();
-            for f in frames {
-                let encoded = frame::encode_frame(&f, MAX_FRAME)?;
-                self.send_all(&encoded)?;
+            // under one writer lock so the run stays contiguous. Each
+            // frame still goes out as one vectored write.
+            for f in &frames {
+                st.prefixes.clear();
+                st.prefixes
+                    .extend_from_slice(&(f.len() as u32).to_le_bytes());
+                self.send_vectored(&[&st.prefixes[..], f])?;
             }
             return Ok(());
         }
-        let mut buf = Vec::with_capacity(4 + body.len());
-        buf.extend_from_slice(&(body.len() as u32 | BATCH_FLAG).to_le_bytes());
-        buf.extend_from_slice(&body);
-        let _guard = self.send_lock.lock();
-        self.send_all(&buf)
+        // Lay every length word into the reusable scratch — outer batch
+        // word first, then one sub-length per frame — and gather-write
+        // the lot with the payloads in place: the whole batch is one
+        // writev, zero payload copies, zero steady-state allocations.
+        st.prefixes.clear();
+        st.prefixes
+            .extend_from_slice(&(body_len as u32 | BATCH_FLAG).to_le_bytes());
+        for f in &frames {
+            st.prefixes
+                .extend_from_slice(&(f.len() as u32).to_le_bytes());
+        }
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(1 + 2 * frames.len());
+        // First part spans the outer word *and* the first sub-length —
+        // they are contiguous in scratch.
+        parts.push(&st.prefixes[0..8]);
+        parts.push(&frames[0]);
+        for (i, f) in frames.iter().enumerate().skip(1) {
+            parts.push(&st.prefixes[4 + 4 * i..8 + 4 * i]);
+            parts.push(f);
+        }
+        self.send_vectored(&parts)
     }
 
-    fn try_recv(&self) -> Result<Option<Vec<u8>>, TransportError> {
+    fn try_recv(&self) -> Result<Option<FrameView>, TransportError> {
         self.ensure_handshaken()?;
         let mut dec = self.recv_state.lock();
         let mut chunk = [0u8; 16 * 1024];

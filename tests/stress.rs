@@ -15,6 +15,31 @@ use gpu_sim::{Device, LaunchConfig};
 use guardian::{
     spawn_manager, DispatchMode, GrdLib, LaunchAck, ManagerConfig, ManagerHandle, Protection,
 };
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// A pass-through allocator that reports every allocation into
+/// `guardian::alloc_audit`, arming the library's debug assertion that
+/// the steady-state launch admission path never touches the heap.
+struct CountingAlloc;
+
+// SAFETY: delegates entirely to `System`; the count bump is a
+// thread-local Cell update and cannot itself allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        guardian::alloc_audit::note_alloc();
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        guardian::alloc_audit::note_alloc();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn manager(dispatch: DispatchMode, protection: Protection, ack: LaunchAck) -> ManagerHandle {
     let device = share_device(Device::new(test_gpu()));
@@ -213,6 +238,47 @@ fn deferred_ack_surfaces_launch_errors_at_sync() {
     // The error is consumed: the tenant continues afterwards.
     lib.cuda_device_synchronize()
         .expect("error was not sticky-once");
+    drop(lib);
+    mgr.shutdown();
+}
+
+/// The steady-state launch admission path performs zero heap
+/// allocations. After a warmup phase (session cache resolved, buffer
+/// pools and stream queues at capacity), the audit is armed and every
+/// subsequent warm admission `debug_assert!`s that the allocation
+/// counter did not move between frame decode and batch admission
+/// (see `guardian::alloc_audit`). Runs meaningfully in debug builds;
+/// in release the assertions compile out and this degrades to a smoke
+/// test of the same path.
+#[test]
+fn steady_state_launch_path_is_allocation_free() {
+    let mgr = manager(
+        DispatchMode::Concurrent,
+        Protection::FenceBitwise,
+        LaunchAck::Deferred,
+    );
+    let mut lib = GrdLib::connect(&mgr, 2 << 20).expect("connect");
+    let buf = lib.cuda_malloc(4 * 64).expect("malloc");
+    let args = ArgPack::new().ptr(buf).u32(64).finish();
+    let burst = |lib: &mut GrdLib| {
+        for _ in 0..256 {
+            lib.cuda_launch_kernel(
+                "fill",
+                LaunchConfig::linear(2, 32),
+                &args,
+                Default::default(),
+            )
+            .expect("launch");
+        }
+        lib.cuda_device_synchronize().expect("sync");
+    };
+    // Warmup: resolve the kernel into the session cache, grow the
+    // pending buffer, param pool, and device queue to steady state.
+    burst(&mut lib);
+    guardian::alloc_audit::arm(true);
+    burst(&mut lib);
+    guardian::alloc_audit::arm(false);
+    lib.cuda_free(buf).expect("free");
     drop(lib);
     mgr.shutdown();
 }
