@@ -45,11 +45,22 @@
 //!   the drain path. Leases are bookkeeping, not a second data plane, so
 //!   the bench hard-fails if the hooks tax deferred throughput by more
 //!   than the shared 3% noise floor.
+//!
+//! * **telemetry overhead** (deferred launches, 64 tenants, uds): the
+//!   same point A/B'd with per-tenant telemetry (latency histograms +
+//!   flight recorder, the default) against telemetry off. Recording is
+//!   a clock read and a relaxed bucket increment per stage, so the
+//!   bench hard-fails if the on arm falls below the shared noise floor.
+//!
+//! Telemetry-on rows also report per-tenant launch-enqueue latency
+//! quantiles (p50/p95/p99, merged across tenants) pulled from the
+//! control plane's histograms into `BENCH_dispatch.json`.
 
 use bench::stress_fatbin;
 use cuda_rt::{share_device, ArgPack, CudaApi};
 use gpu_sim::spec::test_gpu;
 use gpu_sim::LaunchConfig;
+use guardian::telemetry::{HistSnapshot, OpClass};
 use guardian::transport::UidPolicy;
 use guardian::{
     spawn_manager_multi, Admission, BoundTransport, DispatchMode, GrdLib, LaunchAck, LeaseSpec,
@@ -122,6 +133,14 @@ struct Row {
     /// Control plane engaged: default lease, connect-rate gate, usage
     /// accounting.
     admission: bool,
+    /// Per-tenant telemetry armed (the manager default).
+    telemetry: bool,
+    /// Launch-enqueue latency quantiles in microseconds, merged across
+    /// tenants from the control plane's histograms (0 when telemetry is
+    /// off).
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
 }
 
 fn temp_sock(tag: &str) -> PathBuf {
@@ -146,6 +165,7 @@ fn measure(
         LAUNCHES_PER_TENANT,
         SessionDriver::Auto,
         false,
+        true,
     )
 }
 
@@ -160,6 +180,7 @@ fn measure_with(
     launches: usize,
     driver: SessionDriver,
     control: bool,
+    telemetry: bool,
 ) -> Row {
     // The stock 64 MiB test GPU pools at most 16 MiB by default (half of
     // free memory, floored to a power of two — the context's scratch
@@ -194,6 +215,7 @@ fn measure_with(
         lease_default: control
             .then(|| LeaseSpec::parse("mem=16M,streams=4,ttl=30m").expect("bench lease")),
         admission: admission.clone(),
+        telemetry,
         ..ManagerConfig::default()
     };
     let bound = match transport {
@@ -238,6 +260,14 @@ fn measure_with(
     }
     let elapsed = start.elapsed();
     let max_concurrent = mgr.max_concurrent_data_ops();
+    // Launch-enqueue latency quantiles, merged across every tenant's
+    // histogram (live + retired) before the manager goes away.
+    let mut agg = HistSnapshot::default();
+    for (_uid, hists) in mgr.control_plane().latency_by_uid() {
+        agg.merge(&hists[OpClass::LaunchEnqueue as usize]);
+    }
+    let q = |p: f64| agg.quantile(p) as f64 / 1e3;
+    let (p50_us, p95_us, p99_us) = (q(0.50), q(0.95), q(0.99));
     mgr.shutdown();
     let total = (tenants * launches) as f64;
     Row {
@@ -250,6 +280,10 @@ fn measure_with(
         launches_per_sec: total / elapsed.as_secs_f64(),
         max_concurrent_data_ops: max_concurrent,
         admission: control,
+        telemetry,
+        p50_us,
+        p95_us,
+        p99_us,
     }
 }
 
@@ -352,6 +386,7 @@ fn main() {
                         SCALE_LAUNCHES,
                         driver,
                         false,
+                        true,
                     )
                 })
                 .min_by(|a, b| a.elapsed_ms.total_cmp(&b.elapsed_ms))
@@ -382,6 +417,7 @@ fn main() {
             SCALE_LAUNCHES,
             SessionDriver::EventPool { workers: 0 },
             control,
+            true,
         )
     };
     let pairs: Vec<(Row, Row)> = (0..3).map(|_| (hook_arm(false), hook_arm(true))).collect();
@@ -395,6 +431,44 @@ fn main() {
         .min_by(|a, b| a.elapsed_ms.total_cmp(&b.elapsed_ms))
         .expect("three runs");
     rows.push(leased);
+    // Sweep 6: telemetry overhead — the same 64-tenant event-pool point
+    // A/B'd with per-tenant telemetry off vs on (the manager default).
+    // Interleaved off/on pairs for the same drift reason as sweep 5;
+    // the gate compares the best on-rate against the best off-rate. The
+    // off arm is gate-only; the on arm joins the table with its
+    // quantiles.
+    let telemetry_arm = |telemetry: bool| {
+        measure_with(
+            SCALE_GATE_TENANTS,
+            1,
+            DispatchMode::Concurrent,
+            LaunchAck::Deferred,
+            if telemetry {
+                "deferred+event+telemetry"
+            } else {
+                "deferred+event+tel-off"
+            },
+            Transport::Uds,
+            SCALE_LAUNCHES,
+            SessionDriver::EventPool { workers: 0 },
+            false,
+            telemetry,
+        )
+    };
+    let tel_pairs: Vec<(Row, Row)> = (0..3)
+        .map(|_| (telemetry_arm(false), telemetry_arm(true)))
+        .collect();
+    let tel_off_rate = tel_pairs
+        .iter()
+        .map(|(off, _)| off.launches_per_sec)
+        .fold(0.0_f64, f64::max);
+    let tel_on = tel_pairs
+        .into_iter()
+        .map(|(_, on)| on)
+        .min_by(|a, b| a.elapsed_ms.total_cmp(&b.elapsed_ms))
+        .expect("three runs");
+    let tel_on_rate = tel_on.launches_per_sec;
+    rows.push(tel_on);
 
     bench::print_table(
         "Dispatch throughput: launches/sec vs tenant count",
@@ -407,6 +481,7 @@ fn main() {
             "Launches/sec",
             "Max in-flight",
             "Control",
+            "p50/p95/p99 (us)",
         ],
         &rows
             .iter()
@@ -420,6 +495,11 @@ fn main() {
                     format!("{:.0}", r.launches_per_sec),
                     r.max_concurrent_data_ops.to_string(),
                     if r.admission { "leased" } else { "-" }.into(),
+                    if r.telemetry {
+                        format!("{:.0}/{:.0}/{:.0}", r.p50_us, r.p95_us, r.p99_us)
+                    } else {
+                        "-".into()
+                    },
                 ]
             })
             .collect::<Vec<_>>(),
@@ -435,7 +515,9 @@ fn main() {
             "    {{\"tenants\": {}, \"gpus\": {}, \"mode\": \"{}\", \"transport\": \"{}\", \
              \"launches_per_tenant\": {}, \
              \"elapsed_ms\": {:.3}, \"launches_per_sec\": {:.1}, \
-             \"max_concurrent_data_ops\": {}, \"admission\": {}}}{}\n",
+             \"max_concurrent_data_ops\": {}, \"admission\": {}, \
+             \"telemetry\": {}, \
+             \"launch_p50_us\": {:.3}, \"launch_p95_us\": {:.3}, \"launch_p99_us\": {:.3}}}{}\n",
             r.tenants,
             r.gpus,
             r.mode,
@@ -445,6 +527,10 @@ fn main() {
             r.launches_per_sec,
             r.max_concurrent_data_ops,
             r.admission,
+            r.telemetry,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -607,5 +693,21 @@ fn main() {
         leased_rate >= GATE_NOISE_FLOOR * hooks_baseline_rate,
         "control-plane hooks tax deferred throughput at \
          {SCALE_GATE_TENANTS} tenants: {leased_rate:.0}/s < {hooks_baseline_rate:.0}/s"
+    );
+
+    // Telemetry witness: the histograms and flight recorder must stay
+    // off the hot path's cost profile — per launch they add one clock
+    // read at decode/admit and a relaxed increment per batch stage. If
+    // this gate trips, recording grew a lock, an allocation, or a
+    // per-frame syscall.
+    println!(
+        "telemetry overhead at {SCALE_GATE_TENANTS} tenants: \
+         on {tel_on_rate:.0}/s vs off {tel_off_rate:.0}/s ({:.2}x)",
+        tel_on_rate / tel_off_rate
+    );
+    assert!(
+        tel_on_rate >= GATE_NOISE_FLOOR * tel_off_rate,
+        "telemetry taxes deferred throughput at {SCALE_GATE_TENANTS} \
+         tenants: {tel_on_rate:.0}/s < {tel_off_rate:.0}/s"
     );
 }

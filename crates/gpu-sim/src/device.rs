@@ -264,6 +264,16 @@ impl Device {
         self.spec.cycles_to_secs(self.now)
     }
 
+    /// Host wall-clock stamp ([`crate::mono_ns`]) of the most recently
+    /// completed command on `stream` (0 if the stream never completed a
+    /// command, or no longer exists).
+    pub fn stream_last_done_wall_ns(&self, stream: StreamId) -> u64 {
+        self.streams
+            .get(&stream)
+            .map(|s| s.last_done_wall_ns)
+            .unwrap_or(0)
+    }
+
     /// Serialize one context at a time with a switch penalty (time-sharing;
     /// the native CUDA baseline of the paper's Figure 6).
     pub fn exclusive_contexts(&mut self, on: bool) {
@@ -946,6 +956,7 @@ impl Device {
         s.queue.pop_front();
         s.busy = false;
         s.last_done = self.now;
+        s.last_done_wall_ns = crate::mono_ns();
         let more = !s.queue.is_empty();
         if let Some(c) = self.contexts.get_mut(&ctx) {
             c.finish_time = c.finish_time.max(self.now);

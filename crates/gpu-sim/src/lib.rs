@@ -90,6 +90,20 @@ pub use interp::{LaunchConfig, MemGuard};
 pub use spec::GpuSpec;
 pub use stream::{Command, CtxId, CudaFunction, Event, HostSink, ParamBuf, ParamPool, StreamId};
 
+/// Nanoseconds on the process-wide monotonic telemetry clock.
+///
+/// Every host-side timestamp in the stack — the manager's dispatch spans
+/// and the device's completion edges — reads this one clock, so durations
+/// computed across layers are meaningful. The epoch is the first call in
+/// the process; absolute values are only comparable within one run.
+pub fn mono_ns() -> u64 {
+    use std::sync::OnceLock;
+    static BASE: OnceLock<std::time::Instant> = OnceLock::new();
+    BASE.get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_nanos() as u64
+}
+
 #[cfg(test)]
 mod proptests {
     use crate::compile::truncate_to;

@@ -258,6 +258,10 @@ pub(crate) struct StreamState {
     pub busy: bool,
     /// Completion time of the most recently finished command.
     pub last_done: u64,
+    /// Host wall-clock stamp ([`crate::mono_ns`]) of that completion, so
+    /// the manager's telemetry can close launch→device-complete spans
+    /// against its own host-side timestamps.
+    pub last_done_wall_ns: u64,
     /// Whether the stream sits in the engine's ready/blocked queues
     /// (dedup flag, so a stream is tracked at most once).
     pub in_ready: bool,
@@ -270,6 +274,7 @@ impl StreamState {
             queue: VecDeque::new(),
             busy: false,
             last_done: 0,
+            last_done_wall_ns: 0,
             in_ready: false,
         }
     }

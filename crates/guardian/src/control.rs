@@ -29,6 +29,9 @@
 //!   nodes.
 
 use crate::proto::{AdminRequest, AdminResponse, DeviceInfo, TenantInfo, UsageInfo};
+use crate::telemetry::{
+    ExecGauges, HistSnapshot, OpClass, TenantTelemetry, TraceEvent, OP_CLASSES,
+};
 use crate::transport::BoundTransport;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -201,6 +204,9 @@ struct TenantEntry {
     lease: LeaseSpec,
     granted_at: Instant,
     counters: Arc<TenantCounters>,
+    /// Latency histograms + flight recorder, shared with the session
+    /// (`None` when the manager runs with telemetry disabled).
+    telemetry: Option<Arc<TenantTelemetry>>,
 }
 
 /// Usage retired when a tenancy ends, keyed per `(uid, device)` so
@@ -225,6 +231,11 @@ pub struct ControlPlane {
     overrides: Mutex<HashMap<u32, LeaseSpec>>,
     tenants: Mutex<HashMap<u32, TenantEntry>>,
     retired: Mutex<HashMap<(u32, u32), RetiredUsage>>,
+    /// Latency histograms of departed tenants, folded in at retire so
+    /// per-uid quantiles survive disconnect (mirrors `retired`).
+    retired_hists: Mutex<HashMap<u32, [HistSnapshot; OP_CLASSES]>>,
+    /// Event-executor health counters, written by the executor threads.
+    exec: Arc<ExecGauges>,
     admission: Option<Arc<Admission>>,
     /// Leases revoked by operator request.
     pub revoked_total: AtomicU64,
@@ -247,6 +258,8 @@ impl ControlPlane {
             overrides: Mutex::new(HashMap::new()),
             tenants: Mutex::new(HashMap::new()),
             retired: Mutex::new(HashMap::new()),
+            retired_hists: Mutex::new(HashMap::new()),
+            exec: Arc::new(ExecGauges::default()),
             admission,
             revoked_total: AtomicU64::new(0),
             expired_total: AtomicU64::new(0),
@@ -276,6 +289,7 @@ impl ControlPlane {
 
     /// Record a granted tenancy. Called by the control thread right
     /// after the partition is carved.
+    #[allow(clippy::too_many_arguments)]
     pub fn admit(
         &self,
         client: u32,
@@ -284,6 +298,7 @@ impl ControlPlane {
         partition_size: u64,
         lease: LeaseSpec,
         counters: Arc<TenantCounters>,
+        telemetry: Option<Arc<TenantTelemetry>>,
     ) {
         self.tenants.lock().insert(
             client,
@@ -294,8 +309,14 @@ impl ControlPlane {
                 lease,
                 granted_at: Instant::now(),
                 counters,
+                telemetry,
             },
         );
+    }
+
+    /// The uid a live client connected as, if it is still admitted.
+    pub fn uid_of(&self, client: u32) -> Option<u32> {
+        self.tenants.lock().get(&client).map(|t| t.uid)
     }
 
     /// Move a tenancy's accounting to a new device after migration.
@@ -319,6 +340,66 @@ impl ControlPlane {
         r.transfer_bytes += t.counters.transfer_bytes.load(Relaxed);
         r.frames += t.counters.frames.load(Relaxed);
         r.occupancy_ms += t.granted_at.elapsed().as_millis() as u64;
+        if let Some(tel) = &t.telemetry {
+            let snap = tel.snapshot();
+            let mut hists = self.retired_hists.lock();
+            let agg = hists
+                .entry(t.uid)
+                .or_insert_with(|| [HistSnapshot::default(); OP_CLASSES]);
+            for (a, s) in agg.iter_mut().zip(snap.iter()) {
+                a.merge(s);
+            }
+        }
+    }
+
+    /// The executor gauges this plane exposes in `/metrics`; the
+    /// manager hands clones to its executor threads.
+    pub fn exec_gauges(&self) -> Arc<ExecGauges> {
+        self.exec.clone()
+    }
+
+    /// Per-uid latency histograms, live sessions merged with the
+    /// retired ledger, sorted by uid.
+    pub fn latency_by_uid(&self) -> Vec<(u32, [HistSnapshot; OP_CLASSES])> {
+        let mut agg: HashMap<u32, [HistSnapshot; OP_CLASSES]> = HashMap::new();
+        for t in self.tenants.lock().values() {
+            let Some(tel) = &t.telemetry else { continue };
+            let snap = tel.snapshot();
+            let e = agg
+                .entry(t.uid)
+                .or_insert_with(|| [HistSnapshot::default(); OP_CLASSES]);
+            for (a, s) in e.iter_mut().zip(snap.iter()) {
+                a.merge(s);
+            }
+        }
+        for (&uid, hists) in self.retired_hists.lock().iter() {
+            let e = agg
+                .entry(uid)
+                .or_insert_with(|| [HistSnapshot::default(); OP_CLASSES]);
+            for (a, s) in e.iter_mut().zip(hists.iter()) {
+                a.merge(s);
+            }
+        }
+        let mut rows: Vec<_> = agg.into_iter().collect();
+        rows.sort_by_key(|(uid, _)| *uid);
+        rows
+    }
+
+    /// Flight-recorder snapshots across live sessions, optionally
+    /// filtered to one uid, ordered by decode timestamp so interleaved
+    /// tenants read chronologically.
+    pub fn trace_snapshot(&self, uid: Option<u32>) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        for t in self.tenants.lock().values() {
+            if uid.is_some_and(|u| u != t.uid) {
+                continue;
+            }
+            if let Some(tel) = &t.telemetry {
+                tel.recorder.snapshot(&mut out);
+            }
+        }
+        out.sort_by_key(|e| e.t_decode_ns);
+        out
     }
 
     /// Client ids whose lease TTL has elapsed — the control thread's
@@ -532,6 +613,149 @@ impl ControlPlane {
                 adm.rejected_total()
             );
         }
+        // Telemetry plane: node-wide latency histograms per op class
+        // (live + retired tenants merged), per-uid quantile gauges, and
+        // the event-executor health counters.
+        let by_uid = self.latency_by_uid();
+        let _ = writeln!(
+            out,
+            "# HELP guardian_op_latency_seconds Dispatch-path latency per op class, all tenants.\n\
+             # TYPE guardian_op_latency_seconds histogram"
+        );
+        for op in OpClass::ALL {
+            let mut agg = HistSnapshot::default();
+            for (_, hists) in &by_uid {
+                agg.merge(&hists[op as usize]);
+            }
+            let top = (0..crate::telemetry::HIST_BUCKETS)
+                .rev()
+                .find(|&i| agg.buckets[i] > 0)
+                .unwrap_or(0);
+            let mut cum = 0u64;
+            for (i, b) in agg.buckets.iter().enumerate().take(top + 1) {
+                cum += b;
+                let le = crate::telemetry::bucket_upper_ns(i) as f64 / 1e9;
+                let _ = writeln!(
+                    out,
+                    "guardian_op_latency_seconds_bucket{{node=\"{node}\",op=\"{}\",le=\"{le}\"}} {cum}",
+                    op.name()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "guardian_op_latency_seconds_bucket{{node=\"{node}\",op=\"{}\",le=\"+Inf\"}} {}",
+                op.name(),
+                agg.count()
+            );
+            let _ = writeln!(
+                out,
+                "guardian_op_latency_seconds_sum{{node=\"{node}\",op=\"{}\"}} {}",
+                op.name(),
+                agg.sum_ns as f64 / 1e9
+            );
+            let _ = writeln!(
+                out,
+                "guardian_op_latency_seconds_count{{node=\"{node}\",op=\"{}\"}} {}",
+                op.name(),
+                agg.count()
+            );
+        }
+        gauge(
+            &mut out,
+            "guardian_uid_latency_seconds",
+            "Estimated latency quantiles per uid and op class, live + retired.",
+        );
+        for (uid, hists) in &by_uid {
+            for op in OpClass::ALL {
+                let h = &hists[op as usize];
+                if h.count() == 0 {
+                    continue;
+                }
+                for q in [0.5, 0.95, 0.99] {
+                    let _ = writeln!(
+                        out,
+                        "guardian_uid_latency_seconds{{node=\"{node}\",uid=\"{uid}\",op=\"{}\",quantile=\"{q}\"}} {}",
+                        op.name(),
+                        h.quantile(q) as f64 / 1e9
+                    );
+                }
+            }
+        }
+        gauge(
+            &mut out,
+            "guardian_exec_queue_depth",
+            "Frames waiting when the executor last drained a session.",
+        );
+        let _ = writeln!(
+            out,
+            "guardian_exec_queue_depth{{node=\"{node}\"}} {}",
+            self.exec.queue_depth.load(Relaxed)
+        );
+        counter(
+            &mut out,
+            "guardian_exec_drain_batches_total",
+            "Executor drain batches run.",
+        );
+        let _ = writeln!(
+            out,
+            "guardian_exec_drain_batches_total{{node=\"{node}\"}} {}",
+            self.exec.drain_batches.load(Relaxed)
+        );
+        counter(
+            &mut out,
+            "guardian_exec_drained_frames_total",
+            "Frames drained across all executor batches.",
+        );
+        let _ = writeln!(
+            out,
+            "guardian_exec_drained_frames_total{{node=\"{node}\"}} {}",
+            self.exec.drained_frames.load(Relaxed)
+        );
+        gauge(
+            &mut out,
+            "guardian_exec_drain_batch_size",
+            "Mean frames per executor drain batch.",
+        );
+        let batches = self.exec.drain_batches.load(Relaxed);
+        let _ = writeln!(
+            out,
+            "guardian_exec_drain_batch_size{{node=\"{node}\"}} {}",
+            if batches == 0 {
+                0.0
+            } else {
+                self.exec.drained_frames.load(Relaxed) as f64 / batches as f64
+            }
+        );
+        counter(
+            &mut out,
+            "guardian_exec_parks_total",
+            "Executor threads parking in epoll_wait.",
+        );
+        let _ = writeln!(
+            out,
+            "guardian_exec_parks_total{{node=\"{node}\"}} {}",
+            self.exec.parks.load(Relaxed)
+        );
+        counter(
+            &mut out,
+            "guardian_exec_wakes_total",
+            "Doorbell wakeups delivered to executor threads.",
+        );
+        let _ = writeln!(
+            out,
+            "guardian_exec_wakes_total{{node=\"{node}\"}} {}",
+            self.exec.wakes.load(Relaxed)
+        );
+        counter(
+            &mut out,
+            "guardian_exec_rearms_total",
+            "Session doorbell re-arms after a drained batch.",
+        );
+        let _ = writeln!(
+            out,
+            "guardian_exec_rearms_total{{node=\"{node}\"}} {}",
+            self.exec.rearms.load(Relaxed)
+        );
         out
     }
 }
@@ -807,7 +1031,9 @@ mod tests {
         let counters = Arc::new(TenantCounters::default());
         counters.launches.store(5, Relaxed);
         counters.bytes_held.store(4096, Relaxed);
-        plane.admit(1, 42, 0, 2 << 20, tight, counters.clone());
+        let telemetry = TenantTelemetry::new(16);
+        telemetry.record(OpClass::LaunchEnqueue, 1_000);
+        plane.admit(1, 42, 0, 2 << 20, tight, counters.clone(), Some(telemetry));
         let rows = plane.tenants_table();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].uid, 42);
@@ -830,6 +1056,11 @@ mod tests {
         assert!(q[0].occupancy_ms >= 10);
         assert_eq!(q[0].bytes_held, 0, "held bytes are not lifetime usage");
         assert!(plane.quota_table(Some(9)).is_empty());
+        // The retired ledger kept the latency histograms too.
+        let lat = plane.latency_by_uid();
+        assert_eq!(lat.len(), 1);
+        assert_eq!(lat[0].0, 42);
+        assert_eq!(lat[0].1[OpClass::LaunchEnqueue as usize].count(), 1);
     }
 
     #[test]
@@ -840,7 +1071,20 @@ mod tests {
         let plane = ControlPlane::new("nodeA", LeaseSpec::unlimited(), Some(adm));
         let counters = Arc::new(TenantCounters::default());
         counters.launches.store(3, Relaxed);
-        plane.admit(1, 10, 0, 1 << 20, LeaseSpec::unlimited(), counters);
+        let telemetry = TenantTelemetry::new(16);
+        for ns in [800, 1_200, 50_000] {
+            telemetry.record(OpClass::LaunchEnqueue, ns);
+        }
+        telemetry.record(OpClass::Sync, 2_000_000);
+        plane.admit(
+            1,
+            10,
+            0,
+            1 << 20,
+            LeaseSpec::unlimited(),
+            counters,
+            Some(telemetry),
+        );
         let devices = [DeviceInfo {
             index: 0,
             name: "TestGPU".into(),
@@ -856,6 +1100,29 @@ mod tests {
             text.contains("guardian_uid_launches_total{node=\"nodeA\",uid=\"10\",device=\"0\"} 3")
         );
         assert!(text.contains("guardian_admission_rejected_total{node=\"nodeA\"} 1"));
+        // Telemetry families render: a histogram with a +Inf bucket and
+        // per-uid quantile gauges.
+        assert!(text.contains("# TYPE guardian_op_latency_seconds histogram"));
+        assert!(text
+            .contains("guardian_op_latency_seconds_bucket{node=\"nodeA\",op=\"launch_enqueue\",le=\"+Inf\"} 3"));
+        assert!(text.contains("guardian_op_latency_seconds_count{node=\"nodeA\",op=\"sync\"} 1"));
+        assert!(text.contains(
+            "guardian_uid_latency_seconds{node=\"nodeA\",uid=\"10\",op=\"launch_enqueue\",quantile=\"0.5\"}"
+        ));
+        assert!(text.contains("# TYPE guardian_exec_drained_frames_total counter"));
+        // Histogram bucket counts are cumulative, hence monotonic.
+        for op in OpClass::ALL {
+            let prefix = format!(
+                "guardian_op_latency_seconds_bucket{{node=\"nodeA\",op=\"{}\"",
+                op.name()
+            );
+            let mut last = 0u64;
+            for line in text.lines().filter(|l| l.starts_with(&prefix)) {
+                let count: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+                assert!(count >= last, "non-monotonic bucket: {line}");
+                last = count;
+            }
+        }
         // Every non-comment line is `name{labels} value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (metric, value) = line.rsplit_once(' ').expect("metric line");

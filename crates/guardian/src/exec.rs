@@ -33,6 +33,7 @@
 //! exits so shutdown still accounts for it.
 
 use crate::session::{self, SessionCtx, Step};
+use crate::telemetry::ExecGauges;
 use crate::transport::sys::{self, Epoll, OwnedFd};
 use crate::transport::Connection;
 use std::collections::HashMap;
@@ -103,6 +104,9 @@ struct PoolInner {
     next_id: AtomicU64,
     /// Threads owning demoted sessions; joined at shutdown.
     demoted: Mutex<Vec<JoinHandle<()>>>,
+    /// Park/wake/re-arm counters, shared with the control plane's
+    /// `/metrics` rendering.
+    gauges: Arc<ExecGauges>,
 }
 
 /// The executor pool. Owned by the acceptor; created lazily on the
@@ -114,7 +118,7 @@ pub(crate) struct EventPool {
 
 impl EventPool {
     /// Start `workers` pump threads (`0` = one per available core).
-    pub(crate) fn new(workers: usize) -> Self {
+    pub(crate) fn new(workers: usize, gauges: Arc<ExecGauges>) -> Self {
         let n = if workers == 0 {
             std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -135,6 +139,7 @@ impl EventPool {
             idle: Condvar::new(),
             next_id: AtomicU64::new(1),
             demoted: Mutex::new(Vec::new()),
+            gauges,
         });
         let workers = (0..n)
             .map(|i| {
@@ -197,12 +202,14 @@ impl EventPool {
 
 fn worker_loop(inner: &Arc<PoolInner>) {
     loop {
+        inner.gauges.parks.fetch_add(1, Ordering::Relaxed);
         let events = inner.epoll.wait(64, -1);
         if inner.stop.load(Ordering::SeqCst) {
             return;
         }
         for (_mask, data) in events {
             if data != SHUTDOWN_ID {
+                inner.gauges.wakes.fetch_add(1, Ordering::Relaxed);
                 handle_event(inner, data);
             }
         }
@@ -300,6 +307,7 @@ fn drain(st: &mut CellState) -> bool {
     // one device-lock acquisition for the whole burst.
     st.ctx.flush_pending();
     st.ctx.note_frames(frames);
+    st.ctx.note_drain(frames);
     closed
 }
 
@@ -321,17 +329,21 @@ fn rearm_cell(inner: &PoolInner, cell: &Cell, fds: &[i32]) {
     if fired == 0 {
         return;
     }
+    let mut rearmed: u64 = 0;
     if fired & FIRED_ALL != 0 {
         for (i, fd) in fds.iter().enumerate() {
             let _ = inner.epoll.rearm(*fd, EV_FLAGS, ev_data(cell.id, i));
+            rearmed += 1;
         }
-        return;
-    }
-    for (i, fd) in fds.iter().enumerate().take(3) {
-        if fired & (1 << i) != 0 {
-            let _ = inner.epoll.rearm(*fd, EV_FLAGS, ev_data(cell.id, i));
+    } else {
+        for (i, fd) in fds.iter().enumerate().take(3) {
+            if fired & (1 << i) != 0 {
+                let _ = inner.epoll.rearm(*fd, EV_FLAGS, ev_data(cell.id, i));
+                rearmed += 1;
+            }
         }
     }
+    inner.gauges.rearms.fetch_add(rearmed, Ordering::Relaxed);
 }
 
 /// Bring the epoll registration in line with the connection's current

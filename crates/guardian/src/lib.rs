@@ -93,6 +93,7 @@ pub mod manager;
 pub mod placement;
 pub mod proto;
 mod session;
+pub mod telemetry;
 pub mod transport;
 
 pub use alloc::{AllocError, Partition, PartitionAllocator, RegionAllocator};
@@ -101,7 +102,8 @@ pub use control::{Admission, ControlPlane, LeaseSpec};
 pub use grdlib::GrdLib;
 pub use manager::{
     spawn_manager, spawn_manager_multi, spawn_manager_over, ClientId, DispatchMode,
-    InterceptionStats, LaunchAck, LaunchStats, ManagerConfig, ManagerHandle, SessionDriver,
+    InterceptionStats, LaunchAck, LaunchStats, LogLevel, ManagerConfig, ManagerHandle,
+    SessionDriver,
 };
 pub use placement::{Affinity, PlacementHint, PlacementPolicy};
 pub use ptx_patcher::Protection;

@@ -274,6 +274,39 @@ pub struct ManagerConfig {
     /// (see [`BoundTransport::uds_gated`]); the manager only needs the
     /// handle so `/metrics` can report its rejection counter.
     pub admission: Option<Arc<Admission>>,
+    /// Per-tenant latency histograms, dispatch spans, and flight
+    /// recorders ([`crate::telemetry`]). On by default; the off arm
+    /// exists so the telemetry-overhead CI gate has a baseline.
+    pub telemetry: bool,
+    /// Minimum severity of structured one-line event logs on stderr
+    /// (connect/teardown/revoke/migrate with tenant uid + node id).
+    /// [`LogLevel::Off`] by default; `guardiand --log-level` raises it.
+    pub log_level: LogLevel,
+}
+
+/// Severity floor for the manager's structured stderr event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum LogLevel {
+    /// No event logging (library default).
+    #[default]
+    Off,
+    /// Tenancy lifecycle events: connect, disconnect, teardown, lease
+    /// expiry, revocation, migration.
+    Info,
+    /// Info plus per-decision detail (placement, admission).
+    Debug,
+}
+
+impl LogLevel {
+    /// Parse a `--log-level` value.
+    pub fn parse(s: &str) -> Result<LogLevel, String> {
+        match s {
+            "off" => Ok(LogLevel::Off),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            _ => Err(format!("bad log level `{s}` (want off|info|debug)")),
+        }
+    }
 }
 
 impl Default for ManagerConfig {
@@ -290,6 +323,8 @@ impl Default for ManagerConfig {
             lease_default: None,
             node_id: None,
             admission: None,
+            telemetry: true,
+            log_level: LogLevel::Off,
         }
     }
 }
@@ -399,6 +434,10 @@ struct Control {
     /// Per-client launch counts as of the last rebalance step, so the
     /// rebalancer can rank candidates by activity *since* then.
     activity_marks: HashMap<ClientId, u64>,
+    /// Whether new tenants get latency histograms + a flight recorder.
+    telemetry: bool,
+    /// Severity floor for structured stderr event logs.
+    log_level: LogLevel,
 }
 
 /// How often the control thread wakes to sweep expired leases when no
@@ -414,6 +453,19 @@ fn placement_to_cuda(e: PlacementError) -> CudaError {
 }
 
 impl Control {
+    /// One structured line per tenancy event on stderr:
+    /// `guardiand event=<what> node=<id> <key=value...>`. This is the
+    /// single logging seat for connect/disconnect/teardown/expiry/
+    /// revoke/migrate, so operators grep one stable format.
+    fn log_event(&self, event: &str, detail: std::fmt::Arguments<'_>) {
+        if self.log_level >= LogLevel::Info {
+            eprintln!(
+                "guardiand event={event} node={} {detail}",
+                self.plane.node()
+            );
+        }
+    }
+
     fn run(mut self, rx: Receiver<CtrlMsg>) {
         // `recv_timeout` instead of `recv`: leases expire on wall-clock
         // time, so the control thread must wake even when no tenant is
@@ -455,10 +507,20 @@ impl Control {
                 .connect(mem_requirement, hint, uid)
                 .map(CtrlOut::Connected),
             CtrlOp::Disconnect { client } => {
+                let uid = self.plane.uid_of(client.0);
+                self.log_event(
+                    "disconnect",
+                    format_args!("uid={} client={}", uid.unwrap_or(0), client.0),
+                );
                 self.teardown(client);
                 Ok(CtrlOut::Unit)
             }
             CtrlOp::Revoke { client, expired } => {
+                let uid = self.plane.uid_of(client.0);
+                self.log_event(
+                    if expired { "expire" } else { "revoke" },
+                    format_args!("uid={} client={}", uid.unwrap_or(0), client.0),
+                );
                 let state = self.client(client)?;
                 // Mark the tenant dead first: data-plane ops started
                 // after this point fail their liveness check before
@@ -582,8 +644,18 @@ impl Control {
             .lock()
             .destroy_stream(b.stream);
         drop(binding);
+        let uid = self.plane.uid_of(client.0);
         self.plane.retire(client.0);
         self.activity_marks.remove(&client);
+        self.log_event(
+            "teardown",
+            format_args!(
+                "uid={} client={} device={}",
+                uid.unwrap_or(0),
+                client.0,
+                b.gpu
+            ),
+        );
     }
 
     /// Live partition migration (the cross-GPU rebalance primitive):
@@ -699,6 +771,15 @@ impl Control {
         let new = *binding;
         drop(binding);
         self.plane.rebind(client.0, dst_gpu);
+        self.log_event(
+            "migrate",
+            format_args!(
+                "uid={} client={} from={} to={dst_gpu}",
+                self.plane.uid_of(client.0).unwrap_or(0),
+                client.0,
+                src.gpu
+            ),
+        );
         Ok(self.client_info(&state, &new))
     }
 
@@ -851,6 +932,9 @@ impl Control {
             partition,
         };
         let counters = Arc::new(TenantCounters::default());
+        let telemetry = self
+            .telemetry
+            .then(|| crate::telemetry::TenantTelemetry::new(crate::telemetry::FLIGHT_RING));
         let state = Arc::new(ClientShared {
             id,
             dead: AtomicBool::new(false),
@@ -867,11 +951,16 @@ impl Control {
             lease_mem: lease.mem_bytes,
             lease_ttl_ms: lease.ttl_ms(),
             counters: counters.clone(),
+            telemetry: telemetry.clone(),
         });
         let info = self.client_info(&state, &binding);
         self.shared.clients.write().insert(id, state);
         self.plane
-            .admit(id.0, uid, gpu, partition.size, lease, counters);
+            .admit(id.0, uid, gpu, partition.size, lease, counters, telemetry);
+        self.log_event(
+            "connect",
+            format_args!("uid={uid} client={} device={gpu}", id.0),
+        );
         Ok(info)
     }
 
@@ -1232,6 +1321,10 @@ impl AdminApi {
                 },
                 Err(e) => err(e.to_string()),
             },
+            AdminRequest::Trace { uid } => AdminResponse::Trace {
+                node,
+                events: self.plane.trace_snapshot(uid),
+            },
         }
     }
 }
@@ -1340,6 +1433,15 @@ pub fn spawn_manager_multi(
         });
         pools.push(PartitionAllocator::new(pool_base, pool_bytes));
     }
+    let node_id = config
+        .node_id
+        .clone()
+        .unwrap_or_else(|| format!("grd-{}", std::process::id()));
+    let plane = Arc::new(ControlPlane::new(
+        node_id,
+        config.lease_default.unwrap_or_default(),
+        config.admission.clone(),
+    ));
     let shared = Arc::new(Shared {
         gpus,
         protection: config.protection,
@@ -1351,16 +1453,8 @@ pub fn spawn_manager_multi(
         serial_gate: Mutex::new(()),
         inflight: AtomicU32::new(0),
         max_inflight: AtomicU32::new(0),
+        exec_gauges: plane.exec_gauges(),
     });
-    let node_id = config
-        .node_id
-        .clone()
-        .unwrap_or_else(|| format!("grd-{}", std::process::id()));
-    let plane = Arc::new(ControlPlane::new(
-        node_id,
-        config.lease_default.unwrap_or_default(),
-        config.admission.clone(),
-    ));
     let mut control = Control {
         shared: shared.clone(),
         pools,
@@ -1370,6 +1464,8 @@ pub fn spawn_manager_multi(
         registered_fatbins: Vec::new(),
         plane: plane.clone(),
         activity_marks: HashMap::new(),
+        telemetry: config.telemetry,
+        log_level: config.log_level,
     };
     // Offline phase: sandbox + load the initial fatbins (on every GPU)
     // before any tenant can connect, so registration errors surface here.

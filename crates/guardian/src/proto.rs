@@ -136,8 +136,10 @@ impl fmt::Display for Symbol {
 /// [`ConnectInfo`], and the `DeviceInfo`/`Migrate` messages. Version 3
 /// added the node control plane: lease terms in [`ConnectInfo`] and the
 /// admin-plane message family ([`AdminRequest`]/[`AdminResponse`])
-/// spoken on `guardiand`'s admin socket.
-pub const PROTO_VERSION: u8 = 3;
+/// spoken on `guardiand`'s admin socket. Version 4 added the telemetry
+/// plane's flight-recorder dump ([`AdminRequest::Trace`] /
+/// [`AdminResponse::Trace`]); every pre-v4 frame shape is unchanged.
+pub const PROTO_VERSION: u8 = 4;
 
 /// Oldest wire-format version this build still **decodes**. This is
 /// decode-side compatibility only: a v1 frame (single-GPU era —
@@ -446,6 +448,12 @@ pub enum AdminRequest {
     },
     /// Prometheus-text exposition of every node metric.
     Metrics,
+    /// Dump the flight recorders (v4): every live session's ring of
+    /// recent trace events; `None` reports every tenant.
+    Trace {
+        /// Restrict the dump to sessions owned by one uid.
+        uid: Option<u32>,
+    },
 }
 
 /// A manager-to-operator message on the admin plane (v3). Every
@@ -485,6 +493,13 @@ pub enum AdminResponse {
         node: String,
         /// The exposition body.
         text: String,
+    },
+    /// A flight-recorder dump ([`AdminRequest::Trace`], v4).
+    Trace {
+        /// Responding node.
+        node: String,
+        /// Trace events across the selected sessions, oldest first.
+        events: Vec<crate::telemetry::TraceEvent>,
     },
     /// The admin call failed (unknown client, malformed lease, …).
     Error {
@@ -569,6 +584,7 @@ const ADMIN_REQ_LEASE_SET: u8 = 3;
 const ADMIN_REQ_LEASE_REVOKE: u8 = 4;
 const ADMIN_REQ_QUOTA: u8 = 5;
 const ADMIN_REQ_METRICS: u8 = 6;
+const ADMIN_REQ_TRACE: u8 = 7;
 
 const ADMIN_RESP_DEVICES: u8 = 1;
 const ADMIN_RESP_TENANTS: u8 = 2;
@@ -576,6 +592,7 @@ const ADMIN_RESP_OK: u8 = 3;
 const ADMIN_RESP_QUOTA: u8 = 4;
 const ADMIN_RESP_METRICS: u8 = 5;
 const ADMIN_RESP_ERROR: u8 = 6;
+const ADMIN_RESP_TRACE: u8 = 7;
 
 // ---- placement-hint affinity codes -----------------------------------------
 
@@ -678,6 +695,20 @@ fn put_usage_info(buf: &mut Vec<u8>, u: &UsageInfo) {
     buf.put_u64_le(u.transfers);
     buf.put_u64_le(u.transfer_bytes);
     buf.put_u64_le(u.occupancy_ms);
+}
+
+fn put_trace_event(buf: &mut Vec<u8>, e: &crate::telemetry::TraceEvent) {
+    buf.put_u64_le(e.seq);
+    buf.put_u8(e.op);
+    buf.put_u8(e.outcome);
+    buf.put_u32_le(e.client);
+    buf.put_u32_le(e.uid);
+    buf.put_u32_le(e.stream);
+    buf.put_u64_le(e.t_decode_ns);
+    buf.put_u64_le(e.t_admit_ns);
+    buf.put_u64_le(e.t_flush_ns);
+    buf.put_u64_le(e.t_enqueue_ns);
+    buf.put_u64_le(e.t_complete_ns);
 }
 
 fn put_error(buf: &mut Vec<u8>, e: &CudaError) {
@@ -856,6 +887,22 @@ impl<'a> Reader<'a> {
             transfers: self.u64()?,
             transfer_bytes: self.u64()?,
             occupancy_ms: self.u64()?,
+        })
+    }
+
+    fn trace_event(&mut self) -> Result<crate::telemetry::TraceEvent, ProtoError> {
+        Ok(crate::telemetry::TraceEvent {
+            seq: self.u64()?,
+            op: self.u8()?,
+            outcome: self.u8()?,
+            client: self.u32()?,
+            uid: self.u32()?,
+            stream: self.u32()?,
+            t_decode_ns: self.u64()?,
+            t_admit_ns: self.u64()?,
+            t_flush_ns: self.u64()?,
+            t_enqueue_ns: self.u64()?,
+            t_complete_ns: self.u64()?,
         })
     }
 
@@ -1260,6 +1307,17 @@ impl AdminRequest {
                 buf
             }
             AdminRequest::Metrics => frame_header(ADMIN_REQ_METRICS),
+            AdminRequest::Trace { uid } => {
+                let mut buf = frame_header(ADMIN_REQ_TRACE);
+                match uid {
+                    None => buf.put_u8(0),
+                    Some(u) => {
+                        buf.put_u8(1);
+                        buf.put_u32_le(*u);
+                    }
+                }
+                buf
+            }
         }
     }
 
@@ -1286,6 +1344,9 @@ impl AdminRequest {
                 uid: if r.u8()? == 0 { None } else { Some(r.u32()?) },
             },
             ADMIN_REQ_METRICS => AdminRequest::Metrics,
+            ADMIN_REQ_TRACE => AdminRequest::Trace {
+                uid: if r.u8()? == 0 { None } else { Some(r.u32()?) },
+            },
             op => return Err(ProtoError::BadOpcode(op)),
         };
         r.finish()?;
@@ -1333,6 +1394,15 @@ impl AdminResponse {
                 let mut buf = frame_header(ADMIN_RESP_METRICS);
                 put_str(&mut buf, node);
                 put_str(&mut buf, text);
+                buf
+            }
+            AdminResponse::Trace { node, events } => {
+                let mut buf = frame_header(ADMIN_RESP_TRACE);
+                put_str(&mut buf, node);
+                buf.put_u32_le(events.len() as u32);
+                for e in events {
+                    put_trace_event(&mut buf, e);
+                }
                 buf
             }
             AdminResponse::Error { node, msg } => {
@@ -1391,6 +1461,15 @@ impl AdminResponse {
                 node: r.string()?,
                 msg: r.string()?,
             },
+            ADMIN_RESP_TRACE => {
+                let node = r.string()?;
+                let n = r.u32()?;
+                let mut events = Vec::with_capacity((n as usize).min(64));
+                for _ in 0..n {
+                    events.push(r.trace_event()?);
+                }
+                AdminResponse::Trace { node, events }
+            }
             op => return Err(ProtoError::BadOpcode(op)),
         };
         r.finish()?;
@@ -1709,6 +1788,60 @@ mod tests {
         ));
     }
 
+    /// Version-3 frames — the control-plane wire format, before v4 added
+    /// the `Trace` admin family — must keep decoding: every v3 frame
+    /// shape is unchanged in v4, only new opcodes were appended.
+    #[test]
+    fn v3_frames_still_decode() {
+        // v3 admin request: Quota with a uid filter, byte-for-byte the
+        // shape guardianctl 0.3 would emit.
+        let mut f = vec![3u8, ADMIN_REQ_QUOTA, 1];
+        f.extend_from_slice(&1000u32.to_le_bytes());
+        assert_eq!(
+            AdminRequest::decode(&f).unwrap(),
+            AdminRequest::Quota { uid: Some(1000) }
+        );
+        // v3 admin response: an Ok under a v3 version byte.
+        let mut ok = AdminResponse::Ok {
+            node: "node-a".into(),
+        }
+        .encode();
+        ok[0] = 3;
+        assert_eq!(
+            AdminResponse::decode(&ok).unwrap(),
+            AdminResponse::Ok {
+                node: "node-a".into()
+            }
+        );
+        // v3 tenant frames: a lease-era Connected (all eight fields)
+        // still decodes bit-identically.
+        let mut conn = Response::Connected(ConnectInfo {
+            client: 7,
+            clock_ghz: 1.5,
+            partition_base: 1 << 40,
+            partition_size: 1 << 22,
+            deferred_launch: true,
+            device: 2,
+            lease_mem: 1 << 30,
+            lease_ttl_ms: 60_000,
+        })
+        .encode();
+        conn[0] = 3;
+        match Response::decode(&conn).unwrap() {
+            Response::Connected(info) => {
+                assert_eq!(info.lease_mem, 1 << 30);
+                assert_eq!(info.lease_ttl_ms, 60_000);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+        // The v4 additions did not exist in v3, and a v3 peer would
+        // reject them — but *this* build must reject only future
+        // versions, not v3.
+        let mut sync_v3 = Request::Sync.encode();
+        sync_v3[0] = 3;
+        assert_eq!(Request::decode(&sync_v3).unwrap(), Request::Sync);
+    }
+
     #[test]
     fn admin_round_trip_edge_values() {
         let reqs = vec![
@@ -1724,6 +1857,10 @@ mod tests {
             AdminRequest::Quota { uid: None },
             AdminRequest::Quota { uid: Some(1000) },
             AdminRequest::Metrics,
+            AdminRequest::Trace { uid: None },
+            AdminRequest::Trace {
+                uid: Some(u32::MAX),
+            },
         ];
         for req in reqs {
             let frame = req.encode();
@@ -1776,6 +1913,25 @@ mod tests {
             AdminResponse::Metrics {
                 node: "node-a".into(),
                 text: "# HELP guardian_tenants Live tenants.\nguardian_tenants 2\n".into(),
+            },
+            AdminResponse::Trace {
+                node: "node-a".into(),
+                events: vec![
+                    crate::telemetry::TraceEvent::default(),
+                    crate::telemetry::TraceEvent {
+                        seq: u64::MAX,
+                        op: 4,
+                        outcome: 1,
+                        client: u32::MAX,
+                        uid: 1000,
+                        stream: 3,
+                        t_decode_ns: 1,
+                        t_admit_ns: 2,
+                        t_flush_ns: 3,
+                        t_enqueue_ns: u64::MAX,
+                        t_complete_ns: 5,
+                    },
+                ],
             },
             AdminResponse::Error {
                 node: "node-a".into(),

@@ -22,6 +22,7 @@ use crate::manager::{
     ctrl_call, CtrlMsg, CtrlOp, CtrlOut, DispatchMode, LaunchAck, LaunchStatsAtomic, SessionDriver,
 };
 use crate::proto::{ConnectInfo, Payload, Request, Response, StatsSnapshot, Symbol};
+use crate::telemetry::{self, ExecGauges, OpClass, TenantTelemetry, TraceEvent};
 use crate::transport::frame::FrameView;
 use crate::transport::{Connection, Listener};
 use crate::ClientId;
@@ -117,6 +118,10 @@ pub(crate) struct ClientShared {
     pub lease_ttl_ms: u64,
     /// Usage counters the data plane bumps and the admin plane reads.
     pub counters: Arc<TenantCounters>,
+    /// Latency histograms + flight recorder for this tenancy; `None`
+    /// when the manager runs with telemetry disabled — the hot path
+    /// then skips even the clock reads.
+    pub telemetry: Option<Arc<TenantTelemetry>>,
 }
 
 impl ClientShared {
@@ -145,6 +150,9 @@ pub(crate) struct Shared {
     /// observable witness that tenants' dispatch genuinely overlaps.
     pub inflight: AtomicU32,
     pub max_inflight: AtomicU32,
+    /// Executor instrumentation (drain batches, parks/wakes, re-arms),
+    /// owned by the control plane so `/metrics` can read it.
+    pub exec_gauges: Arc<ExecGauges>,
 }
 
 impl Shared {
@@ -239,6 +247,15 @@ struct FastCache {
     funcs: HashMap<String, CudaFunction>,
 }
 
+/// Stage stamps for one admitted-but-unflushed launch; lives in a
+/// scratch vector preallocated alongside `pending` so steady-state
+/// pushes never touch the heap.
+#[derive(Clone, Copy)]
+struct LaunchSpan {
+    t_decode: u64,
+    t_admit: u64,
+}
+
 /// A session as a transport-agnostic state machine: everything one
 /// tenant's server side *is*, minus the connection it is fed from. The
 /// thread-per-session loop ([`run_session`]) and the epoll executor
@@ -265,6 +282,17 @@ pub(crate) struct SessionCtx {
     /// serial gate must see one op at a time), and no standalone-native
     /// switching (its kernel choice depends on the live client count).
     buffering: bool,
+    /// Per-pending-launch stage stamps (only pushed when the tenant has
+    /// telemetry); parallel to `pending`.
+    spans: Vec<LaunchSpan>,
+    /// Decode stamp of the frame currently being dispatched; 0 when the
+    /// tenant has no telemetry.
+    t_decode: u64,
+    /// Decode stamp of the oldest launch not yet covered by a sync —
+    /// the open edge the launch-to-device-complete histogram closes.
+    batch_open_ns: u64,
+    /// Launches enqueued since the last sync closed the completion edge.
+    unsynced_launches: u64,
 }
 
 impl SessionCtx {
@@ -282,6 +310,10 @@ impl SessionCtx {
             params: ParamPool::new(),
             staged: Vec::new(),
             buffering,
+            spans: Vec::with_capacity(if buffering { LAUNCH_BUF } else { 0 }),
+            t_decode: 0,
+            batch_open_ns: 0,
+            unsynced_launches: 0,
         }
     }
 
@@ -299,9 +331,23 @@ impl SessionCtx {
     /// Decode and execute one frame. The decode borrows payloads from
     /// the frame's backing block, so bulk bytes (H2D data, launch args)
     /// are never copied on the way in.
+    /// Credit one executor drain batch to the shared gauges.
+    pub(crate) fn note_drain(&self, frames: u64) {
+        if frames > 0 {
+            self.shared.exec_gauges.note_drain(frames);
+        }
+    }
+
     pub(crate) fn handle_frame(&mut self, frame: &FrameView) -> Step {
         #[cfg(debug_assertions)]
         crate::alloc_audit::mark();
+        // Stage stamp: frame decode. Tenants without telemetry skip the
+        // clock read entirely, keeping the off arm honest for the
+        // overhead gate.
+        self.t_decode = match &self.client {
+            Some(c) if c.telemetry.is_some() => telemetry::now_ns(),
+            _ => 0,
+        };
         let req = match Request::decode_view(frame) {
             Ok(req) => req,
             Err(e) => {
@@ -412,6 +458,15 @@ impl SessionCtx {
             args,
             driver_level,
         });
+        if c.telemetry.is_some() {
+            // Stage stamp: session admission. Pushed within `spans`'
+            // preallocated capacity, so it stays inside the audited
+            // no-alloc window below.
+            self.spans.push(LaunchSpan {
+                t_decode: self.t_decode,
+                t_admit: telemetry::now_ns(),
+            });
+        }
         // The steady state (warm cache, buffer below its preallocated
         // cap) must not touch the heap; armed by the stress tests'
         // counting allocator.
@@ -448,6 +503,7 @@ impl SessionCtx {
         self.shared.inflight.fetch_sub(n, Ordering::SeqCst);
         self.pending.clear();
         self.staged.clear();
+        self.spans.clear();
     }
 
     fn flush_inner(&mut self, c: &Arc<ClientShared>) -> CudaResult<()> {
@@ -456,6 +512,14 @@ impl SessionCtx {
             let cache = self.cache.as_ref().expect("pending implies cache");
             let (epoch, b) = (cache.epoch, cache.binding);
             let g = &self.shared.gpus[b.gpu as usize];
+
+            // Stage stamp: batch flush start (shared by every launch in
+            // the batch).
+            let t_flush = if c.telemetry.is_some() {
+                telemetry::now_ns()
+            } else {
+                0
+            };
 
             // (2) Augment every parameter array with the partition
             // bounds, outside the device lock (pure CPU work; Table 5
@@ -504,6 +568,34 @@ impl SessionCtx {
             drop(dev);
             let enqueue_ns = t1.elapsed().as_nanos() as u64;
 
+            if let Some(tel) = &c.telemetry {
+                // Stage stamp: device enqueue done. Close the enqueue
+                // histogram for every launch in the batch and lay its
+                // stage stamps into the flight recorder; the completion
+                // edge stays open until the tenant's next sync.
+                let t_enq = telemetry::now_ns();
+                if self.unsynced_launches == 0 {
+                    self.batch_open_ns = self.spans.first().map_or(t_flush, |s| s.t_decode);
+                }
+                self.unsynced_launches += ok;
+                for (i, span) in self.spans.iter().enumerate() {
+                    tel.record(OpClass::LaunchEnqueue, t_enq.saturating_sub(span.t_decode));
+                    tel.recorder.record(TraceEvent {
+                        seq: 0,
+                        op: OpClass::LaunchEnqueue as u8,
+                        outcome: u8::from(i as u64 >= ok),
+                        client: c.id.0,
+                        uid: self.uid,
+                        stream: b.stream.0,
+                        t_decode_ns: span.t_decode,
+                        t_admit_ns: span.t_admit,
+                        t_flush_ns: t_flush,
+                        t_enqueue_ns: t_enq,
+                        t_complete_ns: 0,
+                    });
+                }
+            }
+
             // One atomic round per batch; cache hits make the lookup
             // cost ~0, and the shared ns totals are attributed to the
             // two API levels by launch count.
@@ -548,6 +640,14 @@ impl SessionCtx {
             }
         }
         Ok(())
+    }
+}
+
+/// Record one op-class latency sample against the tenant, if its
+/// telemetry is armed. `t0` is the frame's decode stamp.
+fn note_op(c: &ClientShared, op: OpClass, t0: u64) {
+    if let Some(tel) = &c.telemetry {
+        tel.record(op, telemetry::now_ns().saturating_sub(t0));
     }
 }
 
@@ -639,8 +739,10 @@ pub(crate) fn spawn_acceptor(
                 let ctx = SessionCtx::new(shared.clone(), ctrl.clone(), uid);
                 if let Some(workers) = pool_workers {
                     if conn.enter_event_mode() {
-                        pool.get_or_insert_with(|| crate::exec::EventPool::new(workers))
-                            .adopt(conn, ctx);
+                        pool.get_or_insert_with(|| {
+                            crate::exec::EventPool::new(workers, shared.exec_gauges.clone())
+                        })
+                        .adopt(conn, ctx);
                         continue;
                     }
                 }
@@ -729,6 +831,7 @@ fn dispatch(req: Request, ctx: &mut SessionCtx) -> Option<Response> {
             if client.is_some() {
                 return Some(Response::Error(CudaError::InvalidValue));
             }
+            let t0 = telemetry::now_ns();
             let r = ctrl_call(
                 ctrl,
                 CtrlOp::Connect {
@@ -740,6 +843,11 @@ fn dispatch(req: Request, ctx: &mut SessionCtx) -> Option<Response> {
             Some(match r {
                 Ok(CtrlOut::Connected(info)) => {
                     *client = shared.clients.read().get(&info.id).cloned();
+                    // Connect/admission latency: the control-thread
+                    // round-trip that granted the tenancy.
+                    if let Some(c) = client.as_ref() {
+                        note_op(c, OpClass::Connect, t0);
+                    }
                     Response::Connected(connect_info(shared, &info))
                 }
                 Ok(_) => Response::Error(CudaError::InvalidValue),
@@ -838,15 +946,15 @@ fn dispatch(req: Request, ctx: &mut SessionCtx) -> Option<Response> {
         // ---- data plane: executed here, concurrently across tenants ---
         Request::Memset { dst, byte, len } => {
             let c = require!(client);
-            Some(result_reply(with_dispatch(shared, || {
-                memset(shared, &c, dst, byte, len)
-            })))
+            let r = with_dispatch(shared, || memset(shared, &c, dst, byte, len));
+            note_op(&c, OpClass::Memcpy, ctx.t_decode);
+            Some(result_reply(r))
         }
         Request::MemcpyH2D { dst, data } => {
             let c = require!(client);
-            Some(result_reply(with_dispatch(shared, || {
-                memcpy_h2d(shared, &c, dst, data)
-            })))
+            let r = with_dispatch(shared, || memcpy_h2d(shared, &c, dst, data));
+            note_op(&c, OpClass::Memcpy, ctx.t_decode);
+            Some(result_reply(r))
         }
         Request::MemcpyH2DAsync { dst, data } => {
             // One-way by definition (not by ack mode): replying — even
@@ -859,22 +967,23 @@ fn dispatch(req: Request, ctx: &mut SessionCtx) -> Option<Response> {
                 let mut sticky = c.sticky.lock();
                 sticky.get_or_insert(e);
             }
+            note_op(&c, OpClass::Memcpy, ctx.t_decode);
             None
         }
         Request::MemcpyD2H { src, len } => {
             let c = require!(client);
-            Some(
-                match with_dispatch(shared, || memcpy_d2h(shared, &c, src, len)) {
-                    Ok(data) => Response::Data(data),
-                    Err(e) => Response::Error(e),
-                },
-            )
+            let r = with_dispatch(shared, || memcpy_d2h(shared, &c, src, len));
+            note_op(&c, OpClass::Memcpy, ctx.t_decode);
+            Some(match r {
+                Ok(data) => Response::Data(data),
+                Err(e) => Response::Error(e),
+            })
         }
         Request::MemcpyD2D { dst, src, len } => {
             let c = require!(client);
-            Some(result_reply(with_dispatch(shared, || {
-                memcpy_d2d(shared, &c, dst, src, len)
-            })))
+            let r = with_dispatch(shared, || memcpy_d2d(shared, &c, dst, src, len));
+            note_op(&c, OpClass::Memcpy, ctx.t_decode);
+            Some(result_reply(r))
         }
         Request::Launch {
             kernel,
@@ -901,6 +1010,7 @@ fn dispatch(req: Request, ctx: &mut SessionCtx) -> Option<Response> {
             let r = with_dispatch(shared, || {
                 launch(shared, &c, &kernel, cfg, &args, driver_level)
             });
+            note_op(&c, OpClass::LaunchEnqueue, ctx.t_decode);
             match shared.launch_ack {
                 LaunchAck::Eager => Some(result_reply(r)),
                 LaunchAck::Deferred => {
@@ -917,7 +1027,48 @@ fn dispatch(req: Request, ctx: &mut SessionCtx) -> Option<Response> {
         }
         Request::Sync => {
             let c = require!(client);
-            Some(result_reply(with_dispatch(shared, || sync(shared, &c))))
+            let r = with_dispatch(shared, || sync(shared, &c));
+            if let Some(tel) = &c.telemetry {
+                let t0 = ctx.t_decode;
+                let now = telemetry::now_ns();
+                tel.record(OpClass::Sync, now.saturating_sub(t0));
+                let mut t_complete = now;
+                if ctx.unsynced_launches > 0 {
+                    // Close the launch-to-device-complete edge: the
+                    // device engine wall-stamped the last command it
+                    // finished on this tenant's stream, and the sync
+                    // just guaranteed that stamp covers every launch
+                    // admitted since the edge opened.
+                    let b = *c.binding.read();
+                    let done = shared
+                        .gpu(b.gpu)
+                        .device
+                        .lock()
+                        .stream_last_done_wall_ns(b.stream);
+                    let done = if done == 0 { now } else { done };
+                    tel.hist(OpClass::LaunchComplete).record_n(
+                        done.saturating_sub(ctx.batch_open_ns),
+                        ctx.unsynced_launches,
+                    );
+                    ctx.unsynced_launches = 0;
+                    ctx.batch_open_ns = 0;
+                    t_complete = done;
+                }
+                tel.recorder.record(TraceEvent {
+                    seq: 0,
+                    op: OpClass::Sync as u8,
+                    outcome: u8::from(r.is_err()),
+                    client: c.id.0,
+                    uid: ctx.uid,
+                    stream: c.stream_tag.load(Ordering::Relaxed),
+                    t_decode_ns: t0,
+                    t_admit_ns: t0,
+                    t_flush_ns: 0,
+                    t_enqueue_ns: 0,
+                    t_complete_ns: t_complete,
+                });
+            }
+            Some(result_reply(r))
         }
         Request::EventCreate => {
             let c = require!(client);

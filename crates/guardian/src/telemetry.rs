@@ -1,0 +1,672 @@
+//! Zero-allocation telemetry plane: per-tenant latency histograms, span
+//! timestamps for the dispatch path, and a per-session flight recorder.
+//!
+//! Everything here is built once at connect time and then recorded into
+//! from the dispatch hot path, so the recording operations obey the same
+//! discipline as the hot path itself (see `alloc_audit`): no allocation,
+//! no locks — only relaxed atomics. The readers (the admin plane's
+//! `/metrics` exposition and `AdminRequest::Trace`) pay all the cost:
+//! they snapshot atomics and may allocate freely.
+//!
+//! Timestamps are nanoseconds on the process-wide monotonic clock
+//! [`gpu_sim::mono_ns`] — one clock for the manager's host-side spans and
+//! the device engine's completion edges, so cross-layer durations are
+//! meaningful.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Nanoseconds on the process-wide monotonic telemetry clock (re-exported
+/// from `gpu-sim`, where the device engine stamps completion edges).
+#[inline]
+pub fn now_ns() -> u64 {
+    gpu_sim::mono_ns()
+}
+
+// ---- log-bucketed histograms -----------------------------------------------
+
+/// Number of buckets in a [`Histogram`]: one per power of two of
+/// nanoseconds, which spans 1 ns to ~292 years in 64 buckets.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Bucket index for a nanosecond sample: bucket 0 holds exactly 0, bucket
+/// `i >= 1` holds `[2^(i-1), 2^i)`, and the top bucket absorbs the tail.
+#[inline]
+pub fn bucket_of(ns: u64) -> usize {
+    (64 - ns.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` in nanoseconds (`u64::MAX` for the
+/// top bucket, which is open-ended).
+pub fn bucket_upper_ns(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A fixed-size log-bucketed latency histogram. Recording is one relaxed
+/// `fetch_add` per sample (plus one for the running sum): no allocation,
+/// no locks, safe to share across threads behind an `Arc`.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one nanosecond sample.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Relaxed);
+        self.sum_ns.fetch_add(ns, Relaxed);
+    }
+
+    /// Record `n` samples of the same duration (used when a batch
+    /// completion edge closes several launches at once).
+    #[inline]
+    pub fn record_n(&self, ns: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_of(ns)].fetch_add(n, Relaxed);
+        self.sum_ns.fetch_add(ns.saturating_mul(n), Relaxed);
+    }
+
+    /// A point-in-time copy of the counts. Concurrent recorders may land
+    /// between bucket reads; each bucket is individually exact.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut s = HistSnapshot::default();
+        for (i, b) in self.buckets.iter().enumerate() {
+            s.buckets[i] = b.load(Relaxed);
+        }
+        s.sum_ns = self.sum_ns.load(Relaxed);
+        s
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s counts.
+#[derive(Debug, Clone, Copy)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (see [`bucket_of`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Sum of all recorded samples in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            sum_ns: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Fold another snapshot's counts into this one. Bucket-wise addition,
+    /// so merging is associative and commutative.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`) in nanoseconds: the upper
+    /// bound of the bucket holding the sample of that rank, i.e. the
+    /// estimate errs by at most one power-of-two bucket width. Returns 0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper_ns(i);
+            }
+        }
+        bucket_upper_ns(HIST_BUCKETS - 1)
+    }
+}
+
+// ---- op classes and per-tenant telemetry -----------------------------------
+
+/// The latency classes Guardian distinguishes, one histogram each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpClass {
+    /// Launch admission: frame decode → device-queue enqueue done.
+    LaunchEnqueue = 0,
+    /// Launch enqueue → device-engine completion edge (closed at sync).
+    LaunchComplete = 1,
+    /// `Sync` round trip: decode → device drained.
+    Sync = 2,
+    /// Data-plane transfer or memset: decode → op complete.
+    Memcpy = 3,
+    /// `Connect` admission: decode → tenancy admitted.
+    Connect = 4,
+}
+
+/// Number of [`OpClass`] variants.
+pub const OP_CLASSES: usize = 5;
+
+impl OpClass {
+    /// Every class, for iteration.
+    pub const ALL: [OpClass; OP_CLASSES] = [
+        OpClass::LaunchEnqueue,
+        OpClass::LaunchComplete,
+        OpClass::Sync,
+        OpClass::Memcpy,
+        OpClass::Connect,
+    ];
+
+    /// Stable label used in metric and trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::LaunchEnqueue => "launch_enqueue",
+            OpClass::LaunchComplete => "launch_complete",
+            OpClass::Sync => "sync",
+            OpClass::Memcpy => "memcpy",
+            OpClass::Connect => "connect",
+        }
+    }
+
+    /// Inverse of `self as u8` (wire decoding); unknown bytes map to
+    /// `None`.
+    pub fn from_u8(v: u8) -> Option<OpClass> {
+        OpClass::ALL.get(v as usize).copied()
+    }
+}
+
+/// One tenant's telemetry: a histogram per op class plus the session's
+/// flight recorder. Built at connect, shared by `Arc` between the session
+/// (writer) and the control plane (reader).
+#[derive(Debug)]
+pub struct TenantTelemetry {
+    hists: [Histogram; OP_CLASSES],
+    /// The session's flight recorder.
+    pub recorder: FlightRecorder,
+}
+
+impl TenantTelemetry {
+    /// Build with a flight-recorder ring of `ring` events.
+    pub fn new(ring: usize) -> Arc<TenantTelemetry> {
+        Arc::new(TenantTelemetry {
+            hists: Default::default(),
+            recorder: FlightRecorder::new(ring),
+        })
+    }
+
+    /// The histogram for one op class.
+    #[inline]
+    pub fn hist(&self, op: OpClass) -> &Histogram {
+        &self.hists[op as usize]
+    }
+
+    /// Record one sample into the class's histogram.
+    #[inline]
+    pub fn record(&self, op: OpClass, ns: u64) {
+        self.hist(op).record(ns);
+    }
+
+    /// Snapshot every class's histogram.
+    pub fn snapshot(&self) -> [HistSnapshot; OP_CLASSES] {
+        let mut out = [HistSnapshot::default(); OP_CLASSES];
+        for (i, h) in self.hists.iter().enumerate() {
+            out[i] = h.snapshot();
+        }
+        out
+    }
+}
+
+// ---- flight recorder -------------------------------------------------------
+
+/// Default flight-recorder capacity per session, in events.
+pub const FLIGHT_RING: usize = 256;
+
+/// One fixed-width trace event: which op, whose, and where in the
+/// dispatch path its stage clock stamps landed. Stages a given op class
+/// does not pass through stay 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceEvent {
+    /// Recorder-local sequence number (monotonic; wraps never in practice).
+    pub seq: u64,
+    /// [`OpClass`] as `u8`.
+    pub op: u8,
+    /// 0 = ok, 1 = the op (or its batch) carried an error.
+    pub outcome: u8,
+    /// Manager-assigned client id.
+    pub client: u32,
+    /// Unix uid of the tenant.
+    pub uid: u32,
+    /// Device stream the op ran on (0 for ops with no stream).
+    pub stream: u32,
+    /// Frame decode stamp ([`now_ns`]).
+    pub t_decode_ns: u64,
+    /// Session admission stamp (launch buffered / op accepted).
+    pub t_admit_ns: u64,
+    /// Batch-flush start stamp (deferred launches only).
+    pub t_flush_ns: u64,
+    /// Device-queue enqueue-complete stamp.
+    pub t_enqueue_ns: u64,
+    /// Device-engine completion edge (0 until a sync observes it).
+    pub t_complete_ns: u64,
+}
+
+/// Per-slot word count when an event is packed into atomics: one word of
+/// ids (`op`/`outcome`/`stream`), one of `client`/`uid`, the event seq,
+/// and five stage stamps.
+const SLOT_WORDS: usize = 8;
+
+#[derive(Debug)]
+struct Slot {
+    /// Seqlock: odd while a writer is mid-update.
+    lock: AtomicU64,
+    words: [AtomicU64; SLOT_WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            lock: AtomicU64::new(0),
+            words: Default::default(),
+        }
+    }
+
+    fn write(&self, ev: &TraceEvent) {
+        use std::sync::atomic::Ordering::{Acquire, Release};
+        let l = self.lock.load(Acquire);
+        self.lock.store(l.wrapping_add(1), Release);
+        let words = [
+            ev.seq,
+            ev.op as u64 | ((ev.outcome as u64) << 8) | ((ev.stream as u64) << 16),
+            ev.client as u64 | ((ev.uid as u64) << 32),
+            ev.t_decode_ns,
+            ev.t_admit_ns,
+            ev.t_flush_ns,
+            ev.t_enqueue_ns,
+            ev.t_complete_ns,
+        ];
+        for (w, v) in self.words.iter().zip(words) {
+            w.store(v, Relaxed);
+        }
+        self.lock.store(l.wrapping_add(2), Release);
+    }
+
+    fn read(&self) -> Option<TraceEvent> {
+        use std::sync::atomic::Ordering::Acquire;
+        let before = self.lock.load(Acquire);
+        if before == 0 {
+            return None; // never written
+        }
+        if before & 1 == 1 {
+            return None; // writer mid-update
+        }
+        let mut words = [0u64; SLOT_WORDS];
+        for (v, w) in words.iter_mut().zip(self.words.iter()) {
+            *v = w.load(Acquire);
+        }
+        if self.lock.load(Acquire) != before {
+            return None; // torn read
+        }
+        Some(TraceEvent {
+            seq: words[0],
+            op: words[1] as u8,
+            outcome: (words[1] >> 8) as u8,
+            stream: (words[1] >> 16) as u32,
+            client: words[2] as u32,
+            uid: (words[2] >> 32) as u32,
+            t_decode_ns: words[3],
+            t_admit_ns: words[4],
+            t_flush_ns: words[5],
+            t_enqueue_ns: words[6],
+            t_complete_ns: words[7],
+        })
+    }
+}
+
+/// A preallocated ring of fixed-width [`TraceEvent`]s that overwrites its
+/// oldest entry. Writing is a handful of relaxed stores behind a per-slot
+/// seqlock — no allocation, no blocking — and [`snapshot`] reads a
+/// consistent copy without stopping writers (a slot being overwritten at
+/// that instant is simply skipped).
+///
+/// [`snapshot`]: FlightRecorder::snapshot
+#[derive(Debug)]
+pub struct FlightRecorder {
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl FlightRecorder {
+    /// Preallocate a ring of `cap` events (`cap >= 1`).
+    pub fn new(cap: usize) -> FlightRecorder {
+        let cap = cap.max(1);
+        FlightRecorder {
+            head: AtomicU64::new(0),
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (recorded − capacity have been
+    /// overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Relaxed)
+    }
+
+    /// Record one event, overwriting the oldest. The event's `seq` field
+    /// is assigned here.
+    #[inline]
+    pub fn record(&self, mut ev: TraceEvent) {
+        let seq = self.head.fetch_add(1, Relaxed);
+        ev.seq = seq;
+        self.slots[(seq % self.slots.len() as u64) as usize].write(&ev);
+    }
+
+    /// Append every readable event to `out`, oldest first. Slots being
+    /// overwritten during the pass are skipped, not waited for.
+    pub fn snapshot(&self, out: &mut Vec<TraceEvent>) {
+        let start = out.len();
+        for slot in self.slots.iter() {
+            if let Some(ev) = slot.read() {
+                out.push(ev);
+            }
+        }
+        out[start..].sort_by_key(|e| e.seq);
+    }
+}
+
+// ---- executor gauges -------------------------------------------------------
+
+/// Event-executor health counters, shared between the executor threads
+/// (writers, relaxed atomics) and the metrics exposition (reader).
+#[derive(Debug, Default)]
+pub struct ExecGauges {
+    /// Frames seen by the most recent drain batch (a queue-depth proxy:
+    /// how much work was waiting when the executor got to the session).
+    pub queue_depth: AtomicU64,
+    /// Drain batches executed.
+    pub drain_batches: AtomicU64,
+    /// Frames drained across all batches (mean batch size is
+    /// `drained_frames / drain_batches`).
+    pub drained_frames: AtomicU64,
+    /// Times an executor thread went to sleep in `epoll_wait`.
+    pub parks: AtomicU64,
+    /// Doorbell events delivered (ring-buffer wakeups).
+    pub wakes: AtomicU64,
+    /// Level-to-edge re-arms of session doorbells.
+    pub rearms: AtomicU64,
+}
+
+impl ExecGauges {
+    /// Note one drain batch of `frames` frames.
+    #[inline]
+    pub fn note_drain(&self, frames: u64) {
+        self.queue_depth.store(frames, Relaxed);
+        self.drain_batches.fetch_add(1, Relaxed);
+        self.drained_frames.fetch_add(frames, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        for i in 0..HIST_BUCKETS {
+            if i < HIST_BUCKETS - 1 {
+                assert_eq!(bucket_of(bucket_upper_ns(i)), i);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_estimates() {
+        let h = Histogram::new();
+        for ns in [0u64, 1, 100, 1000, 1000, 1000, 10_000] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 7);
+        assert_eq!(s.sum_ns, 13_101);
+        // The median sample is 1000; the estimate lands in its bucket.
+        assert_eq!(bucket_of(s.quantile(0.5)), bucket_of(1000));
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(bucket_of(s.quantile(1.0)), bucket_of(10_000));
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(Histogram::new().snapshot().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(1 << 20);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.buckets[bucket_of(5)], 2);
+        assert_eq!(m.sum_ns, 10 + (1 << 20));
+    }
+
+    #[test]
+    fn flight_recorder_overwrites_oldest() {
+        let r = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            r.record(TraceEvent {
+                t_decode_ns: i,
+                ..TraceEvent::default()
+            });
+        }
+        let mut out = Vec::new();
+        r.snapshot(&mut out);
+        assert_eq!(out.len(), 4);
+        let seqs: Vec<u64> = out.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(out[0].t_decode_ns, 6);
+        assert_eq!(r.recorded(), 10);
+    }
+
+    #[test]
+    fn trace_event_round_trips_through_slot() {
+        let slot = Slot::new();
+        let ev = TraceEvent {
+            seq: 42,
+            op: OpClass::Sync as u8,
+            outcome: 1,
+            client: 7,
+            uid: 1000,
+            stream: 3,
+            t_decode_ns: 1,
+            t_admit_ns: 2,
+            t_flush_ns: 3,
+            t_enqueue_ns: 4,
+            t_complete_ns: 5,
+        };
+        slot.write(&ev);
+        assert_eq!(slot.read(), Some(ev));
+    }
+
+    #[test]
+    fn snapshot_skips_unwritten_slots() {
+        let r = FlightRecorder::new(8);
+        r.record(TraceEvent {
+            t_decode_ns: 7,
+            ..TraceEvent::default()
+        });
+        r.record(TraceEvent {
+            t_decode_ns: 9,
+            ..TraceEvent::default()
+        });
+        let mut out = Vec::new();
+        r.snapshot(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].t_decode_ns, 7);
+        assert_eq!(out[1].t_decode_ns, 9);
+    }
+
+    #[test]
+    fn snapshot_skips_torn_slots() {
+        let slot = Slot::new();
+        slot.write(&TraceEvent::default());
+        // Simulate a writer parked mid-update: odd seqlock.
+        slot.lock.store(1, std::sync::atomic::Ordering::Release);
+        assert_eq!(slot.read(), None);
+    }
+
+    #[test]
+    fn op_class_round_trips() {
+        for op in OpClass::ALL {
+            assert_eq!(OpClass::from_u8(op as u8), Some(op));
+        }
+        assert_eq!(OpClass::from_u8(200), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The quantile estimate lands in the same log bucket as the true
+        /// sample quantile — the bound the struct docs promise (error at
+        /// most one power-of-two bucket width, reported as the bucket's
+        /// upper edge).
+        #[test]
+        fn quantile_stays_within_bucket_error(
+            mut samples in proptest::collection::vec(0u64..1 << 40, 1..400),
+            qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+        ) {
+            let h = Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            samples.sort_unstable();
+            let snap = h.snapshot();
+            for q in qs {
+                let rank = ((q * samples.len() as f64).ceil() as usize)
+                    .clamp(1, samples.len());
+                let truth = samples[rank - 1];
+                let est = snap.quantile(q);
+                prop_assert_eq!(
+                    bucket_of(est), bucket_of(truth),
+                    "q={} est={} truth={}", q, est, truth
+                );
+                prop_assert!(est >= truth, "upper edge below the sample");
+            }
+        }
+
+        /// Merging snapshots is associative and commutative, and the
+        /// merged whole equals a histogram that saw every sample: the
+        /// per-tenant → node-wide fold order in `render_metrics` cannot
+        /// change the exposed series.
+        #[test]
+        fn merge_is_associative_and_lossless(
+            a in proptest::collection::vec(0u64..1 << 48, 0..120),
+            b in proptest::collection::vec(0u64..1 << 48, 0..120),
+            c in proptest::collection::vec(0u64..1 << 48, 0..120),
+        ) {
+            let hist = |xs: &[u64]| {
+                let h = Histogram::new();
+                for &x in xs {
+                    h.record(x);
+                }
+                h.snapshot()
+            };
+            let (sa, sb, sc) = (hist(&a), hist(&b), hist(&c));
+            // (a + b) + c
+            let mut left = sa;
+            left.merge(&sb);
+            left.merge(&sc);
+            // a + (b + c), folded in the other order
+            let mut right = sc;
+            right.merge(&sb);
+            right.merge(&hist(&a));
+            prop_assert_eq!(left.buckets, right.buckets);
+            prop_assert_eq!(left.sum_ns, right.sum_ns);
+            let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+            let whole = hist(&all);
+            prop_assert_eq!(left.buckets, whole.buckets);
+            prop_assert_eq!(left.sum_ns, whole.sum_ns);
+        }
+
+        /// Concurrent recorders lose nothing: samples recorded from many
+        /// threads into one histogram snapshot to exactly the bucket
+        /// counts and sum a serial replay produces.
+        #[test]
+        fn concurrent_recording_is_lossless(
+            per_thread in proptest::collection::vec(
+                proptest::collection::vec(0u64..1 << 32, 1..64),
+                2..5,
+            ),
+        ) {
+            let h = std::sync::Arc::new(Histogram::new());
+            std::thread::scope(|s| {
+                for chunk in &per_thread {
+                    let h = std::sync::Arc::clone(&h);
+                    s.spawn(move || {
+                        for &ns in chunk {
+                            h.record(ns);
+                        }
+                    });
+                }
+            });
+            let serial = Histogram::new();
+            for chunk in &per_thread {
+                for &ns in chunk {
+                    serial.record(ns);
+                }
+            }
+            let (par, ser) = (h.snapshot(), serial.snapshot());
+            prop_assert_eq!(par.buckets, ser.buckets);
+            prop_assert_eq!(par.sum_ns, ser.sum_ns);
+        }
+    }
+}

@@ -211,6 +211,9 @@ pub struct DaemonOpts {
     pub node_id: Option<String>,
     /// Plaintext-HTTP `/metrics` listen address (`127.0.0.1:9090`).
     pub admin_http: Option<String>,
+    /// Severity floor for structured one-line-per-event stderr logging
+    /// (`--log-level off|info|debug`, default `off`).
+    pub log_level: guardian::LogLevel,
 }
 
 /// Parse a `--driver` value: `threads`, `event`, or `event:N` where `N`
@@ -235,7 +238,8 @@ impl DaemonOpts {
     /// [--protection fence|modulo|check|none] [--deferred]
     /// [--allow-uid UID[,UID...]] [--driver threads|event[:N]]
     /// [--lease-default SPEC] [--admin-socket PATH]
-    /// [--max-connect-rate N] [--node-id NAME] [--admin-http ADDR]`.
+    /// [--max-connect-rate N] [--node-id NAME] [--admin-http ADDR]
+    /// [--log-level off|info|debug]`.
     ///
     /// # Errors
     ///
@@ -256,6 +260,7 @@ impl DaemonOpts {
             max_connect_rate: None,
             node_id: None,
             admin_http: None,
+            log_level: guardian::LogLevel::Off,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -322,6 +327,10 @@ impl DaemonOpts {
                 }
                 "--node-id" => opts.node_id = Some(value("--node-id")?),
                 "--admin-http" => opts.admin_http = Some(value("--admin-http")?),
+                "--log-level" => {
+                    opts.log_level = guardian::LogLevel::parse(&value("--log-level")?)
+                        .map_err(|e| format!("--log-level: {e}"))?;
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }

@@ -82,6 +82,7 @@ fn main() {
         lease_default: opts.lease_default,
         node_id: opts.node_id.clone(),
         admission,
+        log_level: opts.log_level,
         ..ManagerConfig::default()
     };
     // Bound to a named variable: the handle must outlive the serve loop

@@ -90,6 +90,43 @@ fn guardianctl_metrics_smoke() {
         text.contains("node=\"smoke-node\""),
         "node label missing: {text}"
     );
+    // Telemetry families render valid Prometheus text even on an idle
+    // daemon: the histogram family carries HELP/TYPE lines, every op
+    // series terminates in an +Inf bucket, and cumulative bucket counts
+    // are monotonically non-decreasing within each series.
+    assert!(
+        text.contains("# HELP guardian_op_latency_seconds"),
+        "latency HELP line missing: {text}"
+    );
+    assert!(
+        text.contains("# TYPE guardian_op_latency_seconds histogram"),
+        "latency TYPE line missing: {text}"
+    );
+    assert!(text.contains("le=\"+Inf\""), "+Inf bucket missing: {text}");
+    assert!(
+        text.contains("# TYPE guardian_exec_drain_batches_total counter"),
+        "exec counter TYPE line missing: {text}"
+    );
+    let mut cum: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+    for line in text.lines() {
+        if !line.starts_with("guardian_op_latency_seconds_bucket{") {
+            continue;
+        }
+        let op_start = line.find("op=\"").expect("op label") + 4;
+        let op = &line[op_start..op_start + line[op_start..].find('"').expect("op close")];
+        let count: u64 = line
+            .rsplit(' ')
+            .next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("unparsable bucket line: {line}"));
+        let prev = cum.entry(op).or_insert(0);
+        assert!(
+            count >= *prev,
+            "bucket counts not cumulative for op {op}: {count} < {prev}"
+        );
+        *prev = count;
+    }
+    assert!(!cum.is_empty(), "no latency bucket series rendered: {text}");
 }
 
 #[test]

@@ -283,6 +283,38 @@ fn steady_state_launch_path_is_allocation_free() {
     mgr.shutdown();
 }
 
+/// Telemetry recording itself is allocation-free after construction:
+/// histogram recording, quantile-free snapshots aside, and flight-ring
+/// writes all run inside an armed audit window without moving the
+/// counter. This is the direct witness behind running the steady-state
+/// test above with telemetry on (the manager default) — if recording
+/// ever grows a heap touch, this trips before the integrated path does.
+#[test]
+fn telemetry_recording_is_allocation_free() {
+    use guardian::telemetry::{FlightRecorder, Histogram, TraceEvent};
+    let hist = Histogram::new();
+    let ring = FlightRecorder::new(64);
+    // Touch both once so any lazy setup happens before arming.
+    hist.record(1_000);
+    ring.record(TraceEvent::default());
+    guardian::alloc_audit::arm(true);
+    guardian::alloc_audit::mark();
+    for i in 0..10_000u64 {
+        hist.record(i * 37 + 1);
+        ring.record(TraceEvent {
+            op: (i % 5) as u8,
+            client: i as u32,
+            t_decode_ns: i,
+            t_enqueue_ns: i + 10,
+            ..TraceEvent::default()
+        });
+    }
+    guardian::alloc_audit::assert_unchanged("telemetry recording");
+    guardian::alloc_audit::arm(false);
+    assert_eq!(hist.snapshot().count(), 10_001);
+    assert_eq!(ring.recorded(), 10_001);
+}
+
 /// Deferred-ack throughput path under multi-tenant stress: hundreds of
 /// fire-and-forget launches from 4 tenants complete without deadlock and
 /// with correct results at the synchronization points.
