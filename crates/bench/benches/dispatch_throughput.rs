@@ -64,10 +64,12 @@ use guardian::telemetry::{HistSnapshot, OpClass};
 use guardian::transport::UidPolicy;
 use guardian::{
     spawn_manager_multi, Admission, BoundTransport, DispatchMode, GrdLib, LaunchAck, LeaseSpec,
-    ManagerConfig, SessionDriver,
+    ManagerConfig, QosClass, SessionDriver,
 };
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Calibrated so each transport-sweep row runs long enough that the
 /// pairwise rate gates below sit above scheduler noise — the hot-path
@@ -103,6 +105,34 @@ const GATE_NOISE_FLOOR: f64 = 0.97;
 /// still catches what it exists for: a global lock sneaking back into
 /// the data plane costs tens of percent, far below this floor.
 const GPU_GATE_FLOOR: f64 = 0.90;
+/// Background training tenants in the QoS scenario sweep.
+const QOS_STORM_TENANTS: usize = 8;
+/// Paced inference rounds (launch + sync, client-side timed) per
+/// scenario arm.
+const QOS_PRIO_ROUNDS: usize = 200;
+/// Kernel-slice preemption grain for the scenario arms — on in *both*
+/// arms so the gates isolate the dispatch policy, not the slicer.
+const QOS_SLICE_CYCLES: u64 = 2_000;
+/// Best-effort inflight-launch budget in the QoS-on arms: the largest
+/// unit of storm work a priority sync can end up waiting behind (the
+/// admission throttle drains the storm's own stream at the budget, as
+/// one atomic device pass).
+const QOS_BUDGET: u64 = 4;
+/// Deferred launches per storm burst — exactly the client library's
+/// one-way flush threshold, so each burst hits the wire (and the
+/// device queue) as a single clump, like one training iteration.
+const QOS_STORM_BURST: usize = 64;
+/// Storm threads sleep this long between bursts. The scenario measures
+/// the *device-backlog* policy, not host CPU scheduling: offered load
+/// has to leave even a single-core host enough headroom that the
+/// inference tenant's process gets scheduled promptly, otherwise both
+/// arms just measure the OS run queue. 8 storms x 64 kernels x 1024
+/// threads per 250ms is ~2M simulated threads/s of device work.
+const QOS_STORM_PAUSE: Duration = Duration::from_millis(250);
+/// Elements each storm kernel writes (32 blocks x 32 threads): heavy
+/// enough that an undrained clump of them is exactly what wrecks the
+/// inference tenant's p99 in the ungated arm.
+const QOS_STORM_KERNEL_N: u32 = 1024;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Transport {
@@ -137,10 +167,15 @@ struct Row {
     telemetry: bool,
     /// Launch-enqueue latency quantiles in microseconds, merged across
     /// tenants from the control plane's histograms (0 when telemetry is
-    /// off).
+    /// off). QoS scenario rows repurpose these for the inference
+    /// tenant's *client-side launch-complete* round quantiles.
     p50_us: f64,
     p95_us: f64,
     p99_us: f64,
+    /// QoS arm: `-` outside the scenario sweep (classes exist but every
+    /// tenant is best-effort under the default budget), `on`/`off`/
+    /// `backfill` for the scenario rows.
+    qos: &'static str,
 }
 
 fn temp_sock(tag: &str) -> PathBuf {
@@ -284,10 +319,246 @@ fn measure_with(
         p50_us,
         p95_us,
         p99_us,
+        qos: "-",
     }
 }
 
+/// Outcome of one QoS scenario arm: the table row plus the two numbers
+/// the gates compare — best-effort aggregate completed-launch rate and
+/// the inference tenant's client-side p99 round latency.
+struct QosArm {
+    row: Row,
+    agg_rate: f64,
+    p99_ms: f64,
+}
+
+/// The headline scenario: one inference tenant (paced launch + sync
+/// rounds, client-side timed) sharing one sliced GPU with
+/// [`QOS_STORM_TENANTS`] background training tenants flooding deferred
+/// launches. `qos_on` arms the inflight budget and connects the
+/// inference tenant latency-class; the off arm runs the identical
+/// workload all-best-effort with the budget disarmed. `prio_active`
+/// false keeps the inference tenant connected but idle (the backfill
+/// arm).
+fn qos_scenario(qos: &'static str, qos_on: bool, prio_active: bool) -> QosArm {
+    let mut spec = test_gpu();
+    spec.kernel_slice_cycles = QOS_SLICE_CYCLES;
+    spec.global_mem_bytes = 128 << 20;
+    let devices = gpu_sim::device_set(vec![spec])
+        .into_iter()
+        .map(share_device)
+        .collect();
+    let fb = stress_fatbin();
+    let config = ManagerConfig {
+        dispatch: DispatchMode::Concurrent,
+        launch_ack: LaunchAck::Deferred,
+        session_driver: SessionDriver::EventPool { workers: 0 },
+        pool_bytes: Some(64 << 20),
+        qos_inflight_budget: if qos_on { QOS_BUDGET } else { u64::MAX },
+        ..ManagerConfig::default()
+    };
+    let bound =
+        BoundTransport::uds_gated(temp_sock("qos"), UidPolicy::AllowAll, None).expect("bind uds");
+    let mgr = spawn_manager_multi(devices, config, &[&fb], bound).expect("spawn manager");
+
+    let mut prio = GrdLib::connect_opts(
+        &mgr,
+        2 << 20,
+        None,
+        if qos_on {
+            QosClass::Latency
+        } else {
+            QosClass::BestEffort
+        },
+    )
+    .expect("connect priority");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let storms: Vec<_> = (0..QOS_STORM_TENANTS)
+        .map(|i| {
+            let mut lib = GrdLib::connect(&mgr, 2 << 20).expect("connect storm");
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // Stagger the burst phases: eight training jobs do not
+                // step their iterations in lockstep, and phase-locked
+                // clumps make both arms' tails a lottery.
+                std::thread::sleep(QOS_STORM_PAUSE * i as u32 / QOS_STORM_TENANTS as u32);
+                let buf = lib
+                    .cuda_malloc(4 * u64::from(QOS_STORM_KERNEL_N))
+                    .expect("malloc");
+                let args = ArgPack::new().ptr(buf).u32(QOS_STORM_KERNEL_N).finish();
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // One training iteration: a flush-sized clump of
+                    // heavy deferred launches, then think time. No
+                    // periodic sync — in the ungated arm nothing bounds
+                    // how much of this pile a priority sync must drain.
+                    for _ in 0..QOS_STORM_BURST {
+                        lib.cuda_launch_kernel(
+                            "fill",
+                            LaunchConfig::linear(32, 32),
+                            &args,
+                            Default::default(),
+                        )
+                        .expect("storm launch");
+                    }
+                    n += QOS_STORM_BURST as u64;
+                    std::thread::sleep(QOS_STORM_PAUSE);
+                }
+                lib.cuda_device_synchronize().expect("storm final sync");
+                n
+            })
+        })
+        .collect();
+    // Let the storm build a real backlog before the measurement window.
+    std::thread::sleep(Duration::from_millis(200));
+
+    let start = Instant::now();
+    let mut round_ms: Vec<f64> = Vec::with_capacity(QOS_PRIO_ROUNDS);
+    if prio_active {
+        let buf = prio.cuda_malloc(4 * 64).expect("malloc priority");
+        let args = ArgPack::new().ptr(buf).u32(64).finish();
+        for _ in 0..QOS_PRIO_ROUNDS {
+            let t0 = Instant::now();
+            prio.cuda_launch_kernel(
+                "fill",
+                LaunchConfig::linear(2, 32),
+                &args,
+                Default::default(),
+            )
+            .expect("priority launch");
+            prio.cuda_device_synchronize().expect("priority sync");
+            round_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            // Pace like a serving loop: the tenant is latency-bound,
+            // not throughput-bound.
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    } else {
+        // Backfill arm: the priority tenant holds its latency grant but
+        // submits nothing; the storm should reclaim the whole device.
+        std::thread::sleep(Duration::from_secs(2));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let storm_launches: u64 = storms
+        .into_iter()
+        .map(|h| h.join().expect("storm thread"))
+        .sum();
+    let elapsed = start.elapsed();
+    let max_concurrent = mgr.max_concurrent_data_ops();
+    drop(prio);
+    mgr.shutdown();
+
+    round_ms.sort_by(f64::total_cmp);
+    let q = |p: f64| {
+        if round_ms.is_empty() {
+            0.0
+        } else {
+            round_ms[((round_ms.len() - 1) as f64 * p) as usize]
+        }
+    };
+    let (p50, p95, p99) = (q(0.50), q(0.95), q(0.99));
+    let agg_rate = storm_launches as f64 / elapsed.as_secs_f64();
+    QosArm {
+        row: Row {
+            tenants: QOS_STORM_TENANTS + 1,
+            gpus: 1,
+            mode: "qos-scenario",
+            transport: "uds",
+            launches: storm_launches as usize,
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            launches_per_sec: agg_rate,
+            max_concurrent_data_ops: max_concurrent,
+            admission: false,
+            telemetry: true,
+            p50_us: p50 * 1e3,
+            p95_us: p95 * 1e3,
+            p99_us: p99 * 1e3,
+            qos,
+        },
+        agg_rate,
+        p99_ms: p99,
+    }
+}
+
+/// Evaluate (and print) the three QoS scenario gates, returning the
+/// failure messages: QoS on must cut the inference tenant's p99 3x vs
+/// off, must not starve best-effort aggregate (>= 0.9x ungated), and
+/// must back off entirely when the priority tenant is idle (>= 0.95x
+/// ungated). All three share the established 0.97 noise floor.
+fn qos_gates(p99_off: f64, p99_on: f64, agg_off: f64, agg_on: f64, backfill: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    // (1) The inflight budget bounds the backlog any drain must chew
+    // through, the latency-pending gate keeps storm frames from racing
+    // ahead of a priority launch, and slice preemption stops a long
+    // kernel from head-of-line blocking the latency stream.
+    println!(
+        "qos scenario inference p99: off {p99_off:.2}ms vs on {p99_on:.2}ms ({:.1}x)",
+        p99_off / p99_on
+    );
+    if p99_off < 3.0 * GATE_NOISE_FLOOR * p99_on {
+        failures.push(format!(
+            "QoS gating cut inference p99 by less than 3x under the storm: \
+             off {p99_off:.2}ms vs on {p99_on:.2}ms"
+        ));
+    }
+    // (2) Priority must not starve the background class.
+    println!(
+        "qos scenario best-effort aggregate: off {agg_off:.0}/s vs on {agg_on:.0}/s ({:.2}x)",
+        agg_on / agg_off
+    );
+    if agg_on < 0.9 * GATE_NOISE_FLOOR * agg_off {
+        failures.push(format!(
+            "QoS gating starves best-effort aggregate throughput: \
+             on {agg_on:.0}/s < 0.9x off {agg_off:.0}/s"
+        ));
+    }
+    // (3) Backfill: with the priority tenant idle, the armed QoS
+    // machinery must hand the device back.
+    println!(
+        "qos scenario idle-priority backfill: {backfill:.0}/s vs no-QoS {agg_off:.0}/s ({:.2}x)",
+        backfill / agg_off
+    );
+    if backfill < 0.95 * GATE_NOISE_FLOOR * agg_off {
+        failures.push(format!(
+            "idle-priority backfill fails to recover best-effort throughput: \
+             {backfill:.0}/s < 0.95x of {agg_off:.0}/s"
+        ));
+    }
+    failures
+}
+
 fn main() {
+    // Dev loop: `cargo bench --bench dispatch_throughput -- --qos-only`
+    // runs just the QoS scenario arms and their gates, leaving
+    // `BENCH_dispatch.json` untouched.
+    if std::env::args().any(|a| a == "--qos-only") {
+        let off = qos_scenario("off", false, true);
+        let on = qos_scenario("on", true, true);
+        let backfill = qos_scenario("backfill", true, false);
+        for a in [&off, &on, &backfill] {
+            println!(
+                "qos arm {:>8}: p50 {:.2}ms p99 {:.2}ms, best-effort {:.0}/s",
+                a.row.qos,
+                a.row.p50_us / 1e3,
+                a.p99_ms,
+                a.agg_rate
+            );
+        }
+        let failures = qos_gates(
+            off.p99_ms,
+            on.p99_ms,
+            off.agg_rate,
+            on.agg_rate,
+            backfill.agg_rate,
+        );
+        assert!(
+            failures.is_empty(),
+            "{} QoS gate(s) failed:\n  - {}",
+            failures.len(),
+            failures.join("\n  - ")
+        );
+        return;
+    }
     let mut rows = Vec::new();
     // Sweep 1: dispatch modes over the in-process channel transport.
     for tenants in TENANT_COUNTS {
@@ -469,6 +740,20 @@ fn main() {
         .expect("three runs");
     let tel_on_rate = tel_on.launches_per_sec;
     rows.push(tel_on);
+    // Sweep 7: the QoS scenario — one inference tenant with a p99 SLO
+    // sharing a sliced GPU with 8 background training tenants. Three
+    // arms: QoS off (all best-effort, budget disarmed), QoS on
+    // (latency-class inference + inflight budget + latency-pending
+    // drain gating), and backfill (QoS armed, inference tenant idle).
+    let qos_off = qos_scenario("off", false, true);
+    let qos_on = qos_scenario("on", true, true);
+    let qos_backfill = qos_scenario("backfill", true, false);
+    let (p99_off, p99_on) = (qos_off.p99_ms, qos_on.p99_ms);
+    let (agg_off, agg_on) = (qos_off.agg_rate, qos_on.agg_rate);
+    let backfill = qos_backfill.agg_rate;
+    rows.push(qos_off.row);
+    rows.push(qos_on.row);
+    rows.push(qos_backfill.row);
 
     bench::print_table(
         "Dispatch throughput: launches/sec vs tenant count",
@@ -481,6 +766,7 @@ fn main() {
             "Launches/sec",
             "Max in-flight",
             "Control",
+            "QoS",
             "p50/p95/p99 (us)",
         ],
         &rows
@@ -495,6 +781,7 @@ fn main() {
                     format!("{:.0}", r.launches_per_sec),
                     r.max_concurrent_data_ops.to_string(),
                     if r.admission { "leased" } else { "-" }.into(),
+                    r.qos.into(),
                     if r.telemetry {
                         format!("{:.0}/{:.0}/{:.0}", r.p50_us, r.p95_us, r.p99_us)
                     } else {
@@ -516,7 +803,7 @@ fn main() {
              \"launches_per_tenant\": {}, \
              \"elapsed_ms\": {:.3}, \"launches_per_sec\": {:.1}, \
              \"max_concurrent_data_ops\": {}, \"admission\": {}, \
-             \"telemetry\": {}, \
+             \"telemetry\": {}, \"qos\": \"{}\", \
              \"launch_p50_us\": {:.3}, \"launch_p95_us\": {:.3}, \"launch_p99_us\": {:.3}}}{}\n",
             r.tenants,
             r.gpus,
@@ -528,6 +815,7 @@ fn main() {
             r.max_concurrent_data_ops,
             r.admission,
             r.telemetry,
+            r.qos,
             r.p50_us,
             r.p95_us,
             r.p99_us,
@@ -560,6 +848,19 @@ fn main() {
         }
     }
 
+    // Ratio gates below accumulate failures and panic once at the end:
+    // on a noisy machine one marginal gate must not mask the verdicts of
+    // the others (every gate still fails the run).
+    let mut gate_failures: Vec<String> = Vec::new();
+    macro_rules! gate {
+        ($cond:expr, $($msg:tt)+) => {
+            let ok: bool = $cond;
+            if !ok {
+                gate_failures.push(format!($($msg)+));
+            }
+        };
+    }
+
     // Transport witness: across the deferred-launch sweep, the shm ring
     // must sustain at least the uds socket's throughput — a syscall per
     // frame has to cost more than two memcpys and an atomic store.
@@ -584,7 +885,7 @@ fn main() {
     // per-frame transport cost the two rates converge to ~1.00x, and a
     // strict >= flips on sub-permille noise. A *real* shm regression
     // (a syscall sneaking back into the ring path) costs far more.
-    assert!(
+    gate!(
         shm_rate >= GATE_NOISE_FLOOR * uds_rate,
         "shm ring slower than uds socket on deferred launches: \
          {shm_rate:.0}/s < {uds_rate:.0}/s"
@@ -620,7 +921,7 @@ fn main() {
     // `>` flips on scheduler noise. A real scaling regression (a global
     // lock back in the data plane) costs tens of percent, far below the
     // floor.
-    assert!(
+    gate!(
         two >= GPU_GATE_FLOOR * one,
         "2-GPU aggregate deferred-launch throughput ({two:.0}/s) fell \
          measurably behind 1-GPU ({one:.0}/s) at {GPU_SWEEP_TENANTS} tenants"
@@ -647,7 +948,7 @@ fn main() {
          event-pool {event:.0}/s vs thread-per-session {threads:.0}/s ({:.2}x)",
         event / threads
     );
-    assert!(
+    gate!(
         event >= GATE_NOISE_FLOOR * threads,
         "event-pool executor fell behind thread-per-session at \
          {SCALE_GATE_TENANTS} tenants: {event:.0}/s < {threads:.0}/s"
@@ -669,7 +970,7 @@ fn main() {
          event-pool {event_h:.0}/s vs thread-per-session {threads_h:.0}/s ({:.2}x)",
         event_h / threads_h
     );
-    assert!(
+    gate!(
         event_h >= GATE_NOISE_FLOOR * threads_h,
         "event-pool executor fell behind thread-per-session at \
          {heavy} tenants: {event_h:.0}/s < {threads_h:.0}/s"
@@ -689,7 +990,7 @@ fn main() {
          leased {leased_rate:.0}/s vs unleased {hooks_baseline_rate:.0}/s ({:.2}x)",
         leased_rate / hooks_baseline_rate
     );
-    assert!(
+    gate!(
         leased_rate >= GATE_NOISE_FLOOR * hooks_baseline_rate,
         "control-plane hooks tax deferred throughput at \
          {SCALE_GATE_TENANTS} tenants: {leased_rate:.0}/s < {hooks_baseline_rate:.0}/s"
@@ -705,9 +1006,21 @@ fn main() {
          on {tel_on_rate:.0}/s vs off {tel_off_rate:.0}/s ({:.2}x)",
         tel_on_rate / tel_off_rate
     );
-    assert!(
+    gate!(
         tel_on_rate >= GATE_NOISE_FLOOR * tel_off_rate,
         "telemetry taxes deferred throughput at {SCALE_GATE_TENANTS} \
          tenants: {tel_on_rate:.0}/s < {tel_off_rate:.0}/s"
+    );
+
+    // QoS witnesses — the headline scenario numbers.
+    for f in qos_gates(p99_off, p99_on, agg_off, agg_on, backfill) {
+        gate_failures.push(f);
+    }
+
+    assert!(
+        gate_failures.is_empty(),
+        "{} bench gate(s) failed:\n  - {}",
+        gate_failures.len(),
+        gate_failures.join("\n  - ")
     );
 }

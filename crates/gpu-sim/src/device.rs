@@ -121,12 +121,27 @@ struct RunningKernel {
     in_flight: usize,
     threads_per_block: u64,
     alive: bool,
+    /// Snapshot of the stream's latency-class flag at launch start:
+    /// the block scheduler places this kernel's blocks onto free SM
+    /// capacity before any best-effort kernel's at each scheduling
+    /// point.
+    latency: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EvKind {
-    BlockEnd { slot: usize, threads: u64 },
-    CmdEnd { stream: StreamId },
+    BlockEnd {
+        slot: usize,
+        threads: u64,
+        /// Unfinished cycles of a sliced block (0 = the block ran to
+        /// completion). Re-queued onto the kernel's pending queue when
+        /// the slice ends, so other kernels — a latency-class launch in
+        /// particular — can claim the freed SM capacity first.
+        remainder: u64,
+    },
+    CmdEnd {
+        stream: StreamId,
+    },
     Wake,
 }
 
@@ -537,6 +552,19 @@ impl Device {
             .ok_or(DeviceError::InvalidStream)
     }
 
+    /// Set a stream's latency-class (priority) flag. A latency stream
+    /// enters the ready queue at the front and its kernels' blocks are
+    /// scheduled onto free SM capacity ahead of best-effort work at
+    /// every scheduling point (including slice boundaries when
+    /// [`GpuSpec::kernel_slice_cycles`](crate::spec::GpuSpec) is set).
+    /// Unknown streams are ignored; kernels already running keep the
+    /// class they launched with.
+    pub fn set_stream_latency(&mut self, stream: StreamId, latency: bool) {
+        if let Some(s) = self.streams.get_mut(&stream) {
+            s.latency = latency;
+        }
+    }
+
     /// Enqueue a command on a stream.
     ///
     /// # Errors
@@ -606,12 +634,75 @@ impl Device {
         self.fault_log.len() - faults_before
     }
 
+    /// Drain queued work only until `stream` is idle (empty queue, no
+    /// running command), advancing the device clock. The discrete-event
+    /// engine processes whatever stands in front — other streams'
+    /// events included — but stops as soon as the target stream drains,
+    /// so a caller bounding one tenant's backlog does not pay to drain
+    /// every other tenant's. Events are processed in the exact order
+    /// [`Device::synchronize`] would process them, so interleaving
+    /// stream-scoped and device-wide drains stays deterministic.
+    /// Unknown streams are already idle. Returns the number of new
+    /// faults recorded.
+    pub fn synchronize_stream(&mut self, stream: StreamId) -> usize {
+        let faults_before = self.fault_log.len();
+        let mut stalls = 0;
+        loop {
+            if self
+                .streams
+                .get(&stream)
+                .is_none_or(|s| s.queue.is_empty() && !s.busy)
+            {
+                break;
+            }
+            let progress = self.try_start();
+            if let Some(Reverse(ev)) = self.events.pop() {
+                self.now = self.now.max(ev.time);
+                self.handle_event(ev);
+                self.requeue_blocked();
+                stalls = 0;
+                continue;
+            }
+            if progress {
+                stalls = 0;
+                continue;
+            }
+            // Same wedge detection as `synchronize`: one fruitless round
+            // after a full requeue means the deterministic state would
+            // only repeat.
+            if stalls >= 1 {
+                break;
+            }
+            stalls += 1;
+            self.requeue_blocked();
+            let stalled: Vec<StreamId> = self
+                .streams
+                .iter()
+                .filter(|(_, s)| !s.in_ready && !s.busy && !s.queue.is_empty())
+                .map(|(id, _)| *id)
+                .collect();
+            for sid in stalled {
+                self.mark_ready(sid);
+            }
+            if self.ready.is_empty() {
+                break;
+            }
+        }
+        self.fault_log.len() - faults_before
+    }
+
     /// Queue a stream for a start attempt (at most once at a time).
+    /// Latency-class streams enter at the front of the line so their
+    /// head command is considered before any best-effort stream's.
     fn mark_ready(&mut self, sid: StreamId) {
         if let Some(s) = self.streams.get_mut(&sid) {
             if !s.in_ready {
                 s.in_ready = true;
-                self.ready.push_back(sid);
+                if s.latency {
+                    self.ready.push_front(sid);
+                } else {
+                    self.ready.push_back(sid);
+                }
             }
         }
     }
@@ -790,6 +881,7 @@ impl Device {
                     in_flight: 0,
                     threads_per_block: cfg.threads_per_block().clamp(32, THREADS_PER_SM),
                     alive: true,
+                    latency: self.streams[&sid].latency,
                 };
                 self.pending_blocks += rk.pending.len() as u64;
                 // Reuse a finished kernel's slot: all of its block-end
@@ -885,34 +977,58 @@ impl Device {
     }
 
     /// Fill free SM capacity with pending blocks (round-robin across
-    /// running kernels — the leftover policy).
+    /// running kernels — the leftover policy). Latency-class kernels
+    /// claim capacity first; best-effort fills what remains. When
+    /// [`GpuSpec::kernel_slice_cycles`](crate::spec::GpuSpec) is set,
+    /// a block longer than the slice runs one bounded slice at a time,
+    /// so freed capacity returns to this scheduler — and to any waiting
+    /// latency-class kernel — at every slice boundary instead of only
+    /// when the whole block retires.
     fn schedule_blocks(&mut self) -> bool {
         if self.pending_blocks == 0 {
             return false; // everything already placed: O(1) on the common path
         }
         let capacity = self.spec.num_sms as u64 * THREADS_PER_SM;
+        let slice = self.spec.kernel_slice_cycles;
         let mut progress = false;
         loop {
             let mut started_any = false;
-            for slot in 0..self.running.len() {
-                let (threads, dur) = {
-                    let rk = &mut self.running[slot];
-                    if !rk.alive || rk.pending.is_empty() {
-                        continue;
-                    }
-                    if self.threads_in_use + rk.threads_per_block > capacity {
-                        continue;
-                    }
-                    let dur = rk.pending.pop_front().expect("nonempty");
-                    rk.in_flight += 1;
-                    (rk.threads_per_block, dur)
-                };
-                self.pending_blocks -= 1;
-                self.threads_in_use += threads;
-                let end = self.now + dur;
-                self.push_event(end, EvKind::BlockEnd { slot, threads });
-                started_any = true;
-                progress = true;
+            for pass in 0..2 {
+                for slot in 0..self.running.len() {
+                    let (threads, dur) = {
+                        let rk = &mut self.running[slot];
+                        if rk.latency != (pass == 0) {
+                            continue;
+                        }
+                        if !rk.alive || rk.pending.is_empty() {
+                            continue;
+                        }
+                        if self.threads_in_use + rk.threads_per_block > capacity {
+                            continue;
+                        }
+                        let dur = rk.pending.pop_front().expect("nonempty");
+                        rk.in_flight += 1;
+                        (rk.threads_per_block, dur)
+                    };
+                    self.pending_blocks -= 1;
+                    let (run, remainder) = if slice > 0 && dur > slice {
+                        (slice, dur - slice)
+                    } else {
+                        (dur, 0)
+                    };
+                    self.threads_in_use += threads;
+                    let end = self.now + run;
+                    self.push_event(
+                        end,
+                        EvKind::BlockEnd {
+                            slot,
+                            threads,
+                            remainder,
+                        },
+                    );
+                    started_any = true;
+                    progress = true;
+                }
             }
             if !started_any {
                 break;
@@ -927,13 +1043,28 @@ impl Device {
             EvKind::CmdEnd { stream } => {
                 self.complete_busy_command(stream);
             }
-            EvKind::BlockEnd { slot, threads } => {
+            EvKind::BlockEnd {
+                slot,
+                threads,
+                remainder,
+            } => {
                 self.threads_in_use -= threads;
                 let finished = {
                     let rk = &mut self.running[slot];
                     rk.in_flight -= 1;
+                    if remainder > 0 {
+                        // A sliced block's tail re-enters at the front so
+                        // the long block keeps progressing ahead of its
+                        // kernel's untouched blocks; what it cannot keep
+                        // is the SM capacity, which the scheduler below
+                        // hands to latency-class work first.
+                        rk.pending.push_front(remainder);
+                    }
                     rk.alive && rk.in_flight == 0 && rk.pending.is_empty()
                 };
+                if remainder > 0 {
+                    self.pending_blocks += 1;
+                }
                 if finished {
                     let sid = self.running[slot].stream;
                     self.running[slot].alive = false;
@@ -1397,5 +1528,195 @@ $L_done:
         let ctx = dev.create_context().unwrap();
         let r = dev.malloc(ctx, dev.spec().global_mem_bytes * 2);
         assert_eq!(r, Err(DeviceError::OutOfMemory));
+    }
+
+    /// Spins `iters`, then each in-range thread stores `idx + iters` at
+    /// `out[idx]` — long enough to slice, and the stores make silent
+    /// result corruption visible.
+    const SPINFILL: &str = r#"
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry spinfill(.param .u64 out, .param .u32 n, .param .u32 iters)
+{
+    .reg .pred %p<3>;
+    .reg .b32 %r<10>;
+    .reg .b64 %rd<5>;
+    ld.param.u64 %rd1, [out];
+    ld.param.u32 %r1, [n];
+    ld.param.u32 %r6, [iters];
+    cvta.to.global.u64 %rd2, %rd1;
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mov.u32 %r4, %tid.x;
+    mad.lo.u32 %r5, %r2, %r3, %r4;
+    mov.u32 %r7, 0;
+$L_top:
+    setp.ge.u32 %p2, %r7, %r6;
+    @%p2 bra $L_store;
+    add.u32 %r7, %r7, 1;
+    bra.uni $L_top;
+$L_store:
+    setp.ge.u32 %p1, %r5, %r1;
+    @%p1 bra $L_end;
+    add.u32 %r8, %r5, %r6;
+    mul.wide.u32 %rd3, %r5, 4;
+    add.s64 %rd4, %rd2, %rd3;
+    st.global.u32 [%rd4], %r8;
+$L_end:
+    ret;
+}
+"#;
+
+    fn spinfill_params(out: u64, n: u32, iters: u32) -> Vec<u8> {
+        let mut p = Vec::with_capacity(16);
+        p.extend_from_slice(&out.to_le_bytes());
+        p.extend_from_slice(&n.to_le_bytes());
+        p.extend_from_slice(&iters.to_le_bytes());
+        p
+    }
+
+    /// Drive the headline QoS scenario at device level: a storm launch
+    /// saturates the 4-SM test GPU (8 blocks of 1024 threads against the
+    /// 6144-thread capacity, each block ≈3M cycles), then a 32-thread
+    /// kernel arrives behind a ~50k-cycle H2D copy so the storm is
+    /// already occupying the device. Returns (priority-kernel completion
+    /// cycle, total device cycles).
+    fn qos_scenario(slice: u64, latency: bool) -> (u64, u64) {
+        let mut spec = test_gpu();
+        spec.kernel_slice_cycles = slice;
+        let mut dev = Device::new(spec);
+        let ctx = dev.create_context().unwrap();
+        let storm = dev.create_stream(ctx).unwrap();
+        let prio = dev.create_stream(ctx).unwrap();
+        dev.set_stream_latency(prio, latency);
+        let m = load(&mut dev, ctx, SPIN_N);
+        dev.enqueue(
+            storm,
+            launch_cmd(
+                &m,
+                "spin",
+                LaunchConfig::linear(8, 1024),
+                2_000u32.to_le_bytes().to_vec(),
+            ),
+        )
+        .unwrap();
+        // The H2D copy delays the priority launch past the storm's start
+        // (PCIe at 24 B/cycle on the 1 GHz test GPU: ~50k cycles).
+        let buf = dev.malloc(ctx, 2 << 20).unwrap();
+        dev.enqueue(
+            prio,
+            Command::MemcpyH2D {
+                dst: buf,
+                data: vec![0u8; 1_200_000],
+            },
+        )
+        .unwrap();
+        let ev = crate::stream::Event::new();
+        dev.enqueue(
+            prio,
+            launch_cmd(
+                &m,
+                "spin",
+                LaunchConfig::linear(1, 32),
+                100u32.to_le_bytes().to_vec(),
+            ),
+        )
+        .unwrap();
+        dev.enqueue(prio, Command::EventRecord { event: ev.clone() })
+            .unwrap();
+        dev.synchronize();
+        (ev.cycles().expect("event recorded"), dev.now())
+    }
+
+    #[test]
+    fn latency_stream_preempts_best_effort_at_slice_boundaries() {
+        // With slicing on, freed capacity returns to the scheduler every
+        // 2k cycles — but only a latency-class stream may claim it,
+        // because the storm's own re-queued slice remainders otherwise
+        // refill the device (best-effort arrives ~3M cycles late).
+        let (be_done, be_total) = qos_scenario(2_000, false);
+        let (lat_done, lat_total) = qos_scenario(2_000, true);
+        assert!(
+            lat_done * 10 < be_done,
+            "latency class must preempt at a slice boundary: {lat_done} vs best-effort {be_done}"
+        );
+        // The storm's aggregate runtime is essentially unchanged: it
+        // briefly loses 32 of 6144 threads of capacity.
+        assert!(
+            lat_total * 10 <= be_total * 11,
+            "storm must not be starved: {lat_total} vs {be_total}"
+        );
+    }
+
+    #[test]
+    fn slicing_disabled_preempts_only_at_block_boundaries() {
+        // Slice = 0: even a latency-class stream waits out a whole storm
+        // block (~3M cycles), where the sliced run got in after ~2k.
+        let (sliced_done, _) = qos_scenario(2_000, true);
+        let (unsliced_done, _) = qos_scenario(0, true);
+        assert!(
+            sliced_done * 10 < unsliced_done,
+            "unsliced preemption should wait out a full block: sliced {sliced_done} vs unsliced {unsliced_done}"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+        /// Satellite invariant: slice-preempted execution is bit-identical
+        /// to unsliced execution (launch memory effects are eager, slicing
+        /// is timing-only), and sliced timing is deterministic run-to-run.
+        #[test]
+        fn sliced_execution_is_bit_identical_to_unsliced(
+            iters in proptest::collection::vec(1u32..4_000, 1..5),
+            blocks in 1u32..6,
+            slice in proptest::prelude::prop_oneof![
+                proptest::prelude::Just(1u64),
+                proptest::prelude::Just(97),
+                proptest::prelude::Just(1_000),
+                proptest::prelude::Just(10_000),
+            ],
+        ) {
+            let n = blocks * 32;
+            let region = n as u64 * 4;
+            let run = |slice_cycles: u64| -> (u64, Vec<u8>) {
+                let mut spec = test_gpu();
+                spec.kernel_slice_cycles = slice_cycles;
+                let mut dev = Device::new(spec);
+                let ctx = dev.create_context().unwrap();
+                let m = load(&mut dev, ctx, SPINFILL);
+                let buf = dev.malloc(ctx, 1 << 16).unwrap();
+                // One latency-class stream, one best-effort, alternating
+                // launches; each launch fills its own region so the final
+                // bytes are a pure function of the launches.
+                let s0 = dev.create_stream(ctx).unwrap();
+                let s1 = dev.create_stream(ctx).unwrap();
+                dev.set_stream_latency(s0, true);
+                for (i, it) in iters.iter().enumerate() {
+                    let s = if i % 2 == 0 { s0 } else { s1 };
+                    dev.enqueue(
+                        s,
+                        launch_cmd(
+                            &m,
+                            "spinfill",
+                            LaunchConfig::linear(blocks, 32),
+                            spinfill_params(buf + i as u64 * region, n, *it),
+                        ),
+                    )
+                    .unwrap();
+                }
+                dev.synchronize();
+                let mut out = vec![0u8; (region as usize) * iters.len()];
+                dev.read_memory(buf, &mut out).unwrap();
+                (dev.now(), out)
+            };
+            let (_, plain) = run(0);
+            let (t1, sliced) = run(slice);
+            let (t2, sliced2) = run(slice);
+            proptest::prop_assert_eq!(&plain, &sliced, "sliced memory must be bit-identical");
+            proptest::prop_assert_eq!(&sliced, &sliced2, "sliced memory must be reproducible");
+            proptest::prop_assert_eq!(t1, t2, "sliced timing must be deterministic");
+        }
     }
 }

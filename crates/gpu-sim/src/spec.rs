@@ -67,6 +67,15 @@ pub struct GpuSpec {
     pub context_overhead_bytes: u64,
     /// Whether the DRAM has ECC (Table 2; informational).
     pub ecc: bool,
+    /// Kernel-slice preemption grain, cycles (0 disables slicing). When
+    /// set, a thread block whose duration exceeds this many cycles
+    /// executes as bounded-cycle slices re-queued through the kernel's
+    /// pending-block queue, so a ready latency-class stream can preempt
+    /// a long best-effort kernel at the next slice boundary instead of
+    /// waiting out its full duration. Slicing changes timing only —
+    /// launch memory effects are applied eagerly at command start, so
+    /// results are bit-identical with slicing on or off.
+    pub kernel_slice_cycles: u64,
 }
 
 impl GpuSpec {
@@ -113,6 +122,9 @@ pub fn rtx_a4000() -> GpuSpec {
         context_switch_cycles: 312_000,
         context_overhead_bytes: 176 * 1024 * 1024,
         ecc: true,
+        // Off by default so the Table-2 calibration is untouched;
+        // guardiand's --slice-cycles (or a custom spec) turns it on.
+        kernel_slice_cycles: 0,
     }
 }
 
@@ -143,6 +155,7 @@ pub fn rtx_3080ti() -> GpuSpec {
         context_switch_cycles: 334_000,
         context_overhead_bytes: 176 * 1024 * 1024,
         ecc: false,
+        kernel_slice_cycles: 0,
     }
 }
 
@@ -173,6 +186,7 @@ pub fn test_gpu() -> GpuSpec {
         context_switch_cycles: 10_000,
         context_overhead_bytes: 1024 * 1024,
         ecc: false,
+        kernel_slice_cycles: 0,
     }
 }
 

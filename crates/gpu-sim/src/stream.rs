@@ -265,6 +265,12 @@ pub(crate) struct StreamState {
     /// Whether the stream sits in the engine's ready/blocked queues
     /// (dedup flag, so a stream is tracked at most once).
     pub in_ready: bool,
+    /// Latency-class (priority) stream: it enters the ready queue at
+    /// the front instead of the back, and its running kernels are
+    /// scheduled onto free SM capacity ahead of best-effort work at
+    /// each slice boundary. Set by the manager from the tenant's
+    /// granted QoS class; defaults to best-effort.
+    pub latency: bool,
 }
 
 impl StreamState {
@@ -276,6 +282,7 @@ impl StreamState {
             last_done: 0,
             last_done_wall_ns: 0,
             in_ready: false,
+            latency: false,
         }
     }
 }

@@ -40,6 +40,76 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// The scheduling class a tenant runs under.
+///
+/// `Latency` tenants get priority treatment along the whole launch
+/// path: the executor rate-gates best-effort drain rounds while a
+/// latency session has pending frames, the session flushes their
+/// launches into the device's priority lane (front of the ready
+/// queue), and the simulator preempts best-effort kernels for them at
+/// the next slice boundary. `BestEffort` tenants backfill whatever the
+/// latency class leaves idle. The default is `BestEffort`; the class a
+/// tenant may hold is capped by its lease (`qos=latency|besteffort`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub enum QosClass {
+    /// Latency-sensitive: priority dispatch, preempts best-effort
+    /// kernel slices, exempt from the inflight-launch budget.
+    Latency,
+    /// Throughput-oriented backfill: bounded inflight budget, drain
+    /// rounds gated while latency work is pending.
+    #[default]
+    BestEffort,
+}
+
+impl QosClass {
+    /// Parse a class name as it appears in a lease term.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "latency" => Ok(QosClass::Latency),
+            "besteffort" | "best-effort" => Ok(QosClass::BestEffort),
+            other => Err(format!(
+                "bad qos class `{other}` (want latency or besteffort)"
+            )),
+        }
+    }
+
+    /// The canonical lease-term spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QosClass::Latency => "latency",
+            QosClass::BestEffort => "besteffort",
+        }
+    }
+
+    /// Wire form: 1 = latency, 0 = besteffort (the proto-v4 default).
+    pub fn to_wire(self) -> u8 {
+        match self {
+            QosClass::Latency => 1,
+            QosClass::BestEffort => 0,
+        }
+    }
+
+    /// Inverse of [`QosClass::to_wire`]; unknown values decode as
+    /// best-effort so an old peer can never grant priority by accident.
+    pub fn from_wire(v: u8) -> Self {
+        if v == 1 {
+            QosClass::Latency
+        } else {
+            QosClass::BestEffort
+        }
+    }
+}
+
+impl fmt::Display for QosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The terms a tenant is admitted under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LeaseSpec {
@@ -54,42 +124,60 @@ pub struct LeaseSpec {
     /// Wall-clock time-to-live; `None` never expires. An expired lease
     /// is revoked by the manager without operator action.
     pub ttl: Option<Duration>,
+    /// The highest scheduling class this lease grants. A connect
+    /// requesting `latency` is clamped to best-effort unless the lease
+    /// says `qos=latency`; lowering a live lease to `besteffort`
+    /// demotes its tenants in place.
+    pub qos: QosClass,
 }
 
 impl LeaseSpec {
-    /// The no-op lease: uncapped memory, one stream, no expiry.
+    /// The no-op lease: uncapped memory, one stream, no expiry, and
+    /// the latency class permitted (callers that never mention QoS
+    /// still default-request best-effort at connect).
     pub fn unlimited() -> Self {
         LeaseSpec {
             mem_bytes: u64::MAX,
             streams: u32::MAX,
             ttl: None,
+            qos: QosClass::Latency,
         }
     }
 
     /// Parse a lease from `key=value` pairs separated by commas, e.g.
-    /// `mem=16M,streams=4,ttl=30s`. Sizes accept `K`/`M`/`G` suffixes;
-    /// TTLs accept `ms`, `s`, or `m` (minutes) suffixes, and `ttl=0`
-    /// means no expiry. Omitted keys keep their unlimited defaults.
+    /// `mem=16M,streams=4,ttl=30s,qos=latency`. Sizes accept `K`/`M`/`G`
+    /// suffixes; TTLs accept `ms`, `s`, or `m` (minutes) suffixes, and
+    /// `ttl=0` means no expiry. `qos` is the highest class the lease
+    /// grants (`latency` or `besteffort`). Omitted keys keep their
+    /// unlimited defaults.
     ///
     /// # Errors
     ///
-    /// A human-readable message naming the offending pair.
+    /// A human-readable message naming the offending key and value.
     pub fn parse(s: &str) -> Result<Self, String> {
         let mut lease = LeaseSpec::unlimited();
         for pair in s.split(',').filter(|p| !p.trim().is_empty()) {
             let (key, value) = pair
                 .split_once('=')
                 .ok_or_else(|| format!("lease term `{pair}` is not key=value"))?;
-            match key.trim() {
-                "mem" => lease.mem_bytes = parse_size(value.trim())?,
+            let (key, value) = (key.trim(), value.trim());
+            if value.is_empty() {
+                return Err(format!("lease term `{key}` has an empty value"));
+            }
+            match key {
+                "mem" => lease.mem_bytes = parse_size(value)?,
                 "streams" => {
                     lease.streams = value
-                        .trim()
                         .parse()
-                        .map_err(|_| format!("bad stream count `{value}`"))?;
+                        .map_err(|_| format!("bad stream count `{value}` for `streams`"))?;
                 }
-                "ttl" => lease.ttl = parse_ttl(value.trim())?,
-                other => return Err(format!("unknown lease term `{other}`")),
+                "ttl" => lease.ttl = parse_ttl(value)?,
+                "qos" => lease.qos = QosClass::parse(value)?,
+                other => {
+                    return Err(format!(
+                        "unknown lease term `{other}` (want mem, streams, ttl, or qos)"
+                    ))
+                }
             }
         }
         Ok(lease)
@@ -101,13 +189,14 @@ impl LeaseSpec {
     }
 
     /// Build a lease from wire fields (`u64::MAX` mem = uncapped,
-    /// `ttl_ms` 0 = no expiry). Inverse of [`LeaseSpec::ttl_ms`] and
-    /// the `mem_bytes` convention.
-    pub fn from_wire(mem_bytes: u64, streams: u32, ttl_ms: u64) -> Self {
+    /// `ttl_ms` 0 = no expiry, `qos` per [`QosClass::from_wire`]).
+    /// Inverse of [`LeaseSpec::ttl_ms`] and the `mem_bytes` convention.
+    pub fn from_wire(mem_bytes: u64, streams: u32, ttl_ms: u64, qos: u8) -> Self {
         LeaseSpec {
             mem_bytes,
             streams,
             ttl: (ttl_ms > 0).then(|| Duration::from_millis(ttl_ms)),
+            qos: QosClass::from_wire(qos),
         }
     }
 }
@@ -131,9 +220,10 @@ impl fmt::Display for LeaseSpec {
             write!(f, ",streams={}", self.streams)?;
         }
         match self.ttl {
-            None => f.write_str(",ttl=none"),
-            Some(t) => write!(f, ",ttl={}ms", t.as_millis()),
+            None => f.write_str(",ttl=none")?,
+            Some(t) => write!(f, ",ttl={}ms", t.as_millis())?,
         }
+        write!(f, ",qos={}", self.qos)
     }
 }
 
@@ -185,6 +275,11 @@ pub struct TenantCounters {
     /// Wire frames handled for this tenant (bumped in batches by the
     /// executor drain loop — the one seat that sees every frame).
     pub frames: AtomicU64,
+    /// Launches admitted but not yet completed (ticked on admission,
+    /// drained when the stream synchronizes). The executor compares
+    /// this against the best-effort inflight budget before draining
+    /// more of the tenant's frames.
+    pub inflight: AtomicU64,
 }
 
 impl TenantCounters {
@@ -326,6 +421,31 @@ impl ControlPlane {
         }
     }
 
+    /// Apply a lowered qos ceiling to every live tenancy of `uid`: a
+    /// lease revoked down to `besteffort` demotes its latency tenants
+    /// in place. Raising the ceiling never promotes live tenants (they
+    /// keep what they were granted; a reconnect can request more).
+    /// Returns the demoted client ids so the control thread can
+    /// re-class the data plane too.
+    pub fn reclass(&self, uid: u32, ceiling: QosClass) -> Vec<u32> {
+        let mut demoted = Vec::new();
+        if ceiling != QosClass::BestEffort {
+            return demoted;
+        }
+        for (&client, t) in self.tenants.lock().iter_mut() {
+            if t.uid == uid && t.lease.qos == QosClass::Latency {
+                t.lease.qos = QosClass::BestEffort;
+                demoted.push(client);
+            }
+        }
+        demoted
+    }
+
+    /// The granted class of a live client, if still admitted.
+    pub fn qos_of(&self, client: u32) -> Option<QosClass> {
+        self.tenants.lock().get(&client).map(|t| t.lease.qos)
+    }
+
     /// End a tenancy (disconnect, crash, revocation, or expiry): fold
     /// its counters and occupancy into the retired per-uid ledger.
     /// Idempotent — unknown clients are a no-op.
@@ -431,6 +551,8 @@ impl ControlPlane {
                 launches: t.counters.launches.load(Relaxed),
                 transfers: t.counters.transfers.load(Relaxed),
                 transfer_bytes: t.counters.transfer_bytes.load(Relaxed),
+                qos: t.lease.qos.to_wire(),
+                inflight: t.counters.inflight.load(Relaxed),
             })
             .collect();
         rows.sort_by_key(|r| r.client);
@@ -756,6 +878,119 @@ impl ControlPlane {
             "guardian_exec_rearms_total{{node=\"{node}\"}} {}",
             self.exec.rearms.load(Relaxed)
         );
+        // QoS plane: per-class tenancy/inflight gauges, the executor's
+        // gated-round counter, and per-class latency histograms (live
+        // tenants only — the retired ledger is keyed by uid, not class).
+        let classes = [QosClass::Latency, QosClass::BestEffort];
+        let mut class_tenants = [0u64; 2];
+        let mut class_inflight = [0u64; 2];
+        let mut class_hists = [[HistSnapshot::default(); OP_CLASSES]; 2];
+        for t in self.tenants.lock().values() {
+            let c = (t.lease.qos == QosClass::BestEffort) as usize;
+            class_tenants[c] += 1;
+            class_inflight[c] += t.counters.inflight.load(Relaxed);
+            if let Some(tel) = &t.telemetry {
+                for (a, s) in class_hists[c].iter_mut().zip(tel.snapshot().iter()) {
+                    a.merge(s);
+                }
+            }
+        }
+        gauge(
+            &mut out,
+            "guardian_qos_tenants",
+            "Live tenants per scheduling class.",
+        );
+        for (i, class) in classes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "guardian_qos_tenants{{node=\"{node}\",class=\"{class}\"}} {}",
+                class_tenants[i]
+            );
+        }
+        gauge(
+            &mut out,
+            "guardian_qos_inflight_launches",
+            "Launches admitted but not yet completed per scheduling class.",
+        );
+        for (i, class) in classes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "guardian_qos_inflight_launches{{node=\"{node}\",class=\"{class}\"}} {}",
+                class_inflight[i]
+            );
+        }
+        counter(
+            &mut out,
+            "guardian_qos_gated_rounds_total",
+            "Best-effort work rate-gated: drain rounds capped behind pending latency frames, plus launches throttled at the inflight budget.",
+        );
+        let _ = writeln!(
+            out,
+            "guardian_qos_gated_rounds_total{{node=\"{node}\"}} {}",
+            self.exec.qos_gated_rounds.load(Relaxed)
+        );
+        gauge(
+            &mut out,
+            "guardian_qos_latency_sessions_pending",
+            "Latency-class sessions with undrained frames right now.",
+        );
+        let _ = writeln!(
+            out,
+            "guardian_qos_latency_sessions_pending{{node=\"{node}\"}} {}",
+            self.exec.qos_latency_pending.load(Relaxed)
+        );
+        gauge(
+            &mut out,
+            "guardian_qos_latency_sessions",
+            "Latency-class sessions connected; while any exist, best-effort drain rounds are paced at the gated cap.",
+        );
+        let _ = writeln!(
+            out,
+            "guardian_qos_latency_sessions{{node=\"{node}\"}} {}",
+            self.exec.qos_latency_sessions.load(Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP guardian_qos_latency_seconds Dispatch-path latency per scheduling class and op, live tenants.\n\
+             # TYPE guardian_qos_latency_seconds histogram"
+        );
+        for (i, class) in classes.iter().enumerate() {
+            for op in OpClass::ALL {
+                let h = &class_hists[i][op as usize];
+                let top = (0..crate::telemetry::HIST_BUCKETS)
+                    .rev()
+                    .find(|&j| h.buckets[j] > 0)
+                    .unwrap_or(0);
+                let mut cum = 0u64;
+                for (j, b) in h.buckets.iter().enumerate().take(top + 1) {
+                    cum += b;
+                    let le = crate::telemetry::bucket_upper_ns(j) as f64 / 1e9;
+                    let _ = writeln!(
+                        out,
+                        "guardian_qos_latency_seconds_bucket{{node=\"{node}\",class=\"{class}\",op=\"{}\",le=\"{le}\"}} {cum}",
+                        op.name()
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "guardian_qos_latency_seconds_bucket{{node=\"{node}\",class=\"{class}\",op=\"{}\",le=\"+Inf\"}} {}",
+                    op.name(),
+                    h.count()
+                );
+                let _ = writeln!(
+                    out,
+                    "guardian_qos_latency_seconds_sum{{node=\"{node}\",class=\"{class}\",op=\"{}\"}} {}",
+                    op.name(),
+                    h.sum_ns as f64 / 1e9
+                );
+                let _ = writeln!(
+                    out,
+                    "guardian_qos_latency_seconds_count{{node=\"{node}\",class=\"{class}\",op=\"{}\"}} {}",
+                    op.name(),
+                    h.count()
+                );
+            }
+        }
         out
     }
 }
@@ -985,13 +1220,71 @@ mod tests {
         assert_eq!(l.mem_bytes, 1 << 30);
         assert_eq!(l.ttl, None, "ttl=0 means no expiry");
 
-        assert_eq!(LeaseSpec::parse("").unwrap(), LeaseSpec::unlimited());
-        assert!(LeaseSpec::parse("mem").is_err());
-        assert!(LeaseSpec::parse("mem=soon").is_err());
-        assert!(LeaseSpec::parse("cpus=4").is_err());
+        let l = LeaseSpec::parse("qos=besteffort,mem=4M").unwrap();
+        assert_eq!(l.qos, QosClass::BestEffort);
+        let l = LeaseSpec::parse("qos=latency").unwrap();
+        assert_eq!(l.qos, QosClass::Latency);
 
-        let wire = LeaseSpec::from_wire(l.mem_bytes, l.streams, l.ttl_ms());
+        assert_eq!(LeaseSpec::parse("").unwrap(), LeaseSpec::unlimited());
+
+        let wire = LeaseSpec::from_wire(l.mem_bytes, l.streams, l.ttl_ms(), l.qos.to_wire());
         assert_eq!(wire, l);
+    }
+
+    /// Every malformed lease form is rejected with a message naming
+    /// the offending key or value.
+    #[test]
+    fn lease_parse_errors_name_the_offender() {
+        // Not key=value at all.
+        let e = LeaseSpec::parse("mem").unwrap_err();
+        assert!(e.contains("`mem`"), "{e}");
+        // Unknown key.
+        let e = LeaseSpec::parse("cpus=4").unwrap_err();
+        assert!(e.contains("`cpus`"), "{e}");
+        // Bad size value / unit.
+        let e = LeaseSpec::parse("mem=soon").unwrap_err();
+        assert!(e.contains("`soon`"), "{e}");
+        let e = LeaseSpec::parse("mem=12T").unwrap_err();
+        assert!(e.contains("`12T`"), "{e}");
+        // Bad stream count.
+        let e = LeaseSpec::parse("streams=many").unwrap_err();
+        assert!(e.contains("`many`") && e.contains("streams"), "{e}");
+        // Bad ttl unit.
+        let e = LeaseSpec::parse("ttl=5h").unwrap_err();
+        assert!(e.contains("`5h`"), "{e}");
+        // Bad qos class.
+        let e = LeaseSpec::parse("qos=turbo").unwrap_err();
+        assert!(e.contains("`turbo`"), "{e}");
+        // Empty values name the key they belong to.
+        for key in ["mem", "streams", "ttl", "qos"] {
+            let e = LeaseSpec::parse(&format!("{key}=")).unwrap_err();
+            assert!(e.contains(&format!("`{key}`")), "{key}: {e}");
+            assert!(e.contains("empty"), "{key}: {e}");
+        }
+    }
+
+    #[test]
+    fn qos_class_wire_and_display_round_trip() {
+        for class in [QosClass::Latency, QosClass::BestEffort] {
+            assert_eq!(QosClass::from_wire(class.to_wire()), class);
+            assert_eq!(QosClass::parse(class.as_str()).unwrap(), class);
+            assert_eq!(format!("{class}"), class.as_str());
+        }
+        // Unknown wire bytes degrade to best-effort, never to priority.
+        assert_eq!(QosClass::from_wire(7), QosClass::BestEffort);
+        // A demoting reclass hits only latency tenants of that uid.
+        let plane = ControlPlane::new("n0", LeaseSpec::unlimited(), None);
+        let mut lat = LeaseSpec::unlimited();
+        lat.qos = QosClass::Latency;
+        let mut be = LeaseSpec::unlimited();
+        be.qos = QosClass::BestEffort;
+        plane.admit(1, 42, 0, 0, lat, Arc::new(TenantCounters::default()), None);
+        plane.admit(2, 42, 0, 0, be, Arc::new(TenantCounters::default()), None);
+        plane.admit(3, 43, 0, 0, lat, Arc::new(TenantCounters::default()), None);
+        assert!(plane.reclass(42, QosClass::Latency).is_empty());
+        assert_eq!(plane.reclass(42, QosClass::BestEffort), vec![1]);
+        assert_eq!(plane.qos_of(1), Some(QosClass::BestEffort));
+        assert_eq!(plane.qos_of(3), Some(QosClass::Latency));
     }
 
     #[test]
@@ -1110,6 +1403,16 @@ mod tests {
             "guardian_uid_latency_seconds{node=\"nodeA\",uid=\"10\",op=\"launch_enqueue\",quantile=\"0.5\"}"
         ));
         assert!(text.contains("# TYPE guardian_exec_drained_frames_total counter"));
+        // QoS families: per-class gauges and histograms are present and
+        // labeled by class (the unlimited lease grants latency here).
+        assert!(text.contains("# TYPE guardian_qos_tenants gauge"));
+        assert!(text.contains("guardian_qos_tenants{node=\"nodeA\",class=\"latency\"} 1"));
+        assert!(text.contains("guardian_qos_tenants{node=\"nodeA\",class=\"besteffort\"} 0"));
+        assert!(text.contains("# TYPE guardian_qos_gated_rounds_total counter"));
+        assert!(text.contains("# TYPE guardian_qos_latency_seconds histogram"));
+        assert!(text.contains(
+            "guardian_qos_latency_seconds_bucket{node=\"nodeA\",class=\"latency\",op=\"launch_enqueue\",le=\"+Inf\"} 3"
+        ));
         // Histogram bucket counts are cumulative, hence monotonic.
         for op in OpClass::ALL {
             let prefix = format!(

@@ -49,6 +49,18 @@ const EV_FLAGS: u32 = sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLONESHOT;
 /// send) at this many, bounding per-cell memory on reply-heavy runs.
 const REPLY_FLUSH: usize = 64;
 
+/// Frames a best-effort session may pump per drain round while a
+/// latency-class session has frames waiting (from the epoll event
+/// firing until its drain completes), or while its own tenant is over
+/// the inflight-launch budget. The cap is per round, not absolute —
+/// the gated cell is parked on the worker's backlog and re-drained
+/// after every other ready cell got a turn — so a gated session's
+/// `Sync` still reaches the device and nothing livelocks; the session
+/// is merely paced while priority traffic is active. Also the
+/// flush-batch ceiling of a gated round: each capped round is one
+/// bounded device-lock acquisition.
+const QOS_GATED_DRAIN_CAP: u64 = 16;
+
 /// Epoll data value reserved for the shutdown eventfd. Cell ids start
 /// at 1 and are shifted left by two to carry the fd index, so every
 /// cell's data is ≥ 4 and can never collide with this.
@@ -89,6 +101,18 @@ struct Cell {
     /// Re-queried from the connection after every drain: a shm session
     /// gains its doorbell fd when the deferred handshake completes.
     registered: Mutex<Vec<i32>>,
+    /// Cached QoS class of the attached session, refreshed after every
+    /// drain (lease overrides demote live). Lets the event-arrival
+    /// path — which cannot take the state lock — tick the
+    /// latency-pending gauge the moment a latency tenant has traffic.
+    is_latency: AtomicBool,
+    /// True from the moment an event fires for a latency cell until
+    /// its next drain completes: the window during which best-effort
+    /// drain rounds are capped on this latency tenant's behalf. On a
+    /// single-core worker this window is the only one that matters —
+    /// a latency session never has "a drain in flight" while another
+    /// cell is being pumped, it has *frames waiting in its socket*.
+    latency_waiting: AtomicBool,
 }
 
 struct PoolInner {
@@ -158,12 +182,15 @@ impl EventPool {
     pub(crate) fn adopt(&self, conn: Box<dyn Connection>, ctx: SessionCtx) {
         let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
         let fds = conn.event_fds();
+        let latency = ctx.qos_is_latency();
         let cell = Arc::new(Cell {
             id,
             state: Mutex::new(Some(CellState { conn, ctx })),
             dirty: AtomicBool::new(false),
             fired: AtomicU32::new(0),
             registered: Mutex::new(Vec::new()),
+            is_latency: AtomicBool::new(latency),
+            latency_waiting: AtomicBool::new(false),
         });
         self.inner.cells.lock().unwrap().insert(id, cell.clone());
         if fds.is_empty() {
@@ -201,49 +228,108 @@ impl EventPool {
 }
 
 fn worker_loop(inner: &Arc<PoolInner>) {
+    // Cells whose drain round was QoS-gated, parked here so freshly
+    // fired cells — the latency session the gate is protecting — get
+    // the worker first. Without this a single-core worker would chew
+    // through a storm's whole socket buffer in capped chunks while the
+    // priority tenant's sync sits one epoll event away, unserved.
+    let mut backlog: std::collections::VecDeque<Arc<Cell>> = std::collections::VecDeque::new();
     loop {
-        inner.gauges.parks.fetch_add(1, Ordering::Relaxed);
-        let events = inner.epoll.wait(64, -1);
+        let timeout = if backlog.is_empty() {
+            inner.gauges.parks.fetch_add(1, Ordering::Relaxed);
+            -1
+        } else {
+            0 // poll: never sleep on parked gated work
+        };
+        let events = inner.epoll.wait(64, timeout);
         if inner.stop.load(Ordering::SeqCst) {
             return;
         }
         for (_mask, data) in events {
             if data != SHUTDOWN_ID {
                 inner.gauges.wakes.fetch_add(1, Ordering::Relaxed);
-                handle_event(inner, data);
+                if let Some(gated) = handle_event(inner, data) {
+                    backlog.push_back(gated);
+                }
+            }
+        }
+        // One parked cell per pass, so each gated chunk is separated
+        // by a fresh look at the epoll queue.
+        if let Some(cell) = backlog.pop_front() {
+            if let Some(again) = service_cell(inner, &cell) {
+                backlog.push_back(again);
             }
         }
     }
 }
 
-/// React to readiness on one cell: drain it if no other worker already
-/// is, looping until the cell is quiet *and* no wakeup landed mid-drain.
-fn handle_event(inner: &Arc<PoolInner>, data: u64) {
+/// React to readiness on one cell: open the latency-pending window if
+/// the cell's session is latency-class, then drain it. Returns the
+/// cell if a QoS gate capped the drain and it needs re-servicing.
+fn handle_event(inner: &Arc<PoolInner>, data: u64) -> Option<Arc<Cell>> {
     let (id, idx) = (data >> 2, (data & 3) as u32);
     let cell = match inner.cells.lock().unwrap().get(&id) {
         Some(c) => c.clone(),
-        None => return, // already closed; stale event
+        None => return None, // already closed; stale event
     };
     // Record which fd this delivery disarmed *before* raising `dirty`:
     // whoever ends up draining re-checks `dirty` after re-arming, so a
     // bit set before `dirty` is never stranded un-re-armed.
     cell.fired.fetch_or(1 << idx, Ordering::SeqCst);
     cell.dirty.store(true, Ordering::SeqCst);
+    if cell.is_latency.load(Ordering::SeqCst) && !cell.latency_waiting.swap(true, Ordering::SeqCst)
+    {
+        inner
+            .gauges
+            .qos_latency_pending
+            .fetch_add(1, Ordering::SeqCst);
+    }
+    service_cell(inner, &cell)
+}
+
+/// Close a cell's latency-pending window (its waiting frames have been
+/// drained — or the cell is gone).
+fn latency_window_close(inner: &PoolInner, cell: &Cell) {
+    if cell.latency_waiting.swap(false, Ordering::SeqCst) {
+        inner
+            .gauges
+            .qos_latency_pending
+            .fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Drain a cell if no other worker already is, looping until it is
+/// quiet *and* no wakeup landed mid-drain. Returns the cell when a
+/// round was QoS-gated with frames possibly still buffered: the caller
+/// parks it behind newly fired cells instead of looping here, so the
+/// latency traffic the gate protects is served between chunks. (A
+/// quiet shm ring re-fires no fd for buffered frames — the handoff,
+/// not epoll, is what guarantees the gated cell is ever re-drained.)
+fn service_cell(inner: &Arc<PoolInner>, cell: &Arc<Cell>) -> Option<Arc<Cell>> {
     loop {
         let Ok(mut guard) = cell.state.try_lock() else {
             // Another worker holds the cell; it will observe `dirty`
             // after its drain and loop.
-            return;
+            return None;
         };
         cell.dirty.store(false, Ordering::SeqCst);
         let Some(st) = guard.as_mut() else {
-            return; // demoted or mid-teardown
+            // Demoted or mid-teardown: nothing will drain here again.
+            latency_window_close(inner, cell);
+            return None;
         };
-        if drain(st) {
+        let outcome = drain(st);
+        // The buffered frames this window guarded are drained; refresh
+        // the cached class while the lock is held (lease overrides
+        // demote live).
+        cell.is_latency
+            .store(st.ctx.qos_is_latency(), Ordering::SeqCst);
+        latency_window_close(inner, cell);
+        if outcome.closed {
             let st = guard.take().expect("state present");
             drop(guard);
-            remove_cell(inner, &cell, st);
-            return;
+            remove_cell(inner, cell, st);
+            return None;
         }
         // Re-query the fd set: a shm session's doorbell only exists
         // after its deferred handshake, and a doorbell-less peer is
@@ -252,26 +338,59 @@ fn handle_event(inner: &Arc<PoolInner>, data: u64) {
         if fds.is_empty() {
             let st = guard.take().expect("state present");
             drop(guard);
-            demote(inner, &cell, st);
-            return;
+            demote(inner, cell, st);
+            return None;
         }
-        rearm_cell(inner, &cell, &fds);
+        rearm_cell(inner, cell, &fds);
+        if outcome.gated {
+            cell.dirty.store(true, Ordering::SeqCst);
+            drop(guard);
+            return Some(cell.clone());
+        }
         drop(guard);
         if !cell.dirty.load(Ordering::SeqCst) {
-            return;
+            return None;
         }
     }
 }
 
-/// Pump one connection until nothing is buffered. Replies produced by
-/// the drained frames are coalesced into batched sends. Returns `true`
-/// when the connection is done (peer gone, transport error, or a
-/// malformed frame closed the session).
-fn drain(st: &mut CellState) -> bool {
+/// What one drain round did: `closed` ends the session; `gated` means
+/// the QoS gate capped the round with frames possibly still buffered.
+struct DrainOutcome {
+    closed: bool,
+    gated: bool,
+}
+
+/// Pump one connection until nothing is buffered — or, for a
+/// best-effort session while latency-class traffic is in flight (or
+/// its tenant is over the inflight-launch budget), until the gated
+/// per-round frame cap. Replies produced by the drained frames are
+/// coalesced into batched sends. `closed` in the outcome means the
+/// connection is done (peer gone, transport error, or a malformed
+/// frame closed the session).
+fn drain(st: &mut CellState) -> DrainOutcome {
+    // Class snapshot for the whole round: balanced inc/dec of the
+    // latency-pending gauge even if a lease override demotes the
+    // tenant mid-drain.
+    let latency = st.ctx.qos_is_latency();
+    let gauges = st.ctx.exec_gauges();
+    if latency {
+        gauges.qos_latency_pending.fetch_add(1, Ordering::SeqCst);
+    }
+    let mut gated = false;
     let mut replies: Vec<Vec<u8>> = Vec::new();
     let mut closed = false;
     let mut frames: u64 = 0;
     loop {
+        if !latency
+            && frames >= QOS_GATED_DRAIN_CAP
+            && (gauges.qos_latency_sessions.load(Ordering::SeqCst) > 0
+                || gauges.qos_latency_pending.load(Ordering::SeqCst) > 0
+                || st.ctx.qos_over_budget())
+        {
+            gated = true;
+            break;
+        }
         match st.conn.try_recv() {
             Ok(Some(frame)) => {
                 frames += 1;
@@ -308,7 +427,13 @@ fn drain(st: &mut CellState) -> bool {
     st.ctx.flush_pending();
     st.ctx.note_frames(frames);
     st.ctx.note_drain(frames);
-    closed
+    if latency {
+        gauges.qos_latency_pending.fetch_sub(1, Ordering::SeqCst);
+    }
+    if gated {
+        gauges.qos_gated_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+    DrainOutcome { closed, gated }
 }
 
 /// Post-drain epoll maintenance. If the connection's fd set changed

@@ -18,6 +18,7 @@
 //! [`LaunchAck`](crate::manager::LaunchAck) policy — the handshake tells
 //! the stub which contract is in force.
 
+use crate::control::QosClass;
 use crate::manager::{ClientId, ManagerHandle};
 use crate::placement::PlacementHint;
 use crate::proto::{DeviceInfo, Request, Response};
@@ -61,6 +62,9 @@ pub struct GrdLib {
     device: u32,
     /// Manager runs launches in deferred-ack (true async) mode.
     deferred_launch: bool,
+    /// QoS class the manager granted (requested class clamped to the
+    /// uid's lease ceiling), on its wire encoding.
+    qos: u8,
     /// Encoded one-way frames (deferred launches, small async H2D
     /// copies) awaiting coalescing into one transport send. Flushed by
     /// every round-trip call — so a `Sync`, event op, or read-back acts
@@ -97,8 +101,25 @@ impl GrdLib {
         mem_requirement: u64,
         hint: Option<PlacementHint>,
     ) -> CudaResult<Self> {
+        Self::connect_opts(handle, mem_requirement, hint, QosClass::BestEffort)
+    }
+
+    /// [`GrdLib::connect`] with every option spelled out: placement hint
+    /// plus the requested QoS class. The granted class (the request
+    /// clamped by the uid's lease ceiling) is readable via
+    /// [`GrdLib::qos`] afterwards.
+    ///
+    /// # Errors
+    ///
+    /// As [`GrdLib::connect`].
+    pub fn connect_opts(
+        handle: &ManagerHandle,
+        mem_requirement: u64,
+        hint: Option<PlacementHint>,
+        qos: QosClass,
+    ) -> CudaResult<Self> {
         let conn = handle.dial().map_err(transport_to_cuda)?;
-        Self::connect_over_hinted(conn, mem_requirement, hint)
+        Self::connect_over_opts(conn, mem_requirement, hint, qos)
     }
 
     /// Connect to a grdManager serving a Unix-domain-socket transport at
@@ -125,6 +146,38 @@ impl GrdLib {
     ) -> CudaResult<Self> {
         let conn = UdsDialer::new(socket).dial().map_err(transport_to_cuda)?;
         Self::connect_over_hinted(conn, mem_requirement, hint)
+    }
+
+    /// [`GrdLib::dial_uds`] requesting a QoS class. The grant is the
+    /// request clamped to the uid's lease ceiling (`qos=latency` leases
+    /// only) — check [`GrdLib::qos`] for what the manager actually
+    /// granted.
+    ///
+    /// # Errors
+    ///
+    /// As [`GrdLib::dial_uds`].
+    pub fn dial_uds_qos(
+        socket: impl AsRef<Path>,
+        mem_requirement: u64,
+        qos: QosClass,
+    ) -> CudaResult<Self> {
+        Self::dial_uds_opts(socket, mem_requirement, None, qos)
+    }
+
+    /// [`GrdLib::dial_uds`] with both a [`PlacementHint`] and a QoS
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// As [`GrdLib::dial_uds`].
+    pub fn dial_uds_opts(
+        socket: impl AsRef<Path>,
+        mem_requirement: u64,
+        hint: Option<PlacementHint>,
+        qos: QosClass,
+    ) -> CudaResult<Self> {
+        let conn = UdsDialer::new(socket).dial().map_err(transport_to_cuda)?;
+        Self::connect_over_opts(conn, mem_requirement, hint, qos)
     }
 
     /// Connect to a grdManager over the shared-memory ring transport,
@@ -158,6 +211,36 @@ impl GrdLib {
     ) -> CudaResult<Self> {
         let conn = ShmDialer::new(socket).dial().map_err(transport_to_cuda)?;
         Self::connect_over_hinted(conn, mem_requirement, hint)
+    }
+
+    /// [`GrdLib::dial_shm`] requesting a QoS class (see
+    /// [`GrdLib::dial_uds_qos`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`GrdLib::dial_shm`].
+    pub fn dial_shm_qos(
+        socket: impl AsRef<Path>,
+        mem_requirement: u64,
+        qos: QosClass,
+    ) -> CudaResult<Self> {
+        Self::dial_shm_opts(socket, mem_requirement, None, qos)
+    }
+
+    /// [`GrdLib::dial_shm`] with both a [`PlacementHint`] and a QoS
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// As [`GrdLib::dial_shm`].
+    pub fn dial_shm_opts(
+        socket: impl AsRef<Path>,
+        mem_requirement: u64,
+        hint: Option<PlacementHint>,
+        qos: QosClass,
+    ) -> CudaResult<Self> {
+        let conn = ShmDialer::new(socket).dial().map_err(transport_to_cuda)?;
+        Self::connect_over_opts(conn, mem_requirement, hint, qos)
     }
 
     /// [`GrdLib::dial_shm`] with an explicit per-direction ring capacity
@@ -204,6 +287,22 @@ impl GrdLib {
         mem_requirement: u64,
         hint: Option<PlacementHint>,
     ) -> CudaResult<Self> {
+        Self::connect_over_opts(conn, mem_requirement, hint, QosClass::BestEffort)
+    }
+
+    /// The fully-parameterized connect: transport, memory requirement,
+    /// placement hint, and requested QoS class. Every other connect
+    /// variant funnels here (requesting best-effort unless stated).
+    ///
+    /// # Errors
+    ///
+    /// As [`GrdLib::connect`].
+    pub fn connect_over_opts(
+        conn: Box<dyn Connection>,
+        mem_requirement: u64,
+        hint: Option<PlacementHint>,
+        qos: QosClass,
+    ) -> CudaResult<Self> {
         let mut lib = GrdLib {
             conn,
             id: ClientId(0),
@@ -212,6 +311,7 @@ impl GrdLib {
             partition_size: 0,
             device: 0,
             deferred_launch: false,
+            qos: QosClass::BestEffort.to_wire(),
             pending: Mutex::new(Vec::new()),
             next_module: 1,
             next_stream: 1,
@@ -219,6 +319,7 @@ impl GrdLib {
         match lib.call(&Request::Connect {
             mem_requirement,
             hint,
+            qos: qos.to_wire(),
         })? {
             Response::Connected(info) => {
                 lib.id = ClientId(info.client);
@@ -227,6 +328,7 @@ impl GrdLib {
                 lib.partition_size = info.partition_size;
                 lib.device = info.device;
                 lib.deferred_launch = info.deferred_launch;
+                lib.qos = info.qos;
                 Ok(lib)
             }
             _ => Err(CudaError::Disconnected),
@@ -248,6 +350,13 @@ impl GrdLib {
     /// tenant onto.
     pub fn device(&self) -> u32 {
         self.device
+    }
+
+    /// The QoS class the manager granted this tenant (the requested
+    /// class clamped to the uid's lease ceiling). Refreshed by
+    /// [`GrdLib::refresh`], so a tenant can observe a live demotion.
+    pub fn qos(&self) -> QosClass {
+        QosClass::from_wire(self.qos)
     }
 
     /// Enumerate the manager's device set: per-GPU pool capacity, load,
@@ -313,6 +422,7 @@ impl GrdLib {
                 self.partition_base = info.partition_base;
                 self.partition_size = info.partition_size;
                 self.device = info.device;
+                self.qos = info.qos;
                 Ok(delta)
             }
             _ => Err(CudaError::Disconnected),

@@ -98,7 +98,7 @@ pub mod transport;
 
 pub use alloc::{AllocError, Partition, PartitionAllocator, RegionAllocator};
 pub use backends::{deploy, Capabilities, Deployment, MpsClient, Tenancy};
-pub use control::{Admission, ControlPlane, LeaseSpec};
+pub use control::{Admission, ControlPlane, LeaseSpec, QosClass};
 pub use grdlib::GrdLib;
 pub use manager::{
     spawn_manager, spawn_manager_multi, spawn_manager_over, ClientId, DispatchMode,

@@ -21,7 +21,7 @@
 //! regardless of which session observes the fault.
 
 use crate::alloc::{PartitionAllocator, RegionAllocator, SUBALLOC_ALIGN};
-use crate::control::{Admission, ControlPlane, LeaseSpec, TenantCounters};
+use crate::control::{Admission, ControlPlane, LeaseSpec, QosClass, TenantCounters};
 use crate::placement::{choose_device, DeviceLoad, PlacementError, PlacementHint, PlacementPolicy};
 use crate::proto::{AdminRequest, AdminResponse};
 use crate::session::{self, Binding, ClientShared, EventTable, GpuShared, KernelTable, Shared};
@@ -33,7 +33,7 @@ use gpu_sim::stream::CudaFunction;
 use parking_lot::{Mutex, RwLock};
 use ptx_patcher::{fence, Protection};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -282,6 +282,12 @@ pub struct ManagerConfig {
     /// (connect/teardown/revoke/migrate with tenant uid + node id).
     /// [`LogLevel::Off`] by default; `guardiand --log-level` raises it.
     pub log_level: LogLevel,
+    /// Launches a best-effort tenant may hold in flight (enqueued but not
+    /// yet synced) before the executor rate-gates its drain rounds while
+    /// latency-class tenants are active. `guardiand --qos-budget` feeds
+    /// this; the default is high enough that single-class workloads never
+    /// notice it.
+    pub qos_inflight_budget: u64,
 }
 
 /// Severity floor for the manager's structured stderr event log.
@@ -325,6 +331,7 @@ impl Default for ManagerConfig {
             admission: None,
             telemetry: true,
             log_level: LogLevel::Off,
+            qos_inflight_budget: 256,
         }
     }
 }
@@ -339,6 +346,10 @@ pub(crate) struct ClientInfo {
     pub device: u32,
     pub lease_mem: u64,
     pub lease_ttl_ms: u64,
+    /// Granted QoS class on its wire encoding (0 = best-effort,
+    /// 1 = latency): the *minimum* of what the tenant requested at
+    /// `Connect` and what its lease's `qos=` ceiling allows.
+    pub qos: u8,
 }
 
 /// A control-plane operation (serialized through the manager thread).
@@ -350,6 +361,10 @@ pub(crate) enum CtrlOp {
         /// socket transports; the process's own uid in-process) — the
         /// identity leases and quotas are keyed by.
         uid: u32,
+        /// QoS class the tenant *requested* (wire encoding; pre-v5
+        /// clients decode as 0 = best-effort). The grant is clamped to
+        /// the uid's lease ceiling.
+        qos_request: u8,
     },
     Disconnect {
         client: ClientId,
@@ -389,6 +404,14 @@ pub(crate) enum CtrlOp {
     /// One rebalance step: migrate one tenant from the most- to the
     /// least-loaded device if that narrows the spread.
     Rebalance,
+    /// Re-apply a uid's lease QoS ceiling to its *live* tenants after a
+    /// lease override changed: demotes latency-class tenants whose
+    /// ceiling dropped (their session qos flag and device stream
+    /// priority flip immediately, no reconnect). Demote-only — raising
+    /// a ceiling never promotes live tenants, they asked at `Connect`.
+    Reclass {
+        uid: u32,
+    },
 }
 
 /// A control-plane result.
@@ -503,8 +526,9 @@ impl Control {
                 mem_requirement,
                 hint,
                 uid,
+                qos_request,
             } => self
-                .connect(mem_requirement, hint, uid)
+                .connect(mem_requirement, hint, uid, qos_request)
                 .map(CtrlOut::Connected),
             CtrlOp::Disconnect { client } => {
                 let uid = self.plane.uid_of(client.0);
@@ -580,6 +604,43 @@ impl Control {
                 self.migrate(client, dst_gpu).map(CtrlOut::Connected)
             }
             CtrlOp::Rebalance => self.rebalance().map(CtrlOut::Rebalanced),
+            CtrlOp::Reclass { uid } => {
+                self.reclass(uid);
+                Ok(CtrlOut::Unit)
+            }
+        }
+    }
+
+    /// Demote this uid's live latency-class tenants to the (possibly
+    /// lowered) lease ceiling. The session-side qos flag takes effect at
+    /// the tenant's next drain round; the device stream loses its
+    /// priority position for every launch enqueued from here on (kernels
+    /// already running keep their launch-time class).
+    fn reclass(&mut self, uid: u32) {
+        let ceiling = self.plane.lease_for(uid).qos;
+        for client in self.plane.reclass(uid, ceiling) {
+            let Ok(state) = self.client(ClientId(client)) else {
+                continue;
+            };
+            let was = state
+                .qos
+                .swap(QosClass::BestEffort.to_wire(), Ordering::SeqCst);
+            if was == QosClass::Latency.to_wire() {
+                self.shared
+                    .exec_gauges
+                    .qos_latency_sessions
+                    .fetch_sub(1, Ordering::SeqCst);
+            }
+            let b = *state.binding.read();
+            self.shared
+                .gpu(b.gpu)
+                .device
+                .lock()
+                .set_stream_latency(b.stream, false);
+            self.log_event(
+                "reclass",
+                format_args!("uid={uid} client={client} qos=besteffort"),
+            );
         }
     }
 
@@ -635,6 +696,15 @@ impl Control {
         let b = *binding;
         self.shared.gpu(b.gpu).device.lock().synchronize();
         self.shared.reap_faults(b.gpu);
+        // Both this teardown and `reclass` run on the serialized control
+        // thread, so the connected-latency-sessions gauge never double
+        // decrements for one demote-then-disconnect client.
+        if state.qos.load(Ordering::SeqCst) == QosClass::Latency.to_wire() {
+            self.shared
+                .exec_gauges
+                .qos_latency_sessions
+                .fetch_sub(1, Ordering::SeqCst);
+        }
         self.shared.clients.write().remove(&client);
         let _ = self.pools[b.gpu as usize].free(b.partition.base);
         let _ = self
@@ -713,6 +783,11 @@ impl Control {
                 return Err(e.into());
             }
         };
+        // The destination stream inherits the tenant's granted QoS class.
+        g_dst.device.lock().set_stream_latency(
+            dst_stream,
+            state.qos.load(Ordering::SeqCst) == QosClass::Latency.to_wire(),
+        );
 
         // Copy live allocations offset-stable. The source is drained and
         // the tenant's data plane is blocked on the barrier, so a plain
@@ -860,6 +935,7 @@ impl Control {
             device: b.gpu,
             lease_mem: state.lease_mem,
             lease_ttl_ms: state.lease_ttl_ms,
+            qos: state.qos.load(Ordering::SeqCst),
         }
     }
 
@@ -882,12 +958,22 @@ impl Control {
         mem_requirement: u64,
         hint: Option<PlacementHint>,
         uid: u32,
+        qos_request: u8,
     ) -> CudaResult<ClientInfo> {
         // Admission under the uid's lease terms, before anything is
         // carved: a zero-stream lease denies outright, and a partition
         // request beyond the memory cap is OOM to the tenant (the same
         // error an honest over-asker would see from the pool).
-        let lease = self.plane.lease_for(uid);
+        let mut lease = self.plane.lease_for(uid);
+        // QoS grant: the class the tenant asked for, clamped to the
+        // lease's ceiling. Tenants that did not ask (or pre-v5 clients,
+        // whose frames decode as best-effort) stay best-effort even
+        // under a latency-ceiling lease.
+        let granted = match QosClass::from_wire(qos_request) {
+            QosClass::Latency if lease.qos == QosClass::Latency => QosClass::Latency,
+            _ => QosClass::BestEffort,
+        };
+        lease.qos = granted;
         if lease.streams == 0 {
             return Err(CudaError::Rejected(
                 "lease denies admission (streams=0)".into(),
@@ -916,7 +1002,13 @@ impl Control {
         let stream = {
             let mut dev = g.device.lock();
             match dev.create_stream(g.ctx) {
-                Ok(s) => s,
+                Ok(s) => {
+                    // A latency-class tenant's stream jumps the device's
+                    // ready queue and claims freed SM capacity first at
+                    // slice boundaries (gpu-sim's preemption lever).
+                    dev.set_stream_latency(s, granted == QosClass::Latency);
+                    s
+                }
                 Err(e) => {
                     drop(dev);
                     let _ = self.pools[gpu as usize].free(partition.base);
@@ -950,16 +1042,23 @@ impl Control {
             stream_tag: AtomicU32::new(stream.0),
             lease_mem: lease.mem_bytes,
             lease_ttl_ms: lease.ttl_ms(),
+            qos: AtomicU8::new(granted.to_wire()),
             counters: counters.clone(),
             telemetry: telemetry.clone(),
         });
         let info = self.client_info(&state, &binding);
+        if granted == QosClass::Latency {
+            self.shared
+                .exec_gauges
+                .qos_latency_sessions
+                .fetch_add(1, Ordering::SeqCst);
+        }
         self.shared.clients.write().insert(id, state);
         self.plane
             .admit(id.0, uid, gpu, partition.size, lease, counters, telemetry);
         self.log_event(
             "connect",
-            format_args!("uid={uid} client={} device={gpu}", id.0),
+            format_args!("uid={uid} client={} device={gpu} qos={granted}", id.0),
         );
         Ok(info)
     }
@@ -1292,10 +1391,17 @@ impl AdminApi {
                 mem_bytes,
                 streams,
                 ttl_ms,
+                qos,
             } => {
                 self.plane
-                    .set_override(uid, LeaseSpec::from_wire(mem_bytes, streams, ttl_ms));
-                AdminResponse::Ok { node }
+                    .set_override(uid, LeaseSpec::from_wire(mem_bytes, streams, ttl_ms, qos));
+                // Re-apply the (possibly lowered) QoS ceiling to the
+                // uid's live tenants through the serialized control
+                // thread — it owns the client map and device streams.
+                match ctrl_call(&self.ctrl, CtrlOp::Reclass { uid }) {
+                    Ok(_) => AdminResponse::Ok { node },
+                    Err(e) => err(format!("reclass uid {uid}: {e}")),
+                }
             }
             AdminRequest::LeaseRevoke { client } => {
                 let r = ctrl_call(
@@ -1454,6 +1560,7 @@ pub fn spawn_manager_multi(
         inflight: AtomicU32::new(0),
         max_inflight: AtomicU32::new(0),
         exec_gauges: plane.exec_gauges(),
+        qos_inflight_budget: config.qos_inflight_budget,
     });
     let mut control = Control {
         shared: shared.clone(),

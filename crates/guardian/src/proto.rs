@@ -139,7 +139,11 @@ impl fmt::Display for Symbol {
 /// spoken on `guardiand`'s admin socket. Version 4 added the telemetry
 /// plane's flight-recorder dump ([`AdminRequest::Trace`] /
 /// [`AdminResponse::Trace`]); every pre-v4 frame shape is unchanged.
-pub const PROTO_VERSION: u8 = 4;
+/// Version 5 added QoS classes: a requested class on `Connect`, the
+/// granted class in [`ConnectInfo`], a qos ceiling on
+/// [`AdminRequest::LeaseSet`], and class + inflight columns in
+/// [`TenantInfo`]; v4 frames decode with best-effort defaults.
+pub const PROTO_VERSION: u8 = 5;
 
 /// Oldest wire-format version this build still **decodes**. This is
 /// decode-side compatibility only: a v1 frame (single-GPU era —
@@ -161,6 +165,11 @@ pub enum Request {
         /// Multi-GPU placement request (v2). `None` — and every v1
         /// frame — routes by the manager's policy.
         hint: Option<PlacementHint>,
+        /// Requested scheduling class (v5), wire-encoded per
+        /// [`crate::control::QosClass::to_wire`]: 0 = best-effort (the
+        /// default, and what every pre-v5 frame decodes as), 1 =
+        /// latency — granted only if the tenant's lease permits it.
+        qos: u8,
     },
     /// Close the tenancy, releasing the partition. One-way: the client
     /// does not wait for a reply (it may already be tearing down).
@@ -308,6 +317,9 @@ pub struct ConnectInfo {
     /// Wall-clock TTL of the lease in milliseconds (v3; 0 — and every
     /// pre-v3 frame — means the lease never expires).
     pub lease_ttl_ms: u64,
+    /// Granted scheduling class (v5), wire-encoded: 0 = best-effort —
+    /// and every pre-v5 frame — 1 = latency.
+    pub qos: u8,
 }
 
 /// One tenant's row in an [`AdminResponse::Tenants`] answer.
@@ -335,6 +347,12 @@ pub struct TenantInfo {
     pub transfers: u64,
     /// Bytes moved by those transfers.
     pub transfer_bytes: u64,
+    /// Granted scheduling class (v5), wire-encoded: 0 = best-effort,
+    /// 1 = latency.
+    pub qos: u8,
+    /// Launches admitted but not yet completed (v5) — compared against
+    /// the executor's best-effort inflight budget.
+    pub inflight: u64,
 }
 
 /// One per-uid usage row in an [`AdminResponse::Quota`] answer,
@@ -433,6 +451,11 @@ pub enum AdminRequest {
         streams: u32,
         /// Wall-clock TTL in milliseconds (0 = no expiry).
         ttl_ms: u64,
+        /// Highest scheduling class the lease grants (v5), wire-encoded:
+        /// 0 = best-effort — and every pre-v5 frame — 1 = latency.
+        /// Lowering a live lease to best-effort demotes its tenants in
+        /// place.
+        qos: u8,
     },
     /// Revoke a live tenancy: drain it, reclaim the partition, and
     /// retire its usage into the uid's quota aggregate.
@@ -684,6 +707,8 @@ fn put_tenant_info(buf: &mut Vec<u8>, t: &TenantInfo) {
     buf.put_u64_le(t.launches);
     buf.put_u64_le(t.transfers);
     buf.put_u64_le(t.transfer_bytes);
+    buf.put_u8(t.qos);
+    buf.put_u64_le(t.inflight);
 }
 
 fn put_usage_info(buf: &mut Vec<u8>, u: &UsageInfo) {
@@ -861,7 +886,7 @@ impl<'a> Reader<'a> {
         })
     }
 
-    fn tenant_info(&mut self) -> Result<TenantInfo, ProtoError> {
+    fn tenant_info(&mut self, version: u8) -> Result<TenantInfo, ProtoError> {
         Ok(TenantInfo {
             client: self.u32()?,
             uid: self.u32()?,
@@ -874,6 +899,8 @@ impl<'a> Reader<'a> {
             launches: self.u64()?,
             transfers: self.u64()?,
             transfer_bytes: self.u64()?,
+            qos: if version >= 5 { self.u8()? } else { 0 },
+            inflight: if version >= 5 { self.u64()? } else { 0 },
         })
     }
 
@@ -985,10 +1012,12 @@ impl Request {
             Request::Connect {
                 mem_requirement,
                 hint,
+                qos,
             } => {
                 let mut buf = frame_header(REQ_CONNECT);
                 buf.put_u64_le(*mem_requirement);
                 put_hint(&mut buf, hint);
+                buf.put_u8(*qos);
                 buf
             }
             Request::Disconnect => frame_header(REQ_DISCONNECT),
@@ -1095,6 +1124,8 @@ impl Request {
                 mem_requirement: r.u64()?,
                 // v1 peers predate placement hints.
                 hint: if version >= 2 { r.hint()? } else { None },
+                // Pre-v5 peers request best-effort.
+                qos: if version >= 5 { r.u8()? } else { 0 },
             },
             REQ_DISCONNECT => Request::Disconnect,
             REQ_REGISTER_FATBIN => Request::RegisterFatbin {
@@ -1168,6 +1199,7 @@ impl Response {
                 buf.put_u32_le(info.device);
                 buf.put_u64_le(info.lease_mem);
                 buf.put_u64_le(info.lease_ttl_ms);
+                buf.put_u8(info.qos);
                 buf
             }
             Response::Ptr(p) => {
@@ -1240,6 +1272,8 @@ impl Response {
                 // uncapped and never expired.
                 lease_mem: if version >= 3 { r.u64()? } else { u64::MAX },
                 lease_ttl_ms: if version >= 3 { r.u64()? } else { 0 },
+                // Pre-v5 managers had no scheduling classes.
+                qos: if version >= 5 { r.u8()? } else { 0 },
             }),
             RESP_PTR => Response::Ptr(r.u64()?),
             RESP_DATA => Response::Data(r.blob()?),
@@ -1282,12 +1316,14 @@ impl AdminRequest {
                 mem_bytes,
                 streams,
                 ttl_ms,
+                qos,
             } => {
                 let mut buf = frame_header(ADMIN_REQ_LEASE_SET);
                 buf.put_u32_le(*uid);
                 buf.put_u64_le(*mem_bytes);
                 buf.put_u32_le(*streams);
                 buf.put_u64_le(*ttl_ms);
+                buf.put_u8(*qos);
                 buf
             }
             AdminRequest::LeaseRevoke { client } => {
@@ -1329,7 +1365,7 @@ impl AdminRequest {
     /// or trailing bytes. Never panics on malformed input — the admin
     /// socket is same-uid by default, but it still faces raw bytes.
     pub fn decode(frame: &[u8]) -> Result<Self, ProtoError> {
-        let (_, opcode, mut r) = open_frame(frame)?;
+        let (version, opcode, mut r) = open_frame(frame)?;
         let req = match opcode {
             ADMIN_REQ_DEVICES => AdminRequest::Devices,
             ADMIN_REQ_TENANTS => AdminRequest::Tenants,
@@ -1338,6 +1374,8 @@ impl AdminRequest {
                 mem_bytes: r.u64()?,
                 streams: r.u32()?,
                 ttl_ms: r.u64()?,
+                // A pre-v5 lease-set grants best-effort only.
+                qos: if version >= 5 { r.u8()? } else { 0 },
             },
             ADMIN_REQ_LEASE_REVOKE => AdminRequest::LeaseRevoke { client: r.u32()? },
             ADMIN_REQ_QUOTA => AdminRequest::Quota {
@@ -1421,7 +1459,7 @@ impl AdminResponse {
     /// [`ProtoError`] on truncation, version/opcode mismatch, bad UTF-8,
     /// or trailing bytes. Never panics on malformed input.
     pub fn decode(frame: &[u8]) -> Result<Self, ProtoError> {
-        let (_, opcode, mut r) = open_frame(frame)?;
+        let (version, opcode, mut r) = open_frame(frame)?;
         let resp = match opcode {
             ADMIN_RESP_DEVICES => {
                 let node = r.string()?;
@@ -1439,7 +1477,7 @@ impl AdminResponse {
                 // RESP_DEVICES: a hostile count must not reserve GiBs.
                 let mut tenants = Vec::with_capacity((n as usize).min(64));
                 for _ in 0..n {
-                    tenants.push(r.tenant_info()?);
+                    tenants.push(r.tenant_info(version)?);
                 }
                 AdminResponse::Tenants { node, tenants }
             }
@@ -1487,10 +1525,12 @@ mod tests {
             Request::Connect {
                 mem_requirement: u64::MAX,
                 hint: None,
+                qos: 0,
             },
             Request::Connect {
                 mem_requirement: 1 << 20,
                 hint: Some(PlacementHint::pin(3)),
+                qos: 1,
             },
             Request::Connect {
                 mem_requirement: 1 << 20,
@@ -1498,6 +1538,7 @@ mod tests {
                     device: None,
                     affinity: Affinity::Prefer,
                 }),
+                qos: 0,
             },
             Request::Disconnect,
             Request::RegisterFatbin {
@@ -1569,6 +1610,7 @@ mod tests {
                 device: 2,
                 lease_mem: 16 << 20,
                 lease_ttl_ms: 30_000,
+                qos: 1,
             }),
             Response::Devices(vec![]),
             Response::Devices(vec![
@@ -1699,6 +1741,7 @@ mod tests {
             Request::Connect {
                 mem_requirement: 4 << 20,
                 hint: None,
+                qos: 0,
             }
         );
         let mut f = vec![1u8, RESP_CONNECTED];
@@ -1748,6 +1791,7 @@ mod tests {
             Request::Connect {
                 mem_requirement: 4 << 20,
                 hint: Some(PlacementHint::pin(3)),
+                qos: 0,
             }
         );
         // v2 Connected: ends after the device index — no lease fields.
@@ -1813,20 +1857,17 @@ mod tests {
                 node: "node-a".into()
             }
         );
-        // v3 tenant frames: a lease-era Connected (all eight fields)
-        // still decodes bit-identically.
-        let mut conn = Response::Connected(ConnectInfo {
-            client: 7,
-            clock_ghz: 1.5,
-            partition_base: 1 << 40,
-            partition_size: 1 << 22,
-            deferred_launch: true,
-            device: 2,
-            lease_mem: 1 << 30,
-            lease_ttl_ms: 60_000,
-        })
-        .encode();
-        conn[0] = 3;
+        // v3 tenant frames: a lease-era Connected (all eight fields,
+        // ending at the lease TTL — no v5 qos byte) still decodes.
+        let mut conn = vec![3u8, RESP_CONNECTED];
+        conn.extend_from_slice(&7u32.to_le_bytes());
+        conn.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+        conn.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        conn.extend_from_slice(&(1u64 << 22).to_le_bytes());
+        conn.push(1);
+        conn.extend_from_slice(&2u32.to_le_bytes());
+        conn.extend_from_slice(&(1u64 << 30).to_le_bytes());
+        conn.extend_from_slice(&60_000u64.to_le_bytes());
         match Response::decode(&conn).unwrap() {
             Response::Connected(info) => {
                 assert_eq!(info.lease_mem, 1 << 30);
@@ -1842,6 +1883,82 @@ mod tests {
         assert_eq!(Request::decode(&sync_v3).unwrap(), Request::Sync);
     }
 
+    /// Version-4 frames — the telemetry-era wire format, before v5 added
+    /// QoS classes — must keep decoding with best-effort defaults: a v4
+    /// `Connect` ends after its hint (no requested class), a v4
+    /// `Connected` after the lease TTL, a v4 `LeaseSet` after the TTL,
+    /// and a v4 tenants row after the transfer bytes.
+    #[test]
+    fn v4_frames_still_decode() {
+        // v4 Connect: mem_requirement + hint byte, no qos byte.
+        let mut f = vec![4u8, REQ_CONNECT];
+        f.extend_from_slice(&(4u64 << 20).to_le_bytes());
+        f.push(0); // no hint
+        assert_eq!(
+            Request::decode(&f).unwrap(),
+            Request::Connect {
+                mem_requirement: 4 << 20,
+                hint: None,
+                qos: 0,
+            }
+        );
+        // v4 Connected: ends at the lease TTL; decodes as best-effort.
+        let mut conn = vec![4u8, RESP_CONNECTED];
+        conn.extend_from_slice(&7u32.to_le_bytes());
+        conn.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+        conn.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        conn.extend_from_slice(&(1u64 << 22).to_le_bytes());
+        conn.push(1);
+        conn.extend_from_slice(&2u32.to_le_bytes());
+        conn.extend_from_slice(&(1u64 << 30).to_le_bytes());
+        conn.extend_from_slice(&60_000u64.to_le_bytes());
+        match Response::decode(&conn).unwrap() {
+            Response::Connected(info) => {
+                assert_eq!(info.lease_mem, 1 << 30);
+                assert_eq!(info.qos, 0, "v4 tenancies are best-effort");
+            }
+            other => panic!("decoded {other:?}"),
+        }
+        // v4 LeaseSet: ends at the TTL; grants best-effort only.
+        let mut ls = vec![4u8, ADMIN_REQ_LEASE_SET];
+        ls.extend_from_slice(&1000u32.to_le_bytes());
+        ls.extend_from_slice(&(16u64 << 20).to_le_bytes());
+        ls.extend_from_slice(&4u32.to_le_bytes());
+        ls.extend_from_slice(&30_000u64.to_le_bytes());
+        assert_eq!(
+            AdminRequest::decode(&ls).unwrap(),
+            AdminRequest::LeaseSet {
+                uid: 1000,
+                mem_bytes: 16 << 20,
+                streams: 4,
+                ttl_ms: 30_000,
+                qos: 0,
+            }
+        );
+        // v4 Tenants answer: each row ends at transfer_bytes.
+        let mut t = vec![4u8, ADMIN_RESP_TENANTS];
+        put_str(&mut t, "node-a");
+        t.extend_from_slice(&1u32.to_le_bytes());
+        t.extend_from_slice(&3u32.to_le_bytes()); // client
+        t.extend_from_slice(&1000u32.to_le_bytes()); // uid
+        t.extend_from_slice(&1u32.to_le_bytes()); // device
+        for v in [1u64 << 22, u64::MAX, 0, 1234, 4096, 5, 9, 1 << 40] {
+            t.extend_from_slice(&v.to_le_bytes());
+        }
+        match AdminResponse::decode(&t).unwrap() {
+            AdminResponse::Tenants { tenants, .. } => {
+                assert_eq!(tenants.len(), 1);
+                assert_eq!(tenants[0].qos, 0, "v4 rows are best-effort");
+                assert_eq!(tenants[0].inflight, 0);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+        // Plain-bodied messages are bit-identical across versions.
+        let mut sync_v4 = Request::Sync.encode();
+        sync_v4[0] = 4;
+        assert_eq!(Request::decode(&sync_v4).unwrap(), Request::Sync);
+    }
+
     #[test]
     fn admin_round_trip_edge_values() {
         let reqs = vec![
@@ -1852,6 +1969,7 @@ mod tests {
                 mem_bytes: u64::MAX,
                 streams: 0,
                 ttl_ms: 1,
+                qos: 1,
             },
             AdminRequest::LeaseRevoke { client: 7 },
             AdminRequest::Quota { uid: None },
@@ -1892,6 +2010,8 @@ mod tests {
                     launches: u64::MAX,
                     transfers: 9,
                     transfer_bytes: 1 << 40,
+                    qos: 1,
+                    inflight: 17,
                 }],
             },
             AdminResponse::Ok {
@@ -2049,10 +2169,11 @@ mod proptests {
     /// Every request variant, fields drawn at random.
     fn arb_request() -> BoxedStrategy<Request> {
         prop_oneof![
-            (any::<u64>(), arb_hint())
-                .prop_map(|(mem_requirement, hint)| Request::Connect {
+            (any::<u64>(), arb_hint(), 0u8..2)
+                .prop_map(|(mem_requirement, hint, qos)| Request::Connect {
                     mem_requirement,
                     hint,
+                    qos,
                 })
                 .boxed(),
             Just(Request::Disconnect).boxed(),
@@ -2138,14 +2259,14 @@ mod proptests {
                 (any::<u32>(), any::<u64>()),
                 (any::<u64>(), any::<u64>()),
                 (any::<bool>(), any::<u32>()),
-                (any::<u64>(), any::<u64>())
+                (any::<u64>(), any::<u64>(), 0u8..2)
             )
                 .prop_map(
                     |(
                         (client, ghz_bits),
                         (partition_base, partition_size),
                         (deferred, device),
-                        (lease_mem, lease_ttl_ms),
+                        (lease_mem, lease_ttl_ms, qos),
                     )| {
                         Response::Connected(ConnectInfo {
                             client,
@@ -2156,6 +2277,7 @@ mod proptests {
                             device,
                             lease_mem,
                             lease_ttl_ms,
+                            qos,
                         })
                     }
                 )

@@ -17,7 +17,7 @@
 //! tenants never contend on them).
 
 use crate::alloc::{Partition, RegionAllocator};
-use crate::control::TenantCounters;
+use crate::control::{QosClass, TenantCounters};
 use crate::manager::{
     ctrl_call, CtrlMsg, CtrlOp, CtrlOut, DispatchMode, LaunchAck, LaunchStatsAtomic, SessionDriver,
 };
@@ -33,7 +33,7 @@ use gpu_sim::{Command, CtxId, Event, HostSink, LaunchConfig, MemGuard, StreamId}
 use parking_lot::{Mutex, RwLock};
 use ptx_patcher::Protection;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -116,6 +116,12 @@ pub(crate) struct ClientShared {
     pub lease_mem: u64,
     /// Lease TTL in milliseconds (0 = never expires); immutable.
     pub lease_ttl_ms: u64,
+    /// Granted QoS class on the wire encoding ([`QosClass::to_wire`]).
+    /// Written by the control thread — at admission, and again when a
+    /// lease override demotes a live latency tenant — and read by the
+    /// executor's drain gate, so demotion takes effect on the very next
+    /// drain round without a reconnect.
+    pub qos: AtomicU8,
     /// Usage counters the data plane bumps and the admin plane reads.
     pub counters: Arc<TenantCounters>,
     /// Latency histograms + flight recorder for this tenancy; `None`
@@ -153,6 +159,9 @@ pub(crate) struct Shared {
     /// Executor instrumentation (drain batches, parks/wakes, re-arms),
     /// owned by the control plane so `/metrics` can read it.
     pub exec_gauges: Arc<ExecGauges>,
+    /// Launches a best-effort tenant may hold in flight (admitted since
+    /// its last sync) before the executor rate-gates its drain rounds.
+    pub qos_inflight_budget: u64,
 }
 
 impl Shared {
@@ -338,6 +347,32 @@ impl SessionCtx {
         }
     }
 
+    /// Whether this session's tenant holds the latency QoS class right
+    /// now (demotion flips the atomic mid-session). Tenancy-less
+    /// sessions are best-effort.
+    pub(crate) fn qos_is_latency(&self) -> bool {
+        self.client
+            .as_ref()
+            .map(|c| c.qos.load(Ordering::Relaxed) == QosClass::Latency.to_wire())
+            .unwrap_or(false)
+    }
+
+    /// Whether this session's tenant has admitted more launches since
+    /// its last sync than the best-effort inflight budget allows.
+    pub(crate) fn qos_over_budget(&self) -> bool {
+        match &self.client {
+            Some(c) => {
+                c.counters.inflight.load(Ordering::Relaxed) >= self.shared.qos_inflight_budget
+            }
+            None => false,
+        }
+    }
+
+    /// The executor gauge block shared with the control plane.
+    pub(crate) fn exec_gauges(&self) -> Arc<ExecGauges> {
+        self.shared.exec_gauges.clone()
+    }
+
     pub(crate) fn handle_frame(&mut self, frame: &FrameView) -> Step {
         #[cfg(debug_assertions)]
         crate::alloc_audit::mark();
@@ -452,6 +487,11 @@ impl SessionCtx {
         // mark witnesses.
         let now = self.shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
         self.shared.max_inflight.fetch_max(now, Ordering::SeqCst);
+        // QoS bookkeeping: one launch admitted since the tenant's last
+        // sync. A single relaxed add — inside the audited no-alloc
+        // window — compared against the best-effort inflight budget by
+        // the executor's drain gate.
+        c.counters.inflight.fetch_add(1, Ordering::Relaxed);
         self.pending.push(LaunchItem {
             func,
             cfg,
@@ -477,6 +517,33 @@ impl SessionCtx {
         let _ = warm;
         if self.pending.len() >= LAUNCH_BUF {
             self.flush_pending();
+        }
+        // Over-budget admission control (outside the audited no-alloc
+        // window — event processing may touch the heap): a best-effort
+        // tenant past its inflight budget flushes and drains its *own*
+        // stream before another launch is admitted. This is what keeps
+        // the device queue shallow for latency-class work — a storm's
+        // un-synced backlog is bounded by the budget instead of by the
+        // transport, so a priority sync never wades through thousands
+        // of queued best-effort commands. Latency tenants are never
+        // throttled.
+        if !self.qos_is_latency() && self.qos_over_budget() {
+            self.flush_pending();
+            if let Some(c) = self.client.clone() {
+                let b = *c.binding.read();
+                self.shared
+                    .gpu(b.gpu)
+                    .device
+                    .lock()
+                    .synchronize_stream(b.stream);
+                // Everything this tenant admitted has completed: the
+                // budget refills.
+                c.counters.inflight.store(0, Ordering::Relaxed);
+                self.shared
+                    .exec_gauges
+                    .qos_gated_rounds
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -823,6 +890,7 @@ fn dispatch(req: Request, ctx: &mut SessionCtx) -> Option<Response> {
         Request::Connect {
             mem_requirement,
             hint,
+            qos,
         } => {
             // One connection is one tenant: a second Connect on a live
             // session would orphan the first tenant's partition (the
@@ -838,6 +906,7 @@ fn dispatch(req: Request, ctx: &mut SessionCtx) -> Option<Response> {
                     mem_requirement,
                     hint,
                     uid,
+                    qos_request: qos,
                 },
             );
             Some(match r {
@@ -890,6 +959,7 @@ fn dispatch(req: Request, ctx: &mut SessionCtx) -> Option<Response> {
                 device: b.gpu,
                 lease_mem: c.lease_mem,
                 lease_ttl_ms: c.lease_ttl_ms,
+                qos: c.qos.load(Ordering::Relaxed),
             }))
         }
         Request::Disconnect => {
@@ -1118,6 +1188,7 @@ fn connect_info(shared: &Shared, info: &crate::manager::ClientInfo) -> ConnectIn
         device: info.device,
         lease_mem: info.lease_mem,
         lease_ttl_ms: info.lease_ttl_ms,
+        qos: info.qos,
     }
 }
 
@@ -1308,6 +1379,21 @@ fn launch(
         .record(driver_level, lookup_ns, augment_ns, enqueue_ns);
     if r.is_ok() {
         c.counters.launches.fetch_add(1, Ordering::Relaxed);
+        c.counters.inflight.fetch_add(1, Ordering::Relaxed);
+        // Same over-budget admission control as the buffered path: a
+        // best-effort tenant past its inflight budget drains its own
+        // stream before the next launch, keeping the device queue
+        // shallow for latency-class work.
+        if c.qos.load(Ordering::Relaxed) != QosClass::Latency.to_wire()
+            && c.counters.inflight.load(Ordering::Relaxed) >= shared.qos_inflight_budget
+        {
+            shared.gpu(b.gpu).device.lock().synchronize_stream(b.stream);
+            c.counters.inflight.store(0, Ordering::Relaxed);
+            shared
+                .exec_gauges
+                .qos_gated_rounds
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
     r.map_err(CudaError::from)
 }
@@ -1315,7 +1401,18 @@ fn launch(
 fn sync(shared: &Shared, c: &ClientShared) -> CudaResult<()> {
     Shared::check_alive(c)?;
     let b = c.binding.read();
-    shared.gpu(b.gpu).device.lock().synchronize();
+    // Latency tenants wait only on their own stream: with the priority ready
+    // lane and kernel-slice preemption their work finishes promptly, and a
+    // sync must not be held hostage draining other tenants' backlog.
+    // Best-effort tenants keep the device-wide drain.
+    if c.qos.load(Ordering::Relaxed) == QosClass::Latency.to_wire() {
+        shared.gpu(b.gpu).device.lock().synchronize_stream(b.stream);
+    } else {
+        shared.gpu(b.gpu).device.lock().synchronize();
+    }
+    // Everything admitted up to here has completed: the tenant's
+    // inflight-launch budget refills.
+    c.counters.inflight.store(0, Ordering::Relaxed);
     shared.reap_faults(b.gpu);
     if let Some(e) = c.sticky.lock().take() {
         return Err(e);
@@ -1469,6 +1566,7 @@ mod tests {
             Request::Connect {
                 mem_requirement: 4 << 20,
                 hint: None,
+                qos: 0,
             }
             .encode(),
         )
@@ -1479,6 +1577,7 @@ mod tests {
             Request::Connect {
                 mem_requirement: 4 << 20,
                 hint: None,
+                qos: 0,
             }
             .encode(),
         )
@@ -1562,6 +1661,7 @@ mod tests {
             Request::Connect {
                 mem_requirement: 4 << 20,
                 hint: None,
+                qos: 0,
             }
             .encode(),
         )

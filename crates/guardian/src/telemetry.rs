@@ -428,6 +428,21 @@ pub struct ExecGauges {
     pub wakes: AtomicU64,
     /// Level-to-edge re-arms of session doorbells.
     pub rearms: AtomicU64,
+    /// Best-effort work rate-gated: drain rounds capped because a
+    /// latency-class session had undrained frames, plus launch
+    /// admissions throttled at the per-tenant inflight budget.
+    pub qos_gated_rounds: AtomicU64,
+    /// Latency-class sessions with undrained frames right now — the
+    /// signal the executor consults before giving a best-effort
+    /// session a full drain round.
+    pub qos_latency_pending: AtomicU64,
+    /// Latency-class sessions connected right now. While any exist the
+    /// executor paces every best-effort drain round at the gated cap:
+    /// a single-core worker only learns a latency frame arrived when
+    /// it returns to `epoll_wait`, so it must return often enough —
+    /// waiting for `qos_latency_pending` alone would let one storm
+    /// clump monopolize the worker for its full drain.
+    pub qos_latency_sessions: AtomicU64,
 }
 
 impl ExecGauges {

@@ -827,6 +827,7 @@ mod proptests {
                 .prop_map(|mem_requirement| Request::Connect {
                     mem_requirement,
                     hint: None,
+                    qos: (mem_requirement % 2) as u8,
                 })
                 .boxed(),
             Just(Request::Disconnect).boxed(),
@@ -876,6 +877,7 @@ mod proptests {
                         device: client % 3,
                         lease_mem: base ^ size,
                         lease_ttl_ms: size.rotate_left(7),
+                        qos: (client % 2) as u8,
                     })
                 })
                 .boxed(),
@@ -988,7 +990,8 @@ mod proptests {
             // Encode each request, downgrading a random subset to proto
             // v1 (legal for these shapes: plain bodies are bit-identical
             // across versions, and a hintless v1 Connect simply ends
-            // after mem_requirement — drop the has-hint byte).
+            // after mem_requirement — drop the v5 qos byte and the
+            // has-hint byte).
             let payloads: Vec<Vec<u8>> = reqs
                 .iter()
                 .map(|(req, v1)| {
@@ -997,9 +1000,27 @@ mod proptests {
                         p[0] = 1;
                         if matches!(req, Request::Connect { hint: None, .. }) {
                             p.pop();
+                            p.pop();
                         }
                     }
                     p
+                })
+                .collect();
+            // What each frame should decode back to: a v1 Connect lost
+            // its qos request, so it decodes as best-effort (0).
+            let expected: Vec<Request> = reqs
+                .iter()
+                .map(|(req, v1)| match req {
+                    Request::Connect {
+                        mem_requirement,
+                        hint,
+                        ..
+                    } if *v1 => Request::Connect {
+                        mem_requirement: *mem_requirement,
+                        hint: *hint,
+                        qos: 0,
+                    },
+                    other => other.clone(),
                 })
                 .collect();
             // Group consecutive payloads: groups of one go out as plain
@@ -1024,7 +1045,7 @@ mod proptests {
             for (frame, payload) in frames.iter().zip(&payloads) {
                 prop_assert_eq!(&frame[..], payload.as_slice());
             }
-            for (frame, (req, _)) in frames.iter().zip(&reqs) {
+            for (frame, req) in frames.iter().zip(&expected) {
                 let owned = Request::decode(frame).expect("decode");
                 prop_assert_eq!(&owned, req);
                 prop_assert_eq!(

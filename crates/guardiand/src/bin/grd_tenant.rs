@@ -20,7 +20,7 @@ fn main() {
             eprintln!(
                 "usage: grd-tenant --transport uds|shm --socket PATH \
                  [--mem BYTES] [--workload fill|oob|storm|migrate] [--iters N] \
-                 [--hold-ms N] [--hint GPU]"
+                 [--hold-ms N] [--hint GPU] [--qos latency|besteffort]"
             );
             std::process::exit(2);
         }
@@ -31,6 +31,7 @@ fn main() {
         &opts.socket,
         opts.mem,
         opts.hint,
+        opts.qos,
         Duration::from_secs(10),
     ) {
         Ok(lib) => lib,

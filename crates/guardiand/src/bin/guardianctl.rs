@@ -92,6 +92,7 @@ fn parse(args: &[String]) -> Result<(String, AdminRequest, Option<String>), Stri
                 mem_bytes: lease.mem_bytes,
                 streams: lease.streams,
                 ttl_ms: lease.ttl_ms(),
+                qos: lease.qos.to_wire(),
             }
         }
         ["lease", "revoke", client] => AdminRequest::LeaseRevoke {
@@ -159,24 +160,27 @@ fn render(resp: AdminResponse, chrome: Option<&str>) {
         AdminResponse::Tenants { node, tenants } => {
             println!("node {node}: {} tenant(s)", tenants.len());
             println!(
-                "{:>6} {:>6} {:>4} {:>10} {:>10} {:>9} {:>8} {:>9} {:>9} {:>10}",
+                "{:>6} {:>6} {:>4} {:>10} {:>10} {:>10} {:>9} {:>8} {:>9} {:>9} {:>8} {:>10}",
                 "client",
                 "uid",
                 "dev",
+                "qos",
                 "partition",
                 "lease",
                 "ttl",
                 "age",
                 "held",
                 "launches",
+                "inflight",
                 "xfer"
             );
             for t in tenants {
                 println!(
-                    "{:>6} {:>6} {:>4} {:>10} {:>10} {:>9} {:>7}s {:>9} {:>9} {:>10}",
+                    "{:>6} {:>6} {:>4} {:>10} {:>10} {:>10} {:>9} {:>7}s {:>9} {:>9} {:>8} {:>10}",
                     t.client,
                     t.uid,
                     t.device,
+                    guardian::QosClass::from_wire(t.qos),
                     fmt_bytes(t.partition_size),
                     if t.lease_mem == u64::MAX {
                         "none".to_string()
@@ -191,6 +195,7 @@ fn render(resp: AdminResponse, chrome: Option<&str>) {
                     t.age_ms / 1000,
                     fmt_bytes(t.bytes_held),
                     t.launches,
+                    t.inflight,
                     fmt_bytes(t.transfer_bytes)
                 );
             }

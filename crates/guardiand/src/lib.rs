@@ -25,7 +25,7 @@
 
 use cuda_rt::{ArgPack, CudaApi, CudaError, CudaResult};
 use gpu_sim::LaunchConfig;
-use guardian::{GrdLib, PlacementHint, Protection, SessionDriver};
+use guardian::{GrdLib, PlacementHint, Protection, QosClass, SessionDriver};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -109,12 +109,16 @@ pub struct TenantOpts {
     pub hold_ms: u64,
     /// GPU index to pin the tenancy to (strict placement hint), if any.
     pub hint: Option<u32>,
+    /// QoS class to request at connect (`--qos latency|besteffort`,
+    /// default best-effort). The daemon clamps the grant to the uid's
+    /// lease ceiling.
+    pub qos: QosClass,
 }
 
 impl TenantOpts {
     /// Parse `grd-tenant` arguments:
     /// `--transport uds|shm --socket PATH [--mem BYTES] [--workload W]
-    /// [--iters N] [--hold-ms N] [--hint GPU]`.
+    /// [--iters N] [--hold-ms N] [--hint GPU] [--qos latency|besteffort]`.
     ///
     /// # Errors
     ///
@@ -127,6 +131,7 @@ impl TenantOpts {
         let mut iters = 50;
         let mut hold_ms = 0;
         let mut hint = None;
+        let mut qos = QosClass::BestEffort;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let mut value = |flag: &str| {
@@ -158,6 +163,9 @@ impl TenantOpts {
                             .map_err(|e| format!("--hint: {e}"))?,
                     );
                 }
+                "--qos" => {
+                    qos = QosClass::parse(&value("--qos")?).map_err(|e| format!("--qos: {e}"))?;
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -169,6 +177,7 @@ impl TenantOpts {
             iters,
             hold_ms,
             hint,
+            qos,
         })
     }
 }
@@ -214,6 +223,14 @@ pub struct DaemonOpts {
     /// Severity floor for structured one-line-per-event stderr logging
     /// (`--log-level off|info|debug`, default `off`).
     pub log_level: guardian::LogLevel,
+    /// In-flight launch budget for best-effort tenants while latency
+    /// tenants are active (`--qos-budget N`); `None` = the manager's
+    /// default.
+    pub qos_budget: Option<u64>,
+    /// Kernel-slice preemption grain in device cycles (`--slice-cycles
+    /// N`, 0 = off): long kernels yield their SMs to latency-class work
+    /// at each slice boundary.
+    pub slice_cycles: u64,
 }
 
 /// Parse a `--driver` value: `threads`, `event`, or `event:N` where `N`
@@ -239,7 +256,7 @@ impl DaemonOpts {
     /// [--allow-uid UID[,UID...]] [--driver threads|event[:N]]
     /// [--lease-default SPEC] [--admin-socket PATH]
     /// [--max-connect-rate N] [--node-id NAME] [--admin-http ADDR]
-    /// [--log-level off|info|debug]`.
+    /// [--log-level off|info|debug] [--qos-budget N] [--slice-cycles N]`.
     ///
     /// # Errors
     ///
@@ -261,6 +278,8 @@ impl DaemonOpts {
             node_id: None,
             admin_http: None,
             log_level: guardian::LogLevel::Off,
+            qos_budget: None,
+            slice_cycles: 0,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -330,6 +349,18 @@ impl DaemonOpts {
                 "--log-level" => {
                     opts.log_level = guardian::LogLevel::parse(&value("--log-level")?)
                         .map_err(|e| format!("--log-level: {e}"))?;
+                }
+                "--qos-budget" => {
+                    opts.qos_budget = Some(
+                        value("--qos-budget")?
+                            .parse()
+                            .map_err(|e| format!("--qos-budget: {e}"))?,
+                    );
+                }
+                "--slice-cycles" => {
+                    opts.slice_cycles = value("--slice-cycles")?
+                        .parse()
+                        .map_err(|e| format!("--slice-cycles: {e}"))?;
                 }
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -402,14 +433,15 @@ pub fn dial_retry(
     socket: &std::path::Path,
     mem: u64,
     hint: Option<u32>,
+    qos: QosClass,
     window: Duration,
 ) -> CudaResult<GrdLib> {
     let deadline = Instant::now() + window;
     let hint = hint.map(PlacementHint::pin);
     loop {
         let r = match wire {
-            Wire::Uds => GrdLib::dial_uds_hinted(socket, mem, hint),
-            Wire::Shm => GrdLib::dial_shm_hinted(socket, mem, hint),
+            Wire::Uds => GrdLib::dial_uds_opts(socket, mem, hint, qos),
+            Wire::Shm => GrdLib::dial_shm_opts(socket, mem, hint, qos),
         };
         match r {
             Ok(lib) => return Ok(lib),
@@ -741,6 +773,58 @@ mod tests {
         assert!(bad("--lease-default", "mem=banana").is_err());
         assert!(bad("--max-connect-rate", "0").is_err());
         assert!(bad("--max-connect-rate", "nan").is_err());
+    }
+
+    #[test]
+    fn qos_args_parse() {
+        let t = TenantOpts::parse(&[
+            "--transport".into(),
+            "uds".into(),
+            "--socket".into(),
+            "/tmp/x".into(),
+            "--qos".into(),
+            "latency".into(),
+        ])
+        .unwrap();
+        assert_eq!(t.qos, QosClass::Latency);
+        // Default request is best-effort; bad classes are usage errors.
+        let bare = TenantOpts::parse(&[
+            "--transport".into(),
+            "uds".into(),
+            "--socket".into(),
+            "/tmp/x".into(),
+        ])
+        .unwrap();
+        assert_eq!(bare.qos, QosClass::BestEffort);
+        assert!(TenantOpts::parse(&[
+            "--transport".into(),
+            "uds".into(),
+            "--socket".into(),
+            "/tmp/x".into(),
+            "--qos".into(),
+            "turbo".into(),
+        ])
+        .is_err());
+
+        let d = DaemonOpts::parse(&[
+            "--uds".into(),
+            "/tmp/g.sock".into(),
+            "--qos-budget".into(),
+            "32".into(),
+            "--slice-cycles".into(),
+            "2000".into(),
+        ])
+        .unwrap();
+        assert_eq!(d.qos_budget, Some(32));
+        assert_eq!(d.slice_cycles, 2000);
+        let bare = DaemonOpts::parse(&["--uds".into(), "/tmp/g.sock".into()]).unwrap();
+        assert_eq!(bare.qos_budget, None);
+        assert_eq!(bare.slice_cycles, 0);
+        let bad = |flag: &str, v: &str| {
+            DaemonOpts::parse(&["--uds".into(), "/tmp/g.sock".into(), flag.into(), v.into()])
+        };
+        assert!(bad("--qos-budget", "many").is_err());
+        assert!(bad("--slice-cycles", "-1").is_err());
     }
 
     #[test]

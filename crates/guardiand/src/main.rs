@@ -35,7 +35,8 @@ fn main() {
                  [--deferred] [--allow-uid UID[,UID...]] \
                  [--driver threads|event[:N]] [--lease-default SPEC] \
                  [--admin-socket PATH] [--max-connect-rate N] \
-                 [--node-id NAME] [--admin-http ADDR]"
+                 [--node-id NAME] [--admin-http ADDR] \
+                 [--qos-budget N] [--slice-cycles N]"
             );
             std::process::exit(2);
         }
@@ -65,10 +66,19 @@ fn main() {
         BoundTransport::merge(transports)
     };
 
+    // --slice-cycles arms kernel-slice preemption on every simulated
+    // device, so latency-class streams can claim SMs at slice
+    // boundaries instead of waiting out whole thread blocks.
+    let spec = {
+        let mut s = gpu_sim::spec::test_gpu();
+        s.kernel_slice_cycles = opts.slice_cycles;
+        s
+    };
     let devices: Vec<_> = (0..opts.gpus)
-        .map(|i| cuda_rt::share_device(gpu_sim::Device::new_indexed(gpu_sim::spec::test_gpu(), i)))
+        .map(|i| cuda_rt::share_device(gpu_sim::Device::new_indexed(spec.clone(), i)))
         .collect();
     let (pool_bytes, pool_bytes_per_gpu) = opts.pool_config();
+    let defaults = ManagerConfig::default();
     let config = ManagerConfig {
         protection: opts.protection,
         pool_bytes,
@@ -83,7 +93,8 @@ fn main() {
         node_id: opts.node_id.clone(),
         admission,
         log_level: opts.log_level,
-        ..ManagerConfig::default()
+        qos_inflight_budget: opts.qos_budget.unwrap_or(defaults.qos_inflight_budget),
+        ..defaults
     };
     // Bound to a named variable: the handle must outlive the serve loop
     // (dropping it would tear the acceptor down).

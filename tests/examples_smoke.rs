@@ -127,6 +127,22 @@ fn guardianctl_metrics_smoke() {
         *prev = count;
     }
     assert!(!cum.is_empty(), "no latency bucket series rendered: {text}");
+    // The QoS families render as well-formed Prometheus text even on an
+    // idle daemon: both gauges carry TYPE lines, the gated-rounds
+    // counter exists (zero here — nothing to gate), and the per-class
+    // latency histogram declares itself.
+    for family in [
+        "# TYPE guardian_qos_tenants gauge",
+        "# TYPE guardian_qos_inflight_launches gauge",
+        "# TYPE guardian_qos_gated_rounds_total counter",
+        "# TYPE guardian_qos_latency_seconds histogram",
+    ] {
+        assert!(text.contains(family), "missing `{family}` in: {text}");
+    }
+    assert!(
+        text.contains("guardian_qos_gated_rounds_total{node=\"smoke-node\"} 0"),
+        "idle daemon gated a drain round: {text}"
+    );
 }
 
 #[test]

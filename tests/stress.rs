@@ -283,6 +283,54 @@ fn steady_state_launch_path_is_allocation_free() {
     mgr.shutdown();
 }
 
+/// QoS bookkeeping rides the audited launch admission window without
+/// adding heap touches: the per-tenant inflight tick, the class check,
+/// and the executor gauge updates are all plain atomics. Same shape as
+/// the steady-state test above, but with a latency-class tenant and a
+/// deliberately tight inflight budget so the over-budget comparison is
+/// exercised on every warm admission — if QoS bookkeeping ever grows an
+/// allocation, this trips in debug builds before the integrated suite
+/// does.
+#[test]
+fn qos_bookkeeping_is_allocation_free() {
+    let device = share_device(Device::new(test_gpu()));
+    let fb = stress_fatbin();
+    let mgr = spawn_manager(
+        device,
+        ManagerConfig {
+            dispatch: DispatchMode::Concurrent,
+            launch_ack: LaunchAck::Deferred,
+            qos_inflight_budget: 8,
+            ..ManagerConfig::default()
+        },
+        &[&fb],
+    )
+    .expect("spawn manager");
+    let mut lib =
+        GrdLib::connect_opts(&mgr, 2 << 20, None, guardian::QosClass::Latency).expect("connect");
+    assert_eq!(lib.qos(), guardian::QosClass::Latency);
+    let buf = lib.cuda_malloc(4 * 64).expect("malloc");
+    let args = ArgPack::new().ptr(buf).u32(64).finish();
+    let burst = |lib: &mut GrdLib| {
+        for _ in 0..256 {
+            lib.cuda_launch_kernel(
+                "fill",
+                LaunchConfig::linear(2, 32),
+                &args,
+                Default::default(),
+            )
+            .expect("launch");
+        }
+        lib.cuda_device_synchronize().expect("sync");
+    };
+    burst(&mut lib);
+    guardian::alloc_audit::arm(true);
+    burst(&mut lib);
+    guardian::alloc_audit::arm(false);
+    drop(lib);
+    mgr.shutdown();
+}
+
 /// Telemetry recording itself is allocation-free after construction:
 /// histogram recording, quantile-free snapshots aside, and flight-ring
 /// writes all run inside an armed audit window without moving the
